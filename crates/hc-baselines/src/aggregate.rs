@@ -1,0 +1,158 @@
+//! The common interface of all label-aggregation / truth-inference
+//! baselines (§IV-B of the paper).
+//!
+//! Every algorithm consumes a sparse [`AnswerMatrix`] and produces
+//! per-item class posteriors plus per-worker reliability estimates. The
+//! posteriors double as belief-initialisation marginals for the HC
+//! pipeline (Figure 6's "varying initialisation" study).
+
+use hc_data::AnswerMatrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Output of one aggregation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// `posteriors[item][class]` — each row a normalised distribution.
+    pub posteriors: Vec<Vec<f64>>,
+    /// Estimated reliability of each worker in `[0, 1]` (probability of
+    /// answering correctly; class-averaged diagonal for confusion-matrix
+    /// models).
+    pub worker_reliability: Vec<f64>,
+    /// Iterations the algorithm ran.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met (vs iteration cap).
+    pub converged: bool,
+}
+
+impl AggregateResult {
+    /// MAP label per item (ties break to the lowest class).
+    pub fn map_labels(&self) -> Vec<u8> {
+        self.posteriors
+            .iter()
+            .map(|row| {
+                let mut best = 0usize;
+                for (c, &p) in row.iter().enumerate().skip(1) {
+                    if p > row[best] {
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    /// `P(class = 1)` per item; the belief-initialisation marginals for
+    /// binary corpora.
+    pub fn binary_marginals(&self) -> Vec<f64> {
+        self.posteriors.iter().map(|row| row[1]).collect()
+    }
+
+    /// Checks internal invariants (row normalisation, ranges). Intended
+    /// for tests.
+    pub fn validate(&self) -> bool {
+        self.posteriors.iter().all(|row| {
+            let sum: f64 = row.iter().sum();
+            (sum - 1.0).abs() < 1e-6 && row.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p))
+        }) && self
+            .worker_reliability
+            .iter()
+            .all(|&r| (0.0..=1.0 + 1e-9).contains(&r))
+    }
+}
+
+/// Errors from aggregation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateError {
+    /// The matrix had no answers for some item, so no posterior exists.
+    UnansweredItem(u32),
+    /// The algorithm only supports binary corpora but got more classes.
+    NotBinary(usize),
+    /// Invalid hyperparameter (message explains which).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::UnansweredItem(i) => write!(f, "item {i} has no answers"),
+            AggregateError::NotBinary(k) => {
+                write!(f, "algorithm supports binary labels only, got {k} classes")
+            }
+            AggregateError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Result alias for aggregators.
+pub type Result<T> = std::result::Result<T, AggregateError>;
+
+/// A label-aggregation algorithm.
+pub trait Aggregator: Send + Sync {
+    /// Short name used in experiment tables ("MV", "DS", "EBCC", …).
+    fn name(&self) -> &'static str;
+
+    /// Infers per-item posteriors from the answer matrix.
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult>;
+}
+
+/// Ensures every item has at least one answer (every EM baseline needs
+/// this); returns the first unanswered item otherwise.
+pub fn check_all_answered(matrix: &AnswerMatrix) -> Result<()> {
+    for item in 0..matrix.n_items() {
+        if matrix.by_item(item).is_empty() {
+            return Err(AggregateError::UnansweredItem(item as u32));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_labels_argmax() {
+        let r = AggregateResult {
+            posteriors: vec![vec![0.3, 0.7], vec![0.6, 0.4], vec![0.5, 0.5]],
+            worker_reliability: vec![0.8],
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(r.map_labels(), vec![1, 0, 0]);
+        assert_eq!(r.binary_marginals(), vec![0.7, 0.4, 0.5]);
+        assert!(r.validate());
+    }
+
+    #[test]
+    fn validate_catches_bad_rows() {
+        let r = AggregateResult {
+            posteriors: vec![vec![0.9, 0.9]],
+            worker_reliability: vec![0.8],
+            iterations: 1,
+            converged: true,
+        };
+        assert!(!r.validate());
+    }
+
+    #[test]
+    fn unanswered_items_detected() {
+        let m = AnswerMatrix::new(
+            2,
+            1,
+            2,
+            vec![hc_data::AnswerEntry {
+                item: 0,
+                worker: 0,
+                label: 1,
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            check_all_answered(&m),
+            Err(AggregateError::UnansweredItem(1))
+        );
+    }
+}

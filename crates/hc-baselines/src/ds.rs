@@ -1,0 +1,202 @@
+//! Dawid–Skene (DS) — maximum-likelihood truth inference with per-worker
+//! confusion matrices, fitted by EM \[31\].
+//!
+//! Model: each item has a latent true class `z_i ~ Categorical(p)`;
+//! worker `w` answering an item of true class `j` reports label `l` with
+//! probability `π_w[j][l]` (the worker's confusion matrix). EM:
+//!
+//! * **E-step**: `P(z_i = j | answers) ∝ p[j] · Π_{(w,l) on i} π_w[j][l]`
+//!   (log-space).
+//! * **M-step**: `π_w[j][l] ∝ Σ_i q_i(j) · 1[w answered l on i]` and
+//!   `p[j] ∝ Σ_i q_i(j)`, both with additive (Laplace) smoothing so that
+//!   sparse workers don't produce zero likelihoods.
+//!
+//! Initialised from majority-vote frequencies, the standard DS warm
+//! start.
+
+use crate::aggregate::{check_all_answered, AggregateResult, Aggregator, Result};
+use crate::util::{max_abs_diff, softmax_in_place};
+use hc_data::AnswerMatrix;
+
+/// Dawid–Skene EM aggregator.
+#[derive(Debug, Clone, Copy)]
+pub struct DawidSkene {
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the max posterior change.
+    pub tol: f64,
+    /// Additive smoothing for confusion-matrix rows.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene {
+            max_iter: 100,
+            tol: 1e-6,
+            smoothing: 0.01,
+        }
+    }
+}
+
+impl DawidSkene {
+    /// DS with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Aggregator for DawidSkene {
+    fn name(&self) -> &'static str {
+        "DS"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        check_all_answered(matrix)?;
+        let n = matrix.n_items();
+        let m = matrix.n_workers();
+        let k = matrix.n_classes();
+
+        // Soft majority-vote initialisation.
+        let mut posteriors: Vec<Vec<f64>> = matrix
+            .vote_counts()
+            .into_iter()
+            .map(|counts| {
+                let total: u32 = counts.iter().sum();
+                counts
+                    .into_iter()
+                    .map(|c| c as f64 / total as f64)
+                    .collect()
+            })
+            .collect();
+
+        let mut confusion = vec![vec![0.0; k * k]; m];
+        let mut prior = vec![1.0 / k as f64; k];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // M-step: confusion matrices and class prior.
+            for c in confusion.iter_mut() {
+                c.fill(self.smoothing);
+            }
+            let mut class_mass = vec![self.smoothing; k];
+            for e in matrix.entries() {
+                let q = &posteriors[e.item as usize];
+                let c = &mut confusion[e.worker as usize];
+                for (j, &qj) in q.iter().enumerate() {
+                    c[j * k + e.label as usize] += qj;
+                }
+            }
+            for q in &posteriors {
+                for (j, &qj) in q.iter().enumerate() {
+                    class_mass[j] += qj;
+                }
+            }
+            for c in confusion.iter_mut() {
+                for j in 0..k {
+                    let row_sum: f64 = c[j * k..(j + 1) * k].iter().sum();
+                    for l in 0..k {
+                        c[j * k + l] /= row_sum;
+                    }
+                }
+            }
+            let total_mass: f64 = class_mass.iter().sum();
+            for (p, &mass) in prior.iter_mut().zip(&class_mass) {
+                *p = mass / total_mass;
+            }
+
+            // E-step: new posteriors in log-space.
+            let mut new_posteriors = Vec::with_capacity(n);
+            for item in 0..n {
+                let mut log_scores: Vec<f64> = prior.iter().map(|&p| p.ln()).collect();
+                for e in matrix.by_item(item) {
+                    let c = &confusion[e.worker as usize];
+                    for (j, score) in log_scores.iter_mut().enumerate() {
+                        *score += c[j * k + e.label as usize].ln();
+                    }
+                }
+                softmax_in_place(&mut log_scores);
+                new_posteriors.push(log_scores);
+            }
+
+            let delta = max_abs_diff(&posteriors, &new_posteriors);
+            posteriors = new_posteriors;
+            if delta < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Reliability: prior-weighted diagonal of each confusion matrix.
+        let worker_reliability = confusion
+            .iter()
+            .map(|c| {
+                (0..k)
+                    .map(|j| prior[j] * c[j * k + j])
+                    .sum::<f64>()
+                    .clamp(0.0, 1.0)
+            })
+            .collect();
+
+        Ok(AggregateResult {
+            posteriors,
+            worker_reliability,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mv::MajorityVote;
+    use crate::test_support::{heterogeneous_dataset, labeled_accuracy};
+
+    #[test]
+    fn recovers_truth_on_clean_data() {
+        let ds_data = heterogeneous_dataset(300, &[0.95, 0.9, 0.9], 1);
+        let r = DawidSkene::new().aggregate(&ds_data.matrix).unwrap();
+        assert!(r.validate());
+        let acc = labeled_accuracy(&ds_data, &r);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn beats_majority_vote_on_heterogeneous_crowd() {
+        // One strong worker among noisy ones: MV treats all equally, DS
+        // learns the confusion matrices.
+        let data = heterogeneous_dataset(500, &[0.95, 0.56, 0.56, 0.56, 0.56], 2);
+        let ds_acc = labeled_accuracy(&data, &DawidSkene::new().aggregate(&data.matrix).unwrap());
+        let mv_acc = labeled_accuracy(&data, &MajorityVote::new().aggregate(&data.matrix).unwrap());
+        assert!(
+            ds_acc >= mv_acc,
+            "DS {ds_acc} should be at least MV {mv_acc}"
+        );
+    }
+
+    #[test]
+    fn reliability_orders_workers() {
+        // Three workers so disagreements carry signal.
+        let data = heterogeneous_dataset(800, &[0.95, 0.6, 0.6], 3);
+        let r = DawidSkene::new().aggregate(&data.matrix).unwrap();
+        assert!(
+            r.worker_reliability[0] > r.worker_reliability[1],
+            "reliabilities {:?}",
+            r.worker_reliability
+        );
+    }
+
+    #[test]
+    fn converges_and_is_deterministic() {
+        let data = heterogeneous_dataset(100, &[0.9, 0.8, 0.7], 4);
+        let mut cfg = DawidSkene::new();
+        cfg.max_iter = 500;
+        let a = cfg.aggregate(&data.matrix).unwrap();
+        let b = cfg.aggregate(&data.matrix).unwrap();
+        assert_eq!(a, b);
+        assert!(a.converged, "should converge within 500 iterations");
+    }
+}

@@ -1,0 +1,152 @@
+//! Majority vote (MV) — the simplest aggregation baseline \[11\].
+//!
+//! The posterior for each item is the empirical vote distribution (the
+//! "MV-Freq" soft variant), so MV also works as a belief initialiser;
+//! the MAP label is the plain majority label. Worker reliability is the
+//! fraction of a worker's answers that agree with the majority labels.
+
+use crate::aggregate::{check_all_answered, AggregateResult, Aggregator, Result};
+use hc_data::AnswerMatrix;
+
+/// Majority voting with frequency posteriors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// A new MV aggregator.
+    pub fn new() -> Self {
+        MajorityVote
+    }
+}
+
+impl Aggregator for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        check_all_answered(matrix)?;
+        let k = matrix.n_classes();
+        let posteriors: Vec<Vec<f64>> = (0..matrix.n_items())
+            .map(|item| {
+                let answers = matrix.by_item(item);
+                let mut dist = vec![0.0; k];
+                for e in answers {
+                    dist[e.label as usize] += 1.0;
+                }
+                let inv = 1.0 / answers.len() as f64;
+                for d in &mut dist {
+                    *d *= inv;
+                }
+                dist
+            })
+            .collect();
+
+        // Majority labels, then per-worker agreement.
+        let result = AggregateResult {
+            posteriors,
+            worker_reliability: vec![0.0; matrix.n_workers()],
+            iterations: 1,
+            converged: true,
+        };
+        let labels = result.map_labels();
+        let mut agree = vec![0u32; matrix.n_workers()];
+        let mut total = vec![0u32; matrix.n_workers()];
+        for e in matrix.entries() {
+            total[e.worker as usize] += 1;
+            if labels[e.item as usize] == e.label {
+                agree[e.worker as usize] += 1;
+            }
+        }
+        let worker_reliability = agree
+            .iter()
+            .zip(&total)
+            .map(|(&a, &t)| if t > 0 { a as f64 / t as f64 } else { 0.5 })
+            .collect();
+        Ok(AggregateResult {
+            worker_reliability,
+            ..result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::AnswerEntry;
+
+    fn entry(item: u32, worker: u32, label: u8) -> AnswerEntry {
+        AnswerEntry {
+            item,
+            worker,
+            label,
+        }
+    }
+
+    #[test]
+    fn majority_wins() {
+        let m = AnswerMatrix::new(
+            2,
+            3,
+            2,
+            vec![
+                entry(0, 0, 1),
+                entry(0, 1, 1),
+                entry(0, 2, 0),
+                entry(1, 0, 0),
+                entry(1, 1, 0),
+                entry(1, 2, 1),
+            ],
+        )
+        .unwrap();
+        let r = MajorityVote::new().aggregate(&m).unwrap();
+        assert_eq!(r.map_labels(), vec![1, 0]);
+        assert!((r.posteriors[0][1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r.validate());
+    }
+
+    #[test]
+    fn reliability_is_agreement_with_majority() {
+        let m = AnswerMatrix::new(
+            2,
+            3,
+            2,
+            vec![
+                entry(0, 0, 1),
+                entry(0, 1, 1),
+                entry(0, 2, 0),
+                entry(1, 0, 0),
+                entry(1, 1, 0),
+                entry(1, 2, 1),
+            ],
+        )
+        .unwrap();
+        let r = MajorityVote::new().aggregate(&m).unwrap();
+        assert_eq!(r.worker_reliability, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn unanswered_item_is_error() {
+        let m = AnswerMatrix::new(2, 1, 2, vec![entry(0, 0, 1)]).unwrap();
+        assert!(MajorityVote::new().aggregate(&m).is_err());
+    }
+
+    #[test]
+    fn multiclass_votes() {
+        let m = AnswerMatrix::new(
+            1,
+            4,
+            3,
+            vec![
+                entry(0, 0, 2),
+                entry(0, 1, 2),
+                entry(0, 2, 1),
+                entry(0, 3, 0),
+            ],
+        )
+        .unwrap();
+        let r = MajorityVote::new().aggregate(&m).unwrap();
+        assert_eq!(r.map_labels(), vec![2]);
+        assert!((r.posteriors[0][2] - 0.5).abs() < 1e-12);
+    }
+}

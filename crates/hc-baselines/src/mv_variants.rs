@@ -1,0 +1,281 @@
+//! Majority-voting variants from Sheng et al. \[15\], cited by the paper
+//! (§I and §V): MV-Freq, MV-Beta and Paired-MV.
+//!
+//! * **MV-Freq** — soft majority voting: the posterior is the empirical
+//!   label frequency (this is also what [`crate::mv::MajorityVote`]
+//!   returns; kept here under its literature name for sweeps).
+//! * **MV-Beta** — Bayesian soft voting for binary labels: with a
+//!   `Beta(a, b)` prior, the posterior probability of the positive class
+//!   integrates the uncertainty of few votes instead of trusting raw
+//!   frequencies (3 Yes out of 4 is weaker evidence than 30 of 40).
+//!   We report the posterior mean `(yes + a) / (votes + a + b)`.
+//! * **Paired-MV** — pairs up votes and discards ties pair-by-pair: the
+//!   votes are consumed in pairs; agreeing pairs count one vote for
+//!   their label, disagreeing pairs cancel. Reduces the variance
+//!   injected by low-quality voters when redundancy is high.
+
+use crate::aggregate::{check_all_answered, AggregateError, AggregateResult, Aggregator, Result};
+use hc_data::AnswerMatrix;
+
+/// Soft majority voting under its literature name (MV-Freq).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvFreq;
+
+impl MvFreq {
+    /// A new MV-Freq aggregator.
+    pub fn new() -> Self {
+        MvFreq
+    }
+}
+
+impl Aggregator for MvFreq {
+    fn name(&self) -> &'static str {
+        "MV-Freq"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        crate::mv::MajorityVote::new().aggregate(matrix)
+    }
+}
+
+/// Beta-smoothed majority voting (binary corpora only).
+#[derive(Debug, Clone, Copy)]
+pub struct MvBeta {
+    /// Pseudo-count of positive votes.
+    pub alpha: f64,
+    /// Pseudo-count of negative votes.
+    pub beta: f64,
+}
+
+impl Default for MvBeta {
+    fn default() -> Self {
+        MvBeta {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+}
+
+impl MvBeta {
+    /// MV-Beta with a uniform `Beta(1, 1)` prior.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Aggregator for MvBeta {
+    fn name(&self) -> &'static str {
+        "MV-Beta"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        if matrix.n_classes() != 2 {
+            return Err(AggregateError::NotBinary(matrix.n_classes()));
+        }
+        check_all_answered(matrix)?;
+        let posteriors: Vec<Vec<f64>> = (0..matrix.n_items())
+            .map(|item| {
+                let answers = matrix.by_item(item);
+                let yes = answers.iter().filter(|e| e.label == 1).count() as f64;
+                let total = answers.len() as f64;
+                let p = (yes + self.alpha) / (total + self.alpha + self.beta);
+                vec![1.0 - p, p]
+            })
+            .collect();
+        finish_with_agreement(matrix, posteriors)
+    }
+}
+
+/// Pairing-based majority voting (binary corpora only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairedMv;
+
+impl PairedMv {
+    /// A new Paired-MV aggregator.
+    pub fn new() -> Self {
+        PairedMv
+    }
+}
+
+impl Aggregator for PairedMv {
+    fn name(&self) -> &'static str {
+        "Paired-MV"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        if matrix.n_classes() != 2 {
+            return Err(AggregateError::NotBinary(matrix.n_classes()));
+        }
+        check_all_answered(matrix)?;
+        let posteriors: Vec<Vec<f64>> = (0..matrix.n_items())
+            .map(|item| {
+                let answers = matrix.by_item(item);
+                // Consume votes in (worker-sorted) pairs; agreeing pairs
+                // vote once, disagreeing pairs cancel. A leftover odd
+                // vote counts as half a vote for its label.
+                let mut yes = 0.0;
+                let mut no = 0.0;
+                let mut chunks = answers.chunks_exact(2);
+                for pair in &mut chunks {
+                    match (pair[0].label, pair[1].label) {
+                        (1, 1) => yes += 1.0,
+                        (0, 0) => no += 1.0,
+                        _ => {} // Disagreement: the pair cancels.
+                    }
+                }
+                if let [odd] = chunks.remainder() {
+                    if odd.label == 1 {
+                        yes += 0.5;
+                    } else {
+                        no += 0.5;
+                    }
+                }
+                let total = yes + no;
+                let p = if total > 0.0 {
+                    yes / total
+                } else {
+                    0.5 // Every pair cancelled: total uncertainty.
+                };
+                vec![1.0 - p, p]
+            })
+            .collect();
+        finish_with_agreement(matrix, posteriors)
+    }
+}
+
+/// Fills in worker reliability as agreement with the MAP labels — the
+/// convention every voting variant shares.
+fn finish_with_agreement(
+    matrix: &AnswerMatrix,
+    posteriors: Vec<Vec<f64>>,
+) -> Result<AggregateResult> {
+    let result = AggregateResult {
+        posteriors,
+        worker_reliability: vec![0.0; matrix.n_workers()],
+        iterations: 1,
+        converged: true,
+    };
+    let labels = result.map_labels();
+    let mut agree = vec![0u32; matrix.n_workers()];
+    let mut total = vec![0u32; matrix.n_workers()];
+    for e in matrix.entries() {
+        total[e.worker as usize] += 1;
+        if labels[e.item as usize] == e.label {
+            agree[e.worker as usize] += 1;
+        }
+    }
+    let worker_reliability = agree
+        .iter()
+        .zip(&total)
+        .map(|(&a, &t)| if t > 0 { a as f64 / t as f64 } else { 0.5 })
+        .collect();
+    Ok(AggregateResult {
+        worker_reliability,
+        ..result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{heterogeneous_dataset, labeled_accuracy};
+    use hc_data::AnswerEntry;
+
+    fn entry(item: u32, worker: u32, label: u8) -> AnswerEntry {
+        AnswerEntry {
+            item,
+            worker,
+            label,
+        }
+    }
+
+    #[test]
+    fn mv_freq_matches_plain_mv() {
+        let data = heterogeneous_dataset(100, &[0.9, 0.8, 0.7], 70);
+        let freq = MvFreq::new().aggregate(&data.matrix).unwrap();
+        let plain = crate::mv::MajorityVote::new().aggregate(&data.matrix).unwrap();
+        assert_eq!(freq, plain);
+    }
+
+    #[test]
+    fn mv_beta_shrinks_toward_prior() {
+        // 2 Yes of 2 votes: frequency says 1.0, Beta(1,1) says 3/4.
+        let m = AnswerMatrix::new(1, 2, 2, vec![entry(0, 0, 1), entry(0, 1, 1)]).unwrap();
+        let r = MvBeta::new().aggregate(&m).unwrap();
+        assert!((r.posteriors[0][1] - 0.75).abs() < 1e-12);
+        assert!(r.validate());
+    }
+
+    #[test]
+    fn mv_beta_approaches_frequency_with_many_votes() {
+        let entries: Vec<AnswerEntry> = (0..100).map(|w| entry(0, w, 1)).collect();
+        let m = AnswerMatrix::new(1, 100, 2, entries).unwrap();
+        let r = MvBeta::new().aggregate(&m).unwrap();
+        assert!(r.posteriors[0][1] > 0.98);
+    }
+
+    #[test]
+    fn paired_mv_cancels_disagreeing_pairs() {
+        // Votes (worker order): 1,0 | 1,1 — first pair cancels, second
+        // votes Yes. Posterior should be fully Yes.
+        let m = AnswerMatrix::new(
+            1,
+            4,
+            2,
+            vec![entry(0, 0, 1), entry(0, 1, 0), entry(0, 2, 1), entry(0, 3, 1)],
+        )
+        .unwrap();
+        let r = PairedMv::new().aggregate(&m).unwrap();
+        assert_eq!(r.posteriors[0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn paired_mv_all_cancelled_is_uncertain() {
+        let m = AnswerMatrix::new(1, 2, 2, vec![entry(0, 0, 1), entry(0, 1, 0)]).unwrap();
+        let r = PairedMv::new().aggregate(&m).unwrap();
+        assert_eq!(r.posteriors[0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn paired_mv_counts_odd_leftover_as_half_vote() {
+        // Three Yes votes: one pair (Yes) + a leftover Yes half-vote.
+        let m = AnswerMatrix::new(
+            1,
+            3,
+            2,
+            vec![entry(0, 0, 1), entry(0, 1, 1), entry(0, 2, 1)],
+        )
+        .unwrap();
+        let r = PairedMv::new().aggregate(&m).unwrap();
+        assert_eq!(r.posteriors[0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn variants_reject_multiclass() {
+        let m = AnswerMatrix::new(1, 1, 3, vec![entry(0, 0, 2)]).unwrap();
+        assert!(matches!(
+            MvBeta::new().aggregate(&m),
+            Err(AggregateError::NotBinary(3))
+        ));
+        assert!(matches!(
+            PairedMv::new().aggregate(&m),
+            Err(AggregateError::NotBinary(3))
+        ));
+    }
+
+    #[test]
+    fn variants_track_mv_accuracy_on_real_corpora() {
+        let data = heterogeneous_dataset(400, &[0.9, 0.85, 0.8, 0.75, 0.7], 71);
+        let mv = labeled_accuracy(
+            &data,
+            &crate::mv::MajorityVote::new().aggregate(&data.matrix).unwrap(),
+        );
+        for result in [
+            MvBeta::new().aggregate(&data.matrix).unwrap(),
+            PairedMv::new().aggregate(&data.matrix).unwrap(),
+        ] {
+            let acc = labeled_accuracy(&data, &result);
+            assert!((acc - mv).abs() < 0.08, "variant {acc} vs MV {mv}");
+        }
+    }
+}

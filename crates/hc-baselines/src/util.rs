@@ -1,0 +1,114 @@
+//! Shared numerical helpers for the EM / variational baselines.
+
+/// Numerically stable `ln Σ exp(x_i)`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// In-place softmax from log-scores; returns the normaliser `ln Z`.
+pub fn softmax_in_place(log_scores: &mut [f64]) -> f64 {
+    let lz = log_sum_exp(log_scores);
+    for s in log_scores.iter_mut() {
+        *s = (*s - lz).exp();
+    }
+    lz
+}
+
+/// Logistic sigmoid, numerically stable on both tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Maximum absolute difference between two flat posterior tables —
+/// the convergence criterion of every EM loop here.
+pub fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(ra, rb)| ra.iter().zip(rb).map(|(&x, &y)| (x - y).abs()))
+        .fold(0.0, f64::max)
+}
+
+/// Digamma function ψ(x) (for variational Dirichlet expectations).
+///
+/// Standard recurrence + asymptotic series; accurate to ~1e-12 for
+/// x > 0, which is all variational updates need.
+pub fn digamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    let mut result = 0.0;
+    // Shift x above 6 for the asymptotic expansion.
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result += x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let xs = [0.1f64, -2.0, 3.5];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_extremes() {
+        assert!((log_sum_exp(&[-1000.0, -1000.0]) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert!(log_sum_exp(&[1e300_f64.ln(), 1e300_f64.ln()]).is_finite());
+    }
+
+    #[test]
+    fn softmax_normalises() {
+        let mut scores = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut scores);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(scores[2] > scores[1] && scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(5.0) + sigmoid(-5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(sigmoid(-800.0), 0.0);
+        assert_eq!(sigmoid(800.0), 1.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest() {
+        let a = vec![vec![0.1, 0.9], vec![0.5, 0.5]];
+        let b = vec![vec![0.1, 0.9], vec![0.2, 0.8]];
+        assert!((max_abs_diff(&a, &b) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digamma_matches_known_values() {
+        // ψ(1) = -γ (Euler–Mascheroni).
+        assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-10);
+        // ψ(x+1) = ψ(x) + 1/x.
+        for &x in &[0.3, 1.7, 4.2, 11.0] {
+            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-10);
+        }
+        // ψ(1/2) = -γ - 2 ln 2.
+        assert!((digamma(0.5) + 0.577_215_664_901_532_9 + 2.0 * 2f64.ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,178 @@
+//! ZenCrowd (ZC) — probabilistic truth inference with a single scalar
+//! reliability per worker, fitted by EM \[32\].
+//!
+//! Model: worker `w` answers correctly with probability `r_w`, and when
+//! wrong picks uniformly among the other `K-1` classes:
+//! `P(l | z = j) = r_w` if `l = j`, else `(1 - r_w) / (K - 1)`.
+//!
+//! * **E-step**: `P(z_i = j) ∝ Π_{(w,l) on i} P(l | j; r_w)` (uniform
+//!   class prior, per the original factor-graph formulation).
+//! * **M-step**: `r_w = (Σ_{(i,l) by w} q_i(l) + a) / (n_w + a + b)` —
+//!   the expected fraction of correct answers, with a light
+//!   `Beta(a, b)` prior keeping estimates off the 0/1 boundary.
+
+use crate::aggregate::{check_all_answered, AggregateResult, Aggregator, Result};
+use crate::util::{max_abs_diff, softmax_in_place};
+use hc_data::AnswerMatrix;
+
+/// ZenCrowd EM aggregator.
+#[derive(Debug, Clone, Copy)]
+pub struct ZenCrowd {
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the max posterior change.
+    pub tol: f64,
+    /// Beta prior pseudo-counts `(a, b)` on worker reliability.
+    pub prior: (f64, f64),
+}
+
+impl Default for ZenCrowd {
+    fn default() -> Self {
+        ZenCrowd {
+            max_iter: 100,
+            tol: 1e-6,
+            prior: (2.0, 1.0),
+        }
+    }
+}
+
+impl ZenCrowd {
+    /// ZC with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Aggregator for ZenCrowd {
+    fn name(&self) -> &'static str {
+        "ZC"
+    }
+
+    fn aggregate(&self, matrix: &AnswerMatrix) -> Result<AggregateResult> {
+        check_all_answered(matrix)?;
+        let n = matrix.n_items();
+        let m = matrix.n_workers();
+        let k = matrix.n_classes();
+        let wrong_share = 1.0 / (k as f64 - 1.0).max(1.0);
+        let (a, b) = self.prior;
+
+        // Soft majority-vote initialisation.
+        let mut posteriors: Vec<Vec<f64>> = matrix
+            .vote_counts()
+            .into_iter()
+            .map(|counts| {
+                let total: u32 = counts.iter().sum();
+                counts
+                    .into_iter()
+                    .map(|c| c as f64 / total as f64)
+                    .collect()
+            })
+            .collect();
+        let mut reliability = vec![0.8; m];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // M-step: expected correct-answer fraction per worker.
+            let mut expected_correct = vec![0.0; m];
+            let mut answered = vec![0u32; m];
+            for e in matrix.entries() {
+                expected_correct[e.worker as usize] +=
+                    posteriors[e.item as usize][e.label as usize];
+                answered[e.worker as usize] += 1;
+            }
+            for w in 0..m {
+                reliability[w] =
+                    (expected_correct[w] + a) / (answered[w] as f64 + a + b);
+            }
+
+            // E-step.
+            let mut new_posteriors = Vec::with_capacity(n);
+            for item in 0..n {
+                let mut log_scores = vec![0.0; k];
+                for e in matrix.by_item(item) {
+                    let r = reliability[e.worker as usize];
+                    let ln_correct = r.ln();
+                    let ln_wrong = ((1.0 - r) * wrong_share).max(f64::MIN_POSITIVE).ln();
+                    for (j, score) in log_scores.iter_mut().enumerate() {
+                        *score += if j == e.label as usize {
+                            ln_correct
+                        } else {
+                            ln_wrong
+                        };
+                    }
+                }
+                softmax_in_place(&mut log_scores);
+                new_posteriors.push(log_scores);
+            }
+
+            let delta = max_abs_diff(&posteriors, &new_posteriors);
+            posteriors = new_posteriors;
+            if delta < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(AggregateResult {
+            posteriors,
+            worker_reliability: reliability.iter().map(|r| r.clamp(0.0, 1.0)).collect(),
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mv::MajorityVote;
+    use crate::test_support::{heterogeneous_dataset, labeled_accuracy};
+
+    #[test]
+    fn recovers_truth_on_clean_data() {
+        // Three 0.85–0.9 workers bound the Bayes accuracy near 0.95;
+        // ZC must land at that information ceiling.
+        let data = heterogeneous_dataset(300, &[0.9, 0.9, 0.85], 10);
+        let r = ZenCrowd::new().aggregate(&data.matrix).unwrap();
+        assert!(r.validate());
+        assert!(labeled_accuracy(&data, &r) > 0.92);
+    }
+
+    #[test]
+    fn learns_worker_reliability() {
+        // Three workers so that disagreements carry a majority signal —
+        // with only two, reliabilities are unidentifiable.
+        let data = heterogeneous_dataset(800, &[0.95, 0.6, 0.6], 11);
+        let r = ZenCrowd::new().aggregate(&data.matrix).unwrap();
+        assert!(
+            r.worker_reliability[0] > r.worker_reliability[1],
+            "reliability {:?}",
+            r.worker_reliability
+        );
+    }
+
+    #[test]
+    fn stays_close_to_mv_with_one_expert_among_noise() {
+        // The paper (§IV-B) reports ZC performing poorly with limited
+        // redundancy — the EM can lock onto the noisy majority. Assert
+        // well-formedness and a sane band rather than dominance over MV.
+        let data = heterogeneous_dataset(500, &[0.97, 0.55, 0.55, 0.55, 0.55], 12);
+        let r = ZenCrowd::new().aggregate(&data.matrix).unwrap();
+        assert!(r.validate());
+        let zc_acc = labeled_accuracy(&data, &r);
+        let mv_acc = labeled_accuracy(&data, &MajorityVote::new().aggregate(&data.matrix).unwrap());
+        assert!(zc_acc > 0.55, "ZC {zc_acc} collapsed below chance");
+        assert!(zc_acc >= mv_acc - 0.12, "ZC {zc_acc} far below MV {mv_acc}");
+    }
+
+    #[test]
+    fn deterministic_and_convergent() {
+        let data = heterogeneous_dataset(100, &[0.9, 0.7], 13);
+        let a = ZenCrowd::new().aggregate(&data.matrix).unwrap();
+        let b = ZenCrowd::new().aggregate(&data.matrix).unwrap();
+        assert_eq!(a, b);
+        assert!(a.converged);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * `chain_rule` — conditional entropy via the chain-rule + projection
+//!   fast path vs the naive Equation (34) enumeration.
+//! * `incremental_greedy` — plain task-dirty greedy vs CELF lazy greedy
+//!   on a many-fact single task.
+//! * `projection` — belief projection (the `O(2^n)` pass that feeds
+//!   every entropy kernel) across fact counts.
+//! * `update` — single-fact Bayes-update fast path vs the generic
+//!   multi-fact path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::{bench_panel, bench_rng, bench_single_task};
+use hc_core::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use hc_core::entropy::{conditional_entropy, conditional_entropy_naive};
+use hc_core::fact::FactId;
+use hc_core::selection::{GreedySelector, TaskSelector};
+use hc_core::update::update_with_family;
+use std::hint::black_box;
+
+fn chain_rule(c: &mut Criterion) {
+    let beliefs = bench_single_task(10);
+    let belief = &beliefs.tasks()[0];
+    let panel = bench_panel();
+    let facts = [FactId(0), FactId(3), FactId(7)];
+    let mut group = c.benchmark_group("ablation/chain_rule");
+    group.bench_function("fast", |b| {
+        b.iter(|| conditional_entropy(black_box(belief), &facts, &panel).unwrap())
+    });
+    group.bench_function("naive_eq34", |b| {
+        b.iter(|| conditional_entropy_naive(black_box(belief), &facts, &panel).unwrap())
+    });
+    group.finish();
+}
+
+fn incremental_greedy(c: &mut Criterion) {
+    let beliefs = bench_single_task(14);
+    let panel = bench_panel();
+    let candidates = hc_core::selection::global_facts(&beliefs);
+    let mut group = c.benchmark_group("ablation/greedy_schedule");
+    group.sample_size(10);
+    for (name, selector) in [
+        ("plain", GreedySelector::new()),
+        ("lazy_celf", GreedySelector::lazy()),
+    ] {
+        let mut rng = bench_rng();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                selector
+                    .select(black_box(&beliefs), &panel, 4, &candidates, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn beam_width(c: &mut Criterion) {
+    use hc_core::selection::BeamSelector;
+    let beliefs = bench_single_task(12);
+    let panel = bench_panel();
+    let candidates = hc_core::selection::global_facts(&beliefs);
+    let mut group = c.benchmark_group("ablation/beam_width");
+    group.sample_size(10);
+    for width in [1usize, 4, 16] {
+        let selector = BeamSelector::new(width);
+        let mut rng = bench_rng();
+        group.bench_function(format!("w{width}"), |b| {
+            b.iter(|| {
+                selector
+                    .select(black_box(&beliefs), &panel, 3, &candidates, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/projection");
+    for facts in [8usize, 12, 16, 20] {
+        let beliefs = bench_single_task(facts);
+        let belief = &beliefs.tasks()[0];
+        let query = [FactId(0), FactId(1)];
+        group.bench_function(format!("n{facts}"), |b| {
+            b.iter(|| black_box(belief).project(&query))
+        });
+    }
+    group.finish();
+}
+
+fn update(c: &mut Criterion) {
+    let panel = bench_panel();
+    let mut group = c.benchmark_group("ablation/update");
+
+    let beliefs = bench_single_task(16);
+    let single = QuerySet::new(vec![FactId(2)], 16).unwrap();
+    let single_family = AnswerFamily::new(vec![
+        AnswerSet::new(&[Answer::Yes]),
+        AnswerSet::new(&[Answer::Yes]),
+    ]);
+    group.bench_function("single_fact", |b| {
+        b.iter(|| {
+            let mut belief = beliefs.tasks()[0].clone();
+            update_with_family(&mut belief, &single, &panel, &single_family).unwrap()
+        })
+    });
+
+    let multi = QuerySet::new(vec![FactId(2), FactId(9), FactId(14)], 16).unwrap();
+    let multi_family = AnswerFamily::new(vec![
+        AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]),
+        AnswerSet::new(&[Answer::Yes, Answer::Yes, Answer::No]),
+    ]);
+    group.bench_function("multi_fact", |b| {
+        b.iter(|| {
+            let mut belief = beliefs.tasks()[0].clone();
+            update_with_family(&mut belief, &multi, &panel, &multi_family).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    chain_rule,
+    incremental_greedy,
+    beam_width,
+    projection,
+    update
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 2 kernels: every baseline aggregator on the standard corpus,
+//! plus the budget-augmentation step and one full HC checking round.
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_baselines::all_aggregators;
+use hc_bench::{bench_corpus, bench_prepared, bench_rng};
+use hc_core::selection::{GreedySelector, TaskSelector};
+use hc_eval::experiments::augmented_matrix;
+use std::hint::black_box;
+
+fn aggregators(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let mut group = c.benchmark_group("fig2/aggregate");
+    for agg in all_aggregators() {
+        group.bench_function(agg.name(), |b| {
+            b.iter(|| agg.aggregate(black_box(&dataset.matrix)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn augmentation(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    c.bench_function("fig2/augment_matrix_b60", |b| {
+        b.iter(|| augmented_matrix(black_box(&dataset), 0.9, 60))
+    });
+}
+
+fn hc_selection_round(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let prepared = bench_prepared(&dataset);
+    let selector = GreedySelector::new();
+    let candidates = hc_core::selection::global_facts(&prepared.beliefs);
+    let mut rng = bench_rng();
+    c.bench_function("fig2/hc_select_k1", |b| {
+        b.iter(|| {
+            selector
+                .select(
+                    black_box(&prepared.beliefs),
+                    &prepared.panel,
+                    1,
+                    &candidates,
+                    &mut rng,
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, aggregators, augmentation, hc_selection_round);
+criterion_main!(benches);

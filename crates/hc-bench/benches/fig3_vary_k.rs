@@ -1,0 +1,39 @@
+//! Figure 3 kernel: one greedy selection round at each swept `k` —
+//! the per-round cost the k-trade-off discussion (§III-D) weighs against
+//! answer-collection latency.
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::{bench_corpus, bench_prepared, bench_rng};
+use hc_core::selection::{GreedySelector, TaskSelector};
+use std::hint::black_box;
+
+fn selection_by_k(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let prepared = bench_prepared(&dataset);
+    let selector = GreedySelector::new();
+    let candidates = hc_core::selection::global_facts(&prepared.beliefs);
+    let mut group = c.benchmark_group("fig3/select");
+    for k in [1usize, 2, 3] {
+        let mut rng = bench_rng();
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                selector
+                    .select(
+                        black_box(&prepared.beliefs),
+                        &prepared.panel,
+                        k,
+                        &candidates,
+                        &mut rng,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_by_k);
+criterion_main!(benches);

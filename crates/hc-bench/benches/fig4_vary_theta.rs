@@ -1,0 +1,46 @@
+//! Figure 4 kernel: crowd splitting, EBCC initialisation, and pipeline
+//! preparation at each swept threshold θ — the setup cost that changes
+//! with the expert/preliminary split.
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_baselines::Ebcc;
+use hc_bench::bench_corpus;
+use hc_eval::experiments::aggregator_marginals;
+use hc_sim::{prepare, InitMethod, PipelineConfig};
+use std::hint::black_box;
+
+fn prepare_by_theta(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let mut group = c.benchmark_group("fig4/prepare");
+    for theta in [0.8, 0.85, 0.9] {
+        group.bench_function(format!("theta{theta}"), |b| {
+            b.iter(|| {
+                let marginals = aggregator_marginals(black_box(&dataset), theta, &Ebcc::new());
+                prepare(
+                    &dataset,
+                    &PipelineConfig {
+                        theta,
+                        group_size: 5,
+                    },
+                    &InitMethod::Marginals(marginals),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn crowd_split(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let crowd = dataset.crowd().unwrap();
+    c.bench_function("fig4/crowd_split", |b| {
+        b.iter(|| black_box(&crowd).split(black_box(0.9)))
+    });
+}
+
+criterion_group!(benches, prepare_by_theta, crowd_split);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 5 kernels: the three selection methods (OPT, Approx, Random)
+//! on the same belief state at k = 2 and k = 3.
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::{bench_corpus, bench_prepared, bench_rng};
+use hc_core::selection::{ExactSelector, GreedySelector, RandomSelector, TaskSelector};
+use std::hint::black_box;
+
+fn selectors(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let prepared = bench_prepared(&dataset);
+    let candidates = hc_core::selection::global_facts(&prepared.beliefs);
+    let methods: Vec<Box<dyn TaskSelector>> = vec![
+        Box::new(ExactSelector::new()),
+        Box::new(GreedySelector::new()),
+        Box::new(RandomSelector::new()),
+    ];
+    for k in [2usize, 3] {
+        let mut group = c.benchmark_group(format!("fig5/select_k{k}"));
+        // OPT over C(120, 3) subsets is the slow one; keep samples low.
+        group.sample_size(10);
+        for method in &methods {
+            let mut rng = bench_rng();
+            group.bench_function(method.name(), |b| {
+                b.iter(|| {
+                    method
+                        .select(
+                            black_box(&prepared.beliefs),
+                            &prepared.panel,
+                            k,
+                            &candidates,
+                            &mut rng,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, selectors);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6 kernels: building the initial belief state from each
+//! aggregator's posteriors (aggregate on CP answers + product-belief
+//! construction).
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_baselines::all_aggregators;
+use hc_bench::bench_corpus;
+use hc_eval::experiments::aggregator_marginals;
+use hc_sim::{prepare, InitMethod, PipelineConfig};
+use std::hint::black_box;
+
+fn init_by_aggregator(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let config = PipelineConfig::paper_default();
+    let mut group = c.benchmark_group("fig6/init");
+    for agg in all_aggregators() {
+        group.bench_function(agg.name(), |b| {
+            b.iter(|| {
+                let marginals =
+                    aggregator_marginals(black_box(&dataset), config.theta, agg.as_ref());
+                prepare(&dataset, &config, &InitMethod::Marginals(marginals)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, init_by_aggregator);
+criterion_main!(benches);

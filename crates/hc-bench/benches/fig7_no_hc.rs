@@ -1,0 +1,60 @@
+//! Figure 7 kernels: one selection round in the hierarchical
+//! configuration (2-expert panel, EBCC init) vs the NO-HC configuration
+//! (whole 8-worker crowd, uniform init).
+//!
+//! Regenerate the figure's series with
+//! `cargo run --release -p hc-eval -- --experiment fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::{bench_corpus, bench_prepared, bench_rng};
+use hc_core::selection::{GreedySelector, TaskSelector};
+use hc_core::worker::ExpertPanel;
+use hc_sim::{prepare, InitMethod, PipelineConfig};
+use std::hint::black_box;
+
+fn hc_round(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let prepared = bench_prepared(&dataset);
+    let selector = GreedySelector::new();
+    let candidates = hc_core::selection::global_facts(&prepared.beliefs);
+    let mut rng = bench_rng();
+    c.bench_function("fig7/hc_round", |b| {
+        b.iter(|| {
+            selector
+                .select(
+                    black_box(&prepared.beliefs),
+                    &prepared.panel,
+                    1,
+                    &candidates,
+                    &mut rng,
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn no_hc_round(c: &mut Criterion) {
+    let dataset = bench_corpus();
+    let config = PipelineConfig::paper_default();
+    let uniform = prepare(&dataset, &config, &InitMethod::Uniform).unwrap();
+    let whole_crowd = ExpertPanel::from_accuracies(&dataset.worker_accuracies).unwrap();
+    let selector = GreedySelector::new();
+    let candidates = hc_core::selection::global_facts(&uniform.beliefs);
+    let mut rng = bench_rng();
+    c.bench_function("fig7/no_hc_round", |b| {
+        b.iter(|| {
+            selector
+                .select(
+                    black_box(&uniform.beliefs),
+                    &whole_crowd,
+                    1,
+                    &candidates,
+                    &mut rng,
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, hc_round, no_hc_round);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table III kernel: OPT vs Approx selection time on a single
+//! correlated many-fact task, k swept.
+//!
+//! The bench uses a 12-fact task and k ≤ 4 so Criterion iterations stay
+//! tractable; the full >20-fact, k ≤ 10 measurement (with the paper's
+//! timeouts) is produced by
+//! `cargo run --release -p hc-eval -- --experiment table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::{bench_panel, bench_rng, bench_single_task};
+use hc_core::selection::{ExactSelector, GreedySelector, TaskSelector};
+use std::hint::black_box;
+
+fn opt_vs_approx(c: &mut Criterion) {
+    let beliefs = bench_single_task(12);
+    let panel = bench_panel();
+    let candidates = hc_core::selection::global_facts(&beliefs);
+    for k in [1usize, 2, 3, 4] {
+        let mut group = c.benchmark_group(format!("table3/k{k}"));
+        group.sample_size(10);
+        let mut rng = bench_rng();
+        let greedy = GreedySelector::new();
+        group.bench_function("Approx", |b| {
+            b.iter(|| {
+                greedy
+                    .select(black_box(&beliefs), &panel, k, &candidates, &mut rng)
+                    .unwrap()
+            })
+        });
+        let exact = ExactSelector::new();
+        group.bench_function("OPT", |b| {
+            b.iter(|| {
+                exact
+                    .select(black_box(&beliefs), &panel, k, &candidates, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, opt_vs_approx);
+criterion_main!(benches);

@@ -1,0 +1,422 @@
+//! Crowdsourced answers: query sets, answer sets, answer families, and
+//! their likelihoods (§II-B, Definitions 3–4, Lemmas 1–2).
+
+use crate::belief::Belief;
+use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::observation::Observation;
+use crate::worker::ExpertPanel;
+use serde::{Deserialize, Serialize};
+
+/// A Yes/No answer to a single checking query "is fact `f` true?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Answer {
+    /// The worker asserts the fact is true.
+    Yes,
+    /// The worker asserts the fact is false.
+    No,
+}
+
+impl Answer {
+    /// `Yes` ↦ `true`, `No` ↦ `false`.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Answer::Yes)
+    }
+
+    /// `true` ↦ `Yes`, `false` ↦ `No`.
+    #[inline]
+    pub fn from_bool(v: bool) -> Self {
+        if v {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// An ordered, duplicate-free set of facts `T ⊆ F` selected as checking
+/// queries for one round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySet {
+    facts: Vec<FactId>,
+}
+
+impl QuerySet {
+    /// Builds a query set, validating that all facts exist in an
+    /// `num_facts`-fact task and appear at most once.
+    pub fn new(facts: Vec<FactId>, num_facts: usize) -> Result<Self> {
+        let mut seen = vec![false; num_facts];
+        for &f in &facts {
+            let idx = f.index();
+            if idx >= num_facts || seen[idx] {
+                return Err(HcError::InvalidQuery { fact: f.0 });
+            }
+            seen[idx] = true;
+        }
+        Ok(QuerySet { facts })
+    }
+
+    /// An empty query set.
+    pub fn empty() -> Self {
+        QuerySet { facts: Vec::new() }
+    }
+
+    /// The queries in selection order.
+    #[inline]
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// Number of queries `k = |T|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no queries were selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+/// One worker's answers to a query set (`A_cr^T`, Definition 3), stored as
+/// a bitmask aligned with the query order: bit `j` set means the worker
+/// answered *Yes* to query `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerSet {
+    bits: u32,
+    len: u8,
+}
+
+impl AnswerSet {
+    /// Builds an answer set from explicit answers, in query order.
+    pub fn new(answers: &[Answer]) -> Self {
+        debug_assert!(answers.len() <= 32);
+        let mut bits = 0u32;
+        for (j, a) in answers.iter().enumerate() {
+            if a.as_bool() {
+                bits |= 1 << j;
+            }
+        }
+        AnswerSet {
+            bits,
+            len: answers.len() as u8,
+        }
+    }
+
+    /// Builds an answer set from a raw bitmask over `len` queries.
+    pub fn from_bits(bits: u32, len: usize) -> Self {
+        debug_assert!(len <= 32);
+        debug_assert!(len == 32 || bits < (1u32 << len));
+        AnswerSet {
+            bits,
+            len: len as u8,
+        }
+    }
+
+    /// The raw Yes-bitmask.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of answered queries.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set holds no answers.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The answer to query `j` (position in the query set, not a fact id).
+    #[inline]
+    pub fn answer(self, j: usize) -> Answer {
+        Answer::from_bool((self.bits >> j) & 1 == 1)
+    }
+
+    /// The answers as a vector, in query order.
+    pub fn answers(self) -> Vec<Answer> {
+        (0..self.len()).map(|j| self.answer(j)).collect()
+    }
+
+    /// Size of the *consistent set* `|T⁺(o, A)|`: queries whose answer
+    /// matches the truth value `o` assigns (Equation (7)). The projection
+    /// `o_proj = o.project(queries)` must be precomputed by the caller.
+    #[inline]
+    pub fn consistent_count(self, o_proj: u32) -> u32 {
+        // XNOR of answer bits and truth bits over the first `len` bits.
+        let agreement = !(self.bits ^ o_proj);
+        let mask = if self.len == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.len) - 1
+        };
+        (agreement & mask).count_ones()
+    }
+}
+
+/// The answers of every expert in the panel for one query set
+/// (`A_C^T`, the *crowdsourced answer family* of Definition 3).
+///
+/// `sets[i]` is the answer set of `panel.workers()[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerFamily {
+    sets: Vec<AnswerSet>,
+}
+
+impl AnswerFamily {
+    /// Wraps per-worker answer sets (aligned with the panel's worker
+    /// order).
+    pub fn new(sets: Vec<AnswerSet>) -> Self {
+        AnswerFamily { sets }
+    }
+
+    /// The per-worker answer sets.
+    #[inline]
+    pub fn sets(&self) -> &[AnswerSet] {
+        &self.sets
+    }
+
+    /// Number of workers that answered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no workers answered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// `P(A_cr^T | o)` — the likelihood of one worker's answer set given an
+/// observation (Lemma 1, Equation (6)):
+/// `Pr_cr^{|T⁺|} · (1 - Pr_cr)^{|T⁻|}`.
+///
+/// `o_proj` is the observation restricted to the query set
+/// ([`Observation::project`]).
+#[inline]
+pub fn answer_set_likelihood(accuracy: f64, set: AnswerSet, o_proj: u32) -> f64 {
+    let consistent = set.consistent_count(o_proj);
+    let inconsistent = set.len() as u32 - consistent;
+    accuracy.powi(consistent as i32) * (1.0 - accuracy).powi(inconsistent as i32)
+}
+
+/// `P(A_C^T | o)` — the likelihood of a whole answer family given an
+/// observation: the product over workers (they answer independently given
+/// the ground truth; Lemma 2).
+pub fn family_likelihood_given(panel: &ExpertPanel, family: &AnswerFamily, o_proj: u32) -> f64 {
+    debug_assert_eq!(panel.len(), family.len());
+    panel
+        .workers()
+        .iter()
+        .zip(family.sets())
+        .map(|(w, &set)| answer_set_likelihood(w.accuracy.rate(), set, o_proj))
+        .product()
+}
+
+/// `P(A_cr^T)` — the marginal probability of one worker's answer set under
+/// the current belief (Lemma 1, Equation (8)):
+/// `Σ_o P(o) · P(A_cr^T | o)`.
+pub fn answer_set_probability(
+    belief: &Belief,
+    queries: &QuerySet,
+    accuracy: f64,
+    set: AnswerSet,
+) -> f64 {
+    let q = belief.project(queries.facts());
+    q.iter()
+        .enumerate()
+        .map(|(t, &p)| p * answer_set_likelihood(accuracy, set, t as u32))
+        .sum()
+}
+
+/// `P(A_C^T)` — the marginal probability of an answer family under the
+/// current belief (Lemma 2, Equation (11)).
+pub fn family_probability(
+    belief: &Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+    family: &AnswerFamily,
+) -> f64 {
+    let q = belief.project(queries.facts());
+    q.iter()
+        .enumerate()
+        .map(|(t, &p)| p * family_likelihood_given(panel, family, t as u32))
+        .sum()
+}
+
+/// Iterates every possible answer family for `k` queries and `m` workers
+/// (there are `2^(k·m)`), yielding `(index, family)`.
+///
+/// The index packs the per-worker answer bitmasks contiguously: worker
+/// `i`'s answers occupy bits `[i·k, (i+1)·k)`. Exposed for the naive
+/// entropy oracle and tests; the fast kernels in [`crate::entropy`]
+/// enumerate indices directly without materialising families.
+pub fn enumerate_families(k: usize, m: usize) -> impl Iterator<Item = (u64, AnswerFamily)> {
+    let total: u64 = 1u64 << (k * m);
+    (0..total).map(move |idx| {
+        let sets = (0..m)
+            .map(|i| {
+                let bits = ((idx >> (i * k)) & ((1u64 << k) - 1)) as u32;
+                AnswerSet::from_bits(bits, k)
+            })
+            .collect();
+        (idx, AnswerFamily::new(sets))
+    })
+}
+
+/// Majority-vote label for a single fact from an answer family
+/// (Equation (5)): `true` when at least half the workers answered Yes.
+pub fn majority_label(family: &AnswerFamily, query_index: usize) -> bool {
+    let yes = family
+        .sets()
+        .iter()
+        .filter(|s| s.answer(query_index) == Answer::Yes)
+        .count();
+    2 * yes >= family.len()
+}
+
+/// Projects an observation onto a query set — convenience wrapper around
+/// [`Observation::project`] for callers holding a [`QuerySet`].
+#[inline]
+pub fn project_observation(o: Observation, queries: &QuerySet) -> u32 {
+    o.project(queries.facts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Belief;
+
+    fn table_i_belief() -> Belief {
+        Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+    }
+
+    #[test]
+    fn query_set_rejects_duplicates_and_out_of_range() {
+        assert!(QuerySet::new(vec![FactId(0), FactId(0)], 3).is_err());
+        assert!(QuerySet::new(vec![FactId(3)], 3).is_err());
+        assert!(QuerySet::new(vec![FactId(0), FactId(2)], 3).is_ok());
+    }
+
+    #[test]
+    fn answer_set_round_trips() {
+        let answers = vec![Answer::Yes, Answer::No, Answer::Yes];
+        let set = AnswerSet::new(&answers);
+        assert_eq!(set.answers(), answers);
+        assert_eq!(set.bits(), 0b101);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn consistent_count_matches_definition() {
+        // Queries [f0, f1, f2]; answers Yes,No,Yes = 0b101.
+        let set = AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]);
+        // Observation restricted to queries: truth bits 0b100 -> f0 false,
+        // f1 false, f2 true. Agreement: f1 (No vs false) and f2 -> 2.
+        assert_eq!(set.consistent_count(0b100), 2);
+        assert_eq!(set.consistent_count(0b101), 3);
+        assert_eq!(set.consistent_count(0b010), 0);
+    }
+
+    #[test]
+    fn consistent_and_inconsistent_partition_queries() {
+        // Property of Equation (9): |T⁺| + |T⁻| = |T| for any o.
+        let set = AnswerSet::from_bits(0b0110, 4);
+        for proj in 0..16u32 {
+            let c = set.consistent_count(proj);
+            assert!(c <= 4);
+        }
+    }
+
+    #[test]
+    fn likelihood_single_query_matches_eq_10() {
+        // For one query, P(A = Yes | o ⊨ f) = Pr_cr.
+        let yes = AnswerSet::new(&[Answer::Yes]);
+        assert!((answer_set_likelihood(0.9, yes, 1) - 0.9).abs() < 1e-12);
+        assert!((answer_set_likelihood(0.9, yes, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_set_probabilities_sum_to_one() {
+        let b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0), FactId(2)], 3).unwrap();
+        let total: f64 = (0..4u32)
+            .map(|bits| {
+                answer_set_probability(&b, &queries, 0.85, AnswerSet::from_bits(bits, 2))
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn family_probabilities_sum_to_one() {
+        let b = table_i_belief();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let queries = QuerySet::new(vec![FactId(1)], 3).unwrap();
+        let total: f64 = enumerate_families(1, 2)
+            .map(|(_, fam)| family_probability(&b, &queries, &panel, &fam))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn family_likelihood_is_product_of_workers() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.7]).unwrap();
+        let fam = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes]),
+            AnswerSet::new(&[Answer::No]),
+        ]);
+        // o ⊨ f: worker 0 consistent (0.9), worker 1 inconsistent (0.3).
+        let l = family_likelihood_given(&panel, &fam, 1);
+        assert!((l - 0.9 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_families_covers_space() {
+        let families: Vec<_> = enumerate_families(2, 2).collect();
+        assert_eq!(families.len(), 16);
+        // Index packing: worker 0 low bits, worker 1 high bits.
+        let (idx, fam) = &families[0b1101];
+        assert_eq!(*idx, 0b1101);
+        assert_eq!(fam.sets()[0].bits(), 0b01);
+        assert_eq!(fam.sets()[1].bits(), 0b11);
+    }
+
+    #[test]
+    fn majority_label_ties_go_to_yes() {
+        // Equation (5) uses >= 1/2, so a tie is labeled true.
+        let fam = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes]),
+            AnswerSet::new(&[Answer::No]),
+        ]);
+        assert!(majority_label(&fam, 0));
+    }
+
+    #[test]
+    fn majority_label_counts_votes() {
+        let fam = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::No, Answer::Yes]),
+            AnswerSet::new(&[Answer::No, Answer::Yes]),
+            AnswerSet::new(&[Answer::Yes, Answer::No]),
+        ]);
+        assert!(!majority_label(&fam, 0));
+        assert!(majority_label(&fam, 1));
+    }
+
+    #[test]
+    fn perfect_worker_likelihood_is_indicator() {
+        let set = AnswerSet::new(&[Answer::Yes, Answer::No]);
+        assert_eq!(answer_set_likelihood(1.0, set, 0b01), 1.0);
+        assert_eq!(answer_set_likelihood(1.0, set, 0b00), 0.0);
+        assert_eq!(answer_set_likelihood(1.0, set, 0b11), 0.0);
+    }
+}

@@ -1,0 +1,599 @@
+//! The belief state: a joint probability distribution over all
+//! observations of a task's fact set (§II-A).
+//!
+//! A belief assigns `P(o)` to every observation `o ∈ O`; it is the
+//! framework's entire knowledge about the uncertain labels, including all
+//! correlations between the facts. Data quality is measured as the
+//! negative Shannon entropy of this distribution (Definition 2):
+//! `Q(F) = -H(O) = Σ_o P(o) ln P(o)` — higher is better, with 0 the
+//! maximum (a point mass).
+
+use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::observation::{Observation, ObservationSpace};
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of facts per task for the dense belief representation.
+///
+/// A belief over `n` facts stores `2^n` probabilities; 26 facts is a
+/// 512 MiB vector and the practical ceiling. The paper's workloads use 5
+/// facts per task (§IV-A) and >20 facts for the efficiency study
+/// (Table III), both comfortably inside the limit.
+pub const MAX_FACTS: usize = 26;
+
+/// Tolerance used when validating that probability vectors sum to one.
+pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
+
+/// A joint distribution `P(O)` over the observations of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Belief {
+    num_facts: u8,
+    /// `probs[o]` is `P(gt(O) = o)`; always normalised.
+    probs: Vec<f64>,
+}
+
+impl Belief {
+    /// The uniform belief over `num_facts` facts — total ignorance, used
+    /// by the NO-HC baseline of §IV-C(5).
+    pub fn uniform(num_facts: usize) -> Result<Self> {
+        Self::check_num_facts(num_facts)?;
+        let len = 1usize << num_facts;
+        Ok(Belief {
+            num_facts: num_facts as u8,
+            probs: vec![1.0 / len as f64; len],
+        })
+    }
+
+    /// A belief from explicit observation probabilities (index `o` holds
+    /// `P(o)`).
+    ///
+    /// The vector is validated (finite, non-negative, summing to one
+    /// within [`NORMALIZATION_TOLERANCE`]) and then renormalised exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::DimensionMismatch`] when `probs.len()` is not a power of
+    /// two matching a fact count; [`HcError::InvalidProbability`] /
+    /// [`HcError::NotNormalized`] for bad contents.
+    pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
+        let len = probs.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(HcError::DimensionMismatch {
+                expected: len.next_power_of_two().max(1),
+                actual: len,
+            });
+        }
+        let num_facts = len.trailing_zeros() as usize;
+        Self::check_num_facts(num_facts)?;
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(HcError::InvalidProbability(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(HcError::NotNormalized { sum });
+        }
+        let mut belief = Belief {
+            num_facts: num_facts as u8,
+            probs,
+        };
+        belief.renormalize();
+        Ok(belief)
+    }
+
+    /// A product-form belief from independent per-fact marginals:
+    /// `P(o) = Π_i ob(o, f_i)` with `ob` the marginal of `f_i` (true) or
+    /// its complement (false). This is exactly the initialisation of
+    /// Equation (15) when the marginals are CP vote fractions.
+    ///
+    /// Marginals are clamped into `[ε, 1-ε]` (`ε = 1e-9`) so that no
+    /// observation starts with exactly zero probability — a zero prior can
+    /// never be revived by Bayes updates even if every expert contradicts
+    /// it, which would make the checking loop brittle against unanimous CP
+    /// mistakes.
+    pub fn from_marginals(marginals: &[f64]) -> Result<Self> {
+        Self::check_num_facts(marginals.len())?;
+        if marginals.is_empty() {
+            return Err(HcError::EmptyFactSet);
+        }
+        const EPS: f64 = 1e-9;
+        let mut clamped = Vec::with_capacity(marginals.len());
+        for &m in marginals {
+            if !m.is_finite() || !(0.0..=1.0).contains(&m) {
+                return Err(HcError::InvalidProbability(m));
+            }
+            clamped.push(m.clamp(EPS, 1.0 - EPS));
+        }
+        let len = 1usize << marginals.len();
+        let mut probs = Vec::with_capacity(len);
+        for o in 0..len as u32 {
+            let mut p = 1.0;
+            for (i, &m) in clamped.iter().enumerate() {
+                p *= if (o >> i) & 1 == 1 { m } else { 1.0 - m };
+            }
+            probs.push(p);
+        }
+        let mut belief = Belief {
+            num_facts: marginals.len() as u8,
+            probs,
+        };
+        belief.renormalize();
+        Ok(belief)
+    }
+
+    /// A point-mass belief on a single observation (useful in tests and
+    /// for oracle comparisons).
+    pub fn point_mass(num_facts: usize, observation: Observation) -> Result<Self> {
+        Self::check_num_facts(num_facts)?;
+        let len = 1usize << num_facts;
+        let idx = observation.0 as usize;
+        if idx >= len {
+            return Err(HcError::DimensionMismatch {
+                expected: len,
+                actual: idx,
+            });
+        }
+        let mut probs = vec![0.0; len];
+        probs[idx] = 1.0;
+        Ok(Belief {
+            num_facts: num_facts as u8,
+            probs,
+        })
+    }
+
+    fn check_num_facts(num_facts: usize) -> Result<()> {
+        if num_facts > MAX_FACTS {
+            return Err(HcError::TooManyFacts(num_facts));
+        }
+        Ok(())
+    }
+
+    /// Number of facts `n`.
+    #[inline]
+    pub fn num_facts(&self) -> usize {
+        self.num_facts as usize
+    }
+
+    /// The observation space this belief ranges over.
+    #[inline]
+    pub fn space(&self) -> ObservationSpace {
+        ObservationSpace::new(self.num_facts())
+    }
+
+    /// `P(o)` for every observation, in index order.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// `P(o)` of a single observation.
+    #[inline]
+    pub fn prob(&self, o: Observation) -> f64 {
+        self.probs[o.0 as usize]
+    }
+
+    /// Marginal probability `P(f) = Σ_{o ⊨ f} P(o)` (Equation (2)).
+    pub fn marginal(&self, fact: FactId) -> f64 {
+        let bit = 1usize << fact.0;
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(o, _)| o & bit != 0)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// All per-fact marginals, in fact order.
+    pub fn marginals(&self) -> Vec<f64> {
+        (0..self.num_facts() as u32)
+            .map(|i| self.marginal(FactId(i)))
+            .collect()
+    }
+
+    /// Shannon entropy `H(O) = -Σ_o P(o) ln P(o)` in nats.
+    ///
+    /// Zero-probability observations contribute zero (the standard
+    /// `0 ln 0 = 0` convention).
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Data quality `Q(F) = -H(O)` (Definition 2). Higher is better;
+    /// maximum 0 for a deterministic belief.
+    #[inline]
+    pub fn quality(&self) -> f64 {
+        -self.entropy()
+    }
+
+    /// The maximum-a-posteriori observation `o* = argmax_o P(o)`.
+    ///
+    /// Ties break toward the lowest observation index, deterministically.
+    pub fn map_observation(&self) -> Observation {
+        let mut best = 0usize;
+        let mut best_p = self.probs[0];
+        for (o, &p) in self.probs.iter().enumerate().skip(1) {
+            if p > best_p {
+                best = o;
+                best_p = p;
+            }
+        }
+        Observation(best as u32)
+    }
+
+    /// Discrete labels from the MAP observation (Equation (20)):
+    /// `label(f_i) = o* ⊨ f_i`.
+    pub fn map_labels(&self) -> Vec<bool> {
+        self.map_observation().to_bools(self.num_facts())
+    }
+
+    /// Projects the belief onto an ordered list of facts: returns `q`
+    /// with `q[t] = Σ_{o : o|facts = t} P(o)`, a distribution over the
+    /// `2^|facts|` restricted interpretations.
+    ///
+    /// The likelihood of any answer family for query set `facts` depends
+    /// on `o` only through this restriction, so entropy and selection
+    /// kernels operate on `q` instead of the full belief — the main
+    /// performance lever of this implementation (see `DESIGN.md`).
+    pub fn project(&self, facts: &[FactId]) -> Vec<f64> {
+        let mut q = vec![0.0; 1 << facts.len()];
+        if facts.len() == 1 {
+            // Hot single-fact case (greedy candidate scans): avoid the
+            // generic bit-gather.
+            let bit = 1usize << facts[0].0;
+            let mut p_true = 0.0;
+            for (o, &p) in self.probs.iter().enumerate() {
+                if o & bit != 0 {
+                    p_true += p;
+                }
+            }
+            q[1] = p_true;
+            q[0] = 1.0 - p_true;
+            return q;
+        }
+        for (o, &p) in self.probs.iter().enumerate() {
+            let t = Observation(o as u32).project(facts) as usize;
+            q[t] += p;
+        }
+        q
+    }
+
+    /// The belief conditioned on a fact's truth value:
+    /// `P(o | f = value)`. Useful for counterfactual analysis ("what
+    /// would the labels be if f were settled?").
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::InvalidProbability`] when the conditioning event has
+    /// zero probability.
+    pub fn condition_on_fact(&self, fact: FactId, value: bool) -> Result<Belief> {
+        let mass = if value {
+            self.marginal(fact)
+        } else {
+            1.0 - self.marginal(fact)
+        };
+        if mass <= 0.0 {
+            return Err(HcError::InvalidProbability(mass));
+        }
+        let bit = 1usize << fact.0;
+        let probs = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(o, &p)| if (o & bit != 0) == value { p } else { 0.0 })
+            .collect();
+        let mut out = Belief {
+            num_facts: self.num_facts,
+            probs,
+        };
+        out.renormalize();
+        Ok(out)
+    }
+
+    /// Kullback–Leibler divergence `D(self ‖ other)` in nats.
+    ///
+    /// Returns `f64::INFINITY` when `self` puts mass where `other` has
+    /// none (the standard convention).
+    pub fn kl_divergence(&self, other: &Belief) -> Result<f64> {
+        if other.num_facts != self.num_facts {
+            return Err(HcError::DimensionMismatch {
+                expected: self.num_facts(),
+                actual: other.num_facts(),
+            });
+        }
+        let mut kl = 0.0;
+        for (&p, &q) in self.probs.iter().zip(&other.probs) {
+            if p == 0.0 {
+                continue;
+            }
+            if q == 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            kl += p * (p / q).ln();
+        }
+        Ok(kl.max(0.0))
+    }
+
+    /// Total variation distance `½ Σ_o |P(o) − Q(o)|` ∈ [0, 1].
+    pub fn total_variation(&self, other: &Belief) -> Result<f64> {
+        if other.num_facts != self.num_facts {
+            return Err(HcError::DimensionMismatch {
+                expected: self.num_facts(),
+                actual: other.num_facts(),
+            });
+        }
+        Ok(0.5
+            * self
+                .probs
+                .iter()
+                .zip(&other.probs)
+                .map(|(&p, &q)| (p - q).abs())
+                .sum::<f64>())
+    }
+
+    /// Rescales so probabilities sum to exactly one.
+    pub(crate) fn renormalize(&mut self) {
+        let sum: f64 = self.probs.iter().sum();
+        debug_assert!(sum > 0.0, "belief collapsed to zero mass");
+        let inv = 1.0 / sum;
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+    }
+
+    /// Mutable access for update kernels inside the crate.
+    pub(crate) fn probs_mut(&mut self) -> &mut [f64] {
+        &mut self.probs
+    }
+}
+
+/// A collection of independent per-task beliefs — the belief state of a
+/// whole labeled dataset.
+///
+/// Tasks are probabilistically independent of each other (correlations
+/// exist only *within* a task's fact set), so the dataset quality is the
+/// sum of per-task qualities and conditional entropies decompose
+/// additively across tasks. Checking-task selection still interacts
+/// across tasks through the shared size-`k` budget each round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiBelief {
+    tasks: Vec<Belief>,
+}
+
+impl MultiBelief {
+    /// Wraps per-task beliefs.
+    pub fn new(tasks: Vec<Belief>) -> Self {
+        MultiBelief { tasks }
+    }
+
+    /// The per-task beliefs.
+    #[inline]
+    pub fn tasks(&self) -> &[Belief] {
+        &self.tasks
+    }
+
+    /// Mutable per-task beliefs (used by the HC loop's update step).
+    #[inline]
+    pub fn tasks_mut(&mut self) -> &mut [Belief] {
+        &mut self.tasks
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether there are no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total number of facts across all tasks (the global query space
+    /// size `N`).
+    pub fn total_facts(&self) -> usize {
+        self.tasks.iter().map(|b| b.num_facts()).sum()
+    }
+
+    /// Dataset quality: the sum of per-task qualities, as in §IV-C
+    /// ("the quality values of the data instances are simply summarized").
+    pub fn quality(&self) -> f64 {
+        self.tasks.iter().map(|b| b.quality()).sum()
+    }
+
+    /// Dataset entropy `Σ_t H(O_t)`.
+    pub fn entropy(&self) -> f64 {
+        self.tasks.iter().map(|b| b.entropy()).sum()
+    }
+
+    /// MAP labels for every task, flattened in (task, fact) order.
+    pub fn map_labels(&self) -> Vec<Vec<bool>> {
+        self.tasks.iter().map(|b| b.map_labels()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Table I in the paper.
+    pub(crate) fn table_i_belief() -> Belief {
+        // Bit order: f1 -> bit0, f2 -> bit1, f3 -> bit2.
+        // o1=000, o2=001, o3=010, o4=011, o5=100, o6=101, o7=110, o8=111
+        Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+    }
+
+    #[test]
+    fn table_i_marginals_match_paper_eq_4() {
+        let b = table_i_belief();
+        assert!((b.marginal(FactId(0)) - 0.58).abs() < 1e-12, "P(f1)");
+        assert!((b.marginal(FactId(1)) - 0.63).abs() < 1e-12, "P(f2)");
+        assert!((b.marginal(FactId(2)) - 0.50).abs() < 1e-12, "P(f3)");
+    }
+
+    #[test]
+    fn table_i_facts_are_correlated() {
+        // The paper notes Π P(¬f_i) = 0.0777… ≠ P(o1) = 0.09.
+        let b = table_i_belief();
+        let product: f64 = (0..3)
+            .map(|i| 1.0 - b.marginal(FactId(i)))
+            .product();
+        assert!((product - b.prob(Observation(0))).abs() > 1e-3);
+    }
+
+    #[test]
+    fn uniform_has_max_entropy() {
+        let b = Belief::uniform(4).unwrap();
+        assert!((b.entropy() - 4.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((b.quality() + 4.0 * std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_has_zero_entropy() {
+        let b = Belief::point_mass(3, Observation(5)).unwrap();
+        assert_eq!(b.entropy(), 0.0);
+        assert_eq!(b.map_observation(), Observation(5));
+        assert_eq!(b.map_labels(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn from_probs_validates() {
+        assert!(matches!(
+            Belief::from_probs(vec![0.5, 0.3]),
+            Err(HcError::NotNormalized { .. })
+        ));
+        assert!(matches!(
+            Belief::from_probs(vec![0.5, 0.2, 0.3]),
+            Err(HcError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Belief::from_probs(vec![1.5, -0.5]),
+            Err(HcError::InvalidProbability(_))
+        ));
+        assert!(Belief::from_probs(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_marginals_builds_product_distribution() {
+        let b = Belief::from_marginals(&[0.6, 0.9]).unwrap();
+        // P(00)=0.4*0.1, P(01)=0.6*0.1, P(10)=0.4*0.9, P(11)=0.6*0.9
+        assert!((b.prob(Observation(0)) - 0.04).abs() < 1e-9);
+        assert!((b.prob(Observation(1)) - 0.06).abs() < 1e-9);
+        assert!((b.prob(Observation(2)) - 0.36).abs() < 1e-9);
+        assert!((b.prob(Observation(3)) - 0.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_marginals_clamps_extremes() {
+        let b = Belief::from_marginals(&[1.0, 0.0]).unwrap();
+        // No observation may be exactly zero after clamping.
+        assert!(b.probs().iter().all(|&p| p > 0.0));
+        // But the MAP is still the obvious one: f0 true, f1 false.
+        assert_eq!(b.map_labels(), vec![true, false]);
+    }
+
+    #[test]
+    fn projection_preserves_mass_and_marginals() {
+        let b = table_i_belief();
+        let q = b.project(&[FactId(2), FactId(0)]);
+        assert_eq!(q.len(), 4);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Marginal of f3 (= first projected bit) from q.
+        let p_f3 = q[0b01] + q[0b11];
+        assert!((p_f3 - b.marginal(FactId(2))).abs() < 1e-12);
+        let p_f1 = q[0b10] + q[0b11];
+        assert!((p_f1 - b.marginal(FactId(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_fact_projection_fast_path_matches_marginal() {
+        let b = table_i_belief();
+        for i in 0..3 {
+            let q = b.project(&[FactId(i)]);
+            assert!((q[1] - b.marginal(FactId(i))).abs() < 1e-12);
+            assert!((q[0] + q[1] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_projection_is_total_mass() {
+        let b = table_i_belief();
+        let q = b.project(&[]);
+        assert_eq!(q.len(), 1);
+        assert!((q[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_belief_quality_sums() {
+        let a = Belief::uniform(2).unwrap();
+        let b = Belief::point_mass(2, Observation(1)).unwrap();
+        let mb = MultiBelief::new(vec![a.clone(), b]);
+        assert!((mb.quality() - a.quality()).abs() < 1e-12);
+        assert_eq!(mb.total_facts(), 4);
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn map_tie_breaks_deterministically() {
+        let b = Belief::uniform(2).unwrap();
+        assert_eq!(b.map_observation(), Observation(0));
+    }
+
+    #[test]
+    fn too_many_facts_rejected() {
+        assert!(matches!(
+            Belief::uniform(MAX_FACTS + 1),
+            Err(HcError::TooManyFacts(_))
+        ));
+    }
+
+    #[test]
+    fn conditioning_fixes_the_fact_and_renormalises() {
+        let b = table_i_belief();
+        let cond = b.condition_on_fact(FactId(0), true).unwrap();
+        assert!((cond.marginal(FactId(0)) - 1.0).abs() < 1e-12);
+        assert!((cond.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Conditional of f2 given f1: P(f2, f1) / P(f1) = 0.38 / 0.58.
+        assert!((cond.marginal(FactId(1)) - 0.38 / 0.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_on_impossible_event_errors() {
+        let b = Belief::point_mass(2, Observation(0b01)).unwrap();
+        assert!(b.condition_on_fact(FactId(0), false).is_err());
+        assert!(b.condition_on_fact(FactId(0), true).is_ok());
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let b = table_i_belief();
+        assert!(b.kl_divergence(&b).unwrap().abs() < 1e-12);
+        let u = Belief::uniform(3).unwrap();
+        let kl = b.kl_divergence(&u).unwrap();
+        assert!(kl > 0.0);
+        // D(b || uniform) = log|O| - H(b).
+        assert!((kl - (8f64.ln() - b.entropy())).abs() < 1e-9);
+        // Infinite when the support mismatches.
+        let point = Belief::point_mass(3, Observation(0)).unwrap();
+        assert_eq!(b.kl_divergence(&point).unwrap(), f64::INFINITY);
+        // Dimension check.
+        assert!(b.kl_divergence(&Belief::uniform(2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        let b = table_i_belief();
+        assert_eq!(b.total_variation(&b).unwrap(), 0.0);
+        let point0 = Belief::point_mass(2, Observation(0)).unwrap();
+        let point3 = Belief::point_mass(2, Observation(3)).unwrap();
+        assert!((point0.total_variation(&point3).unwrap() - 1.0).abs() < 1e-12);
+        assert!(b.total_variation(&Belief::uniform(2).unwrap()).is_err());
+    }
+}

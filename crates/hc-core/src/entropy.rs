@@ -1,0 +1,393 @@
+//! Entropy computations behind the checking-task selection objective
+//! (Definition 4, Theorems 1–2 of the paper).
+//!
+//! The paper proves the expected quality improvement of a query set `T` is
+//! `ΔQ(F|T) = H(O) − H(O | AS_CE^T)`, so selection minimises the
+//! conditional entropy of the observations given the answer families.
+//!
+//! Two exact evaluation strategies are provided:
+//!
+//! 1. [`conditional_entropy_naive`] — direct Equation (34): enumerate
+//!    every answer family, compute the posterior over the *full*
+//!    observation space, and average the posterior entropies. Cost
+//!    `O(2^{k·m} · 2^n)`. Kept as the test oracle and ablation baseline.
+//! 2. [`conditional_entropy`] — the fast path used everywhere else,
+//!    combining two exact identities:
+//!    * **Chain rule**: `H(O|AS) = H(AS|O) + H(O) − H(AS)`, where
+//!      `H(AS|O) = |T| · Σ_cr h(Pr_cr)` in closed form because, given the
+//!      ground truth, answers are independent Bernoullis.
+//!    * **Projection**: the likelihood of any answer family depends on
+//!      `o` only through the restriction of `o` to `T`, so `H(AS)` is
+//!      computed from the belief projected onto `T` (`2^k` cells) instead
+//!      of the full `2^n` space.
+//!
+//!    Cost `O(2^n)` for the projection plus `O(2^{k·m} · 2^k · m)` for
+//!    `H(AS)` — independent of `n` beyond the single projection pass.
+
+use crate::answer::enumerate_families;
+use crate::belief::Belief;
+use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::worker::ExpertPanel;
+
+/// Upper bound on `k · |CE|`, the number of bits indexing an answer
+/// family. Beyond this the family space does not fit a dense vector and
+/// the exact objective is hopeless anyway (it is NP-hard; see Theorem 3).
+pub const MAX_FAMILY_BITS: usize = 30;
+
+/// Binary Shannon entropy `h(p) = -p ln p - (1-p) ln(1-p)` in nats.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.ln();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).ln();
+    }
+    h
+}
+
+/// Shannon entropy of an arbitrary (not necessarily normalised to machine
+/// precision) distribution, in nats, with the `0 ln 0 = 0` convention.
+pub fn entropy_of(dist: &[f64]) -> f64 {
+    -dist
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+/// Per-worker likelihood tables for a `k`-query set: `tables[w][a][t]` is
+/// `P(A_w = a | o|T = t)` for answer bitmask `a` and truth bitmask `t`.
+///
+/// Precomputing these (cost `O(m · 4^k · k)`) turns the inner loop of the
+/// family-distribution kernel into pure table lookups.
+fn worker_tables(panel: &ExpertPanel, k: usize) -> Vec<Vec<f64>> {
+    let cells = 1usize << k;
+    let mask = (cells - 1) as u32;
+    panel
+        .workers()
+        .iter()
+        .map(|w| {
+            let acc = w.accuracy.rate();
+            // pow[c] = acc^c (1-acc)^(k-c)
+            let mut pow = vec![0.0; k + 1];
+            for (c, slot) in pow.iter_mut().enumerate() {
+                *slot = acc.powi(c as i32) * (1.0 - acc).powi((k - c) as i32);
+            }
+            let mut table = vec![0.0; cells * cells];
+            for a in 0..cells as u32 {
+                for t in 0..cells as u32 {
+                    let consistent = (!(a ^ t) & mask).count_ones() as usize;
+                    table[(a as usize) * cells + t as usize] = pow[consistent];
+                }
+            }
+            table
+        })
+        .collect()
+}
+
+/// The distribution `P(A_CE^T)` over all `2^{k·m}` answer families, given
+/// the belief *projected* onto the query set (`q[t] = P(o|T = t)`).
+///
+/// Family index packing matches [`enumerate_families`]: worker `w`'s
+/// answer bits occupy bits `[w·k, (w+1)·k)`.
+///
+/// # Errors
+///
+/// [`HcError::TooManyFacts`] when `k · m` exceeds [`MAX_FAMILY_BITS`].
+pub fn family_distribution_projected(q: &[f64], panel: &ExpertPanel) -> Result<Vec<f64>> {
+    debug_assert!(q.len().is_power_of_two());
+    let k = q.len().trailing_zeros() as usize;
+    let m = panel.len();
+    let bits = k * m;
+    if bits > MAX_FAMILY_BITS {
+        return Err(HcError::TooManyFacts(bits));
+    }
+    let cells = q.len();
+    let tables = worker_tables(panel, k);
+    let n_families = 1usize << bits;
+    let mut dist = vec![0.0; n_families];
+    let a_mask = (cells - 1) as u64;
+    for (a_joint, slot) in dist.iter_mut().enumerate() {
+        let mut p = 0.0;
+        for (t, &qt) in q.iter().enumerate() {
+            if qt == 0.0 {
+                continue;
+            }
+            let mut l = qt;
+            for (w, table) in tables.iter().enumerate() {
+                let a_w = ((a_joint as u64 >> (w * k)) & a_mask) as usize;
+                l *= table[a_w * cells + t];
+            }
+            p += l;
+        }
+        *slot = p;
+    }
+    Ok(dist)
+}
+
+/// `H(AS_CE^T)` — the entropy of the answer families (Definition 4) —
+/// computed from the projected belief.
+pub fn answer_family_entropy_projected(q: &[f64], panel: &ExpertPanel) -> Result<f64> {
+    Ok(entropy_of(&family_distribution_projected(q, panel)?))
+}
+
+/// `H(AS_CE^T)` for a belief and query set.
+pub fn answer_family_entropy(belief: &Belief, queries: &[FactId], panel: &ExpertPanel) -> Result<f64> {
+    let q = belief.project(queries);
+    answer_family_entropy_projected(&q, panel)
+}
+
+/// `H(AS_CE^T | O)` — closed form: `|T| · Σ_cr h(Pr_cr)`.
+///
+/// Given the ground truth, each of the `|T|` queries is answered by each
+/// worker as an independent Bernoulli with success probability `Pr_cr`,
+/// so the conditional entropy is additive and observation-independent.
+#[inline]
+pub fn answer_family_entropy_given_obs(k: usize, panel: &ExpertPanel) -> f64 {
+    k as f64 * panel.per_query_answer_entropy()
+}
+
+/// `H(O | AS_CE^T)` — the selection objective (Theorem 2, Equation (34))
+/// — via the chain-rule + projection fast path.
+///
+/// Clamped at zero: the true value is non-negative, and the subtraction
+/// can produce `-1e-16`-scale noise for near-deterministic beliefs.
+pub fn conditional_entropy(belief: &Belief, queries: &[FactId], panel: &ExpertPanel) -> Result<f64> {
+    let q = belief.project(queries);
+    conditional_entropy_projected(&q, belief.entropy(), panel)
+}
+
+/// [`conditional_entropy`] when the caller already has the projected
+/// belief `q` and the prior entropy `H(O)` (greedy selectors reuse both).
+pub fn conditional_entropy_projected(
+    q: &[f64],
+    prior_entropy: f64,
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let k = q.len().trailing_zeros() as usize;
+    let h_as = answer_family_entropy_projected(q, panel)?;
+    let h_as_given_o = answer_family_entropy_given_obs(k, panel);
+    Ok((h_as_given_o + prior_entropy - h_as).max(0.0))
+}
+
+/// `H(O | AS_CE^T)` by direct evaluation of Equation (34): enumerate all
+/// `2^{k·m}` answer families, form each full posterior `P(o | A)`, and
+/// average posterior entropies weighted by `P(A)`.
+///
+/// Exponential in both `k·m` and `n`; retained as the independently-coded
+/// oracle for the fast path (tested to agree to 1e-9) and as the
+/// `ablation_chain_rule` bench baseline.
+pub fn conditional_entropy_naive(
+    belief: &Belief,
+    queries: &[FactId],
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let k = queries.len();
+    let m = panel.len();
+    if k * m > MAX_FAMILY_BITS {
+        return Err(HcError::TooManyFacts(k * m));
+    }
+    let probs = belief.probs();
+    // Precompute each observation's projection once.
+    let projections: Vec<u32> = (0..probs.len())
+        .map(|o| crate::observation::Observation(o as u32).project(queries))
+        .collect();
+    let mut total = 0.0;
+    let mut posterior = vec![0.0; probs.len()];
+    for (_, family) in enumerate_families(k, m) {
+        let mut p_family = 0.0;
+        for (o, &p_o) in probs.iter().enumerate() {
+            let l = crate::answer::family_likelihood_given(panel, &family, projections[o]);
+            posterior[o] = p_o * l;
+            p_family += posterior[o];
+        }
+        if p_family <= 0.0 {
+            continue;
+        }
+        let mut h_post = 0.0;
+        for &joint in &posterior {
+            if joint > 0.0 {
+                let p = joint / p_family;
+                h_post -= p * p.ln();
+            }
+        }
+        total += p_family * h_post;
+    }
+    Ok(total)
+}
+
+/// The *quality gain* of appending fact `f` to the query set `T`
+/// (Equation (35)):
+/// `gain^T(f) = H(O | AS^T) − H(O | AS^{T∪{f}})`.
+///
+/// Computed with the chain rule so only the two `H(AS)` terms are needed:
+/// `gain = [H(AS^{T∪f}) − H(AS^T)] − Σ_cr h(Pr_cr)`.
+pub fn quality_gain(
+    belief: &Belief,
+    current: &[FactId],
+    candidate: FactId,
+    h_as_current: f64,
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let mut extended: Vec<FactId> = Vec::with_capacity(current.len() + 1);
+    extended.extend_from_slice(current);
+    extended.push(candidate);
+    let h_as_new = answer_family_entropy(belief, &extended, panel)?;
+    Ok(h_as_new - h_as_current - panel.per_query_answer_entropy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Belief;
+    use crate::fact::FactId;
+
+    fn table_i_belief() -> Belief {
+        Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+    }
+
+    fn panel(rates: &[f64]) -> ExpertPanel {
+        ExpertPanel::from_accuracies(rates).unwrap()
+    }
+
+    #[test]
+    fn binary_entropy_endpoints_and_peak() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
+        // Symmetry.
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_distribution_normalises() {
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        for facts in [vec![FactId(0)], vec![FactId(0), FactId(2)]] {
+            let q = b.project(&facts);
+            let dist = family_distribution_projected(&q, &p).unwrap();
+            assert_eq!(dist.len(), 1 << (facts.len() * 2));
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} for |T|={}", facts.len());
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_naive_oracle() {
+        let b = table_i_belief();
+        let cases: Vec<(Vec<FactId>, Vec<f64>)> = vec![
+            (vec![FactId(0)], vec![0.9]),
+            (vec![FactId(1)], vec![0.9, 0.75]),
+            (vec![FactId(0), FactId(1)], vec![0.85]),
+            (vec![FactId(0), FactId(2)], vec![0.95, 0.6]),
+            (vec![FactId(0), FactId(1), FactId(2)], vec![0.9, 0.8]),
+        ];
+        for (facts, rates) in cases {
+            let p = panel(&rates);
+            let fast = conditional_entropy(&b, &facts, &p).unwrap();
+            let naive = conditional_entropy_naive(&b, &facts, &p).unwrap();
+            assert!(
+                (fast - naive).abs() < 1e-9,
+                "facts {facts:?} rates {rates:?}: fast {fast} vs naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioning_never_increases_entropy() {
+        // Information never hurts: H(O|AS) <= H(O).
+        let b = table_i_belief();
+        let p = panel(&[0.9]);
+        let h_o = b.entropy();
+        for f in 0..3u32 {
+            let h = conditional_entropy(&b, &[FactId(f)], &p).unwrap();
+            assert!(h <= h_o + 1e-12, "H(O|AS)={h} > H(O)={h_o}");
+        }
+    }
+
+    #[test]
+    fn chance_worker_gives_zero_gain() {
+        // A 0.5-accuracy expert's answers are pure noise: the conditional
+        // entropy equals the prior entropy.
+        let b = table_i_belief();
+        let p = panel(&[0.5]);
+        let h = conditional_entropy(&b, &[FactId(0)], &p).unwrap();
+        assert!((h - b.entropy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_worker_resolves_queried_fact() {
+        // A perfect expert answering about f removes exactly the marginal
+        // entropy contribution of f: H(O|AS) = H(O) - H_b(P(f))... only
+        // when f is independent of the rest; in general it equals
+        // H(O) - I(O; f) = H(O|f).
+        let b = Belief::from_marginals(&[0.7, 0.4]).unwrap();
+        let p = panel(&[1.0]);
+        let h = conditional_entropy(&b, &[FactId(0)], &p).unwrap();
+        let expected = b.entropy() - binary_entropy(b.marginal(FactId(0)));
+        assert!((h - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_set_changes_nothing() {
+        let b = table_i_belief();
+        let p = panel(&[0.9]);
+        let h = conditional_entropy(&b, &[], &p).unwrap();
+        assert!((h - b.entropy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_experts_reduce_conditional_entropy() {
+        let b = table_i_belief();
+        let one = conditional_entropy(&b, &[FactId(0)], &panel(&[0.8])).unwrap();
+        let two = conditional_entropy(&b, &[FactId(0)], &panel(&[0.8, 0.8])).unwrap();
+        assert!(two < one, "second expert must add information");
+    }
+
+    #[test]
+    fn larger_query_sets_reduce_conditional_entropy() {
+        let b = table_i_belief();
+        let p = panel(&[0.85]);
+        let h1 = conditional_entropy(&b, &[FactId(0)], &p).unwrap();
+        let h2 = conditional_entropy(&b, &[FactId(0), FactId(1)], &p).unwrap();
+        assert!(h2 < h1, "monotonicity of information");
+    }
+
+    #[test]
+    fn quality_gain_matches_direct_difference() {
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let current = [FactId(0)];
+        let h_as = answer_family_entropy(&b, &current, &p).unwrap();
+        let gain = quality_gain(&b, &current, FactId(2), h_as, &p).unwrap();
+        let h_t = conditional_entropy(&b, &current, &p).unwrap();
+        let h_tf = conditional_entropy(&b, &[FactId(0), FactId(2)], &p).unwrap();
+        assert!((gain - (h_t - h_tf)).abs() < 1e-9);
+        assert!(gain >= 0.0, "information gain is non-negative");
+    }
+
+    #[test]
+    fn family_bits_limit_enforced() {
+        let b = Belief::uniform(16).unwrap();
+        let p = panel(&[0.9, 0.9, 0.9, 0.9]);
+        let facts: Vec<FactId> = (0..16).map(FactId).collect();
+        // 16 * 4 = 64 bits > MAX_FAMILY_BITS.
+        assert!(matches!(
+            conditional_entropy(&b, &facts, &p),
+            Err(HcError::TooManyFacts(64))
+        ));
+    }
+
+    #[test]
+    fn deterministic_belief_has_zero_conditional_entropy() {
+        let b = Belief::point_mass(3, crate::observation::Observation(5)).unwrap();
+        let p = panel(&[0.9]);
+        let h = conditional_entropy(&b, &[FactId(0)], &p).unwrap();
+        assert!(h.abs() < 1e-12);
+        assert!(h >= 0.0, "clamped at zero");
+    }
+}

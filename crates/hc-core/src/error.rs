@@ -1,0 +1,123 @@
+//! Error types for the hierarchical-crowdsourcing core.
+
+use std::fmt;
+
+/// Errors produced by fallible constructors and algorithms in `hc-core`.
+///
+/// All validation happens at the public API boundary; internal hot paths
+/// rely on the invariants these constructors establish and use
+/// `debug_assert!` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HcError {
+    /// A worker accuracy was outside the model's admissible range.
+    ///
+    /// The error model of §II-A requires every worker to be at least as
+    /// good as a coin flip (`0.5 <= accuracy <= 1.0`); answers from worse
+    /// workers carry no usable signal.
+    InvalidAccuracy(f64),
+    /// A probability was not a finite value in `[0, 1]`.
+    InvalidProbability(f64),
+    /// A probability vector did not sum to (approximately) one.
+    NotNormalized {
+        /// The actual sum of the offending vector.
+        sum: f64,
+    },
+    /// Two inputs that must agree on a dimension did not.
+    DimensionMismatch {
+        /// What was expected by the callee.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+    },
+    /// A fact set exceeded the dense-observation-space limit.
+    ///
+    /// Beliefs are dense vectors of length `2^n`; `n` is capped (see
+    /// [`crate::belief::MAX_FACTS`]) to keep that representation sane.
+    TooManyFacts(usize),
+    /// An operation that needs at least one fact received none.
+    EmptyFactSet,
+    /// An operation that needs at least one worker received an empty crowd.
+    EmptyCrowd,
+    /// A query set contained a duplicate or out-of-range fact.
+    InvalidQuery {
+        /// Index of the offending fact.
+        fact: u32,
+    },
+    /// The exact (brute-force) selector exceeded its wall-clock budget.
+    Timeout,
+    /// The checking budget cannot afford even a single query.
+    BudgetExhausted,
+}
+
+impl fmt::Display for HcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HcError::InvalidAccuracy(a) => {
+                write!(f, "worker accuracy {a} outside [0.5, 1.0]")
+            }
+            HcError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0.0, 1.0] or not finite")
+            }
+            HcError::NotNormalized { sum } => {
+                write!(f, "probability vector sums to {sum}, expected 1.0")
+            }
+            HcError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            HcError::TooManyFacts(n) => {
+                write!(f, "fact set of size {n} exceeds the dense belief limit")
+            }
+            HcError::EmptyFactSet => write!(f, "fact set is empty"),
+            HcError::EmptyCrowd => write!(f, "crowd is empty"),
+            HcError::InvalidQuery { fact } => {
+                write!(f, "query references invalid or duplicate fact {fact}")
+            }
+            HcError::Timeout => write!(f, "selection exceeded its time budget"),
+            HcError::BudgetExhausted => {
+                write!(f, "checking budget cannot afford a single query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HcError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(HcError, &str)> = vec![
+            (HcError::InvalidAccuracy(0.3), "0.3"),
+            (HcError::InvalidProbability(1.5), "1.5"),
+            (HcError::NotNormalized { sum: 0.9 }, "0.9"),
+            (
+                HcError::DimensionMismatch {
+                    expected: 4,
+                    actual: 2,
+                },
+                "expected 4",
+            ),
+            (HcError::TooManyFacts(99), "99"),
+            (HcError::EmptyFactSet, "empty"),
+            (HcError::EmptyCrowd, "empty"),
+            (HcError::InvalidQuery { fact: 7 }, "7"),
+            (HcError::Timeout, "time budget"),
+            (HcError::BudgetExhausted, "budget"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<HcError>();
+    }
+}

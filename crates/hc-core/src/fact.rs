@@ -1,0 +1,145 @@
+//! Facts and fact sets (§II-A).
+//!
+//! A *fact* is a binary proposition "data instance `e` should be labeled
+//! `l`". Both labeling tasks (for preliminary workers) and checking tasks
+//! (for experts) are Yes/No queries about facts, so the fact is the single
+//! unit of work in the whole framework. Multi-label tasks are decomposed
+//! into one fact per candidate label upstream (see `hc-data::group`).
+
+use crate::error::{HcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Index of a fact within a task's [`FactSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// Zero-based index into the owning fact set.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named binary fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fact {
+    /// Index within the owning [`FactSet`].
+    pub id: FactId,
+    /// Human-readable description, e.g. `"tweet #17 is positive"`.
+    pub description: String,
+}
+
+/// An ordered set of correlated binary facts `F = {f_1, …, f_n}` forming
+/// one task's query space.
+///
+/// The joint truth-value distribution over a fact set is the task's
+/// [`crate::belief::Belief`]; the two types always agree on `len()`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactSet {
+    facts: Vec<Fact>,
+}
+
+impl FactSet {
+    /// Builds a fact set from descriptions; ids are assigned sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HcError::EmptyFactSet`] for zero facts and
+    /// [`HcError::TooManyFacts`] beyond the dense-belief limit.
+    pub fn new<S: Into<String>>(descriptions: Vec<S>) -> Result<Self> {
+        if descriptions.is_empty() {
+            return Err(HcError::EmptyFactSet);
+        }
+        if descriptions.len() > crate::belief::MAX_FACTS {
+            return Err(HcError::TooManyFacts(descriptions.len()));
+        }
+        let facts = descriptions
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Fact {
+                id: FactId(i as u32),
+                description: d.into(),
+            })
+            .collect();
+        Ok(FactSet { facts })
+    }
+
+    /// A fact set with `n` anonymous facts (`f_0 … f_{n-1}`), convenient
+    /// for synthetic workloads and tests.
+    pub fn anonymous(n: usize) -> Result<Self> {
+        FactSet::new((0..n).map(|i| format!("f{i}")).collect())
+    }
+
+    /// Number of facts `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The facts in id order.
+    #[inline]
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Looks up a fact by id.
+    pub fn get(&self, id: FactId) -> Option<&Fact> {
+        self.facts.get(id.index())
+    }
+
+    /// Iterator over all fact ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len() as u32).map(FactId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ids() {
+        let fs = FactSet::new(vec!["a", "b", "c"]).unwrap();
+        assert_eq!(fs.len(), 3);
+        let ids: Vec<u32> = fs.ids().map(|f| f.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(fs.get(FactId(1)).unwrap().description, "b");
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            FactSet::new(Vec::<String>::new()),
+            Err(HcError::EmptyFactSet)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let descriptions: Vec<String> = (0..100).map(|i| format!("f{i}")).collect();
+        assert!(matches!(
+            FactSet::new(descriptions),
+            Err(HcError::TooManyFacts(100))
+        ));
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let fs = FactSet::anonymous(2).unwrap();
+        assert_eq!(fs.facts()[0].description, "f0");
+        assert_eq!(fs.facts()[1].description, "f1");
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let fs = FactSet::anonymous(2).unwrap();
+        assert!(fs.get(FactId(2)).is_none());
+    }
+}

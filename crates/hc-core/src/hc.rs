@@ -1,0 +1,801 @@
+//! The hierarchical-crowdsourcing loop (Algorithms 1 and 3 of the paper)
+//! and the §III-D extensions (per-worker costs, multi-tier crowds).
+//!
+//! Given an initial belief state (from preliminary workers), the loop
+//! repeatedly: selects a query set with a [`TaskSelector`], sends it to
+//! every expert in the panel, updates the beliefs with the collected
+//! answer family (Bayes), and charges the checking budget — until the
+//! budget cannot afford another round or no query offers positive gain.
+
+use crate::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use crate::belief::MultiBelief;
+use crate::error::Result;
+use crate::fact::FactId;
+use crate::selection::{GlobalFact, TaskSelector};
+use crate::update::update_with_family;
+use crate::worker::{ExpertPanel, Worker};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Source of expert answers during checking.
+///
+/// In a live deployment this is the crowdsourcing platform; in the
+/// experiments it is a simulator (`hc-sim`) replaying recorded answers or
+/// sampling from the worker error model against a hidden ground truth.
+pub trait AnswerOracle {
+    /// The worker's Yes/No answer to "is `fact` true?".
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer;
+}
+
+/// Pricing of expert answers (the cost-aware extension of §III-D).
+pub trait CostModel: Send + Sync {
+    /// Cost charged for one answer from `worker`.
+    fn cost(&self, worker: &Worker) -> u64;
+}
+
+/// The paper's base model: every expert answer costs one budget unit, so
+/// a round of `|T|` queries costs `|T| · |CE|` (Algorithm 3, line 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn cost(&self, _worker: &Worker) -> u64 {
+        1
+    }
+}
+
+/// Accuracy-proportional pricing: more accurate experts cost more, as
+/// proposed in §III-D ("the cost is related to his/her accuracy rate").
+///
+/// `cost = base + round(scale · (accuracy − 0.5) / 0.5)` — a chance-level
+/// worker costs `base`, a perfect worker `base + scale`.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyCost {
+    /// Cost of a chance-level answer.
+    pub base: u64,
+    /// Extra cost of a perfect answer over a chance-level one.
+    pub scale: u64,
+}
+
+impl CostModel for AccuracyCost {
+    fn cost(&self, worker: &Worker) -> u64 {
+        let premium = (worker.accuracy.rate() - 0.5) / 0.5;
+        self.base + (self.scale as f64 * premium).round() as u64
+    }
+}
+
+/// Whether a fact may be re-selected for checking in later rounds.
+///
+/// Algorithm 2 as written selects over all of `F` every round. In the
+/// offline-replay evaluation (§IV-A) re-asking an expert the same
+/// question returns the identical recorded answer, so when two experts
+/// of near-equal accuracy disagree on a fact, its posterior barely moves
+/// and unrestricted re-selection can burn the whole budget on that one
+/// fact. [`RepeatPolicy::CycleThenRepeat`] therefore checks each fact at
+/// most once per *cycle*, resetting eligibility once every fact has been
+/// checked — which also reproduces the paper's observation that at high
+/// budget "a few queries with wrong answers from the experts are
+/// repeatedly selected for updates" (§IV-C(2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RepeatPolicy {
+    /// The literal Algorithm 2: every fact is a candidate every round.
+    Unrestricted,
+    /// Facts become ineligible once checked; eligibility resets when the
+    /// whole query space has been checked. The default.
+    #[default]
+    CycleThenRepeat,
+}
+
+/// How the per-round query count evolves over the run — the §III-D
+/// trade-off ("the smaller the k is, the more precise the crowdsourced
+/// answers are, meanwhile the more time-consuming the crowdsourcing
+/// process is") turned into a schedule instead of a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum KSchedule {
+    /// Always use `HcConfig::k` (the paper's Algorithms 1–3).
+    #[default]
+    Fixed,
+    /// Interpolate linearly from `HcConfig::k` at the start down to
+    /// `end` when the budget runs out: large cheap batches early, fine
+    /// single-query rounds late.
+    LinearDecay {
+        /// The query count approached as the budget depletes (≥ 1).
+        end: usize,
+    },
+    /// Scale `k` with the remaining uncertainty: one query per
+    /// `nats_per_query` nats of total belief entropy, capped at `max`.
+    /// Uncertain early rounds batch aggressively; near-resolved states
+    /// fall back to careful single queries.
+    EntropyAdaptive {
+        /// Nats of dataset entropy per selected query.
+        nats_per_query: f64,
+        /// Upper bound on the adaptive `k`.
+        max: usize,
+    },
+}
+
+impl KSchedule {
+    /// The query count for the upcoming round.
+    pub fn round_k(
+        self,
+        base_k: usize,
+        spent: u64,
+        budget: u64,
+        beliefs: &MultiBelief,
+    ) -> usize {
+        match self {
+            KSchedule::Fixed => base_k,
+            KSchedule::LinearDecay { end } => {
+                let end = end.max(1);
+                if budget == 0 || base_k <= end {
+                    return base_k.max(1);
+                }
+                let frac = spent as f64 / budget as f64;
+                let k = base_k as f64 - (base_k - end) as f64 * frac;
+                (k.round() as usize).clamp(end, base_k)
+            }
+            KSchedule::EntropyAdaptive {
+                nats_per_query,
+                max,
+            } => {
+                debug_assert!(nats_per_query > 0.0);
+                let k = (beliefs.entropy() / nats_per_query).ceil() as usize;
+                k.clamp(1, max.max(1))
+            }
+        }
+    }
+}
+
+/// Configuration of the checking loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HcConfig {
+    /// Queries selected per round (`k` of Algorithm 2). Trade-off
+    /// discussed in §III-D and measured in Figure 3.
+    pub k: usize,
+    /// Total checking budget `B`, in cost units (= expert answers under
+    /// [`UnitCost`]).
+    pub budget: u64,
+    /// Optional hard cap on rounds (safety valve for degenerate
+    /// configurations; `None` reproduces the paper's loop exactly).
+    pub max_rounds: Option<usize>,
+    /// Re-selection policy (see [`RepeatPolicy`]).
+    pub repeat_policy: RepeatPolicy,
+    /// Per-round query-count schedule (see [`KSchedule`]).
+    #[serde(default)]
+    pub k_schedule: KSchedule,
+}
+
+impl HcConfig {
+    /// `k` queries per round with budget `B`, no round cap, and the
+    /// default cycle-then-repeat policy.
+    pub fn new(k: usize, budget: u64) -> Self {
+        HcConfig {
+            k,
+            budget,
+            max_rounds: None,
+            repeat_policy: RepeatPolicy::default(),
+            k_schedule: KSchedule::default(),
+        }
+    }
+}
+
+/// What happened in one checking round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number, starting at 1.
+    pub round: usize,
+    /// The queries selected this round.
+    pub queries: Vec<GlobalFact>,
+    /// Cumulative budget spent *after* this round.
+    pub budget_spent: u64,
+    /// Dataset quality `Q = -Σ_t H(O_t)` after this round's update.
+    pub quality: f64,
+}
+
+/// Result of a complete HC run.
+#[derive(Debug, Clone)]
+pub struct HcOutcome {
+    /// Final belief state.
+    pub beliefs: MultiBelief,
+    /// Per-round trace.
+    pub rounds: Vec<RoundRecord>,
+    /// Total budget spent.
+    pub budget_spent: u64,
+}
+
+impl HcOutcome {
+    /// Final MAP labels per task (Equation (20)).
+    pub fn labels(&self) -> Vec<Vec<bool>> {
+        self.beliefs.map_labels()
+    }
+
+    /// Final dataset quality.
+    pub fn quality(&self) -> f64 {
+        self.beliefs.quality()
+    }
+}
+
+/// Runs Algorithm 3 (or Algorithm 1, when `selector` is the exact one).
+///
+/// See [`run_hc_with_observer`] for a per-round callback variant.
+pub fn run_hc(
+    beliefs: MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    config: &HcConfig,
+    rng: &mut dyn RngCore,
+) -> Result<HcOutcome> {
+    run_hc_with_observer(beliefs, panel, selector, oracle, config, rng, |_, _| {})
+}
+
+/// [`run_hc`] with an observer invoked after every round's belief update
+/// — the hook experiments use to record accuracy-vs-budget curves.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hc_with_observer(
+    mut beliefs: MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    config: &HcConfig,
+    rng: &mut dyn RngCore,
+    mut observer: impl FnMut(&MultiBelief, &RoundRecord),
+) -> Result<HcOutcome> {
+    run_hc_costed(
+        &mut beliefs,
+        panel,
+        selector,
+        oracle,
+        config,
+        &UnitCost,
+        rng,
+        &mut observer,
+    )
+    .map(|(rounds, spent)| HcOutcome {
+        beliefs,
+        rounds,
+        budget_spent: spent,
+    })
+}
+
+/// The full loop with an explicit [`CostModel`] (§III-D extension).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hc_costed(
+    beliefs: &mut MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    config: &HcConfig,
+    costs: &dyn CostModel,
+    rng: &mut dyn RngCore,
+    observer: &mut dyn FnMut(&MultiBelief, &RoundRecord),
+) -> Result<(Vec<RoundRecord>, u64)> {
+    if panel.is_empty() {
+        return Err(crate::error::HcError::EmptyCrowd);
+    }
+    // Cost of asking the whole panel one query.
+    let panel_cost: u64 = panel.workers().iter().map(|w| costs.cost(w)).sum();
+    let mut remaining = config.budget;
+    let mut spent: u64 = 0;
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut round = 0usize;
+    let all_facts = crate::selection::global_facts(beliefs);
+    // Facts checked in the current cycle (CycleThenRepeat policy).
+    let mut checked: Vec<bool> = vec![false; all_facts.len()];
+    let mut checked_count = 0usize;
+
+    loop {
+        if let Some(cap) = config.max_rounds {
+            if round >= cap {
+                break;
+            }
+        }
+        // Algorithm 2 caps |T| at min(k, affordable queries); the
+        // schedule may shrink or grow the base k first (§III-D).
+        let round_k = config
+            .k_schedule
+            .round_k(config.k, spent, config.budget, beliefs);
+        let affordable = (remaining / panel_cost) as usize;
+        let k_eff = round_k.min(affordable);
+        if k_eff == 0 {
+            break; // Budget exhausted (Algorithm 3, line 8).
+        }
+        // Eligible candidates under the repeat policy.
+        if config.repeat_policy == RepeatPolicy::CycleThenRepeat
+            && checked_count == all_facts.len()
+        {
+            checked.fill(false);
+            checked_count = 0;
+        }
+        let candidates: Vec<crate::selection::GlobalFact> =
+            if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
+                all_facts
+                    .iter()
+                    .zip(&checked)
+                    .filter(|(_, &c)| !c)
+                    .map(|(&gf, _)| gf)
+                    .collect()
+            } else {
+                all_facts.clone()
+            };
+        let queries = selector.select(beliefs, panel, k_eff, &candidates, rng)?;
+        if queries.is_empty() {
+            break; // No positive-gain candidate left (Algorithm 2, line 4).
+        }
+        if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
+            for q in &queries {
+                let idx = all_facts
+                    .iter()
+                    .position(|gf| gf == q)
+                    .expect("selector returns candidates");
+                if !checked[idx] {
+                    checked[idx] = true;
+                    checked_count += 1;
+                }
+            }
+        }
+        round += 1;
+
+        // Collect the answer family and update, task by task.
+        apply_round(beliefs, panel, &queries, oracle)?;
+
+        let cost = queries.len() as u64 * panel_cost;
+        remaining -= cost;
+        spent += cost;
+        let record = RoundRecord {
+            round,
+            queries,
+            budget_spent: spent,
+            quality: beliefs.quality(),
+        };
+        observer(beliefs, &record);
+        rounds.push(record);
+    }
+    Ok((rounds, spent))
+}
+
+/// Sends `queries` to every expert, groups answers per task, and applies
+/// the Bayes update (Equation (23)) — one round's lines 5–6 of
+/// Algorithm 3.
+pub fn apply_round(
+    beliefs: &mut MultiBelief,
+    panel: &ExpertPanel,
+    queries: &[GlobalFact],
+    oracle: &mut dyn AnswerOracle,
+) -> Result<()> {
+    // Group query facts per task, preserving order.
+    let mut per_task: Vec<(usize, Vec<FactId>)> = Vec::new();
+    for gf in queries {
+        match per_task.iter_mut().find(|(t, _)| *t == gf.task) {
+            Some((_, facts)) => facts.push(gf.fact),
+            None => per_task.push((gf.task, vec![gf.fact])),
+        }
+    }
+    for (task, facts) in per_task {
+        let num_facts = beliefs.tasks()[task].num_facts();
+        let query_set = QuerySet::new(facts.clone(), num_facts)?;
+        let sets: Vec<AnswerSet> = panel
+            .workers()
+            .iter()
+            .map(|w| {
+                let answers: Vec<Answer> = facts
+                    .iter()
+                    .map(|&f| oracle.answer(w, GlobalFact { task, fact: f }))
+                    .collect();
+                AnswerSet::new(&answers)
+            })
+            .collect();
+        let family = AnswerFamily::new(sets);
+        update_with_family(&mut beliefs.tasks_mut()[task], &query_set, panel, &family)?;
+    }
+    Ok(())
+}
+
+/// Sequential multi-tier checking (§III-D): the belief is checked by each
+/// tier's panel in turn, each with its own budget share.
+///
+/// For single-expert tiers this is provably equivalent to merging all
+/// tiers into one panel (the special case the paper cites from \[24\]);
+/// `tests/multi_tier.rs` exercises that equivalence.
+pub fn run_multi_tier(
+    mut beliefs: MultiBelief,
+    tiers: &[(ExpertPanel, u64)],
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    k: usize,
+    rng: &mut dyn RngCore,
+) -> Result<HcOutcome> {
+    let mut all_rounds = Vec::new();
+    let mut total_spent = 0;
+    for (panel, budget) in tiers {
+        let config = HcConfig::new(k, *budget);
+        let mut observer = |_: &MultiBelief, _: &RoundRecord| {};
+        let (mut rounds, spent) = run_hc_costed(
+            &mut beliefs,
+            panel,
+            selector,
+            oracle,
+            &config,
+            &UnitCost,
+            rng,
+            &mut observer,
+        )?;
+        for r in &mut rounds {
+            r.budget_spent += total_spent;
+        }
+        total_spent += spent;
+        all_rounds.extend(rounds);
+    }
+    Ok(HcOutcome {
+        beliefs,
+        rounds: all_rounds,
+        budget_spent: total_spent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Belief;
+    use crate::selection::GreedySelector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Oracle that always answers according to a fixed ground truth.
+    struct TruthfulOracle {
+        truths: Vec<Vec<bool>>,
+    }
+
+    impl AnswerOracle for TruthfulOracle {
+        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
+            Answer::from_bool(self.truths[fact.task][fact.fact.index()])
+        }
+    }
+
+    /// Oracle that always lies.
+    struct LyingOracle {
+        truths: Vec<Vec<bool>>,
+    }
+
+    impl AnswerOracle for LyingOracle {
+        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
+            Answer::from_bool(!self.truths[fact.task][fact.fact.index()])
+        }
+    }
+
+    fn setup() -> (MultiBelief, ExpertPanel, Vec<Vec<bool>>) {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_marginals(&[0.6, 0.45, 0.7]).unwrap(),
+            Belief::from_marginals(&[0.55, 0.52]).unwrap(),
+        ]);
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.85]).unwrap();
+        let truths = vec![vec![true, false, true], vec![false, true]];
+        (beliefs, panel, truths)
+    }
+
+    #[test]
+    fn loop_improves_quality_and_respects_budget() {
+        let (beliefs, panel, truths) = setup();
+        let q0 = beliefs.quality();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 10),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(outcome.quality() > q0, "checking must improve quality");
+        assert!(outcome.budget_spent <= 10);
+        // Each round of k=1 with 2 experts costs 2.
+        assert!(outcome.rounds.iter().all(|r| r.budget_spent % 2 == 0));
+    }
+
+    #[test]
+    fn truthful_experts_recover_ground_truth() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle {
+            truths: truths.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, 200),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.labels(), truths);
+    }
+
+    #[test]
+    fn budget_zero_runs_no_rounds() {
+        let (beliefs, panel, truths) = setup();
+        let before = beliefs.clone();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 0),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(outcome.rounds.is_empty());
+        assert_eq!(outcome.budget_spent, 0);
+        assert_eq!(outcome.beliefs, before);
+    }
+
+    #[test]
+    fn budget_smaller_than_panel_cost_runs_no_rounds() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(3);
+        // Panel of 2, budget 1: cannot afford a single query.
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 1),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(outcome.rounds.is_empty());
+    }
+
+    #[test]
+    fn k_is_clamped_to_affordable_queries() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(4);
+        // Budget 6 with |CE|=2 affords 3 answersets; k=5 must clamp to 3.
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(5, 6),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.rounds[0].queries.len(), 3);
+        assert_eq!(outcome.budget_spent, 6);
+    }
+
+    #[test]
+    fn max_rounds_caps_the_loop() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut config = HcConfig::new(1, 1_000);
+        config.max_rounds = Some(3);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(outcome.rounds.len() <= 3);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = Vec::new();
+        let outcome = run_hc_with_observer(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 8),
+            &mut rng,
+            |_, rec| seen.push(rec.round),
+        )
+        .unwrap();
+        assert_eq!(seen.len(), outcome.rounds.len());
+        assert_eq!(seen, (1..=seen.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_panel_is_an_error() {
+        let (beliefs, _, truths) = setup();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(7);
+        let res = run_hc(
+            beliefs,
+            &ExpertPanel::new(vec![]),
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 10),
+            &mut rng,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn accuracy_cost_charges_premium() {
+        let cheap = Worker::new(0, 0.5).unwrap();
+        let pricey = Worker::new(1, 1.0).unwrap();
+        let model = AccuracyCost { base: 2, scale: 10 };
+        assert_eq!(model.cost(&cheap), 2);
+        assert_eq!(model.cost(&pricey), 12);
+    }
+
+    #[test]
+    fn costed_loop_consumes_budget_faster_with_expensive_experts() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = TruthfulOracle {
+            truths: truths.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = HcConfig::new(1, 20);
+        let mut b1 = beliefs.clone();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let (unit_rounds, _) = run_hc_costed(
+            &mut b1,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &UnitCost,
+            &mut rng,
+            &mut obs,
+        )
+        .unwrap();
+        let mut oracle2 = TruthfulOracle { truths };
+        let mut b2 = beliefs.clone();
+        let (costed_rounds, _) = run_hc_costed(
+            &mut b2,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle2,
+            &config,
+            &AccuracyCost { base: 1, scale: 4 },
+            &mut rng,
+            &mut obs,
+        )
+        .unwrap();
+        assert!(costed_rounds.len() < unit_rounds.len());
+    }
+
+    #[test]
+    fn lying_experts_hurt_but_do_not_crash() {
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = LyingOracle {
+            truths: truths.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 30),
+            &mut rng,
+        )
+        .unwrap();
+        // Labels should be mostly wrong, but the loop must stay well-formed.
+        for belief in outcome.beliefs.tasks() {
+            assert!((belief.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let flat_labels: Vec<bool> = outcome.labels().concat();
+        let flat_truth: Vec<bool> = truths.concat();
+        let correct = flat_labels
+            .iter()
+            .zip(&flat_truth)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct < flat_truth.len(), "liars should flip some labels");
+    }
+
+    #[test]
+    fn k_schedule_fixed_returns_base() {
+        let beliefs = MultiBelief::new(vec![Belief::uniform(3).unwrap()]);
+        assert_eq!(KSchedule::Fixed.round_k(4, 10, 100, &beliefs), 4);
+    }
+
+    #[test]
+    fn k_schedule_linear_decay_interpolates() {
+        let beliefs = MultiBelief::new(vec![Belief::uniform(3).unwrap()]);
+        let sched = KSchedule::LinearDecay { end: 1 };
+        assert_eq!(sched.round_k(5, 0, 100, &beliefs), 5);
+        assert_eq!(sched.round_k(5, 50, 100, &beliefs), 3);
+        assert_eq!(sched.round_k(5, 100, 100, &beliefs), 1);
+        // Degenerate budget and end >= base.
+        assert_eq!(sched.round_k(5, 0, 0, &beliefs), 5);
+        assert_eq!(KSchedule::LinearDecay { end: 7 }.round_k(5, 50, 100, &beliefs), 5);
+    }
+
+    #[test]
+    fn k_schedule_entropy_adaptive_tracks_uncertainty() {
+        let uncertain = MultiBelief::new(vec![Belief::uniform(4).unwrap()]);
+        let certain = MultiBelief::new(vec![Belief::point_mass(
+            4,
+            crate::observation::Observation(3),
+        )
+        .unwrap()]);
+        let sched = KSchedule::EntropyAdaptive {
+            nats_per_query: 1.0,
+            max: 3,
+        };
+        assert_eq!(sched.round_k(1, 0, 100, &uncertain), 3, "capped at max");
+        assert_eq!(sched.round_k(1, 0, 100, &certain), 1, "floor of 1");
+    }
+
+    #[test]
+    fn scheduled_loop_uses_fewer_rounds_with_decay() {
+        let (beliefs, panel, truths) = setup();
+        let run = |schedule: KSchedule| {
+            let mut oracle = TruthfulOracle {
+                truths: truths.clone(),
+            };
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut config = HcConfig::new(3, 20);
+            config.k_schedule = schedule;
+            run_hc(
+                beliefs.clone(),
+                &panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &config,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let decayed = run(KSchedule::LinearDecay { end: 1 });
+        let fixed_k1 = {
+            let mut oracle = TruthfulOracle {
+                truths: truths.clone(),
+            };
+            let mut rng = StdRng::seed_from_u64(21);
+            run_hc(
+                beliefs.clone(),
+                &panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &HcConfig::new(1, 20),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        // Decay starts with k=3 batches, so it needs fewer rounds than
+        // constant k=1 at the same budget.
+        assert!(decayed.rounds.len() < fixed_k1.rounds.len());
+    }
+
+    #[test]
+    fn multi_tier_runs_each_tier() {
+        let (beliefs, _, truths) = setup();
+        let tier1 = ExpertPanel::from_accuracies(&[0.85]).unwrap();
+        let tier2 = ExpertPanel::from_accuracies(&[0.97]).unwrap();
+        let mut oracle = TruthfulOracle { truths };
+        let mut rng = StdRng::seed_from_u64(10);
+        let outcome = run_multi_tier(
+            beliefs,
+            &[(tier1, 4), (tier2, 4)],
+            &GreedySelector::new(),
+            &mut oracle,
+            1,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.budget_spent, 8);
+        // budget_spent in the trace is cumulative across tiers.
+        let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
+        assert!(spends.windows(2).all(|w| w[0] < w[1]));
+    }
+}

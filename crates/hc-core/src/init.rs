@@ -1,0 +1,186 @@
+//! Belief initialisation from preliminary-worker labels (§III-A,
+//! Equations (15)–(16)).
+//!
+//! The initial belief can come from plain vote fractions (Equation (15)),
+//! from any external aggregator's per-fact posteriors (the paper
+//! initialises with EBCC in §IV-A), or be uniform (the NO-HC ablation).
+
+use crate::answer::Answer;
+use crate::belief::Belief;
+use crate::error::{HcError, Result};
+
+/// Raw votes of preliminary workers for one task: `votes[f][w]` is worker
+/// `w`'s Yes/No answer to fact `f`. Workers may differ per fact (ragged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteTable {
+    votes: Vec<Vec<Answer>>,
+}
+
+impl VoteTable {
+    /// Wraps per-fact vote lists.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::EmptyFactSet`] when there are no facts;
+    /// [`HcError::EmptyCrowd`] when some fact received no votes.
+    pub fn new(votes: Vec<Vec<Answer>>) -> Result<Self> {
+        if votes.is_empty() {
+            return Err(HcError::EmptyFactSet);
+        }
+        if votes.iter().any(|v| v.is_empty()) {
+            return Err(HcError::EmptyCrowd);
+        }
+        Ok(VoteTable { votes })
+    }
+
+    /// Number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Fraction of Yes votes per fact — the `ob(o, f)` terms of
+    /// Equation (16).
+    pub fn yes_fractions(&self) -> Vec<f64> {
+        self.votes
+            .iter()
+            .map(|v| {
+                let yes = v.iter().filter(|a| a.as_bool()).count();
+                yes as f64 / v.len() as f64
+            })
+            .collect()
+    }
+}
+
+/// Equation (15): the product-form belief whose per-fact marginals are the
+/// CP crowd's Yes-vote fractions.
+///
+/// Fractions of exactly 0 or 1 are softened by [`Belief::from_marginals`]
+/// so no observation starts with zero probability.
+pub fn init_from_votes(votes: &VoteTable) -> Result<Belief> {
+    Belief::from_marginals(&votes.yes_fractions())
+}
+
+/// Initialisation from arbitrary per-fact truth probabilities — the hook
+/// for probability-based aggregators (EBCC, DS, …): pass their posterior
+/// `P(f is true)` per fact.
+pub fn init_from_marginals(marginals: &[f64]) -> Result<Belief> {
+    Belief::from_marginals(marginals)
+}
+
+/// Weighted majority initialisation: votes weighted by worker accuracy,
+/// producing marginal `Σ_yes w_i / Σ w_i` per fact. A common variant the
+/// paper mentions alongside plain majority voting.
+pub fn init_from_weighted_votes(votes: &[Vec<(Answer, f64)>]) -> Result<Belief> {
+    if votes.is_empty() {
+        return Err(HcError::EmptyFactSet);
+    }
+    let mut marginals = Vec::with_capacity(votes.len());
+    for fact_votes in votes {
+        if fact_votes.is_empty() {
+            return Err(HcError::EmptyCrowd);
+        }
+        let mut yes = 0.0;
+        let mut total = 0.0;
+        for &(a, w) in fact_votes {
+            if !w.is_finite() || w < 0.0 {
+                return Err(HcError::InvalidProbability(w));
+            }
+            total += w;
+            if a.as_bool() {
+                yes += w;
+            }
+        }
+        if total <= 0.0 {
+            return Err(HcError::InvalidProbability(total));
+        }
+        marginals.push(yes / total);
+    }
+    Belief::from_marginals(&marginals)
+}
+
+/// The uniform initialisation used by the NO-HC baseline of §IV-C(5).
+pub fn init_uniform(num_facts: usize) -> Result<Belief> {
+    Belief::uniform(num_facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::FactId;
+
+    fn votes(yes_counts: &[(usize, usize)]) -> VoteTable {
+        // (yes, total) per fact.
+        VoteTable::new(
+            yes_counts
+                .iter()
+                .map(|&(yes, total)| {
+                    (0..total)
+                        .map(|i| Answer::from_bool(i < yes))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vote_fractions_match_counts() {
+        let table = votes(&[(3, 4), (1, 4)]);
+        let fr = table.yes_fractions();
+        assert!((fr[0] - 0.75).abs() < 1e-12);
+        assert!((fr[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_15_init_has_vote_marginals() {
+        let table = votes(&[(3, 4), (1, 4), (2, 4)]);
+        let belief = init_from_votes(&table).unwrap();
+        assert!((belief.marginal(FactId(0)) - 0.75).abs() < 1e-9);
+        assert!((belief.marginal(FactId(1)) - 0.25).abs() < 1e-9);
+        assert!((belief.marginal(FactId(2)) - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unanimous_votes_are_softened() {
+        let table = votes(&[(4, 4), (0, 4)]);
+        let belief = init_from_votes(&table).unwrap();
+        assert!(belief.probs().iter().all(|&p| p > 0.0));
+        assert_eq!(belief.map_labels(), vec![true, false]);
+    }
+
+    #[test]
+    fn weighted_votes_respect_weights() {
+        // One accurate Yes (0.9) vs two weak No (0.55 each):
+        // marginal = 0.9 / 2.0 = 0.45.
+        let belief = init_from_weighted_votes(&[vec![
+            (Answer::Yes, 0.9),
+            (Answer::No, 0.55),
+            (Answer::No, 0.55),
+        ]])
+        .unwrap();
+        assert!((belief.marginal(FactId(0)) - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_votes_reject_bad_weights() {
+        assert!(init_from_weighted_votes(&[vec![(Answer::Yes, -1.0)]]).is_err());
+        assert!(init_from_weighted_votes(&[vec![(Answer::Yes, f64::NAN)]]).is_err());
+        assert!(init_from_weighted_votes(&[vec![]]).is_err());
+        assert!(init_from_weighted_votes(&[]).is_err());
+    }
+
+    #[test]
+    fn vote_table_validation() {
+        assert!(matches!(VoteTable::new(vec![]), Err(HcError::EmptyFactSet)));
+        assert!(matches!(
+            VoteTable::new(vec![vec![Answer::Yes], vec![]]),
+            Err(HcError::EmptyCrowd)
+        ));
+    }
+
+    #[test]
+    fn uniform_init_matches_belief_uniform() {
+        let b = init_uniform(3).unwrap();
+        assert_eq!(b, Belief::uniform(3).unwrap());
+    }
+}

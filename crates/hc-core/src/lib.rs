@@ -1,0 +1,95 @@
+//! # hc-core — Hierarchical Crowdsourcing for Data Labeling
+//!
+//! Core library reproducing *"Hierarchical Crowdsourcing for Data
+//! Labeling with Heterogeneous Crowd"* (ICDE 2023).
+//!
+//! A crowd of imperfect workers is split at an accuracy threshold θ into
+//! *preliminary* workers (who produce the initial noisy labels) and
+//! *expert* workers (who repeatedly *check* selected labels). The state
+//! of knowledge about each task's `n` correlated binary facts is a
+//! [`belief::Belief`] — a joint distribution over all `2^n`
+//! truth-value [`observation::Observation`]s — initialised from the
+//! preliminary answers ([`init`]) and refined by Bayesian updates from
+//! expert answers ([`update`]).
+//!
+//! The core optimisation — which `k` facts to send for checking each
+//! round — maximises the expected quality improvement, which the paper
+//! proves equals minimising the conditional entropy
+//! `H(O | AS_CE^T)` ([`entropy`]) and is NP-hard. The [`selection`]
+//! module provides the greedy `(1 − 1/e)`-approximation (Algorithm 2),
+//! the brute-force optimum, and the baseline selectors; [`hc`] runs the
+//! full budgeted loop (Algorithm 3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hc_core::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Table I of the paper: three correlated facts.
+//! let belief = Belief::from_probs(
+//!     vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18],
+//! ).unwrap();
+//! let beliefs = MultiBelief::new(vec![belief]);
+//!
+//! // Two expert checkers.
+//! let panel = ExpertPanel::from_accuracies(&[0.92, 0.9]).unwrap();
+//!
+//! // Greedily pick the two most informative checking queries.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let selector = GreedySelector::new();
+//! let candidates = hc_core::selection::global_facts(&beliefs);
+//! let queries = selector
+//!     .select(&beliefs, &panel, 2, &candidates, &mut rng)
+//!     .unwrap();
+//! assert_eq!(queries.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod belief;
+pub mod entropy;
+pub mod error;
+pub mod fact;
+pub mod hc;
+pub mod init;
+pub mod metrics;
+pub mod observation;
+pub mod quality;
+pub mod selection;
+pub mod update;
+pub mod worker;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+    pub use crate::belief::{Belief, MultiBelief};
+    pub use crate::error::{HcError, Result};
+    pub use crate::fact::{Fact, FactId, FactSet};
+    pub use crate::hc::{
+        run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig,
+        HcOutcome, KSchedule, RepeatPolicy, RoundRecord, UnitCost,
+    };
+    pub use crate::observation::{Observation, ObservationSpace};
+    pub use crate::selection::{
+        BeamSelector, ExactSelector, GlobalFact, GreedySelector, MaxEntropySelector,
+        RandomSelector, TaskSelector,
+    };
+    pub use crate::worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};
+}
+
+pub use answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+pub use belief::{Belief, MultiBelief};
+pub use error::{HcError, Result};
+pub use fact::{Fact, FactId, FactSet};
+pub use hc::{
+    run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig, HcOutcome,
+    KSchedule, RepeatPolicy, RoundRecord, UnitCost,
+};
+pub use observation::{Observation, ObservationSpace};
+pub use selection::{
+    BeamSelector, ExactSelector, GlobalFact, GreedySelector, MaxEntropySelector, RandomSelector,
+    TaskSelector,
+};
+pub use worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};

@@ -1,0 +1,224 @@
+//! Evaluation metrics beyond the paper's accuracy/quality pair.
+//!
+//! The paper scores labeled data by accuracy (MAP labels vs ground
+//! truth) and quality (negative entropy). Downstream users of a
+//! *probabilistic* label set also care how well the belief's marginals
+//! are calibrated; this module adds the standard proper scoring rules
+//! (Brier, log loss) and an expected-calibration-error estimate, all
+//! over per-fact marginals against boolean ground truth.
+
+use crate::belief::MultiBelief;
+
+/// Flattens the per-fact marginals of every task, in (task, fact) order.
+pub fn flat_marginals(beliefs: &MultiBelief) -> Vec<f64> {
+    beliefs
+        .tasks()
+        .iter()
+        .flat_map(|b| b.marginals())
+        .collect()
+}
+
+/// Brier score: mean squared error of the marginals against the 0/1
+/// truth. Lower is better; 0 is perfect, 0.25 is the score of constant
+/// 0.5 predictions.
+pub fn brier_score(marginals: &[f64], truth: &[bool]) -> f64 {
+    debug_assert_eq!(marginals.len(), truth.len());
+    if marginals.is_empty() {
+        return 0.0;
+    }
+    marginals
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let y = f64::from(t);
+            (p - y) * (p - y)
+        })
+        .sum::<f64>()
+        / marginals.len() as f64
+}
+
+/// Mean negative log-likelihood of the truth under the marginals, in
+/// nats. Probabilities are clamped to `[ε, 1−ε]` so a single confident
+/// mistake yields a large-but-finite penalty.
+pub fn log_loss(marginals: &[f64], truth: &[bool]) -> f64 {
+    debug_assert_eq!(marginals.len(), truth.len());
+    if marginals.is_empty() {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-12;
+    marginals
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let p = p.clamp(EPS, 1.0 - EPS);
+            if t {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / marginals.len() as f64
+}
+
+/// Expected calibration error with `bins` equal-width confidence bins:
+/// the prediction-count-weighted mean |empirical accuracy − mean
+/// confidence| per bin, computed on `max(p, 1−p)` confidences of the
+/// implied hard labels.
+pub fn expected_calibration_error(marginals: &[f64], truth: &[bool], bins: usize) -> f64 {
+    debug_assert_eq!(marginals.len(), truth.len());
+    debug_assert!(bins > 0);
+    if marginals.is_empty() {
+        return 0.0;
+    }
+    let mut count = vec![0usize; bins];
+    let mut conf_sum = vec![0.0; bins];
+    let mut correct = vec![0usize; bins];
+    for (&p, &t) in marginals.iter().zip(truth) {
+        let label = p >= 0.5;
+        let confidence = if label { p } else { 1.0 - p };
+        // Confidence of a binary argmax is in [0.5, 1.0]; bin that range.
+        let idx = (((confidence - 0.5) / 0.5) * bins as f64) as usize;
+        let idx = idx.min(bins - 1);
+        count[idx] += 1;
+        conf_sum[idx] += confidence;
+        if label == t {
+            correct[idx] += 1;
+        }
+    }
+    let n = marginals.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if count[b] == 0 {
+            continue;
+        }
+        let acc = correct[b] as f64 / count[b] as f64;
+        let conf = conf_sum[b] / count[b] as f64;
+        ece += (count[b] as f64 / n) * (acc - conf).abs();
+    }
+    ece
+}
+
+/// Precision, recall and F1 of the positive class for hard labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of predicted positives that are true.
+    pub precision: f64,
+    /// Fraction of true positives that are predicted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes positive-class precision/recall/F1 from hard labels.
+///
+/// Degenerate denominators (no predicted or no actual positives) yield
+/// zero for the affected metric.
+pub fn precision_recall(labels: &[bool], truth: &[bool]) -> PrecisionRecall {
+    debug_assert_eq!(labels.len(), truth.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&l, &t) in labels.iter().zip(truth) {
+        match (l, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if tp + fn_ > 0 {
+        tp as f64 / (tp + fn_) as f64
+    } else {
+        0.0
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Belief;
+
+    #[test]
+    fn brier_perfect_and_ignorant() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert!((brier_score(&[0.5, 0.5], &[true, false]) - 0.25).abs() < 1e-12);
+        assert_eq!(brier_score(&[0.0], &[true]), 1.0);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_orders_confidence() {
+        let confident_right = log_loss(&[0.99], &[true]);
+        let hedged = log_loss(&[0.6], &[true]);
+        let confident_wrong = log_loss(&[0.01], &[true]);
+        assert!(confident_right < hedged);
+        assert!(hedged < confident_wrong);
+        assert!(confident_wrong.is_finite());
+        // Even p = 0 exactly stays finite thanks to clamping.
+        assert!(log_loss(&[0.0], &[true]).is_finite());
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_extremes() {
+        let marginals = vec![1.0, 1.0, 0.0, 0.0];
+        let truth = vec![true, true, false, false];
+        assert!(expected_calibration_error(&marginals, &truth, 10) < 1e-12);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Predicts 0.99 but is right only half the time.
+        let marginals = vec![0.99; 10];
+        let truth: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&marginals, &truth, 10);
+        assert!((ece - 0.49).abs() < 0.01, "ece {ece}");
+    }
+
+    #[test]
+    fn precision_recall_basic() {
+        let labels = vec![true, true, false, false];
+        let truth = vec![true, false, true, false];
+        let pr = precision_recall(&labels, &truth);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 0.5).abs() < 1e-12);
+        assert!((pr.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_degenerate_cases() {
+        let pr = precision_recall(&[false, false], &[true, true]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1, 0.0);
+        let perfect = precision_recall(&[true, false], &[true, false]);
+        assert_eq!(perfect.f1, 1.0);
+    }
+
+    #[test]
+    fn flat_marginals_concatenate_tasks() {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_marginals(&[0.7, 0.2]).unwrap(),
+            Belief::from_marginals(&[0.9]).unwrap(),
+        ]);
+        let flat = flat_marginals(&beliefs);
+        assert_eq!(flat.len(), 3);
+        assert!((flat[0] - 0.7).abs() < 1e-9);
+        assert!((flat[2] - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Observations: complete truth-value interpretations of a fact set
+//! (§II-A, Table I of the paper).
+//!
+//! For `n` binary facts there are `2^n` mutually exclusive observations,
+//! exactly one of which is the ground truth. An observation is encoded as a
+//! bitmask: bit `i` set means fact `f_i` is interpreted *true* (`o ⊨ f_i`).
+//! The dense encoding keeps the belief state a flat `Vec<f64>` that the
+//! entropy and update kernels can stream through without hashing.
+
+use crate::fact::FactId;
+use serde::{Deserialize, Serialize};
+
+/// One truth-value interpretation of a fact set, encoded as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Observation(pub u32);
+
+impl Observation {
+    /// Whether this observation is a *positive model* of `fact`
+    /// (`o ⊨ f`).
+    #[inline]
+    pub fn satisfies(self, fact: FactId) -> bool {
+        (self.0 >> fact.0) & 1 == 1
+    }
+
+    /// The truth value this observation assigns to `fact` as a `bool`.
+    ///
+    /// Alias of [`Observation::satisfies`] that reads better at call sites
+    /// comparing against labels.
+    #[inline]
+    pub fn truth_of(self, fact: FactId) -> bool {
+        self.satisfies(fact)
+    }
+
+    /// Restriction of the observation to an ordered list of facts: bit `j`
+    /// of the result is the truth value of `facts[j]`.
+    ///
+    /// Used to project a belief onto a query set (the likelihood of an
+    /// answer family depends on `o` only through this restriction).
+    #[inline]
+    pub fn project(self, facts: &[FactId]) -> u32 {
+        let mut out = 0u32;
+        for (j, f) in facts.iter().enumerate() {
+            out |= ((self.0 >> f.0) & 1) << j;
+        }
+        out
+    }
+
+    /// Builds an observation from explicit truth values, one per fact in
+    /// id order.
+    pub fn from_bools(values: &[bool]) -> Self {
+        let mut bits = 0u32;
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                bits |= 1 << i;
+            }
+        }
+        Observation(bits)
+    }
+
+    /// The truth values as booleans, one per fact.
+    pub fn to_bools(self, num_facts: usize) -> Vec<bool> {
+        (0..num_facts).map(|i| (self.0 >> i) & 1 == 1).collect()
+    }
+}
+
+/// The space of all `2^n` observations of an `n`-fact task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationSpace {
+    num_facts: u8,
+}
+
+impl ObservationSpace {
+    /// The observation space for `num_facts` facts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `num_facts` exceeds [`crate::belief::MAX_FACTS`];
+    /// public constructors of [`crate::belief::Belief`] validate this with a
+    /// proper error first.
+    pub fn new(num_facts: usize) -> Self {
+        debug_assert!(num_facts <= crate::belief::MAX_FACTS);
+        ObservationSpace {
+            num_facts: num_facts as u8,
+        }
+    }
+
+    /// Number of facts `n`.
+    #[inline]
+    pub fn num_facts(self) -> usize {
+        self.num_facts as usize
+    }
+
+    /// Number of observations `2^n`.
+    #[inline]
+    pub fn len(self) -> usize {
+        1usize << self.num_facts
+    }
+
+    /// Observation spaces are never empty (`2^n ≥ 1`).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Iterates every observation in index order.
+    pub fn iter(self) -> impl Iterator<Item = Observation> {
+        (0..self.len() as u32).map(Observation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfies_reads_bits() {
+        let o = Observation(0b101);
+        assert!(o.satisfies(FactId(0)));
+        assert!(!o.satisfies(FactId(1)));
+        assert!(o.satisfies(FactId(2)));
+    }
+
+    #[test]
+    fn from_bools_round_trips() {
+        let values = vec![true, false, true, true];
+        let o = Observation::from_bools(&values);
+        assert_eq!(o.to_bools(4), values);
+        assert_eq!(o.0, 0b1101);
+    }
+
+    #[test]
+    fn projection_reorders_bits() {
+        let o = Observation(0b110); // f0=F, f1=T, f2=T
+        assert_eq!(o.project(&[FactId(2), FactId(0)]), 0b01);
+        assert_eq!(o.project(&[FactId(1), FactId(2)]), 0b11);
+        assert_eq!(o.project(&[]), 0);
+    }
+
+    #[test]
+    fn space_enumerates_all() {
+        let space = ObservationSpace::new(3);
+        assert_eq!(space.len(), 8);
+        let all: Vec<u32> = space.iter().map(|o| o.0).collect();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zero_fact_space_has_one_observation() {
+        let space = ObservationSpace::new(0);
+        assert_eq!(space.len(), 1);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn table_i_example_observation_numbering() {
+        // Table I of the paper: o_4 has f1=true, f2=true, f3=false.
+        // With our bit encoding (f1 -> bit0) that is 0b011 = 3.
+        let o4 = Observation::from_bools(&[true, true, false]);
+        assert_eq!(o4.0, 0b011);
+        assert!(o4.satisfies(FactId(0)));
+        assert!(o4.satisfies(FactId(1)));
+        assert!(!o4.satisfies(FactId(2)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Data quality and expected quality (Definitions 2, 5, 7; Theorem 1).
+//!
+//! Quality of a belief is its negative Shannon entropy, `Q(F) = -H(O)`.
+//! Before crowdsourcing a round's answers, only the *expected* quality of
+//! a query set is available; Theorem 1 shows the expected improvement is
+//! the mutual information `ΔQ(F|T) = H(O) − H(O|AS_CE^T)`.
+
+use crate::answer::{enumerate_families, AnswerFamily, QuerySet};
+use crate::belief::Belief;
+use crate::error::Result;
+use crate::fact::FactId;
+use crate::update::posterior;
+use crate::worker::ExpertPanel;
+
+/// `Q(F | A_CE^T)` — the realised quality after updating with a concrete
+/// answer family.
+pub fn conditional_quality(
+    belief: &Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+    family: &AnswerFamily,
+) -> Result<f64> {
+    Ok(posterior(belief, queries, panel, family)?.quality())
+}
+
+/// `ℚ(F | T)` — the expected quality of the data after checking query set
+/// `T` (Definition 5):
+/// `Σ_{A} P(A) · Q(F | A) = -H(O | AS_CE^T)`.
+///
+/// Computed through the fast conditional-entropy kernel.
+pub fn expected_quality(belief: &Belief, queries: &[FactId], panel: &ExpertPanel) -> Result<f64> {
+    Ok(-crate::entropy::conditional_entropy(belief, queries, panel)?)
+}
+
+/// `ΔQ(F | T)` — the expected quality improvement (Definition 7,
+/// Theorem 1): `H(O) − H(O | AS_CE^T)`. Always non-negative
+/// (information never hurts in expectation).
+pub fn expected_quality_improvement(
+    belief: &Belief,
+    queries: &[FactId],
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let h_cond = crate::entropy::conditional_entropy(belief, queries, panel)?;
+    Ok((belief.entropy() - h_cond).max(0.0))
+}
+
+/// Evaluates Definition 5 literally — enumerating every answer family,
+/// updating, and averaging realised qualities. Exponential; used as the
+/// independent oracle that Theorem 1's identity holds in code.
+pub fn expected_quality_by_enumeration(
+    belief: &Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let k = queries.len();
+    let m = panel.len();
+    let mut expected = 0.0;
+    for (_, family) in enumerate_families(k, m) {
+        let p = crate::answer::family_probability(belief, queries, panel, &family);
+        if p <= 0.0 {
+            continue;
+        }
+        expected += p * conditional_quality(belief, queries, panel, &family)?;
+    }
+    Ok(expected)
+}
+
+/// Fraction of facts whose MAP label matches the ground truth — the
+/// accuracy metric of §IV-B.
+///
+/// `ground_truth[i]` is the true value of fact `i`; both slices must have
+/// one entry per fact.
+pub fn label_accuracy(belief: &Belief, ground_truth: &[bool]) -> f64 {
+    debug_assert_eq!(ground_truth.len(), belief.num_facts());
+    let labels = belief.map_labels();
+    let correct = labels
+        .iter()
+        .zip(ground_truth)
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / ground_truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+
+    fn table_i_belief() -> Belief {
+        Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+    }
+
+    #[test]
+    fn theorem_1_identity_holds() {
+        // ℚ(F|T) computed by enumerating answer families (Definition 5)
+        // must equal -H(O|AS^T) (Theorem 1).
+        let b = table_i_belief();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.7]).unwrap();
+        for facts in [vec![FactId(0)], vec![FactId(1), FactId(2)]] {
+            let queries = QuerySet::new(facts.clone(), 3).unwrap();
+            let by_enum = expected_quality_by_enumeration(&b, &queries, &panel).unwrap();
+            let by_entropy = expected_quality(&b, &facts, &panel).unwrap();
+            assert!(
+                (by_enum - by_entropy).abs() < 1e-9,
+                "facts {facts:?}: {by_enum} vs {by_entropy}"
+            );
+        }
+    }
+
+    #[test]
+    fn improvement_is_nonnegative_and_bounded() {
+        let b = table_i_belief();
+        let panel = ExpertPanel::from_accuracies(&[0.8]).unwrap();
+        for f in 0..3u32 {
+            let dq = expected_quality_improvement(&b, &[FactId(f)], &panel).unwrap();
+            assert!(dq >= 0.0);
+            assert!(dq <= b.entropy() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn improvement_zero_for_chance_expert() {
+        let b = table_i_belief();
+        let panel = ExpertPanel::from_accuracies(&[0.5]).unwrap();
+        let dq = expected_quality_improvement(&b, &[FactId(0)], &panel).unwrap();
+        assert!(dq.abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_quality_of_empty_set_is_current_quality() {
+        let b = table_i_belief();
+        let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+        let q = expected_quality(&b, &[], &panel).unwrap();
+        assert!((q - b.quality()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matching_labels() {
+        let b = Belief::point_mass(3, Observation(0b011)).unwrap();
+        assert_eq!(label_accuracy(&b, &[true, true, false]), 1.0);
+        assert!((label_accuracy(&b, &[true, false, false]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(label_accuracy(&b, &[false, false, true]), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Beam-search checking-task selection — a tunable middle ground
+//! between the greedy approximation (beam width 1) and exhaustive OPT.
+//!
+//! At each of the `k` steps the beam keeps the `width` best partial
+//! query sets (scored by total answer-family entropy `Σ_t H(AS^{T_t})`,
+//! which orders sets identically to the conditional-entropy objective —
+//! see the `exact` module notes) and extends each with every remaining
+//! candidate. Width 1 reproduces greedy exactly; growing the width
+//! trades selection time for closeness to OPT — the knob Table III's
+//! efficiency discussion implies but the paper leaves unexplored.
+
+use super::{GlobalFact, TaskSelector};
+use crate::belief::MultiBelief;
+use crate::entropy::answer_family_entropy;
+use crate::error::Result;
+use crate::fact::FactId;
+use crate::worker::ExpertPanel;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Beam-search selector with configurable width.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamSelector {
+    /// Number of partial query sets kept per step (≥ 1).
+    pub width: usize,
+}
+
+impl BeamSelector {
+    /// A beam of the given width (clamped to ≥ 1).
+    pub fn new(width: usize) -> Self {
+        BeamSelector {
+            width: width.max(1),
+        }
+    }
+}
+
+/// One partial query set in the beam.
+#[derive(Debug, Clone)]
+struct BeamState {
+    /// Selected facts, grouped per task for scoring.
+    selected: Vec<GlobalFact>,
+    /// `Σ_t H(AS^{T_t})` — higher is better.
+    score: f64,
+}
+
+impl TaskSelector for BeamSelector {
+    fn name(&self) -> &'static str {
+        "Beam"
+    }
+
+    fn select(
+        &self,
+        beliefs: &MultiBelief,
+        panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<GlobalFact>> {
+        let k = k.min(candidates.len());
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // Memoised per-task H(AS) by fact bitmask — shared across beam
+        // states, which overlap heavily.
+        let mut memo: HashMap<(usize, u64), f64> = HashMap::new();
+        let score_task =
+            |task: usize, facts: &[FactId], memo: &mut HashMap<(usize, u64), f64>| -> Result<f64> {
+                let mask = facts.iter().fold(0u64, |m, f| m | (1u64 << f.0));
+                if let Some(&h) = memo.get(&(task, mask)) {
+                    return Ok(h);
+                }
+                let h = answer_family_entropy(&beliefs.tasks()[task], facts, panel)?;
+                memo.insert((task, mask), h);
+                Ok(h)
+            };
+
+        let mut beam = vec![BeamState {
+            selected: Vec::new(),
+            score: 0.0,
+        }];
+        for _ in 0..k {
+            let mut expansions: Vec<BeamState> = Vec::new();
+            for state in &beam {
+                for &gf in candidates {
+                    if state.selected.contains(&gf) {
+                        continue;
+                    }
+                    // Re-score only the task the new fact touches.
+                    let mut task_facts: Vec<FactId> = state
+                        .selected
+                        .iter()
+                        .filter(|s| s.task == gf.task)
+                        .map(|s| s.fact)
+                        .collect();
+                    let old_task_score = if task_facts.is_empty() {
+                        0.0
+                    } else {
+                        score_task(gf.task, &task_facts, &mut memo)?
+                    };
+                    task_facts.push(gf.fact);
+                    let new_task_score = score_task(gf.task, &task_facts, &mut memo)?;
+                    let mut selected = state.selected.clone();
+                    selected.push(gf);
+                    expansions.push(BeamState {
+                        selected,
+                        score: state.score - old_task_score + new_task_score,
+                    });
+                }
+            }
+            if expansions.is_empty() {
+                break;
+            }
+            // Keep the top `width` states; dedup identical fact sets
+            // reached in different orders.
+            expansions.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut seen: Vec<u128> = Vec::new();
+            let mut next: Vec<BeamState> = Vec::new();
+            for mut state in expansions {
+                state.selected.sort_unstable();
+                let key = set_key(&state.selected);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                next.push(state);
+                if next.len() == self.width {
+                    break;
+                }
+            }
+            beam = next;
+        }
+        Ok(beam
+            .into_iter()
+            .next()
+            .map(|s| s.selected)
+            .unwrap_or_default())
+    }
+}
+
+/// Order-independent fingerprint of a sorted selection (sufficient for
+/// dedup within one beam step: ≤ 6 facts × 21 bits).
+fn set_key(sorted: &[GlobalFact]) -> u128 {
+    let mut key = 0u128;
+    for gf in sorted {
+        key = (key << 21) | (((gf.task as u128) << 6) | gf.fact.0 as u128);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::super::{selection_objective, ExactSelector, GreedySelector, TaskSelector};
+    use super::*;
+    use crate::belief::Belief;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    fn instance() -> (MultiBelief, ExpertPanel) {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap(),
+            Belief::from_marginals(&[0.6, 0.75, 0.52]).unwrap(),
+        ]);
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        (beliefs, panel)
+    }
+
+    #[test]
+    fn width_one_matches_greedy_objective() {
+        let (beliefs, panel) = instance();
+        let candidates = crate::selection::global_facts(&beliefs);
+        for k in 1..=4 {
+            let beam = BeamSelector::new(1)
+                .select(&beliefs, &panel, k, &candidates, &mut rng())
+                .unwrap();
+            let greedy = GreedySelector::new()
+                .select(&beliefs, &panel, k, &candidates, &mut rng())
+                .unwrap();
+            let ob = selection_objective(&beliefs, &beam, &panel).unwrap();
+            let og = selection_objective(&beliefs, &greedy, &panel).unwrap();
+            assert!((ob - og).abs() < 1e-9, "k={k}: beam {ob} vs greedy {og}");
+        }
+    }
+
+    #[test]
+    fn wider_beams_never_do_worse() {
+        let (beliefs, panel) = instance();
+        let candidates = crate::selection::global_facts(&beliefs);
+        for k in 2..=3 {
+            let mut prev = f64::MAX;
+            for width in [1usize, 2, 4, 8] {
+                let sel = BeamSelector::new(width)
+                    .select(&beliefs, &panel, k, &candidates, &mut rng())
+                    .unwrap();
+                let obj = selection_objective(&beliefs, &sel, &panel).unwrap();
+                assert!(
+                    obj <= prev + 1e-9,
+                    "k={k} width={width}: {obj} worse than narrower beam {prev}"
+                );
+                prev = obj;
+            }
+        }
+    }
+
+    #[test]
+    fn huge_beam_matches_opt_on_small_instances() {
+        let (beliefs, panel) = instance();
+        let candidates = crate::selection::global_facts(&beliefs);
+        for k in 1..=3 {
+            let beam = BeamSelector::new(64)
+                .select(&beliefs, &panel, k, &candidates, &mut rng())
+                .unwrap();
+            let opt = ExactSelector::new()
+                .select(&beliefs, &panel, k, &candidates, &mut rng())
+                .unwrap();
+            let ob = selection_objective(&beliefs, &beam, &panel).unwrap();
+            let oo = selection_objective(&beliefs, &opt, &panel).unwrap();
+            assert!((ob - oo).abs() < 1e-9, "k={k}: beam {ob} vs OPT {oo}");
+        }
+    }
+
+    #[test]
+    fn respects_candidates_and_k() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let candidates = vec![crate::selection::GlobalFact::new(1, 0)];
+        let sel = BeamSelector::new(3)
+            .select(&beliefs, &p, 5, &candidates, &mut rng())
+            .unwrap();
+        assert_eq!(sel, candidates, "only candidate must be picked, once");
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        assert_eq!(BeamSelector::new(0).width, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! The exact (OPT) selector: brute force over every size-`k` subset of
+//! the global query space (§IV-C(3)).
+//!
+//! Theorem 3 shows the underlying problem is NP-hard, so this selector is
+//! exponential by construction; it exists as the ground-truth comparator
+//! for Figure 5 and the runtime baseline of Table III. A wall-clock
+//! budget reproduces the paper's "timeout" entries.
+//!
+//! Implementation notes:
+//!
+//! * Because tasks are independent, the objective decomposes and, via the
+//!   chain rule, minimising `Σ_t H(O_t | AS^{T_t})` over size-`k` sets is
+//!   equivalent to **maximising `Σ_t H(AS^{T_t})`** (the `k · Σ_cr h(Pr_cr)`
+//!   and `Σ_t H(O_t)` terms are constant for fixed `k`).
+//! * Per-task `H(AS^{S})` values are memoised by `(task, fact-bitmask)`;
+//!   many global subsets share per-task groups.
+
+use super::{GlobalFact, TaskSelector};
+use crate::belief::MultiBelief;
+use crate::entropy::answer_family_entropy;
+use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::worker::ExpertPanel;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Brute-force optimal checking-task selection with an optional time
+/// budget.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSelector {
+    /// Abort with [`HcError::Timeout`] when exceeded. `None` = unlimited.
+    pub time_budget: Option<Duration>,
+}
+
+impl ExactSelector {
+    /// Unlimited exact selection.
+    pub fn new() -> Self {
+        ExactSelector { time_budget: None }
+    }
+
+    /// Exact selection that gives up (with [`HcError::Timeout`]) after
+    /// `budget` of wall-clock time — reproducing Table III's timeouts.
+    pub fn with_time_budget(budget: Duration) -> Self {
+        ExactSelector {
+            time_budget: Some(budget),
+        }
+    }
+}
+
+/// Iterator over `k`-combinations of `0..n` as index vectors.
+struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            indices: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advances to the next combination; returns the current one.
+    fn next_combo(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.indices);
+        }
+        // Find rightmost index that can be incremented.
+        let k = self.k;
+        if k == 0 {
+            self.done = true;
+            return None;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] < self.n - (k - i) {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..k {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        Some(&self.indices)
+    }
+}
+
+impl TaskSelector for ExactSelector {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn select(
+        &self,
+        beliefs: &MultiBelief,
+        panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<GlobalFact>> {
+        let n = candidates.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let start = Instant::now();
+        // Memo: (task, selected-fact bitmask) -> H(AS^S).
+        let mut memo: HashMap<(usize, u64), f64> = HashMap::new();
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut combos = Combinations::new(n, k);
+        let mut evaluated: u64 = 0;
+
+        while let Some(idxs) = combos.next_combo() {
+            evaluated += 1;
+            if evaluated.is_multiple_of(1024) {
+                if let Some(budget) = self.time_budget {
+                    if start.elapsed() > budget {
+                        return Err(HcError::Timeout);
+                    }
+                }
+            }
+            // Group the subset per task as bitmasks. Candidate lists are
+            // not necessarily task-sorted, so sort the (small) subset
+            // first.
+            let mut subset: Vec<GlobalFact> = idxs.iter().map(|&i| candidates[i]).collect();
+            subset.sort_unstable();
+            let mut score = 0.0;
+            let mut i = 0;
+            while i < subset.len() {
+                let task = subset[i].task;
+                let mut mask = 0u64;
+                let mut facts: Vec<FactId> = Vec::with_capacity(k);
+                while i < subset.len() && subset[i].task == task {
+                    let f = subset[i].fact;
+                    mask |= 1u64 << f.0;
+                    facts.push(f);
+                    i += 1;
+                }
+                let h = match memo.get(&(task, mask)) {
+                    Some(&h) => h,
+                    None => {
+                        let h = answer_family_entropy(&beliefs.tasks()[task], &facts, panel)?;
+                        memo.insert((task, mask), h);
+                        h
+                    }
+                };
+                score += h;
+            }
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                best = Some((score, idxs.to_vec()));
+            }
+        }
+
+        let (_, idxs) = best.expect("k >= 1 and n >= k imply at least one combination");
+        Ok(idxs.into_iter().map(|i| candidates[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::super::{selection_objective, GreedySelector, TaskSelector};
+    use super::*;
+    use crate::belief::Belief;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn combinations_enumerate_binomial_count() {
+        let mut c = Combinations::new(5, 3);
+        let mut count = 0;
+        let mut seen = std::collections::HashSet::new();
+        while let Some(idx) = c.next_combo() {
+            count += 1;
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+            seen.insert(idx.to_vec());
+        }
+        assert_eq!(count, 10);
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        let mut c = Combinations::new(3, 3);
+        assert_eq!(c.next_combo(), Some(&[0, 1, 2][..]));
+        assert!(c.next_combo().is_none());
+
+        let mut c = Combinations::new(2, 3);
+        assert!(c.next_combo().is_none());
+    }
+
+    #[test]
+    fn exact_is_at_least_as_good_as_greedy() {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap(),
+            Belief::from_marginals(&[0.6, 0.75]).unwrap(),
+        ]);
+        let p = ExpertPanel::from_accuracies(&[0.85]).unwrap();
+        for k in 1..=3 {
+            let opt = ExactSelector::new()
+                .select(&beliefs, &p, k, &crate::selection::global_facts(&beliefs), &mut rng())
+                .unwrap();
+            let grd = GreedySelector::new()
+                .select(&beliefs, &p, k, &crate::selection::global_facts(&beliefs), &mut rng())
+                .unwrap();
+            let obj_opt = selection_objective(&beliefs, &opt, &p).unwrap();
+            let obj_grd = selection_objective(&beliefs, &grd, &p).unwrap();
+            assert!(
+                obj_opt <= obj_grd + 1e-9,
+                "k={k}: OPT {obj_opt} worse than greedy {obj_grd}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_greedy_for_k_1() {
+        // §IV-C(3): "if k equals 1 ... there is no difference between the
+        // OPT method and the Approx method".
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let opt = ExactSelector::new()
+            .select(&beliefs, &p, 1, &crate::selection::global_facts(&beliefs), &mut rng())
+            .unwrap();
+        let grd = GreedySelector::new()
+            .select(&beliefs, &p, 1, &crate::selection::global_facts(&beliefs), &mut rng())
+            .unwrap();
+        assert_eq!(opt, grd);
+    }
+
+    #[test]
+    fn exact_beats_every_other_subset() {
+        // Exhaustive cross-check on a tiny instance.
+        let beliefs = MultiBelief::new(vec![Belief::from_probs(vec![
+            0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18,
+        ])
+        .unwrap()]);
+        let p = ExpertPanel::from_accuracies(&[0.8]).unwrap();
+        let opt = ExactSelector::new()
+            .select(&beliefs, &p, 2, &crate::selection::global_facts(&beliefs), &mut rng())
+            .unwrap();
+        let obj_opt = selection_objective(&beliefs, &opt, &p).unwrap();
+        let all = super::super::global_facts(&beliefs);
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                let obj = selection_objective(&beliefs, &[all[i], all[j]], &p).unwrap();
+                assert!(obj_opt <= obj + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let beliefs = MultiBelief::new(vec![Belief::uniform(16).unwrap()]);
+        let p = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+        let sel = ExactSelector::with_time_budget(Duration::from_millis(1));
+        let res = sel.select(&beliefs, &p, 6, &crate::selection::global_facts(&beliefs), &mut rng());
+        assert_eq!(res.unwrap_err(), HcError::Timeout);
+    }
+
+    #[test]
+    fn k_larger_than_space_is_clamped() {
+        let beliefs = MultiBelief::new(vec![Belief::from_marginals(&[0.6]).unwrap()]);
+        let p = panel();
+        let sel = ExactSelector::new()
+            .select(&beliefs, &p, 5, &crate::selection::global_facts(&beliefs), &mut rng())
+            .unwrap();
+        assert_eq!(sel.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The max-marginal-entropy heuristic selector.
+//!
+//! §V notes that the single-query, single-worker special case of the
+//! selection problem "has a trivial solution, namely, selecting the query
+//! with the maximum entropy". Generalised to `k` queries, this heuristic
+//! ranks facts by the binary entropy of their marginal `P(f)` and takes
+//! the top `k` — ignoring both correlations between facts and worker
+//! accuracies. It is cheap (`O(N · 2^n)` for the marginals) and serves as
+//! an ablation point between Random and Approx.
+
+use super::{GlobalFact, TaskSelector};
+use crate::belief::MultiBelief;
+use crate::entropy::binary_entropy;
+use crate::error::Result;
+use crate::fact::FactId;
+use crate::worker::ExpertPanel;
+use rand::RngCore;
+
+/// Top-`k` facts by marginal entropy `h(P(f))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxEntropySelector;
+
+impl MaxEntropySelector {
+    /// A new max-entropy selector.
+    pub fn new() -> Self {
+        MaxEntropySelector
+    }
+}
+
+impl TaskSelector for MaxEntropySelector {
+    fn name(&self) -> &'static str {
+        "MaxEntropy"
+    }
+
+    fn select(
+        &self,
+        beliefs: &MultiBelief,
+        _panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<GlobalFact>> {
+        let mut scored: Vec<(f64, GlobalFact)> = candidates
+            .iter()
+            .map(|&gf| {
+                let h = binary_entropy(beliefs.tasks()[gf.task].marginal(FactId(gf.fact.0)));
+                (h, gf)
+            })
+            .collect();
+        // Descending by entropy; ties broken by (task, fact) for
+        // determinism.
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        Ok(scored.into_iter().take(k).map(|(_, gf)| gf).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use crate::belief::Belief;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_most_uncertain_marginals() {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_marginals(&[0.5, 0.95]).unwrap(),
+            Belief::from_marginals(&[0.52, 0.99]).unwrap(),
+        ]);
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = MaxEntropySelector::new()
+            .select(&beliefs, &p, 2, &crate::selection::global_facts(&beliefs), &mut rng)
+            .unwrap();
+        assert_eq!(sel[0], GlobalFact::new(0, 0), "P=0.5 is maximal entropy");
+        assert_eq!(sel[1], GlobalFact::new(1, 0), "P=0.52 second");
+    }
+
+    #[test]
+    fn matches_greedy_in_single_expert_single_query_independent_case() {
+        // With one expert, k=1, and an *independent* (product-form)
+        // belief, the conditional-entropy-optimal query is the max
+        // marginal-entropy fact (the §V special case).
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_marginals(&[0.7, 0.56, 0.9]).unwrap(),
+        ]);
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(1);
+        let me = MaxEntropySelector::new()
+            .select(&beliefs, &p, 1, &crate::selection::global_facts(&beliefs), &mut rng)
+            .unwrap();
+        let greedy = super::super::GreedySelector::new()
+            .select(&beliefs, &p, 1, &crate::selection::global_facts(&beliefs), &mut rng)
+            .unwrap();
+        assert_eq!(me, greedy);
+    }
+
+    #[test]
+    fn k_exceeding_space_returns_everything() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = MaxEntropySelector::new()
+            .select(&beliefs, &p, 99, &crate::selection::global_facts(&beliefs), &mut rng)
+            .unwrap();
+        assert_eq!(sel.len(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Checking-task selection (§III-B/C): choosing the size-`k` query set
+//! that maximises the expected quality improvement, equivalently
+//! minimises `H(O | AS_CE^T)` (Theorem 2).
+//!
+//! Five selectors are provided behind one trait:
+//!
+//! * [`GreedySelector`] — Algorithm 2, the `(1 − 1/e)`-approximation.
+//! * [`ExactSelector`] — brute force over all size-`k` subsets (the OPT
+//!   method of §IV-C(3)); NP-hard, supports a wall-clock budget.
+//! * [`RandomSelector`] — the random baseline of §IV-C(3).
+//! * [`MaxEntropySelector`] — top-`k` facts by marginal entropy, the
+//!   trivial solution of the single-task-per-round special case
+//!   discussed in §V.
+//! * [`BeamSelector`] — beam search between greedy (width 1) and OPT.
+//!
+//! Selection operates over the *global* query space of a multi-task
+//! dataset: tasks are independent, so the objective decomposes as
+//! `Σ_t H(O_t | AS^{T∩F_t})` and each candidate's gain involves only its
+//! own task's belief.
+
+mod beam;
+mod exact;
+mod greedy;
+mod max_entropy;
+mod random;
+
+pub use beam::BeamSelector;
+pub use exact::ExactSelector;
+pub use greedy::GreedySelector;
+pub use max_entropy::MaxEntropySelector;
+pub use random::RandomSelector;
+
+use crate::belief::MultiBelief;
+use crate::error::Result;
+use crate::fact::FactId;
+use crate::worker::ExpertPanel;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A fact addressed in the global query space of a dataset: task index
+/// plus fact id within that task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalFact {
+    /// Index of the task in the [`MultiBelief`].
+    pub task: usize,
+    /// Fact within the task.
+    pub fact: FactId,
+}
+
+impl GlobalFact {
+    /// Convenience constructor.
+    pub fn new(task: usize, fact: u32) -> Self {
+        GlobalFact {
+            task,
+            fact: FactId(fact),
+        }
+    }
+}
+
+/// Enumerates the whole global query space of a dataset.
+pub fn global_facts(beliefs: &MultiBelief) -> Vec<GlobalFact> {
+    let mut out = Vec::with_capacity(beliefs.total_facts());
+    for (t, b) in beliefs.tasks().iter().enumerate() {
+        for f in 0..b.num_facts() as u32 {
+            out.push(GlobalFact::new(t, f));
+        }
+    }
+    out
+}
+
+/// Strategy interface for per-round checking-task selection.
+///
+/// Implementations return at most `k` facts from `candidates`; fewer
+/// (possibly zero) when no candidate offers positive expected gain —
+/// Algorithm 2 terminates early in that case and the HC loop stops
+/// spending budget. The candidate list lets the loop apply an
+/// eligibility policy (e.g. cycle through unchecked facts first; see
+/// [`crate::hc::RepeatPolicy`]); pass [`global_facts`] for the paper's
+/// unrestricted query space.
+pub trait TaskSelector: Send + Sync {
+    /// Short human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Selects up to `k` checking queries among `candidates` for the
+    /// current belief state.
+    fn select(
+        &self,
+        beliefs: &MultiBelief,
+        panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<GlobalFact>>;
+}
+
+/// Total selection objective `Σ_t H(O_t | AS^{T_t})` for a concrete
+/// global query set — the quantity all selectors minimise. Used by tests
+/// and the exact selector to compare candidate sets.
+pub fn selection_objective(
+    beliefs: &MultiBelief,
+    selection: &[GlobalFact],
+    panel: &ExpertPanel,
+) -> Result<f64> {
+    let mut per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
+    for gf in selection {
+        per_task[gf.task].push(gf.fact);
+    }
+    let mut total = 0.0;
+    for (belief, facts) in beliefs.tasks().iter().zip(&per_task) {
+        total += crate::entropy::conditional_entropy(belief, facts, panel)?;
+    }
+    Ok(total)
+}
+
+/// Ranks every candidate by its first-step expected quality gain
+/// (Equation (35) with `T = ∅`), descending — the diagnostic view behind
+/// greedy's first pick, useful for dashboards and debugging selection
+/// behaviour.
+pub fn rank_candidates(
+    beliefs: &MultiBelief,
+    panel: &ExpertPanel,
+    candidates: &[GlobalFact],
+) -> Result<Vec<(GlobalFact, f64)>> {
+    let panel_h = panel.per_query_answer_entropy();
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for &gf in candidates {
+        let belief = &beliefs.tasks()[gf.task];
+        let q = belief.project(&[gf.fact]);
+        let h_as = crate::entropy::answer_family_entropy_projected(&q, panel)?;
+        ranked.push((gf, h_as - panel_h));
+    }
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    Ok(ranked)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::belief::Belief;
+
+    /// A small two-task dataset with distinguishable uncertainty.
+    pub fn two_task_beliefs() -> MultiBelief {
+        let near_certain = Belief::from_marginals(&[0.95, 0.97]).unwrap();
+        let uncertain = Belief::from_marginals(&[0.55, 0.6]).unwrap();
+        MultiBelief::new(vec![near_certain, uncertain])
+    }
+
+    pub fn panel() -> ExpertPanel {
+        ExpertPanel::from_accuracies(&[0.9]).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn global_facts_enumerates_all_tasks() {
+        let beliefs = two_task_beliefs();
+        let facts = global_facts(&beliefs);
+        assert_eq!(facts.len(), 4);
+        assert_eq!(facts[0], GlobalFact::new(0, 0));
+        assert_eq!(facts[3], GlobalFact::new(1, 1));
+    }
+
+    #[test]
+    fn objective_of_empty_selection_is_total_entropy() {
+        let beliefs = two_task_beliefs();
+        let obj = selection_objective(&beliefs, &[], &panel()).unwrap();
+        assert!((obj - beliefs.entropy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_candidates_orders_by_gain_and_matches_greedy() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let candidates = global_facts(&beliefs);
+        let ranked = rank_candidates(&beliefs, &p, &candidates).unwrap();
+        assert_eq!(ranked.len(), 4);
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "descending");
+        // Gains are non-negative (information never hurts in expectation).
+        assert!(ranked.iter().all(|(_, g)| *g >= -1e-12));
+        // The top-ranked fact is greedy's first pick.
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let first = GreedySelector::new()
+            .select(&beliefs, &p, 1, &candidates, &mut rng)
+            .unwrap();
+        assert_eq!(first[0], ranked[0].0);
+    }
+
+    #[test]
+    fn objective_decreases_with_more_queries() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let one = selection_objective(&beliefs, &[GlobalFact::new(1, 0)], &p).unwrap();
+        let two = selection_objective(
+            &beliefs,
+            &[GlobalFact::new(1, 0), GlobalFact::new(0, 0)],
+            &p,
+        )
+        .unwrap();
+        assert!(two < one);
+        assert!(one < beliefs.entropy());
+    }
+}

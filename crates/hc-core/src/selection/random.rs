@@ -1,0 +1,95 @@
+//! The random selector — the baseline of §IV-C(3)'s Figure 5.
+
+use super::{GlobalFact, TaskSelector};
+use crate::belief::MultiBelief;
+use crate::error::Result;
+use crate::worker::ExpertPanel;
+use rand::RngCore;
+
+/// Selects `k` distinct facts uniformly at random from the global query
+/// space.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSelector;
+
+impl RandomSelector {
+    /// A new random selector.
+    pub fn new() -> Self {
+        RandomSelector
+    }
+}
+
+impl TaskSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(
+        &self,
+        _beliefs: &MultiBelief,
+        _panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<GlobalFact>> {
+        let mut candidates = candidates.to_vec();
+        let n = candidates.len();
+        let k = k.min(n);
+        // Partial Fisher–Yates: the first k slots become the sample.
+        for i in 0..k {
+            let j = i + (rng.next_u64() as usize) % (n - i);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(k);
+        Ok(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_distinct_and_sized() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..=6 {
+            let sel = RandomSelector::new().select(&beliefs, &p, k, &crate::selection::global_facts(&beliefs), &mut rng).unwrap();
+            assert_eq!(sel.len(), k.min(4));
+            let mut d = sel.clone();
+            d.sort();
+            d.dedup();
+            assert_eq!(d.len(), sel.len(), "duplicates in {sel:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let a = RandomSelector::new()
+            .select(&beliefs, &p, 2, &crate::selection::global_facts(&beliefs), &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        let b = RandomSelector::new()
+            .select(&beliefs, &p, 2, &crate::selection::global_facts(&beliefs), &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn covers_whole_space_eventually() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for gf in RandomSelector::new().select(&beliefs, &p, 1, &crate::selection::global_facts(&beliefs), &mut rng).unwrap() {
+                seen.insert(gf);
+            }
+        }
+        assert_eq!(seen.len(), 4, "every fact should be sampled eventually");
+    }
+}

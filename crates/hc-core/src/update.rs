@@ -1,0 +1,276 @@
+//! Bayesian belief update from crowdsourced checking answers
+//! (§III-A, Lemma 3 and Equation (23)).
+//!
+//! After a round of checking, every observation's probability is updated
+//! to its posterior given the collected answer family:
+//!
+//! `P(o | A_CE^T) ∝ P(o) · Π_{cr ∈ CE} P(A_cr^T | o)`
+//!
+//! The likelihood depends on `o` only through `o`'s restriction to the
+//! query set, so the kernel first computes a `2^k`-entry multiplier table
+//! and then streams once over the full belief — `O(2^k · k·m + 2^n)`
+//! instead of `O(2^n · k·m)`.
+
+use crate::answer::{answer_set_likelihood, AnswerFamily, AnswerSet, QuerySet};
+use crate::belief::Belief;
+use crate::error::{HcError, Result};
+use crate::worker::ExpertPanel;
+
+/// Updates `belief` in place with one expert's answer set (Lemma 3,
+/// Equation (19)).
+///
+/// # Errors
+///
+/// [`HcError::DimensionMismatch`] when the answer set length differs from
+/// the query set length.
+pub fn update_with_answer_set(
+    belief: &mut Belief,
+    queries: &QuerySet,
+    accuracy: f64,
+    set: AnswerSet,
+) -> Result<()> {
+    if set.len() != queries.len() {
+        return Err(HcError::DimensionMismatch {
+            expected: queries.len(),
+            actual: set.len(),
+        });
+    }
+    let cells = 1usize << queries.len();
+    let mut multiplier = Vec::with_capacity(cells);
+    for t in 0..cells as u32 {
+        multiplier.push(answer_set_likelihood(accuracy, set, t));
+    }
+    apply_multiplier(belief, queries, &multiplier)
+}
+
+/// Updates `belief` in place with a whole answer family from the expert
+/// panel (Equation (23)) — the per-round update of Algorithms 1 and 3.
+///
+/// # Errors
+///
+/// [`HcError::DimensionMismatch`] when the family's worker count differs
+/// from the panel's, or any answer set length differs from the query set.
+pub fn update_with_family(
+    belief: &mut Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+    family: &AnswerFamily,
+) -> Result<()> {
+    if family.len() != panel.len() {
+        return Err(HcError::DimensionMismatch {
+            expected: panel.len(),
+            actual: family.len(),
+        });
+    }
+    for set in family.sets() {
+        if set.len() != queries.len() {
+            return Err(HcError::DimensionMismatch {
+                expected: queries.len(),
+                actual: set.len(),
+            });
+        }
+    }
+    let cells = 1usize << queries.len();
+    let mut multiplier = vec![1.0; cells];
+    for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+        let acc = worker.accuracy.rate();
+        for (t, m) in multiplier.iter_mut().enumerate() {
+            *m *= answer_set_likelihood(acc, set, t as u32);
+        }
+    }
+    apply_multiplier(belief, queries, &multiplier)
+}
+
+/// Multiplies each observation's probability by `multiplier[o|T]` and
+/// renormalises.
+fn apply_multiplier(belief: &mut Belief, queries: &QuerySet, multiplier: &[f64]) -> Result<()> {
+    let facts = queries.facts();
+    // Total evidence mass: if the answers are impossible under the current
+    // belief (can only happen with perfect experts and a zero-prior
+    // observation), the posterior is undefined.
+    let q = belief.project(facts);
+    let mass: f64 = q.iter().zip(multiplier).map(|(&a, &b)| a * b).sum();
+    if mass <= 0.0 {
+        return Err(HcError::InvalidProbability(mass));
+    }
+    if facts.is_empty() {
+        return Ok(()); // No queries: posterior equals prior.
+    }
+    let probs = belief.probs_mut();
+    if facts.len() == 1 {
+        let bit = 1usize << facts[0].0;
+        for (o, p) in probs.iter_mut().enumerate() {
+            *p *= multiplier[usize::from(o & bit != 0)];
+        }
+    } else {
+        for (o, p) in probs.iter_mut().enumerate() {
+            let t = crate::observation::Observation(o as u32).project(facts) as usize;
+            *p *= multiplier[t];
+        }
+    }
+    belief.renormalize();
+    Ok(())
+}
+
+/// The posterior belief given an answer family, without mutating the
+/// prior — convenience for expected-quality computations and tests.
+pub fn posterior(
+    belief: &Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+    family: &AnswerFamily,
+) -> Result<Belief> {
+    let mut out = belief.clone();
+    update_with_family(&mut out, queries, panel, family)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Answer;
+    use crate::fact::FactId;
+    use crate::observation::Observation;
+
+    fn table_i_belief() -> Belief {
+        Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+    }
+
+    #[test]
+    fn single_yes_answer_shifts_marginal_up() {
+        let mut b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0)], 3).unwrap();
+        let prior = b.marginal(FactId(0));
+        update_with_answer_set(&mut b, &queries, 0.9, AnswerSet::new(&[Answer::Yes])).unwrap();
+        let post = b.marginal(FactId(0));
+        assert!(post > prior, "Yes from a good worker raises P(f)");
+        // Exact Bayes for the marginal: p' = 0.9p / (0.9p + 0.1(1-p)).
+        let expected = 0.9 * prior / (0.9 * prior + 0.1 * (1.0 - prior));
+        assert!((post - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_answer_shifts_marginal_down() {
+        let mut b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(1)], 3).unwrap();
+        let prior = b.marginal(FactId(1));
+        update_with_answer_set(&mut b, &queries, 0.8, AnswerSet::new(&[Answer::No])).unwrap();
+        assert!(b.marginal(FactId(1)) < prior);
+    }
+
+    #[test]
+    fn chance_worker_answer_is_a_no_op() {
+        let mut b = table_i_belief();
+        let before = b.clone();
+        let queries = QuerySet::new(vec![FactId(0)], 3).unwrap();
+        update_with_answer_set(&mut b, &queries, 0.5, AnswerSet::new(&[Answer::Yes])).unwrap();
+        for (a, e) in b.probs().iter().zip(before.probs()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn family_update_equals_sequential_set_updates() {
+        // Workers are conditionally independent given o, so updating with
+        // the whole family at once must equal chaining per-worker updates.
+        let queries = QuerySet::new(vec![FactId(0), FactId(2)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.75]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::No]),
+            AnswerSet::new(&[Answer::Yes, Answer::Yes]),
+        ]);
+
+        let mut joint = table_i_belief();
+        update_with_family(&mut joint, &queries, &panel, &family).unwrap();
+
+        let mut seq = table_i_belief();
+        update_with_answer_set(&mut seq, &queries, 0.9, family.sets()[0]).unwrap();
+        update_with_answer_set(&mut seq, &queries, 0.75, family.sets()[1]).unwrap();
+
+        for (a, e) in joint.probs().iter().zip(seq.probs()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn posterior_stays_normalised() {
+        let b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1), FactId(2)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.95]).unwrap();
+        let family = AnswerFamily::new(vec![AnswerSet::new(&[
+            Answer::No,
+            Answer::Yes,
+            Answer::No,
+        ])]);
+        let post = posterior(&b, &queries, &panel, &family).unwrap();
+        assert!((post.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_expert_collapses_queried_facts() {
+        let b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1), FactId(2)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[1.0]).unwrap();
+        let family = AnswerFamily::new(vec![AnswerSet::new(&[
+            Answer::Yes,
+            Answer::Yes,
+            Answer::No,
+        ])]);
+        let post = posterior(&b, &queries, &panel, &family).unwrap();
+        // All mass on the single consistent observation o4 = 0b011.
+        assert!((post.prob(Observation(0b011)) - 1.0).abs() < 1e-12);
+        assert_eq!(post.map_labels(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn impossible_evidence_is_an_error() {
+        // Point mass on o=0 (all facts false), perfect expert says Yes:
+        // zero posterior mass.
+        let mut b = Belief::point_mass(2, Observation(0)).unwrap();
+        let queries = QuerySet::new(vec![FactId(0)], 2).unwrap();
+        let err =
+            update_with_answer_set(&mut b, &queries, 1.0, AnswerSet::new(&[Answer::Yes]));
+        assert!(matches!(err, Err(HcError::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let mut b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 3).unwrap();
+        let err = update_with_answer_set(&mut b, &queries, 0.9, AnswerSet::new(&[Answer::Yes]));
+        assert!(matches!(err, Err(HcError::DimensionMismatch { .. })));
+
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.9]).unwrap();
+        let family = AnswerFamily::new(vec![AnswerSet::new(&[Answer::Yes, Answer::No])]);
+        let err = update_with_family(&mut b, &queries, &panel, &family);
+        assert!(matches!(err, Err(HcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_query_update_is_identity() {
+        let mut b = table_i_belief();
+        let before = b.clone();
+        let queries = QuerySet::empty();
+        let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+        let family = AnswerFamily::new(vec![AnswerSet::new(&[])]);
+        update_with_family(&mut b, &queries, &panel, &family).unwrap();
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn repeated_consistent_answers_converge_to_certainty() {
+        let mut b = Belief::uniform(2).unwrap();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 2).unwrap();
+        for _ in 0..50 {
+            update_with_answer_set(
+                &mut b,
+                &queries,
+                0.8,
+                AnswerSet::new(&[Answer::Yes, Answer::No]),
+            )
+            .unwrap();
+        }
+        assert!(b.prob(Observation(0b01)) > 0.999999);
+        assert!(b.entropy() < 1e-4);
+    }
+}

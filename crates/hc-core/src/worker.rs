@@ -1,0 +1,368 @@
+//! Crowd workers, accuracy rates, and the θ-split into expert and
+//! preliminary workers (§II-A, Definition 1 of the paper).
+
+use crate::error::{HcError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a crowdsourcing worker within a [`Crowd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Zero-based index into the crowd's worker list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A validated worker accuracy rate `Pr_cr ∈ [0.5, 1.0]`.
+///
+/// The paper's error model (§II-A) assumes every worker answers a Yes/No
+/// query correctly with probability at least 1/2, independently across
+/// queries and workers. The confidence of a crowdsourced answer equals the
+/// accuracy rate of the worker who gave it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Accuracy(f64);
+
+impl Accuracy {
+    /// Validates and wraps a raw accuracy rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HcError::InvalidAccuracy`] if `rate` is not finite or lies
+    /// outside `[0.5, 1.0]`.
+    pub fn new(rate: f64) -> Result<Self> {
+        if rate.is_finite() && (0.5..=1.0).contains(&rate) {
+            Ok(Accuracy(rate))
+        } else {
+            Err(HcError::InvalidAccuracy(rate))
+        }
+    }
+
+    /// The raw accuracy rate.
+    #[inline]
+    pub fn rate(self) -> f64 {
+        self.0
+    }
+
+    /// Probability of an *incorrect* answer, `1 - Pr_cr`.
+    #[inline]
+    pub fn error_rate(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Shannon entropy (nats) of a single answer from this worker given the
+    /// ground truth: `h(Pr_cr) = -p ln p - (1-p) ln (1-p)`.
+    ///
+    /// This is the per-query contribution to `H(AS | O)` used by the
+    /// chain-rule fast path in [`crate::entropy`].
+    #[inline]
+    pub fn answer_entropy(self) -> f64 {
+        crate::entropy::binary_entropy(self.0)
+    }
+}
+
+impl TryFrom<f64> for Accuracy {
+    type Error = HcError;
+    fn try_from(rate: f64) -> Result<Self> {
+        Accuracy::new(rate)
+    }
+}
+
+impl From<Accuracy> for f64 {
+    fn from(a: Accuracy) -> f64 {
+        a.0
+    }
+}
+
+/// A single crowdsourcing worker: an id plus an accuracy rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Stable identifier of the worker inside its crowd.
+    pub id: WorkerId,
+    /// The worker's (estimated) accuracy rate.
+    pub accuracy: Accuracy,
+}
+
+impl Worker {
+    /// Creates a worker, validating the accuracy.
+    pub fn new(id: u32, accuracy: f64) -> Result<Self> {
+        Ok(Worker {
+            id: WorkerId(id),
+            accuracy: Accuracy::new(accuracy)?,
+        })
+    }
+}
+
+/// A heterogeneous crowd of workers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Crowd {
+    workers: Vec<Worker>,
+}
+
+impl Crowd {
+    /// Builds a crowd from workers with the given accuracy rates; worker
+    /// ids are assigned sequentially from zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HcError::InvalidAccuracy`] on any out-of-range rate.
+    pub fn from_accuracies(rates: &[f64]) -> Result<Self> {
+        let workers = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Worker::new(i as u32, r))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Crowd { workers })
+    }
+
+    /// Builds a crowd from pre-constructed workers.
+    pub fn new(workers: Vec<Worker>) -> Self {
+        Crowd { workers }
+    }
+
+    /// All workers in the crowd.
+    #[inline]
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the crowd has no workers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Looks up a worker by id.
+    pub fn get(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.iter().find(|w| w.id == id)
+    }
+
+    /// Splits the crowd at accuracy threshold θ into expert workers `CE`
+    /// (accuracy ≥ θ) and preliminary workers `CP` (the rest), per
+    /// Definition 1 / Equation (1) of the paper.
+    pub fn split(&self, theta: f64) -> CrowdSplit {
+        let (experts, preliminary): (Vec<_>, Vec<_>) = self
+            .workers
+            .iter()
+            .copied()
+            .partition(|w| w.accuracy.rate() >= theta);
+        CrowdSplit {
+            experts: ExpertPanel::new(experts),
+            preliminary,
+        }
+    }
+
+    /// Splits the crowd into more than two tiers using an ascending list of
+    /// thresholds: tier 0 holds workers below `thresholds\[0\]`, tier `i`
+    /// holds workers in `[thresholds[i-1], thresholds[i])`, and the last
+    /// tier holds workers at or above the final threshold.
+    ///
+    /// This supports the multi-group extension discussed in §III-D.
+    pub fn split_tiers(&self, thresholds: &[f64]) -> Vec<Vec<Worker>> {
+        let mut tiers = vec![Vec::new(); thresholds.len() + 1];
+        for &w in &self.workers {
+            let r = w.accuracy.rate();
+            let tier = thresholds.iter().take_while(|&&t| r >= t).count();
+            tiers[tier].push(w);
+        }
+        tiers
+    }
+}
+
+/// The result of splitting a [`Crowd`] at threshold θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrowdSplit {
+    /// Expert workers `CE` — accuracy at or above θ; they answer the
+    /// *checking* tasks.
+    pub experts: ExpertPanel,
+    /// Preliminary workers `CP` — below θ; their answers initialise the
+    /// belief state.
+    pub preliminary: Vec<Worker>,
+}
+
+/// The expert worker set `CE` used for label checking.
+///
+/// Wrapping the worker list lets the entropy/selection code precompute the
+/// per-worker quantities it needs (`Σ_cr h(Pr_cr)`) once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertPanel {
+    workers: Vec<Worker>,
+}
+
+impl ExpertPanel {
+    /// Wraps a set of expert workers.
+    pub fn new(workers: Vec<Worker>) -> Self {
+        ExpertPanel { workers }
+    }
+
+    /// Builds a panel directly from accuracy rates.
+    pub fn from_accuracies(rates: &[f64]) -> Result<Self> {
+        Ok(ExpertPanel::new(Crowd::from_accuracies(rates)?.workers))
+    }
+
+    /// The experts in the panel.
+    #[inline]
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of experts `|CE|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the panel is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// `Σ_{cr ∈ CE} h(Pr_cr)` — the entropy every additional query adds to
+    /// `H(AS | O)` (chain-rule fast path, see [`crate::entropy`]).
+    pub fn per_query_answer_entropy(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.accuracy.answer_entropy())
+            .sum()
+    }
+}
+
+/// Estimates a worker's accuracy rate from answers to gold (known-truth)
+/// sample queries, as suggested in §II-A.
+///
+/// Each element of `answers` pairs the worker's Yes/No answer with the true
+/// truth value of the sampled fact. The estimate is clamped into
+/// `[0.5, 1.0]` (with a small margin below 1.0 left intact) because the
+/// downstream model requires admissible accuracies; a worker that scores
+/// below chance on the gold set is treated as an exactly-chance worker.
+///
+/// # Errors
+///
+/// Returns [`HcError::EmptyFactSet`] when no gold answers are supplied.
+pub fn estimate_accuracy(answers: &[(bool, bool)]) -> Result<Accuracy> {
+    if answers.is_empty() {
+        return Err(HcError::EmptyFactSet);
+    }
+    let correct = answers.iter().filter(|(a, t)| a == t).count();
+    let raw = correct as f64 / answers.len() as f64;
+    Accuracy::new(raw.clamp(0.5, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_validation() {
+        assert!(Accuracy::new(0.5).is_ok());
+        assert!(Accuracy::new(1.0).is_ok());
+        assert!(Accuracy::new(0.75).is_ok());
+        assert_eq!(
+            Accuracy::new(0.49),
+            Err(HcError::InvalidAccuracy(0.49)),
+            "below-chance workers are rejected"
+        );
+        assert!(Accuracy::new(1.01).is_err());
+        assert!(Accuracy::new(f64::NAN).is_err());
+        assert!(Accuracy::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_rate_complements_accuracy() {
+        let a = Accuracy::new(0.8).unwrap();
+        assert!((a.rate() + a.error_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_worker_has_zero_answer_entropy() {
+        let a = Accuracy::new(1.0).unwrap();
+        assert_eq!(a.answer_entropy(), 0.0);
+    }
+
+    #[test]
+    fn chance_worker_has_max_answer_entropy() {
+        let a = Accuracy::new(0.5).unwrap();
+        assert!((a.answer_entropy() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_by_theta() {
+        let crowd = Crowd::from_accuracies(&[0.6, 0.95, 0.9, 0.7, 0.99]).unwrap();
+        let split = crowd.split(0.9);
+        let expert_ids: Vec<u32> = split.experts.workers().iter().map(|w| w.id.0).collect();
+        assert_eq!(expert_ids, vec![1, 2, 4]);
+        let prelim_ids: Vec<u32> = split.preliminary.iter().map(|w| w.id.0).collect();
+        assert_eq!(prelim_ids, vec![0, 3]);
+        assert_eq!(split.experts.len() + split.preliminary.len(), crowd.len());
+    }
+
+    #[test]
+    fn split_threshold_is_inclusive() {
+        let crowd = Crowd::from_accuracies(&[0.9]).unwrap();
+        let split = crowd.split(0.9);
+        assert_eq!(split.experts.len(), 1, "accuracy == θ counts as expert");
+    }
+
+    #[test]
+    fn split_tiers_orders_workers() {
+        let crowd = Crowd::from_accuracies(&[0.55, 0.7, 0.85, 0.95]).unwrap();
+        let tiers = crowd.split_tiers(&[0.6, 0.8, 0.9]);
+        assert_eq!(tiers.len(), 4);
+        assert_eq!(tiers[0].len(), 1); // 0.55
+        assert_eq!(tiers[1].len(), 1); // 0.7
+        assert_eq!(tiers[2].len(), 1); // 0.85
+        assert_eq!(tiers[3].len(), 1); // 0.95
+    }
+
+    #[test]
+    fn split_tiers_with_no_thresholds_is_single_group() {
+        let crowd = Crowd::from_accuracies(&[0.55, 0.7]).unwrap();
+        let tiers = crowd.split_tiers(&[]);
+        assert_eq!(tiers.len(), 1);
+        assert_eq!(tiers[0].len(), 2);
+    }
+
+    #[test]
+    fn panel_entropy_sums_workers() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.95]).unwrap();
+        let expected = crate::entropy::binary_entropy(0.9) + crate::entropy::binary_entropy(0.95);
+        assert!((panel.per_query_answer_entropy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_accuracy_from_gold() {
+        // 8/10 correct.
+        let answers: Vec<(bool, bool)> = (0..10).map(|i| (i < 8, true)).collect();
+        let est = estimate_accuracy(&answers).unwrap();
+        assert!((est.rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_accuracy_clamps_below_chance() {
+        let answers = vec![(false, true), (false, true), (true, true)];
+        let est = estimate_accuracy(&answers).unwrap();
+        assert_eq!(est.rate(), 0.5);
+    }
+
+    #[test]
+    fn estimate_accuracy_rejects_empty() {
+        assert_eq!(estimate_accuracy(&[]), Err(HcError::EmptyFactSet));
+    }
+
+    #[test]
+    fn crowd_lookup_by_id() {
+        let crowd = Crowd::from_accuracies(&[0.6, 0.9]).unwrap();
+        assert_eq!(crowd.get(WorkerId(1)).unwrap().accuracy.rate(), 0.9);
+        assert!(crowd.get(WorkerId(7)).is_none());
+    }
+}

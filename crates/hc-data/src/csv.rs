@@ -1,0 +1,253 @@
+//! CSV interop with the Zheng et al. truth-inference benchmark format
+//! \[29\] — the format the paper's real datasets ship in:
+//!
+//! * `answer.csv` — header `question,worker,answer`, one crowdsourced
+//!   answer per line;
+//! * `truth.csv` — header `question,truth`, one gold label per line.
+//!
+//! Question and worker identifiers are arbitrary strings; this module
+//! interns them into dense indices (returning the mappings so labels can
+//! be traced back). Only numeric class labels `0..n_classes` are
+//! accepted.
+//!
+//! Hand-rolled parsing: the format has no quoting or escaping in the
+//! benchmark releases, so a CSV crate would be an unjustified
+//! dependency.
+
+use crate::dataset::CrowdDataset;
+use crate::error::{DataError, Result};
+use crate::matrix::{AnswerEntry, AnswerMatrix};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// String-id ↔ dense-index mappings recovered while importing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interning {
+    /// Question id of each item index.
+    pub items: Vec<String>,
+    /// Worker id of each worker index.
+    pub workers: Vec<String>,
+}
+
+/// Parses `answer.csv` + `truth.csv` contents into a dataset.
+///
+/// Worker accuracies are estimated against the gold truth (clamped into
+/// `[0.5, 1.0]`, the §II-A admissible range); items without a gold label
+/// are rejected, as every experiment here needs full ground truth.
+pub fn parse_benchmark(answers_csv: &str, truth_csv: &str) -> Result<(CrowdDataset, Interning)> {
+    let mut interning = Interning::default();
+    let mut item_index: HashMap<String, u32> = HashMap::new();
+    let mut worker_index: HashMap<String, u32> = HashMap::new();
+    let mut entries: Vec<AnswerEntry> = Vec::new();
+    let mut max_label = 0u8;
+
+    for (lineno, line) in non_header_lines(answers_csv, "question,worker,answer") {
+        let mut parts = line.split(',');
+        let (Some(q), Some(w), Some(a), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(bad_line("answer.csv", lineno, line));
+        };
+        let label: u8 = a
+            .trim()
+            .parse()
+            .map_err(|_| bad_line("answer.csv", lineno, line))?;
+        max_label = max_label.max(label);
+        let item = intern(q, &mut item_index, &mut interning.items);
+        let worker = intern(w, &mut worker_index, &mut interning.workers);
+        entries.push(AnswerEntry {
+            item,
+            worker,
+            label,
+        });
+    }
+
+    let n_items = interning.items.len();
+    let mut truth = vec![None; n_items];
+    for (lineno, line) in non_header_lines(truth_csv, "question,truth") {
+        let mut parts = line.split(',');
+        let (Some(q), Some(t), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(bad_line("truth.csv", lineno, line));
+        };
+        let label: u8 = t
+            .trim()
+            .parse()
+            .map_err(|_| bad_line("truth.csv", lineno, line))?;
+        max_label = max_label.max(label);
+        let Some(&item) = item_index.get(q.trim()) else {
+            // Gold for a question nobody answered: ignore, matching the
+            // benchmark loaders.
+            continue;
+        };
+        truth[item as usize] = Some(label);
+    }
+
+    let ground_truth: Vec<u8> = truth
+        .into_iter()
+        .enumerate()
+        .map(|(item, t)| {
+            t.ok_or_else(|| {
+                DataError::InvalidConfig(format!(
+                    "question {:?} has answers but no gold truth",
+                    interning.items[item]
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let n_classes = usize::from(max_label) + 1;
+    let matrix = AnswerMatrix::new(n_items, interning.workers.len(), n_classes, entries)?;
+    let accuracies: Vec<f64> = matrix
+        .worker_accuracy(&ground_truth)
+        .into_iter()
+        .map(|acc| acc.unwrap_or(0.5).clamp(0.5, 1.0))
+        .collect();
+    let dataset = CrowdDataset::new(matrix, ground_truth, accuracies)?;
+    Ok((dataset, interning))
+}
+
+/// Loads `answer.csv` and `truth.csv` from a benchmark directory.
+pub fn load_benchmark_dir(dir: &Path) -> Result<(CrowdDataset, Interning)> {
+    let answers = std::fs::read_to_string(dir.join("answer.csv"))?;
+    let truth = std::fs::read_to_string(dir.join("truth.csv"))?;
+    parse_benchmark(&answers, &truth)
+}
+
+/// Renders a dataset back into `(answer.csv, truth.csv)` contents, using
+/// `q<item>` / `w<worker>` identifiers.
+pub fn to_benchmark_csv(dataset: &CrowdDataset) -> (String, String) {
+    let mut answers = String::from("question,worker,answer\n");
+    for e in dataset.matrix.entries() {
+        let _ = writeln!(answers, "q{},w{},{}", e.item, e.worker, e.label);
+    }
+    let mut truth = String::from("question,truth\n");
+    for (item, &t) in dataset.ground_truth.iter().enumerate() {
+        let _ = writeln!(truth, "q{item},{t}");
+    }
+    (answers, truth)
+}
+
+/// Writes `answer.csv` and `truth.csv` into a directory.
+pub fn save_benchmark_dir(dataset: &CrowdDataset, dir: &Path) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let (answers, truth) = to_benchmark_csv(dataset);
+    std::fs::write(dir.join("answer.csv"), answers)?;
+    std::fs::write(dir.join("truth.csv"), truth)?;
+    Ok(())
+}
+
+/// Yields trimmed, non-empty lines with 1-based numbers, skipping an
+/// optional header line.
+fn non_header_lines<'a>(
+    content: &'a str,
+    header: &'a str,
+) -> impl Iterator<Item = (usize, &'a str)> {
+    content
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(move |(i, l)| !(l.is_empty() || *i == 1 && l.eq_ignore_ascii_case(header)))
+}
+
+fn intern(raw: &str, index: &mut HashMap<String, u32>, names: &mut Vec<String>) -> u32 {
+    let key = raw.trim();
+    if let Some(&idx) = index.get(key) {
+        return idx;
+    }
+    let idx = names.len() as u32;
+    names.push(key.to_string());
+    index.insert(key.to_string(), idx);
+    idx
+}
+
+fn bad_line(file: &str, lineno: usize, line: &str) -> DataError {
+    DataError::InvalidConfig(format!("{file}:{lineno}: malformed line {line:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const ANSWERS: &str = "\
+question,worker,answer
+tweet-1,alice,1
+tweet-1,bob,0
+tweet-2,alice,0
+tweet-2,bob,0
+";
+    const TRUTH: &str = "\
+question,truth
+tweet-1,1
+tweet-2,0
+";
+
+    #[test]
+    fn parses_benchmark_format() {
+        let (ds, interning) = parse_benchmark(ANSWERS, TRUTH).unwrap();
+        assert_eq!(ds.n_items(), 2);
+        assert_eq!(ds.n_workers(), 2);
+        assert_eq!(ds.ground_truth, vec![1, 0]);
+        assert_eq!(interning.items, vec!["tweet-1", "tweet-2"]);
+        assert_eq!(interning.workers, vec!["alice", "bob"]);
+        // alice: 2/2 correct; bob: 1/2 -> clamped to 0.5.
+        assert_eq!(ds.worker_accuracies, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn header_is_optional_and_blank_lines_skipped() {
+        let no_header = "tweet-1,alice,1\n\n tweet-2 , alice , 0 \n";
+        let (ds, _) = parse_benchmark(no_header, "tweet-1,1\ntweet-2,0\n").unwrap();
+        assert_eq!(ds.matrix.len(), 2);
+    }
+
+    #[test]
+    fn missing_gold_is_rejected() {
+        let err = parse_benchmark(ANSWERS, "question,truth\ntweet-1,1\n");
+        assert!(matches!(err, Err(DataError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn gold_for_unanswered_question_is_ignored() {
+        let truth = format!("{TRUTH}tweet-99,1\n");
+        let (ds, _) = parse_benchmark(ANSWERS, &truth).unwrap();
+        assert_eq!(ds.n_items(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_location() {
+        let err = parse_benchmark("a,b\n", TRUTH).unwrap_err();
+        assert!(err.to_string().contains("answer.csv:1"));
+        let err = parse_benchmark(ANSWERS, "q,notanumber\n").unwrap_err();
+        assert!(err.to_string().contains("truth.csv:1"));
+    }
+
+    #[test]
+    fn synthetic_corpus_round_trips_through_csv() {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 4;
+        let original = generate(&config, &mut StdRng::seed_from_u64(3)).unwrap();
+        let (answers, truth) = to_benchmark_csv(&original);
+        let (restored, _) = parse_benchmark(&answers, &truth).unwrap();
+        assert_eq!(restored.matrix, original.matrix);
+        assert_eq!(restored.ground_truth, original.ground_truth);
+        // Accuracies become gold-estimates rather than generator
+        // parameters; they must correlate but need not be equal.
+        assert_eq!(restored.worker_accuracies.len(), original.worker_accuracies.len());
+    }
+
+    #[test]
+    fn benchmark_dir_round_trip() {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 2;
+        let ds = generate(&config, &mut StdRng::seed_from_u64(4)).unwrap();
+        let dir = std::env::temp_dir().join("hc_data_csv_test");
+        save_benchmark_dir(&ds, &dir).unwrap();
+        let (restored, _) = load_benchmark_dir(&dir).unwrap();
+        assert_eq!(restored.matrix, ds.matrix);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

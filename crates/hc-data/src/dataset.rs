@@ -1,0 +1,158 @@
+//! The complete crowdsourced dataset: answers, ground truth, and worker
+//! accuracies.
+
+use crate::error::{DataError, Result};
+use crate::matrix::AnswerMatrix;
+use hc_core::Crowd;
+use serde::{Deserialize, Serialize};
+
+/// A fully-collected crowdsourcing corpus, mirroring the offline replay
+/// setting of §IV-A: every worker's answer to every item is recorded up
+/// front, the ground truth is known for evaluation only, and worker
+/// accuracies are either the generator's true parameters or estimates
+/// from gold questions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdDataset {
+    /// All collected answers.
+    pub matrix: AnswerMatrix,
+    /// True class of each item (evaluation only — never shown to the
+    /// algorithms).
+    pub ground_truth: Vec<u8>,
+    /// Accuracy rate of each worker, aligned with matrix worker indices.
+    pub worker_accuracies: Vec<f64>,
+}
+
+impl CrowdDataset {
+    /// Bundles a matrix with its ground truth and worker accuracies.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::ShapeMismatch`] when vector lengths disagree with the
+    /// matrix dimensions, or [`DataError::InvalidConfig`] for labels in
+    /// `ground_truth` outside the class range.
+    pub fn new(
+        matrix: AnswerMatrix,
+        ground_truth: Vec<u8>,
+        worker_accuracies: Vec<f64>,
+    ) -> Result<Self> {
+        if ground_truth.len() != matrix.n_items() {
+            return Err(DataError::ShapeMismatch {
+                expected: matrix.n_items(),
+                actual: ground_truth.len(),
+            });
+        }
+        if worker_accuracies.len() != matrix.n_workers() {
+            return Err(DataError::ShapeMismatch {
+                expected: matrix.n_workers(),
+                actual: worker_accuracies.len(),
+            });
+        }
+        if let Some(&bad) = ground_truth
+            .iter()
+            .find(|&&t| t as usize >= matrix.n_classes())
+        {
+            return Err(DataError::InvalidConfig(format!(
+                "ground-truth label {bad} outside {} classes",
+                matrix.n_classes()
+            )));
+        }
+        Ok(CrowdDataset {
+            matrix,
+            ground_truth,
+            worker_accuracies,
+        })
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.matrix.n_items()
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.matrix.n_workers()
+    }
+
+    /// The crowd as `hc-core` workers (validated accuracies).
+    pub fn crowd(&self) -> Result<Crowd> {
+        Crowd::from_accuracies(&self.worker_accuracies).map_err(Into::into)
+    }
+
+    /// Fraction of `labels` that match the ground truth — the accuracy
+    /// metric of §IV-B.
+    pub fn accuracy_of(&self, labels: &[u8]) -> f64 {
+        debug_assert_eq!(labels.len(), self.ground_truth.len());
+        let correct = labels
+            .iter()
+            .zip(&self.ground_truth)
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f64 / self.ground_truth.len().max(1) as f64
+    }
+
+    /// Ground truth as booleans; only valid for binary corpora.
+    pub fn binary_truth(&self) -> Result<Vec<bool>> {
+        if self.matrix.n_classes() != 2 {
+            return Err(DataError::InvalidConfig(format!(
+                "binary_truth on {}-class dataset",
+                self.matrix.n_classes()
+            )));
+        }
+        Ok(self.ground_truth.iter().map(|&t| t == 1).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::AnswerEntry;
+
+    fn matrix() -> AnswerMatrix {
+        AnswerMatrix::new(
+            2,
+            2,
+            2,
+            vec![
+                AnswerEntry {
+                    item: 0,
+                    worker: 0,
+                    label: 1,
+                },
+                AnswerEntry {
+                    item: 1,
+                    worker: 1,
+                    label: 0,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(CrowdDataset::new(matrix(), vec![1], vec![0.8, 0.9]).is_err());
+        assert!(CrowdDataset::new(matrix(), vec![1, 0], vec![0.8]).is_err());
+        assert!(CrowdDataset::new(matrix(), vec![1, 2], vec![0.8, 0.9]).is_err());
+        assert!(CrowdDataset::new(matrix(), vec![1, 0], vec![0.8, 0.9]).is_ok());
+    }
+
+    #[test]
+    fn accuracy_of_labels() {
+        let ds = CrowdDataset::new(matrix(), vec![1, 0], vec![0.8, 0.9]).unwrap();
+        assert_eq!(ds.accuracy_of(&[1, 0]), 1.0);
+        assert_eq!(ds.accuracy_of(&[0, 0]), 0.5);
+        assert_eq!(ds.accuracy_of(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn binary_truth_round_trips() {
+        let ds = CrowdDataset::new(matrix(), vec![1, 0], vec![0.8, 0.9]).unwrap();
+        assert_eq!(ds.binary_truth().unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn crowd_conversion_validates_accuracies() {
+        let ds = CrowdDataset::new(matrix(), vec![1, 0], vec![0.8, 0.3]).unwrap();
+        assert!(ds.crowd().is_err(), "0.3 accuracy is below chance");
+    }
+}

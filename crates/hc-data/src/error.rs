@@ -1,0 +1,164 @@
+//! Error types for dataset construction and (de)serialisation.
+
+use std::fmt;
+
+/// Errors from `hc-data` containers, generators, and codecs.
+#[derive(Debug)]
+pub enum DataError {
+    /// An answer referenced an item, worker, or label outside the
+    /// matrix's declared dimensions.
+    OutOfRange {
+        /// Item index of the offending entry.
+        item: u32,
+        /// Worker index of the offending entry.
+        worker: u32,
+        /// Label of the offending entry.
+        label: u8,
+    },
+    /// A worker answered the same item more than once.
+    DuplicateAnswer {
+        /// Item answered twice.
+        item: u32,
+        /// Worker who answered twice.
+        worker: u32,
+    },
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(String),
+    /// Ground truth or accuracy vectors disagree with the matrix shape.
+    ShapeMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The binary snapshot was truncated or corrupt.
+    CorruptSnapshot(String),
+    /// Underlying JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Propagated core-model error (e.g. invalid accuracy).
+    Core(hc_core::HcError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::OutOfRange {
+                item,
+                worker,
+                label,
+            } => write!(
+                f,
+                "answer (item {item}, worker {worker}, label {label}) out of range"
+            ),
+            DataError::DuplicateAnswer { item, worker } => {
+                write!(f, "worker {worker} answered item {item} twice")
+            }
+            DataError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DataError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            DataError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            DataError::Json(e) => write!(f, "json error: {e}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Json(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            DataError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DataError {
+    fn from(e: serde_json::Error) -> Self {
+        DataError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<hc_core::HcError> for DataError {
+    fn from(e: hc_core::HcError) -> Self {
+        DataError::Core(e)
+    }
+}
+
+/// Result alias for `hc-data`.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+// PartialEq only for the variants tests compare; error payloads like
+// io::Error are not comparable.
+impl PartialEq for DataError {
+    fn eq(&self, other: &Self) -> bool {
+        use DataError::*;
+        match (self, other) {
+            (
+                OutOfRange {
+                    item: a,
+                    worker: b,
+                    label: c,
+                },
+                OutOfRange {
+                    item: x,
+                    worker: y,
+                    label: z,
+                },
+            ) => (a, b, c) == (x, y, z),
+            (
+                DuplicateAnswer { item: a, worker: b },
+                DuplicateAnswer { item: x, worker: y },
+            ) => (a, b) == (x, y),
+            (InvalidConfig(a), InvalidConfig(b)) => a == b,
+            (
+                ShapeMismatch {
+                    expected: a,
+                    actual: b,
+                },
+                ShapeMismatch {
+                    expected: x,
+                    actual: y,
+                },
+            ) => (a, b) == (x, y),
+            (CorruptSnapshot(a), CorruptSnapshot(b)) => a == b,
+            (Core(a), Core(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::OutOfRange {
+            item: 1,
+            worker: 2,
+            label: 3,
+        };
+        assert!(e.to_string().contains("worker 2"));
+        assert!(DataError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: DataError = hc_core::HcError::EmptyCrowd.into();
+        assert!(matches!(e, DataError::Core(_)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Task grouping: merging consecutive items into multi-fact tasks.
+//!
+//! §IV-A: "we aggregate 5 tasks of the same dataset to form a new task.
+//! Then, each task has 5 facts" — 1000 sentiment items become 200
+//! five-fact tasks whose facts are treated as correlated. This module
+//! provides that mapping plus the bridges from a grouped [`CrowdDataset`]
+//! into `hc-core` structures (vote tables, ground truths, global fact
+//! addressing).
+
+use crate::dataset::CrowdDataset;
+use crate::error::{DataError, Result};
+use hc_core::init::VoteTable;
+use hc_core::selection::GlobalFact;
+use hc_core::Answer;
+
+/// A partition of `n_items` into consecutive tasks of `group_size` facts
+/// (the final task may be smaller when `n_items` is not a multiple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskGrouping {
+    n_items: usize,
+    group_size: usize,
+}
+
+impl TaskGrouping {
+    /// Groups `n_items` into tasks of `group_size` facts.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidConfig`] for a zero group size.
+    pub fn new(n_items: usize, group_size: usize) -> Result<Self> {
+        if group_size == 0 {
+            return Err(DataError::InvalidConfig("group_size must be >= 1".into()));
+        }
+        if group_size > hc_core::belief::MAX_FACTS {
+            return Err(DataError::InvalidConfig(format!(
+                "group_size {group_size} exceeds the dense belief limit"
+            )));
+        }
+        Ok(TaskGrouping {
+            n_items,
+            group_size,
+        })
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n_items.div_ceil(self.group_size)
+    }
+
+    /// Number of facts in task `t`.
+    pub fn task_len(&self, task: usize) -> usize {
+        let start = task * self.group_size;
+        (self.n_items - start).min(self.group_size)
+    }
+
+    /// The item index behind a task-local fact.
+    pub fn item_of(&self, gf: GlobalFact) -> usize {
+        gf.task * self.group_size + gf.fact.index()
+    }
+
+    /// The `(task, fact)` address of an item.
+    pub fn fact_of(&self, item: usize) -> GlobalFact {
+        GlobalFact::new(item / self.group_size, (item % self.group_size) as u32)
+    }
+
+    /// Item ranges per task.
+    pub fn task_items(&self, task: usize) -> std::ops::Range<usize> {
+        let start = task * self.group_size;
+        start..start + self.task_len(task)
+    }
+
+    /// Per-task ground truths as booleans (binary corpora only).
+    pub fn grouped_truth(&self, dataset: &CrowdDataset) -> Result<Vec<Vec<bool>>> {
+        let flat = dataset.binary_truth()?;
+        Ok((0..self.n_tasks())
+            .map(|t| self.task_items(t).map(|i| flat[i]).collect())
+            .collect())
+    }
+
+    /// Per-task [`VoteTable`]s from the answers of the given workers —
+    /// the input of the Equation (15) belief initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hc_core::HcError::EmptyCrowd`] when some fact received
+    /// no votes from the selected workers.
+    pub fn vote_tables(
+        &self,
+        dataset: &CrowdDataset,
+        workers: impl Fn(u32) -> bool,
+    ) -> Result<Vec<VoteTable>> {
+        if dataset.matrix.n_classes() != 2 {
+            return Err(DataError::InvalidConfig(
+                "vote tables need a binary corpus".into(),
+            ));
+        }
+        let mut tables = Vec::with_capacity(self.n_tasks());
+        for t in 0..self.n_tasks() {
+            let votes: Vec<Vec<Answer>> = self
+                .task_items(t)
+                .map(|item| {
+                    dataset
+                        .matrix
+                        .by_item(item)
+                        .iter()
+                        .filter(|e| workers(e.worker))
+                        .map(|e| Answer::from_bool(e.label == 1))
+                        .collect()
+                })
+                .collect();
+            tables.push(VoteTable::new(votes)?);
+        }
+        Ok(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{AnswerEntry, AnswerMatrix};
+
+    fn dataset(n_items: usize, n_workers: usize) -> CrowdDataset {
+        // Every worker answers every item with the truth (alternating).
+        let truth: Vec<u8> = (0..n_items).map(|i| (i % 2) as u8).collect();
+        let entries = (0..n_items as u32)
+            .flat_map(|i| {
+                (0..n_workers as u32).map(move |w| AnswerEntry {
+                    item: i,
+                    worker: w,
+                    label: (i % 2) as u8,
+                })
+            })
+            .collect();
+        let matrix = AnswerMatrix::new(n_items, n_workers, 2, entries).unwrap();
+        CrowdDataset::new(matrix, truth, vec![0.8; n_workers]).unwrap()
+    }
+
+    #[test]
+    fn grouping_counts_tasks() {
+        let g = TaskGrouping::new(10, 5).unwrap();
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.task_len(0), 5);
+        let ragged = TaskGrouping::new(11, 5).unwrap();
+        assert_eq!(ragged.n_tasks(), 3);
+        assert_eq!(ragged.task_len(2), 1);
+    }
+
+    #[test]
+    fn addressing_round_trips() {
+        let g = TaskGrouping::new(12, 5).unwrap();
+        for item in 0..12 {
+            assert_eq!(g.item_of(g.fact_of(item)), item);
+        }
+        assert_eq!(g.fact_of(7), GlobalFact::new(1, 2));
+    }
+
+    #[test]
+    fn grouped_truth_matches_items() {
+        let ds = dataset(6, 2);
+        let g = TaskGrouping::new(6, 3).unwrap();
+        let truth = g.grouped_truth(&ds).unwrap();
+        assert_eq!(truth, vec![vec![false, true, false], vec![true, false, true]]);
+    }
+
+    #[test]
+    fn vote_tables_follow_votes() {
+        let ds = dataset(4, 3);
+        let g = TaskGrouping::new(4, 2).unwrap();
+        let tables = g.vote_tables(&ds, |_| true).unwrap();
+        assert_eq!(tables.len(), 2);
+        // Items 0,2 are all-No; items 1,3 all-Yes.
+        assert_eq!(tables[0].yes_fractions(), vec![0.0, 1.0]);
+        assert_eq!(tables[1].yes_fractions(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn vote_tables_respect_worker_filter() {
+        let ds = dataset(2, 3);
+        let g = TaskGrouping::new(2, 2).unwrap();
+        // Keeping no workers leaves facts unanswered -> error.
+        assert!(g.vote_tables(&ds, |_| false).is_err());
+        let one = g.vote_tables(&ds, |w| w == 0).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn zero_group_size_rejected() {
+        assert!(TaskGrouping::new(4, 0).is_err());
+        assert!(TaskGrouping::new(4, 999).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Dataset (de)serialisation: human-readable JSON and a compact binary
+//! snapshot format.
+//!
+//! JSON is the interchange format (inspectable, diffable); the binary
+//! snapshot (`HCDS` magic, little-endian, built on `bytes`) is for large
+//! corpora where JSON's ~6× size overhead matters.
+
+use crate::dataset::CrowdDataset;
+use crate::error::{DataError, Result};
+use crate::matrix::{AnswerEntry, AnswerMatrix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+
+/// Magic bytes of the binary snapshot format.
+const MAGIC: &[u8; 4] = b"HCDS";
+/// Current snapshot format version.
+const VERSION: u16 = 1;
+
+/// Saves a dataset as pretty-printed JSON.
+pub fn save_json(dataset: &CrowdDataset, path: &Path) -> Result<()> {
+    let json = serde_json::to_string_pretty(dataset)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a dataset from JSON.
+pub fn load_json(path: &Path) -> Result<CrowdDataset> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Encodes a dataset into the binary snapshot format.
+pub fn encode_snapshot(dataset: &CrowdDataset) -> Bytes {
+    let m = &dataset.matrix;
+    let mut buf = BytesMut::with_capacity(32 + m.n_items() + 8 * m.n_workers() + 9 * m.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(m.n_items() as u32);
+    buf.put_u32_le(m.n_workers() as u32);
+    buf.put_u16_le(m.n_classes() as u16);
+    buf.put_u64_le(m.len() as u64);
+    for &t in &dataset.ground_truth {
+        buf.put_u8(t);
+    }
+    for &a in &dataset.worker_accuracies {
+        buf.put_f64_le(a);
+    }
+    for e in m.entries() {
+        buf.put_u32_le(e.item);
+        buf.put_u32_le(e.worker);
+        buf.put_u8(e.label);
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary snapshot.
+///
+/// # Errors
+///
+/// [`DataError::CorruptSnapshot`] on bad magic, unknown version, or
+/// truncation; construction errors if the decoded contents are invalid.
+pub fn decode_snapshot(mut data: Bytes) -> Result<CrowdDataset> {
+    let corrupt = |msg: &str| DataError::CorruptSnapshot(msg.to_string());
+    if data.remaining() < 4 + 2 + 4 + 4 + 2 + 8 {
+        return Err(corrupt("header truncated"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(DataError::CorruptSnapshot(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let n_items = data.get_u32_le() as usize;
+    let n_workers = data.get_u32_le() as usize;
+    let n_classes = data.get_u16_le() as usize;
+    let n_entries = data.get_u64_le() as usize;
+
+    let body = n_items + 8 * n_workers + 9 * n_entries;
+    if data.remaining() < body {
+        return Err(corrupt("body truncated"));
+    }
+    let mut ground_truth = vec![0u8; n_items];
+    data.copy_to_slice(&mut ground_truth);
+    let mut worker_accuracies = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        worker_accuracies.push(data.get_f64_le());
+    }
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let item = data.get_u32_le();
+        let worker = data.get_u32_le();
+        let label = data.get_u8();
+        entries.push(AnswerEntry {
+            item,
+            worker,
+            label,
+        });
+    }
+    let matrix = AnswerMatrix::new(n_items, n_workers, n_classes, entries)?;
+    CrowdDataset::new(matrix, ground_truth, worker_accuracies)
+}
+
+/// Saves a dataset as a binary snapshot file.
+pub fn save_snapshot(dataset: &CrowdDataset, path: &Path) -> Result<()> {
+    fs::write(path, encode_snapshot(dataset))?;
+    Ok(())
+}
+
+/// Loads a dataset from a binary snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<CrowdDataset> {
+    let data = fs::read(path)?;
+    decode_snapshot(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> CrowdDataset {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 4;
+        generate(&config, &mut StdRng::seed_from_u64(5)).unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let ds = sample();
+        let decoded = decode_snapshot(encode_snapshot(&ds)).unwrap();
+        assert_eq!(ds, decoded);
+    }
+
+    #[test]
+    fn json_round_trips_via_files() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("hc_data_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_json(&ds, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(ds, loaded);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_via_files() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("hc_data_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.hcds");
+        save_snapshot(&ds, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(ds, loaded);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn snapshot_is_much_smaller_than_json() {
+        let ds = sample();
+        let bin = encode_snapshot(&ds).len();
+        let json = serde_json::to_string(&ds).unwrap().len();
+        assert!(bin * 3 < json, "binary {bin} vs json {json}");
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let ds = sample();
+        let good = encode_snapshot(&ds);
+
+        // Bad magic.
+        let mut bad = BytesMut::from(&good[..]);
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(bad.freeze()),
+            Err(DataError::CorruptSnapshot(_))
+        ));
+
+        // Truncated body.
+        let truncated = good.slice(0..good.len() - 3);
+        assert!(matches!(
+            decode_snapshot(truncated),
+            Err(DataError::CorruptSnapshot(_))
+        ));
+
+        // Truncated header.
+        assert!(matches!(
+            decode_snapshot(good.slice(0..6)),
+            Err(DataError::CorruptSnapshot(_))
+        ));
+
+        // Unknown version.
+        let mut versioned = BytesMut::from(&good[..]);
+        versioned[4] = 99;
+        assert!(matches!(
+            decode_snapshot(versioned.freeze()),
+            Err(DataError::CorruptSnapshot(_))
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! # hc-data — corpora for hierarchical crowdsourcing
+//!
+//! Dataset containers ([`matrix`], [`dataset`]), the 5-facts-per-task
+//! grouping of §IV-A ([`group`]), a synthetic heterogeneous-crowd corpus
+//! generator replacing the paper's offline sentiment dataset ([`synth`];
+//! see `DESIGN.md` for the substitution rationale), and JSON / binary
+//! snapshot codecs ([`io`]).
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod group;
+pub mod io;
+pub mod matrix;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::CrowdDataset;
+pub use error::{DataError, Result};
+pub use group::TaskGrouping;
+pub use matrix::{AnswerEntry, AnswerMatrix};
+pub use stats::{fleiss_kappa, matrix_stats, worker_agreement, MatrixStats};
+pub use synth::{generate, markov_joint, AccuracyModel, CrowdProfile, SynthConfig, SystematicErrors};

@@ -1,0 +1,305 @@
+//! Sparse crowdsourced answer matrices.
+//!
+//! The universal input of every aggregation baseline and of the HC
+//! pipeline: a list of `(item, worker, label)` triples. Items are the
+//! atomic labeling units (single binary facts in this paper's workloads);
+//! labels are small class indices (`0 = No`, `1 = Yes` for
+//! decision-making tasks, but the container supports any class count so
+//! the multi-class baselines stay faithful to their papers).
+//!
+//! Stored in CSR-by-item layout so per-item scans (the hot loop of every
+//! EM aggregator) are contiguous.
+
+use crate::error::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One crowdsourced answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerEntry {
+    /// Item (fact) index.
+    pub item: u32,
+    /// Worker index.
+    pub worker: u32,
+    /// Class label index (`< n_classes`).
+    pub label: u8,
+}
+
+/// A validated, item-indexed sparse answer matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerMatrix {
+    n_items: usize,
+    n_workers: usize,
+    n_classes: usize,
+    /// Entries sorted by `(item, worker)`.
+    entries: Vec<AnswerEntry>,
+    /// CSR offsets: entries of item `i` live in
+    /// `entries[item_offsets[i]..item_offsets[i+1]]`.
+    item_offsets: Vec<u32>,
+}
+
+impl AnswerMatrix {
+    /// Builds a matrix from raw triples.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::OutOfRange`] when any entry references an item,
+    /// worker, or label outside the declared dimensions;
+    /// [`DataError::DuplicateAnswer`] when a worker answered the same
+    /// item twice.
+    pub fn new(
+        n_items: usize,
+        n_workers: usize,
+        n_classes: usize,
+        mut entries: Vec<AnswerEntry>,
+    ) -> Result<Self> {
+        for e in &entries {
+            if e.item as usize >= n_items
+                || e.worker as usize >= n_workers
+                || e.label as usize >= n_classes
+            {
+                return Err(DataError::OutOfRange {
+                    item: e.item,
+                    worker: e.worker,
+                    label: e.label,
+                });
+            }
+        }
+        entries.sort_unstable_by_key(|e| (e.item, e.worker));
+        for w in entries.windows(2) {
+            if w[0].item == w[1].item && w[0].worker == w[1].worker {
+                return Err(DataError::DuplicateAnswer {
+                    item: w[0].item,
+                    worker: w[0].worker,
+                });
+            }
+        }
+        let mut item_offsets = Vec::with_capacity(n_items + 1);
+        item_offsets.push(0u32);
+        let mut cursor = 0usize;
+        for item in 0..n_items as u32 {
+            while cursor < entries.len() && entries[cursor].item == item {
+                cursor += 1;
+            }
+            item_offsets.push(cursor as u32);
+        }
+        Ok(AnswerMatrix {
+            n_items,
+            n_workers,
+            n_classes,
+            entries,
+            item_offsets,
+        })
+    }
+
+    /// Number of items (facts).
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total number of answers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix holds no answers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, sorted by `(item, worker)`.
+    #[inline]
+    pub fn entries(&self) -> &[AnswerEntry] {
+        &self.entries
+    }
+
+    /// The answers for one item (contiguous slice).
+    #[inline]
+    pub fn by_item(&self, item: usize) -> &[AnswerEntry] {
+        let lo = self.item_offsets[item] as usize;
+        let hi = self.item_offsets[item + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Per-worker view: `result[w]` lists `(item, label)` pairs for
+    /// worker `w`, in item order. `O(len)`; build once per aggregator
+    /// run, not per iteration.
+    pub fn worker_view(&self) -> Vec<Vec<(u32, u8)>> {
+        let mut view = vec![Vec::new(); self.n_workers];
+        for e in &self.entries {
+            view[e.worker as usize].push((e.item, e.label));
+        }
+        view
+    }
+
+    /// Per-item vote counts: `result[i][c]` counts answers of class `c`
+    /// for item `i`.
+    pub fn vote_counts(&self) -> Vec<Vec<u32>> {
+        let mut counts = vec![vec![0u32; self.n_classes]; self.n_items];
+        for e in &self.entries {
+            counts[e.item as usize][e.label as usize] += 1;
+        }
+        counts
+    }
+
+    /// Restricts the matrix to a subset of workers, preserving all
+    /// indices (rows of excluded workers simply disappear). Used to build
+    /// the preliminary-worker-only matrix for belief initialisation.
+    pub fn filter_workers(&self, keep: impl Fn(u32) -> bool) -> AnswerMatrix {
+        let entries: Vec<AnswerEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| keep(e.worker))
+            .collect();
+        AnswerMatrix::new(self.n_items, self.n_workers, self.n_classes, entries)
+            .expect("filtered entries stay valid")
+    }
+
+    /// Empirical accuracy of each worker against a ground-truth vector;
+    /// `None` for workers with no answers.
+    pub fn worker_accuracy(&self, truth: &[u8]) -> Vec<Option<f64>> {
+        debug_assert_eq!(truth.len(), self.n_items);
+        let mut correct = vec![0u32; self.n_workers];
+        let mut total = vec![0u32; self.n_workers];
+        for e in &self.entries {
+            total[e.worker as usize] += 1;
+            if truth[e.item as usize] == e.label {
+                correct[e.worker as usize] += 1;
+            }
+        }
+        correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| (t > 0).then(|| c as f64 / t as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(item: u32, worker: u32, label: u8) -> AnswerEntry {
+        AnswerEntry {
+            item,
+            worker,
+            label,
+        }
+    }
+
+    fn small() -> AnswerMatrix {
+        AnswerMatrix::new(
+            3,
+            2,
+            2,
+            vec![
+                entry(2, 0, 1),
+                entry(0, 0, 1),
+                entry(0, 1, 0),
+                entry(1, 1, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_layout_sorts_and_indexes() {
+        let m = small();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.by_item(0).len(), 2);
+        assert_eq!(m.by_item(1).len(), 1);
+        assert_eq!(m.by_item(2).len(), 1);
+        assert_eq!(m.by_item(0)[0].worker, 0);
+        assert_eq!(m.by_item(0)[1].worker, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            AnswerMatrix::new(1, 1, 2, vec![entry(1, 0, 0)]),
+            Err(DataError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            AnswerMatrix::new(1, 1, 2, vec![entry(0, 1, 0)]),
+            Err(DataError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            AnswerMatrix::new(1, 1, 2, vec![entry(0, 0, 2)]),
+            Err(DataError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(matches!(
+            AnswerMatrix::new(1, 1, 2, vec![entry(0, 0, 0), entry(0, 0, 1)]),
+            Err(DataError::DuplicateAnswer { item: 0, worker: 0 })
+        ));
+    }
+
+    #[test]
+    fn items_without_answers_have_empty_slices() {
+        let m = AnswerMatrix::new(3, 1, 2, vec![entry(1, 0, 1)]).unwrap();
+        assert!(m.by_item(0).is_empty());
+        assert_eq!(m.by_item(1).len(), 1);
+        assert!(m.by_item(2).is_empty());
+    }
+
+    #[test]
+    fn worker_view_groups_by_worker() {
+        let m = small();
+        let view = m.worker_view();
+        assert_eq!(view[0], vec![(0, 1), (2, 1)]);
+        assert_eq!(view[1], vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn vote_counts_tally_labels() {
+        let m = small();
+        let counts = m.vote_counts();
+        assert_eq!(counts[0], vec![1, 1]);
+        assert_eq!(counts[1], vec![0, 1]);
+        assert_eq!(counts[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn filter_workers_drops_rows() {
+        let m = small();
+        let only_w1 = m.filter_workers(|w| w == 1);
+        assert_eq!(only_w1.len(), 2);
+        assert!(only_w1.entries().iter().all(|e| e.worker == 1));
+        assert_eq!(only_w1.n_workers(), m.n_workers(), "indices preserved");
+    }
+
+    #[test]
+    fn worker_accuracy_against_truth() {
+        let m = small();
+        let acc = m.worker_accuracy(&[1, 1, 0]);
+        assert_eq!(acc[0], Some(0.5)); // item0 correct, item2 wrong
+        assert_eq!(acc[1], Some(0.5)); // item0 wrong, item1 correct
+        let empty = AnswerMatrix::new(1, 2, 2, vec![entry(0, 0, 1)]).unwrap();
+        assert_eq!(empty.worker_accuracy(&[1])[1], None);
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let m = AnswerMatrix::new(2, 2, 2, vec![]).unwrap();
+        assert!(m.is_empty());
+        assert!(m.by_item(0).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Corpus diagnostics: inter-annotator agreement and answer-matrix
+//! statistics.
+//!
+//! Standard measures for judging a crowdsourced corpus before any truth
+//! inference runs: per-item vote agreement, pairwise worker agreement
+//! (the raw signal behind EBCC's worker-correlation modeling), and
+//! Fleiss' κ — chance-corrected agreement across the whole crowd.
+
+use crate::matrix::AnswerMatrix;
+
+/// Summary statistics of an answer matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Total answers.
+    pub answers: usize,
+    /// Mean answers per item.
+    pub answers_per_item: f64,
+    /// Fraction of items where every vote agrees.
+    pub unanimous_rate: f64,
+    /// Mean per-item majority share (1.0 = always unanimous, ~1/K =
+    /// uniform disagreement).
+    pub mean_majority_share: f64,
+    /// Fleiss' κ across all items (see [`fleiss_kappa`]).
+    pub fleiss_kappa: f64,
+}
+
+/// Computes summary statistics for a matrix.
+pub fn matrix_stats(matrix: &AnswerMatrix) -> MatrixStats {
+    let counts = matrix.vote_counts();
+    let mut unanimous = 0usize;
+    let mut majority_share_sum = 0.0;
+    let mut rated_items = 0usize;
+    for item_counts in &counts {
+        let total: u32 = item_counts.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        rated_items += 1;
+        let max = *item_counts.iter().max().expect("n_classes >= 1");
+        if max == total {
+            unanimous += 1;
+        }
+        majority_share_sum += max as f64 / total as f64;
+    }
+    MatrixStats {
+        answers: matrix.len(),
+        answers_per_item: matrix.len() as f64 / matrix.n_items().max(1) as f64,
+        unanimous_rate: unanimous as f64 / rated_items.max(1) as f64,
+        mean_majority_share: majority_share_sum / rated_items.max(1) as f64,
+        fleiss_kappa: fleiss_kappa(matrix),
+    }
+}
+
+/// Fleiss' κ: chance-corrected agreement for many raters over
+/// categorical items.
+///
+/// Items with fewer than two answers are skipped (agreement is undefined
+/// on them); the generalised (variable-rater-count) form is used, so
+/// incomplete matrices are fine. Returns 0 when the statistic is
+/// undefined (no rateable items, or zero expected disagreement with zero
+/// observed disagreement — i.e. perfect unanimity, which we report as
+/// κ = 1).
+pub fn fleiss_kappa(matrix: &AnswerMatrix) -> f64 {
+    let k = matrix.n_classes();
+    let counts = matrix.vote_counts();
+    let mut p_bar_sum = 0.0;
+    let mut rated_items = 0usize;
+    let mut class_totals = vec![0.0f64; k];
+    let mut total_answers = 0.0f64;
+
+    for item_counts in &counts {
+        let n: u32 = item_counts.iter().sum();
+        if n < 2 {
+            continue;
+        }
+        rated_items += 1;
+        let n = n as f64;
+        let agree: f64 = item_counts
+            .iter()
+            .map(|&c| c as f64 * (c as f64 - 1.0))
+            .sum();
+        p_bar_sum += agree / (n * (n - 1.0));
+        for (slot, &c) in class_totals.iter_mut().zip(item_counts) {
+            *slot += c as f64;
+        }
+        total_answers += n;
+    }
+    if rated_items == 0 || total_answers == 0.0 {
+        return 0.0;
+    }
+    let p_bar = p_bar_sum / rated_items as f64;
+    let p_e: f64 = class_totals
+        .iter()
+        .map(|&t| (t / total_answers).powi(2))
+        .sum();
+    if (1.0 - p_e).abs() < 1e-12 {
+        // All answers in one class: perfect (if vacuous) agreement.
+        return if p_bar >= 1.0 - 1e-12 { 1.0 } else { 0.0 };
+    }
+    (p_bar - p_e) / (1.0 - p_e)
+}
+
+/// Pairwise worker agreement: `result[a][b]` is the fraction of items
+/// both answered where their labels match (`NaN` when they share no
+/// items). The diagonal is 1 for workers with any answers.
+pub fn worker_agreement(matrix: &AnswerMatrix) -> Vec<Vec<f64>> {
+    let m = matrix.n_workers();
+    let mut agree = vec![vec![0u32; m]; m];
+    let mut shared = vec![vec![0u32; m]; m];
+    for item in 0..matrix.n_items() {
+        let answers = matrix.by_item(item);
+        for (i, a) in answers.iter().enumerate() {
+            for b in &answers[i..] {
+                let (wa, wb) = (a.worker as usize, b.worker as usize);
+                shared[wa][wb] += 1;
+                shared[wb][wa] += 1;
+                if a.label == b.label {
+                    agree[wa][wb] += 1;
+                    agree[wb][wa] += 1;
+                }
+            }
+        }
+    }
+    (0..m)
+        .map(|a| {
+            (0..m)
+                .map(|b| {
+                    if shared[a][b] == 0 {
+                        f64::NAN
+                    } else {
+                        agree[a][b] as f64 / shared[a][b] as f64
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::AnswerEntry;
+    use crate::synth::{generate, CrowdProfile, SynthConfig, SystematicErrors};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entry(item: u32, worker: u32, label: u8) -> AnswerEntry {
+        AnswerEntry {
+            item,
+            worker,
+            label,
+        }
+    }
+
+    #[test]
+    fn unanimous_matrix_has_kappa_one() {
+        let m = AnswerMatrix::new(
+            2,
+            3,
+            2,
+            vec![
+                entry(0, 0, 1),
+                entry(0, 1, 1),
+                entry(0, 2, 1),
+                entry(1, 0, 0),
+                entry(1, 1, 0),
+                entry(1, 2, 0),
+            ],
+        )
+        .unwrap();
+        let kappa = fleiss_kappa(&m);
+        assert!((kappa - 1.0).abs() < 1e-9, "kappa {kappa}");
+        let stats = matrix_stats(&m);
+        assert_eq!(stats.unanimous_rate, 1.0);
+        assert_eq!(stats.mean_majority_share, 1.0);
+    }
+
+    #[test]
+    fn random_answers_have_kappa_near_zero() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n_items = 500;
+        let entries: Vec<AnswerEntry> = (0..n_items as u32)
+            .flat_map(|item| {
+                let labels: Vec<u8> = (0..4).map(|_| rng.gen_range(0..2u8)).collect();
+                labels
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(w, l)| entry(item, w as u32, l))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let m = AnswerMatrix::new(n_items, 4, 2, entries).unwrap();
+        let kappa = fleiss_kappa(&m);
+        assert!(kappa.abs() < 0.06, "kappa {kappa} should be ~0");
+    }
+
+    #[test]
+    fn accurate_crowds_have_higher_kappa_than_noisy_ones() {
+        let corpus = |acc: f64| {
+            let config = SynthConfig {
+                n_tasks: 100,
+                facts_per_task: 5,
+                base_rate: 0.5,
+                correlation: 0.5,
+                crowd: CrowdProfile {
+                    groups: vec![(5, crate::synth::AccuracyModel::Fixed(acc))],
+                },
+                systematic_errors: None,
+            };
+            generate(&config, &mut StdRng::seed_from_u64(9)).unwrap()
+        };
+        let sharp = fleiss_kappa(&corpus(0.95).matrix);
+        let noisy = fleiss_kappa(&corpus(0.6).matrix);
+        assert!(sharp > 0.7, "sharp {sharp}");
+        assert!(noisy < sharp, "noisy {noisy} vs sharp {sharp}");
+    }
+
+    #[test]
+    fn worker_agreement_exposes_systematic_correlation() {
+        let mut config = SynthConfig {
+            n_tasks: 200,
+            facts_per_task: 5,
+            base_rate: 0.5,
+            correlation: 0.5,
+            crowd: CrowdProfile {
+                groups: vec![(4, crate::synth::AccuracyModel::Fixed(0.8))],
+            },
+            systematic_errors: None,
+        };
+        config.systematic_errors = Some(SystematicErrors {
+            workers: 2,
+            rate: 0.35,
+        });
+        let ds = generate(&config, &mut StdRng::seed_from_u64(10)).unwrap();
+        let agreement = worker_agreement(&ds.matrix);
+        assert!(
+            agreement[0][1] > agreement[2][3] + 0.04,
+            "correlated pair {} vs independent pair {}",
+            agreement[0][1],
+            agreement[2][3]
+        );
+        // Diagonal and symmetry.
+        assert_eq!(agreement[0][0], 1.0);
+        assert_eq!(agreement[1][2], agreement[2][1]);
+    }
+
+    #[test]
+    fn items_with_single_answers_are_skipped() {
+        let m = AnswerMatrix::new(
+            2,
+            2,
+            2,
+            vec![entry(0, 0, 1), entry(0, 1, 1), entry(1, 0, 0)],
+        )
+        .unwrap();
+        // Item 1 has one answer; κ computed over item 0 only.
+        assert!((fleiss_kappa(&m) - 1.0).abs() < 1e-9);
+        // A matrix with no multi-answer items is undefined -> 0.
+        let single = AnswerMatrix::new(1, 1, 2, vec![entry(0, 0, 1)]).unwrap();
+        assert_eq!(fleiss_kappa(&single), 0.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Synthetic heterogeneous-crowd corpus generator.
+//!
+//! Substitute for the paper's real sentiment dataset (company tweets from
+//! the Zheng et al. benchmark \[29\]), which is not available offline. The
+//! generator reproduces the statistical structure the algorithms actually
+//! consume (see `DESIGN.md` — Substitutions):
+//!
+//! * binary decision-making facts, merged 5-per-task, with *correlated*
+//!   truth within a task (first-order Markov chain over the facts: each
+//!   fact repeats the previous one's truth value with probability
+//!   `correlation`);
+//! * a heterogeneous crowd: a small high-accuracy group above the θ=0.9
+//!   split and a larger 0.55–0.89 preliminary group, 8 workers per task
+//!   as in §IV-A;
+//! * complete answer matrices sampled from the §II-A error model — each
+//!   worker answers each fact correctly with probability `Pr_cr`,
+//!   independently.
+//!
+//! Every sample is driven by a caller-provided RNG, so corpora are
+//! reproducible bit-for-bit from a seed.
+
+use crate::dataset::CrowdDataset;
+use crate::error::{DataError, Result};
+use crate::matrix::{AnswerEntry, AnswerMatrix};
+use rand::Rng;
+use rand_distr::{Beta, Distribution};
+use serde::{Deserialize, Serialize};
+
+/// How one group of workers' accuracy rates are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccuracyModel {
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (≥ 0.5).
+        lo: f64,
+        /// Upper bound (≤ 1.0).
+        hi: f64,
+    },
+    /// `Beta(alpha, beta)` rescaled into `[lo, hi]` — lets the crowd skew
+    /// toward either end of its band.
+    Beta {
+        /// Beta shape α.
+        alpha: f64,
+        /// Beta shape β.
+        beta: f64,
+        /// Lower bound (≥ 0.5).
+        lo: f64,
+        /// Upper bound (≤ 1.0).
+        hi: f64,
+    },
+    /// Every worker has exactly this accuracy.
+    Fixed(f64),
+}
+
+impl AccuracyModel {
+    fn validate(&self) -> Result<()> {
+        let (lo, hi) = match *self {
+            AccuracyModel::Uniform { lo, hi } => (lo, hi),
+            AccuracyModel::Beta { alpha, beta, lo, hi } => {
+                if alpha <= 0.0 || beta <= 0.0 {
+                    return Err(DataError::InvalidConfig(
+                        "beta shapes must be positive".into(),
+                    ));
+                }
+                (lo, hi)
+            }
+            AccuracyModel::Fixed(a) => (a, a),
+        };
+        if !(0.5..=1.0).contains(&lo) || !(0.5..=1.0).contains(&hi) || lo > hi {
+            return Err(DataError::InvalidConfig(format!(
+                "accuracy band [{lo}, {hi}] must lie within [0.5, 1.0]"
+            )));
+        }
+        Ok(())
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            AccuracyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            AccuracyModel::Beta { alpha, beta, lo, hi } => {
+                let dist = Beta::new(alpha, beta).expect("validated shapes");
+                lo + (hi - lo) * dist.sample(rng)
+            }
+            AccuracyModel::Fixed(a) => a,
+        }
+    }
+}
+
+/// The crowd composition: ordered groups of `(count, accuracy model)`.
+///
+/// Worker indices are assigned group by group, so `group_ranges` can
+/// recover which workers belong to which band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdProfile {
+    /// `(how many workers, how their accuracies are drawn)` per group.
+    pub groups: Vec<(usize, AccuracyModel)>,
+}
+
+impl CrowdProfile {
+    /// The §IV-A setting: 8 workers per task — 2 experts above the θ=0.9
+    /// split and 6 preliminary workers. One preliminary worker sits in
+    /// [0.86, 0.89] and one in [0.81, 0.84] so the Figure 4 thresholds
+    /// (0.8, 0.85, 0.9) are guaranteed to produce three different crowd
+    /// splits regardless of seed.
+    pub fn paper_default() -> Self {
+        CrowdProfile {
+            groups: vec![
+                (2, AccuracyModel::Uniform { lo: 0.91, hi: 0.97 }),
+                (1, AccuracyModel::Uniform { lo: 0.86, hi: 0.89 }),
+                (1, AccuracyModel::Uniform { lo: 0.81, hi: 0.84 }),
+                (4, AccuracyModel::Uniform { lo: 0.55, hi: 0.79 }),
+            ],
+        }
+    }
+
+    /// Total worker count.
+    pub fn n_workers(&self) -> usize {
+        self.groups.iter().map(|(n, _)| n).sum()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_workers() == 0 {
+            return Err(DataError::InvalidConfig("crowd has no workers".into()));
+        }
+        for (_, model) in &self.groups {
+            model.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Correlated systematic worker errors — the conditional-independence
+/// violation EBCC \[30\] targets: the first `workers` workers share an
+/// error mode, all answering class 0 on the same `rate` fraction of
+/// items regardless of truth (e.g. annotators who share a misread
+/// guideline). Plain DS/BCC cannot express this; EBCC's subtypes can.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystematicErrors {
+    /// How many workers (indices `0..workers`) share the mode.
+    pub workers: usize,
+    /// Fraction of items hit by the shared mode.
+    pub rate: f64,
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of multi-fact tasks.
+    pub n_tasks: usize,
+    /// Facts per task (5 in the paper's workload).
+    pub facts_per_task: usize,
+    /// `P(first fact of a task is true)`.
+    pub base_rate: f64,
+    /// `P(fact_i has the same truth value as fact_{i-1})` — the
+    /// within-task correlation. `0.5` makes facts independent; `1.0`
+    /// makes each task all-true or all-false.
+    pub correlation: f64,
+    /// Crowd composition.
+    pub crowd: CrowdProfile,
+    /// Optional correlated-worker error mode (default: none).
+    #[serde(default)]
+    pub systematic_errors: Option<SystematicErrors>,
+}
+
+impl SynthConfig {
+    /// The workload of §IV-A: 200 tasks × 5 facts (1000 sentiment items),
+    /// 8 workers, noticeable within-task correlation.
+    pub fn paper_default() -> Self {
+        SynthConfig {
+            n_tasks: 200,
+            facts_per_task: 5,
+            base_rate: 0.55,
+            correlation: 0.7,
+            crowd: CrowdProfile::paper_default(),
+            systematic_errors: None,
+        }
+    }
+
+    /// Total item count.
+    pub fn n_items(&self) -> usize {
+        self.n_tasks * self.facts_per_task
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_tasks == 0 || self.facts_per_task == 0 {
+            return Err(DataError::InvalidConfig(
+                "need at least one task and one fact per task".into(),
+            ));
+        }
+        if self.facts_per_task > hc_core::belief::MAX_FACTS {
+            return Err(DataError::InvalidConfig(format!(
+                "facts_per_task {} exceeds the dense belief limit",
+                self.facts_per_task
+            )));
+        }
+        if !(0.0 < self.base_rate && self.base_rate < 1.0) {
+            return Err(DataError::InvalidConfig(format!(
+                "base_rate {} must be in (0, 1)",
+                self.base_rate
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.correlation) {
+            return Err(DataError::InvalidConfig(format!(
+                "correlation {} must be in [0, 1]",
+                self.correlation
+            )));
+        }
+        if let Some(se) = &self.systematic_errors {
+            if se.workers > self.crowd.n_workers() {
+                return Err(DataError::InvalidConfig(format!(
+                    "systematic_errors.workers {} exceeds crowd size {}",
+                    se.workers,
+                    self.crowd.n_workers()
+                )));
+            }
+            if !(0.0..=1.0).contains(&se.rate) {
+                return Err(DataError::InvalidConfig(format!(
+                    "systematic_errors.rate {} must be in [0, 1]",
+                    se.rate
+                )));
+            }
+        }
+        self.crowd.validate()
+    }
+}
+
+/// Generates a complete corpus from the configuration and RNG.
+pub fn generate(config: &SynthConfig, rng: &mut impl Rng) -> Result<CrowdDataset> {
+    config.validate()?;
+    let n_items = config.n_items();
+    let n_workers = config.crowd.n_workers();
+
+    // Worker accuracies, group by group.
+    let mut accuracies = Vec::with_capacity(n_workers);
+    for (count, model) in &config.crowd.groups {
+        for _ in 0..*count {
+            accuracies.push(model.sample(rng));
+        }
+    }
+
+    // Ground truth: per task, a Markov chain over the facts.
+    let mut truth = Vec::with_capacity(n_items);
+    for _ in 0..config.n_tasks {
+        let mut prev = rng.gen_bool(config.base_rate);
+        truth.push(u8::from(prev));
+        for _ in 1..config.facts_per_task {
+            let same = rng.gen_bool(config.correlation);
+            let value = if same { prev } else { !prev };
+            truth.push(u8::from(value));
+            prev = value;
+        }
+    }
+
+    // Which items the shared systematic error mode hits (if configured).
+    let systematic: Vec<bool> = match &config.systematic_errors {
+        Some(se) => (0..n_items).map(|_| rng.gen_bool(se.rate)).collect(),
+        None => vec![false; n_items],
+    };
+    let systematic_workers = config
+        .systematic_errors
+        .map(|se| se.workers)
+        .unwrap_or(0);
+
+    // Complete answer matrix: every worker answers every item, correct
+    // with probability `accuracy` (the §II-A error model), except on
+    // systematic-mode items where affected workers all answer class 0.
+    let mut entries = Vec::with_capacity(n_items * n_workers);
+    for (item, &t) in truth.iter().enumerate() {
+        for (worker, &acc) in accuracies.iter().enumerate() {
+            let label = if worker < systematic_workers && systematic[item] {
+                0
+            } else if rng.gen_bool(acc) {
+                t
+            } else {
+                1 - t
+            };
+            entries.push(AnswerEntry {
+                item: item as u32,
+                worker: worker as u32,
+                label,
+            });
+        }
+    }
+
+    let matrix = AnswerMatrix::new(n_items, n_workers, 2, entries)?;
+    CrowdDataset::new(matrix, truth, accuracies)
+}
+
+/// The exact joint truth distribution a task's facts follow under the
+/// generator's Markov model — index `o` is the probability of the
+/// observation bitmask `o`. Useful as a gold prior in tests and oracle
+/// studies.
+pub fn markov_joint(facts: usize, base_rate: f64, correlation: f64) -> Vec<f64> {
+    let mut joint = vec![0.0; 1 << facts];
+    for (o, slot) in joint.iter_mut().enumerate() {
+        let first = o & 1 == 1;
+        let mut p = if first { base_rate } else { 1.0 - base_rate };
+        for i in 1..facts {
+            let prev = (o >> (i - 1)) & 1;
+            let cur = (o >> i) & 1;
+            p *= if prev == cur {
+                correlation
+            } else {
+                1.0 - correlation
+            };
+        }
+        *slot = p;
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_default_generates_expected_shape() {
+        let config = SynthConfig::paper_default();
+        let ds = generate(&config, &mut rng(1)).unwrap();
+        assert_eq!(ds.n_items(), 1000);
+        assert_eq!(ds.n_workers(), 8);
+        assert_eq!(ds.matrix.len(), 8000, "complete matrix");
+        // θ=0.9 split finds the two experts.
+        let experts = ds
+            .worker_accuracies
+            .iter()
+            .filter(|&&a| a >= 0.9)
+            .count();
+        assert_eq!(experts, 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = SynthConfig::paper_default();
+        let a = generate(&config, &mut rng(42)).unwrap();
+        let b = generate(&config, &mut rng(42)).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&config, &mut rng(43)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worker_empirical_accuracy_tracks_parameter() {
+        let config = SynthConfig {
+            n_tasks: 400,
+            facts_per_task: 5,
+            base_rate: 0.5,
+            correlation: 0.6,
+            crowd: CrowdProfile {
+                groups: vec![(1, AccuracyModel::Fixed(0.9)), (1, AccuracyModel::Fixed(0.6))],
+            },
+            systematic_errors: None,
+        };
+        let ds = generate(&config, &mut rng(7)).unwrap();
+        let emp = ds.matrix.worker_accuracy(&ds.ground_truth);
+        assert!((emp[0].unwrap() - 0.9).abs() < 0.03);
+        assert!((emp[1].unwrap() - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn correlation_one_makes_tasks_uniform() {
+        let config = SynthConfig {
+            n_tasks: 50,
+            facts_per_task: 4,
+            base_rate: 0.5,
+            correlation: 1.0,
+            crowd: CrowdProfile {
+                groups: vec![(1, AccuracyModel::Fixed(0.9))],
+            },
+            systematic_errors: None,
+        };
+        let ds = generate(&config, &mut rng(3)).unwrap();
+        for t in 0..50 {
+            let slice = &ds.ground_truth[t * 4..(t + 1) * 4];
+            assert!(slice.iter().all(|&v| v == slice[0]));
+        }
+    }
+
+    #[test]
+    fn markov_joint_normalises_and_matches_marginal() {
+        let joint = markov_joint(5, 0.55, 0.7);
+        assert!((joint.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // First-fact marginal equals base rate.
+        let p_first: f64 = joint
+            .iter()
+            .enumerate()
+            .filter(|(o, _)| o & 1 == 1)
+            .map(|(_, &p)| p)
+            .sum();
+        assert!((p_first - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_joint_independent_when_correlation_half() {
+        let joint = markov_joint(3, 0.5, 0.5);
+        for &p in &joint {
+            assert!((p - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_truth_correlation_matches_config() {
+        let config = SynthConfig {
+            n_tasks: 2000,
+            facts_per_task: 5,
+            base_rate: 0.5,
+            correlation: 0.8,
+            crowd: CrowdProfile {
+                groups: vec![(1, AccuracyModel::Fixed(0.9))],
+            },
+            systematic_errors: None,
+        };
+        let ds = generate(&config, &mut rng(11)).unwrap();
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for t in 0..config.n_tasks {
+            let slice = &ds.ground_truth[t * 5..(t + 1) * 5];
+            for w in slice.windows(2) {
+                total += 1;
+                if w[0] == w[1] {
+                    same += 1;
+                }
+            }
+        }
+        let ratio = same as f64 / total as f64;
+        assert!((ratio - 0.8).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn beta_model_stays_in_band() {
+        let model = AccuracyModel::Beta {
+            alpha: 2.0,
+            beta: 5.0,
+            lo: 0.6,
+            hi: 0.8,
+        };
+        let mut r = rng(9);
+        for _ in 0..100 {
+            let a = model.sample(&mut r);
+            assert!((0.6..=0.8).contains(&a));
+        }
+    }
+
+    #[test]
+    fn systematic_errors_correlate_the_affected_workers() {
+        let config = SynthConfig {
+            n_tasks: 400,
+            facts_per_task: 5,
+            base_rate: 0.5,
+            correlation: 0.5,
+            crowd: CrowdProfile {
+                groups: vec![(4, AccuracyModel::Fixed(0.85))],
+            },
+            systematic_errors: Some(SystematicErrors {
+                workers: 2,
+                rate: 0.3,
+            }),
+        };
+        let ds = generate(&config, &mut rng(21)).unwrap();
+        // Agreement between the two correlated workers must exceed the
+        // agreement between two independent ones.
+        let view = ds.matrix.worker_view();
+        let agreement = |a: usize, b: usize| {
+            let hits = view[a]
+                .iter()
+                .zip(&view[b])
+                .filter(|((_, la), (_, lb))| la == lb)
+                .count();
+            hits as f64 / view[a].len() as f64
+        };
+        let correlated = agreement(0, 1);
+        let independent = agreement(2, 3);
+        assert!(
+            correlated > independent + 0.05,
+            "correlated {correlated} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn systematic_errors_validation() {
+        let mut config = SynthConfig::paper_default();
+        config.systematic_errors = Some(SystematicErrors {
+            workers: 99,
+            rate: 0.2,
+        });
+        assert!(generate(&config, &mut rng(1)).is_err());
+        config.systematic_errors = Some(SystematicErrors {
+            workers: 2,
+            rate: 1.5,
+        });
+        assert!(generate(&config, &mut rng(1)).is_err());
+        config.systematic_errors = Some(SystematicErrors {
+            workers: 2,
+            rate: 0.2,
+        });
+        assert!(generate(&config, &mut rng(1)).is_ok());
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let mut config = SynthConfig::paper_default();
+        config.base_rate = 0.0;
+        assert!(generate(&config, &mut rng(1)).is_err());
+
+        let mut config = SynthConfig::paper_default();
+        config.correlation = 1.5;
+        assert!(generate(&config, &mut rng(1)).is_err());
+
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 0;
+        assert!(generate(&config, &mut rng(1)).is_err());
+
+        let mut config = SynthConfig::paper_default();
+        config.crowd = CrowdProfile { groups: vec![] };
+        assert!(generate(&config, &mut rng(1)).is_err());
+
+        let mut config = SynthConfig::paper_default();
+        config.crowd = CrowdProfile {
+            groups: vec![(1, AccuracyModel::Uniform { lo: 0.3, hi: 0.9 })],
+        };
+        assert!(generate(&config, &mut rng(1)).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Accuracy/quality-vs-budget curves — the data behind every figure.
+
+use hc_core::belief::MultiBelief;
+use hc_core::hc::{run_hc_with_observer, AnswerOracle, HcConfig};
+use hc_core::selection::TaskSelector;
+use hc_core::worker::ExpertPanel;
+use hc_sim::pipeline::dataset_accuracy;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Cumulative checking budget spent.
+    pub budget: u64,
+    /// Label accuracy against ground truth at that budget.
+    pub accuracy: f64,
+    /// Dataset quality `Q = -Σ_t H(O_t)` at that budget.
+    pub quality: f64,
+}
+
+/// A labeled accuracy/quality-vs-budget series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// Series label (algorithm / parameter value).
+    pub label: String,
+    /// Points in increasing budget order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// The curve's value at a budget: the last point with
+    /// `point.budget <= budget` (curves are step functions of spent
+    /// budget).
+    pub fn at(&self, budget: u64) -> Option<CurvePoint> {
+        self.points
+            .iter()
+            .take_while(|p| p.budget <= budget)
+            .last()
+            .copied()
+    }
+
+    /// Resamples the curve at the given checkpoints.
+    pub fn sample(&self, checkpoints: &[u64]) -> Curve {
+        Curve {
+            label: self.label.clone(),
+            points: checkpoints
+                .iter()
+                .filter_map(|&b| self.at(b).map(|p| CurvePoint { budget: b, ..p }))
+                .collect(),
+        }
+    }
+
+    /// Final accuracy (last point).
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.points.last().map(|p| p.accuracy)
+    }
+
+    /// Final quality (last point).
+    pub fn final_quality(&self) -> Option<f64> {
+        self.points.last().map(|p| p.quality)
+    }
+}
+
+/// Runs the HC loop once with the maximum budget and records a curve
+/// point after every round (plus the budget-0 starting point).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hc_curve(
+    label: impl Into<String>,
+    beliefs: MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    truths: &[Vec<bool>],
+    k: usize,
+    budget: u64,
+    rng: &mut dyn RngCore,
+) -> hc_core::Result<Curve> {
+    let mut points = vec![CurvePoint {
+        budget: 0,
+        accuracy: dataset_accuracy(&beliefs, truths),
+        quality: beliefs.quality(),
+    }];
+    let config = HcConfig::new(k, budget);
+    run_hc_with_observer(
+        beliefs,
+        panel,
+        selector,
+        oracle,
+        &config,
+        rng,
+        |state, record| {
+            points.push(CurvePoint {
+                budget: record.budget_spent,
+                accuracy: dataset_accuracy(state, truths),
+                quality: record.quality,
+            });
+        },
+    )?;
+    Ok(Curve {
+        label: label.into(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Curve {
+        Curve {
+            label: "t".into(),
+            points: vec![
+                CurvePoint {
+                    budget: 0,
+                    accuracy: 0.8,
+                    quality: -10.0,
+                },
+                CurvePoint {
+                    budget: 4,
+                    accuracy: 0.85,
+                    quality: -8.0,
+                },
+                CurvePoint {
+                    budget: 8,
+                    accuracy: 0.9,
+                    quality: -6.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn at_returns_step_value() {
+        let c = curve();
+        assert_eq!(c.at(0).unwrap().accuracy, 0.8);
+        assert_eq!(c.at(5).unwrap().accuracy, 0.85);
+        assert_eq!(c.at(100).unwrap().accuracy, 0.9);
+    }
+
+    #[test]
+    fn sample_uses_checkpoint_budgets() {
+        let c = curve().sample(&[0, 2, 6, 10]);
+        let budgets: Vec<u64> = c.points.iter().map(|p| p.budget).collect();
+        assert_eq!(budgets, vec![0, 2, 6, 10]);
+        assert_eq!(c.points[1].accuracy, 0.8);
+        assert_eq!(c.points[2].accuracy, 0.85);
+    }
+
+    #[test]
+    fn finals_read_last_point() {
+        let c = curve();
+        assert_eq!(c.final_accuracy(), Some(0.9));
+        assert_eq!(c.final_quality(), Some(-6.0));
+    }
+}

@@ -1,0 +1,609 @@
+//! Extension experiments beyond the paper's evaluation — the §III-D
+//! discussion items and the design-choice ablations `DESIGN.md` calls
+//! out:
+//!
+//! * [`cost`] — cost-aware experts: accuracy-proportional answer pricing
+//!   (§III-D "the cost is related to his/her accuracy rate").
+//! * [`estimation`] — robustness to *estimated* worker accuracies from a
+//!   gold subset instead of the generator's true rates (§II-A).
+//! * [`policy`] — the repeat-policy ablation: the literal Algorithm 2
+//!   (unrestricted re-selection) vs the cycle-then-repeat eligibility
+//!   the offline-replay evaluation needs (see `hc-core::hc::RepeatPolicy`).
+//! * [`multitier`] — more than two crowd tiers, checked sequentially.
+
+use super::{aggregator_marginals, build_corpus, ExperimentOutput};
+use crate::curve::{run_hc_curve, Curve, CurvePoint};
+use crate::report::{curves_table, Metric};
+use crate::settings::ExpSettings;
+use hc_baselines::{Aggregator, Ebcc};
+use hc_core::hc::{
+    run_hc_costed, AccuracyCost, HcConfig, RepeatPolicy, RoundRecord, UnitCost,
+};
+use hc_core::selection::GreedySelector;
+use hc_core::worker::ExpertPanel;
+use hc_data::CrowdDataset;
+use hc_sim::pipeline::dataset_accuracy;
+use hc_sim::{estimate_accuracies, prepare, sample_gold_items, InitMethod, PipelineConfig, ReplayOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_prepare(
+    dataset: &CrowdDataset,
+    settings_theta: f64,
+) -> (hc_sim::Prepared, PipelineConfig) {
+    let config = PipelineConfig {
+        theta: settings_theta,
+        group_size: 5,
+    };
+    let marginals = aggregator_marginals(dataset, config.theta, &Ebcc::new());
+    let prepared = prepare(dataset, &config, &InitMethod::Marginals(marginals))
+        .expect("paper corpus prepares");
+    (prepared, config)
+}
+
+/// Cost-aware checking: unit pricing vs accuracy-proportional pricing at
+/// the same monetary budget.
+pub fn cost(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
+
+    let mut curves = Vec::new();
+    for (label, model) in [
+        ("UnitCost", None),
+        ("AccuracyCost", Some(AccuracyCost { base: 1, scale: 2 })),
+    ] {
+        let mut beliefs = prepared.beliefs.clone();
+        let mut oracle =
+            ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE001);
+        let config = HcConfig::new(1, settings.budget_max);
+        let mut points = vec![CurvePoint {
+            budget: 0,
+            accuracy: dataset_accuracy(&beliefs, &prepared.truths),
+            quality: beliefs.quality(),
+        }];
+        let truths = &prepared.truths;
+        let mut observer = |state: &hc_core::belief::MultiBelief, record: &RoundRecord| {
+            points.push(CurvePoint {
+                budget: record.budget_spent,
+                accuracy: dataset_accuracy(state, truths),
+                quality: record.quality,
+            });
+        };
+        match model {
+            None => run_hc_costed(
+                &mut beliefs,
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &config,
+                &UnitCost,
+                &mut rng,
+                &mut observer,
+            ),
+            Some(m) => run_hc_costed(
+                &mut beliefs,
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &config,
+                &m,
+                &mut rng,
+                &mut observer,
+            ),
+        }
+        .expect("costed loop succeeds");
+        curves.push(
+            Curve {
+                label: label.to_string(),
+                points,
+            }
+            .sample(&settings.checkpoints),
+        );
+    }
+
+    let tables = vec![curves_table(
+        "Extension — cost-aware experts (same monetary budget)",
+        &curves,
+        Metric::Quality,
+    )];
+    ExperimentOutput {
+        name: "ext-cost".into(),
+        tables,
+        curves: vec![("ext_cost".into(), curves)],
+        extra: None,
+    }
+}
+
+/// True accuracies vs gold-set estimates of varying size.
+pub fn estimation(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let theta = super::fig2::THETA;
+    let gold_sizes = [10usize, 40, 160];
+
+    let mut curves = Vec::new();
+
+    // Reference: the generator's true accuracies.
+    curves.push(run_with_accuracies(
+        settings,
+        &dataset,
+        theta,
+        dataset.worker_accuracies.clone(),
+        "true".into(),
+    ));
+
+    for &gold in &gold_sizes {
+        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE002);
+        let gold_items = sample_gold_items(dataset.n_items(), gold, &mut rng);
+        let estimates = estimate_accuracies(&dataset, &gold_items);
+        curves.push(run_with_accuracies(
+            settings,
+            &dataset,
+            theta,
+            estimates,
+            format!("gold={gold}"),
+        ));
+    }
+
+    let tables = vec![curves_table(
+        "Extension — estimated vs true worker accuracies",
+        &curves,
+        Metric::Accuracy,
+    )];
+    ExperimentOutput {
+        name: "ext-estimation".into(),
+        tables,
+        curves: vec![("ext_estimation".into(), curves)],
+        extra: None,
+    }
+}
+
+/// One HC run where the loop believes `accuracies` (true or estimated);
+/// the oracle still replays the answers the *true* workers recorded.
+fn run_with_accuracies(
+    settings: &ExpSettings,
+    dataset: &CrowdDataset,
+    theta: f64,
+    accuracies: Vec<f64>,
+    label: String,
+) -> Curve {
+    // Swap the believed accuracies into a copy of the dataset so the
+    // θ-split, initialisation weighting and Bayes updates all use them.
+    let mut believed = dataset.clone();
+    believed.worker_accuracies = accuracies;
+    let config = PipelineConfig {
+        theta,
+        group_size: 5,
+    };
+    let marginals = aggregator_marginals(&believed, theta, &Ebcc::new());
+    let prepared = match prepare(&believed, &config, &InitMethod::Marginals(marginals)) {
+        Ok(p) => p,
+        Err(_) => {
+            // Degenerate estimate (e.g. no worker reaches θ): report a
+            // flat zero-information curve rather than crashing the sweep.
+            return Curve {
+                label: format!("{label} (no experts)"),
+                points: settings
+                    .checkpoints
+                    .iter()
+                    .map(|&budget| CurvePoint {
+                        budget,
+                        accuracy: 0.5,
+                        quality: f64::NEG_INFINITY,
+                    })
+                    .collect(),
+            };
+        }
+    };
+    let mut oracle =
+        ReplayOracle::new(dataset, prepared.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE003);
+    run_hc_curve(
+        label,
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &prepared.truths,
+        1,
+        settings.budget_max,
+        &mut rng,
+    )
+    .expect("HC run succeeds")
+    .sample(&settings.checkpoints)
+}
+
+/// Repeat-policy ablation: cycle-then-repeat vs the literal Algorithm 2.
+pub fn policy(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
+
+    let mut curves = Vec::new();
+    for (label, policy) in [
+        ("CycleThenRepeat", RepeatPolicy::CycleThenRepeat),
+        ("Unrestricted", RepeatPolicy::Unrestricted),
+    ] {
+        let mut beliefs = prepared.beliefs.clone();
+        let mut oracle =
+            ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE004);
+        let mut config = HcConfig::new(1, settings.budget_max);
+        config.repeat_policy = policy;
+        let mut points = vec![CurvePoint {
+            budget: 0,
+            accuracy: dataset_accuracy(&beliefs, &prepared.truths),
+            quality: beliefs.quality(),
+        }];
+        let truths = &prepared.truths;
+        let mut observer = |state: &hc_core::belief::MultiBelief, record: &RoundRecord| {
+            points.push(CurvePoint {
+                budget: record.budget_spent,
+                accuracy: dataset_accuracy(state, truths),
+                quality: record.quality,
+            });
+        };
+        run_hc_costed(
+            &mut beliefs,
+            &prepared.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &UnitCost,
+            &mut rng,
+            &mut observer,
+        )
+        .expect("loop succeeds");
+        curves.push(
+            Curve {
+                label: label.to_string(),
+                points,
+            }
+            .sample(&settings.checkpoints),
+        );
+    }
+
+    let tables = vec![
+        curves_table("Extension — repeat policy (accuracy)", &curves, Metric::Accuracy),
+        curves_table("Extension — repeat policy (quality)", &curves, Metric::Quality),
+    ];
+    ExperimentOutput {
+        name: "ext-policy".into(),
+        tables,
+        curves: vec![("ext_policy".into(), curves)],
+        extra: None,
+    }
+}
+
+/// Multi-tier crowds: two-tier (the paper's design) vs a three-tier
+/// split checking sequentially from the weakest expert tier upward.
+pub fn multitier(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
+
+    // Two-tier reference.
+    let mut oracle =
+        ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE005);
+    let two_tier = run_hc_curve(
+        "two-tier",
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &prepared.truths,
+        1,
+        settings.budget_max,
+        &mut rng,
+    )
+    .expect("HC run succeeds")
+    .sample(&settings.checkpoints);
+
+    // Three-tier: the 0.85–0.9 workers become a mid tier that checks
+    // first with 40% of the budget; the ≥0.9 experts finish the rest.
+    let crowd = dataset.crowd().expect("valid crowd");
+    let tiers_workers = crowd.split_tiers(&[0.85, 0.9]);
+    let mid_budget = settings.budget_max * 2 / 5;
+    let top_budget = settings.budget_max - mid_budget;
+    let tiers = vec![
+        (ExpertPanel::new(tiers_workers[1].clone()), mid_budget),
+        (ExpertPanel::new(tiers_workers[2].clone()), top_budget),
+    ];
+    let mut oracle =
+        ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE005);
+    let outcome = hc_core::hc::run_multi_tier(
+        prepared.beliefs.clone(),
+        &tiers,
+        &GreedySelector::new(),
+        &mut oracle,
+        1,
+        &mut rng,
+    )
+    .expect("multi-tier run succeeds");
+    let mut points = vec![CurvePoint {
+        budget: 0,
+        accuracy: dataset_accuracy(&prepared.beliefs, &prepared.truths),
+        quality: prepared.beliefs.quality(),
+    }];
+    // The multi-tier trace only has quality; accuracy is recomputed for
+    // the final state and carried on the last point.
+    for r in &outcome.rounds {
+        points.push(CurvePoint {
+            budget: r.budget_spent,
+            accuracy: f64::NAN,
+            quality: r.quality,
+        });
+    }
+    if let Some(last) = points.last_mut() {
+        last.accuracy = dataset_accuracy(&outcome.beliefs, &prepared.truths);
+    }
+    let three_tier = Curve {
+        label: "three-tier".into(),
+        points,
+    }
+    .sample(&settings.checkpoints);
+
+    let curves = vec![two_tier, three_tier];
+    let tables = vec![curves_table(
+        "Extension — multi-tier crowds (quality)",
+        &curves,
+        Metric::Quality,
+    )];
+    ExperimentOutput {
+        name: "ext-multitier".into(),
+        tables,
+        curves: vec![("ext_multitier".into(), curves)],
+        extra: None,
+    }
+}
+
+/// Allocation ablation: how far does the *strongest baseline* get when
+/// its extra expert labels are targeted at the most-disputed items
+/// instead of assigned round-robin — and does HC still win? Separates
+/// HC's two advantages (uncertainty targeting vs Bayesian aggregation
+/// over correlated facts).
+pub fn allocation(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let theta = super::fig2::THETA;
+    let (prepared, _) = paper_prepare(&dataset, theta);
+
+    // HC reference.
+    let mut oracle =
+        ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE006);
+    let hc = run_hc_curve(
+        "HC",
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &prepared.truths,
+        1,
+        settings.budget_max,
+        &mut rng,
+    )
+    .expect("HC run succeeds")
+    .sample(&settings.checkpoints);
+
+    // DS with round-robin vs targeted expert labels.
+    let ds = hc_baselines::DawidSkene::new();
+    let mut curves = vec![hc];
+    for (label, targeted) in [("DS round-robin", false), ("DS targeted", true)] {
+        let points = settings
+            .checkpoints
+            .iter()
+            .map(|&budget| {
+                let matrix = if targeted {
+                    super::augmented_matrix_targeted(&dataset, theta, budget)
+                } else {
+                    super::augmented_matrix(&dataset, theta, budget)
+                };
+                let result = ds.aggregate(&matrix).expect("augmented matrix aggregates");
+                CurvePoint {
+                    budget,
+                    accuracy: dataset.accuracy_of(&result.map_labels()),
+                    quality: f64::NAN,
+                }
+            })
+            .collect();
+        curves.push(Curve {
+            label: label.into(),
+            points,
+        });
+    }
+
+    let tables = vec![curves_table(
+        "Extension — expert-label allocation (accuracy)",
+        &curves,
+        Metric::Accuracy,
+    )];
+    ExperimentOutput {
+        name: "ext-allocation".into(),
+        tables,
+        curves: vec![("ext_allocation".into(), curves)],
+        extra: None,
+    }
+}
+
+/// Latency ablation (§IV-C(1)'s waiting-time discussion): the same
+/// budget spent with k ∈ {1, 3, 5} — accuracy barely changes, total
+/// crowd wall-clock drops with k because per-round dispatch overhead is
+/// paid fewer times.
+pub fn latency(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
+    let model = hc_sim::LatencyModel::default();
+
+    let mut rows = Vec::new();
+    for k in [1usize, 3, 5] {
+        let mut oracle =
+            ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE007);
+        let mut clock = hc_sim::WallClock::default();
+        let mut latency_rng = StdRng::seed_from_u64(settings.seed ^ 0xE008);
+        let workers = prepared.panel.workers().to_vec();
+        let model_ref = &model;
+        let outcome = hc_core::hc::run_hc_with_observer(
+            prepared.beliefs.clone(),
+            &prepared.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(k, settings.budget_max),
+            &mut rng,
+            |_, record| {
+                clock.record_round(model_ref.round_secs(
+                    &workers,
+                    record.queries.len(),
+                    &mut latency_rng,
+                ));
+            },
+        )
+        .expect("HC run succeeds");
+        rows.push((
+            k,
+            dataset_accuracy(&outcome.beliefs, &prepared.truths),
+            outcome.quality(),
+            clock,
+        ));
+    }
+
+    let mut table = String::from("# Extension — k vs crowd wall-clock (same budget)\n");
+    table.push_str(&format!(
+        "{:>4} {:>10} {:>12} {:>8} {:>14} {:>14}\n",
+        "k", "accuracy", "quality", "rounds", "wall hours", "secs/round"
+    ));
+    for (k, acc, quality, clock) in &rows {
+        table.push_str(&format!(
+            "{:>4} {:>10.4} {:>12.2} {:>8} {:>14.2} {:>14.1}\n",
+            k,
+            acc,
+            quality,
+            clock.rounds,
+            clock.total_secs / 3600.0,
+            clock.mean_round_secs()
+        ));
+    }
+    let extra = serde_json::to_value(
+        rows.iter()
+            .map(|(k, acc, quality, clock)| {
+                serde_json::json!({
+                    "k": k,
+                    "accuracy": acc,
+                    "quality": quality,
+                    "rounds": clock.rounds,
+                    "wall_secs": clock.total_secs,
+                })
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("rows serialise");
+
+    ExperimentOutput {
+        name: "ext-latency".into(),
+        tables: vec![table],
+        curves: vec![],
+        extra: Some(extra),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Scale;
+
+    fn settings() -> ExpSettings {
+        ExpSettings::for_scale(Scale::Quick, 42)
+    }
+
+    #[test]
+    fn cost_models_run_and_unit_cost_spends_further() {
+        let out = cost(&settings());
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 2);
+        // Pricier experts => fewer answers per budget => quality at the
+        // final checkpoint should not exceed unit-cost quality.
+        let unit = curves[0].final_quality().unwrap();
+        let priced = curves[1].final_quality().unwrap();
+        assert!(unit >= priced - 1e-9, "unit {unit} vs priced {priced}");
+    }
+
+    #[test]
+    fn estimation_curves_cover_all_settings() {
+        let out = estimation(&settings());
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 4, "true + 3 gold sizes");
+        // Large gold sets should track the true-accuracy run closely.
+        let true_final = curves[0].final_accuracy().unwrap();
+        let largest_gold_final = curves[3].final_accuracy().unwrap();
+        assert!(
+            (true_final - largest_gold_final).abs() < 0.1,
+            "true {true_final} vs gold160 {largest_gold_final}"
+        );
+    }
+
+    #[test]
+    fn policy_ablation_shows_cycle_at_least_as_good() {
+        let out = policy(&settings());
+        let curves = &out.curves[0].1;
+        let cycle = curves[0].final_quality().unwrap();
+        let unrestricted = curves[1].final_quality().unwrap();
+        assert!(
+            cycle >= unrestricted - 1e-9,
+            "cycle {cycle} vs unrestricted {unrestricted}"
+        );
+    }
+
+    #[test]
+    fn allocation_ablation_keeps_hc_on_top() {
+        let out = allocation(&settings());
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 3);
+        let hc_final = curves[0].final_accuracy().unwrap();
+        let rr_final = curves[1].final_accuracy().unwrap();
+        let targeted_final = curves[2].final_accuracy().unwrap();
+        // Targeting helps the baseline...
+        assert!(
+            targeted_final >= rr_final - 0.02,
+            "targeted {targeted_final} vs round-robin {rr_final}"
+        );
+        // ...but HC stays competitive even against targeted allocation
+        // (on a tiny saturating-budget corpus the targeted baseline can
+        // fix every disputed item, so allow a small margin).
+        assert!(
+            hc_final >= targeted_final - 0.02,
+            "HC {hc_final} vs targeted DS {targeted_final}"
+        );
+    }
+
+    #[test]
+    fn latency_drops_with_larger_k() {
+        let out = latency(&settings());
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap().clone();
+        assert_eq!(rows.len(), 3);
+        let wall = |i: usize| rows[i]["wall_secs"].as_f64().unwrap();
+        assert!(
+            wall(0) > wall(1) && wall(1) > wall(2),
+            "wall clock should shrink with k: {} {} {}",
+            wall(0),
+            wall(1),
+            wall(2)
+        );
+        // Accuracy stays in a tight band across k (paper: ≤ 3.7%).
+        let acc = |i: usize| rows[i]["accuracy"].as_f64().unwrap();
+        assert!((acc(0) - acc(2)).abs() < 0.05);
+    }
+
+    #[test]
+    fn multitier_runs_and_improves_quality() {
+        let out = multitier(&settings());
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 2);
+        for c in curves {
+            assert!(
+                c.final_quality().unwrap() > c.points[0].quality,
+                "{} should improve",
+                c.label
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 4 — varying the expert threshold θ.
+//!
+//! Re-splitting the crowd at θ ∈ {0.8, 0.85, 0.9} changes both who
+//! initialises (CP) and who checks (CE). Paper shape: larger θ reaches
+//! higher accuracy/quality from a small budget (each answer is worth
+//! more), smaller θ climbs faster per round early on (more experts
+//! answer per query, spending budget quicker); past ~800 budget the
+//! θ = 0.9 curve plateaus and can dip slightly as wrong expert answers
+//! get re-selected.
+
+use super::{aggregator_marginals, build_corpus, ExperimentOutput};
+use crate::curve::{run_hc_curve, Curve};
+use crate::report::{curves_table, Metric};
+use crate::settings::ExpSettings;
+use hc_baselines::Ebcc;
+use hc_core::selection::GreedySelector;
+use hc_sim::{prepare, InitMethod, PipelineConfig, ReplayOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The thresholds swept (the paper plots 0.8, 0.85, 0.9).
+pub const THETAS: [f64; 3] = [0.8, 0.85, 0.9];
+
+/// Runs the Figure 4 experiment.
+pub fn run(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+
+    let curves: Vec<Curve> = THETAS
+        .iter()
+        .map(|&theta| {
+            let config = PipelineConfig {
+                theta,
+                group_size: 5,
+            };
+            let marginals = aggregator_marginals(&dataset, theta, &Ebcc::new());
+            let prepared = prepare(&dataset, &config, &InitMethod::Marginals(marginals))
+                .expect("thresholds within crowd accuracy range");
+            let mut oracle = ReplayOracle::new(&dataset, prepared.grouping)
+                .expect("complete synthetic corpus");
+            let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xF164);
+            run_hc_curve(
+                format!("theta={theta}"),
+                prepared.beliefs.clone(),
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &prepared.truths,
+                1,
+                settings.budget_max,
+                &mut rng,
+            )
+            .expect("HC run succeeds")
+            .sample(&settings.checkpoints)
+        })
+        .collect();
+
+    let tables = vec![
+        curves_table("Figure 4a — varying theta", &curves, Metric::Accuracy),
+        curves_table("Figure 4b — varying theta", &curves, Metric::Quality),
+    ];
+    ExperimentOutput {
+        name: "fig4".into(),
+        tables,
+        curves: vec![("fig4".into(), curves)],
+        extra: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Scale;
+
+    #[test]
+    fn fig4_quick_shape() {
+        let settings = ExpSettings::for_scale(Scale::Quick, 42);
+        let out = run(&settings);
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 3);
+        // Quality improves for every threshold.
+        for c in curves {
+            assert!(
+                c.final_quality().unwrap() > c.points[0].quality,
+                "{} quality should improve",
+                c.label
+            );
+        }
+        // All runs spend budget (at least one checking round happened).
+        for c in curves {
+            assert!(c.points.last().unwrap().budget > 0, "{}", c.label);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 7 — HC vs NO HC.
+//!
+//! HC: EBCC-initialised belief, only the expert tier checks. NO HC
+//! (brute-force checking): uniform initial belief and the *whole* crowd
+//! serves as checking workers. Paper shape: at equal budget the
+//! hierarchical design improves quality much faster.
+
+use super::{aggregator_marginals, build_corpus, ExperimentOutput};
+use crate::curve::run_hc_curve;
+use crate::report::{curves_table, Metric};
+use crate::settings::ExpSettings;
+use hc_baselines::Ebcc;
+use hc_core::selection::GreedySelector;
+use hc_core::worker::ExpertPanel;
+use hc_sim::{prepare, InitMethod, PipelineConfig, ReplayOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the Figure 7 experiment.
+pub fn run(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let config = PipelineConfig {
+        theta: super::fig2::THETA,
+        group_size: 5,
+    };
+
+    // --- HC ---
+    let marginals = aggregator_marginals(&dataset, config.theta, &Ebcc::new());
+    let prepared = prepare(&dataset, &config, &InitMethod::Marginals(marginals))
+        .expect("paper corpus prepares");
+    let mut oracle =
+        ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xF167);
+    let hc = run_hc_curve(
+        "HC",
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &prepared.truths,
+        1,
+        settings.budget_max,
+        &mut rng,
+    )
+    .expect("HC run succeeds")
+    .sample(&settings.checkpoints);
+
+    // --- NO HC: uniform belief, everyone checks. ---
+    let uniform = prepare(&dataset, &config, &InitMethod::Uniform)
+        .expect("uniform init prepares");
+    let whole_crowd = ExpertPanel::from_accuracies(&dataset.worker_accuracies)
+        .expect("synthetic accuracies are valid");
+    let mut oracle =
+        ReplayOracle::new(&dataset, uniform.grouping).expect("complete synthetic corpus");
+    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xF167);
+    let no_hc = run_hc_curve(
+        "NO HC",
+        uniform.beliefs.clone(),
+        &whole_crowd,
+        &GreedySelector::new(),
+        &mut oracle,
+        &uniform.truths,
+        1,
+        settings.budget_max,
+        &mut rng,
+    )
+    .expect("NO-HC run succeeds")
+    .sample(&settings.checkpoints);
+
+    let curves = vec![hc, no_hc];
+    let tables = vec![curves_table(
+        "Figure 7 — HC vs NO HC",
+        &curves,
+        Metric::Quality,
+    )];
+    ExperimentOutput {
+        name: "fig7".into(),
+        tables,
+        curves: vec![("fig7".into(), curves)],
+        extra: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Scale;
+
+    #[test]
+    fn fig7_quick_shape() {
+        let settings = ExpSettings::for_scale(Scale::Quick, 42);
+        let out = run(&settings);
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), 2);
+        let hc = &curves[0];
+        let no_hc = &curves[1];
+
+        // Paper shape: at every shared budget checkpoint, HC quality is
+        // at least NO-HC quality.
+        for (p_hc, p_no) in hc.points.iter().zip(&no_hc.points) {
+            assert_eq!(p_hc.budget, p_no.budget);
+            assert!(
+                p_hc.quality >= p_no.quality,
+                "budget {}: HC {} vs NO-HC {}",
+                p_hc.budget,
+                p_hc.quality,
+                p_no.quality
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! One runner per table/figure of the paper's evaluation (§IV).
+//!
+//! | Runner | Paper result | What it shows |
+//! |---|---|---|
+//! | [`fig2`] | Figure 2 | HC vs 8 aggregation baselines, accuracy vs budget |
+//! | [`fig3`] | Figure 3 | varying `k` (queries per round) |
+//! | [`fig4`] | Figure 4 | varying θ (expert threshold) |
+//! | [`fig5`] | Figure 5 | OPT vs Approx vs Random selection |
+//! | [`fig6`] | Figure 6 | varying belief initialisation (8 aggregators) |
+//! | [`fig7`] | Figure 7 | HC vs flat checking from a uniform belief |
+//! | [`table3`] | Table III | per-round selection runtime, OPT vs Approx |
+//!
+//! Every runner consumes [`crate::settings::ExpSettings`]
+//! and returns an [`ExperimentOutput`] with rendered tables plus the raw
+//! curves for JSON export.
+
+pub mod ext;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table3;
+
+use crate::curve::Curve;
+use crate::settings::ExpSettings;
+use hc_baselines::Aggregator;
+use hc_data::{AnswerEntry, AnswerMatrix, CrowdDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Rendered result of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutput {
+    /// Experiment id (`fig2` … `table3`).
+    pub name: String,
+    /// Console tables, ready to print.
+    pub tables: Vec<String>,
+    /// Raw curve groups for JSON export, keyed by group name.
+    pub curves: Vec<(String, Vec<Curve>)>,
+    /// Non-curve raw results (e.g. Table III timing rows).
+    pub extra: Option<serde_json::Value>,
+}
+
+impl ExperimentOutput {
+    /// Prints all tables to stdout.
+    pub fn print(&self) {
+        for t in &self.tables {
+            println!("{t}");
+        }
+    }
+}
+
+/// Generates the experiment corpus for the settings (deterministic in
+/// the seed).
+pub fn build_corpus(settings: &ExpSettings) -> CrowdDataset {
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    hc_data::synth::generate(&settings.synth_config(), &mut rng)
+        .expect("paper-default synth config is valid")
+}
+
+/// Worker ids at or above the accuracy threshold θ.
+pub fn expert_ids(dataset: &CrowdDataset, theta: f64) -> Vec<u32> {
+    dataset
+        .worker_accuracies
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a >= theta)
+        .map(|(w, _)| w as u32)
+        .collect()
+}
+
+/// The preliminary-worker-only answer matrix (everything below θ).
+pub fn cp_matrix(dataset: &CrowdDataset, theta: f64) -> AnswerMatrix {
+    let experts = expert_ids(dataset, theta);
+    dataset
+        .matrix
+        .filter_workers(|w| !experts.contains(&w))
+}
+
+/// Runs an aggregator on the CP-only matrix and returns its per-item
+/// `P(true)` marginals — the belief initialisation of Figure 6 and the
+/// main pipeline (§IV-A initialises with EBCC).
+pub fn aggregator_marginals(
+    dataset: &CrowdDataset,
+    theta: f64,
+    aggregator: &dyn Aggregator,
+) -> Vec<f64> {
+    let matrix = cp_matrix(dataset, theta);
+    aggregator
+        .aggregate(&matrix)
+        .expect("complete CP matrix aggregates")
+        .binary_marginals()
+}
+
+/// The CP answers plus the first `budget` expert answers in
+/// `(item, expert)` order — how the aggregation baselines consume the
+/// same human-labor budget HC spends on checking (Figure 2's x-axis).
+pub fn augmented_matrix(dataset: &CrowdDataset, theta: f64, budget: u64) -> AnswerMatrix {
+    let order: Vec<usize> = (0..dataset.matrix.n_items()).collect();
+    augmented_matrix_in_order(dataset, theta, budget, &order)
+}
+
+/// Like [`augmented_matrix`], but expert labels go to the items where
+/// the preliminary crowd *disagrees most* (highest vote entropy) first —
+/// an uncertainty-targeted allocation that isolates how much of HC's
+/// advantage is targeting vs. Bayesian aggregation (the `ext-allocation`
+/// ablation).
+pub fn augmented_matrix_targeted(dataset: &CrowdDataset, theta: f64, budget: u64) -> AnswerMatrix {
+    let cp = cp_matrix(dataset, theta);
+    let mut scored: Vec<(f64, usize)> = cp
+        .vote_counts()
+        .iter()
+        .enumerate()
+        .map(|(item, counts)| {
+            let total: u32 = counts.iter().sum();
+            let h = if total == 0 {
+                f64::MAX // Unvoted items are maximally urgent.
+            } else {
+                -counts
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / total as f64;
+                        p * p.ln()
+                    })
+                    .sum::<f64>()
+            };
+            (h, item)
+        })
+        .collect();
+    // Most uncertain first; ties by item index for determinism.
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let order: Vec<usize> = scored.into_iter().map(|(_, item)| item).collect();
+    augmented_matrix_in_order(dataset, theta, budget, &order)
+}
+
+fn augmented_matrix_in_order(
+    dataset: &CrowdDataset,
+    theta: f64,
+    budget: u64,
+    item_order: &[usize],
+) -> AnswerMatrix {
+    let experts = expert_ids(dataset, theta);
+    let mut entries: Vec<AnswerEntry> = dataset
+        .matrix
+        .entries()
+        .iter()
+        .copied()
+        .filter(|e| !experts.contains(&e.worker))
+        .collect();
+    let mut remaining = budget;
+    'outer: for &item in item_order {
+        for e in dataset.matrix.by_item(item) {
+            if experts.contains(&e.worker) {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                entries.push(*e);
+                remaining -= 1;
+            }
+        }
+    }
+    AnswerMatrix::new(
+        dataset.matrix.n_items(),
+        dataset.matrix.n_workers(),
+        dataset.matrix.n_classes(),
+        entries,
+    )
+    .expect("augmentation preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::{ExpSettings, Scale};
+
+    fn settings() -> ExpSettings {
+        ExpSettings::for_scale(Scale::Quick, 7)
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = build_corpus(&settings());
+        let b = build_corpus(&settings());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expert_split_matches_profile() {
+        let ds = build_corpus(&settings());
+        let experts = expert_ids(&ds, 0.9);
+        assert_eq!(experts.len(), 2, "paper crowd profile has 2 experts");
+        let cp = cp_matrix(&ds, 0.9);
+        assert!(cp.entries().iter().all(|e| !experts.contains(&e.worker)));
+        assert_eq!(cp.len(), ds.matrix.len() * 6 / 8);
+    }
+
+    #[test]
+    fn augmented_matrix_adds_exactly_budget_expert_answers() {
+        let ds = build_corpus(&settings());
+        let base = cp_matrix(&ds, 0.9);
+        for budget in [0u64, 5, 17] {
+            let aug = augmented_matrix(&ds, 0.9, budget);
+            assert_eq!(aug.len(), base.len() + budget as usize);
+        }
+        // Budget beyond available expert answers saturates.
+        let aug = augmented_matrix(&ds, 0.9, u64::MAX);
+        assert_eq!(aug.len(), ds.matrix.len());
+    }
+
+    #[test]
+    fn aggregator_marginals_have_item_shape() {
+        let ds = build_corpus(&settings());
+        let mv = hc_baselines::MajorityVote::new();
+        let marginals = aggregator_marginals(&ds, 0.9, &mv);
+        assert_eq!(marginals.len(), ds.n_items());
+        assert!(marginals.iter().all(|&m| (0.0..=1.0).contains(&m)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Table III — average running time per selection round, OPT vs Approx.
+//!
+//! Measured on a single task with >20 facts (the paper's setup), for
+//! k = 1..10. Paper shape: OPT explodes combinatorially (×10–17 per
+//! step, timing out from k = 4); Approx grows much more slowly
+//! (≈ ×2 per step once the answer-family enumeration dominates) and
+//! completes every k.
+
+use super::ExperimentOutput;
+use crate::settings::{ExpSettings, Scale};
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::selection::{ExactSelector, GreedySelector, TaskSelector};
+use hc_core::worker::ExpertPanel;
+use hc_core::HcError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One row of Table III.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Queries selected per round.
+    pub k: usize,
+    /// OPT wall time in seconds; `None` = timed out (or skipped after a
+    /// smaller `k` already timed out).
+    pub opt_secs: Option<f64>,
+    /// Approx (greedy) wall time in seconds.
+    pub approx_secs: f64,
+}
+
+/// Workload parameters, scale-dependent.
+#[derive(Debug, Clone)]
+pub struct Table3Config {
+    /// Facts in the single measured task (paper: > 20).
+    pub facts: usize,
+    /// Expert panel accuracies.
+    pub experts: Vec<f64>,
+    /// The `k` values measured.
+    pub ks: Vec<usize>,
+    /// OPT wall-clock budget per `k`.
+    pub opt_timeout: Duration,
+}
+
+impl Table3Config {
+    /// Configuration for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Table3Config {
+                facts: 12,
+                experts: vec![0.95, 0.9],
+                ks: (1..=4).collect(),
+                opt_timeout: Duration::from_millis(250),
+            },
+            Scale::Paper => Table3Config {
+                facts: 22,
+                experts: vec![0.95, 0.9],
+                ks: (1..=10).collect(),
+                opt_timeout: Duration::from_secs(60),
+            },
+        }
+    }
+}
+
+/// Runs the Table III measurement.
+pub fn run(settings: &ExpSettings) -> ExperimentOutput {
+    let config = Table3Config::for_scale(settings.scale);
+    let rows = measure(&config);
+    let table = render(&rows);
+    ExperimentOutput {
+        name: "table3".into(),
+        tables: vec![table],
+        curves: vec![],
+        extra: Some(serde_json::to_value(&rows).expect("rows serialise")),
+    }
+}
+
+/// Measures selection wall times for every `k` in the configuration.
+pub fn measure(config: &Table3Config) -> Vec<Table3Row> {
+    // A correlated >20-fact task: the generator's Markov joint.
+    let joint = hc_data::markov_joint(config.facts, 0.55, 0.7);
+    let belief = Belief::from_probs(joint).expect("markov joint is a valid belief");
+    let beliefs = MultiBelief::new(vec![belief]);
+    let panel = ExpertPanel::from_accuracies(&config.experts).expect("valid accuracies");
+
+    let candidates = hc_core::selection::global_facts(&beliefs);
+    let mut rows = Vec::with_capacity(config.ks.len());
+    let mut opt_dead = false;
+    for &k in &config.ks {
+        let mut rng = StdRng::seed_from_u64(0x7AB3);
+        let greedy = GreedySelector::new();
+        let t0 = Instant::now();
+        let selected = greedy
+            .select(&beliefs, &panel, k, &candidates, &mut rng)
+            .expect("greedy selection succeeds");
+        let approx_secs = t0.elapsed().as_secs_f64();
+        debug_assert!(selected.len() <= k);
+
+        let opt_secs = if opt_dead {
+            None // A smaller k already timed out; larger k only grows.
+        } else {
+            let exact = ExactSelector::with_time_budget(config.opt_timeout);
+            let t0 = Instant::now();
+            match exact.select(&beliefs, &panel, k, &candidates, &mut rng) {
+                Ok(_) => Some(t0.elapsed().as_secs_f64()),
+                Err(HcError::Timeout) => {
+                    opt_dead = true;
+                    None
+                }
+                Err(e) => panic!("unexpected selection error: {e}"),
+            }
+        };
+        rows.push(Table3Row {
+            k,
+            opt_secs,
+            approx_secs,
+        });
+    }
+    rows
+}
+
+/// Renders rows in the paper's Table III layout.
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table III — running time per round (seconds)");
+    let _ = writeln!(out, "{:>4} {:>14} {:>14}", "k", "OPT", "Approx");
+    for r in rows {
+        let opt = match r.opt_secs {
+            Some(s) => format!("{s:.3}"),
+            None => "timeout".to_string(),
+        };
+        let _ = writeln!(out, "{:>4} {:>14} {:>14.3}", r.k, opt, r.approx_secs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_has_expected_shape() {
+        let mut config = Table3Config::for_scale(Scale::Quick);
+        config.ks = vec![1, 2, 3];
+        config.opt_timeout = Duration::from_millis(120);
+        let rows = measure(&config);
+        assert_eq!(rows.len(), 3);
+        // k=1: OPT completes (it only scans N candidates).
+        assert!(rows[0].opt_secs.is_some(), "OPT k=1 should finish");
+        // Approx always completes.
+        assert!(rows.iter().all(|r| r.approx_secs > 0.0));
+        // Once OPT times out it stays timed out.
+        let first_timeout = rows.iter().position(|r| r.opt_secs.is_none());
+        if let Some(i) = first_timeout {
+            assert!(rows[i..].iter().all(|r| r.opt_secs.is_none()));
+        }
+    }
+
+    #[test]
+    fn render_marks_timeouts() {
+        let rows = vec![
+            Table3Row {
+                k: 1,
+                opt_secs: Some(0.5),
+                approx_secs: 0.1,
+            },
+            Table3Row {
+                k: 4,
+                opt_secs: None,
+                approx_secs: 0.2,
+            },
+        ];
+        let table = render(&rows);
+        assert!(table.contains("timeout"));
+        assert!(table.contains("0.500"));
+    }
+}

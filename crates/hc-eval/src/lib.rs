@@ -1,0 +1,59 @@
+//! # hc-eval — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (§IV) on the synthetic corpus; see [`experiments`] for the map from
+//! paper result to runner, `EXPERIMENTS.md` in the repository root for
+//! paper-vs-measured records, and the `hc-eval` binary for the CLI.
+
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod experiments;
+pub mod report;
+pub mod settings;
+
+pub use curve::{run_hc_curve, Curve, CurvePoint};
+pub use experiments::ExperimentOutput;
+pub use report::{curves_table, write_json, Metric};
+pub use settings::{ExpSettings, Scale};
+
+/// The paper's experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 7] = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
+];
+
+/// Extension experiments beyond the paper (§III-D items and design
+/// ablations; see [`experiments::ext`]).
+pub const EXTENSION_EXPERIMENTS: [&str; 6] = [
+    "ext-cost",
+    "ext-estimation",
+    "ext-policy",
+    "ext-multitier",
+    "ext-allocation",
+    "ext-latency",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id; the valid ids are [`ALL_EXPERIMENTS`] and
+/// [`EXTENSION_EXPERIMENTS`].
+pub fn run_experiment(id: &str, settings: &ExpSettings) -> ExperimentOutput {
+    match id {
+        "fig2" => experiments::fig2::run(settings),
+        "fig3" => experiments::fig3::run(settings),
+        "fig4" => experiments::fig4::run(settings),
+        "fig5" => experiments::fig5::run(settings),
+        "fig6" => experiments::fig6::run(settings),
+        "fig7" => experiments::fig7::run(settings),
+        "table3" => experiments::table3::run(settings),
+        "ext-cost" => experiments::ext::cost(settings),
+        "ext-estimation" => experiments::ext::estimation(settings),
+        "ext-policy" => experiments::ext::policy(settings),
+        "ext-multitier" => experiments::ext::multitier(settings),
+        "ext-allocation" => experiments::ext::allocation(settings),
+        "ext-latency" => experiments::ext::latency(settings),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}

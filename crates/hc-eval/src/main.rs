@@ -1,0 +1,116 @@
+//! CLI of the experiment harness.
+//!
+//! ```text
+//! hc-eval [--experiment fig2|…|table3|ext-cost|…|all|ext]
+//!         [--scale quick|paper] [--seed N] [--out DIR] [--charts]
+//! ```
+//!
+//! Prints the paper-style tables to stdout (plus ASCII charts with
+//! `--charts`) and writes raw curves as JSON under `--out` (default
+//! `results/`).
+
+use hc_eval::{
+    run_experiment, write_json, ExpSettings, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    charts: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        scale: Scale::Paper,
+        seed: 42,
+        out: PathBuf::from("results"),
+        charts: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--experiment" | "-e" => args.experiment = value("--experiment")?,
+            "--scale" | "-s" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--out" | "-o" => args.out = PathBuf::from(value("--out")?),
+            "--charts" => args.charts = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: hc-eval [--experiment {}|{}|all|ext] [--scale quick|paper] [--seed N] [--out DIR]",
+                    ALL_EXPERIMENTS.join("|"),
+                    EXTENSION_EXPERIMENTS.join("|")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let settings = ExpSettings::for_scale(args.scale, args.seed);
+
+    let ids: Vec<&str> = if args.experiment == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else if args.experiment == "ext" {
+        EXTENSION_EXPERIMENTS.to_vec()
+    } else if ALL_EXPERIMENTS.contains(&args.experiment.as_str())
+        || EXTENSION_EXPERIMENTS.contains(&args.experiment.as_str())
+    {
+        vec![args.experiment.as_str()]
+    } else {
+        eprintln!(
+            "error: unknown experiment {:?} (valid: {}, {}, all, ext)",
+            args.experiment,
+            ALL_EXPERIMENTS.join(", "),
+            EXTENSION_EXPERIMENTS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    for id in ids {
+        eprintln!("== running {id} ({:?} scale, seed {}) ==", args.scale, args.seed);
+        let started = std::time::Instant::now();
+        let output = run_experiment(id, &settings);
+        output.print();
+        if args.charts {
+            for (group, curves) in &output.curves {
+                for metric in [hc_eval::Metric::Accuracy, hc_eval::Metric::Quality] {
+                    println!("{}", hc_eval::report::ascii_chart(group, curves, metric, 64, 14));
+                }
+            }
+        }
+        eprintln!("{id} finished in {:.1}s", started.elapsed().as_secs_f64());
+        if let Err(e) = write_json(&args.out, &output.name, &output) {
+            eprintln!("warning: could not write {}/{}.json: {e}", args.out.display(), output.name);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,269 @@
+//! Rendering experiment outputs: fixed-width console tables and JSON
+//! files for `EXPERIMENTS.md` bookkeeping.
+
+use crate::curve::Curve;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a set of curves as a metric-vs-budget table, series as
+/// columns — the same rows the paper's figures plot.
+pub fn curves_table(title: &str, curves: &[Curve], metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title} [{}]", metric.name());
+    let _ = write!(out, "{:>8}", "budget");
+    for c in curves {
+        let _ = write!(out, " {:>12}", truncate(&c.label, 12));
+    }
+    let _ = writeln!(out);
+    // Row per budget present in the first curve.
+    let budgets: Vec<u64> = curves
+        .first()
+        .map(|c| c.points.iter().map(|p| p.budget).collect())
+        .unwrap_or_default();
+    for b in budgets {
+        let _ = write!(out, "{b:>8}");
+        for c in curves {
+            match c.at(b) {
+                Some(p) => {
+                    let v = match metric {
+                        Metric::Accuracy => p.accuracy,
+                        Metric::Quality => p.quality,
+                    };
+                    let _ = write!(out, " {v:>12.4}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Which curve metric to tabulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Label accuracy vs ground truth.
+    Accuracy,
+    /// Dataset quality (negative entropy).
+    Quality,
+}
+
+impl Metric {
+    /// Lowercase metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Accuracy => "accuracy",
+            Metric::Quality => "quality",
+        }
+    }
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.len() <= width {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..width.saturating_sub(1)])
+    }
+}
+
+/// Renders curves as an ASCII chart (budget on x, metric on y), one
+/// plotting symbol per series — so `hc-eval` literally redraws each
+/// figure in the terminal next to its table.
+pub fn ascii_chart(title: &str, curves: &[Curve], metric: Metric, width: usize, height: usize) -> String {
+    const SYMBOLS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$'];
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} [{}]", metric.name());
+    if curves.is_empty() || height < 2 || width < 2 {
+        return out;
+    }
+    let value = |p: &crate::curve::CurvePoint| match metric {
+        Metric::Accuracy => p.accuracy,
+        Metric::Quality => p.quality,
+    };
+    let points: Vec<(usize, u64, f64)> = curves
+        .iter()
+        .enumerate()
+        .flat_map(|(s, c)| {
+            c.points
+                .iter()
+                .filter(|p| value(p).is_finite())
+                .map(move |p| (s, p.budget, value(p)))
+        })
+        .collect();
+    if points.is_empty() {
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    let mut max_budget = 0u64;
+    for &(_, b, v) in &points {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        max_budget = max_budget.max(b);
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(series, budget, v) in &points {
+        let x = if max_budget == 0 {
+            0
+        } else {
+            ((budget as f64 / max_budget as f64) * (width - 1) as f64).round() as usize
+        };
+        let y = (((v - lo) / (hi - lo)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - y; // Row 0 is the top.
+        let symbol = SYMBOLS[series % SYMBOLS.len()];
+        // Later series overwrite earlier ones at collisions; the legend
+        // disambiguates.
+        grid[row][x] = symbol;
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>10.3}")
+        } else if i == height - 1 {
+            format!("{lo:>10.3}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{} 0{}budget {max_budget}",
+        " ".repeat(10),
+        " ".repeat(width.saturating_sub(10 + max_budget.to_string().len()))
+    );
+    let legend: Vec<String> = curves
+        .iter()
+        .enumerate()
+        .map(|(s, c)| format!("{} {}", SYMBOLS[s % SYMBOLS.len()], c.label))
+        .collect();
+    let _ = writeln!(out, "{} {}", " ".repeat(10), legend.join("   "));
+    out
+}
+
+/// Writes any serialisable result as pretty JSON under `out_dir`
+/// (created on demand).
+pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurvePoint;
+
+    fn curves() -> Vec<Curve> {
+        vec![
+            Curve {
+                label: "HC".into(),
+                points: vec![
+                    CurvePoint {
+                        budget: 0,
+                        accuracy: 0.8,
+                        quality: -10.0,
+                    },
+                    CurvePoint {
+                        budget: 100,
+                        accuracy: 0.9,
+                        quality: -5.0,
+                    },
+                ],
+            },
+            Curve {
+                label: "a-very-long-label-name".into(),
+                points: vec![CurvePoint {
+                    budget: 0,
+                    accuracy: 0.7,
+                    quality: -12.0,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn table_contains_all_series() {
+        let t = curves_table("Fig X", &curves(), Metric::Accuracy);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("HC"));
+        assert!(t.contains("0.9000"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn quality_metric_prints_quality() {
+        let t = curves_table("Fig X", &curves(), Metric::Quality);
+        assert!(t.contains("-5.0000"));
+    }
+
+    #[test]
+    fn long_labels_are_truncated() {
+        let t = curves_table("Fig X", &curves(), Metric::Accuracy);
+        assert!(!t.contains("a-very-long-label-name"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_axes_and_legend() {
+        let chart = ascii_chart("Fig X", &curves(), Metric::Accuracy, 40, 8);
+        assert!(chart.contains("Fig X"));
+        assert!(chart.contains("* HC"));
+        assert!(chart.contains("budget 100"));
+        // Max and min values label the y axis.
+        assert!(chart.contains("0.900"));
+        assert!(chart.contains("0.700"));
+        // Some plotting symbol landed on the grid.
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn ascii_chart_handles_degenerate_inputs() {
+        let empty = ascii_chart("E", &[], Metric::Quality, 40, 8);
+        assert!(empty.contains('E'));
+        // Flat curve (zero value range) must not divide by zero.
+        let flat = vec![Curve {
+            label: "flat".into(),
+            points: vec![
+                CurvePoint {
+                    budget: 0,
+                    accuracy: 0.5,
+                    quality: -1.0,
+                },
+                CurvePoint {
+                    budget: 10,
+                    accuracy: 0.5,
+                    quality: -1.0,
+                },
+            ],
+        }];
+        let chart = ascii_chart("F", &flat, Metric::Accuracy, 20, 5);
+        assert!(chart.contains("flat"));
+        // NaN points are skipped, not plotted.
+        let nan = vec![Curve {
+            label: "nan".into(),
+            points: vec![CurvePoint {
+                budget: 0,
+                accuracy: f64::NAN,
+                quality: f64::NAN,
+            }],
+        }];
+        let chart = ascii_chart("N", &nan, Metric::Accuracy, 20, 5);
+        assert!(chart.contains('N'));
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join("hc_eval_report_test");
+        write_json(&dir, "t", &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&content).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment settings: corpus scale, seeds, and budget checkpoints.
+
+use hc_data::synth::SynthConfig;
+use serde::{Deserialize, Serialize};
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Fast runs for tests and smoke checks (~20 tasks, small budgets).
+    Quick,
+    /// The paper's workload: 200 tasks × 5 facts, budgets up to 1000.
+    Paper,
+}
+
+/// Shared settings for every figure/table runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpSettings {
+    /// The scale these settings were built for.
+    pub scale: Scale,
+    /// Corpus seed (generation) and run seed (selection randomness).
+    pub seed: u64,
+    /// Number of 5-fact tasks in the corpus.
+    pub n_tasks: usize,
+    /// Maximum checking budget (expert answers).
+    pub budget_max: u64,
+    /// Budgets at which curves are sampled.
+    pub checkpoints: Vec<u64>,
+}
+
+impl ExpSettings {
+    /// Settings for the given scale.
+    pub fn for_scale(scale: Scale, seed: u64) -> Self {
+        match scale {
+            Scale::Quick => ExpSettings {
+                scale,
+                seed,
+                n_tasks: 24,
+                budget_max: 120,
+                checkpoints: (0..=120).step_by(20).collect(),
+            },
+            Scale::Paper => ExpSettings {
+                scale,
+                seed,
+                n_tasks: 200,
+                budget_max: 1000,
+                checkpoints: (0..=1000).step_by(100).collect(),
+            },
+        }
+    }
+
+    /// The synthetic corpus configuration for these settings.
+    pub fn synth_config(&self) -> SynthConfig {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = self.n_tasks;
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_expected_checkpoints() {
+        let quick = ExpSettings::for_scale(Scale::Quick, 1);
+        assert_eq!(quick.checkpoints.first(), Some(&0));
+        assert_eq!(quick.checkpoints.last(), Some(&120));
+        let paper = ExpSettings::for_scale(Scale::Paper, 1);
+        assert_eq!(paper.n_tasks, 200);
+        assert_eq!(paper.checkpoints.len(), 11);
+    }
+
+    #[test]
+    fn synth_config_follows_n_tasks() {
+        let s = ExpSettings::for_scale(Scale::Quick, 1);
+        assert_eq!(s.synth_config().n_tasks, 24);
+        assert_eq!(s.synth_config().facts_per_task, 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Thread-safe budget accounting for concurrent experiment sweeps.
+//!
+//! The HC loop tracks its own per-run budget; this ledger exists for the
+//! evaluation harness, where several parameter settings share one global
+//! answer budget across worker threads (`hc-eval` runs sweeps with
+//! crossbeam scoped threads).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared, thread-safe checking-answer budget.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    remaining: u64,
+    spent: u64,
+}
+
+impl BudgetLedger {
+    /// A ledger holding `total` budget units.
+    pub fn new(total: u64) -> Self {
+        BudgetLedger {
+            inner: Arc::new(Mutex::new(Inner {
+                remaining: total,
+                spent: 0,
+            })),
+        }
+    }
+
+    /// Atomically spends `amount` if available; returns whether it was
+    /// charged.
+    pub fn try_spend(&self, amount: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.remaining >= amount {
+            inner.remaining -= amount;
+            inner.spent += amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> u64 {
+        self.inner.lock().remaining
+    }
+
+    /// Budget charged so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.lock().spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spends_until_exhausted() {
+        let ledger = BudgetLedger::new(10);
+        assert!(ledger.try_spend(4));
+        assert!(ledger.try_spend(6));
+        assert!(!ledger.try_spend(1));
+        assert_eq!(ledger.remaining(), 0);
+        assert_eq!(ledger.spent(), 10);
+    }
+
+    #[test]
+    fn rejects_overdraft_without_partial_charge() {
+        let ledger = BudgetLedger::new(5);
+        assert!(!ledger.try_spend(6));
+        assert_eq!(ledger.remaining(), 5);
+        assert_eq!(ledger.spent(), 0);
+    }
+
+    #[test]
+    fn concurrent_spends_never_overdraw() {
+        let ledger = BudgetLedger::new(1000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let ledger = ledger.clone();
+                scope.spawn(move || {
+                    while ledger.try_spend(3) {}
+                });
+            }
+        });
+        assert!(ledger.remaining() < 3);
+        assert_eq!(ledger.spent() + ledger.remaining(), 1000);
+    }
+}

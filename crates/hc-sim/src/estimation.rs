@@ -1,0 +1,182 @@
+//! Worker-accuracy estimation from gold (known-truth) sample questions.
+//!
+//! §II-A: "The accuracy rates of each worker cr ∈ C can be easily
+//! estimated with a set of sample tasks with ground truth." The main
+//! experiments use the generator's true accuracies; this module provides
+//! the realistic alternative — estimate from a gold subset — plus Wilson
+//! confidence intervals so callers can size the gold set. The
+//! `ext-estimation` experiment measures how the HC loop degrades when it
+//! runs on estimates instead of true rates.
+
+use hc_data::CrowdDataset;
+use rand::Rng;
+
+/// Samples `n_gold` distinct item indices to serve as gold questions.
+pub fn sample_gold_items(n_items: usize, n_gold: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let n_gold = n_gold.min(n_items);
+    // Partial Fisher–Yates over the index range.
+    let mut indices: Vec<usize> = (0..n_items).collect();
+    for i in 0..n_gold {
+        let j = rng.gen_range(i..n_items);
+        indices.swap(i, j);
+    }
+    indices.truncate(n_gold);
+    indices
+}
+
+/// Per-worker accuracy estimates from the gold subset, via the Laplace
+/// rule of succession `(correct + 1) / (total + 2)`, clamped into the
+/// admissible `[0.5, 1.0)` range (§II-A).
+///
+/// The smoothing matters beyond statistics: a raw estimate of exactly
+/// 1.0 would make the Bayes update treat the worker as infallible, and
+/// two "infallible" workers disagreeing produces an impossible-evidence
+/// error. Finite gold sets can never justify certainty, and the Laplace
+/// estimator encodes exactly that. Workers with no gold answers default
+/// to the chance rate 0.5.
+pub fn estimate_accuracies(dataset: &CrowdDataset, gold_items: &[usize]) -> Vec<f64> {
+    let mut correct = vec![0u32; dataset.n_workers()];
+    let mut total = vec![0u32; dataset.n_workers()];
+    for &item in gold_items {
+        for e in dataset.matrix.by_item(item) {
+            total[e.worker as usize] += 1;
+            if e.label == dataset.ground_truth[item] {
+                correct[e.worker as usize] += 1;
+            }
+        }
+    }
+    correct
+        .iter()
+        .zip(&total)
+        .map(|(&c, &t)| {
+            if t == 0 {
+                0.5
+            } else {
+                ((c as f64 + 1.0) / (t as f64 + 2.0)).max(0.5)
+            }
+        })
+        .collect()
+}
+
+/// Wilson score interval for a binomial proportion — the standard
+/// small-sample confidence interval for an estimated accuracy rate.
+///
+/// `z` is the normal quantile (1.96 for 95%). Returns `(lo, hi)` within
+/// `[0, 1]`; `(0, 1)` when there are no trials.
+pub fn wilson_interval(correct: u32, total: u32, z: f64) -> (f64, f64) {
+    if total == 0 {
+        return (0.0, 1.0);
+    }
+    let n = total as f64;
+    let p = correct as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Gold-set size needed so the Wilson half-width at accuracy `p` stays
+/// below `half_width` — a planning helper for "how many sample tasks do
+/// I need before the θ-split is trustworthy?".
+pub fn gold_size_for_half_width(p: f64, half_width: f64, z: f64) -> usize {
+    debug_assert!((0.0..=1.0).contains(&p));
+    debug_assert!(half_width > 0.0);
+    // Solve the normal-approximation bound n >= z^2 p(1-p) / w^2 and then
+    // verify/adjust against the exact Wilson width.
+    let mut n = ((z * z * p * (1.0 - p)) / (half_width * half_width)).ceil() as usize;
+    n = n.max(1);
+    loop {
+        let correct = (p * n as f64).round() as u32;
+        let (lo, hi) = wilson_interval(correct, n as u32, z);
+        if (hi - lo) / 2.0 <= half_width || n > 1_000_000 {
+            return n;
+        }
+        n = n + n / 8 + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(seed: u64) -> CrowdDataset {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 100;
+        generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn gold_sample_is_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gold = sample_gold_items(50, 10, &mut rng);
+        assert_eq!(gold.len(), 10);
+        let mut dedup = gold.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(gold.iter().all(|&i| i < 50));
+        // Oversized requests saturate.
+        assert_eq!(sample_gold_items(5, 99, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn estimates_approach_true_accuracies_with_large_gold_sets() {
+        let dataset = corpus(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let gold = sample_gold_items(dataset.n_items(), 400, &mut rng);
+        let estimates = estimate_accuracies(&dataset, &gold);
+        for (est, &truth) in estimates.iter().zip(&dataset.worker_accuracies) {
+            assert!(
+                (est - truth).abs() < 0.06,
+                "estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_gold_sets_are_noisier_but_admissible() {
+        let dataset = corpus(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let gold = sample_gold_items(dataset.n_items(), 10, &mut rng);
+        let estimates = estimate_accuracies(&dataset, &gold);
+        assert!(estimates.iter().all(|&a| (0.5..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn no_gold_answers_default_to_chance() {
+        let dataset = corpus(6);
+        let estimates = estimate_accuracies(&dataset, &[]);
+        assert!(estimates.iter().all(|&a| a == 0.5));
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Contains the point estimate and is inside [0, 1].
+        let (lo, hi) = wilson_interval(8, 10, 1.96);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        // Narrows with more trials.
+        let (lo2, hi2) = wilson_interval(80, 100, 1.96);
+        assert!(hi2 - lo2 < hi - lo);
+        // Degenerate case.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        // Extreme proportions stay in range.
+        let (lo3, hi3) = wilson_interval(10, 10, 1.96);
+        assert!(lo3 > 0.6 && hi3 <= 1.0);
+    }
+
+    #[test]
+    fn gold_size_scales_with_precision() {
+        let loose = gold_size_for_half_width(0.9, 0.1, 1.96);
+        let tight = gold_size_for_half_width(0.9, 0.02, 1.96);
+        assert!(tight > loose);
+        // The returned size actually achieves the width.
+        let n = gold_size_for_half_width(0.8, 0.05, 1.96) as u32;
+        let (lo, hi) = wilson_interval((0.8 * n as f64).round() as u32, n, 1.96);
+        assert!((hi - lo) / 2.0 <= 0.05 + 1e-9);
+    }
+}

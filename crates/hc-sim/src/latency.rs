@@ -1,0 +1,185 @@
+//! Crowd answer-latency modeling — the waiting-time side of the paper's
+//! k trade-off (§IV-C(1): "In each round, larger tasks set does not
+//! noticeably increase the waiting time to complete answer collection.
+//! Of course, we can accomplish our tasks faster … if we take a larger
+//! k").
+//!
+//! Each worker answers the queries of a round concurrently with the
+//! other workers; within one worker, queries are answered sequentially.
+//! A round therefore takes `max_over_workers(Σ_queries latency)`, and a
+//! whole run takes the sum of its rounds plus a per-round dispatch
+//! overhead — which is exactly why few large rounds finish sooner than
+//! many single-query rounds at equal budget.
+
+use hc_core::Worker;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Latency model of a simulated crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-round dispatch/collection overhead (seconds) — task
+    /// publication, worker notification, payout processing.
+    pub round_overhead: f64,
+    /// Mean seconds a worker spends answering one query.
+    pub mean_answer_secs: f64,
+    /// Multiplicative jitter half-range: an answer takes
+    /// `mean · U(1 − jitter, 1 + jitter)` seconds.
+    pub jitter: f64,
+    /// Accuracy slowdown: seconds added per answer, per point of
+    /// accuracy above 0.5 (experts deliberate; spammers click).
+    pub care_secs_per_accuracy: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            round_overhead: 30.0,
+            mean_answer_secs: 12.0,
+            jitter: 0.4,
+            care_secs_per_accuracy: 20.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Sampled seconds for one answer from `worker`.
+    pub fn answer_secs(&self, worker: &Worker, rng: &mut impl Rng) -> f64 {
+        let care = (worker.accuracy.rate() - 0.5) * self.care_secs_per_accuracy;
+        let base = self.mean_answer_secs + care;
+        let factor = if self.jitter > 0.0 {
+            rng.gen_range(1.0 - self.jitter..=1.0 + self.jitter)
+        } else {
+            1.0
+        };
+        base * factor
+    }
+
+    /// Wall-clock seconds for one round of `k` queries answered by every
+    /// worker of the panel: workers run in parallel, their own queries
+    /// sequentially.
+    pub fn round_secs(&self, workers: &[Worker], k: usize, rng: &mut impl Rng) -> f64 {
+        let slowest = workers
+            .iter()
+            .map(|w| (0..k).map(|_| self.answer_secs(w, rng)).sum::<f64>())
+            .fold(0.0, f64::max);
+        self.round_overhead + slowest
+    }
+}
+
+/// Accumulated wall-clock accounting for a simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WallClock {
+    /// Total simulated seconds.
+    pub total_secs: f64,
+    /// Rounds simulated.
+    pub rounds: usize,
+}
+
+impl WallClock {
+    /// Adds one round's wall time.
+    pub fn record_round(&mut self, secs: f64) {
+        self.total_secs += secs;
+        self.rounds += 1;
+    }
+
+    /// Mean seconds per round.
+    pub fn mean_round_secs(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_secs / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workers(rates: &[f64]) -> Vec<Worker> {
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Worker::new(i as u32, r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn experts_deliberate_longer() {
+        let model = LatencyModel {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let fast = model.answer_secs(&workers(&[0.55])[0], &mut rng);
+        let slow = model.answer_secs(&workers(&[0.95])[0], &mut rng);
+        assert!(slow > fast);
+        assert!((slow - fast - 0.4 * 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_time_is_max_over_workers_not_sum() {
+        let model = LatencyModel {
+            jitter: 0.0,
+            round_overhead: 0.0,
+            care_secs_per_accuracy: 0.0,
+            mean_answer_secs: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let one_worker = model.round_secs(&workers(&[0.9]), 3, &mut rng);
+        let five_workers = model.round_secs(&workers(&[0.9; 5]), 3, &mut rng);
+        assert!((one_worker - 30.0).abs() < 1e-9);
+        assert!((five_workers - 30.0).abs() < 1e-9, "parallel workers");
+    }
+
+    #[test]
+    fn fewer_larger_rounds_finish_sooner_at_equal_budget() {
+        // 60 queries as 60×k=1 vs 20×k=3: per-query time is equal, so
+        // the difference is 40 extra round overheads.
+        let model = LatencyModel {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let panel = workers(&[0.92, 0.95]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small_k = WallClock::default();
+        for _ in 0..60 {
+            small_k.record_round(model.round_secs(&panel, 1, &mut rng));
+        }
+        let mut large_k = WallClock::default();
+        for _ in 0..20 {
+            large_k.record_round(model.round_secs(&panel, 3, &mut rng));
+        }
+        assert!(large_k.total_secs < small_k.total_secs);
+        let saved = small_k.total_secs - large_k.total_secs;
+        assert!((saved - 40.0 * model.round_overhead).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_seeded() {
+        let model = LatencyModel::default();
+        let w = workers(&[0.8]);
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let x = model.answer_secs(&w[0], &mut a);
+            let y = model.answer_secs(&w[0], &mut b);
+            assert_eq!(x, y);
+            let base = model.mean_answer_secs + 0.3 * model.care_secs_per_accuracy;
+            assert!(x >= base * 0.6 - 1e-9 && x <= base * 1.4 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wall_clock_aggregates() {
+        let mut clock = WallClock::default();
+        assert_eq!(clock.mean_round_secs(), 0.0);
+        clock.record_round(10.0);
+        clock.record_round(20.0);
+        assert_eq!(clock.rounds, 2);
+        assert!((clock.mean_round_secs() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # hc-sim — simulated crowdsourcing platform
+//!
+//! The pieces that stand in for live humans in the paper's offline
+//! evaluation (§IV-A): answer [`oracle`]s (recorded-answer replay and
+//! error-model sampling), a thread-safe [`budget`] ledger for sweep
+//! harnesses, the Abraham et al. [`stopping`] rule the paper cites, and
+//! the end-to-end [`pipeline`] glue from a corpus to HC-loop inputs.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod estimation;
+pub mod latency;
+pub mod oracle;
+pub mod platform;
+pub mod pipeline;
+pub mod stopping;
+
+pub use budget::BudgetLedger;
+pub use estimation::{estimate_accuracies, sample_gold_items, wilson_interval};
+pub use latency::{LatencyModel, WallClock};
+pub use oracle::{CountingOracle, ReplayOracle, SamplingOracle};
+pub use platform::{PlatformStats, SimulatedPlatform};
+pub use pipeline::{dataset_accuracy, prepare, InitMethod, PipelineConfig, Prepared};
+pub use stopping::StoppingRule;

@@ -1,0 +1,216 @@
+//! Answer oracles: where expert answers come from during simulated
+//! checking.
+//!
+//! §IV-A: "for those datasets with complete labels from all workers, the
+//! label checking is done offline and does not involve human
+//! interaction" — the [`ReplayOracle`] reproduces that exactly, returning
+//! each expert's *recorded* answer for the queried fact. Because a fact
+//! re-selected in a later round replays the same answer, repeated
+//! selection of a wrong expert answer degrades quality — the phenomenon
+//! the paper observes for large budgets at θ = 0.9 (§IV-C(2)).
+//!
+//! The [`SamplingOracle`] instead draws a fresh answer from the §II-A
+//! error model on every query (correct with probability `Pr_cr`), which
+//! models a live crowd that can be asked again.
+
+use hc_core::hc::AnswerOracle;
+use hc_core::selection::GlobalFact;
+use hc_core::{Answer, Worker};
+use hc_data::{CrowdDataset, TaskGrouping};
+use rand::RngCore;
+
+/// Samples answers from the worker error model against a hidden ground
+/// truth: correct with probability `Pr_cr`, independently per query.
+pub struct SamplingOracle<'a, R: RngCore> {
+    truths: &'a [Vec<bool>],
+    rng: R,
+}
+
+impl<'a, R: RngCore> SamplingOracle<'a, R> {
+    /// Creates a sampling oracle over per-task ground truths.
+    pub fn new(truths: &'a [Vec<bool>], rng: R) -> Self {
+        SamplingOracle { truths, rng }
+    }
+}
+
+impl<R: RngCore> AnswerOracle for SamplingOracle<'_, R> {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+        let truth = self.truths[fact.task][fact.fact.index()];
+        // gen_bool without the Rng extension trait to stay object-safe
+        // over RngCore: draw a uniform u64.
+        let threshold = (worker.accuracy.rate() * u64::MAX as f64) as u64;
+        let correct = self.rng.next_u64() <= threshold;
+        Answer::from_bool(if correct { truth } else { !truth })
+    }
+}
+
+/// Replays recorded answers from a collected dataset (the paper's
+/// offline evaluation mode). Asking the same worker about the same fact
+/// twice returns the same answer.
+pub struct ReplayOracle {
+    /// `answers[worker][item]` — dense recorded answer table.
+    answers: Vec<Vec<bool>>,
+    grouping: TaskGrouping,
+}
+
+impl ReplayOracle {
+    /// Builds a replay oracle for the experts of a complete binary
+    /// corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`hc_data::DataError::InvalidConfig`] when the corpus is not
+    /// binary or some `(worker, item)` pair that could be queried has no
+    /// recorded answer.
+    pub fn new(dataset: &CrowdDataset, grouping: TaskGrouping) -> hc_data::Result<Self> {
+        if dataset.matrix.n_classes() != 2 {
+            return Err(hc_data::DataError::InvalidConfig(
+                "replay oracle needs a binary corpus".into(),
+            ));
+        }
+        let n_items = dataset.matrix.n_items();
+        let n_workers = dataset.matrix.n_workers();
+        let mut answers = vec![vec![false; n_items]; n_workers];
+        let mut seen = vec![vec![false; n_items]; n_workers];
+        for e in dataset.matrix.entries() {
+            answers[e.worker as usize][e.item as usize] = e.label == 1;
+            seen[e.worker as usize][e.item as usize] = true;
+        }
+        // Completeness check: every worker must have answered every item
+        // (the §IV-A replay setting). Incomplete corpora should use the
+        // SamplingOracle instead.
+        for (w, row) in seen.iter().enumerate() {
+            if let Some(item) = row.iter().position(|&s| !s) {
+                return Err(hc_data::DataError::InvalidConfig(format!(
+                    "worker {w} has no recorded answer for item {item}; replay needs a complete matrix"
+                )));
+            }
+        }
+        Ok(ReplayOracle { answers, grouping })
+    }
+}
+
+impl AnswerOracle for ReplayOracle {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+        let item = self.grouping.item_of(fact);
+        Answer::from_bool(self.answers[worker.id.index()][item])
+    }
+}
+
+/// Wraps another oracle and counts the answers served — used to verify
+/// budget accounting in tests and experiments.
+pub struct CountingOracle<O> {
+    inner: O,
+    count: u64,
+}
+
+impl<O> CountingOracle<O> {
+    /// Wraps `inner`.
+    pub fn new(inner: O) -> Self {
+        CountingOracle { inner, count: 0 }
+    }
+
+    /// Answers served so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: AnswerOracle> AnswerOracle for CountingOracle<O> {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+        self.count += 1;
+        self.inner.answer(worker, fact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::FactId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn worker(acc: f64) -> Worker {
+        Worker::new(0, acc).unwrap()
+    }
+
+    #[test]
+    fn perfect_worker_always_truthful_in_sampling() {
+        let truths = vec![vec![true, false]];
+        let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(1));
+        let w = worker(1.0);
+        for _ in 0..50 {
+            assert_eq!(oracle.answer(&w, GlobalFact::new(0, 0)), Answer::Yes);
+            assert_eq!(oracle.answer(&w, GlobalFact::new(0, 1)), Answer::No);
+        }
+    }
+
+    #[test]
+    fn sampling_oracle_error_rate_matches_accuracy() {
+        let truths = vec![vec![true]];
+        let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(2));
+        let w = worker(0.8);
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| oracle.answer(&w, GlobalFact::new(0, 0)) == Answer::Yes)
+            .count();
+        let rate = correct as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn replay_returns_recorded_answers_stably() {
+        use hc_data::{AnswerEntry, AnswerMatrix};
+        let entries = vec![
+            AnswerEntry { item: 0, worker: 0, label: 1 },
+            AnswerEntry { item: 1, worker: 0, label: 0 },
+        ];
+        let matrix = AnswerMatrix::new(2, 1, 2, entries).unwrap();
+        let ds = CrowdDataset::new(matrix, vec![1, 0], vec![0.9]).unwrap();
+        let grouping = TaskGrouping::new(2, 2).unwrap();
+        let mut oracle = ReplayOracle::new(&ds, grouping).unwrap();
+        let w = Worker::new(0, 0.9).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                oracle.answer(&w, GlobalFact { task: 0, fact: FactId(0) }),
+                Answer::Yes
+            );
+            assert_eq!(
+                oracle.answer(&w, GlobalFact { task: 0, fact: FactId(1) }),
+                Answer::No
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rejects_incomplete_matrices() {
+        use hc_data::{AnswerEntry, AnswerMatrix};
+        let matrix = AnswerMatrix::new(
+            2,
+            1,
+            2,
+            vec![AnswerEntry { item: 0, worker: 0, label: 1 }],
+        )
+        .unwrap();
+        let ds = CrowdDataset::new(matrix, vec![1, 0], vec![0.9]).unwrap();
+        let grouping = TaskGrouping::new(2, 2).unwrap();
+        assert!(ReplayOracle::new(&ds, grouping).is_err());
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let truths = vec![vec![true]];
+        let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(3));
+        let mut oracle = CountingOracle::new(inner);
+        let w = worker(0.9);
+        for _ in 0..7 {
+            oracle.answer(&w, GlobalFact::new(0, 0));
+        }
+        assert_eq!(oracle.count(), 7);
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end pipeline glue: from a collected corpus to the HC loop's
+//! inputs (beliefs, expert panel, grouped truths).
+//!
+//! This is the plumbing every experiment and example shares: split the
+//! crowd at θ, group items into multi-fact tasks, initialise per-task
+//! beliefs from the chosen method, and expose the grouped ground truth
+//! for evaluation.
+
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::init;
+use hc_core::worker::{ExpertPanel, Worker};
+use hc_data::{CrowdDataset, DataError, TaskGrouping};
+use std::collections::HashSet;
+
+/// How the initial belief state is built (Figure 6's axis).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitMethod {
+    /// Equation (15): per-fact Yes-vote fractions of the preliminary
+    /// workers, as a product distribution.
+    CpVotes,
+    /// Uniform over all observations — the NO-HC ablation of §IV-C(5).
+    Uniform,
+    /// Externally supplied per-item truth marginals (one per item), e.g.
+    /// an aggregator's posteriors (`EBCC` in the paper's main setup).
+    Marginals(Vec<f64>),
+}
+
+/// Static pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Accuracy threshold θ splitting experts from preliminary workers.
+    pub theta: f64,
+    /// Facts per task (5 in §IV-A).
+    pub group_size: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's setting: θ = 0.9, 5 facts per task.
+    pub fn paper_default() -> Self {
+        PipelineConfig {
+            theta: 0.9,
+            group_size: 5,
+        }
+    }
+}
+
+/// Everything the HC loop needs, derived from a corpus.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Initial per-task beliefs.
+    pub beliefs: MultiBelief,
+    /// The expert panel `CE`.
+    pub panel: ExpertPanel,
+    /// The preliminary workers `CP`.
+    pub preliminary: Vec<Worker>,
+    /// Per-task ground truths (evaluation only).
+    pub truths: Vec<Vec<bool>>,
+    /// The item ↔ (task, fact) mapping.
+    pub grouping: TaskGrouping,
+}
+
+impl Prepared {
+    /// Fraction of facts whose MAP label matches the ground truth —
+    /// recomputed from any belief state that shares this grouping.
+    pub fn accuracy(&self, beliefs: &MultiBelief) -> f64 {
+        dataset_accuracy(beliefs, &self.truths)
+    }
+}
+
+/// Fraction of facts labeled correctly by the MAP observation of each
+/// task.
+pub fn dataset_accuracy(beliefs: &MultiBelief, truths: &[Vec<bool>]) -> f64 {
+    debug_assert_eq!(beliefs.len(), truths.len());
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (belief, truth) in beliefs.tasks().iter().zip(truths) {
+        let labels = belief.map_labels();
+        total += truth.len();
+        correct += labels.iter().zip(truth).filter(|(a, b)| a == b).count();
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+/// Builds the HC loop inputs from a corpus.
+///
+/// # Errors
+///
+/// Fails when the θ-split leaves no experts, the corpus is not binary,
+/// or the init method's marginals disagree with the item count.
+pub fn prepare(
+    dataset: &CrowdDataset,
+    config: &PipelineConfig,
+    init_method: &InitMethod,
+) -> hc_data::Result<Prepared> {
+    let crowd = dataset.crowd()?;
+    let split = crowd.split(config.theta);
+    if split.experts.is_empty() {
+        return Err(DataError::InvalidConfig(format!(
+            "no workers reach θ = {}",
+            config.theta
+        )));
+    }
+    let grouping = TaskGrouping::new(dataset.n_items(), config.group_size)?;
+    let truths = grouping.grouped_truth(dataset)?;
+
+    let beliefs = match init_method {
+        InitMethod::CpVotes => {
+            let cp_ids: HashSet<u32> = split.preliminary.iter().map(|w| w.id.0).collect();
+            if cp_ids.is_empty() {
+                return Err(DataError::InvalidConfig(
+                    "CpVotes init needs at least one preliminary worker".into(),
+                ));
+            }
+            let tables = grouping.vote_tables(dataset, |w| cp_ids.contains(&w))?;
+            let beliefs = tables
+                .iter()
+                .map(init::init_from_votes)
+                .collect::<hc_core::Result<Vec<Belief>>>()?;
+            MultiBelief::new(beliefs)
+        }
+        InitMethod::Uniform => {
+            let beliefs = (0..grouping.n_tasks())
+                .map(|t| Belief::uniform(grouping.task_len(t)))
+                .collect::<hc_core::Result<Vec<Belief>>>()?;
+            MultiBelief::new(beliefs)
+        }
+        InitMethod::Marginals(marginals) => {
+            if marginals.len() != dataset.n_items() {
+                return Err(DataError::ShapeMismatch {
+                    expected: dataset.n_items(),
+                    actual: marginals.len(),
+                });
+            }
+            let beliefs = (0..grouping.n_tasks())
+                .map(|t| {
+                    let range = grouping.task_items(t);
+                    Belief::from_marginals(&marginals[range])
+                })
+                .collect::<hc_core::Result<Vec<Belief>>>()?;
+            MultiBelief::new(beliefs)
+        }
+    };
+
+    Ok(Prepared {
+        beliefs,
+        panel: split.experts,
+        preliminary: split.preliminary,
+        truths,
+        grouping,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> CrowdDataset {
+        let mut config = SynthConfig::paper_default();
+        config.n_tasks = 20;
+        generate(&config, &mut StdRng::seed_from_u64(1)).unwrap()
+    }
+
+    #[test]
+    fn prepare_splits_crowd_and_groups_tasks() {
+        let ds = corpus();
+        let prepared = prepare(&ds, &PipelineConfig::paper_default(), &InitMethod::CpVotes).unwrap();
+        assert_eq!(prepared.panel.len(), 2, "paper crowd has 2 experts");
+        assert_eq!(prepared.preliminary.len(), 6);
+        assert_eq!(prepared.beliefs.len(), 20);
+        assert_eq!(prepared.truths.len(), 20);
+        assert!(prepared
+            .beliefs
+            .tasks()
+            .iter()
+            .all(|b| b.num_facts() == 5));
+    }
+
+    #[test]
+    fn cp_votes_init_beats_uniform_on_accuracy() {
+        let ds = corpus();
+        let config = PipelineConfig::paper_default();
+        let voted = prepare(&ds, &config, &InitMethod::CpVotes).unwrap();
+        let uniform = prepare(&ds, &config, &InitMethod::Uniform).unwrap();
+        let acc_voted = voted.accuracy(&voted.beliefs);
+        let acc_uniform = uniform.accuracy(&uniform.beliefs);
+        assert!(
+            acc_voted > acc_uniform,
+            "votes {acc_voted} vs uniform {acc_uniform}"
+        );
+        // Uniform beliefs tie-break all labels to `false`.
+        assert!(acc_voted > 0.7);
+    }
+
+    #[test]
+    fn marginals_init_uses_external_posteriors() {
+        let ds = corpus();
+        let config = PipelineConfig::paper_default();
+        // Perfect marginals -> perfect initial accuracy.
+        let perfect: Vec<f64> = ds.ground_truth.iter().map(|&t| f64::from(t)).collect();
+        let prepared = prepare(&ds, &config, &InitMethod::Marginals(perfect)).unwrap();
+        assert_eq!(prepared.accuracy(&prepared.beliefs), 1.0);
+    }
+
+    #[test]
+    fn marginal_shape_is_validated() {
+        let ds = corpus();
+        let config = PipelineConfig::paper_default();
+        let err = prepare(&ds, &config, &InitMethod::Marginals(vec![0.5; 3]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn theta_too_high_leaves_no_experts() {
+        let ds = corpus();
+        let config = PipelineConfig {
+            theta: 0.999,
+            group_size: 5,
+        };
+        assert!(prepare(&ds, &config, &InitMethod::CpVotes).is_err());
+    }
+
+    #[test]
+    fn theta_too_low_leaves_no_preliminary_workers() {
+        let ds = corpus();
+        let config = PipelineConfig {
+            theta: 0.5,
+            group_size: 5,
+        };
+        // All workers become experts; CpVotes must fail cleanly,
+        // Uniform still works (the NO-HC configuration).
+        assert!(prepare(&ds, &config, &InitMethod::CpVotes).is_err());
+        assert!(prepare(&ds, &config, &InitMethod::Uniform).is_ok());
+    }
+}

@@ -1,0 +1,129 @@
+//! The adaptive label-collection stopping rule of Abraham et al. \[38\],
+//! cited by the paper (§V, Equation (36)):
+//!
+//! stop collecting labels for a task once
+//! `|V_Y(t) − V_N(t)| > C·√t − ε·t`,
+//! where `V_Y, V_N` are the Yes/No vote counts after `t` answers and
+//! `C, ε` are chosen in advance. The final label is the majority.
+//!
+//! Implemented as an extra budget policy for the simulator: instead of a
+//! fixed per-item answer count, a vote stream is consumed until the rule
+//! fires (or a hard cap is reached).
+
+use hc_core::Answer;
+
+/// Parameters of the Equation (36) stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Confidence-width coefficient `C`.
+    pub c: f64,
+    /// Linear drift allowance `ε`.
+    pub epsilon: f64,
+    /// Hard cap on answers per task (the rule may otherwise run long on
+    /// perfectly balanced streams).
+    pub max_answers: usize,
+}
+
+impl StoppingRule {
+    /// A rule with the given `C` and `ε`, capped at `max_answers`.
+    pub fn new(c: f64, epsilon: f64, max_answers: usize) -> Self {
+        StoppingRule {
+            c,
+            epsilon,
+            max_answers,
+        }
+    }
+
+    /// Whether to stop after observing `yes` Yes-votes and `no` No-votes.
+    pub fn should_stop(&self, yes: usize, no: usize) -> bool {
+        let t = (yes + no) as f64;
+        if yes + no >= self.max_answers {
+            return true;
+        }
+        let margin = (yes as f64 - no as f64).abs();
+        margin > self.c * t.sqrt() - self.epsilon * t
+    }
+
+    /// Consumes answers from the stream until the rule fires; returns the
+    /// majority label and the number of answers consumed.
+    pub fn run(&self, mut stream: impl FnMut() -> Answer) -> (bool, usize) {
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        loop {
+            match stream() {
+                Answer::Yes => yes += 1,
+                Answer::No => no += 1,
+            }
+            if self.should_stop(yes, no) {
+                return (yes >= no, yes + no);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_streams_stop_early() {
+        let rule = StoppingRule::new(2.0, 0.05, 100);
+        let (label, used) = rule.run(|| Answer::Yes);
+        assert!(label);
+        assert!(used <= 6, "unanimous stream used {used} answers");
+    }
+
+    #[test]
+    fn balanced_streams_hit_the_cap() {
+        let rule = StoppingRule::new(3.0, 0.0, 40);
+        let mut flip = false;
+        let (_, used) = rule.run(|| {
+            flip = !flip;
+            if flip {
+                Answer::Yes
+            } else {
+                Answer::No
+            }
+        });
+        assert_eq!(used, 40);
+    }
+
+    #[test]
+    fn harder_rules_need_more_votes() {
+        let easy = StoppingRule::new(1.0, 0.1, 1000);
+        let hard = StoppingRule::new(4.0, 0.0, 1000);
+        // A 2:1 biased deterministic stream.
+        let make_stream = || {
+            let mut i = 0usize;
+            move || {
+                i += 1;
+                if i.is_multiple_of(3) {
+                    Answer::No
+                } else {
+                    Answer::Yes
+                }
+            }
+        };
+        let (_, easy_used) = easy.run(make_stream());
+        let (label, hard_used) = hard.run(make_stream());
+        assert!(label, "majority is Yes");
+        assert!(hard_used > easy_used);
+    }
+
+    #[test]
+    fn epsilon_forces_termination_linearly() {
+        // With ε > 0 the threshold C√t − εt eventually goes negative, so
+        // even a perfectly balanced stream stops before a large cap.
+        let rule = StoppingRule::new(2.0, 0.2, 10_000);
+        let mut flip = false;
+        let (_, used) = rule.run(|| {
+            flip = !flip;
+            if flip {
+                Answer::Yes
+            } else {
+                Answer::No
+            }
+        });
+        assert!(used < 200, "ε-drift should terminate, used {used}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Budget planning: the k / θ trade-off on a fixed corpus.
+//!
+//! For a practitioner deciding how to spend a checking budget, this
+//! sweeps the per-round query count `k` and the expert threshold θ on
+//! one corpus and prints the accuracy each combination reaches at
+//! several budgets — the operational reading of Figures 3 and 4.
+//!
+//! ```bash
+//! cargo run --release --example budget_planner
+//! ```
+
+use hc::prelude::*;
+use hc_core::hc::run_hc_with_observer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BUDGETS: [u64; 3] = [200, 500, 1000];
+const KS: [usize; 3] = [1, 3, 5];
+const THETAS: [f64; 3] = [0.8, 0.85, 0.9];
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let config = SynthConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = generate(&config, &mut rng)?;
+
+    println!(
+        "{:>6} {:>5} {:>8} | {:>14} {:>14} {:>14}",
+        "theta", "k", "experts", "acc@200", "acc@500", "acc@1000"
+    );
+    for &theta in &THETAS {
+        for &k in &KS {
+            let pipeline = PipelineConfig {
+                theta,
+                group_size: 5,
+            };
+            // EBCC init from the sub-θ workers.
+            let expert_ids: Vec<u32> = dataset
+                .worker_accuracies
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a >= theta)
+                .map(|(w, _)| w as u32)
+                .collect();
+            let cp_only = dataset.matrix.filter_workers(|w| !expert_ids.contains(&w));
+            let marginals = Ebcc::new().aggregate(&cp_only)?.binary_marginals();
+            let prepared = prepare(&dataset, &pipeline, &InitMethod::Marginals(marginals))?;
+
+            let mut oracle = ReplayOracle::new(&dataset, prepared.grouping)?;
+            let selector = GreedySelector::new();
+            let truths = prepared.truths.clone();
+            let mut at_budget = vec![f64::NAN; BUDGETS.len()];
+            let mut loop_rng = StdRng::seed_from_u64(1);
+            let outcome = run_hc_with_observer(
+                prepared.beliefs.clone(),
+                &prepared.panel,
+                &selector,
+                &mut oracle,
+                &HcConfig::new(k, *BUDGETS.last().unwrap()),
+                &mut loop_rng,
+                |state, record| {
+                    for (slot, &b) in at_budget.iter_mut().zip(&BUDGETS) {
+                        if record.budget_spent <= b {
+                            *slot = dataset_accuracy(state, &truths);
+                        }
+                    }
+                },
+            )?;
+            let _ = outcome;
+            println!(
+                "{:>6.2} {:>5} {:>8} | {:>14.4} {:>14.4} {:>14.4}",
+                theta,
+                k,
+                prepared.panel.len(),
+                at_budget[0],
+                at_budget[1],
+                at_budget[2]
+            );
+        }
+    }
+    println!(
+        "\nReading: θ dominates on this corpus — a smaller, sharper panel makes\n\
+         each query cheaper (budget cost = |CE|) and more informative. The k\n\
+         differences are small (re-planning after every answer helps only\n\
+         marginally when most facts get checked at most once), matching the\n\
+         ≤ 3.7% spread the paper reports."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the paper's Table I example, end to end.
+//!
+//! Three correlated facts with a known joint belief, two expert
+//! checkers, one round of greedy checking-task selection, Bayesian
+//! update, and the resulting labels.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> hc_core::Result<()> {
+    // The belief state of Table I in the paper: three correlated facts
+    // f1, f2, f3 with an explicit joint distribution over the 8
+    // observations. Bit i of the observation index is the truth value
+    // of f_{i+1}.
+    let belief = Belief::from_probs(vec![
+        0.09, // o1: f1=F f2=F f3=F
+        0.11, // o2: f1=T f2=F f3=F
+        0.10, // o3: f1=F f2=T f3=F
+        0.20, // o4: f1=T f2=T f3=F
+        0.08, // o5: f1=F f2=F f3=T
+        0.09, // o6: f1=T f2=F f3=T
+        0.15, // o7: f1=F f2=T f3=T
+        0.18, // o8: f1=T f2=T f3=T
+    ])?;
+    println!("prior marginals:    {:?}", rounded(&belief.marginals()));
+    println!("prior quality:      {:.4}", belief.quality());
+
+    // A heterogeneous crowd, split at θ = 0.9 into experts (checkers)
+    // and preliminary workers (who produced the belief above).
+    let crowd = Crowd::from_accuracies(&[0.95, 0.92, 0.7, 0.65, 0.6])?;
+    let split = crowd.split(0.9);
+    println!(
+        "crowd split at 0.9: {} experts / {} preliminary",
+        split.experts.len(),
+        split.preliminary.len()
+    );
+
+    // Which two facts should the experts check? Greedy (Algorithm 2)
+    // maximises the expected quality improvement = minimises
+    // H(O | AS_CE^T) (Theorem 2).
+    let beliefs = MultiBelief::new(vec![belief]);
+    let selector = GreedySelector::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let candidates = hc::core::selection::global_facts(&beliefs);
+    let queries = selector.select(&beliefs, &split.experts, 2, &candidates, &mut rng)?;
+    println!(
+        "selected checking queries: {:?}",
+        queries.iter().map(|q| format!("f{}", q.fact.0 + 1)).collect::<Vec<_>>()
+    );
+
+    // Expected quality improvement of that query set (Theorem 1).
+    let facts: Vec<FactId> = queries.iter().map(|q| q.fact).collect();
+    let dq = hc::core::quality::expected_quality_improvement(
+        &beliefs.tasks()[0],
+        &facts,
+        &split.experts,
+    )?;
+    println!("expected quality improvement: {dq:.4}");
+
+    // Run the full checking loop against a simulated crowd whose hidden
+    // ground truth is (true, true, false) — observation o4.
+    let truths = vec![vec![true, true, false]];
+    let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let outcome = run_hc(
+        beliefs,
+        &split.experts,
+        &selector,
+        &mut oracle,
+        &HcConfig::new(2, 12),
+        &mut rng,
+    )?;
+    println!(
+        "after {} rounds ({} budget): quality {:.4}",
+        outcome.rounds.len(),
+        outcome.budget_spent,
+        outcome.quality()
+    );
+    println!("final labels: {:?}", outcome.labels()[0]);
+    assert_eq!(outcome.labels()[0], truths[0], "experts recover the truth");
+    println!("ground truth recovered ✓");
+    Ok(())
+}
+
+fn rounded(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,54 @@
+//! # hc — Hierarchical Crowdsourcing for Data Labeling
+//!
+//! Facade crate re-exporting the whole workspace: the core framework
+//! ([`core`]), corpora and the synthetic generator ([`data`]), the eight
+//! truth-inference baselines ([`baselines`]), the simulated
+//! crowdsourcing platform ([`sim`]), and the experiment harness
+//! ([`eval`]).
+//!
+//! Reproduction of *"Hierarchical Crowdsourcing for Data Labeling with
+//! Heterogeneous Crowd"* (ICDE 2023). See the repository `README.md`
+//! for a guided tour and `examples/` for runnable entry points:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example sentiment_pipeline
+//! cargo run --release --example aggregator_showdown
+//! cargo run --release --example budget_planner
+//! cargo run --release --example benchmark_import
+//! cargo run --release --example tiers_and_costs
+//! ```
+
+#![warn(missing_docs)]
+
+/// The paper's core framework: beliefs, entropy, selection, the HC loop.
+pub use hc_core as core;
+
+/// Corpora: answer matrices, grouping, the synthetic generator.
+pub use hc_data as data;
+
+/// The eight truth-inference baselines (MV … EBCC).
+pub use hc_baselines as baselines;
+
+/// Simulated crowdsourcing: oracles, budget ledger, pipeline glue.
+pub use hc_sim as sim;
+
+/// Experiment harness regenerating the paper's tables and figures.
+pub use hc_eval as eval;
+
+/// Everything most programs need, in one import.
+pub mod prelude {
+    pub use hc_baselines::{
+        all_aggregators, AggregateResult, Aggregator, Bcc, Bwa, Crh, DawidSkene, Ebcc, Glad,
+        MajorityVote, ZenCrowd,
+    };
+    pub use hc_core::prelude::*;
+    pub use hc_data::{
+        generate, AccuracyModel, AnswerEntry, AnswerMatrix, CrowdDataset, CrowdProfile,
+        SynthConfig, SystematicErrors, TaskGrouping,
+    };
+    pub use hc_sim::{
+        dataset_accuracy, prepare, InitMethod, PipelineConfig, Prepared, ReplayOracle,
+        SamplingOracle,
+    };
+}

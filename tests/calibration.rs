@@ -1,0 +1,107 @@
+//! Calibration of the probabilistic outputs across the pipeline: the
+//! aggregators' posteriors and the HC loop's final marginals, scored
+//! with the proper scoring rules in `hc-core::metrics`.
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc, HcConfig};
+use hc_core::metrics::{
+    brier_score, expected_calibration_error, flat_marginals, log_loss, precision_recall,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 60;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+#[test]
+fn aggregator_posteriors_beat_coin_flip_scores() {
+    let ds = corpus(1);
+    let truth = ds.binary_truth().unwrap();
+    for agg in all_aggregators() {
+        let result = agg.aggregate(&ds.matrix).unwrap();
+        let marginals = result.binary_marginals();
+        let brier = brier_score(&marginals, &truth);
+        let ll = log_loss(&marginals, &truth);
+        assert!(
+            brier < 0.25,
+            "{}: Brier {brier} no better than constant 0.5",
+            agg.name()
+        );
+        assert!(
+            ll < std::f64::consts::LN_2,
+            "{}: log loss {ll} no better than constant 0.5",
+            agg.name()
+        );
+    }
+}
+
+#[test]
+fn checking_improves_every_proper_score() {
+    let ds = corpus(2);
+    let config = PipelineConfig::paper_default();
+    let prepared = prepare(&ds, &config, &InitMethod::CpVotes).unwrap();
+    let flat_truth: Vec<bool> = prepared.truths.concat();
+
+    let before = flat_marginals(&prepared.beliefs);
+    let mut oracle = ReplayOracle::new(&ds, prepared.grouping).unwrap();
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 300),
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    let after = flat_marginals(&outcome.beliefs);
+
+    assert!(
+        brier_score(&after, &flat_truth) < brier_score(&before, &flat_truth),
+        "Brier should improve"
+    );
+    assert!(
+        log_loss(&after, &flat_truth) < log_loss(&before, &flat_truth),
+        "log loss should improve"
+    );
+    let pr_before = precision_recall(
+        &before.iter().map(|&p| p >= 0.5).collect::<Vec<_>>(),
+        &flat_truth,
+    );
+    let pr_after = precision_recall(
+        &after.iter().map(|&p| p >= 0.5).collect::<Vec<_>>(),
+        &flat_truth,
+    );
+    assert!(
+        pr_after.f1 >= pr_before.f1,
+        "F1 {:.3} -> {:.3}",
+        pr_before.f1,
+        pr_after.f1
+    );
+}
+
+#[test]
+fn hc_marginals_are_reasonably_calibrated() {
+    // After checking, the belief's stated confidences should be within a
+    // modest ECE of empirical accuracy (replayed evidence is double-used
+    // by the vote init, so perfect calibration isn't expected).
+    let ds = corpus(4);
+    let config = PipelineConfig::paper_default();
+    let prepared = prepare(&ds, &config, &InitMethod::CpVotes).unwrap();
+    let flat_truth: Vec<bool> = prepared.truths.concat();
+    let mut oracle = ReplayOracle::new(&ds, prepared.grouping).unwrap();
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 300),
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap();
+    let marginals = flat_marginals(&outcome.beliefs);
+    let ece = expected_calibration_error(&marginals, &flat_truth, 10);
+    assert!(ece < 0.15, "ECE {ece}");
+}

@@ -1,0 +1,102 @@
+//! The worker-correlation regime end to end: corpora whose preliminary
+//! workers share a systematic error mode (the conditional-independence
+//! violation EBCC targets), run through aggregation and the HC loop.
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc, HcConfig};
+use hc_data::SystematicErrors;
+use hc_data::AccuracyModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A corpus where three of the six preliminary workers share a
+/// systematic mode on 25% of items.
+fn correlated_corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 80;
+    // The systematic mode must hit preliminary workers (indices after
+    // the 2 experts), so reorder the profile: preliminary first.
+    config.crowd = CrowdProfile {
+        groups: vec![
+            (6, AccuracyModel::Uniform { lo: 0.6, hi: 0.85 }),
+            (2, AccuracyModel::Uniform { lo: 0.91, hi: 0.97 }),
+        ],
+    };
+    config.systematic_errors = Some(SystematicErrors {
+        workers: 3,
+        rate: 0.25,
+    });
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+#[test]
+fn generator_produces_valid_correlated_corpus() {
+    let ds = correlated_corpus(1);
+    assert_eq!(ds.n_workers(), 8);
+    assert_eq!(ds.n_items(), 400);
+    // The systematic workers' *empirical* accuracy is dragged below
+    // their nominal parameter.
+    let empirical = ds.matrix.worker_accuracy(&ds.ground_truth);
+    #[allow(clippy::needless_range_loop)] // w indexes two parallel vecs
+    for w in 0..3 {
+        let emp = empirical[w].unwrap();
+        let nominal = ds.worker_accuracies[w];
+        assert!(
+            emp < nominal,
+            "worker {w}: empirical {emp} should trail nominal {nominal}"
+        );
+    }
+}
+
+#[test]
+fn subtype_models_match_or_beat_ds_under_correlation() {
+    // Averaged over corpora, EBCC (subtype mixtures) should do at least
+    // as well as DS (conditional independence) on correlated answers.
+    let mut ebcc_total = 0.0;
+    let mut ds_total = 0.0;
+    for seed in 0..5 {
+        let corpus = correlated_corpus(seed);
+        let ebcc = Ebcc::new().aggregate(&corpus.matrix).unwrap();
+        let ds = DawidSkene::new().aggregate(&corpus.matrix).unwrap();
+        ebcc_total += corpus.accuracy_of(&ebcc.map_labels());
+        ds_total += corpus.accuracy_of(&ds.map_labels());
+    }
+    assert!(
+        ebcc_total >= ds_total - 0.02,
+        "EBCC {ebcc_total} vs DS {ds_total} (5-corpus totals)"
+    );
+}
+
+#[test]
+fn hc_loop_repairs_systematic_damage() {
+    let corpus = correlated_corpus(7);
+    let config = PipelineConfig::paper_default();
+    // EBCC init over CP answers (which include the correlated workers).
+    let experts: Vec<u32> = corpus
+        .worker_accuracies
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a >= config.theta)
+        .map(|(w, _)| w as u32)
+        .collect();
+    let cp = corpus.matrix.filter_workers(|w| !experts.contains(&w));
+    let marginals = Ebcc::new().aggregate(&cp).unwrap().binary_marginals();
+    let prepared = prepare(&corpus, &config, &InitMethod::Marginals(marginals)).unwrap();
+    let acc0 = prepared.accuracy(&prepared.beliefs);
+
+    let mut oracle = ReplayOracle::new(&corpus, prepared.grouping).unwrap();
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 400),
+        &mut StdRng::seed_from_u64(8),
+    )
+    .unwrap();
+    let acc1 = dataset_accuracy(&outcome.beliefs, &prepared.truths);
+    assert!(
+        acc1 > acc0 + 0.02,
+        "expert checking should repair systematic CP damage: {acc0} -> {acc1}"
+    );
+}

@@ -1,0 +1,196 @@
+//! End-to-end pipeline tests spanning all crates: corpus generation →
+//! aggregation → belief initialisation → hierarchical checking →
+//! evaluation.
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc, HcConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(n_tasks: usize, seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = n_tasks;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn ebcc_prepared(dataset: &CrowdDataset) -> Prepared {
+    let config = PipelineConfig::paper_default();
+    let experts: Vec<u32> = dataset
+        .worker_accuracies
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a >= config.theta)
+        .map(|(w, _)| w as u32)
+        .collect();
+    let cp = dataset.matrix.filter_workers(|w| !experts.contains(&w));
+    let marginals = Ebcc::new().aggregate(&cp).unwrap().binary_marginals();
+    prepare(dataset, &config, &InitMethod::Marginals(marginals)).unwrap()
+}
+
+#[test]
+fn hc_improves_accuracy_and_quality_over_initialisation() {
+    let dataset = corpus(40, 1);
+    let prepared = ebcc_prepared(&dataset);
+    let acc0 = prepared.accuracy(&prepared.beliefs);
+    let q0 = prepared.beliefs.quality();
+
+    let mut oracle = ReplayOracle::new(&dataset, prepared.grouping).unwrap();
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 200),
+        &mut StdRng::seed_from_u64(2),
+    )
+    .unwrap();
+
+    let acc1 = dataset_accuracy(&outcome.beliefs, &prepared.truths);
+    assert!(acc1 > acc0, "accuracy {acc0} -> {acc1}");
+    assert!(outcome.quality() > q0, "quality {q0} -> {}", outcome.quality());
+    assert!(outcome.budget_spent <= 200);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let dataset = corpus(20, 9);
+        let prepared = ebcc_prepared(&dataset);
+        let mut oracle = ReplayOracle::new(&dataset, prepared.grouping).unwrap();
+        let outcome = run_hc(
+            prepared.beliefs.clone(),
+            &prepared.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, 100),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        (outcome.labels(), outcome.quality())
+    };
+    let (labels_a, quality_a) = run();
+    let (labels_b, quality_b) = run();
+    assert_eq!(labels_a, labels_b);
+    assert_eq!(quality_a, quality_b);
+}
+
+#[test]
+fn vote_init_pipeline_also_works() {
+    let dataset = corpus(20, 4);
+    let config = PipelineConfig::paper_default();
+    let prepared = prepare(&dataset, &config, &InitMethod::CpVotes).unwrap();
+    let mut oracle = ReplayOracle::new(&dataset, prepared.grouping).unwrap();
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 100),
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap();
+    assert!(outcome.quality() > prepared.beliefs.quality());
+}
+
+#[test]
+fn sampling_oracle_reaches_high_accuracy_with_generous_budget() {
+    // With fresh independent expert answers (a live crowd), repeated
+    // checking drives accuracy near 1.
+    let dataset = corpus(20, 6);
+    let prepared = ebcc_prepared(&dataset);
+    let truths = prepared.truths.clone();
+    let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let outcome = run_hc(
+        prepared.beliefs.clone(),
+        &prepared.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 2000),
+        &mut StdRng::seed_from_u64(8),
+    )
+    .unwrap();
+    let acc = dataset_accuracy(&outcome.beliefs, &prepared.truths);
+    assert!(acc > 0.97, "accuracy {acc}");
+}
+
+#[test]
+fn snapshot_round_trip_preserves_pipeline_behaviour() {
+    let dataset = corpus(10, 11);
+    let bytes = hc::data::io::encode_snapshot(&dataset);
+    let restored = hc::data::io::decode_snapshot(bytes).unwrap();
+    assert_eq!(dataset, restored);
+
+    let a = ebcc_prepared(&dataset);
+    let b = ebcc_prepared(&restored);
+    assert_eq!(a.beliefs, b.beliefs);
+    assert_eq!(a.truths, b.truths);
+}
+
+#[test]
+fn every_selector_completes_the_loop() {
+    let dataset = corpus(8, 12);
+    let prepared = ebcc_prepared(&dataset);
+    let selectors: Vec<Box<dyn TaskSelector>> = vec![
+        Box::new(GreedySelector::new()),
+        Box::new(GreedySelector::lazy()),
+        Box::new(ExactSelector::new()),
+        Box::new(RandomSelector::new()),
+        Box::new(MaxEntropySelector::new()),
+    ];
+    for selector in selectors {
+        let mut oracle = ReplayOracle::new(&dataset, prepared.grouping).unwrap();
+        let outcome = run_hc(
+            prepared.beliefs.clone(),
+            &prepared.panel,
+            selector.as_ref(),
+            &mut oracle,
+            &HcConfig::new(2, 40),
+            &mut StdRng::seed_from_u64(13),
+        )
+        .unwrap();
+        assert!(
+            outcome.budget_spent <= 40,
+            "{} overspent",
+            selector.name()
+        );
+        for belief in outcome.beliefs.tasks() {
+            let sum: f64 = belief.probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{} denormalised", selector.name());
+        }
+    }
+}
+
+#[test]
+fn informed_selection_beats_random_on_average() {
+    // Across several corpora, greedy checking should beat random
+    // checking on final quality at equal budget.
+    let mut greedy_total = 0.0;
+    let mut random_total = 0.0;
+    for seed in 20..25 {
+        let dataset = corpus(16, seed);
+        let prepared = ebcc_prepared(&dataset);
+        for (selector, total) in [
+            (
+                Box::new(GreedySelector::new()) as Box<dyn TaskSelector>,
+                &mut greedy_total,
+            ),
+            (Box::new(RandomSelector::new()), &mut random_total),
+        ] {
+            let mut oracle = ReplayOracle::new(&dataset, prepared.grouping).unwrap();
+            let outcome = run_hc(
+                prepared.beliefs.clone(),
+                &prepared.panel,
+                selector.as_ref(),
+                &mut oracle,
+                &HcConfig::new(1, 60),
+                &mut StdRng::seed_from_u64(seed ^ 0xAB),
+            )
+            .unwrap();
+            *total += outcome.quality();
+        }
+    }
+    assert!(
+        greedy_total > random_total,
+        "greedy {greedy_total} vs random {random_total}"
+    );
+}

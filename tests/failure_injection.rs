@@ -1,0 +1,260 @@
+//! Failure-injection tests: the pipeline under adversarial,
+//! inconsistent, or degenerate conditions must degrade gracefully —
+//! never panic, never denormalise a belief, never overspend the budget.
+
+use hc::prelude::*;
+use hc_core::hc::run_hc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 12;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn prepared(dataset: &CrowdDataset) -> Prepared {
+    prepare(
+        dataset,
+        &PipelineConfig::paper_default(),
+        &InitMethod::CpVotes,
+    )
+    .unwrap()
+}
+
+/// An oracle that always lies — the worst case the §II-A error model
+/// excludes, injected anyway.
+struct AdversarialOracle {
+    truths: Vec<Vec<bool>>,
+}
+
+impl AnswerOracle for AdversarialOracle {
+    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
+        Answer::from_bool(!self.truths[fact.task][fact.fact.index()])
+    }
+}
+
+/// An oracle that answers at random regardless of worker or fact.
+struct NoiseOracle {
+    rng: StdRng,
+}
+
+impl AnswerOracle for NoiseOracle {
+    fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> Answer {
+        Answer::from_bool(self.rng.gen_bool(0.5))
+    }
+}
+
+/// An oracle whose answers flip on every repeated ask — maximally
+/// inconsistent evidence.
+struct FlipFlopOracle {
+    state: std::collections::HashMap<(u32, usize, u32), bool>,
+}
+
+impl AnswerOracle for FlipFlopOracle {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+        let key = (worker.id.0, fact.task, fact.fact.0);
+        let v = self.state.entry(key).or_insert(false);
+        *v = !*v;
+        Answer::from_bool(*v)
+    }
+}
+
+fn assert_well_formed(outcome: &hc_core::hc::HcOutcome, budget: u64) {
+    assert!(outcome.budget_spent <= budget);
+    for belief in outcome.beliefs.tasks() {
+        let sum: f64 = belief.probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "belief denormalised: {sum}");
+        assert!(belief.probs().iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        assert!(belief.entropy().is_finite());
+    }
+    // Budget trace is strictly increasing.
+    let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
+    assert!(spends.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn adversarial_experts_corrupt_labels_but_not_state() {
+    let dataset = corpus(1);
+    let p = prepared(&dataset);
+    let mut oracle = AdversarialOracle {
+        truths: p.truths.clone(),
+    };
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 100),
+        &mut StdRng::seed_from_u64(2),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 100);
+    let acc = dataset_accuracy(&outcome.beliefs, &p.truths);
+    let acc0 = p.accuracy(&p.beliefs);
+    assert!(acc < acc0, "liars must hurt accuracy: {acc0} -> {acc}");
+}
+
+#[test]
+fn pure_noise_oracle_is_survivable() {
+    let dataset = corpus(3);
+    let p = prepared(&dataset);
+    let mut oracle = NoiseOracle {
+        rng: StdRng::seed_from_u64(4),
+    };
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(3, 120),
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 120);
+}
+
+#[test]
+fn flip_flop_answers_never_destabilise_the_loop() {
+    let dataset = corpus(6);
+    let p = prepared(&dataset);
+    let mut oracle = FlipFlopOracle {
+        state: Default::default(),
+    };
+    let mut config = HcConfig::new(1, 200);
+    // Force re-selection so the flip-flopping actually repeats facts.
+    config.repeat_policy = RepeatPolicy::Unrestricted;
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &config,
+        &mut StdRng::seed_from_u64(7),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 200);
+}
+
+#[test]
+fn single_fact_tasks_work_end_to_end() {
+    // Degenerate grouping: every task has exactly one fact.
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 30;
+    config.facts_per_task = 1;
+    let dataset = generate(&config, &mut StdRng::seed_from_u64(8)).unwrap();
+    let p = prepare(
+        &dataset,
+        &PipelineConfig {
+            theta: 0.9,
+            group_size: 1,
+        },
+        &InitMethod::CpVotes,
+    )
+    .unwrap();
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 40),
+        &mut StdRng::seed_from_u64(9),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 40);
+    assert!(outcome.quality() >= p.beliefs.quality());
+}
+
+#[test]
+fn ragged_final_task_is_handled() {
+    // 7 items grouped by 5: the last task has 2 facts.
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 7;
+    config.facts_per_task = 1;
+    let dataset = generate(&config, &mut StdRng::seed_from_u64(10)).unwrap();
+    let p = prepare(
+        &dataset,
+        &PipelineConfig {
+            theta: 0.9,
+            group_size: 5,
+        },
+        &InitMethod::CpVotes,
+    )
+    .unwrap();
+    assert_eq!(p.beliefs.len(), 2);
+    assert_eq!(p.beliefs.tasks()[1].num_facts(), 2);
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(3, 30),
+        &mut StdRng::seed_from_u64(11),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 30);
+}
+
+#[test]
+fn budget_exactly_one_round_is_spent_fully() {
+    let dataset = corpus(12);
+    let p = prepared(&dataset);
+    let panel_size = p.panel.len() as u64;
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, panel_size),
+        &mut StdRng::seed_from_u64(13),
+    )
+    .unwrap();
+    assert_eq!(outcome.rounds.len(), 1);
+    assert_eq!(outcome.budget_spent, panel_size);
+}
+
+#[test]
+fn max_entropy_selector_under_adversarial_answers() {
+    let dataset = corpus(14);
+    let p = prepared(&dataset);
+    let mut oracle = AdversarialOracle {
+        truths: p.truths.clone(),
+    };
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &MaxEntropySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 60),
+        &mut StdRng::seed_from_u64(15),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 60);
+}
+
+#[test]
+fn entropy_adaptive_schedule_survives_noise() {
+    let dataset = corpus(16);
+    let p = prepared(&dataset);
+    let mut oracle = NoiseOracle {
+        rng: StdRng::seed_from_u64(17),
+    };
+    let mut config = HcConfig::new(4, 100);
+    config.k_schedule = KSchedule::EntropyAdaptive {
+        nats_per_query: 2.0,
+        max: 6,
+    };
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &config,
+        &mut StdRng::seed_from_u64(18),
+    )
+    .unwrap();
+    assert_well_formed(&outcome, 100);
+}

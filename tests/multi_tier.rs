@@ -1,0 +1,146 @@
+//! The §III-D multi-tier extension and its special-case equivalence:
+//! with a single expert per tier, sequentially checking with each tier
+//! is equivalent to one merged panel answering the same queries —
+//! Bayes updates with independent evidence commute.
+
+use hc_core::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::hc::{apply_round, run_multi_tier, AnswerOracle};
+use hc_core::selection::{GlobalFact, GreedySelector};
+use hc_core::update::update_with_family;
+use hc_core::worker::{ExpertPanel, Worker};
+use hc_core::FactId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic oracle: worker answers are a fixed function of
+/// (worker id, fact) — the same answers whoever asks, as in the
+/// offline-replay setting.
+struct FixedOracle;
+
+impl AnswerOracle for FixedOracle {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+        // An arbitrary but fixed pattern.
+        Answer::from_bool((worker.id.0 + fact.fact.0 + fact.task as u32).is_multiple_of(2))
+    }
+}
+
+fn initial_beliefs() -> MultiBelief {
+    MultiBelief::new(vec![
+        Belief::from_marginals(&[0.6, 0.45, 0.7]).unwrap(),
+        Belief::from_marginals(&[0.52, 0.58]).unwrap(),
+    ])
+}
+
+#[test]
+fn sequential_single_expert_tiers_equal_merged_panel_on_same_queries() {
+    // Same query set, same recorded answers: updating with expert A then
+    // expert B equals updating with the merged {A, B} panel.
+    let expert_a = Worker::new(0, 0.92).unwrap();
+    let expert_b = Worker::new(1, 0.96).unwrap();
+    let queries = QuerySet::new(vec![FactId(0), FactId(2)], 3).unwrap();
+    let answers_a = AnswerSet::new(&[Answer::Yes, Answer::No]);
+    let answers_b = AnswerSet::new(&[Answer::Yes, Answer::Yes]);
+
+    // Sequential tiers.
+    let mut sequential = initial_beliefs().tasks()[0].clone();
+    update_with_family(
+        &mut sequential,
+        &queries,
+        &ExpertPanel::new(vec![expert_a]),
+        &AnswerFamily::new(vec![answers_a]),
+    )
+    .unwrap();
+    update_with_family(
+        &mut sequential,
+        &queries,
+        &ExpertPanel::new(vec![expert_b]),
+        &AnswerFamily::new(vec![answers_b]),
+    )
+    .unwrap();
+
+    // Merged panel.
+    let mut merged = initial_beliefs().tasks()[0].clone();
+    update_with_family(
+        &mut merged,
+        &queries,
+        &ExpertPanel::new(vec![expert_a, expert_b]),
+        &AnswerFamily::new(vec![answers_a, answers_b]),
+    )
+    .unwrap();
+
+    for (s, m) in sequential.probs().iter().zip(merged.probs()) {
+        assert!((s - m).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tier_order_does_not_matter_for_fixed_answers() {
+    // The paper (§III-D): for single-expert tiers the concatenation is
+    // equivalent "no matter in what order the experts are arranged".
+    let expert_a = Worker::new(0, 0.9).unwrap();
+    let expert_b = Worker::new(1, 0.8).unwrap();
+    let queries = QuerySet::new(vec![FactId(1)], 3).unwrap();
+    let ans_a = AnswerSet::new(&[Answer::No]);
+    let ans_b = AnswerSet::new(&[Answer::Yes]);
+
+    let run = |first: (Worker, AnswerSet), second: (Worker, AnswerSet)| {
+        let mut belief = initial_beliefs().tasks()[0].clone();
+        for (w, a) in [first, second] {
+            update_with_family(
+                &mut belief,
+                &queries,
+                &ExpertPanel::new(vec![w]),
+                &AnswerFamily::new(vec![a]),
+            )
+            .unwrap();
+        }
+        belief
+    };
+    let ab = run((expert_a, ans_a), (expert_b, ans_b));
+    let ba = run((expert_b, ans_b), (expert_a, ans_a));
+    for (x, y) in ab.probs().iter().zip(ba.probs()) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn run_multi_tier_spends_each_tier_budget() {
+    let tiers = vec![
+        (ExpertPanel::from_accuracies(&[0.85]).unwrap(), 6u64),
+        (ExpertPanel::from_accuracies(&[0.95]).unwrap(), 4u64),
+    ];
+    let mut oracle = FixedOracle;
+    let mut rng = StdRng::seed_from_u64(1);
+    let outcome = run_multi_tier(
+        initial_beliefs(),
+        &tiers,
+        &GreedySelector::new(),
+        &mut oracle,
+        1,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(outcome.budget_spent, 10);
+    // Rounds carry cumulative budget across tiers.
+    let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
+    assert!(spends.windows(2).all(|w| w[0] < w[1]), "{spends:?}");
+    assert_eq!(*spends.last().unwrap(), 10);
+}
+
+#[test]
+fn apply_round_groups_queries_per_task() {
+    let mut beliefs = initial_beliefs();
+    let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+    let before_t0 = beliefs.tasks()[0].clone();
+    let queries = vec![GlobalFact::new(1, 0), GlobalFact::new(1, 1)];
+    let mut oracle = FixedOracle;
+    apply_round(&mut beliefs, &panel, &queries, &mut oracle).unwrap();
+    // Task 0 untouched, task 1 updated.
+    assert_eq!(beliefs.tasks()[0], before_t0);
+    assert_ne!(
+        beliefs.tasks()[1],
+        initial_beliefs().tasks()[1],
+        "queried task must change"
+    );
+}

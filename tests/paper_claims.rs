@@ -1,0 +1,134 @@
+//! The paper's concrete numeric claims, pinned as tests — every number
+//! the text states explicitly should be reproducible from this
+//! implementation.
+
+use hc::prelude::*;
+use hc_core::entropy::{binary_entropy, conditional_entropy};
+use hc_core::quality::expected_quality_improvement;
+
+/// The Table I belief (bit i of the observation index = truth of f_{i+1}).
+fn table_i() -> Belief {
+    Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap()
+}
+
+#[test]
+fn intro_majority_vote_error_rate_formula() {
+    // §I: three workers with error rate e; majority vote errs with
+    // probability 3e²(1−e) + e³ < e for e < 0.5. Verify the formula by
+    // enumerating outcomes and the inequality across the range.
+    for e in [0.05f64, 0.1, 0.2, 0.3, 0.4, 0.49] {
+        // Exact enumeration: majority errs iff ≥ 2 of 3 workers err.
+        let exact = 3.0 * e * e * (1.0 - e) + e * e * e;
+        // The paper's closed form.
+        let formula = 3.0 * e * e * (1.0 - e) + e.powi(3);
+        assert!((exact - formula).abs() < 1e-12);
+        assert!(formula < e, "e = {e}: aggregated {formula} !< {e}");
+    }
+    // And at e = 0.5 aggregation gains nothing.
+    let e: f64 = 0.5;
+    let formula = 3.0 * e * e * (1.0 - e) + e.powi(3);
+    assert!((formula - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn equation_4_marginals_of_table_i() {
+    // P(f1) = 0.58, P(f2) = 0.63, P(f3) = 0.50.
+    let b = table_i();
+    assert!((b.marginal(FactId(0)) - 0.58).abs() < 1e-12);
+    assert!((b.marginal(FactId(1)) - 0.63).abs() < 1e-12);
+    assert!((b.marginal(FactId(2)) - 0.50).abs() < 1e-12);
+}
+
+#[test]
+fn equation_3_fails_for_correlated_facts() {
+    // §II-A: Π P(¬f_i) = 0.42·0.37·0.50 ≈ 0.0777 ≠ P(o1) = 0.09.
+    let b = table_i();
+    let product: f64 = (0..3).map(|i| 1.0 - b.marginal(FactId(i))).product();
+    assert!((product - 0.42 * 0.37 * 0.50).abs() < 1e-12);
+    assert!((product - 0.0777).abs() < 1e-4);
+    assert!((b.prob(Observation(0)) - 0.09).abs() < 1e-12);
+    assert!((product - 0.09).abs() > 0.01, "correlation must be visible");
+}
+
+#[test]
+fn equation_10_single_query_answer_probability() {
+    // For one query and one worker: P(answer = Yes) = Pr_cr·P(f) +
+    // (1−Pr_cr)·(1−P(f)); in the degenerate deterministic case it is
+    // exactly Pr_cr (o ⊨ f) or 1−Pr_cr (o ⊨ ¬f).
+    use hc_core::answer::{answer_set_probability, AnswerSet, QuerySet};
+    let certain_true = Belief::point_mass(1, Observation(1)).unwrap();
+    let certain_false = Belief::point_mass(1, Observation(0)).unwrap();
+    let queries = QuerySet::new(vec![FactId(0)], 1).unwrap();
+    let yes = AnswerSet::new(&[Answer::Yes]);
+    let p_true = answer_set_probability(&certain_true, &queries, 0.85, yes);
+    let p_false = answer_set_probability(&certain_false, &queries, 0.85, yes);
+    assert!((p_true - 0.85).abs() < 1e-12);
+    assert!((p_false - 0.15).abs() < 1e-12);
+}
+
+#[test]
+fn definition_2_quality_is_negative_entropy() {
+    let b = table_i();
+    // Q(F) = Σ P(o) log P(o) = −H(O); H of Table I ≈ 2.0237 nats.
+    assert!((b.quality() + b.entropy()).abs() < 1e-12);
+    assert!((b.entropy() - 2.0237).abs() < 1e-3);
+    // Maximum quality is 0 (deterministic data).
+    let point = Belief::point_mass(3, Observation(4)).unwrap();
+    assert_eq!(point.quality(), 0.0);
+}
+
+#[test]
+fn theorem_1_gain_equals_mutual_information_on_table_i() {
+    // ΔQ(F|T) = H(O) − H(O|AS^T) ≥ 0, with equality iff the queries are
+    // uninformative.
+    let b = table_i();
+    let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+    for f in 0..3u32 {
+        let dq = expected_quality_improvement(&b, &[FactId(f)], &panel).unwrap();
+        let h = b.entropy();
+        let h_cond = conditional_entropy(&b, &[FactId(f)], &panel).unwrap();
+        assert!((dq - (h - h_cond)).abs() < 1e-12);
+        assert!(dq > 0.0, "a 0.9-accuracy answer about f{f} is informative");
+    }
+}
+
+#[test]
+fn section_v_special_case_max_entropy_query() {
+    // §V: with one worker and one query per round over independent
+    // facts, the optimal query is the maximum-entropy one. On Table I
+    // (correlated!), f3 has marginal 0.5 — maximal binary entropy — and
+    // greedy indeed picks it.
+    let b = table_i();
+    let beliefs = MultiBelief::new(vec![b.clone()]);
+    let panel = ExpertPanel::from_accuracies(&[0.8]).unwrap();
+    let candidates = hc::core::selection::global_facts(&beliefs);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    use rand::SeedableRng as _;
+    let sel = GreedySelector::new()
+        .select(&beliefs, &panel, 1, &candidates, &mut rng)
+        .unwrap();
+    assert_eq!(sel[0].fact, FactId(2), "f3 has P = 0.5");
+    assert!((binary_entropy(b.marginal(FactId(2))) - std::f64::consts::LN_2).abs() < 1e-12);
+}
+
+#[test]
+fn algorithm_3_budget_arithmetic() {
+    // Line 7: B ← B − |T|·|CE|; the loop ends when B < |T|·|CE|.
+    use hc_core::hc::{run_hc, HcConfig};
+    use rand::SeedableRng;
+    let beliefs = MultiBelief::new(vec![table_i()]);
+    let panel = ExpertPanel::from_accuracies(&[0.9, 0.85, 0.8]).unwrap(); // |CE| = 3
+    let truths = vec![vec![true, true, false]];
+    let mut oracle = SamplingOracle::new(&truths, rand::rngs::StdRng::seed_from_u64(2));
+    let outcome = run_hc(
+        beliefs,
+        &panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 10), // 3 rounds of cost 3 fit; 1 budget stranded
+        &mut rand::rngs::StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    assert_eq!(outcome.rounds.len(), 3);
+    assert_eq!(outcome.budget_spent, 9);
+}

@@ -1,0 +1,289 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants, with randomly generated beliefs, panels, query
+//! sets, and answer families.
+
+use hc_core::answer::{
+    answer_set_likelihood, enumerate_families, family_probability, AnswerSet, QuerySet,
+};
+use hc_core::belief::Belief;
+use hc_core::entropy::{binary_entropy, conditional_entropy, conditional_entropy_naive};
+use hc_core::update::{posterior, update_with_family};
+use hc_core::worker::ExpertPanel;
+use hc_core::FactId;
+use proptest::prelude::*;
+
+/// Strategy: a normalised belief over `n` facts with strictly positive
+/// probabilities.
+fn belief_strategy(n: usize) -> impl Strategy<Value = Belief> {
+    prop::collection::vec(0.01f64..1.0, 1 << n).prop_map(|mut probs| {
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Belief::from_probs(probs).expect("normalised")
+    })
+}
+
+/// Strategy: an expert panel of 1..=3 workers.
+fn panel_strategy() -> impl Strategy<Value = ExpertPanel> {
+    prop::collection::vec(0.5f64..=0.99, 1..=3)
+        .prop_map(|rates| ExpertPanel::from_accuracies(&rates).expect("valid rates"))
+}
+
+/// Strategy: a non-empty query set over `n` facts (distinct ids).
+fn query_strategy(n: usize) -> impl Strategy<Value = Vec<FactId>> {
+    prop::collection::hash_set(0..n as u32, 1..=n.min(3))
+        .prop_map(|set| set.into_iter().map(FactId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn belief_marginals_are_probabilities(belief in belief_strategy(4)) {
+        for m in belief.marginals() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&m));
+        }
+    }
+
+    #[test]
+    fn belief_entropy_is_bounded(belief in belief_strategy(4)) {
+        let h = belief.entropy();
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 4.0 * std::f64::consts::LN_2 + 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_mass_and_order(
+        belief in belief_strategy(4),
+        facts in query_strategy(4),
+    ) {
+        let q = belief.project(&facts);
+        prop_assert_eq!(q.len(), 1 << facts.len());
+        let sum: f64 = q.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // Projected marginal of the first queried fact equals the
+        // belief's marginal.
+        let p_first: f64 = q
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| t & 1 == 1)
+            .map(|(_, &p)| p)
+            .sum();
+        prop_assert!((p_first - belief.marginal(facts[0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_conditional_entropy_matches_naive(
+        belief in belief_strategy(3),
+        panel in panel_strategy(),
+        facts in query_strategy(3),
+    ) {
+        let fast = conditional_entropy(&belief, &facts, &panel).unwrap();
+        let naive = conditional_entropy_naive(&belief, &facts, &panel).unwrap();
+        prop_assert!((fast - naive).abs() < 1e-8, "fast {} vs naive {}", fast, naive);
+    }
+
+    #[test]
+    fn information_never_hurts(
+        belief in belief_strategy(4),
+        panel in panel_strategy(),
+        facts in query_strategy(4),
+    ) {
+        let h_cond = conditional_entropy(&belief, &facts, &panel).unwrap();
+        prop_assert!(h_cond >= 0.0);
+        prop_assert!(h_cond <= belief.entropy() + 1e-9);
+    }
+
+    #[test]
+    fn family_probabilities_form_a_distribution(
+        belief in belief_strategy(3),
+        panel in panel_strategy(),
+        facts in query_strategy(3),
+    ) {
+        let queries = QuerySet::new(facts.clone(), 3).unwrap();
+        let total: f64 = enumerate_families(facts.len(), panel.len())
+            .map(|(_, fam)| family_probability(&belief, &queries, &panel, &fam))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bayes_update_keeps_normalisation_and_positivity(
+        belief in belief_strategy(4),
+        panel in panel_strategy(),
+        facts in query_strategy(4),
+        answer_bits in any::<u32>(),
+    ) {
+        let queries = QuerySet::new(facts.clone(), 4).unwrap();
+        let k = facts.len();
+        let sets: Vec<AnswerSet> = (0..panel.len())
+            .map(|w| {
+                let bits = (answer_bits >> (w * k)) & ((1u32 << k) - 1);
+                AnswerSet::from_bits(bits, k)
+            })
+            .collect();
+        let family = hc_core::answer::AnswerFamily::new(sets);
+        let mut updated = belief.clone();
+        update_with_family(&mut updated, &queries, &panel, &family).unwrap();
+        let sum: f64 = updated.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(updated.probs().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn expected_posterior_equals_prior(
+        belief in belief_strategy(3),
+        panel in panel_strategy(),
+        facts in query_strategy(3),
+    ) {
+        // Law of total probability: Σ_A P(A) · P(o|A) = P(o).
+        let queries = QuerySet::new(facts.clone(), 3).unwrap();
+        let mut mixed = vec![0.0; belief.probs().len()];
+        for (_, family) in enumerate_families(facts.len(), panel.len()) {
+            let p_fam = family_probability(&belief, &queries, &panel, &family);
+            if p_fam <= 0.0 {
+                continue;
+            }
+            let post = posterior(&belief, &queries, &panel, &family).unwrap();
+            for (slot, &p) in mixed.iter_mut().zip(post.probs()) {
+                *slot += p_fam * p;
+            }
+        }
+        for (mixed_p, &prior_p) in mixed.iter().zip(belief.probs()) {
+            prop_assert!((mixed_p - prior_p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn answer_set_likelihoods_sum_to_one_over_answers(
+        accuracy in 0.5f64..=1.0,
+        k in 1usize..=4,
+        truth_bits in any::<u32>(),
+    ) {
+        let t = truth_bits & ((1u32 << k) - 1);
+        let total: f64 = (0..(1u32 << k))
+            .map(|bits| answer_set_likelihood(accuracy, AnswerSet::from_bits(bits, k), t))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_entropy_is_concave_symmetric(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= std::f64::consts::LN_2 + 1e-12);
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_selector_returns_structurally_valid_selections(
+        seed in any::<u64>(),
+        k in 0usize..=5,
+    ) {
+        use hc_core::selection::{
+            global_facts, BeamSelector, ExactSelector, GreedySelector, MaxEntropySelector,
+            RandomSelector, TaskSelector,
+        };
+        use hc_core::belief::MultiBelief;
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let beliefs = MultiBelief::new(
+            (0..2)
+                .map(|_| {
+                    let marginals: Vec<f64> =
+                        (0..3).map(|_| rng.gen_range(0.05..0.95)).collect();
+                    Belief::from_marginals(&marginals).unwrap()
+                })
+                .collect(),
+        );
+        let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+        let candidates = global_facts(&beliefs);
+        let selectors: Vec<Box<dyn TaskSelector>> = vec![
+            Box::new(GreedySelector::new()),
+            Box::new(GreedySelector::lazy()),
+            Box::new(ExactSelector::new()),
+            Box::new(RandomSelector::new()),
+            Box::new(MaxEntropySelector::new()),
+            Box::new(BeamSelector::new(3)),
+        ];
+        for selector in selectors {
+            let mut sel_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 1);
+            let selected = selector
+                .select(&beliefs, &panel, k, &candidates, &mut sel_rng)
+                .unwrap();
+            prop_assert!(selected.len() <= k, "{} overselected", selector.name());
+            let mut dedup = selected.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), selected.len(), "{} duplicated", selector.name());
+            for gf in &selected {
+                prop_assert!(
+                    candidates.contains(gf),
+                    "{} selected a non-candidate",
+                    selector.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hc_config_serde_round_trips(
+        k in 1usize..=8,
+        budget in 0u64..10_000,
+        unrestricted in any::<bool>(),
+    ) {
+        use hc_core::hc::{HcConfig, KSchedule, RepeatPolicy};
+        let mut config = HcConfig::new(k, budget);
+        config.repeat_policy = if unrestricted {
+            RepeatPolicy::Unrestricted
+        } else {
+            RepeatPolicy::CycleThenRepeat
+        };
+        config.k_schedule = KSchedule::LinearDecay { end: 1 };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: HcConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.k, config.k);
+        prop_assert_eq!(back.budget, config.budget);
+        prop_assert_eq!(back.repeat_policy, config.repeat_policy);
+        prop_assert_eq!(back.k_schedule, config.k_schedule);
+        // Older configs without the schedule field default to Fixed.
+        let legacy: HcConfig = serde_json::from_str(
+            &format!(r#"{{"k":{k},"budget":{budget},"max_rounds":null,"repeat_policy":"CycleThenRepeat"}}"#),
+        )
+        .unwrap();
+        prop_assert_eq!(legacy.k_schedule, KSchedule::Fixed);
+    }
+
+    #[test]
+    fn snapshot_round_trip(seed in any::<u64>(), n_tasks in 1usize..=8) {
+        use rand::SeedableRng;
+        let mut config = hc_data::SynthConfig::paper_default();
+        config.n_tasks = n_tasks;
+        let dataset = hc_data::generate(
+            &config,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let restored =
+            hc_data::io::decode_snapshot(hc_data::io::encode_snapshot(&dataset)).unwrap();
+        prop_assert_eq!(dataset, restored);
+    }
+
+    #[test]
+    fn aggregators_always_return_valid_posteriors(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut config = hc_data::SynthConfig::paper_default();
+        config.n_tasks = 4;
+        let dataset = hc_data::generate(
+            &config,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+        ).unwrap();
+        for agg in hc_baselines::all_aggregators() {
+            let result = agg.aggregate(&dataset.matrix).unwrap();
+            prop_assert!(result.validate(), "{} invalid", agg.name());
+            prop_assert_eq!(result.posteriors.len(), dataset.n_items());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-crate checks of the paper's theoretical results on non-trivial
+//! instances: Theorem 1's identity, the greedy approximation quality
+//! against OPT, and the NP-hard selector's optimality on enumerable
+//! spaces.
+
+use hc_core::answer::QuerySet;
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::quality::{expected_quality, expected_quality_by_enumeration};
+use hc_core::selection::{
+    global_facts, selection_objective, ExactSelector, GreedySelector, MaxEntropySelector,
+    RandomSelector, TaskSelector,
+};
+use hc_core::worker::ExpertPanel;
+use hc_core::FactId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random normalised belief over `n` facts.
+fn random_belief(n: usize, rng: &mut StdRng) -> Belief {
+    let len = 1usize << n;
+    let mut probs: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let sum: f64 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= sum;
+    }
+    Belief::from_probs(probs).unwrap()
+}
+
+#[test]
+fn theorem_1_identity_on_random_instances() {
+    // ℚ(F|T) by literal Definition 5 enumeration == -H(O | AS^T).
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..20 {
+        let n = rng.gen_range(2..=4);
+        let belief = random_belief(n, &mut rng);
+        let rates: Vec<f64> = (0..rng.gen_range(1..=2))
+            .map(|_| rng.gen_range(0.55..0.99))
+            .collect();
+        let panel = ExpertPanel::from_accuracies(&rates).unwrap();
+        let k = rng.gen_range(1..=2.min(n));
+        let facts: Vec<FactId> = (0..k as u32).map(FactId).collect();
+        let queries = QuerySet::new(facts.clone(), n).unwrap();
+
+        let by_enum = expected_quality_by_enumeration(&belief, &queries, &panel).unwrap();
+        let by_entropy = expected_quality(&belief, &facts, &panel).unwrap();
+        assert!(
+            (by_enum - by_entropy).abs() < 1e-8,
+            "n={n} rates={rates:?}: {by_enum} vs {by_entropy}"
+        );
+    }
+}
+
+#[test]
+fn greedy_achieves_submodular_approximation_bound() {
+    // Theoretical guarantee: the greedy gain sum is at least (1 - 1/e)
+    // of OPT's gain. Checked on random multi-task instances.
+    let mut rng = StdRng::seed_from_u64(200);
+    let bound = 1.0 - 1.0 / std::f64::consts::E;
+    for trial in 0..10 {
+        let beliefs = MultiBelief::new(
+            (0..3)
+                .map(|_| random_belief(3, &mut rng))
+                .collect::<Vec<_>>(),
+        );
+        let panel = ExpertPanel::from_accuracies(&[rng.gen_range(0.6..0.95)]).unwrap();
+        let candidates = global_facts(&beliefs);
+        let k = 3;
+
+        let mut sel_rng = StdRng::seed_from_u64(trial);
+        let greedy = GreedySelector::new()
+            .select(&beliefs, &panel, k, &candidates, &mut sel_rng)
+            .unwrap();
+        let opt = ExactSelector::new()
+            .select(&beliefs, &panel, k, &candidates, &mut sel_rng)
+            .unwrap();
+
+        let h0 = beliefs.entropy();
+        let gain = |sel: &[hc_core::selection::GlobalFact]| {
+            h0 - selection_objective(&beliefs, sel, &panel).unwrap()
+        };
+        let greedy_gain = gain(&greedy);
+        let opt_gain = gain(&opt);
+        assert!(
+            greedy_gain >= bound * opt_gain - 1e-9,
+            "trial {trial}: greedy {greedy_gain} < (1-1/e)·OPT {opt_gain}"
+        );
+    }
+}
+
+#[test]
+fn greedy_is_in_practice_near_optimal() {
+    // Figure 5's observation, as a property: on random instances the
+    // greedy objective is within a small additive gap of OPT.
+    let mut rng = StdRng::seed_from_u64(300);
+    for trial in 0..10 {
+        let beliefs = MultiBelief::new(
+            (0..2)
+                .map(|_| random_belief(4, &mut rng))
+                .collect::<Vec<_>>(),
+        );
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.75]).unwrap();
+        let candidates = global_facts(&beliefs);
+        let mut sel_rng = StdRng::seed_from_u64(trial);
+        for k in [2usize, 3] {
+            let greedy = GreedySelector::new()
+                .select(&beliefs, &panel, k, &candidates, &mut sel_rng)
+                .unwrap();
+            let opt = ExactSelector::new()
+                .select(&beliefs, &panel, k, &candidates, &mut sel_rng)
+                .unwrap();
+            let obj_g = selection_objective(&beliefs, &greedy, &panel).unwrap();
+            let obj_o = selection_objective(&beliefs, &opt, &panel).unwrap();
+            assert!(
+                obj_g - obj_o < 0.1,
+                "trial {trial} k={k}: greedy {obj_g} vs OPT {obj_o}"
+            );
+        }
+    }
+}
+
+#[test]
+fn selector_quality_ordering_holds_in_expectation() {
+    // OPT <= Greedy <= MaxEntropy-ish <= Random on the conditional
+    // entropy objective, averaged over instances (individual instances
+    // can tie).
+    let mut rng = StdRng::seed_from_u64(400);
+    let mut totals = [0.0f64; 3]; // opt, greedy, random
+    for trial in 0..20 {
+        let beliefs = MultiBelief::new(
+            (0..3)
+                .map(|_| random_belief(3, &mut rng))
+                .collect::<Vec<_>>(),
+        );
+        let panel = ExpertPanel::from_accuracies(&[0.85]).unwrap();
+        let candidates = global_facts(&beliefs);
+        let mut sel_rng = StdRng::seed_from_u64(trial);
+        let selectors: [Box<dyn TaskSelector>; 3] = [
+            Box::new(ExactSelector::new()),
+            Box::new(GreedySelector::new()),
+            Box::new(RandomSelector::new()),
+        ];
+        for (total, selector) in totals.iter_mut().zip(&selectors) {
+            let sel = selector
+                .select(&beliefs, &panel, 2, &candidates, &mut sel_rng)
+                .unwrap();
+            *total += selection_objective(&beliefs, &sel, &panel).unwrap();
+        }
+    }
+    assert!(totals[0] <= totals[1] + 1e-9, "OPT worse than greedy");
+    assert!(totals[1] < totals[2], "greedy no better than random");
+}
+
+#[test]
+fn fast_path_matches_naive_on_larger_spaces() {
+    // The unit tests cover 3-fact beliefs; exercise 8–10 facts with up
+    // to 3 workers, where the projection and family enumeration paths
+    // take different shapes.
+    let mut rng = StdRng::seed_from_u64(600);
+    for _ in 0..5 {
+        let n = rng.gen_range(8..=10);
+        let belief = random_belief(n, &mut rng);
+        let n_workers = rng.gen_range(1..=3);
+        let rates: Vec<f64> = (0..n_workers).map(|_| rng.gen_range(0.55..0.99)).collect();
+        let panel = ExpertPanel::from_accuracies(&rates).unwrap();
+        let facts: Vec<FactId> = vec![FactId(0), FactId(n as u32 / 2), FactId(n as u32 - 1)];
+        let fast = hc_core::entropy::conditional_entropy(&belief, &facts, &panel).unwrap();
+        let naive =
+            hc_core::entropy::conditional_entropy_naive(&belief, &facts, &panel).unwrap();
+        assert!(
+            (fast - naive).abs() < 1e-8,
+            "n={n} m={n_workers}: {fast} vs {naive}"
+        );
+    }
+}
+
+#[test]
+fn better_experts_extract_more_information() {
+    // H(O | AS) is monotone non-increasing in worker accuracy.
+    let mut rng = StdRng::seed_from_u64(700);
+    for _ in 0..10 {
+        let belief = random_belief(4, &mut rng);
+        let facts = [FactId(1), FactId(3)];
+        let mut prev = f64::MAX;
+        for acc in [0.55, 0.7, 0.85, 0.95, 1.0] {
+            let panel = ExpertPanel::from_accuracies(&[acc]).unwrap();
+            let h = hc_core::entropy::conditional_entropy(&belief, &facts, &panel).unwrap();
+            assert!(
+                h <= prev + 1e-9,
+                "accuracy {acc}: H {h} exceeds weaker expert's {prev}"
+            );
+            prev = h;
+        }
+    }
+}
+
+#[test]
+fn greedy_handles_wide_single_task_spaces() {
+    // A 18-fact single task (the Table III regime, scaled down): greedy
+    // must select k distinct facts with monotone objective.
+    let joint = hc_data::markov_joint(18, 0.55, 0.7);
+    let beliefs = MultiBelief::new(vec![Belief::from_probs(joint).unwrap()]);
+    let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
+    let candidates = global_facts(&beliefs);
+    let mut rng = StdRng::seed_from_u64(800);
+    let mut prev = beliefs.entropy();
+    for k in [1usize, 3, 6] {
+        let sel = GreedySelector::new()
+            .select(&beliefs, &panel, k, &candidates, &mut rng)
+            .unwrap();
+        assert_eq!(sel.len(), k);
+        let obj = selection_objective(&beliefs, &sel, &panel).unwrap();
+        assert!(obj < prev, "k={k}: {obj} should improve on {prev}");
+        prev = obj;
+    }
+}
+
+#[test]
+fn max_entropy_matches_greedy_on_independent_beliefs_k1() {
+    // The §V special case: single expert, k = 1, independent facts.
+    let mut rng = StdRng::seed_from_u64(500);
+    for _ in 0..10 {
+        let marginals: Vec<f64> = (0..4).map(|_| rng.gen_range(0.05..0.95)).collect();
+        let beliefs = MultiBelief::new(vec![Belief::from_marginals(&marginals).unwrap()]);
+        let panel = ExpertPanel::from_accuracies(&[0.8]).unwrap();
+        let candidates = global_facts(&beliefs);
+        let mut sel_rng = StdRng::seed_from_u64(1);
+        let me = MaxEntropySelector::new()
+            .select(&beliefs, &panel, 1, &candidates, &mut sel_rng)
+            .unwrap();
+        let greedy = GreedySelector::new()
+            .select(&beliefs, &panel, 1, &candidates, &mut sel_rng)
+            .unwrap();
+        assert_eq!(me, greedy, "marginals {marginals:?}");
+    }
+}
