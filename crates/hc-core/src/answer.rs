@@ -35,6 +35,54 @@ impl Answer {
     }
 }
 
+/// The result of one answer attempt: a worker may answer, time out, or
+/// drop the query entirely.
+///
+/// The paper's model (§II-A) assumes every selected expert answers every
+/// checking query. A production platform cannot: workers abandon tasks,
+/// miss deadlines, or churn out of the pool. [`crate::hc::AnswerOracle`]
+/// therefore returns an `AnswerOutcome`, and the Bayes update conditions
+/// only on the answers that actually arrived (missing answers are
+/// marginalised out — see [`PartialAnswerSet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnswerOutcome {
+    /// The worker delivered a Yes/No answer.
+    Answered(Answer),
+    /// The worker accepted the query but no answer arrived in time.
+    TimedOut,
+    /// The worker never engaged with the query (dropout or churn).
+    Dropped,
+}
+
+impl AnswerOutcome {
+    /// The delivered answer, if any.
+    #[inline]
+    pub fn answer(self) -> Option<Answer> {
+        match self {
+            AnswerOutcome::Answered(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether an answer was delivered.
+    #[inline]
+    pub fn is_answered(self) -> bool {
+        matches!(self, AnswerOutcome::Answered(_))
+    }
+
+    /// Whether the attempt failed (timed out or dropped).
+    #[inline]
+    pub fn is_failure(self) -> bool {
+        !self.is_answered()
+    }
+}
+
+impl From<Answer> for AnswerOutcome {
+    fn from(a: Answer) -> Self {
+        AnswerOutcome::Answered(a)
+    }
+}
+
 /// An ordered, duplicate-free set of facts `T ⊆ F` selected as checking
 /// queries for one round.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -196,6 +244,203 @@ impl AnswerFamily {
     }
 }
 
+/// One worker's *partial* answers to a query set: some queries may have
+/// no answer (timeout/dropout). Bit `j` of `answered` is set when query
+/// `j` was actually answered; `bits` holds the Yes-mask over the answered
+/// positions (bits at unanswered positions are zero and ignored).
+///
+/// Under the missing-at-random assumption (whether a worker drops a
+/// query is independent of the ground truth), an absent answer carries no
+/// evidence: its likelihood factor is exactly 1, so the Bayes update with
+/// a partial set conditions only on what arrived and the belief stays a
+/// proper distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialAnswerSet {
+    bits: u32,
+    answered: u32,
+    len: u8,
+}
+
+impl PartialAnswerSet {
+    /// Builds a partial answer set from per-query attempt outcomes, in
+    /// query order.
+    pub fn new(outcomes: &[AnswerOutcome]) -> Self {
+        debug_assert!(outcomes.len() <= 32);
+        let mut bits = 0u32;
+        let mut answered = 0u32;
+        for (j, out) in outcomes.iter().enumerate() {
+            if let Some(a) = out.answer() {
+                answered |= 1 << j;
+                if a.as_bool() {
+                    bits |= 1 << j;
+                }
+            }
+        }
+        PartialAnswerSet {
+            bits,
+            answered,
+            len: outcomes.len() as u8,
+        }
+    }
+
+    /// A fully-absent set over `len` queries (the worker answered
+    /// nothing).
+    pub fn absent(len: usize) -> Self {
+        debug_assert!(len <= 32);
+        PartialAnswerSet {
+            bits: 0,
+            answered: 0,
+            len: len as u8,
+        }
+    }
+
+    /// Builds a partial set from raw masks: `bits` is the Yes-mask,
+    /// `answered` the delivery mask. Bits outside `answered` are cleared.
+    pub fn from_masks(bits: u32, answered: u32, len: usize) -> Self {
+        debug_assert!(len <= 32);
+        let mask = if len == 32 {
+            u32::MAX
+        } else {
+            (1u32 << len) - 1
+        };
+        let answered = answered & mask;
+        PartialAnswerSet {
+            bits: bits & answered,
+            answered,
+            len: len as u8,
+        }
+    }
+
+    /// The raw Yes-bitmask over answered positions.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The delivery mask: bit `j` set means query `j` was answered.
+    #[inline]
+    pub fn answered_mask(self) -> u32 {
+        self.answered
+    }
+
+    /// Number of queries in the round (answered or not).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the query set was empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of queries this worker actually answered.
+    #[inline]
+    pub fn answered_count(self) -> u32 {
+        self.answered.count_ones()
+    }
+
+    /// Whether every query was answered.
+    #[inline]
+    pub fn is_complete(self) -> bool {
+        self.answered_count() as usize == self.len()
+    }
+
+    /// The answer to query `j`, if one arrived.
+    #[inline]
+    pub fn answer(self, j: usize) -> Option<Answer> {
+        if (self.answered >> j) & 1 == 1 {
+            Some(Answer::from_bool((self.bits >> j) & 1 == 1))
+        } else {
+            None
+        }
+    }
+
+    /// Consistent answers among the *answered* queries: positions where
+    /// the delivered answer matches the truth assignment `o_proj`.
+    #[inline]
+    pub fn consistent_count(self, o_proj: u32) -> u32 {
+        (!(self.bits ^ o_proj) & self.answered).count_ones()
+    }
+
+    /// The equivalent complete [`AnswerSet`], when every query was
+    /// answered.
+    pub fn complete(self) -> Option<AnswerSet> {
+        if self.is_complete() {
+            Some(AnswerSet::from_bits(self.bits, self.len()))
+        } else {
+            None
+        }
+    }
+}
+
+impl From<AnswerSet> for PartialAnswerSet {
+    fn from(set: AnswerSet) -> Self {
+        let len = set.len();
+        let mask = if len == 32 {
+            u32::MAX
+        } else if len == 0 {
+            0
+        } else {
+            (1u32 << len) - 1
+        };
+        PartialAnswerSet {
+            bits: set.bits() & mask,
+            answered: mask,
+            len: len as u8,
+        }
+    }
+}
+
+/// Per-worker partial answer sets for one query set — the
+/// unreliable-crowd generalisation of [`AnswerFamily`]. `sets[i]` is the
+/// (possibly incomplete) answer set of `panel.workers()[i]`; a worker
+/// that delivered nothing contributes a fully-absent set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialAnswerFamily {
+    sets: Vec<PartialAnswerSet>,
+}
+
+impl PartialAnswerFamily {
+    /// Wraps per-worker partial answer sets (aligned with the panel's
+    /// worker order).
+    pub fn new(sets: Vec<PartialAnswerSet>) -> Self {
+        PartialAnswerFamily { sets }
+    }
+
+    /// The per-worker partial answer sets.
+    #[inline]
+    pub fn sets(&self) -> &[PartialAnswerSet] {
+        &self.sets
+    }
+
+    /// Number of workers in the family (answering or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the family has no workers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Total answers delivered across all workers.
+    pub fn delivered(&self) -> u32 {
+        self.sets.iter().map(|s| s.answered_count()).sum()
+    }
+}
+
+impl From<&AnswerFamily> for PartialAnswerFamily {
+    fn from(family: &AnswerFamily) -> Self {
+        PartialAnswerFamily {
+            sets: family.sets().iter().map(|&s| s.into()).collect(),
+        }
+    }
+}
+
 /// `P(A_cr^T | o)` — the likelihood of one worker's answer set given an
 /// observation (Lemma 1, Equation (6)):
 /// `Pr_cr^{|T⁺|} · (1 - Pr_cr)^{|T⁻|}`.
@@ -219,6 +464,37 @@ pub fn family_likelihood_given(panel: &ExpertPanel, family: &AnswerFamily, o_pro
         .iter()
         .zip(family.sets())
         .map(|(w, &set)| answer_set_likelihood(w.accuracy.rate(), set, o_proj))
+        .product()
+}
+
+/// `P(A_cr^{T'} | o)` for a *partial* answer set: the likelihood of the
+/// answers that arrived, with absent answers marginalised out.
+///
+/// Given the ground truth, each answer is an independent Bernoulli, so
+/// summing the full-set likelihood over every value of the missing
+/// answers collapses their factors to `Pr_cr + (1 − Pr_cr) = 1`
+/// (missing-at-random): only the delivered answers contribute.
+#[inline]
+pub fn partial_answer_set_likelihood(accuracy: f64, set: PartialAnswerSet, o_proj: u32) -> f64 {
+    let consistent = set.consistent_count(o_proj);
+    let inconsistent = set.answered_count() - consistent;
+    accuracy.powi(consistent as i32) * (1.0 - accuracy).powi(inconsistent as i32)
+}
+
+/// `P(A_C^{T'} | o)` for a partial answer family: the product over
+/// workers of their partial-set likelihoods (workers answer independently
+/// given the ground truth, so absent experts contribute factor 1).
+pub fn partial_family_likelihood_given(
+    panel: &ExpertPanel,
+    family: &PartialAnswerFamily,
+    o_proj: u32,
+) -> f64 {
+    debug_assert_eq!(panel.len(), family.len());
+    panel
+        .workers()
+        .iter()
+        .zip(family.sets())
+        .map(|(w, &set)| partial_answer_set_likelihood(w.accuracy.rate(), set, o_proj))
         .product()
 }
 
@@ -418,5 +694,102 @@ mod tests {
         assert_eq!(answer_set_likelihood(1.0, set, 0b01), 1.0);
         assert_eq!(answer_set_likelihood(1.0, set, 0b00), 0.0);
         assert_eq!(answer_set_likelihood(1.0, set, 0b11), 0.0);
+    }
+
+    #[test]
+    fn answer_outcome_accessors() {
+        let a = AnswerOutcome::Answered(Answer::Yes);
+        assert_eq!(a.answer(), Some(Answer::Yes));
+        assert!(a.is_answered() && !a.is_failure());
+        for f in [AnswerOutcome::TimedOut, AnswerOutcome::Dropped] {
+            assert_eq!(f.answer(), None);
+            assert!(f.is_failure() && !f.is_answered());
+        }
+        assert_eq!(AnswerOutcome::from(Answer::No).answer(), Some(Answer::No));
+    }
+
+    #[test]
+    fn partial_set_tracks_delivery() {
+        let outcomes = [
+            AnswerOutcome::Answered(Answer::Yes),
+            AnswerOutcome::Dropped,
+            AnswerOutcome::Answered(Answer::No),
+            AnswerOutcome::TimedOut,
+        ];
+        let set = PartialAnswerSet::new(&outcomes);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.answered_count(), 2);
+        assert_eq!(set.answered_mask(), 0b0101);
+        assert_eq!(set.bits(), 0b0001);
+        assert_eq!(set.answer(0), Some(Answer::Yes));
+        assert_eq!(set.answer(1), None);
+        assert_eq!(set.answer(2), Some(Answer::No));
+        assert!(!set.is_complete());
+        assert!(set.complete().is_none());
+    }
+
+    #[test]
+    fn complete_partial_set_round_trips_to_answer_set() {
+        let full = AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]);
+        let partial: PartialAnswerSet = full.into();
+        assert!(partial.is_complete());
+        assert_eq!(partial.complete(), Some(full));
+        for proj in 0..8u32 {
+            assert_eq!(partial.consistent_count(proj), full.consistent_count(proj));
+            for acc in [0.5, 0.7, 0.95] {
+                let a = partial_answer_set_likelihood(acc, partial, proj);
+                let b = answer_set_likelihood(acc, full, proj);
+                assert!((a - b).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_set_has_unit_likelihood() {
+        // A worker that delivered nothing must not move the posterior:
+        // factor 1 for every observation.
+        let set = PartialAnswerSet::absent(3);
+        for proj in 0..8u32 {
+            assert_eq!(partial_answer_set_likelihood(0.9, set, proj), 1.0);
+        }
+    }
+
+    #[test]
+    fn partial_likelihood_marginalises_missing_answers() {
+        // Summing the full-set likelihood over both values of a missing
+        // answer must equal the partial-set likelihood.
+        let acc = 0.8;
+        // Queries [q0, q1]; q0 answered Yes, q1 missing.
+        let partial = PartialAnswerSet::from_masks(0b01, 0b01, 2);
+        for proj in 0..4u32 {
+            let with_yes = answer_set_likelihood(acc, AnswerSet::from_bits(0b11, 2), proj);
+            let with_no = answer_set_likelihood(acc, AnswerSet::from_bits(0b01, 2), proj);
+            let marginal = with_yes + with_no;
+            let direct = partial_answer_set_likelihood(acc, partial, proj);
+            assert!(
+                (marginal - direct).abs() < 1e-12,
+                "proj {proj}: {marginal} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_family_product_over_workers() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.7]).unwrap();
+        let family = PartialAnswerFamily::new(vec![
+            PartialAnswerSet::new(&[AnswerOutcome::Answered(Answer::Yes)]),
+            PartialAnswerSet::new(&[AnswerOutcome::Dropped]),
+        ]);
+        assert_eq!(family.delivered(), 1);
+        // o ⊨ f: worker 0 consistent (0.9), worker 1 absent (1.0).
+        let l = partial_family_likelihood_given(&panel, &family, 1);
+        assert!((l - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_masks_clears_out_of_range_bits() {
+        let set = PartialAnswerSet::from_masks(0b1111, 0b0110, 2);
+        assert_eq!(set.answered_mask(), 0b10);
+        assert_eq!(set.bits(), 0b10);
     }
 }

@@ -220,6 +220,62 @@ pub fn conditional_entropy_naive(
     Ok(total)
 }
 
+/// `H(O | AS, D)` — the selection objective under an unreliable crowd:
+/// the expectation of [`conditional_entropy`] over which workers actually
+/// deliver their answers, with each worker absent for the whole round
+/// independently with probability `dropout`.
+///
+/// For a panel of `m` workers this enumerates the `2^m` presence subsets
+/// (missing-at-random: absence reveals nothing about the ground truth, so
+/// the sub-panel objective applies verbatim). At `dropout = 0` this is
+/// exactly [`conditional_entropy`]; at `dropout = 1` it is the prior
+/// entropy `H(O)` — checking with a crowd that never answers learns
+/// nothing.
+///
+/// # Errors
+///
+/// [`HcError::InvalidProbability`] when `dropout` is not in `[0, 1]`;
+/// otherwise the same errors as [`conditional_entropy`].
+pub fn conditional_entropy_with_dropout(
+    belief: &Belief,
+    queries: &[FactId],
+    panel: &ExpertPanel,
+    dropout: f64,
+) -> Result<f64> {
+    if !(0.0..=1.0).contains(&dropout) {
+        return Err(HcError::InvalidProbability(dropout));
+    }
+    let m = panel.len();
+    // Fast paths: the degenerate rates need no subset enumeration.
+    if dropout == 0.0 {
+        return conditional_entropy(belief, queries, panel);
+    }
+    if dropout == 1.0 {
+        return Ok(belief.entropy());
+    }
+    let mut total = 0.0;
+    let mut present = vec![false; m];
+    for mask in 0..(1u64 << m) {
+        let mut weight = 1.0;
+        for (w, slot) in present.iter_mut().enumerate() {
+            let here = (mask >> w) & 1 == 1;
+            *slot = here;
+            weight *= if here { 1.0 - dropout } else { dropout };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        let sub = panel.subset(&present);
+        let h = if sub.is_empty() {
+            belief.entropy()
+        } else {
+            conditional_entropy(belief, queries, &sub)?
+        };
+        total += weight * h;
+    }
+    Ok(total)
+}
+
 /// The *quality gain* of appending fact `f` to the query set `T`
 /// (Equation (35)):
 /// `gain^T(f) = H(O | AS^T) − H(O | AS^{T∪{f}})`.
@@ -379,6 +435,65 @@ mod tests {
         assert!(matches!(
             conditional_entropy(&b, &facts, &p),
             Err(HcError::TooManyFacts(64))
+        ));
+    }
+
+    #[test]
+    fn dropout_zero_matches_reliable_objective() {
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let facts = [FactId(0), FactId(2)];
+        let with = conditional_entropy_with_dropout(&b, &facts, &p, 0.0).unwrap();
+        let without = conditional_entropy(&b, &facts, &p).unwrap();
+        assert!((with - without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_one_learns_nothing() {
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let h = conditional_entropy_with_dropout(&b, &[FactId(1)], &p, 1.0).unwrap();
+        assert!((h - b.entropy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_objective_is_monotone_in_dropout() {
+        // More dropout => less expected information => higher H(O | AS, D).
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let facts = [FactId(0)];
+        let mut prev = -1.0;
+        for d in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let h = conditional_entropy_with_dropout(&b, &facts, &p, d).unwrap();
+            assert!(h >= prev - 1e-12, "dropout {d}: {h} < {prev}");
+            assert!(h <= b.entropy() + 1e-12);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn dropout_objective_mixes_subsets() {
+        // One worker, dropout d: the expectation is explicit.
+        let b = table_i_belief();
+        let p = panel(&[0.85]);
+        let d = 0.3;
+        let h = conditional_entropy_with_dropout(&b, &[FactId(2)], &p, d).unwrap();
+        let h_present = conditional_entropy(&b, &[FactId(2)], &p).unwrap();
+        let expected = (1.0 - d) * h_present + d * b.entropy();
+        assert!((h - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropout_rate_is_validated() {
+        let b = table_i_belief();
+        let p = panel(&[0.9]);
+        assert!(matches!(
+            conditional_entropy_with_dropout(&b, &[FactId(0)], &p, -0.1),
+            Err(HcError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            conditional_entropy_with_dropout(&b, &[FactId(0)], &p, 1.5),
+            Err(HcError::InvalidProbability(_))
         ));
     }
 

@@ -7,12 +7,12 @@
 //! answer family (Bayes), and charges the checking budget — until the
 //! budget cannot afford another round or no query offers positive gain.
 
-use crate::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet, QuerySet};
 use crate::belief::MultiBelief;
 use crate::error::Result;
 use crate::fact::FactId;
 use crate::selection::{GlobalFact, TaskSelector};
-use crate::update::update_with_family;
+use crate::update::update_with_partial_family;
 use crate::worker::{ExpertPanel, Worker};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -22,9 +22,17 @@ use serde::{Deserialize, Serialize};
 /// In a live deployment this is the crowdsourcing platform; in the
 /// experiments it is a simulator (`hc-sim`) replaying recorded answers or
 /// sampling from the worker error model against a hidden ground truth.
+///
+/// An attempt is *fallible*: a real worker can time out or drop a query,
+/// so the contract returns an [`AnswerOutcome`] rather than a bare
+/// [`crate::answer::Answer`]. Reliable oracles simply wrap every answer
+/// (`Answer::from_bool(..).into()`); the HC loop conditions each round's
+/// Bayes update only on the answers that actually arrived and charges
+/// budget only for delivered answers.
 pub trait AnswerOracle {
-    /// The worker's Yes/No answer to "is `fact` true?".
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer;
+    /// One attempt at "is `fact` true?" by `worker`: the answer, or why
+    /// none arrived.
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome;
 }
 
 /// Pricing of expert answers (the cost-aware extension of §III-D).
@@ -163,6 +171,17 @@ pub struct HcConfig {
     /// Per-round query-count schedule (see [`KSchedule`]).
     #[serde(default)]
     pub k_schedule: KSchedule,
+    /// Consecutive rounds in which *zero* answers arrive before the loop
+    /// gives up on the crowd. With a reliable oracle every round delivers
+    /// and this never triggers; with a fully-dropped crowd (100% dropout)
+    /// it bounds the loop — attempted dispatches cost nothing, so without
+    /// this guard the loop would spin forever on an unresponsive panel.
+    #[serde(default = "default_max_dry_rounds")]
+    pub max_dry_rounds: usize,
+}
+
+fn default_max_dry_rounds() -> usize {
+    2
 }
 
 impl HcConfig {
@@ -175,6 +194,7 @@ impl HcConfig {
             max_rounds: None,
             repeat_policy: RepeatPolicy::default(),
             k_schedule: KSchedule::default(),
+            max_dry_rounds: default_max_dry_rounds(),
         }
     }
 }
@@ -190,6 +210,27 @@ pub struct RoundRecord {
     pub budget_spent: u64,
     /// Dataset quality `Q = -Σ_t H(O_t)` after this round's update.
     pub quality: f64,
+    /// Answers requested this round (`|T| · |CE|`).
+    #[serde(default)]
+    pub answers_requested: usize,
+    /// Answers that actually arrived this round (= requested with a
+    /// reliable crowd; fewer under dropout/timeouts).
+    #[serde(default)]
+    pub answers_received: usize,
+}
+
+/// What a round's dispatch actually delivered — the unreliable-crowd
+/// bookkeeping [`apply_round`] reports so the loop can charge only for
+/// answers that arrived.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundDelivery {
+    /// Answer attempts dispatched (`|T| · |CE|`).
+    pub requested: usize,
+    /// Answers delivered across the whole panel.
+    pub delivered: usize,
+    /// Delivered answers per panel worker, aligned with
+    /// [`ExpertPanel::workers`].
+    pub per_worker: Vec<usize>,
 }
 
 /// Result of a complete HC run.
@@ -283,6 +324,8 @@ pub fn run_hc_costed(
     // Facts checked in the current cycle (CycleThenRepeat policy).
     let mut checked: Vec<bool> = vec![false; all_facts.len()];
     let mut checked_count = 0usize;
+    // Consecutive rounds with zero delivered answers (unreliable crowd).
+    let mut dry_rounds = 0usize;
 
     loop {
         if let Some(cap) = config.max_rounds {
@@ -337,9 +380,17 @@ pub fn run_hc_costed(
         round += 1;
 
         // Collect the answer family and update, task by task.
-        apply_round(beliefs, panel, &queries, oracle)?;
+        let delivery = apply_round(beliefs, panel, &queries, oracle)?;
 
-        let cost = queries.len() as u64 * panel_cost;
+        // Charge only for answers that actually arrived: a dropped or
+        // timed-out attempt costs nothing. With a reliable crowd this is
+        // exactly the paper's `|T| · |CE|` per-round charge.
+        let cost: u64 = panel
+            .workers()
+            .iter()
+            .zip(&delivery.per_worker)
+            .map(|(w, &n)| costs.cost(w) * n as u64)
+            .sum();
         remaining -= cost;
         spent += cost;
         let record = RoundRecord {
@@ -347,9 +398,23 @@ pub fn run_hc_costed(
             queries,
             budget_spent: spent,
             quality: beliefs.quality(),
+            answers_requested: delivery.requested,
+            answers_received: delivery.delivered,
         };
         observer(beliefs, &record);
         rounds.push(record);
+
+        // An unresponsive crowd delivers nothing and charges nothing, so
+        // the budget check alone cannot terminate the loop — bound it by
+        // consecutive all-dry rounds instead.
+        if delivery.delivered == 0 {
+            dry_rounds += 1;
+            if dry_rounds >= config.max_dry_rounds.max(1) {
+                break;
+            }
+        } else {
+            dry_rounds = 0;
+        }
     }
     Ok((rounds, spent))
 }
@@ -357,12 +422,19 @@ pub fn run_hc_costed(
 /// Sends `queries` to every expert, groups answers per task, and applies
 /// the Bayes update (Equation (23)) — one round's lines 5–6 of
 /// Algorithm 3.
+///
+/// Every attempt may fail ([`AnswerOutcome`]); the update conditions
+/// only on the answers that arrived (missing answers are marginalised
+/// out, so a fully-absent round is a no-op on the belief). The returned
+/// [`RoundDelivery`] reports how many answers each worker actually
+/// delivered so the caller can charge budget accordingly.
 pub fn apply_round(
     beliefs: &mut MultiBelief,
     panel: &ExpertPanel,
     queries: &[GlobalFact],
     oracle: &mut dyn AnswerOracle,
-) -> Result<()> {
+) -> Result<RoundDelivery> {
+    let mut per_worker = vec![0usize; panel.len()];
     // Group query facts per task, preserving order.
     let mut per_task: Vec<(usize, Vec<FactId>)> = Vec::new();
     for gf in queries {
@@ -374,21 +446,25 @@ pub fn apply_round(
     for (task, facts) in per_task {
         let num_facts = beliefs.tasks()[task].num_facts();
         let query_set = QuerySet::new(facts.clone(), num_facts)?;
-        let sets: Vec<AnswerSet> = panel
-            .workers()
-            .iter()
-            .map(|w| {
-                let answers: Vec<Answer> = facts
-                    .iter()
-                    .map(|&f| oracle.answer(w, GlobalFact { task, fact: f }))
-                    .collect();
-                AnswerSet::new(&answers)
-            })
-            .collect();
-        let family = AnswerFamily::new(sets);
-        update_with_family(&mut beliefs.tasks_mut()[task], &query_set, panel, &family)?;
+        let mut sets: Vec<PartialAnswerSet> = Vec::with_capacity(panel.len());
+        for (w_idx, w) in panel.workers().iter().enumerate() {
+            let outcomes: Vec<AnswerOutcome> = facts
+                .iter()
+                .map(|&f| oracle.answer(w, GlobalFact { task, fact: f }))
+                .collect();
+            let set = PartialAnswerSet::new(&outcomes);
+            per_worker[w_idx] += set.answered_count() as usize;
+            sets.push(set);
+        }
+        let family = PartialAnswerFamily::new(sets);
+        update_with_partial_family(&mut beliefs.tasks_mut()[task], &query_set, panel, &family)?;
     }
-    Ok(())
+    let delivered = per_worker.iter().sum();
+    Ok(RoundDelivery {
+        requested: queries.len() * panel.len(),
+        delivered,
+        per_worker,
+    })
 }
 
 /// Sequential multi-tier checking (§III-D): the belief is checked by each
@@ -436,6 +512,7 @@ pub fn run_multi_tier(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answer::Answer;
     use crate::belief::Belief;
     use crate::selection::GreedySelector;
     use rand::rngs::StdRng;
@@ -447,8 +524,8 @@ mod tests {
     }
 
     impl AnswerOracle for TruthfulOracle {
-        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
-            Answer::from_bool(self.truths[fact.task][fact.fact.index()])
+        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+            Answer::from_bool(self.truths[fact.task][fact.fact.index()]).into()
         }
     }
 
@@ -458,8 +535,36 @@ mod tests {
     }
 
     impl AnswerOracle for LyingOracle {
-        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
-            Answer::from_bool(!self.truths[fact.task][fact.fact.index()])
+        fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+            Answer::from_bool(!self.truths[fact.task][fact.fact.index()]).into()
+        }
+    }
+
+    /// Oracle whose crowd never responds (100% dropout).
+    struct DroppedOracle {
+        attempts: usize,
+    }
+
+    impl AnswerOracle for DroppedOracle {
+        fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+            self.attempts += 1;
+            AnswerOutcome::Dropped
+        }
+    }
+
+    /// Oracle where one worker (id 1) is permanently offline and the
+    /// rest answer truthfully.
+    struct OneWorkerDown {
+        truths: Vec<Vec<bool>>,
+    }
+
+    impl AnswerOracle for OneWorkerDown {
+        fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+            if worker.id.0 == 1 {
+                AnswerOutcome::TimedOut
+            } else {
+                Answer::from_bool(self.truths[fact.task][fact.fact.index()]).into()
+            }
         }
     }
 
@@ -797,5 +902,111 @@ mod tests {
         // budget_spent in the trace is cumulative across tiers.
         let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
         assert!(spends.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fully_dropped_crowd_spends_nothing_and_terminates() {
+        let (beliefs, panel, _) = setup();
+        let before = beliefs.clone();
+        let mut oracle = DroppedOracle { attempts: 0 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = HcConfig::new(2, 100);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.budget_spent, 0, "no delivered answer, no charge");
+        assert_eq!(outcome.beliefs, before, "belief unchanged by absent answers");
+        assert!(
+            outcome.rounds.len() <= config.max_dry_rounds,
+            "dry-round guard must bound the loop"
+        );
+        assert!(oracle.attempts > 0, "dispatches were attempted");
+        assert!(outcome
+            .rounds
+            .iter()
+            .all(|r| r.answers_received == 0 && r.answers_requested > 0));
+    }
+
+    #[test]
+    fn partial_delivery_charges_only_delivered_answers() {
+        let (beliefs, panel, truths) = setup();
+        let q0 = beliefs.quality();
+        let mut oracle = OneWorkerDown { truths };
+        let mut rng = StdRng::seed_from_u64(12);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 10),
+            &mut rng,
+        )
+        .unwrap();
+        // Panel of 2 with worker 1 down: each k=1 round requests 2
+        // answers, delivers 1, and costs 1 under UnitCost.
+        for r in &outcome.rounds {
+            assert_eq!(r.answers_requested, 2);
+            assert_eq!(r.answers_received, 1);
+        }
+        assert_eq!(
+            outcome.budget_spent,
+            outcome.rounds.len() as u64,
+            "only delivered answers are charged"
+        );
+        assert!(
+            outcome.quality() > q0,
+            "the surviving worker's answers still update the belief"
+        );
+        for belief in outcome.beliefs.tasks() {
+            assert!((belief.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dry_round_guard_resets_after_a_delivered_answer() {
+        // A crowd that alternates dead/alive rounds never accumulates
+        // max_dry_rounds consecutive dry rounds, so the budget check
+        // terminates the loop instead.
+        struct AlternatingOracle {
+            truths: Vec<Vec<bool>>,
+            calls: usize,
+            round_len: usize,
+        }
+        impl AnswerOracle for AlternatingOracle {
+            fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+                let round = self.calls / self.round_len;
+                self.calls += 1;
+                if round % 2 == 0 {
+                    AnswerOutcome::Dropped
+                } else {
+                    Answer::from_bool(self.truths[fact.task][fact.fact.index()]).into()
+                }
+            }
+        }
+        let (beliefs, panel, truths) = setup();
+        let mut oracle = AlternatingOracle {
+            truths,
+            calls: 0,
+            round_len: panel.len(), // k=1 → panel.len() attempts per round
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let outcome = run_hc(
+            beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(1, 8),
+            &mut rng,
+        )
+        .unwrap();
+        // Half the rounds deliver; the loop must outlive max_dry_rounds.
+        assert!(outcome.rounds.len() > default_max_dry_rounds());
+        assert_eq!(outcome.budget_spent, 8, "alive rounds drain the budget");
     }
 }

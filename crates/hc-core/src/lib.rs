@@ -63,13 +63,16 @@ pub mod worker;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use crate::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+    pub use crate::answer::{
+        Answer, AnswerFamily, AnswerOutcome, AnswerSet, PartialAnswerFamily, PartialAnswerSet,
+        QuerySet,
+    };
     pub use crate::belief::{Belief, MultiBelief};
     pub use crate::error::{HcError, Result};
     pub use crate::fact::{Fact, FactId, FactSet};
     pub use crate::hc::{
         run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig,
-        HcOutcome, KSchedule, RepeatPolicy, RoundRecord, UnitCost,
+        HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
     };
     pub use crate::observation::{Observation, ObservationSpace};
     pub use crate::selection::{
@@ -79,13 +82,16 @@ pub mod prelude {
     pub use crate::worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};
 }
 
-pub use answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+pub use answer::{
+    Answer, AnswerFamily, AnswerOutcome, AnswerSet, PartialAnswerFamily, PartialAnswerSet,
+    QuerySet,
+};
 pub use belief::{Belief, MultiBelief};
 pub use error::{HcError, Result};
 pub use fact::{Fact, FactId, FactSet};
 pub use hc::{
     run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig, HcOutcome,
-    KSchedule, RepeatPolicy, RoundRecord, UnitCost,
+    KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
 };
 pub use observation::{Observation, ObservationSpace};
 pub use selection::{

@@ -11,7 +11,10 @@
 //! and then streams once over the full belief — `O(2^k · k·m + 2^n)`
 //! instead of `O(2^n · k·m)`.
 
-use crate::answer::{answer_set_likelihood, AnswerFamily, AnswerSet, QuerySet};
+use crate::answer::{
+    answer_set_likelihood, partial_answer_set_likelihood, AnswerFamily, AnswerSet,
+    PartialAnswerFamily, QuerySet,
+};
 use crate::belief::Belief;
 use crate::error::{HcError, Result};
 use crate::worker::ExpertPanel;
@@ -76,6 +79,58 @@ pub fn update_with_family(
         let acc = worker.accuracy.rate();
         for (t, m) in multiplier.iter_mut().enumerate() {
             *m *= answer_set_likelihood(acc, set, t as u32);
+        }
+    }
+    apply_multiplier(belief, queries, &multiplier)
+}
+
+/// Updates `belief` in place with a *partial* answer family — the
+/// unreliable-crowd generalisation of [`update_with_family`]: each worker
+/// may have answered only a subset of the queries (or nothing at all),
+/// and the posterior conditions only on the answers that arrived.
+///
+/// Missing answers are marginalised out (their likelihood factor is 1;
+/// see [`crate::answer::partial_answer_set_likelihood`]), so a round in
+/// which nobody answered leaves the belief exactly unchanged and the
+/// posterior is always a proper distribution — the update never
+/// denormalises and never fails on absence alone.
+///
+/// # Errors
+///
+/// [`HcError::DimensionMismatch`] when the family's worker count differs
+/// from the panel's, or any partial set's query count differs from the
+/// query set; [`HcError::InvalidProbability`] when the delivered answers
+/// are impossible under the current belief (perfect expert contradicting
+/// a zero-prior observation).
+pub fn update_with_partial_family(
+    belief: &mut Belief,
+    queries: &QuerySet,
+    panel: &ExpertPanel,
+    family: &PartialAnswerFamily,
+) -> Result<()> {
+    if family.len() != panel.len() {
+        return Err(HcError::DimensionMismatch {
+            expected: panel.len(),
+            actual: family.len(),
+        });
+    }
+    for set in family.sets() {
+        if set.len() != queries.len() {
+            return Err(HcError::DimensionMismatch {
+                expected: queries.len(),
+                actual: set.len(),
+            });
+        }
+    }
+    let cells = 1usize << queries.len();
+    let mut multiplier = vec![1.0; cells];
+    for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+        if set.answered_count() == 0 {
+            continue; // Fully absent: factor 1 everywhere.
+        }
+        let acc = worker.accuracy.rate();
+        for (t, m) in multiplier.iter_mut().enumerate() {
+            *m *= partial_answer_set_likelihood(acc, set, t as u32);
         }
     }
     apply_multiplier(belief, queries, &multiplier)
@@ -255,6 +310,114 @@ mod tests {
         let family = AnswerFamily::new(vec![AnswerSet::new(&[])]);
         update_with_family(&mut b, &queries, &panel, &family).unwrap();
         assert_eq!(b, before);
+    }
+
+    #[test]
+    fn partial_family_with_all_answers_matches_complete_update() {
+        use crate::answer::PartialAnswerFamily;
+        let queries = QuerySet::new(vec![FactId(0), FactId(2)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.75]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::No]),
+            AnswerSet::new(&[Answer::No, Answer::Yes]),
+        ]);
+        let partial: PartialAnswerFamily = (&family).into();
+
+        let mut complete = table_i_belief();
+        update_with_family(&mut complete, &queries, &panel, &family).unwrap();
+        let mut with_partial = table_i_belief();
+        update_with_partial_family(&mut with_partial, &queries, &panel, &partial).unwrap();
+
+        for (a, e) in with_partial.probs().iter().zip(complete.probs()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_absent_round_is_identity() {
+        use crate::answer::{PartialAnswerFamily, PartialAnswerSet};
+        let mut b = table_i_belief();
+        let before = b.clone();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let family = PartialAnswerFamily::new(vec![
+            PartialAnswerSet::absent(2),
+            PartialAnswerSet::absent(2),
+        ]);
+        update_with_partial_family(&mut b, &queries, &panel, &family).unwrap();
+        for (a, e) in b.probs().iter().zip(before.probs()) {
+            assert!((a - e).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn partial_update_equals_marginalising_the_missing_answer() {
+        use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet};
+        // Worker answered q0=Yes, dropped q1. The partial posterior must
+        // equal the P(A_q1)-weighted mixture of the two full posteriors.
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.85]).unwrap();
+        let prior = table_i_belief();
+
+        let mut partial_post = prior.clone();
+        let partial = PartialAnswerFamily::new(vec![PartialAnswerSet::new(&[
+            AnswerOutcome::Answered(Answer::Yes),
+            AnswerOutcome::Dropped,
+        ])]);
+        update_with_partial_family(&mut partial_post, &queries, &panel, &partial).unwrap();
+
+        let mut mixture = vec![0.0; prior.probs().len()];
+        let mut mass = 0.0;
+        for q1 in [Answer::Yes, Answer::No] {
+            let family =
+                AnswerFamily::new(vec![AnswerSet::new(&[Answer::Yes, q1])]);
+            let p_family =
+                crate::answer::family_probability(&prior, &queries, &panel, &family);
+            let post = posterior(&prior, &queries, &panel, &family).unwrap();
+            for (slot, p) in mixture.iter_mut().zip(post.probs()) {
+                *slot += p_family * p;
+            }
+            mass += p_family;
+        }
+        for slot in &mut mixture {
+            *slot /= mass;
+        }
+        for (a, e) in partial_post.probs().iter().zip(&mixture) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn partial_update_stays_normalised_and_rejects_mismatch() {
+        use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet};
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let mut b = table_i_belief();
+        let family = PartialAnswerFamily::new(vec![
+            PartialAnswerSet::new(&[
+                AnswerOutcome::Answered(Answer::No),
+                AnswerOutcome::TimedOut,
+            ]),
+            PartialAnswerSet::absent(2),
+        ]);
+        update_with_partial_family(&mut b, &queries, &panel, &family).unwrap();
+        assert!((b.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        // Wrong worker count.
+        let short = PartialAnswerFamily::new(vec![PartialAnswerSet::absent(2)]);
+        assert!(matches!(
+            update_with_partial_family(&mut b, &queries, &panel, &short),
+            Err(HcError::DimensionMismatch { .. })
+        ));
+        // Wrong query count.
+        let wrong_len = PartialAnswerFamily::new(vec![
+            PartialAnswerSet::absent(3),
+            PartialAnswerSet::absent(3),
+        ]);
+        assert!(matches!(
+            update_with_partial_family(&mut b, &queries, &panel, &wrong_len),
+            Err(HcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

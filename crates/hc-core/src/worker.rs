@@ -235,6 +235,37 @@ impl ExpertPanel {
             .map(|w| w.accuracy.answer_entropy())
             .sum()
     }
+
+    /// The sub-panel of workers whose `present` flag is set — used by the
+    /// unreliable-crowd machinery to reason about rounds in which only a
+    /// subset of the experts delivers answers.
+    ///
+    /// `present` is aligned with [`ExpertPanel::workers`]; missing flags
+    /// beyond the slice's end count as absent.
+    pub fn subset(&self, present: &[bool]) -> ExpertPanel {
+        ExpertPanel {
+            workers: self
+                .workers
+                .iter()
+                .zip(present.iter().chain(std::iter::repeat(&false)))
+                .filter(|(_, &p)| p)
+                .map(|(&w, _)| w)
+                .collect(),
+        }
+    }
+
+    /// The panel sorted by accuracy, best first — the reassignment order
+    /// a retrying platform uses to pick the next-best available expert.
+    pub fn by_accuracy_desc(&self) -> Vec<Worker> {
+        let mut sorted = self.workers.clone();
+        sorted.sort_by(|a, b| {
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        sorted
+    }
 }
 
 /// Estimates a worker's accuracy rate from answers to gold (known-truth)
@@ -337,6 +368,25 @@ mod tests {
         let panel = ExpertPanel::from_accuracies(&[0.9, 0.95]).unwrap();
         let expected = crate::entropy::binary_entropy(0.9) + crate::entropy::binary_entropy(0.95);
         assert!((panel.per_query_answer_entropy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_filters_by_presence() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.95, 0.85]).unwrap();
+        let sub = panel.subset(&[true, false, true]);
+        let ids: Vec<u32> = sub.workers().iter().map(|w| w.id.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // Short presence slices treat the tail as absent.
+        assert_eq!(panel.subset(&[false]).len(), 0);
+        assert_eq!(panel.subset(&[]).len(), 0);
+        assert_eq!(panel.subset(&[true, true, true]).workers(), panel.workers());
+    }
+
+    #[test]
+    fn by_accuracy_desc_orders_best_first() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.95, 0.85]).unwrap();
+        let order: Vec<u32> = panel.by_accuracy_desc().iter().map(|w| w.id.0).collect();
+        assert_eq!(order, vec![1, 0, 2]);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use hc_sim::{estimate_accuracies, prepare, sample_gold_items, InitMethod, Pipeli
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn paper_prepare(
+pub(crate) fn paper_prepare(
     dataset: &CrowdDataset,
     settings_theta: f64,
 ) -> (hc_sim::Prepared, PipelineConfig) {

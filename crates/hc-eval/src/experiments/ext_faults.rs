@@ -1,0 +1,227 @@
+//! `ext-faults` — HC under an unreliable crowd.
+//!
+//! Sweeps per-attempt dropout rates (0 → 1) crossed with retry policies
+//! (none vs the standard 3-attempt exponential-backoff-and-reassign
+//! policy) and records how gracefully the loop degrades: accuracy-vs-
+//! budget curves per combination plus retry telemetry (attempts,
+//! deliveries, retries, spend, simulated wall-clock).
+//!
+//! Invariants this experiment exhibits (and its tests assert):
+//! at dropout 0 the fault layer is transparent — attempts equal
+//! deliveries and nothing is retried; at dropout 1 the loop terminates
+//! after its dry-round guard, spends nothing, and returns the initial
+//! belief unchanged. One modelling note: when the retry policy
+//! reassigns a query, the answer is produced by the substitute worker
+//! but the Bayes update still weights it with the originally-assigned
+//! expert's accuracy — reassignment targets are the next-best experts,
+//! so the mismatch is small by construction.
+
+use super::{build_corpus, ExperimentOutput};
+use crate::curve::{Curve, CurvePoint};
+use crate::report::{curves_table, Metric};
+use crate::settings::ExpSettings;
+use hc_core::hc::{run_hc_costed, HcConfig, RoundRecord, UnitCost};
+use hc_core::selection::GreedySelector;
+use hc_sim::pipeline::dataset_accuracy;
+use hc_sim::{FaultPlan, FaultyOracle, ReplayOracle, RetryPolicy, SimulatedPlatform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the dropout × retry-policy sweep.
+pub fn run(settings: &ExpSettings) -> ExperimentOutput {
+    let dataset = build_corpus(settings);
+    let (prepared, _) = super::ext::paper_prepare(&dataset, super::fig2::THETA);
+
+    let mut curves = Vec::new();
+    let mut rows = Vec::new();
+    for &dropout in &settings.dropout_grid {
+        for (policy_label, policy) in [
+            ("no-retry", RetryPolicy::none()),
+            ("retry", RetryPolicy::standard()),
+        ] {
+            let mut beliefs = prepared.beliefs.clone();
+            let replay = ReplayOracle::new(&dataset, prepared.grouping)
+                .expect("complete synthetic corpus");
+            let plan = FaultPlan::uniform(dropout, settings.seed ^ 0xE009);
+            let mut platform = SimulatedPlatform::new(FaultyOracle::new(replay, plan), settings.seed ^ 0xE00A)
+                .with_retry_policy(policy)
+                .with_reassignment_panel(&prepared.panel);
+            let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE00B);
+            let config = HcConfig::new(1, settings.budget_max);
+            let mut points = vec![CurvePoint {
+                budget: 0,
+                accuracy: dataset_accuracy(&beliefs, &prepared.truths),
+                quality: beliefs.quality(),
+            }];
+            let truths = &prepared.truths;
+            let mut observer = |state: &hc_core::belief::MultiBelief, record: &RoundRecord| {
+                points.push(CurvePoint {
+                    budget: record.budget_spent,
+                    accuracy: dataset_accuracy(state, truths),
+                    quality: record.quality,
+                });
+            };
+            let (round_trace, spent) = run_hc_costed(
+                &mut beliefs,
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut platform,
+                &config,
+                &UnitCost,
+                &mut rng,
+                &mut observer,
+            )
+            .expect("faulty loop stays well-formed");
+            platform.end_round();
+            let stats = platform.stats().clone();
+            curves.push(
+                Curve {
+                    label: format!("d={dropout:.2} {policy_label}"),
+                    points,
+                }
+                .sample(&settings.checkpoints),
+            );
+            rows.push(serde_json::json!({
+                "dropout": dropout,
+                "policy": policy_label,
+                "accuracy": dataset_accuracy(&beliefs, &prepared.truths),
+                "quality": beliefs.quality(),
+                "rounds": round_trace.len(),
+                "spent": spent,
+                "answers": stats.answers,
+                "attempts": stats.attempts,
+                "retries": stats.retries,
+                "timeouts": stats.timeouts,
+                "dropouts": stats.dropouts,
+                "platform_spend": stats.spend,
+                "busy_secs": stats.clock.total_secs,
+            }));
+        }
+    }
+
+    let mut telemetry =
+        String::from("# Extension — unreliable crowd: dropout × retry telemetry\n");
+    telemetry.push_str(&format!(
+        "{:>8} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>8}\n",
+        "dropout", "policy", "accuracy", "rounds", "attempts", "answers", "retries", "spent"
+    ));
+    for row in &rows {
+        telemetry.push_str(&format!(
+            "{:>8.2} {:>9} {:>10.4} {:>8} {:>9} {:>9} {:>8} {:>8}\n",
+            row["dropout"].as_f64().unwrap_or(0.0),
+            row["policy"].as_str().unwrap_or("?"),
+            row["accuracy"].as_f64().unwrap_or(0.0),
+            row["rounds"].as_u64().unwrap_or(0),
+            row["attempts"].as_u64().unwrap_or(0),
+            row["answers"].as_u64().unwrap_or(0),
+            row["retries"].as_u64().unwrap_or(0),
+            row["spent"].as_u64().unwrap_or(0),
+        ));
+    }
+
+    let tables = vec![
+        curves_table(
+            "Extension — unreliable crowd: accuracy degradation vs dropout",
+            &curves,
+            Metric::Accuracy,
+        ),
+        telemetry,
+    ];
+    ExperimentOutput {
+        name: "ext-faults".into(),
+        tables,
+        curves: vec![("ext_faults".into(), curves)],
+        extra: Some(serde_json::Value::Array(rows)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Scale;
+
+    fn settings() -> ExpSettings {
+        ExpSettings::for_scale(Scale::Quick, 42)
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_degrades_gracefully() {
+        let s = settings();
+        let out = run(&s);
+        let curves = &out.curves[0].1;
+        assert_eq!(curves.len(), s.dropout_grid.len() * 2);
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), s.dropout_grid.len() * 2);
+        for row in rows {
+            let attempts = row["attempts"].as_u64().unwrap();
+            let answers = row["answers"].as_u64().unwrap();
+            assert!(attempts >= answers, "attempts can never trail deliveries");
+        }
+        // A reliable crowd beats a dead one.
+        let first = curves[0].final_accuracy().unwrap();
+        let last = curves[curves.len() - 1].final_accuracy().unwrap();
+        assert!(first >= last, "dropout 0 ({first}) vs dropout 1 ({last})");
+    }
+
+    #[test]
+    fn zero_dropout_is_transparent() {
+        let out = run(&settings());
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap();
+        for row in rows.iter().filter(|r| r["dropout"].as_f64() == Some(0.0)) {
+            assert_eq!(row["attempts"], row["answers"], "nothing fails at dropout 0");
+            assert_eq!(row["retries"].as_u64(), Some(0));
+            assert_eq!(row["dropouts"].as_u64(), Some(0));
+        }
+    }
+
+    #[test]
+    fn full_dropout_spends_nothing_and_keeps_the_initial_belief() {
+        let out = run(&settings());
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap();
+        let dead: Vec<_> = rows
+            .iter()
+            .filter(|r| r["dropout"].as_f64() == Some(1.0))
+            .collect();
+        assert_eq!(dead.len(), 2, "both policies reach dropout 1.0");
+        for row in &dead {
+            assert_eq!(row["spent"].as_u64(), Some(0));
+            assert_eq!(row["answers"].as_u64(), Some(0));
+            assert_eq!(row["platform_spend"].as_u64(), Some(0));
+            assert!(row["attempts"].as_u64().unwrap() > 0, "dispatches were tried");
+        }
+        // The curve stays flat at the initial accuracy.
+        let curves = &out.curves[0].1;
+        for c in curves.iter().filter(|c| c.label.starts_with("d=1.00")) {
+            let initial = c.points[0].accuracy;
+            assert!(c.points.iter().all(|p| p.accuracy == initial));
+        }
+    }
+
+    #[test]
+    fn retry_recovers_deliveries_under_partial_dropout() {
+        let s = settings();
+        let out = run(&s);
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap();
+        // Both policies run until the budget is spent, so total
+        // deliveries match — but retries recover failures *within* a
+        // round, so the retry policy needs fewer rounds to spend it.
+        let mid = s.dropout_grid[s.dropout_grid.len() / 2];
+        let row_of = |policy: &str| {
+            rows.iter()
+                .find(|r| {
+                    r["dropout"].as_f64() == Some(mid) && r["policy"].as_str() == Some(policy)
+                })
+                .unwrap()
+        };
+        let retried = row_of("retry");
+        let bare = row_of("no-retry");
+        assert!(
+            retried["rounds"].as_u64() <= bare["rounds"].as_u64(),
+            "retry should need no more rounds than no-retry at dropout {mid}"
+        );
+        assert!(
+            retried["retries"].as_u64().unwrap() > 0,
+            "mid dropout must trigger retries"
+        );
+    }
+}

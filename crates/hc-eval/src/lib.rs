@@ -23,14 +23,16 @@ pub const ALL_EXPERIMENTS: [&str; 7] = [
 ];
 
 /// Extension experiments beyond the paper (§III-D items and design
-/// ablations; see [`experiments::ext`]).
-pub const EXTENSION_EXPERIMENTS: [&str; 6] = [
+/// ablations; see [`experiments::ext`] and
+/// [`experiments::ext_faults`]).
+pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
     "ext-cost",
     "ext-estimation",
     "ext-policy",
     "ext-multitier",
     "ext-allocation",
     "ext-latency",
+    "ext-faults",
 ];
 
 /// Runs one experiment by id.
@@ -54,6 +56,7 @@ pub fn run_experiment(id: &str, settings: &ExpSettings) -> ExperimentOutput {
         "ext-multitier" => experiments::ext::multitier(settings),
         "ext-allocation" => experiments::ext::allocation(settings),
         "ext-latency" => experiments::ext::latency(settings),
+        "ext-faults" => experiments::ext_faults::run(settings),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

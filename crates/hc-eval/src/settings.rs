@@ -25,6 +25,14 @@ pub struct ExpSettings {
     pub budget_max: u64,
     /// Budgets at which curves are sampled.
     pub checkpoints: Vec<u64>,
+    /// Dropout rates swept by the unreliable-crowd experiment
+    /// (`ext-faults`).
+    #[serde(default = "default_dropout_grid")]
+    pub dropout_grid: Vec<f64>,
+}
+
+fn default_dropout_grid() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 1.0]
 }
 
 impl ExpSettings {
@@ -37,6 +45,7 @@ impl ExpSettings {
                 n_tasks: 24,
                 budget_max: 120,
                 checkpoints: (0..=120).step_by(20).collect(),
+                dropout_grid: default_dropout_grid(),
             },
             Scale::Paper => ExpSettings {
                 scale,
@@ -44,6 +53,7 @@ impl ExpSettings {
                 n_tasks: 200,
                 budget_max: 1000,
                 checkpoints: (0..=1000).step_by(100).collect(),
+                dropout_grid: vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
             },
         }
     }
@@ -68,6 +78,16 @@ mod tests {
         let paper = ExpSettings::for_scale(Scale::Paper, 1);
         assert_eq!(paper.n_tasks, 200);
         assert_eq!(paper.checkpoints.len(), 11);
+    }
+
+    #[test]
+    fn dropout_grid_spans_reliable_to_dead() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            let s = ExpSettings::for_scale(scale, 1);
+            assert_eq!(s.dropout_grid.first(), Some(&0.0));
+            assert_eq!(s.dropout_grid.last(), Some(&1.0));
+            assert!(s.dropout_grid.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

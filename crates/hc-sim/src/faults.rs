@@ -1,0 +1,430 @@
+//! Deterministic fault injection for simulated crowds.
+//!
+//! Real crowd workers are unreliable: they drop assignments, time out,
+//! disappear for a burst (platform outage) or forever (churn). The
+//! [`FaultyOracle`] wraps any [`AnswerOracle`] and converts a seeded
+//! [`FaultPlan`] into per-attempt [`AnswerOutcome`] failures, while the
+//! [`RetryPolicy`] tells the platform layer how to respond — how many
+//! attempts to make, how long each failure costs on the simulated
+//! clock, and whether to reassign the query to the next-best expert.
+//!
+//! Determinism contract: the fault layer owns its *own* RNG (seeded from
+//! [`FaultPlan::seed`]) and draws exactly the same number of variates
+//! per attempt regardless of which fault fires, so (a) a given plan
+//! produces a bit-for-bit reproducible failure sequence, and (b) a plan
+//! with all probabilities at zero leaves the wrapped oracle's answer
+//! stream untouched — wrapped and unwrapped runs are identical.
+
+use hc_core::hc::AnswerOracle;
+use hc_core::selection::GlobalFact;
+use hc_core::{AnswerOutcome, Worker, WorkerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded, declarative description of how a crowd misbehaves.
+///
+/// All probabilities are per-attempt and clamped to `[0, 1]` at
+/// construction, so arbitrary (e.g. property-test generated) values are
+/// safe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that any single attempt is dropped (no answer, the
+    /// worker abandoned the assignment).
+    pub base_dropout: f64,
+    /// Per-worker dropout overrides `(worker id, probability)`; workers
+    /// listed here ignore `base_dropout`.
+    pub worker_dropout: Vec<(u32, f64)>,
+    /// Probability that an attempt times out instead of answering.
+    pub timeout_prob: f64,
+    /// Burst outages: every `burst_every` attempts, the next
+    /// `burst_len` attempts all time out (platform-wide). `0` disables.
+    pub burst_every: u64,
+    /// Length of each burst outage window, in attempts.
+    pub burst_len: u64,
+    /// Per-attempt probability that the attempting worker churns —
+    /// permanently leaves the crowd; every later attempt by that worker
+    /// is dropped.
+    pub churn_prob: f64,
+    /// Seed of the fault layer's private RNG.
+    pub seed: u64,
+}
+
+fn clamp01(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never fails: wrapping with it is a no-op on the
+    /// answer stream.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            base_dropout: 0.0,
+            worker_dropout: Vec::new(),
+            timeout_prob: 0.0,
+            burst_every: 0,
+            burst_len: 0,
+            churn_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// Uniform per-attempt dropout at rate `dropout`, no other faults.
+    pub fn uniform(dropout: f64, seed: u64) -> Self {
+        FaultPlan {
+            base_dropout: clamp01(dropout),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Adds a per-attempt timeout probability.
+    pub fn with_timeouts(mut self, prob: f64) -> Self {
+        self.timeout_prob = clamp01(prob);
+        self
+    }
+
+    /// Adds periodic burst outages: after every `every` attempts the
+    /// next `len` attempts time out.
+    pub fn with_burst(mut self, every: u64, len: u64) -> Self {
+        self.burst_every = every;
+        self.burst_len = len;
+        self
+    }
+
+    /// Adds permanent-churn probability per attempt.
+    pub fn with_churn(mut self, prob: f64) -> Self {
+        self.churn_prob = clamp01(prob);
+        self
+    }
+
+    /// Overrides the dropout rate for one worker.
+    pub fn with_worker_dropout(mut self, worker: WorkerId, prob: f64) -> Self {
+        let prob = clamp01(prob);
+        match self.worker_dropout.iter_mut().find(|(id, _)| *id == worker.0) {
+            Some((_, p)) => *p = prob,
+            None => self.worker_dropout.push((worker.0, prob)),
+        }
+        self
+    }
+
+    /// The effective dropout rate for `worker`.
+    pub fn dropout_for(&self, worker: WorkerId) -> f64 {
+        self.worker_dropout
+            .iter()
+            .find(|(id, _)| *id == worker.0)
+            .map(|&(_, p)| clamp01(p))
+            .unwrap_or(clamp01(self.base_dropout))
+    }
+
+    /// Whether attempt number `attempt` (0-based) falls inside a burst
+    /// outage window.
+    fn in_burst(&self, attempt: u64) -> bool {
+        self.burst_every > 0 && attempt % self.burst_every < self.burst_len.min(self.burst_every)
+    }
+}
+
+/// Counters the fault layer keeps while injecting failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Attempts seen (delegated or failed).
+    pub attempts: u64,
+    /// Attempts that produced an answer.
+    pub answered: u64,
+    /// Attempts dropped (including by churned workers).
+    pub dropped: u64,
+    /// Attempts that timed out (including burst outages).
+    pub timed_out: u64,
+    /// Workers that permanently churned out of the crowd.
+    pub churned_workers: u64,
+}
+
+/// Wraps an oracle with a [`FaultPlan`], turning some attempts into
+/// [`AnswerOutcome::Dropped`] / [`AnswerOutcome::TimedOut`].
+pub struct FaultyOracle<O> {
+    inner: O,
+    plan: FaultPlan,
+    rng: StdRng,
+    attempt: u64,
+    churned: Vec<u32>,
+    stats: FaultStats,
+}
+
+impl<O> FaultyOracle<O> {
+    /// Wraps `inner` under `plan`; the fault RNG is seeded from
+    /// [`FaultPlan::seed`].
+    pub fn new(inner: O, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultyOracle {
+            inner,
+            plan,
+            rng,
+            attempt: 0,
+            churned: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The fault counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The plan this oracle injects.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Workers that have permanently churned.
+    pub fn churned(&self) -> &[u32] {
+        &self.churned
+    }
+
+    /// Unwraps, returning the inner oracle and the fault counters.
+    pub fn into_parts(self) -> (O, FaultStats) {
+        (self.inner, self.stats)
+    }
+}
+
+impl<O: AnswerOracle> AnswerOracle for FaultyOracle<O> {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        let attempt = self.attempt;
+        self.attempt += 1;
+        self.stats.attempts += 1;
+        // Always draw the same number of variates per attempt so the
+        // failure sequence is a pure function of (plan, attempt index),
+        // independent of which branch fires.
+        let churn_draw = self.rng.gen::<f64>();
+        let timeout_draw = self.rng.gen::<f64>();
+        let dropout_draw = self.rng.gen::<f64>();
+
+        if self.churned.contains(&worker.id.0) {
+            self.stats.dropped += 1;
+            return AnswerOutcome::Dropped;
+        }
+        if self.plan.in_burst(attempt) {
+            self.stats.timed_out += 1;
+            return AnswerOutcome::TimedOut;
+        }
+        if churn_draw < self.plan.churn_prob {
+            self.churned.push(worker.id.0);
+            self.stats.churned_workers += 1;
+            self.stats.dropped += 1;
+            return AnswerOutcome::Dropped;
+        }
+        if timeout_draw < self.plan.timeout_prob {
+            self.stats.timed_out += 1;
+            return AnswerOutcome::TimedOut;
+        }
+        if dropout_draw < self.plan.dropout_for(worker.id) {
+            self.stats.dropped += 1;
+            return AnswerOutcome::Dropped;
+        }
+        let outcome = self.inner.answer(worker, fact);
+        match outcome {
+            AnswerOutcome::Answered(_) => self.stats.answered += 1,
+            AnswerOutcome::TimedOut => self.stats.timed_out += 1,
+            AnswerOutcome::Dropped => self.stats.dropped += 1,
+        }
+        outcome
+    }
+}
+
+/// How the platform reacts to a failed attempt (see
+/// [`SimulatedPlatform`](crate::platform::SimulatedPlatform)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per query (1 = no retry).
+    pub max_attempts: u32,
+    /// Simulated seconds lost waiting for an attempt that never
+    /// answers, charged per failed attempt.
+    pub timeout_wait_secs: f64,
+    /// Backoff before the first retry, in simulated seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff before each further retry.
+    pub backoff_multiplier: f64,
+    /// Whether retries go to the next-best *different* expert (when the
+    /// platform knows the panel) instead of re-asking the same worker.
+    pub reassign: bool,
+    /// Whether failed attempts are still charged under the cost model
+    /// (some platforms pay for accepted assignments, answered or not).
+    pub charge_failed_attempts: bool,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries, failures cost only the timeout wait.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout_wait_secs: 60.0,
+            backoff_base_secs: 0.0,
+            backoff_multiplier: 1.0,
+            reassign: false,
+            charge_failed_attempts: false,
+        }
+    }
+
+    /// A sensible production-like policy: three attempts with
+    /// exponential backoff (30 s, then 60 s) and reassignment to the
+    /// next-best expert.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            timeout_wait_secs: 60.0,
+            backoff_base_secs: 30.0,
+            backoff_multiplier: 2.0,
+            reassign: true,
+            charge_failed_attempts: false,
+        }
+    }
+
+    /// The backoff charged before retry number `retry` (1-based).
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            0.0
+        } else {
+            self.backoff_base_secs * self.backoff_multiplier.powi(retry as i32 - 1)
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SamplingOracle;
+    use rand::rngs::StdRng;
+
+    fn worker(id: u32, acc: f64) -> Worker {
+        Worker::new(id, acc).unwrap()
+    }
+
+    fn sampling(truths: &[Vec<bool>], seed: u64) -> SamplingOracle<'_, StdRng> {
+        SamplingOracle::new(truths, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let truths = vec![vec![true, false, true]];
+        let mut plain = sampling(&truths, 7);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 7), FaultPlan::none(99));
+        let w = worker(0, 0.8);
+        for i in 0..60 {
+            let gf = GlobalFact::new(0, i % 3);
+            assert_eq!(
+                plain.answer(&w, gf),
+                faulty.answer(&w, gf),
+                "fault RNG must not perturb the inner stream"
+            );
+        }
+        assert_eq!(faulty.stats().answered, 60);
+        assert_eq!(faulty.stats().dropped + faulty.stats().timed_out, 0);
+    }
+
+    #[test]
+    fn full_dropout_never_answers() {
+        let truths = vec![vec![true]];
+        let mut faulty = FaultyOracle::new(sampling(&truths, 1), FaultPlan::uniform(1.0, 5));
+        let w = worker(0, 0.9);
+        for _ in 0..20 {
+            assert_eq!(faulty.answer(&w, GlobalFact::new(0, 0)), AnswerOutcome::Dropped);
+        }
+        assert_eq!(faulty.stats().dropped, 20);
+        assert_eq!(faulty.stats().answered, 0);
+    }
+
+    #[test]
+    fn seeded_plan_reproduces_bit_for_bit() {
+        let truths = vec![vec![true, false]];
+        let plan = FaultPlan::uniform(0.35, 42).with_timeouts(0.2).with_churn(0.01);
+        let run = || {
+            let mut faulty = FaultyOracle::new(sampling(&truths, 3), plan.clone());
+            let w0 = worker(0, 0.9);
+            let w1 = worker(1, 0.8);
+            (0..200)
+                .map(|i| {
+                    let w = if i % 2 == 0 { &w0 } else { &w1 };
+                    faulty.answer(w, GlobalFact::new(0, i % 2))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn burst_outage_times_out_inside_the_window() {
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::none(9).with_burst(10, 3);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan);
+        let w = worker(0, 1.0);
+        let outcomes: Vec<AnswerOutcome> = (0..20)
+            .map(|_| faulty.answer(&w, GlobalFact::new(0, 0)))
+            .collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            if i % 10 < 3 {
+                assert_eq!(*o, AnswerOutcome::TimedOut, "attempt {i} is in a burst");
+            } else {
+                assert!(o.is_answered(), "attempt {i} is outside the burst");
+            }
+        }
+        assert_eq!(faulty.stats().timed_out, 6);
+    }
+
+    #[test]
+    fn churned_worker_stays_gone() {
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::none(11).with_churn(1.0);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan);
+        let w = worker(4, 0.9);
+        for _ in 0..10 {
+            assert_eq!(faulty.answer(&w, GlobalFact::new(0, 0)), AnswerOutcome::Dropped);
+        }
+        assert_eq!(faulty.stats().churned_workers, 1, "churn fires once per worker");
+        assert_eq!(faulty.churned(), &[4]);
+    }
+
+    #[test]
+    fn per_worker_dropout_overrides_base() {
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::uniform(0.0, 13).with_worker_dropout(WorkerId(1), 1.0);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan);
+        let reliable = worker(0, 0.9);
+        let flaky = worker(1, 0.9);
+        for _ in 0..10 {
+            assert!(faulty.answer(&reliable, GlobalFact::new(0, 0)).is_answered());
+            assert_eq!(
+                faulty.answer(&flaky, GlobalFact::new(0, 0)),
+                AnswerOutcome::Dropped
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let plan = FaultPlan::uniform(7.0, 0)
+            .with_timeouts(-3.0)
+            .with_churn(f64::NAN);
+        assert_eq!(plan.base_dropout, 1.0);
+        assert_eq!(plan.timeout_prob, 0.0);
+        assert_eq!(plan.churn_prob, 0.0);
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let policy = RetryPolicy::standard();
+        assert_eq!(policy.backoff_secs(0), 0.0);
+        assert_eq!(policy.backoff_secs(1), 30.0);
+        assert_eq!(policy.backoff_secs(2), 60.0);
+        let none = RetryPolicy::none();
+        assert_eq!(none.max_attempts, 1);
+        assert_eq!(none.backoff_secs(1), 0.0);
+    }
+}

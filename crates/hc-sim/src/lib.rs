@@ -2,14 +2,18 @@
 //!
 //! The pieces that stand in for live humans in the paper's offline
 //! evaluation (§IV-A): answer [`oracle`]s (recorded-answer replay and
-//! error-model sampling), a thread-safe [`budget`] ledger for sweep
-//! harnesses, the Abraham et al. [`stopping`] rule the paper cites, and
-//! the end-to-end [`pipeline`] glue from a corpus to HC-loop inputs.
+//! error-model sampling), a deterministic [`faults`] layer that makes
+//! any oracle unreliable (dropout, timeouts, burst outages, churn) plus
+//! the retry policy the platform answers them with, a thread-safe
+//! [`budget`] ledger for sweep harnesses, the Abraham et al.
+//! [`stopping`] rule the paper cites, and the end-to-end [`pipeline`]
+//! glue from a corpus to HC-loop inputs.
 
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod estimation;
+pub mod faults;
 pub mod latency;
 pub mod oracle;
 pub mod platform;
@@ -18,6 +22,7 @@ pub mod stopping;
 
 pub use budget::BudgetLedger;
 pub use estimation::{estimate_accuracies, sample_gold_items, wilson_interval};
+pub use faults::{FaultPlan, FaultStats, FaultyOracle, RetryPolicy};
 pub use latency::{LatencyModel, WallClock};
 pub use oracle::{CountingOracle, ReplayOracle, SamplingOracle};
 pub use platform::{PlatformStats, SimulatedPlatform};

@@ -15,7 +15,7 @@
 
 use hc_core::hc::AnswerOracle;
 use hc_core::selection::GlobalFact;
-use hc_core::{Answer, Worker};
+use hc_core::{Answer, AnswerOutcome, Worker};
 use hc_data::{CrowdDataset, TaskGrouping};
 use rand::RngCore;
 
@@ -34,13 +34,13 @@ impl<'a, R: RngCore> SamplingOracle<'a, R> {
 }
 
 impl<R: RngCore> AnswerOracle for SamplingOracle<'_, R> {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         let truth = self.truths[fact.task][fact.fact.index()];
         // gen_bool without the Rng extension trait to stay object-safe
         // over RngCore: draw a uniform u64.
         let threshold = (worker.accuracy.rate() * u64::MAX as f64) as u64;
         let correct = self.rng.next_u64() <= threshold;
-        Answer::from_bool(if correct { truth } else { !truth })
+        Answer::from_bool(if correct { truth } else { !truth }).into()
     }
 }
 
@@ -91,9 +91,9 @@ impl ReplayOracle {
 }
 
 impl AnswerOracle for ReplayOracle {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         let item = self.grouping.item_of(fact);
-        Answer::from_bool(self.answers[worker.id.index()][item])
+        Answer::from_bool(self.answers[worker.id.index()][item]).into()
     }
 }
 
@@ -102,17 +102,27 @@ impl AnswerOracle for ReplayOracle {
 pub struct CountingOracle<O> {
     inner: O,
     count: u64,
+    attempts: u64,
 }
 
 impl<O> CountingOracle<O> {
     /// Wraps `inner`.
     pub fn new(inner: O) -> Self {
-        CountingOracle { inner, count: 0 }
+        CountingOracle {
+            inner,
+            count: 0,
+            attempts: 0,
+        }
     }
 
-    /// Answers served so far.
+    /// Answers actually delivered so far (attempts minus failures).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Attempts made so far, including dropped and timed-out ones.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
     }
 
     /// Unwraps the inner oracle.
@@ -122,9 +132,13 @@ impl<O> CountingOracle<O> {
 }
 
 impl<O: AnswerOracle> AnswerOracle for CountingOracle<O> {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
-        self.count += 1;
-        self.inner.answer(worker, fact)
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        self.attempts += 1;
+        let outcome = self.inner.answer(worker, fact);
+        if outcome.is_answered() {
+            self.count += 1;
+        }
+        outcome
     }
 }
 
@@ -145,8 +159,14 @@ mod tests {
         let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(1));
         let w = worker(1.0);
         for _ in 0..50 {
-            assert_eq!(oracle.answer(&w, GlobalFact::new(0, 0)), Answer::Yes);
-            assert_eq!(oracle.answer(&w, GlobalFact::new(0, 1)), Answer::No);
+            assert_eq!(
+                oracle.answer(&w, GlobalFact::new(0, 0)),
+                AnswerOutcome::Answered(Answer::Yes)
+            );
+            assert_eq!(
+                oracle.answer(&w, GlobalFact::new(0, 1)),
+                AnswerOutcome::Answered(Answer::No)
+            );
         }
     }
 
@@ -157,7 +177,7 @@ mod tests {
         let w = worker(0.8);
         let n = 20_000;
         let correct = (0..n)
-            .filter(|_| oracle.answer(&w, GlobalFact::new(0, 0)) == Answer::Yes)
+            .filter(|_| oracle.answer(&w, GlobalFact::new(0, 0)).answer() == Some(Answer::Yes))
             .count();
         let rate = correct as f64 / n as f64;
         assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
@@ -178,11 +198,11 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(
                 oracle.answer(&w, GlobalFact { task: 0, fact: FactId(0) }),
-                Answer::Yes
+                AnswerOutcome::Answered(Answer::Yes)
             );
             assert_eq!(
                 oracle.answer(&w, GlobalFact { task: 0, fact: FactId(1) }),
-                Answer::No
+                AnswerOutcome::Answered(Answer::No)
             );
         }
     }
@@ -212,5 +232,23 @@ mod tests {
             oracle.answer(&w, GlobalFact::new(0, 0));
         }
         assert_eq!(oracle.count(), 7);
+        assert_eq!(oracle.attempts(), 7);
+    }
+
+    #[test]
+    fn counting_oracle_separates_attempts_from_deliveries() {
+        struct DeadOracle;
+        impl AnswerOracle for DeadOracle {
+            fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                AnswerOutcome::Dropped
+            }
+        }
+        let mut oracle = CountingOracle::new(DeadOracle);
+        let w = worker(0.9);
+        for _ in 0..5 {
+            assert_eq!(oracle.answer(&w, GlobalFact::new(0, 0)), AnswerOutcome::Dropped);
+        }
+        assert_eq!(oracle.attempts(), 5);
+        assert_eq!(oracle.count(), 0);
     }
 }

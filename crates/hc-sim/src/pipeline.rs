@@ -65,6 +65,14 @@ impl Prepared {
     pub fn accuracy(&self, beliefs: &MultiBelief) -> f64 {
         dataset_accuracy(beliefs, &self.truths)
     }
+
+    /// The expert panel ordered best-first — the reassignment roster a
+    /// [`SimulatedPlatform`](crate::platform::SimulatedPlatform) uses
+    /// when its retry policy moves failed queries to the next-best
+    /// expert.
+    pub fn reassignment_roster(&self) -> Vec<Worker> {
+        self.panel.by_accuracy_desc()
+    }
 }
 
 /// Fraction of facts labeled correctly by the MAP observation of each

@@ -1,16 +1,27 @@
-//! A complete simulated crowdsourcing platform: answers, latency and
-//! spend in one [`AnswerOracle`] implementation.
+//! A complete simulated crowdsourcing platform: answers, latency, spend
+//! and fault handling in one [`AnswerOracle`] implementation.
 //!
-//! Wraps any answer source with the [`LatencyModel`](crate::latency) and
-//! a spend meter, so an HC run against it yields not just labels but the
-//! operational telemetry a real deployment would report: total simulated
-//! wall-clock, per-worker answer counts, and money spent under a
-//! [`CostModel`].
+//! Wraps any answer source with the [`LatencyModel`](crate::latency), a
+//! spend meter and a [`RetryPolicy`], so an HC run against it yields not
+//! just labels but the operational telemetry a real deployment would
+//! report: total simulated wall-clock, per-worker answer counts, retry
+//! counts, and money spent under a [`CostModel`].
+//!
+//! Failure handling: when the inner oracle returns
+//! [`AnswerOutcome::TimedOut`] or [`AnswerOutcome::Dropped`], the
+//! platform charges the retry policy's timeout wait to the simulated
+//! clock and — if the policy allows — retries, paying an exponential
+//! backoff per retry and optionally reassigning the query to the
+//! next-best expert of a registered panel. Retries therefore cost
+//! simulated wall-clock always, and money only when the policy charges
+//! failed attempts.
 
+use crate::faults::RetryPolicy;
 use crate::latency::{LatencyModel, WallClock};
 use hc_core::hc::{AnswerOracle, CostModel, UnitCost};
 use hc_core::selection::GlobalFact;
-use hc_core::{Answer, Worker};
+use hc_core::worker::ExpertPanel;
+use hc_core::{AnswerOutcome, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,27 +31,58 @@ pub struct PlatformStats {
     /// Simulated wall-clock accounting (answers only; round overheads
     /// are added by [`SimulatedPlatform::end_round`]).
     pub clock: WallClock,
-    /// Total answers served.
+    /// Answers actually delivered.
     pub answers: u64,
+    /// Attempts made, including failed ones and retries.
+    pub attempts: u64,
+    /// Retries performed (attempts beyond the first per query).
+    pub retries: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Attempts that were dropped.
+    pub dropouts: u64,
     /// Total cost charged under the platform's cost model.
     pub spend: u64,
-    /// Answers per worker id.
+    /// Delivered answers per worker id.
     pub per_worker: Vec<u64>,
 }
 
-/// An [`AnswerOracle`] that wraps another oracle and meters latency and
-/// spend.
+impl PlatformStats {
+    /// Delivered answers for `worker_id`, growing the table on demand —
+    /// out-of-range ids read as zero instead of panicking.
+    pub fn per_worker_count(&self, worker_id: usize) -> u64 {
+        self.per_worker.get(worker_id).copied().unwrap_or(0)
+    }
+
+    /// Increments the per-worker counter, growing the table as needed.
+    fn bump_worker(&mut self, worker_id: usize) {
+        if self.per_worker.len() <= worker_id {
+            self.per_worker.resize(worker_id + 1, 0);
+        }
+        self.per_worker[worker_id] += 1;
+    }
+}
+
+/// An [`AnswerOracle`] that wraps another oracle and meters latency,
+/// spend and retries.
 pub struct SimulatedPlatform<O, C = UnitCost> {
     inner: O,
     latency: LatencyModel,
     costs: C,
+    retry: RetryPolicy,
+    /// Experts ordered best-first, used for reassignment retries.
+    roster: Option<Vec<Worker>>,
     latency_rng: StdRng,
     stats: PlatformStats,
-    round_secs: f64,
+    /// Per-worker serial time accumulated in the current round; workers
+    /// run in parallel, so the round's critical path is the slowest
+    /// lane.
+    worker_secs: Vec<f64>,
 }
 
 impl<O: AnswerOracle> SimulatedPlatform<O, UnitCost> {
-    /// A platform around `inner` with default latency and unit pricing.
+    /// A platform around `inner` with default latency, unit pricing and
+    /// no retries.
     pub fn new(inner: O, seed: u64) -> Self {
         Self::with_models(inner, LatencyModel::default(), UnitCost, seed)
     }
@@ -53,31 +95,41 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
             inner,
             latency,
             costs,
+            retry: RetryPolicy::none(),
+            roster: None,
             latency_rng: StdRng::seed_from_u64(seed),
             stats: PlatformStats::default(),
-            round_secs: 0.0,
+            worker_secs: Vec::new(),
         }
     }
 
-    /// Closes the current round: charges the round dispatch overhead and
-    /// folds the round's slowest-path time into the clock. Call once per
-    /// HC round (e.g. from the loop observer).
+    /// Sets the retry policy for failed attempts.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Registers the expert panel reassignment retries draw from (used
+    /// only when the retry policy has `reassign` set): on failure the
+    /// query moves to the most accurate panel worker not yet tried.
+    pub fn with_reassignment_panel(mut self, panel: &ExpertPanel) -> Self {
+        self.roster = Some(panel.by_accuracy_desc());
+        self
+    }
+
+    /// Closes the current round: charges the round dispatch overhead
+    /// plus the round's critical path and resets the per-worker lanes.
+    /// Call once per HC round (e.g. from the loop observer).
     ///
-    /// Within a round workers answer in parallel; the platform
-    /// approximates the critical path as the maximum per-answer time it
-    /// served times the queries per worker, which the caller knows —
-    /// here we conservatively use the accumulated per-round serial time
-    /// divided by the number of distinct workers that answered.
-    pub fn end_round(&mut self, distinct_workers: usize) {
-        let parallel_secs = if distinct_workers > 0 {
-            self.round_secs / distinct_workers as f64
-        } else {
-            0.0
-        };
+    /// Workers answer in parallel but each answers its own queries
+    /// serially, so the critical path is the *maximum* over per-worker
+    /// accumulated time — not an average.
+    pub fn end_round(&mut self) {
+        let critical_path = self.worker_secs.iter().copied().fold(0.0, f64::max);
         self.stats
             .clock
-            .record_round(self.latency.round_overhead + parallel_secs);
-        self.round_secs = 0.0;
+            .record_round(self.latency.round_overhead + critical_path);
+        self.worker_secs.iter_mut().for_each(|s| *s = 0.0);
     }
 
     /// The collected telemetry.
@@ -89,27 +141,78 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
     pub fn into_parts(self) -> (O, PlatformStats) {
         (self.inner, self.stats)
     }
+
+    /// Adds `secs` to `worker`'s lane in the current round.
+    fn charge_lane(&mut self, worker_id: usize, secs: f64) {
+        if self.worker_secs.len() <= worker_id {
+            self.worker_secs.resize(worker_id + 1, 0.0);
+        }
+        self.worker_secs[worker_id] += secs;
+    }
+
+    /// The next reassignment target after `tried`, best expert first.
+    fn next_target(&self, tried: &[u32]) -> Option<Worker> {
+        let roster = self.roster.as_ref()?;
+        roster
+            .iter()
+            .find(|w| !tried.contains(&w.id.0))
+            .copied()
+    }
 }
 
 impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
-        self.stats.answers += 1;
-        self.stats.spend += self.costs.cost(worker);
-        let idx = worker.id.index();
-        if self.stats.per_worker.len() <= idx {
-            self.stats.per_worker.resize(idx + 1, 0);
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut target = *worker;
+        let mut tried: Vec<u32> = Vec::new();
+        let mut last = AnswerOutcome::Dropped;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                // Backoff before each retry is dead time on the lane of
+                // the worker about to be re-asked.
+                self.stats.retries += 1;
+                self.charge_lane(target.id.index(), self.retry.backoff_secs(attempt));
+            }
+            self.stats.attempts += 1;
+            tried.push(target.id.0);
+            let outcome = self.inner.answer(&target, fact);
+            match outcome {
+                AnswerOutcome::Answered(_) => {
+                    self.stats.answers += 1;
+                    self.stats.spend += self.costs.cost(&target);
+                    self.stats.bump_worker(target.id.index());
+                    let secs = self.latency.answer_secs(&target, &mut self.latency_rng);
+                    self.charge_lane(target.id.index(), secs);
+                    return outcome;
+                }
+                AnswerOutcome::TimedOut => self.stats.timeouts += 1,
+                AnswerOutcome::Dropped => self.stats.dropouts += 1,
+            }
+            // A failed attempt still blocks its lane for the wait
+            // window, and costs money on platforms that pay for
+            // accepted assignments.
+            self.charge_lane(target.id.index(), self.retry.timeout_wait_secs);
+            if self.retry.charge_failed_attempts {
+                self.stats.spend += self.costs.cost(&target);
+            }
+            last = outcome;
+            if self.retry.reassign {
+                if let Some(next) = self.next_target(&tried) {
+                    target = next;
+                }
+            }
         }
-        self.stats.per_worker[idx] += 1;
-        self.round_secs += self.latency.answer_secs(worker, &mut self.latency_rng);
-        self.inner.answer(worker, fact)
+        last
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultyOracle};
     use crate::oracle::SamplingOracle;
     use hc_core::hc::AccuracyCost;
+    use hc_core::Answer;
 
     fn worker(id: u32, acc: f64) -> Worker {
         Worker::new(id, acc).unwrap()
@@ -133,6 +236,8 @@ mod tests {
         platform.answer(&w1, GlobalFact::new(0, 1));
         let stats = platform.stats();
         assert_eq!(stats.answers, 4);
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.retries, 0);
         assert_eq!(stats.per_worker, vec![3, 1]);
         // w0 costs 1 + round(2*0.8) = 3; w1 costs 1 + round(2*0.2) = 1.
         assert_eq!(stats.spend, 3 * 3 + 1);
@@ -145,12 +250,44 @@ mod tests {
         let mut platform = SimulatedPlatform::new(inner, 3);
         let w = worker(0, 0.9);
         platform.answer(&w, GlobalFact::new(0, 0));
-        platform.end_round(1);
+        platform.end_round();
         assert_eq!(platform.stats().clock.rounds, 1);
         assert!(platform.stats().clock.total_secs > LatencyModel::default().round_overhead);
         // A round with no answers still pays the dispatch overhead.
-        platform.end_round(0);
+        platform.end_round();
         assert_eq!(platform.stats().clock.rounds, 2);
+    }
+
+    #[test]
+    fn round_critical_path_is_the_slowest_lane() {
+        // Deterministic latency (no jitter): a 0.95-accuracy worker takes
+        // 12 + 0.45·20 = 21 s per answer, a 0.55 one 12 + 0.05·20 = 13 s.
+        let model = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let truths = vec![vec![true]];
+        let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(5));
+        let mut platform = SimulatedPlatform::with_models(inner, model, UnitCost, 6);
+        let slow = worker(0, 0.95);
+        let fast = worker(1, 0.55);
+        // Two queries each, in parallel lanes: critical path is the
+        // slow worker's 2 × 21 s, not the sum and not an average.
+        for _ in 0..2 {
+            platform.answer(&slow, GlobalFact::new(0, 0));
+            platform.answer(&fast, GlobalFact::new(0, 0));
+        }
+        platform.end_round();
+        let expected = model.round_overhead + 2.0 * 21.0;
+        let total = platform.stats().clock.total_secs;
+        assert!(
+            (total - expected).abs() < 1e-9,
+            "total {total}, expected {expected}"
+        );
+        // Lanes reset: an immediate second round is overhead only.
+        platform.end_round();
+        let second = platform.stats().clock.total_secs - total;
+        assert!((second - model.round_overhead).abs() < 1e-9);
     }
 
     #[test]
@@ -166,5 +303,115 @@ mod tests {
                 direct.answer(&w, GlobalFact::new(0, 0))
             );
         }
+    }
+
+    #[test]
+    fn failed_attempts_cost_time_but_no_money_by_default() {
+        let truths = vec![vec![true]];
+        let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(6));
+        let faulty = FaultyOracle::new(inner, FaultPlan::uniform(1.0, 8));
+        let mut platform = SimulatedPlatform::new(faulty, 9);
+        let w = worker(0, 0.9);
+        let out = platform.answer(&w, GlobalFact::new(0, 0));
+        assert_eq!(out, AnswerOutcome::Dropped);
+        let stats = platform.stats();
+        assert_eq!(stats.spend, 0, "dropped attempts are free by default");
+        assert_eq!(stats.answers, 0);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.dropouts, 1);
+        platform.end_round();
+        let wait = RetryPolicy::none().timeout_wait_secs;
+        let expected = LatencyModel::default().round_overhead + wait;
+        assert!((platform.stats().clock.total_secs - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retries_reassign_to_the_next_best_expert() {
+        // Inner oracle: worker 0 always times out, others answer Yes.
+        struct FirstWorkerDead;
+        impl AnswerOracle for FirstWorkerDead {
+            fn answer(&mut self, worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                if worker.id.0 == 0 {
+                    AnswerOutcome::TimedOut
+                } else {
+                    Answer::Yes.into()
+                }
+            }
+        }
+        // Worker 0 is the most accurate, so it is also the first
+        // reassignment candidate; the retry must skip it (already
+        // tried) and land on worker 1.
+        let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85]).unwrap();
+        let mut platform = SimulatedPlatform::new(FirstWorkerDead, 10)
+            .with_retry_policy(RetryPolicy::standard())
+            .with_reassignment_panel(&panel);
+        let w0 = panel.workers()[0];
+        let out = platform.answer(&w0, GlobalFact::new(0, 0));
+        assert_eq!(out, AnswerOutcome::Answered(Answer::Yes));
+        let stats = platform.stats();
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.answers, 1);
+        assert_eq!(stats.per_worker_count(0), 0);
+        assert_eq!(stats.per_worker_count(1), 1);
+        // Out-of-range per-worker reads are zero, not a panic.
+        assert_eq!(stats.per_worker_count(99), 0);
+    }
+
+    #[test]
+    fn retry_backoff_and_waits_land_on_the_clock() {
+        struct AlwaysDead;
+        impl AnswerOracle for AlwaysDead {
+            fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                AnswerOutcome::TimedOut
+            }
+        }
+        let model = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            timeout_wait_secs: 60.0,
+            backoff_base_secs: 30.0,
+            backoff_multiplier: 2.0,
+            reassign: false,
+            charge_failed_attempts: false,
+        };
+        let mut platform = SimulatedPlatform::with_models(AlwaysDead, model, UnitCost, 11)
+            .with_retry_policy(policy);
+        let w = worker(0, 0.9);
+        let out = platform.answer(&w, GlobalFact::new(0, 0));
+        assert_eq!(out, AnswerOutcome::TimedOut);
+        let stats = platform.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 3);
+        assert_eq!(stats.spend, 0);
+        platform.end_round();
+        // Same lane throughout: 3 waits (60 s) + backoffs 30 s and 60 s.
+        let expected = model.round_overhead + 3.0 * 60.0 + 30.0 + 60.0;
+        assert!((platform.stats().clock.total_secs - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charging_failed_attempts_spends_money() {
+        struct AlwaysDead;
+        impl AnswerOracle for AlwaysDead {
+            fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                AnswerOutcome::Dropped
+            }
+        }
+        let policy = RetryPolicy {
+            charge_failed_attempts: true,
+            max_attempts: 2,
+            ..RetryPolicy::none()
+        };
+        let mut platform = SimulatedPlatform::new(AlwaysDead, 12).with_retry_policy(policy);
+        let w = worker(0, 0.9);
+        platform.answer(&w, GlobalFact::new(0, 0));
+        assert_eq!(platform.stats().spend, 2, "both failed attempts charged");
+        assert_eq!(platform.stats().answers, 0);
     }
 }

@@ -37,7 +37,6 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let mut platform = SimulatedPlatform::new(inner, 100);
         let mut beliefs = prepared.beliefs.clone();
         let mut rng = StdRng::seed_from_u64(12);
-        let panel_size = prepared.panel.len();
         let mut observer = |_: &MultiBelief, _: &hc_core::hc::RoundRecord| {};
         let (rounds, spent) = run_hc_costed(
             &mut beliefs,
@@ -50,7 +49,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             &mut observer,
         )?;
         for _ in 0..rounds.len() {
-            platform.end_round(panel_size);
+            platform.end_round();
         }
         let stats = platform.stats();
         println!(

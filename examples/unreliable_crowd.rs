@@ -1,0 +1,87 @@
+//! An unreliable crowd end to end: fault injection, retries, and
+//! graceful degradation of the HC loop.
+//!
+//! Wraps the offline replay oracle in a seeded [`FaultPlan`] (uniform
+//! per-attempt dropout plus a burst outage) and runs the same corpus
+//! and budget at increasing dropout rates, once without retries and
+//! once with the standard exponential-backoff-and-reassign policy.
+//! The loop charges only for delivered answers, conditions each round's
+//! Bayes update on the answers that arrived, and at 100% dropout stops
+//! after its dry-round guard having spent nothing.
+//!
+//! ```bash
+//! cargo run --release --example unreliable_crowd
+//! ```
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc_costed, UnitCost};
+use hc_sim::{FaultPlan, FaultyOracle, RetryPolicy, SimulatedPlatform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 100;
+    let dataset = generate(&config, &mut StdRng::seed_from_u64(11))?;
+    let pipeline = PipelineConfig::paper_default();
+    let prepared = prepare(&dataset, &pipeline, &InitMethod::CpVotes)?;
+    let budget = 500u64;
+    println!(
+        "corpus: {} facts; init accuracy {:.3}; budget {budget}\n",
+        dataset.n_items(),
+        prepared.accuracy(&prepared.beliefs),
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>7} {:>9}",
+        "dropout", "policy", "accuracy", "rounds", "attempts", "answers", "retries", "spend", "busy h"
+    );
+
+    for dropout in [0.0, 0.3, 0.6, 1.0] {
+        for (label, policy) in [
+            ("no-retry", RetryPolicy::none()),
+            ("retry", RetryPolicy::standard()),
+        ] {
+            let replay = ReplayOracle::new(&dataset, prepared.grouping)?;
+            // Uniform dropout plus a 5-attempt outage every 200 attempts.
+            let plan = FaultPlan::uniform(dropout, 21).with_burst(200, 5);
+            let mut platform = SimulatedPlatform::new(FaultyOracle::new(replay, plan), 22)
+                .with_retry_policy(policy)
+                .with_reassignment_panel(&prepared.panel);
+            let mut beliefs = prepared.beliefs.clone();
+            let mut rng = StdRng::seed_from_u64(23);
+            let mut observer = |_: &MultiBelief, _: &hc_core::hc::RoundRecord| {};
+            let (rounds, spent) = run_hc_costed(
+                &mut beliefs,
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut platform,
+                &HcConfig::new(1, budget),
+                &UnitCost,
+                &mut rng,
+                &mut observer,
+            )?;
+            platform.end_round();
+            let stats = platform.stats();
+            println!(
+                "{:>8.2} {:>9} {:>10.3} {:>8} {:>9} {:>9} {:>8} {:>7} {:>9.1}",
+                dropout,
+                label,
+                dataset_accuracy(&beliefs, &prepared.truths),
+                rounds.len(),
+                stats.attempts,
+                stats.answers,
+                stats.retries,
+                spent,
+                stats.clock.total_secs / 3600.0,
+            );
+        }
+    }
+
+    println!(
+        "\nReading: the loop pays only for delivered answers, so accuracy\n\
+         degrades smoothly with dropout instead of collapsing; retries trade\n\
+         simulated waiting time for fewer rounds, and at dropout 1.0 the\n\
+         run ends after the dry-round guard with the budget untouched."
+    );
+    Ok(())
+}

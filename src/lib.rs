@@ -17,6 +17,7 @@
 //! cargo run --release --example budget_planner
 //! cargo run --release --example benchmark_import
 //! cargo run --release --example tiers_and_costs
+//! cargo run --release --example unreliable_crowd
 //! ```
 
 #![warn(missing_docs)]
@@ -48,7 +49,8 @@ pub mod prelude {
         SynthConfig, SystematicErrors, TaskGrouping,
     };
     pub use hc_sim::{
-        dataset_accuracy, prepare, InitMethod, PipelineConfig, Prepared, ReplayOracle,
-        SamplingOracle,
+        dataset_accuracy, prepare, FaultPlan, FaultStats, FaultyOracle, InitMethod,
+        PipelineConfig, PlatformStats, Prepared, ReplayOracle, RetryPolicy, SamplingOracle,
+        SimulatedPlatform,
     };
 }

@@ -1,15 +1,23 @@
 //! Failure-injection tests: the pipeline under adversarial,
-//! inconsistent, or degenerate conditions must degrade gracefully —
-//! never panic, never denormalise a belief, never overspend the budget.
+//! inconsistent, unreliable, or degenerate conditions must degrade
+//! gracefully — never panic, never denormalise a belief, never
+//! overspend the budget.
 
 use hc::prelude::*;
 use hc_core::hc::run_hc;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn corpus(seed: u64) -> CrowdDataset {
     let mut config = SynthConfig::paper_default();
     config.n_tasks = 12;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn small_corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 6;
     generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
 }
 
@@ -29,8 +37,8 @@ struct AdversarialOracle {
 }
 
 impl AnswerOracle for AdversarialOracle {
-    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> Answer {
-        Answer::from_bool(!self.truths[fact.task][fact.fact.index()])
+    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        Answer::from_bool(!self.truths[fact.task][fact.fact.index()]).into()
     }
 }
 
@@ -40,8 +48,8 @@ struct NoiseOracle {
 }
 
 impl AnswerOracle for NoiseOracle {
-    fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> Answer {
-        Answer::from_bool(self.rng.gen_bool(0.5))
+    fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+        Answer::from_bool(self.rng.gen_bool(0.5)).into()
     }
 }
 
@@ -52,15 +60,56 @@ struct FlipFlopOracle {
 }
 
 impl AnswerOracle for FlipFlopOracle {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         let key = (worker.id.0, fact.task, fact.fact.0);
         let v = self.state.entry(key).or_insert(false);
         *v = !*v;
-        Answer::from_bool(*v)
+        Answer::from_bool(*v).into()
+    }
+}
+
+/// An oracle whose crowd never responds at all — every attempt is
+/// dropped (the 100%-dropout worst case).
+struct SilentOracle;
+
+impl AnswerOracle for SilentOracle {
+    fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+        AnswerOutcome::Dropped
+    }
+}
+
+/// An oracle that answers truthfully but fails a seeded fraction of
+/// attempts, alternating between timeouts and drops.
+struct FlakyOracle {
+    truths: Vec<Vec<bool>>,
+    rng: StdRng,
+    fail_prob: f64,
+}
+
+impl AnswerOracle for FlakyOracle {
+    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        if self.rng.gen_bool(self.fail_prob) {
+            if self.rng.gen_bool(0.5) {
+                AnswerOutcome::TimedOut
+            } else {
+                AnswerOutcome::Dropped
+            }
+        } else {
+            Answer::from_bool(self.truths[fact.task][fact.fact.index()]).into()
+        }
     }
 }
 
 fn assert_well_formed(outcome: &hc_core::hc::HcOutcome, budget: u64) {
+    assert_normalised(outcome, budget);
+    // With an always-delivering oracle the budget trace is strictly
+    // increasing; unreliable-crowd runs can have flat (dry) rounds and
+    // must use `assert_normalised` directly.
+    let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
+    assert!(spends.windows(2).all(|w| w[0] < w[1]));
+}
+
+fn assert_normalised(outcome: &hc_core::hc::HcOutcome, budget: u64) {
     assert!(outcome.budget_spent <= budget);
     for belief in outcome.beliefs.tasks() {
         let sum: f64 = belief.probs().iter().sum();
@@ -68,9 +117,9 @@ fn assert_well_formed(outcome: &hc_core::hc::HcOutcome, budget: u64) {
         assert!(belief.probs().iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
         assert!(belief.entropy().is_finite());
     }
-    // Budget trace is strictly increasing.
+    // The trace never decreases even when dry rounds deliver nothing.
     let spends: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
-    assert!(spends.windows(2).all(|w| w[0] < w[1]));
+    assert!(spends.windows(2).all(|w| w[0] <= w[1]));
 }
 
 #[test]
@@ -257,4 +306,239 @@ fn entropy_adaptive_schedule_survives_noise() {
     )
     .unwrap();
     assert_well_formed(&outcome, 100);
+}
+
+#[test]
+fn silent_crowd_spends_nothing_and_returns_the_initial_belief() {
+    let dataset = corpus(19);
+    let p = prepared(&dataset);
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut SilentOracle,
+        &HcConfig::new(2, 100),
+        &mut StdRng::seed_from_u64(20),
+    )
+    .unwrap();
+    assert_eq!(outcome.budget_spent, 0);
+    assert_eq!(outcome.beliefs, p.beliefs, "absent answers must not move beliefs");
+    assert!(
+        outcome.rounds.len() <= HcConfig::new(2, 100).max_dry_rounds,
+        "the dry-round guard bounds an unresponsive crowd"
+    );
+    assert_normalised(&outcome, 100);
+}
+
+#[test]
+fn flaky_crowd_partial_rounds_stay_normalised_and_charge_delivery_only() {
+    let dataset = corpus(21);
+    let p = prepared(&dataset);
+    let mut oracle = FlakyOracle {
+        truths: p.truths.clone(),
+        rng: StdRng::seed_from_u64(22),
+        fail_prob: 0.5,
+    };
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 80),
+        &mut StdRng::seed_from_u64(23),
+    )
+    .unwrap();
+    assert_normalised(&outcome, 80);
+    // Unit cost: cumulative spend equals cumulative delivered answers.
+    let received: usize = outcome.rounds.iter().map(|r| r.answers_received).sum();
+    let requested: usize = outcome.rounds.iter().map(|r| r.answers_requested).sum();
+    assert_eq!(outcome.budget_spent, received as u64);
+    assert!(received < requested, "a 50% flaky crowd must lose answers");
+    assert!(received > 0, "a 50% flaky crowd must deliver some answers");
+}
+
+#[test]
+fn fault_layer_at_dropout_zero_is_bit_for_bit_identical() {
+    let dataset = corpus(24);
+    let p = prepared(&dataset);
+    let run = |wrapped: bool| {
+        let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let config = HcConfig::new(1, 60);
+        if wrapped {
+            let mut oracle = FaultyOracle::new(replay, FaultPlan::none(77));
+            run_hc(p.beliefs.clone(), &p.panel, &GreedySelector::new(), &mut oracle, &config, &mut rng)
+        } else {
+            let mut oracle = replay;
+            run_hc(p.beliefs.clone(), &p.panel, &GreedySelector::new(), &mut oracle, &config, &mut rng)
+        }
+        .unwrap()
+    };
+    let plain = run(false);
+    let faulty = run(true);
+    assert_eq!(plain.budget_spent, faulty.budget_spent);
+    assert_eq!(plain.rounds.len(), faulty.rounds.len());
+    for (a, b) in plain.beliefs.tasks().iter().zip(faulty.beliefs.tasks()) {
+        assert_eq!(a.probs(), b.probs(), "dropout 0 must not perturb the pipeline");
+    }
+}
+
+#[test]
+fn seeded_fault_plan_runs_are_reproducible() {
+    let dataset = corpus(26);
+    let p = prepared(&dataset);
+    let run = || {
+        let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let plan = FaultPlan::uniform(0.4, 123).with_timeouts(0.1).with_churn(0.02);
+        let mut oracle = FaultyOracle::new(replay, plan);
+        run_hc(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, 80),
+            &mut StdRng::seed_from_u64(27),
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.budget_spent, b.budget_spent);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.answers_received, rb.answers_received);
+        assert_eq!(ra.queries, rb.queries);
+    }
+    for (ta, tb) in a.beliefs.tasks().iter().zip(b.beliefs.tasks()) {
+        assert_eq!(ta.probs(), tb.probs(), "seeded fault runs must be bit-for-bit equal");
+    }
+}
+
+#[test]
+fn full_dropout_through_the_fault_layer_terminates_clean() {
+    let dataset = corpus(28);
+    let p = prepared(&dataset);
+    let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let mut oracle = FaultyOracle::new(replay, FaultPlan::uniform(1.0, 9));
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(1, 200),
+        &mut StdRng::seed_from_u64(29),
+    )
+    .unwrap();
+    assert_eq!(outcome.budget_spent, 0);
+    assert_eq!(outcome.beliefs, p.beliefs);
+    assert!(outcome.rounds.iter().all(|r| r.answers_received == 0));
+    assert!(oracle.stats().attempts > 0, "dispatches were attempted");
+    assert_eq!(oracle.stats().answered, 0);
+}
+
+#[test]
+fn retry_platform_under_faults_respects_the_budget() {
+    let dataset = corpus(30);
+    let p = prepared(&dataset);
+    let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let faulty = FaultyOracle::new(replay, FaultPlan::uniform(0.5, 31).with_timeouts(0.1));
+    let mut platform = SimulatedPlatform::new(faulty, 32)
+        .with_retry_policy(RetryPolicy::standard())
+        .with_reassignment_panel(&p.panel);
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut platform,
+        &HcConfig::new(1, 60),
+        &mut StdRng::seed_from_u64(33),
+    )
+    .unwrap();
+    assert_normalised(&outcome, 60);
+    let stats = platform.stats();
+    assert!(stats.attempts >= stats.answers);
+    assert!(stats.retries > 0, "50% dropout must trigger retries");
+    assert_eq!(
+        stats.answers,
+        outcome.rounds.iter().map(|r| r.answers_received as u64).sum::<u64>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_fault_plan_keeps_beliefs_normalised_and_budget_bounded(
+        dropout in 0.0f64..=1.0,
+        timeout in 0.0f64..=0.5,
+        churn in 0.0f64..=0.2,
+        plan_seed in 0u64..1_000,
+    ) {
+        let dataset = small_corpus(40);
+        let p = prepared(&dataset);
+        let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let plan = FaultPlan::uniform(dropout, plan_seed)
+            .with_timeouts(timeout)
+            .with_churn(churn);
+        let mut oracle = FaultyOracle::new(replay, plan);
+        let budget = 40u64;
+        let outcome = run_hc(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, budget),
+            &mut StdRng::seed_from_u64(41),
+        )
+        .unwrap();
+        prop_assert!(outcome.budget_spent <= budget);
+        for belief in outcome.beliefs.tasks() {
+            let sum: f64 = belief.probs().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "belief denormalised: {}", sum);
+            prop_assert!(belief.entropy().is_finite());
+        }
+        // Unit cost: spend equals total delivered answers.
+        let received: usize = outcome.rounds.iter().map(|r| r.answers_received).sum();
+        prop_assert_eq!(outcome.budget_spent, received as u64);
+    }
+
+    #[test]
+    fn any_retry_policy_keeps_the_loop_within_budget(
+        dropout in 0.0f64..=1.0,
+        max_attempts in 1u32..=4,
+        charge_failed in proptest::bool::ANY,
+        reassign in proptest::bool::ANY,
+        plan_seed in 0u64..1_000,
+    ) {
+        let dataset = small_corpus(42);
+        let p = prepared(&dataset);
+        let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let faulty = FaultyOracle::new(replay, FaultPlan::uniform(dropout, plan_seed));
+        let policy = RetryPolicy {
+            max_attempts,
+            charge_failed_attempts: charge_failed,
+            reassign,
+            ..RetryPolicy::standard()
+        };
+        let mut platform = SimulatedPlatform::new(faulty, plan_seed ^ 1)
+            .with_retry_policy(policy)
+            .with_reassignment_panel(&p.panel);
+        let budget = 30u64;
+        let outcome = run_hc(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut platform,
+            &HcConfig::new(1, budget),
+            &mut StdRng::seed_from_u64(43),
+        )
+        .unwrap();
+        prop_assert!(outcome.budget_spent <= budget);
+        for belief in outcome.beliefs.tasks() {
+            let sum: f64 = belief.probs().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "belief denormalised: {}", sum);
+        }
+        let stats = platform.stats();
+        prop_assert!(stats.attempts >= stats.answers);
+    }
 }

@@ -3,7 +3,7 @@
 //! is equivalent to one merged panel answering the same queries —
 //! Bayes updates with independent evidence commute.
 
-use hc_core::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use hc_core::answer::{Answer, AnswerFamily, AnswerOutcome, AnswerSet, QuerySet};
 use hc_core::belief::{Belief, MultiBelief};
 use hc_core::hc::{apply_round, run_multi_tier, AnswerOracle};
 use hc_core::selection::{GlobalFact, GreedySelector};
@@ -19,9 +19,9 @@ use rand::SeedableRng;
 struct FixedOracle;
 
 impl AnswerOracle for FixedOracle {
-    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> Answer {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         // An arbitrary but fixed pattern.
-        Answer::from_bool((worker.id.0 + fact.fact.0 + fact.task as u32).is_multiple_of(2))
+        Answer::from_bool((worker.id.0 + fact.fact.0 + fact.task as u32).is_multiple_of(2)).into()
     }
 }
 
