@@ -1,0 +1,50 @@
+//! Micro-benchmark over the telemetry timing spans.
+//!
+//! Runs the three instrumented hot paths — greedy selection,
+//! conditional entropy, and the partial Bayes update — by driving full
+//! HC loops on the bench fixtures with per-phase timing enabled, then
+//! prints the per-phase latency histograms (stderr, human-readable) and
+//! a `BENCH_telemetry.json`-compatible summary (stdout):
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin telemetry_bench > BENCH_telemetry.json
+//! ```
+
+use hc_bench::{bench_panel, bench_single_task};
+use hc_core::hc::{run_hc, HcConfig};
+use hc_core::selection::GreedySelector;
+use hc_core::telemetry::timing;
+use hc_sim::SamplingOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ITERATIONS: usize = 10;
+
+fn main() {
+    timing::set_enabled(true);
+    timing::reset();
+
+    let panel = bench_panel();
+    let selector = GreedySelector::new();
+    // A 10-fact correlated task keeps each kernel invocation
+    // non-trivial while the full sweep stays sub-second.
+    let truths = vec![vec![true; 10]];
+    for i in 0..ITERATIONS {
+        let beliefs = bench_single_task(10);
+        let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(7 + i as u64));
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        run_hc(
+            beliefs,
+            &panel,
+            &selector,
+            &mut oracle,
+            &HcConfig::new(2, 40),
+            &mut rng,
+        )
+        .expect("bench fixture loop succeeds");
+    }
+
+    let snapshot = timing::snapshot();
+    eprintln!("{}", snapshot.render_table());
+    println!("{}", snapshot.to_bench_json());
+}

@@ -157,6 +157,7 @@ pub fn answer_family_entropy_given_obs(k: usize, panel: &ExpertPanel) -> f64 {
 /// Clamped at zero: the true value is non-negative, and the subtraction
 /// can produce `-1e-16`-scale noise for near-deterministic beliefs.
 pub fn conditional_entropy(belief: &Belief, queries: &[FactId], panel: &ExpertPanel) -> Result<f64> {
+    let _span = hc_telemetry::timing::span(hc_telemetry::timing::Phase::Entropy);
     let q = belief.project(queries);
     conditional_entropy_projected(&q, belief.entropy(), panel)
 }
@@ -247,9 +248,12 @@ pub fn conditional_entropy_with_dropout(
     }
     let m = panel.len();
     // Fast paths: the degenerate rates need no subset enumeration.
+    // (`dropout == 0` delegates to `conditional_entropy`, which opens
+    // its own timing span — don't open one here too.)
     if dropout == 0.0 {
         return conditional_entropy(belief, queries, panel);
     }
+    let _span = hc_telemetry::timing::span(hc_telemetry::timing::Phase::Entropy);
     if dropout == 1.0 {
         return Ok(belief.entropy());
     }

@@ -14,6 +14,8 @@ use crate::fact::FactId;
 use crate::selection::{GlobalFact, TaskSelector};
 use crate::update::update_with_partial_family;
 use crate::worker::{ExpertPanel, Worker};
+use hc_telemetry::timing::{self, Phase};
+use hc_telemetry::{NullSink, StopReason, TelemetryEvent, TelemetrySink};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -217,6 +219,16 @@ pub struct RoundRecord {
     /// reliable crowd; fewer under dropout/timeouts).
     #[serde(default)]
     pub answers_received: usize,
+    /// The selector's objective `Σ_t H(O_t | AS^{T_t})` for the chosen
+    /// query set — the total entropy it *predicted* would remain after
+    /// this round's update. Zero in records from before this field.
+    #[serde(default)]
+    pub predicted_entropy: f64,
+    /// Total belief entropy actually *realised* after the update; the
+    /// selector's per-round regret is
+    /// `realized_entropy - predicted_entropy`.
+    #[serde(default)]
+    pub realized_entropy: f64,
 }
 
 /// What a round's dispatch actually delivered — the unreliable-crowd
@@ -272,6 +284,9 @@ pub fn run_hc(
 
 /// [`run_hc`] with an observer invoked after every round's belief update
 /// — the hook experiments use to record accuracy-vs-budget curves.
+///
+/// This closure API is a thin adapter over the event-emitting internals
+/// ([`run_hc_costed_with_telemetry`] with a [`NullSink`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_hc_with_observer(
     mut beliefs: MultiBelief,
@@ -282,7 +297,7 @@ pub fn run_hc_with_observer(
     rng: &mut dyn RngCore,
     mut observer: impl FnMut(&MultiBelief, &RoundRecord),
 ) -> Result<HcOutcome> {
-    run_hc_costed(
+    run_hc_costed_with_telemetry(
         &mut beliefs,
         panel,
         selector,
@@ -291,6 +306,40 @@ pub fn run_hc_with_observer(
         &UnitCost,
         rng,
         &mut observer,
+        &mut NullSink,
+    )
+    .map(|(rounds, spent)| HcOutcome {
+        beliefs,
+        rounds,
+        budget_spent: spent,
+    })
+}
+
+/// [`run_hc`] with a [`TelemetrySink`] receiving the structured event
+/// stream of the run: `RunStarted`, per round `RoundSelected` →
+/// `QueryDispatched`/delivery events → `BeliefUpdated`, and
+/// `RunFinished` with the stop reason. With [`NullSink`] this is
+/// bit-identical to [`run_hc`].
+pub fn run_hc_with_telemetry(
+    mut beliefs: MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    config: &HcConfig,
+    rng: &mut dyn RngCore,
+    sink: &mut dyn TelemetrySink,
+) -> Result<HcOutcome> {
+    let mut observer = |_: &MultiBelief, _: &RoundRecord| {};
+    run_hc_costed_with_telemetry(
+        &mut beliefs,
+        panel,
+        selector,
+        oracle,
+        config,
+        &UnitCost,
+        rng,
+        &mut observer,
+        sink,
     )
     .map(|(rounds, spent)| HcOutcome {
         beliefs,
@@ -311,6 +360,26 @@ pub fn run_hc_costed(
     rng: &mut dyn RngCore,
     observer: &mut dyn FnMut(&MultiBelief, &RoundRecord),
 ) -> Result<(Vec<RoundRecord>, u64)> {
+    run_hc_costed_with_telemetry(
+        beliefs, panel, selector, oracle, config, costs, rng, observer, &mut NullSink,
+    )
+}
+
+/// [`run_hc_costed`] plus telemetry: every phase of the loop emits into
+/// `sink` (gated on [`TelemetrySink::enabled`], so a [`NullSink`] run
+/// constructs no events).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hc_costed_with_telemetry(
+    beliefs: &mut MultiBelief,
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    oracle: &mut dyn AnswerOracle,
+    config: &HcConfig,
+    costs: &dyn CostModel,
+    rng: &mut dyn RngCore,
+    observer: &mut dyn FnMut(&MultiBelief, &RoundRecord),
+    sink: &mut dyn TelemetrySink,
+) -> Result<(Vec<RoundRecord>, u64)> {
     if panel.is_empty() {
         return Err(crate::error::HcError::EmptyCrowd);
     }
@@ -327,9 +396,23 @@ pub fn run_hc_costed(
     // Consecutive rounds with zero delivered answers (unreliable crowd).
     let mut dry_rounds = 0usize;
 
+    if sink.enabled() {
+        sink.record(&TelemetryEvent::RunStarted {
+            tasks: beliefs.len(),
+            facts: beliefs.total_facts(),
+            panel: panel.len(),
+            budget: config.budget,
+            k: config.k,
+            entropy: beliefs.entropy(),
+            quality: beliefs.quality(),
+        });
+    }
+
+    let stop_reason;
     loop {
         if let Some(cap) = config.max_rounds {
             if round >= cap {
+                stop_reason = StopReason::MaxRounds;
                 break;
             }
         }
@@ -341,6 +424,7 @@ pub fn run_hc_costed(
         let affordable = (remaining / panel_cost) as usize;
         let k_eff = round_k.min(affordable);
         if k_eff == 0 {
+            stop_reason = StopReason::BudgetExhausted;
             break; // Budget exhausted (Algorithm 3, line 8).
         }
         // Eligible candidates under the repeat policy.
@@ -361,8 +445,12 @@ pub fn run_hc_costed(
             } else {
                 all_facts.clone()
             };
-        let queries = selector.select(beliefs, panel, k_eff, &candidates, rng)?;
+        let queries = {
+            let _span = timing::span(Phase::Selection);
+            selector.select(beliefs, panel, k_eff, &candidates, rng)?
+        };
         if queries.is_empty() {
+            stop_reason = StopReason::NoPositiveGain;
             break; // No positive-gain candidate left (Algorithm 2, line 4).
         }
         if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
@@ -379,8 +467,22 @@ pub fn run_hc_costed(
         }
         round += 1;
 
+        // What the selector expects to remain after this round — stored
+        // in the RoundRecord so per-round regret is computable.
+        let predicted_entropy = crate::selection::selection_objective(beliefs, &queries, panel)?;
+        if sink.enabled() {
+            sink.record(&TelemetryEvent::RoundSelected {
+                round,
+                k_requested: round_k,
+                k_effective: queries.len(),
+                queries: queries.iter().map(|q| (q.task, q.fact.0)).collect(),
+                entropy_before: beliefs.entropy(),
+                predicted_entropy,
+            });
+        }
+
         // Collect the answer family and update, task by task.
-        let delivery = apply_round(beliefs, panel, &queries, oracle)?;
+        let delivery = apply_round_with_telemetry(beliefs, panel, &queries, oracle, round, sink)?;
 
         // Charge only for answers that actually arrived: a dropped or
         // timed-out attempt costs nothing. With a reliable crowd this is
@@ -393,6 +495,7 @@ pub fn run_hc_costed(
             .sum();
         remaining -= cost;
         spent += cost;
+        let realized_entropy = beliefs.entropy();
         let record = RoundRecord {
             round,
             queries,
@@ -400,7 +503,19 @@ pub fn run_hc_costed(
             quality: beliefs.quality(),
             answers_requested: delivery.requested,
             answers_received: delivery.delivered,
+            predicted_entropy,
+            realized_entropy,
         };
+        if sink.enabled() {
+            sink.record(&TelemetryEvent::BeliefUpdated {
+                round,
+                entropy: realized_entropy,
+                quality: record.quality,
+                budget_spent: spent,
+                answers_requested: delivery.requested,
+                answers_received: delivery.delivered,
+            });
+        }
         observer(beliefs, &record);
         rounds.push(record);
 
@@ -410,11 +525,22 @@ pub fn run_hc_costed(
         if delivery.delivered == 0 {
             dry_rounds += 1;
             if dry_rounds >= config.max_dry_rounds.max(1) {
+                stop_reason = StopReason::DryRounds;
                 break;
             }
         } else {
             dry_rounds = 0;
         }
+    }
+    if sink.enabled() {
+        sink.record(&TelemetryEvent::RunFinished {
+            rounds: round,
+            budget_spent: spent,
+            entropy: beliefs.entropy(),
+            quality: beliefs.quality(),
+            reason: stop_reason,
+        });
+        sink.flush();
     }
     Ok((rounds, spent))
 }
@@ -434,6 +560,25 @@ pub fn apply_round(
     queries: &[GlobalFact],
     oracle: &mut dyn AnswerOracle,
 ) -> Result<RoundDelivery> {
+    apply_round_with_telemetry(beliefs, panel, queries, oracle, 0, &mut NullSink)
+}
+
+/// [`apply_round`] that also records each dispatch and its final
+/// outcome as telemetry for round number `round`.
+///
+/// This is the *only* emitter of `QueryDispatched` and the
+/// delivery/timeout/drop events — lower layers (platform retries, fault
+/// injection) emit their own distinct event kinds — so every dispatch
+/// is closed by exactly one delivery event regardless of how many
+/// internal attempts the oracle made.
+pub fn apply_round_with_telemetry(
+    beliefs: &mut MultiBelief,
+    panel: &ExpertPanel,
+    queries: &[GlobalFact],
+    oracle: &mut dyn AnswerOracle,
+    round: usize,
+    sink: &mut dyn TelemetrySink,
+) -> Result<RoundDelivery> {
     let mut per_worker = vec![0usize; panel.len()];
     // Group query facts per task, preserving order.
     let mut per_task: Vec<(usize, Vec<FactId>)> = Vec::new();
@@ -450,7 +595,41 @@ pub fn apply_round(
         for (w_idx, w) in panel.workers().iter().enumerate() {
             let outcomes: Vec<AnswerOutcome> = facts
                 .iter()
-                .map(|&f| oracle.answer(w, GlobalFact { task, fact: f }))
+                .map(|&f| {
+                    if sink.enabled() {
+                        sink.record(&TelemetryEvent::QueryDispatched {
+                            round,
+                            task,
+                            fact: f.0,
+                            worker: w.id.0,
+                        });
+                    }
+                    let outcome = oracle.answer(w, GlobalFact { task, fact: f });
+                    if sink.enabled() {
+                        sink.record(&match outcome {
+                            AnswerOutcome::Answered(a) => TelemetryEvent::AnswerDelivered {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                                answer: a.as_bool(),
+                            },
+                            AnswerOutcome::TimedOut => TelemetryEvent::AnswerTimedOut {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                            },
+                            AnswerOutcome::Dropped => TelemetryEvent::AnswerDropped {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                            },
+                        });
+                    }
+                    outcome
+                })
                 .collect();
             let set = PartialAnswerSet::new(&outcomes);
             per_worker[w_idx] += set.answered_count() as usize;

@@ -61,6 +61,8 @@ pub mod selection;
 pub mod update;
 pub mod worker;
 
+pub use hc_telemetry as telemetry;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::answer::{
@@ -71,8 +73,13 @@ pub mod prelude {
     pub use crate::error::{HcError, Result};
     pub use crate::fact::{Fact, FactId, FactSet};
     pub use crate::hc::{
-        run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig,
-        HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
+        run_hc, run_hc_with_observer, run_hc_with_telemetry, AccuracyCost, AnswerOracle,
+        CostModel, HcConfig, HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord,
+        UnitCost,
+    };
+    pub use hc_telemetry::{
+        FileSink, MetricsRegistry, NullSink, RecordingSink, SharedRecorder, TelemetryEvent,
+        TelemetrySink,
     };
     pub use crate::observation::{Observation, ObservationSpace};
     pub use crate::selection::{
@@ -90,8 +97,8 @@ pub use belief::{Belief, MultiBelief};
 pub use error::{HcError, Result};
 pub use fact::{Fact, FactId, FactSet};
 pub use hc::{
-    run_hc, run_hc_with_observer, AccuracyCost, AnswerOracle, CostModel, HcConfig, HcOutcome,
-    KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
+    run_hc, run_hc_with_observer, run_hc_with_telemetry, AccuracyCost, AnswerOracle, CostModel,
+    HcConfig, HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
 };
 pub use observation::{Observation, ObservationSpace};
 pub use selection::{

@@ -108,6 +108,7 @@ pub fn update_with_partial_family(
     panel: &ExpertPanel,
     family: &PartialAnswerFamily,
 ) -> Result<()> {
+    let _span = hc_telemetry::timing::span(hc_telemetry::timing::Phase::BayesUpdate);
     if family.len() != panel.len() {
         return Err(HcError::DimensionMismatch {
             expected: panel.len(),

@@ -112,6 +112,7 @@ pub fn cost(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_cost".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 
@@ -155,6 +156,7 @@ pub fn estimation(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_estimation".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 
@@ -271,6 +273,7 @@ pub fn policy(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_policy".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 
@@ -354,6 +357,7 @@ pub fn multitier(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_multitier".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 
@@ -422,6 +426,7 @@ pub fn allocation(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_allocation".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 
@@ -503,6 +508,7 @@ pub fn latency(settings: &ExpSettings) -> ExperimentOutput {
         tables: vec![table],
         curves: vec![],
         extra: Some(extra),
+        telemetry: None,
     }
 }
 

@@ -20,8 +20,9 @@ use super::{build_corpus, ExperimentOutput};
 use crate::curve::{Curve, CurvePoint};
 use crate::report::{curves_table, Metric};
 use crate::settings::ExpSettings;
-use hc_core::hc::{run_hc_costed, HcConfig, RoundRecord, UnitCost};
+use hc_core::hc::{run_hc_costed, run_hc_costed_with_telemetry, HcConfig, RoundRecord, UnitCost};
 use hc_core::selection::GreedySelector;
+use hc_core::telemetry::{SharedRecorder, TelemetryEvent};
 use hc_sim::pipeline::dataset_accuracy;
 use hc_sim::{FaultPlan, FaultyOracle, ReplayOracle, RetryPolicy, SimulatedPlatform};
 use rand::rngs::StdRng;
@@ -34,18 +35,33 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
 
     let mut curves = Vec::new();
     let mut rows = Vec::new();
-    for &dropout in &settings.dropout_grid {
+    // One representative configuration (mid-grid dropout with the
+    // standard retry policy) runs fully instrumented, so the exported
+    // trace shows the loop, the platform's retries, and the injected
+    // faults interleaved in one ordered log.
+    let representative = settings.dropout_grid.len() / 2;
+    let mut captured: Option<Vec<TelemetryEvent>> = None;
+    for (di, &dropout) in settings.dropout_grid.iter().enumerate() {
         for (policy_label, policy) in [
             ("no-retry", RetryPolicy::none()),
             ("retry", RetryPolicy::standard()),
         ] {
+            let recorder = (di == representative && policy_label == "retry")
+                .then(SharedRecorder::new);
             let mut beliefs = prepared.beliefs.clone();
             let replay = ReplayOracle::new(&dataset, prepared.grouping)
                 .expect("complete synthetic corpus");
             let plan = FaultPlan::uniform(dropout, settings.seed ^ 0xE009);
-            let mut platform = SimulatedPlatform::new(FaultyOracle::new(replay, plan), settings.seed ^ 0xE00A)
+            let mut faulty = FaultyOracle::new(replay, plan);
+            if let Some(r) = &recorder {
+                faulty = faulty.with_telemetry(Box::new(r.clone()));
+            }
+            let mut platform = SimulatedPlatform::new(faulty, settings.seed ^ 0xE00A)
                 .with_retry_policy(policy)
                 .with_reassignment_panel(&prepared.panel);
+            if let Some(r) = &recorder {
+                platform = platform.with_telemetry(Box::new(r.clone()));
+            }
             let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE00B);
             let config = HcConfig::new(1, settings.budget_max);
             let mut points = vec![CurvePoint {
@@ -61,18 +77,36 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
                     quality: record.quality,
                 });
             };
-            let (round_trace, spent) = run_hc_costed(
-                &mut beliefs,
-                &prepared.panel,
-                &GreedySelector::new(),
-                &mut platform,
-                &config,
-                &UnitCost,
-                &mut rng,
-                &mut observer,
-            )
-            .expect("faulty loop stays well-formed");
+            let (round_trace, spent) = if let Some(mut loop_sink) = recorder.clone() {
+                run_hc_costed_with_telemetry(
+                    &mut beliefs,
+                    &prepared.panel,
+                    &GreedySelector::new(),
+                    &mut platform,
+                    &config,
+                    &UnitCost,
+                    &mut rng,
+                    &mut observer,
+                    &mut loop_sink,
+                )
+                .expect("faulty loop stays well-formed")
+            } else {
+                run_hc_costed(
+                    &mut beliefs,
+                    &prepared.panel,
+                    &GreedySelector::new(),
+                    &mut platform,
+                    &config,
+                    &UnitCost,
+                    &mut rng,
+                    &mut observer,
+                )
+                .expect("faulty loop stays well-formed")
+            };
             platform.end_round();
+            if let Some(r) = recorder {
+                captured = Some(r.into_events());
+            }
             let stats = platform.stats().clone();
             curves.push(
                 Curve {
@@ -132,6 +166,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("ext_faults".into(), curves)],
         extra: Some(serde_json::Value::Array(rows)),
+        telemetry: captured,
     }
 }
 
@@ -195,6 +230,38 @@ mod tests {
             let initial = c.points[0].accuracy;
             assert!(c.points.iter().all(|p| p.accuracy == initial));
         }
+    }
+
+    #[test]
+    fn representative_config_exports_an_ordered_trace() {
+        let s = settings();
+        let out = run(&s);
+        let events = out
+            .telemetry
+            .as_ref()
+            .expect("the mid-dropout retry run is instrumented");
+        assert!(matches!(events.first(), Some(TelemetryEvent::RunStarted { .. })));
+        assert!(matches!(events.last(), Some(TelemetryEvent::RunFinished { .. })));
+        // The trace's retry telemetry agrees with the platform stats row
+        // for the same configuration.
+        let traced_retries = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::RetryScheduled { .. }))
+            .count() as u64;
+        let mid = s.dropout_grid[s.dropout_grid.len() / 2];
+        let rows = out.extra.as_ref().unwrap().as_array().unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r["dropout"].as_f64() == Some(mid) && r["policy"].as_str() == Some("retry"))
+            .expect("instrumented row exists");
+        assert_eq!(Some(traced_retries), row["retries"].as_u64());
+        // Injected faults surface in the same stream.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TelemetryEvent::FaultInjected { .. })),
+            "mid-grid dropout must inject at least one fault"
+        );
     }
 
     #[test]

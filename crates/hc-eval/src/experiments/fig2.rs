@@ -72,6 +72,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables: vec![table],
         curves: vec![("fig2_accuracy".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 

@@ -59,6 +59,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("fig3".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 

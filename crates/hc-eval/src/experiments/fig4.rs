@@ -63,6 +63,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("fig4".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 

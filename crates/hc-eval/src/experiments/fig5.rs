@@ -66,6 +66,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: groups,
         extra: None,
+        telemetry: None,
     }
 }
 

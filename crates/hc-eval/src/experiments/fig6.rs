@@ -66,6 +66,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("fig6".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 

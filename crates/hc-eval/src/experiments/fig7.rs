@@ -78,6 +78,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables,
         curves: vec![("fig7".into(), curves)],
         extra: None,
+        telemetry: None,
     }
 }
 

@@ -27,6 +27,7 @@ pub mod table3;
 use crate::curve::Curve;
 use crate::settings::ExpSettings;
 use hc_baselines::Aggregator;
+use hc_core::telemetry::TelemetryEvent;
 use hc_data::{AnswerEntry, AnswerMatrix, CrowdDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +44,12 @@ pub struct ExperimentOutput {
     pub curves: Vec<(String, Vec<Curve>)>,
     /// Non-curve raw results (e.g. Table III timing rows).
     pub extra: Option<serde_json::Value>,
+    /// Full telemetry event log, for experiments that ran instrumented.
+    ///
+    /// Skipped in the JSON report — the CLI writes it separately as
+    /// `<name>_telemetry.jsonl` (see [`crate::telemetry`]).
+    #[serde(skip)]
+    pub telemetry: Option<Vec<TelemetryEvent>>,
 }
 
 impl ExperimentOutput {

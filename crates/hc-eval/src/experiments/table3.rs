@@ -73,6 +73,7 @@ pub fn run(settings: &ExpSettings) -> ExperimentOutput {
         tables: vec![table],
         curves: vec![],
         extra: Some(serde_json::to_value(&rows).expect("rows serialise")),
+        telemetry: None,
     }
 }
 

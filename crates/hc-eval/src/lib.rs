@@ -11,6 +11,7 @@ pub mod curve;
 pub mod experiments;
 pub mod report;
 pub mod settings;
+pub mod telemetry;
 
 pub use curve::{run_hc_curve, Curve, CurvePoint};
 pub use experiments::ExperimentOutput;

@@ -111,6 +111,15 @@ fn main() -> ExitCode {
         if let Err(e) = write_json(&args.out, &output.name, &output) {
             eprintln!("warning: could not write {}/{}.json: {e}", args.out.display(), output.name);
         }
+        if let Some(events) = &output.telemetry {
+            match hc_eval::telemetry::write_jsonl(&args.out, &output.name, events) {
+                Ok(path) => {
+                    println!("{}", hc_eval::telemetry::summary_table(&output.name, events));
+                    eprintln!("telemetry trace written to {}", path.display());
+                }
+                Err(e) => eprintln!("warning: could not write telemetry trace: {e}"),
+            }
+        }
     }
     ExitCode::SUCCESS
 }

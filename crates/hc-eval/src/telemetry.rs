@@ -1,0 +1,87 @@
+//! Telemetry export for instrumented experiments.
+//!
+//! Experiments that run with a recording sink attach the full event log
+//! to [`crate::ExperimentOutput::telemetry`]; the CLI then writes it as
+//! `<name>_telemetry.jsonl` next to the JSON report and prints the
+//! derived metrics summary. Keeping the raw log out of the JSON report
+//! (it is `#[serde(skip)]`) keeps the report diff-friendly — the JSONL
+//! file is the machine-readable trace.
+
+use hc_core::telemetry::{MetricsRegistry, TelemetryEvent};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes an event log as `<name>_telemetry.jsonl` under `out_dir`
+/// (created on demand) and returns the path written.
+pub fn write_jsonl(
+    out_dir: &Path,
+    name: &str,
+    events: &[TelemetryEvent],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}_telemetry.jsonl"));
+    let mut writer = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    for event in events {
+        writeln!(writer, "{}", event.to_json_line())?;
+    }
+    writer.flush()?;
+    Ok(path)
+}
+
+/// Renders the metrics summary derived from an event log — counters,
+/// gauges, and per-round histograms — as a console table.
+pub fn summary_table(name: &str, events: &[TelemetryEvent]) -> String {
+    let metrics = MetricsRegistry::from_events(events);
+    format!("# {name} — telemetry summary\n{}", metrics.render_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::telemetry::{RecordingSink, StopReason};
+
+    fn sample() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::QueryDispatched {
+                round: 1,
+                task: 0,
+                fact: 2,
+                worker: 7,
+            },
+            TelemetryEvent::AnswerDelivered {
+                round: 1,
+                task: 0,
+                fact: 2,
+                worker: 7,
+                answer: true,
+            },
+            TelemetryEvent::RunFinished {
+                rounds: 1,
+                budget_spent: 2,
+                entropy: 0.4,
+                quality: -0.4,
+                reason: StopReason::BudgetExhausted,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_file_round_trips() {
+        let dir = std::env::temp_dir().join(format!("hc_eval_tel_{}", std::process::id()));
+        let events = sample();
+        let path = write_jsonl(&dir, "unit", &events).expect("write");
+        assert!(path.ends_with("unit_telemetry.jsonl"));
+        let text = std::fs::read_to_string(&path).expect("read");
+        let back = RecordingSink::from_jsonl(&text).expect("parse");
+        assert_eq!(back.into_events(), events);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_mentions_the_derived_counters() {
+        let table = summary_table("unit", &sample());
+        assert!(table.contains("unit — telemetry summary"));
+        assert!(table.contains("queries_dispatched"));
+        assert!(table.contains("answers_delivered"));
+    }
+}

@@ -17,6 +17,7 @@
 
 use hc_core::hc::AnswerOracle;
 use hc_core::selection::GlobalFact;
+use hc_core::telemetry::{FaultKind, TelemetryEvent, TelemetrySink};
 use hc_core::{AnswerOutcome, Worker, WorkerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,6 +152,9 @@ pub struct FaultyOracle<O> {
     attempt: u64,
     churned: Vec<u32>,
     stats: FaultStats,
+    /// Optional telemetry sink; every injected failure is emitted as a
+    /// `FaultInjected` event with its [`FaultKind`].
+    sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl<O> FaultyOracle<O> {
@@ -165,6 +169,29 @@ impl<O> FaultyOracle<O> {
             attempt: 0,
             churned: Vec::new(),
             stats: FaultStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a telemetry sink; injected faults appear in the event
+    /// stream as `FaultInjected` events. The sink does not perturb the
+    /// fault RNG, so instrumented and bare runs fail identically.
+    pub fn with_telemetry(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Emits a `FaultInjected` event when a sink is attached.
+    fn emit_fault(&mut self, worker: &Worker, fact: GlobalFact, kind: FaultKind) {
+        if let Some(sink) = self.sink.as_mut() {
+            if sink.enabled() {
+                sink.record(&TelemetryEvent::FaultInjected {
+                    task: fact.task,
+                    fact: fact.fact.0,
+                    worker: worker.id.0,
+                    kind,
+                });
+            }
         }
     }
 
@@ -203,24 +230,29 @@ impl<O: AnswerOracle> AnswerOracle for FaultyOracle<O> {
 
         if self.churned.contains(&worker.id.0) {
             self.stats.dropped += 1;
+            self.emit_fault(worker, fact, FaultKind::Churn);
             return AnswerOutcome::Dropped;
         }
         if self.plan.in_burst(attempt) {
             self.stats.timed_out += 1;
+            self.emit_fault(worker, fact, FaultKind::Burst);
             return AnswerOutcome::TimedOut;
         }
         if churn_draw < self.plan.churn_prob {
             self.churned.push(worker.id.0);
             self.stats.churned_workers += 1;
             self.stats.dropped += 1;
+            self.emit_fault(worker, fact, FaultKind::Churn);
             return AnswerOutcome::Dropped;
         }
         if timeout_draw < self.plan.timeout_prob {
             self.stats.timed_out += 1;
+            self.emit_fault(worker, fact, FaultKind::Timeout);
             return AnswerOutcome::TimedOut;
         }
         if dropout_draw < self.plan.dropout_for(worker.id) {
             self.stats.dropped += 1;
+            self.emit_fault(worker, fact, FaultKind::Dropout);
             return AnswerOutcome::Dropped;
         }
         let outcome = self.inner.answer(worker, fact);
@@ -405,6 +437,55 @@ mod tests {
                 AnswerOutcome::Dropped
             );
         }
+    }
+
+    #[test]
+    fn injected_faults_land_in_the_event_stream() {
+        use hc_core::telemetry::SharedRecorder;
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::uniform(1.0, 17);
+        let recorder = SharedRecorder::new();
+        let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan)
+            .with_telemetry(Box::new(recorder.clone()));
+        let w = worker(2, 0.9);
+        for _ in 0..5 {
+            faulty.answer(&w, GlobalFact::new(0, 0));
+        }
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 5);
+        for event in &events {
+            match event {
+                TelemetryEvent::FaultInjected {
+                    task,
+                    fact,
+                    worker,
+                    kind,
+                } => {
+                    assert_eq!((*task, *fact, *worker), (0, 0, 2));
+                    assert_eq!(*kind, FaultKind::Dropout);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(faulty.stats().dropped, 5);
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_the_fault_sequence() {
+        use hc_core::telemetry::SharedRecorder;
+        let truths = vec![vec![true, false]];
+        let plan = FaultPlan::uniform(0.4, 23).with_timeouts(0.2);
+        let run = |instrument: bool| {
+            let mut faulty = FaultyOracle::new(sampling(&truths, 3), plan.clone());
+            if instrument {
+                faulty = faulty.with_telemetry(Box::new(SharedRecorder::new()));
+            }
+            let w = worker(0, 0.9);
+            (0..100)
+                .map(|i| faulty.answer(&w, GlobalFact::new(0, i % 2)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

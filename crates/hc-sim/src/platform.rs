@@ -21,6 +21,7 @@ use crate::latency::{LatencyModel, WallClock};
 use hc_core::hc::{AnswerOracle, CostModel, UnitCost};
 use hc_core::selection::GlobalFact;
 use hc_core::worker::ExpertPanel;
+use hc_core::telemetry::{TelemetryEvent, TelemetrySink};
 use hc_core::{AnswerOutcome, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,8 +44,11 @@ pub struct PlatformStats {
     pub dropouts: u64,
     /// Total cost charged under the platform's cost model.
     pub spend: u64,
-    /// Delivered answers per worker id.
-    pub per_worker: Vec<u64>,
+    /// Delivered answers per worker id. Private so every read goes
+    /// through [`Self::per_worker_count`] / [`Self::per_worker_counts`]
+    /// and every write through `bump_worker` — poking the table
+    /// directly is how double counting crept in.
+    per_worker: Vec<u64>,
 }
 
 impl PlatformStats {
@@ -52,6 +56,19 @@ impl PlatformStats {
     /// out-of-range ids read as zero instead of panicking.
     pub fn per_worker_count(&self, worker_id: usize) -> u64 {
         self.per_worker.get(worker_id).copied().unwrap_or(0)
+    }
+
+    /// Delivered answers per worker id, indexed by id. Ids beyond the
+    /// highest bumped worker are absent (read them via
+    /// [`Self::per_worker_count`], which returns zero).
+    pub fn per_worker_counts(&self) -> &[u64] {
+        &self.per_worker
+    }
+
+    /// Clears every counter and the simulated clock so the stats block
+    /// can be reused across runs on the same platform.
+    pub fn reset(&mut self) {
+        *self = PlatformStats::default();
     }
 
     /// Increments the per-worker counter, growing the table as needed.
@@ -78,6 +95,9 @@ pub struct SimulatedPlatform<O, C = UnitCost> {
     /// run in parallel, so the round's critical path is the slowest
     /// lane.
     worker_secs: Vec<f64>,
+    /// Optional telemetry sink; retries scheduled by the platform are
+    /// emitted here as `RetryScheduled` events.
+    sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl<O: AnswerOracle> SimulatedPlatform<O, UnitCost> {
@@ -100,12 +120,22 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
             latency_rng: StdRng::seed_from_u64(seed),
             stats: PlatformStats::default(),
             worker_secs: Vec::new(),
+            sink: None,
         }
     }
 
     /// Sets the retry policy for failed attempts.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a telemetry sink; the platform emits a `RetryScheduled`
+    /// event for every retry it performs. Pass a clone of the same
+    /// `SharedRecorder` the HC loop uses to interleave platform events
+    /// with the loop's dispatch/delivery stream.
+    pub fn with_telemetry(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -135,6 +165,14 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
     /// The collected telemetry.
     pub fn stats(&self) -> &PlatformStats {
         &self.stats
+    }
+
+    /// Resets the collected stats (see [`PlatformStats::reset`]) and
+    /// the current round's lanes so the platform can be reused for a
+    /// fresh run without rebuilding its models.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.worker_secs.clear();
     }
 
     /// Unwraps the platform, returning the inner oracle and final stats.
@@ -171,7 +209,19 @@ impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
                 // Backoff before each retry is dead time on the lane of
                 // the worker about to be re-asked.
                 self.stats.retries += 1;
-                self.charge_lane(target.id.index(), self.retry.backoff_secs(attempt));
+                let backoff = self.retry.backoff_secs(attempt);
+                self.charge_lane(target.id.index(), backoff);
+                if let Some(sink) = self.sink.as_mut() {
+                    if sink.enabled() {
+                        sink.record(&TelemetryEvent::RetryScheduled {
+                            task: fact.task,
+                            fact: fact.fact.0,
+                            worker: target.id.0,
+                            attempt,
+                            backoff_secs: backoff,
+                        });
+                    }
+                }
             }
             self.stats.attempts += 1;
             tried.push(target.id.0);
@@ -238,9 +288,69 @@ mod tests {
         assert_eq!(stats.answers, 4);
         assert_eq!(stats.attempts, 4);
         assert_eq!(stats.retries, 0);
-        assert_eq!(stats.per_worker, vec![3, 1]);
+        assert_eq!(stats.per_worker_counts(), &[3, 1]);
+        assert_eq!(stats.per_worker_count(0), 3);
         // w0 costs 1 + round(2*0.8) = 3; w1 costs 1 + round(2*0.2) = 1.
         assert_eq!(stats.spend, 3 * 3 + 1);
+    }
+
+    #[test]
+    fn reset_clears_stats_for_reuse() {
+        let truths = vec![vec![true]];
+        let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(14));
+        let mut platform = SimulatedPlatform::new(inner, 15);
+        let w = worker(0, 0.9);
+        platform.answer(&w, GlobalFact::new(0, 0));
+        platform.end_round();
+        assert!(platform.stats().answers > 0);
+        platform.reset_stats();
+        let stats = platform.stats();
+        assert_eq!(stats, &PlatformStats::default());
+        assert_eq!(stats.per_worker_counts(), &[] as &[u64]);
+        assert_eq!(stats.clock.rounds, 0);
+        // The platform still works after a reset.
+        platform.answer(&w, GlobalFact::new(0, 0));
+        assert_eq!(platform.stats().answers, 1);
+    }
+
+    #[test]
+    fn platform_emits_retry_scheduled_events() {
+        use hc_core::telemetry::SharedRecorder;
+        struct AlwaysDead;
+        impl AnswerOracle for AlwaysDead {
+            fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                AnswerOutcome::TimedOut
+            }
+        }
+        let recorder = SharedRecorder::new();
+        let mut platform = SimulatedPlatform::new(AlwaysDead, 16)
+            .with_retry_policy(RetryPolicy::standard())
+            .with_telemetry(Box::new(recorder.clone()));
+        let w = worker(3, 0.9);
+        platform.answer(&w, GlobalFact::new(0, 1));
+        let events = recorder.snapshot();
+        let retries: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::RetryScheduled { .. }))
+            .collect();
+        assert_eq!(retries.len() as u64, platform.stats().retries);
+        assert!(!retries.is_empty());
+        match retries[0] {
+            TelemetryEvent::RetryScheduled {
+                task,
+                fact,
+                worker,
+                attempt,
+                backoff_secs,
+            } => {
+                assert_eq!(*task, 0);
+                assert_eq!(*fact, 1);
+                assert_eq!(*worker, 3);
+                assert_eq!(*attempt, 1);
+                assert!(*backoff_secs > 0.0);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

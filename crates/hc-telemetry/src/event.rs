@@ -1,0 +1,656 @@
+//! The typed event model of an HC run.
+//!
+//! One checking run emits a linear event stream:
+//!
+//! ```text
+//! RunStarted
+//!   ┌ RoundSelected                  (one per round)
+//!   │   QueryDispatched              (one per query × panel worker)
+//!   │   ├ RetryScheduled / FaultInjected   (platform / fault layer)
+//!   │   └ AnswerDelivered | AnswerTimedOut | AnswerDropped
+//!   └ BeliefUpdated
+//! RunFinished
+//! ```
+//!
+//! The invariant tests lean on: every [`TelemetryEvent::QueryDispatched`]
+//! is closed by *exactly one* of `AnswerDelivered` / `AnswerTimedOut` /
+//! `AnswerDropped` with the same `(round, task, fact, worker)` key.
+//!
+//! Events carry plain ids (task index, fact index, worker id) rather
+//! than `hc-core` types so this crate stays dependency-free and every
+//! layer of the stack can emit into the same stream.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// Which fault the fault-injection layer fired on an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker abandoned the assignment.
+    Dropout,
+    /// The attempt timed out.
+    Timeout,
+    /// A platform-wide burst outage window swallowed the attempt.
+    Burst,
+    /// The worker permanently churned out of the crowd.
+    Churn,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Burst => "burst",
+            FaultKind::Churn => "churn",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "dropout" => Some(FaultKind::Dropout),
+            "timeout" => Some(FaultKind::Timeout),
+            "burst" => Some(FaultKind::Burst),
+            "churn" => Some(FaultKind::Churn),
+            _ => None,
+        }
+    }
+}
+
+/// Why the checking loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The remaining budget cannot afford another query (Algorithm 3).
+    BudgetExhausted,
+    /// No candidate offered positive expected gain (Algorithm 2).
+    NoPositiveGain,
+    /// The configured `max_rounds` cap was reached.
+    MaxRounds,
+    /// Too many consecutive rounds delivered zero answers.
+    DryRounds,
+}
+
+impl StopReason {
+    /// Stable lowercase name used in the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::NoPositiveGain => "no_positive_gain",
+            StopReason::MaxRounds => "max_rounds",
+            StopReason::DryRounds => "dry_rounds",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "budget_exhausted" => Some(StopReason::BudgetExhausted),
+            "no_positive_gain" => Some(StopReason::NoPositiveGain),
+            "max_rounds" => Some(StopReason::MaxRounds),
+            "dry_rounds" => Some(StopReason::DryRounds),
+        _ => None,
+        }
+    }
+}
+
+/// One structured event in an HC run's telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// The loop is about to run.
+    RunStarted {
+        /// Number of tasks in the belief state.
+        tasks: usize,
+        /// Total facts across all tasks (the global query space).
+        facts: usize,
+        /// Size of the expert panel.
+        panel: usize,
+        /// Total checking budget, in cost units.
+        budget: u64,
+        /// Configured base queries per round.
+        k: usize,
+        /// Total belief entropy `H(O)` before any checking, in nats.
+        entropy: f64,
+        /// Dataset quality `-Σ_t H(O_t)` before any checking.
+        quality: f64,
+    },
+    /// The selector chose this round's query set.
+    RoundSelected {
+        /// Round number, starting at 1.
+        round: usize,
+        /// Query count the schedule asked for this round.
+        k_requested: usize,
+        /// Query count actually affordable and selected.
+        k_effective: usize,
+        /// The selected `(task, fact)` pairs.
+        queries: Vec<(usize, u32)>,
+        /// Total belief entropy before the round.
+        entropy_before: f64,
+        /// The selector's objective `H(O | AS^T)` for the chosen set —
+        /// the entropy it *predicts* will remain after the update.
+        predicted_entropy: f64,
+    },
+    /// One answer attempt was handed to a worker.
+    QueryDispatched {
+        /// Round the dispatch belongs to.
+        round: usize,
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker id the query was assigned to.
+        worker: u32,
+    },
+    /// A dispatched attempt came back with an answer.
+    AnswerDelivered {
+        /// Round the dispatch belongs to.
+        round: usize,
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker id that was asked (the dispatch key; under
+        /// reassignment the *answering* worker may differ).
+        worker: u32,
+        /// The boolean answer.
+        answer: bool,
+    },
+    /// A dispatched attempt timed out (after any platform retries).
+    AnswerTimedOut {
+        /// Round the dispatch belongs to.
+        round: usize,
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker id that was asked.
+        worker: u32,
+    },
+    /// A dispatched attempt was dropped (after any platform retries).
+    AnswerDropped {
+        /// Round the dispatch belongs to.
+        round: usize,
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker id that was asked.
+        worker: u32,
+    },
+    /// The platform scheduled a retry for a failed attempt.
+    RetryScheduled {
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker the retry goes to (may differ under reassignment).
+        worker: u32,
+        /// Attempt number about to run (1 = first retry).
+        attempt: u32,
+        /// Backoff charged before this retry, in simulated seconds.
+        backoff_secs: f64,
+    },
+    /// The fault layer converted an attempt into a failure.
+    FaultInjected {
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker whose attempt was failed.
+        worker: u32,
+        /// Which fault fired.
+        kind: FaultKind,
+    },
+    /// The round's Bayes update was applied.
+    BeliefUpdated {
+        /// Round number.
+        round: usize,
+        /// Total belief entropy after the update (the *realised*
+        /// entropy, vs [`TelemetryEvent::RoundSelected`]'s prediction).
+        entropy: f64,
+        /// Dataset quality after the update.
+        quality: f64,
+        /// Cumulative budget spent after the round.
+        budget_spent: u64,
+        /// Answer attempts requested this round.
+        answers_requested: usize,
+        /// Answers that actually arrived this round.
+        answers_received: usize,
+    },
+    /// The loop terminated.
+    RunFinished {
+        /// Rounds executed.
+        rounds: usize,
+        /// Total budget spent.
+        budget_spent: u64,
+        /// Final total belief entropy.
+        entropy: f64,
+        /// Final dataset quality.
+        quality: f64,
+        /// Why the loop stopped.
+        reason: StopReason,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's stable snake_case type tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::RunStarted { .. } => "run_started",
+            TelemetryEvent::RoundSelected { .. } => "round_selected",
+            TelemetryEvent::QueryDispatched { .. } => "query_dispatched",
+            TelemetryEvent::AnswerDelivered { .. } => "answer_delivered",
+            TelemetryEvent::AnswerTimedOut { .. } => "answer_timed_out",
+            TelemetryEvent::AnswerDropped { .. } => "answer_dropped",
+            TelemetryEvent::RetryScheduled { .. } => "retry_scheduled",
+            TelemetryEvent::FaultInjected { .. } => "fault_injected",
+            TelemetryEvent::BeliefUpdated { .. } => "belief_updated",
+            TelemetryEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// The round the event belongs to, for events that carry one.
+    pub fn round(&self) -> Option<usize> {
+        match self {
+            TelemetryEvent::RoundSelected { round, .. }
+            | TelemetryEvent::QueryDispatched { round, .. }
+            | TelemetryEvent::AnswerDelivered { round, .. }
+            | TelemetryEvent::AnswerTimedOut { round, .. }
+            | TelemetryEvent::AnswerDropped { round, .. }
+            | TelemetryEvent::BeliefUpdated { round, .. } => Some(*round),
+            _ => None,
+        }
+    }
+
+    /// Encodes the event as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"type\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match self {
+            TelemetryEvent::RunStarted {
+                tasks,
+                facts,
+                panel,
+                budget,
+                k,
+                entropy,
+                quality,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"tasks\":{tasks},\"facts\":{facts},\"panel\":{panel},\"budget\":{budget},\"k\":{k}"
+                );
+                push_f64(&mut s, "entropy", *entropy);
+                push_f64(&mut s, "quality", *quality);
+            }
+            TelemetryEvent::RoundSelected {
+                round,
+                k_requested,
+                k_effective,
+                queries,
+                entropy_before,
+                predicted_entropy,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"k_requested\":{k_requested},\"k_effective\":{k_effective},\"queries\":["
+                );
+                for (i, (task, fact)) in queries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{task},{fact}]");
+                }
+                s.push(']');
+                push_f64(&mut s, "entropy_before", *entropy_before);
+                push_f64(&mut s, "predicted_entropy", *predicted_entropy);
+            }
+            TelemetryEvent::QueryDispatched {
+                round,
+                task,
+                fact,
+                worker,
+            }
+            | TelemetryEvent::AnswerTimedOut {
+                round,
+                task,
+                fact,
+                worker,
+            }
+            | TelemetryEvent::AnswerDropped {
+                round,
+                task,
+                fact,
+                worker,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker}"
+                );
+            }
+            TelemetryEvent::AnswerDelivered {
+                round,
+                task,
+                fact,
+                worker,
+                answer,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"answer\":{answer}"
+                );
+            }
+            TelemetryEvent::RetryScheduled {
+                task,
+                fact,
+                worker,
+                attempt,
+                backoff_secs,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"attempt\":{attempt}"
+                );
+                push_f64(&mut s, "backoff_secs", *backoff_secs);
+            }
+            TelemetryEvent::FaultInjected {
+                task,
+                fact,
+                worker,
+                kind,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"kind\":\"{}\"",
+                    kind.name()
+                );
+            }
+            TelemetryEvent::BeliefUpdated {
+                round,
+                entropy,
+                quality,
+                budget_spent,
+                answers_requested,
+                answers_received,
+            } => {
+                let _ = write!(s, ",\"round\":{round}");
+                push_f64(&mut s, "entropy", *entropy);
+                push_f64(&mut s, "quality", *quality);
+                let _ = write!(
+                    s,
+                    ",\"budget_spent\":{budget_spent},\"answers_requested\":{answers_requested},\"answers_received\":{answers_received}"
+                );
+            }
+            TelemetryEvent::RunFinished {
+                rounds,
+                budget_spent,
+                entropy,
+                quality,
+                reason,
+            } => {
+                let _ = write!(s, ",\"rounds\":{rounds},\"budget_spent\":{budget_spent}");
+                push_f64(&mut s, "entropy", *entropy);
+                push_f64(&mut s, "quality", *quality);
+                let _ = write!(s, ",\"reason\":\"{}\"", reason.name());
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one JSONL line produced by [`Self::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Self, json::ParseError> {
+        let v = json::parse(line.trim())?;
+        let bad = |what: &str| json::ParseError {
+            message: format!("missing or invalid field `{what}`"),
+            offset: 0,
+        };
+        let kind = v.get("type").and_then(Json::as_str).ok_or_else(|| bad("type"))?;
+        let f = |name: &str| v.get(name).and_then(Json::as_f64).ok_or_else(|| bad(name));
+        let us = |name: &str| v.get(name).and_then(Json::as_usize).ok_or_else(|| bad(name));
+        let u64f = |name: &str| v.get(name).and_then(Json::as_u64).ok_or_else(|| bad(name));
+        let u32f = |name: &str| v.get(name).and_then(Json::as_u32).ok_or_else(|| bad(name));
+        match kind {
+            "run_started" => Ok(TelemetryEvent::RunStarted {
+                tasks: us("tasks")?,
+                facts: us("facts")?,
+                panel: us("panel")?,
+                budget: u64f("budget")?,
+                k: us("k")?,
+                entropy: f("entropy")?,
+                quality: f("quality")?,
+            }),
+            "round_selected" => {
+                let queries = v
+                    .get("queries")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("queries"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr()?;
+                        match pair {
+                            [t, q] => Some((t.as_usize()?, q.as_u32()?)),
+                            _ => None,
+                        }
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad("queries"))?;
+                Ok(TelemetryEvent::RoundSelected {
+                    round: us("round")?,
+                    k_requested: us("k_requested")?,
+                    k_effective: us("k_effective")?,
+                    queries,
+                    entropy_before: f("entropy_before")?,
+                    predicted_entropy: f("predicted_entropy")?,
+                })
+            }
+            "query_dispatched" => Ok(TelemetryEvent::QueryDispatched {
+                round: us("round")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+            }),
+            "answer_delivered" => Ok(TelemetryEvent::AnswerDelivered {
+                round: us("round")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+                answer: v.get("answer").and_then(Json::as_bool).ok_or_else(|| bad("answer"))?,
+            }),
+            "answer_timed_out" => Ok(TelemetryEvent::AnswerTimedOut {
+                round: us("round")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+            }),
+            "answer_dropped" => Ok(TelemetryEvent::AnswerDropped {
+                round: us("round")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+            }),
+            "retry_scheduled" => Ok(TelemetryEvent::RetryScheduled {
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+                attempt: u32f("attempt")?,
+                backoff_secs: f("backoff_secs")?,
+            }),
+            "fault_injected" => Ok(TelemetryEvent::FaultInjected {
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+                kind: v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(FaultKind::from_name)
+                    .ok_or_else(|| bad("kind"))?,
+            }),
+            "belief_updated" => Ok(TelemetryEvent::BeliefUpdated {
+                round: us("round")?,
+                entropy: f("entropy")?,
+                quality: f("quality")?,
+                budget_spent: u64f("budget_spent")?,
+                answers_requested: us("answers_requested")?,
+                answers_received: us("answers_received")?,
+            }),
+            "run_finished" => Ok(TelemetryEvent::RunFinished {
+                rounds: us("rounds")?,
+                budget_spent: u64f("budget_spent")?,
+                entropy: f("entropy")?,
+                quality: f("quality")?,
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .and_then(StopReason::from_name)
+                    .ok_or_else(|| bad("reason"))?,
+            }),
+            other => Err(json::ParseError {
+                message: format!("unknown event type `{other}`"),
+                offset: 0,
+            }),
+        }
+    }
+}
+
+fn push_f64(s: &mut String, name: &str, v: f64) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":");
+    json::write_f64(s, v);
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunStarted {
+                tasks: 2,
+                facts: 5,
+                panel: 2,
+                budget: 10,
+                k: 1,
+                entropy: 3.25,
+                quality: -3.25,
+            },
+            TelemetryEvent::RoundSelected {
+                round: 1,
+                k_requested: 1,
+                k_effective: 1,
+                queries: vec![(0, 2), (1, 0)],
+                entropy_before: 3.25,
+                predicted_entropy: 2.5,
+            },
+            TelemetryEvent::QueryDispatched {
+                round: 1,
+                task: 0,
+                fact: 2,
+                worker: 0,
+            },
+            TelemetryEvent::RetryScheduled {
+                task: 0,
+                fact: 2,
+                worker: 1,
+                attempt: 1,
+                backoff_secs: 30.0,
+            },
+            TelemetryEvent::FaultInjected {
+                task: 0,
+                fact: 2,
+                worker: 0,
+                kind: FaultKind::Timeout,
+            },
+            TelemetryEvent::AnswerDelivered {
+                round: 1,
+                task: 0,
+                fact: 2,
+                worker: 0,
+                answer: true,
+            },
+            TelemetryEvent::AnswerTimedOut {
+                round: 1,
+                task: 1,
+                fact: 0,
+                worker: 1,
+            },
+            TelemetryEvent::AnswerDropped {
+                round: 1,
+                task: 1,
+                fact: 0,
+                worker: 0,
+            },
+            TelemetryEvent::BeliefUpdated {
+                round: 1,
+                entropy: 2.75,
+                quality: -2.75,
+                budget_spent: 2,
+                answers_requested: 4,
+                answers_received: 1,
+            },
+            TelemetryEvent::RunFinished {
+                rounds: 1,
+                budget_spent: 2,
+                entropy: 2.75,
+                quality: -2.75,
+                reason: StopReason::BudgetExhausted,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            let back = TelemetryEvent::from_json_line(&line)
+                .unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "via {line}");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let kinds: Vec<&str> = sample_events().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "run_started",
+                "round_selected",
+                "query_dispatched",
+                "retry_scheduled",
+                "fault_injected",
+                "answer_delivered",
+                "answer_timed_out",
+                "answer_dropped",
+                "belief_updated",
+                "run_finished",
+            ]
+        );
+    }
+
+    #[test]
+    fn round_accessor_covers_round_scoped_events() {
+        for event in sample_events() {
+            match event.kind() {
+                "run_started" | "run_finished" | "retry_scheduled" | "fault_injected" => {
+                    assert_eq!(event.round(), None)
+                }
+                _ => assert_eq!(event.round(), Some(1)),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        assert!(TelemetryEvent::from_json_line(r#"{"type":"nope"}"#).is_err());
+        assert!(TelemetryEvent::from_json_line("{}").is_err());
+        assert!(TelemetryEvent::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_errors() {
+        assert!(TelemetryEvent::from_json_line(r#"{"type":"query_dispatched","round":1}"#).is_err());
+    }
+}

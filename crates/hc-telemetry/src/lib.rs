@@ -1,0 +1,56 @@
+//! Zero-dependency observability for the hierarchical-crowdsourcing
+//! stack: structured run events, pluggable sinks, a metrics registry,
+//! and hot-path timing histograms.
+//!
+//! The crate is a leaf — it depends on nothing and speaks in plain ids
+//! (`task: usize`, `fact: u32`, `worker: u32`) — so every other crate
+//! (`hc-core`'s loop, `hc-sim`'s platform and fault layer, `hc-eval`'s
+//! experiments) can emit into one stream without a dependency cycle.
+//!
+//! # The pieces
+//!
+//! - [`TelemetryEvent`] — the typed event model of one checking run,
+//!   with a stable JSONL encoding ([`TelemetryEvent::to_json_line`] /
+//!   [`TelemetryEvent::from_json_line`]).
+//! - [`TelemetrySink`] — where events go. [`NullSink`] is the disabled
+//!   default (`enabled() == false`, so emitters skip event
+//!   construction entirely); [`RecordingSink`] keeps the log in
+//!   memory; [`FileSink`] streams JSONL to disk; [`SharedRecorder`]
+//!   fans multiple layers into one ordered log.
+//! - [`MetricsRegistry`] — string-keyed counters, gauges, and
+//!   fixed-bucket [`Histogram`]s; [`MetricsRegistry::from_events`]
+//!   derives the standard HC metric set from an event log.
+//! - [`timing`] — thread-local monotonic spans around the hot paths
+//!   (selection, conditional entropy, Bayes updates), surfaced as
+//!   per-phase latency histograms for benchmarking.
+//!
+//! # Example
+//!
+//! ```
+//! use hc_telemetry::{MetricsRegistry, RecordingSink, TelemetryEvent, TelemetrySink};
+//!
+//! let mut sink = RecordingSink::new();
+//! if sink.enabled() {
+//!     sink.record(&TelemetryEvent::QueryDispatched {
+//!         round: 1,
+//!         task: 0,
+//!         fact: 3,
+//!         worker: 2,
+//!     });
+//! }
+//! let metrics = MetricsRegistry::from_events(sink.events());
+//! assert_eq!(metrics.counter("queries_dispatched"), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod timing;
+
+pub use event::{FaultKind, StopReason, TelemetryEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{FileSink, NullSink, RecordingSink, SharedRecorder, TelemetrySink};
+pub use timing::{Phase, TimingSnapshot};

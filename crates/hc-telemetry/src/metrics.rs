@@ -1,0 +1,467 @@
+//! A lightweight metrics registry: counters, gauges, and fixed-bucket
+//! histograms, with no external dependencies.
+//!
+//! The registry is deliberately string-keyed and flat so any layer can
+//! contribute without coordinating types. [`MetricsRegistry::from_events`]
+//! derives the standard HC metric set from an event log, which is how
+//! the proptests pin metrics totals to `HcOutcome` fields.
+
+use crate::event::TelemetryEvent;
+use crate::json::{write_f64, write_str};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram over `f64` samples.
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one overflow bucket counts
+/// the rest. Also tracks count/sum/min/max so means are exact even
+/// though bucket placement is coarse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given upper bucket bounds
+    /// (must be sorted ascending).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Ten log-ish buckets suited to values in roughly `[0, 100]`
+    /// (entropies, per-round answer counts, regrets).
+    pub fn default_bounds() -> Vec<f64> {
+        vec![0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0]
+    }
+
+    /// Records one sample. Non-finite samples count but skip buckets.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        if !v.is_finite() {
+            return;
+        }
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite samples, or NaN when empty.
+    pub fn mean(&self) -> f64 {
+        let finite: u64 = self.counts.iter().sum();
+        if finite == 0 {
+            f64::NAN
+        } else {
+            self.sum / finite as f64
+        }
+    }
+
+    /// Smallest finite sample, or NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Largest finite sample, or NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Upper bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// String-keyed counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a sample into the named histogram (created with
+    /// [`Histogram::default_bounds`] on first use).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(Histogram::default_bounds()))
+            .observe(value);
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Derives the standard HC metric set from an event log.
+    ///
+    /// Counters: `rounds`, `queries_dispatched`, `answers_delivered`,
+    /// `answers_timed_out`, `answers_dropped`, `retries_scheduled`,
+    /// `faults_injected`, `fault.<kind>`, `dry_rounds`, and per-worker
+    /// `worker.<id>.delivered` / `.timed_out` / `.dropped` tallies.
+    /// Gauges: `budget_spent`, `final_entropy`, `final_quality`,
+    /// `dry_streak_max`. Histograms: `round.entropy`,
+    /// `round.answers_received`, `round.regret` (predicted − realised
+    /// entropy per round, the selector's per-round regret).
+    pub fn from_events(events: &[TelemetryEvent]) -> Self {
+        let mut m = Self::new();
+        let mut dry_streak = 0u64;
+        let mut dry_streak_max = 0u64;
+        let mut predicted: Option<f64> = None;
+        for event in events {
+            match event {
+                TelemetryEvent::RunStarted { .. } => {}
+                TelemetryEvent::RoundSelected {
+                    predicted_entropy, ..
+                } => {
+                    m.incr("rounds", 1);
+                    predicted = Some(*predicted_entropy);
+                }
+                TelemetryEvent::QueryDispatched { .. } => {
+                    m.incr("queries_dispatched", 1);
+                }
+                TelemetryEvent::AnswerDelivered { worker, .. } => {
+                    m.incr("answers_delivered", 1);
+                    m.incr(&format!("worker.{worker}.delivered"), 1);
+                }
+                TelemetryEvent::AnswerTimedOut { worker, .. } => {
+                    m.incr("answers_timed_out", 1);
+                    m.incr(&format!("worker.{worker}.timed_out"), 1);
+                }
+                TelemetryEvent::AnswerDropped { worker, .. } => {
+                    m.incr("answers_dropped", 1);
+                    m.incr(&format!("worker.{worker}.dropped"), 1);
+                }
+                TelemetryEvent::RetryScheduled { .. } => {
+                    m.incr("retries_scheduled", 1);
+                }
+                TelemetryEvent::FaultInjected { kind, .. } => {
+                    m.incr("faults_injected", 1);
+                    m.incr(&format!("fault.{}", kind.name()), 1);
+                }
+                TelemetryEvent::BeliefUpdated {
+                    entropy,
+                    budget_spent,
+                    answers_received,
+                    ..
+                } => {
+                    m.observe("round.entropy", *entropy);
+                    m.observe("round.answers_received", *answers_received as f64);
+                    if let Some(p) = predicted.take() {
+                        // Regret: how much worse the realised entropy is
+                        // than the selector's prediction for this round.
+                        m.observe("round.regret", *entropy - p);
+                    }
+                    m.set_gauge("budget_spent", *budget_spent as f64);
+                    if *answers_received == 0 {
+                        m.incr("dry_rounds", 1);
+                        dry_streak += 1;
+                        dry_streak_max = dry_streak_max.max(dry_streak);
+                    } else {
+                        dry_streak = 0;
+                    }
+                }
+                TelemetryEvent::RunFinished {
+                    budget_spent,
+                    entropy,
+                    quality,
+                    ..
+                } => {
+                    m.set_gauge("budget_spent", *budget_spent as f64);
+                    m.set_gauge("final_entropy", *entropy);
+                    m.set_gauge("final_quality", *quality);
+                }
+            }
+        }
+        m.set_gauge("dry_streak_max", dry_streak_max as f64);
+        m
+    }
+
+    /// Renders an aligned plain-text summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        out.push_str("-- counters --\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        out.push_str("-- gauges --\n");
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<width$}  {v:.6}");
+        }
+        out.push_str("-- histograms --\n");
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            );
+        }
+        out
+    }
+
+    /// Serialises the registry as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_str(&mut s, name);
+            let _ = write!(s, ":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_str(&mut s, name);
+            s.push(':');
+            write_f64(&mut s, *v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_str(&mut s, name);
+            let _ = write!(s, ":{{\"count\":{}", h.count());
+            s.push_str(",\"sum\":");
+            write_f64(&mut s, h.sum());
+            s.push_str(",\"mean\":");
+            write_f64(&mut s, h.mean());
+            s.push_str(",\"min\":");
+            write_f64(&mut s, h.min());
+            s.push_str(",\"max\":");
+            write_f64(&mut s, h.max());
+            s.push_str(",\"bounds\":[");
+            for (j, b) in h.bounds().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                write_f64(&mut s, *b);
+            }
+            s.push_str("],\"counts\":[");
+            for (j, c) in h.bucket_counts().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary lands in the <=1.0 bucket
+        h.observe(5.0);
+        h.observe(50.0); // overflow
+        h.observe(f64::NAN); // counted, bucket-skipped
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
+        assert!((h.mean() - 56.5 / 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 50.0);
+    }
+
+    #[test]
+    fn empty_histogram_stats_are_nan() {
+        let h = Histogram::new(Histogram::default_bounds());
+        assert!(h.mean().is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut m = MetricsRegistry::new();
+        m.incr("rounds", 2);
+        m.incr("rounds", 1);
+        m.set_gauge("budget_spent", 7.0);
+        m.observe("round.entropy", 1.5);
+        assert_eq!(m.counter("rounds"), 3);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.gauge("budget_spent"), Some(7.0));
+        assert_eq!(m.histogram("round.entropy").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn from_events_derives_standard_metrics() {
+        let events = crate::event::tests::sample_events();
+        let m = MetricsRegistry::from_events(&events);
+        assert_eq!(m.counter("rounds"), 1);
+        assert_eq!(m.counter("queries_dispatched"), 1);
+        assert_eq!(m.counter("answers_delivered"), 1);
+        assert_eq!(m.counter("answers_timed_out"), 1);
+        assert_eq!(m.counter("answers_dropped"), 1);
+        assert_eq!(m.counter("retries_scheduled"), 1);
+        assert_eq!(m.counter("faults_injected"), 1);
+        assert_eq!(m.counter("fault.timeout"), 1);
+        assert_eq!(m.counter("worker.0.delivered"), 1);
+        assert_eq!(m.counter("worker.1.timed_out"), 1);
+        assert_eq!(m.counter("worker.0.dropped"), 1);
+        assert_eq!(m.counter("dry_rounds"), 0);
+        assert_eq!(m.gauge("budget_spent"), Some(2.0));
+        assert_eq!(m.gauge("final_entropy"), Some(2.75));
+        assert_eq!(m.gauge("dry_streak_max"), Some(0.0));
+        let regret = m.histogram("round.regret").unwrap();
+        assert_eq!(regret.count(), 1);
+        // realised 2.75 − predicted 2.5
+        assert!((regret.sum() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dry_streaks_are_tracked() {
+        use crate::event::TelemetryEvent as E;
+        let dry = |round| E::BeliefUpdated {
+            round,
+            entropy: 1.0,
+            quality: -1.0,
+            budget_spent: 0,
+            answers_requested: 2,
+            answers_received: 0,
+        };
+        let wet = |round| E::BeliefUpdated {
+            round,
+            entropy: 1.0,
+            quality: -1.0,
+            budget_spent: 1,
+            answers_requested: 2,
+            answers_received: 2,
+        };
+        let m = MetricsRegistry::from_events(&[dry(1), dry(2), wet(3), dry(4)]);
+        assert_eq!(m.counter("dry_rounds"), 3);
+        assert_eq!(m.gauge("dry_streak_max"), Some(2.0));
+    }
+
+    #[test]
+    fn json_export_is_parseable() {
+        let m = MetricsRegistry::from_events(&crate::event::tests::sample_events());
+        let text = m.to_json();
+        let v = json::parse(&text).expect("valid json");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("rounds")).and_then(|x| x.as_u64()),
+            Some(1)
+        );
+        assert!(v
+            .get("histograms")
+            .and_then(|h| h.get("round.entropy"))
+            .and_then(|h| h.get("count"))
+            .is_some());
+    }
+
+    #[test]
+    fn render_table_lists_every_metric() {
+        let m = MetricsRegistry::from_events(&crate::event::tests::sample_events());
+        let table = m.render_table();
+        assert!(table.contains("rounds"));
+        assert!(table.contains("budget_spent"));
+        assert!(table.contains("round.entropy"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Sinks: where [`TelemetryEvent`]s go.
+//!
+//! The contract that keeps telemetry free when unused: emitters must
+//! gate event *construction* on [`TelemetrySink::enabled`]. `NullSink`
+//! reports `false`, so a disabled run never allocates a `Vec` of query
+//! pairs or formats a JSON line — the instrumented loop does one
+//! virtual call per emission site and nothing else.
+
+use crate::event::TelemetryEvent;
+use crate::json;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A destination for telemetry events.
+pub trait TelemetrySink {
+    /// Whether this sink wants events at all.
+    ///
+    /// Emitters should check this before building an event; when it
+    /// returns `false` the event payload is never constructed.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event.
+    fn record(&mut self, event: &TelemetryEvent);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// The disabled sink: reports `enabled() == false` and drops everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// An in-memory sink that keeps every event, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingSink {
+    events: Vec<TelemetryEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the recorded events.
+    pub fn into_events(self) -> Vec<TelemetryEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises the whole log as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL log back into a recorder; blank lines are skipped.
+    pub fn from_jsonl(text: &str) -> Result<Self, json::ParseError> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(TelemetryEvent::from_json_line(line)?);
+        }
+        Ok(Self { events })
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A JSONL file sink; one event per line, buffered, flushed on drop.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl TelemetrySink for FileSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        let _ = writeln!(self.writer, "{}", event.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A cloneable handle to a shared [`RecordingSink`].
+///
+/// The HC loop, the simulated platform, and the fault layer each hold
+/// their own sink reference; cloning a `SharedRecorder` into all three
+/// fans their events into one ordered log (the stack is
+/// single-threaded, so emission order is the lock-acquisition order).
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder {
+    inner: Arc<Mutex<RecordingSink>>,
+}
+
+impl SharedRecorder {
+    /// Creates an empty shared recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the events recorded so far.
+    pub fn snapshot(&self) -> Vec<TelemetryEvent> {
+        self.inner.lock().expect("telemetry lock poisoned").events().to_vec()
+    }
+
+    /// Extracts the log, consuming this handle. If other clones are
+    /// still alive the log is copied out instead.
+    pub fn into_events(self) -> Vec<TelemetryEvent> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => mutex.into_inner().expect("telemetry lock poisoned").into_events(),
+            Err(arc) => arc.lock().expect("telemetry lock poisoned").events().to_vec(),
+        }
+    }
+}
+
+impl TelemetrySink for SharedRecorder {
+    fn record(&mut self, event: &TelemetryEvent) {
+        self.inner.lock().expect("telemetry lock poisoned").record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StopReason;
+
+    fn finish() -> TelemetryEvent {
+        TelemetryEvent::RunFinished {
+            rounds: 3,
+            budget_spent: 12,
+            entropy: 0.5,
+            quality: -0.5,
+            reason: StopReason::MaxRounds,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut sink = RecordingSink::new();
+        assert!(sink.enabled());
+        assert!(sink.is_empty());
+        let a = TelemetryEvent::QueryDispatched {
+            round: 1,
+            task: 0,
+            fact: 0,
+            worker: 0,
+        };
+        sink.record(&a);
+        sink.record(&finish());
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[0], a);
+        assert_eq!(sink.events()[1], finish());
+    }
+
+    #[test]
+    fn recording_sink_jsonl_round_trip() {
+        let mut sink = RecordingSink::new();
+        for event in crate::event::tests::sample_events() {
+            sink.record(&event);
+        }
+        let text = sink.to_jsonl();
+        let back = RecordingSink::from_jsonl(&text).expect("round trip");
+        assert_eq!(back, sink);
+        // Blank lines are tolerated.
+        let padded = format!("\n{text}\n\n");
+        assert_eq!(RecordingSink::from_jsonl(&padded).expect("padded"), sink);
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!(
+            "hc_telemetry_sink_test_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut sink = FileSink::create(&path).expect("create");
+            for event in crate::event::tests::sample_events() {
+                sink.record(&event);
+            }
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let back = RecordingSink::from_jsonl(&text).expect("parse");
+        assert_eq!(back.into_events(), crate::event::tests::sample_events());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_recorder_fans_in_from_clones() {
+        let mut a = SharedRecorder::new();
+        let mut b = a.clone();
+        a.record(&finish());
+        b.record(&finish());
+        assert_eq!(a.snapshot().len(), 2);
+        drop(b);
+        assert_eq!(a.into_events().len(), 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! Monotonic timing spans around the HC hot paths.
+//!
+//! Free functions like `conditional_entropy` can't thread a sink
+//! through their signatures without churning every caller, so timing
+//! uses thread-local state instead: a run turns collection on with
+//! [`set_enabled`], instrumented code opens a [`span`] (a drop guard),
+//! and the elapsed nanoseconds land in a per-phase log-scale histogram.
+//! When disabled, a span is a single thread-local boolean load.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Which hot path a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Greedy query selection (the per-round selector call).
+    Selection,
+    /// A conditional-entropy evaluation (with or without dropout).
+    Entropy,
+    /// A partial-family Bayes update.
+    BayesUpdate,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 3] = [Phase::Selection, Phase::Entropy, Phase::BayesUpdate];
+
+impl Phase {
+    /// Stable snake_case name used in reports and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Selection => "selection",
+            Phase::Entropy => "entropy",
+            Phase::BayesUpdate => "bayes_update",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Selection => 0,
+            Phase::Entropy => 1,
+            Phase::BayesUpdate => 2,
+        }
+    }
+}
+
+/// Log-scale (powers of 4) nanosecond buckets: 256ns, 1µs, 4µs, …,
+/// ~17s, plus overflow. Wide enough that one array fits every phase.
+const NANO_BOUNDS: [u64; 13] = [
+    1 << 8,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+    1 << 32,
+];
+
+#[derive(Debug, Clone, Copy)]
+struct PhaseStats {
+    counts: [u64; NANO_BOUNDS.len() + 1],
+    count: u64,
+    total_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl PhaseStats {
+    const EMPTY: PhaseStats = PhaseStats {
+        counts: [0; NANO_BOUNDS.len() + 1],
+        count: 0,
+        total_nanos: 0,
+        min_nanos: u64::MAX,
+        max_nanos: 0,
+    };
+
+    fn observe(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        let idx = NANO_BOUNDS
+            .iter()
+            .position(|&b| nanos <= b)
+            .unwrap_or(NANO_BOUNDS.len());
+        self.counts[idx] += 1;
+    }
+}
+
+struct TimingState {
+    enabled: bool,
+    phases: [PhaseStats; 3],
+}
+
+thread_local! {
+    static TIMING: RefCell<TimingState> = const {
+        RefCell::new(TimingState {
+            enabled: false,
+            phases: [PhaseStats::EMPTY; 3],
+        })
+    };
+}
+
+/// Turns span collection on or off for this thread.
+pub fn set_enabled(enabled: bool) {
+    TIMING.with(|t| t.borrow_mut().enabled = enabled);
+}
+
+/// Whether span collection is on for this thread.
+pub fn is_enabled() -> bool {
+    TIMING.with(|t| t.borrow().enabled)
+}
+
+/// Clears all recorded samples on this thread (leaves `enabled` as-is).
+pub fn reset() {
+    TIMING.with(|t| t.borrow_mut().phases = [PhaseStats::EMPTY; 3]);
+}
+
+/// Opens a timing span for `phase`; the elapsed time is recorded when
+/// the returned guard drops. Costs one boolean load when disabled.
+#[must_use = "the span measures until this guard is dropped"]
+pub fn span(phase: Phase) -> SpanGuard {
+    let start = if is_enabled() { Some(Instant::now()) } else { None };
+    SpanGuard { phase, start }
+}
+
+/// Drop guard returned by [`span`].
+pub struct SpanGuard {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            TIMING.with(|t| {
+                t.borrow_mut().phases[self.phase.index()].observe(nanos);
+            });
+        }
+    }
+}
+
+/// Point-in-time copy of this thread's per-phase timing histograms.
+#[derive(Debug, Clone)]
+pub struct TimingSnapshot {
+    phases: [PhaseStats; 3],
+}
+
+/// Captures this thread's per-phase timing histograms.
+pub fn snapshot() -> TimingSnapshot {
+    TIMING.with(|t| TimingSnapshot {
+        phases: t.borrow().phases,
+    })
+}
+
+impl TimingSnapshot {
+    /// Number of spans recorded for `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.phases[phase.index()].count
+    }
+
+    /// Total nanoseconds across all spans of `phase`.
+    pub fn total_nanos(&self, phase: Phase) -> u64 {
+        self.phases[phase.index()].total_nanos
+    }
+
+    /// Mean span duration in nanoseconds, or `None` when unsampled.
+    pub fn mean_nanos(&self, phase: Phase) -> Option<f64> {
+        let p = &self.phases[phase.index()];
+        if p.count == 0 {
+            None
+        } else {
+            Some(p.total_nanos as f64 / p.count as f64)
+        }
+    }
+
+    /// `(min, max)` span duration in nanoseconds, when sampled.
+    pub fn min_max_nanos(&self, phase: Phase) -> Option<(u64, u64)> {
+        let p = &self.phases[phase.index()];
+        if p.count == 0 {
+            None
+        } else {
+            Some((p.min_nanos, p.max_nanos))
+        }
+    }
+
+    /// Log-scale bucket counts for `phase` (last entry is overflow).
+    pub fn bucket_counts(&self, phase: Phase) -> &[u64] {
+        &self.phases[phase.index()].counts
+    }
+
+    /// The shared upper bucket bounds, in nanoseconds.
+    pub fn bucket_bounds() -> &'static [u64] {
+        &NANO_BOUNDS
+    }
+
+    /// Renders an aligned plain-text per-phase latency table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("phase         count      mean_us       min_us       max_us     total_ms\n");
+        for phase in PHASES {
+            let p = &self.phases[phase.index()];
+            if p.count == 0 {
+                let _ = writeln!(out, "{:<12} {:>6}            -            -            -            -", phase.name(), 0);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.3}",
+                    phase.name(),
+                    p.count,
+                    p.total_nanos as f64 / p.count as f64 / 1e3,
+                    p.min_nanos as f64 / 1e3,
+                    p.max_nanos as f64 / 1e3,
+                    p.total_nanos as f64 / 1e6,
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialises the snapshot in the repo's `BENCH_*.json` shape: one
+    /// entry per phase with count and nanosecond stats.
+    pub fn to_bench_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, phase) in PHASES.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let p = &self.phases[phase.index()];
+            let _ = write!(
+                s,
+                "\"{}\":{{\"count\":{},\"total_nanos\":{},\"mean_nanos\":",
+                phase.name(),
+                p.count,
+                p.total_nanos
+            );
+            crate::json::write_f64(&mut s, self.mean_nanos(*phase).unwrap_or(f64::NAN));
+            let (min, max) = self.min_max_nanos(*phase).unwrap_or((0, 0));
+            let _ = write!(s, ",\"min_nanos\":{min},\"max_nanos\":{max}}}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_clean_state(f: impl FnOnce()) {
+        set_enabled(false);
+        reset();
+        f();
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        with_clean_state(|| {
+            {
+                let _g = span(Phase::Selection);
+            }
+            assert_eq!(snapshot().count(Phase::Selection), 0);
+        });
+    }
+
+    #[test]
+    fn enabled_spans_record_per_phase() {
+        with_clean_state(|| {
+            set_enabled(true);
+            assert!(is_enabled());
+            {
+                let _g = span(Phase::Entropy);
+                std::hint::black_box(0u64);
+            }
+            {
+                let _g = span(Phase::Entropy);
+            }
+            {
+                let _g = span(Phase::BayesUpdate);
+            }
+            let snap = snapshot();
+            assert_eq!(snap.count(Phase::Entropy), 2);
+            assert_eq!(snap.count(Phase::BayesUpdate), 1);
+            assert_eq!(snap.count(Phase::Selection), 0);
+            assert!(snap.mean_nanos(Phase::Entropy).is_some());
+            assert_eq!(snap.mean_nanos(Phase::Selection), None);
+            let (min, max) = snap.min_max_nanos(Phase::Entropy).unwrap();
+            assert!(min <= max);
+            let bucket_total: u64 = snap.bucket_counts(Phase::Entropy).iter().sum();
+            assert_eq!(bucket_total, 2);
+        });
+    }
+
+    #[test]
+    fn reset_clears_samples_but_not_enabled() {
+        with_clean_state(|| {
+            set_enabled(true);
+            {
+                let _g = span(Phase::Selection);
+            }
+            reset();
+            assert!(is_enabled());
+            assert_eq!(snapshot().count(Phase::Selection), 0);
+        });
+    }
+
+    #[test]
+    fn render_and_bench_json_cover_all_phases() {
+        with_clean_state(|| {
+            set_enabled(true);
+            {
+                let _g = span(Phase::Selection);
+            }
+            let snap = snapshot();
+            let table = snap.render_table();
+            for phase in PHASES {
+                assert!(table.contains(phase.name()));
+            }
+            let text = snap.to_bench_json();
+            let v = crate::json::parse(&text).expect("valid json");
+            assert_eq!(
+                v.get("selection").and_then(|p| p.get("count")).and_then(|c| c.as_u64()),
+                Some(1)
+            );
+            assert_eq!(
+                v.get("bayes_update").and_then(|p| p.get("count")).and_then(|c| c.as_u64()),
+                Some(0)
+            );
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Telemetry tour: the observability stack end to end.
+//!
+//! One HC run recorded event by event, the metrics registry derived
+//! from the log, per-phase hot-path timing, a JSONL export through
+//! [`FileSink`] (read back and verified), and a faulty run where the
+//! platform's retries and the injected faults land in the same ordered
+//! stream as the loop's own events.
+//!
+//! ```bash
+//! cargo run --release --example telemetry_tour
+//! ```
+
+use hc::prelude::*;
+use hc::telemetry::timing;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Table I belief: three correlated facts.
+fn table_one() -> hc_core::Result<MultiBelief> {
+    let belief = Belief::from_probs(vec![
+        0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18,
+    ])?;
+    Ok(MultiBelief::new(vec![belief]))
+}
+
+fn main() -> hc_core::Result<()> {
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.92])?;
+    let selector = GreedySelector::new();
+    let truths = vec![vec![true, true, false]];
+    let config = HcConfig::new(2, 12);
+
+    // ── 1. Record a run ────────────────────────────────────────────
+    // `RecordingSink` keeps every event in emission order; timing
+    // spans are off by default, so opt in before the run.
+    timing::set_enabled(true);
+    timing::reset();
+    let mut sink = RecordingSink::new();
+    let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let mut rng = StdRng::seed_from_u64(0);
+    let outcome = run_hc_with_telemetry(
+        table_one()?,
+        &panel,
+        &selector,
+        &mut oracle,
+        &config,
+        &mut rng,
+        &mut sink,
+    )?;
+    println!(
+        "recorded run: {} rounds, {} budget, quality {:.4}",
+        outcome.rounds.len(),
+        outcome.budget_spent,
+        outcome.quality()
+    );
+    println!("\n== event stream ({} events) ==", sink.len());
+    for event in sink.events() {
+        let round = event.round().map(|r| format!(" round={r}")).unwrap_or_default();
+        println!("  {}{}", event.kind(), round);
+    }
+
+    // The per-round records expose the selector's regret: predicted
+    // entropy (its objective for the chosen set) vs what the update
+    // actually realised.
+    println!("\n== per-round selection regret ==");
+    for r in &outcome.rounds {
+        println!(
+            "  round {}: predicted {:.4}, realized {:.4}, regret {:+.4}",
+            r.round,
+            r.predicted_entropy,
+            r.realized_entropy,
+            r.realized_entropy - r.predicted_entropy
+        );
+    }
+
+    // ── 2. Metrics derived from the log ────────────────────────────
+    let metrics = MetricsRegistry::from_events(sink.events());
+    println!("\n{}", metrics.render_table());
+
+    // ── 3. Hot-path timing (selection / entropy / Bayes update) ────
+    println!("{}", timing::snapshot().render_table());
+    timing::set_enabled(false);
+
+    // ── 4. JSONL export via FileSink, read back and verified ───────
+    let path = std::env::temp_dir().join("hc_telemetry_tour.jsonl");
+    {
+        let mut file = FileSink::create(&path).expect("temp file is writable");
+        for event in sink.events() {
+            file.record(event);
+        }
+        file.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("trace reads back");
+    let parsed = RecordingSink::from_jsonl(&text).expect("trace parses");
+    assert_eq!(parsed.events(), sink.events(), "JSONL round-trips");
+    println!("FileSink: {} events round-tripped through {}", sink.len(), path.display());
+    let _ = std::fs::remove_file(&path);
+
+    // ── 5. Faults and retries in the same stream ───────────────────
+    // A `SharedRecorder` cloned into the fault layer, the platform,
+    // and the loop fans all three into one ordered log.
+    let recorder = SharedRecorder::new();
+    let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let faulty = FaultyOracle::new(inner, FaultPlan::uniform(0.4, 99))
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut platform = SimulatedPlatform::new(faulty, 1)
+        .with_retry_policy(RetryPolicy::standard())
+        .with_reassignment_panel(&panel)
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut loop_sink = recorder.clone();
+    let mut rng = StdRng::seed_from_u64(1);
+    let faulty_outcome = run_hc_with_telemetry(
+        table_one()?,
+        &panel,
+        &selector,
+        &mut platform,
+        &config,
+        &mut rng,
+        &mut loop_sink,
+    )?;
+    let events = recorder.snapshot();
+    let count = |pred: fn(&TelemetryEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+    println!(
+        "\nfaulty run ({} rounds, {} budget): {} dispatched, {} delivered, \
+         {} dropped, {} timed out, {} faults injected, {} retries",
+        faulty_outcome.rounds.len(),
+        faulty_outcome.budget_spent,
+        count(|e| matches!(e, TelemetryEvent::QueryDispatched { .. })),
+        count(|e| matches!(e, TelemetryEvent::AnswerDelivered { .. })),
+        count(|e| matches!(e, TelemetryEvent::AnswerDropped { .. })),
+        count(|e| matches!(e, TelemetryEvent::AnswerTimedOut { .. })),
+        count(|e| matches!(e, TelemetryEvent::FaultInjected { .. })),
+        count(|e| matches!(e, TelemetryEvent::RetryScheduled { .. })),
+    );
+    println!("{}", MetricsRegistry::from_events(&events).render_table());
+    Ok(())
+}

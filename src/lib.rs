@@ -18,6 +18,7 @@
 //! cargo run --release --example benchmark_import
 //! cargo run --release --example tiers_and_costs
 //! cargo run --release --example unreliable_crowd
+//! cargo run --release --example telemetry_tour
 //! ```
 
 #![warn(missing_docs)]
@@ -36,6 +37,9 @@ pub use hc_sim as sim;
 
 /// Experiment harness regenerating the paper's tables and figures.
 pub use hc_eval as eval;
+
+/// Structured events, metrics, and hot-path timing for HC runs.
+pub use hc_telemetry as telemetry;
 
 /// Everything most programs need, in one import.
 pub mod prelude {

@@ -1,0 +1,372 @@
+//! Telemetry contract tests: the instrumented loop must not perturb
+//! the pipeline (NullSink runs are bit-identical), and a recorded run
+//! must yield a complete, ordered, internally consistent event log —
+//! every dispatch closed by exactly one outcome event, metrics totals
+//! agreeing with the returned `HcOutcome`, and the log surviving a
+//! JSONL round trip.
+
+use hc::prelude::*;
+use hc_core::hc::run_hc;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 12;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn small_corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 6;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn prepared(dataset: &CrowdDataset) -> Prepared {
+    prepare(
+        dataset,
+        &PipelineConfig::paper_default(),
+        &InitMethod::CpVotes,
+    )
+    .unwrap()
+}
+
+/// Walks the stream asserting every `QueryDispatched` is closed by
+/// exactly one delivery/timeout/drop event for the same query before
+/// the next dispatch opens. Returns (dispatched, closed).
+fn check_dispatch_closure_invariant(events: &[TelemetryEvent]) -> (usize, usize) {
+    let mut open: Option<(usize, usize, u32, u32)> = None;
+    let mut dispatched = 0usize;
+    let mut closed = 0usize;
+    for event in events {
+        match event {
+            TelemetryEvent::QueryDispatched {
+                round,
+                task,
+                fact,
+                worker,
+            } => {
+                assert!(open.is_none(), "dispatch while a query is still open");
+                open = Some((*round, *task, *fact, *worker));
+                dispatched += 1;
+            }
+            TelemetryEvent::AnswerDelivered {
+                round,
+                task,
+                fact,
+                worker,
+                ..
+            }
+            | TelemetryEvent::AnswerTimedOut {
+                round,
+                task,
+                fact,
+                worker,
+            }
+            | TelemetryEvent::AnswerDropped {
+                round,
+                task,
+                fact,
+                worker,
+            } => {
+                assert_eq!(
+                    open.take(),
+                    Some((*round, *task, *fact, *worker)),
+                    "closure must match its dispatch"
+                );
+                closed += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_none(), "stream ended with an open dispatch");
+    (dispatched, closed)
+}
+
+#[test]
+fn null_sink_run_is_bit_identical_to_the_plain_path() {
+    let dataset = corpus(50);
+    let p = prepared(&dataset);
+    let config = HcConfig::new(2, 80);
+    let plain = {
+        let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        run_hc(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &mut StdRng::seed_from_u64(51),
+        )
+        .unwrap()
+    };
+    let nulled = {
+        let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        run_hc_with_telemetry(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &mut StdRng::seed_from_u64(51),
+            &mut NullSink,
+        )
+        .unwrap()
+    };
+    assert_eq!(plain.budget_spent, nulled.budget_spent);
+    assert_eq!(plain.rounds.len(), nulled.rounds.len());
+    assert_eq!(plain.labels(), nulled.labels());
+    for (a, b) in plain.beliefs.tasks().iter().zip(nulled.beliefs.tasks()) {
+        assert_eq!(a.probs(), b.probs(), "NullSink must not perturb the run");
+    }
+    for (ra, rb) in plain.rounds.iter().zip(&nulled.rounds) {
+        assert_eq!(ra.queries, rb.queries);
+        assert_eq!(ra.budget_spent, rb.budget_spent);
+        assert_eq!(ra.predicted_entropy, rb.predicted_entropy);
+        assert_eq!(ra.realized_entropy, rb.realized_entropy);
+    }
+}
+
+#[test]
+fn recorded_run_yields_a_complete_ordered_log_matching_the_round_records() {
+    let dataset = corpus(52);
+    let p = prepared(&dataset);
+    let mut sink = RecordingSink::new();
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 80),
+        &mut StdRng::seed_from_u64(53),
+        &mut sink,
+    )
+    .unwrap();
+    let events = sink.events();
+    assert!(matches!(events.first(), Some(TelemetryEvent::RunStarted { .. })));
+    match events.last() {
+        Some(TelemetryEvent::RunFinished {
+            rounds,
+            budget_spent,
+            ..
+        }) => {
+            assert_eq!(*rounds, outcome.rounds.len());
+            assert_eq!(*budget_spent, outcome.budget_spent);
+        }
+        other => panic!("log must end with RunFinished, got {other:?}"),
+    }
+
+    // One RoundSelected and one BeliefUpdated per round record, in
+    // order, with entropy/quality agreeing exactly with the records.
+    let selected: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::RoundSelected { .. }))
+        .collect();
+    let updated: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::BeliefUpdated { .. }))
+        .collect();
+    assert_eq!(selected.len(), outcome.rounds.len());
+    assert_eq!(updated.len(), outcome.rounds.len());
+    for (record, (sel, upd)) in outcome.rounds.iter().zip(selected.iter().zip(&updated)) {
+        if let TelemetryEvent::RoundSelected {
+            round,
+            k_effective,
+            queries,
+            predicted_entropy,
+            ..
+        } = sel
+        {
+            assert_eq!(*round, record.round);
+            assert_eq!(*k_effective, record.queries.len());
+            assert_eq!(queries.len(), record.queries.len());
+            assert_eq!(*predicted_entropy, record.predicted_entropy);
+        } else {
+            unreachable!()
+        }
+        if let TelemetryEvent::BeliefUpdated {
+            round,
+            entropy,
+            quality,
+            budget_spent,
+            answers_requested,
+            answers_received,
+        } = upd
+        {
+            assert_eq!(*round, record.round);
+            assert_eq!(*entropy, record.realized_entropy);
+            assert_eq!(*quality, record.quality);
+            assert_eq!(*budget_spent, record.budget_spent);
+            assert_eq!(*answers_requested, record.answers_requested);
+            assert_eq!(*answers_received, record.answers_received);
+        } else {
+            unreachable!()
+        }
+    }
+
+    // A reliable oracle delivers everything it is asked.
+    let (dispatched, closed) = check_dispatch_closure_invariant(events);
+    assert_eq!(dispatched, closed);
+    assert_eq!(
+        dispatched,
+        outcome.rounds.iter().map(|r| r.answers_requested).sum::<usize>()
+    );
+}
+
+#[test]
+fn dispatches_stay_closed_under_faults_retries_and_reassignment() {
+    let dataset = corpus(54);
+    let p = prepared(&dataset);
+    let recorder = SharedRecorder::new();
+    let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let faulty = FaultyOracle::new(
+        replay,
+        FaultPlan::uniform(0.5, 55).with_timeouts(0.1).with_churn(0.05),
+    )
+    .with_telemetry(Box::new(recorder.clone()));
+    let mut platform = SimulatedPlatform::new(faulty, 56)
+        .with_retry_policy(RetryPolicy::standard())
+        .with_reassignment_panel(&p.panel)
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut loop_sink = recorder.clone();
+    let outcome = run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut platform,
+        &HcConfig::new(2, 60),
+        &mut StdRng::seed_from_u64(57),
+        &mut loop_sink,
+    )
+    .unwrap();
+    let events = recorder.snapshot();
+    let (dispatched, closed) = check_dispatch_closure_invariant(&events);
+    assert_eq!(dispatched, closed, "every dispatch gets exactly one outcome");
+    assert!(dispatched > 0);
+    // Platform and fault-layer events landed in the same stream.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::FaultInjected { .. })),
+        "50% dropout must inject faults into the stream"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::RetryScheduled { .. })),
+        "the standard policy must schedule retries at 50% dropout"
+    );
+    // Deliveries in the stream equal deliveries the loop accounted for.
+    let delivered = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::AnswerDelivered { .. }))
+        .count();
+    assert_eq!(
+        delivered,
+        outcome.rounds.iter().map(|r| r.answers_received).sum::<usize>()
+    );
+}
+
+#[test]
+fn real_run_log_survives_a_jsonl_round_trip() {
+    let dataset = corpus(58);
+    let p = prepared(&dataset);
+    let mut sink = RecordingSink::new();
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 40),
+        &mut StdRng::seed_from_u64(59),
+        &mut sink,
+    )
+    .unwrap();
+    assert!(!sink.is_empty());
+    let text = sink.to_jsonl();
+    let back = RecordingSink::from_jsonl(&text).expect("round trip parses");
+    assert_eq!(back.events(), sink.events());
+}
+
+#[test]
+fn regret_is_computable_from_the_round_records() {
+    let dataset = corpus(60);
+    let p = prepared(&dataset);
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 80),
+        &mut StdRng::seed_from_u64(61),
+    )
+    .unwrap();
+    assert!(!outcome.rounds.is_empty());
+    for r in &outcome.rounds {
+        assert!(r.predicted_entropy.is_finite());
+        assert!(r.realized_entropy.is_finite());
+        assert!(r.predicted_entropy > 0.0, "objective includes unqueried tasks");
+        let regret = r.realized_entropy - r.predicted_entropy;
+        assert!(regret.is_finite());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn metrics_totals_match_the_outcome_under_arbitrary_fault_plans(
+        dropout in 0.0f64..=1.0,
+        timeout in 0.0f64..=0.5,
+        churn in 0.0f64..=0.2,
+        plan_seed in 0u64..1_000,
+    ) {
+        let dataset = small_corpus(62);
+        let p = prepared(&dataset);
+        let recorder = SharedRecorder::new();
+        let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let plan = FaultPlan::uniform(dropout, plan_seed)
+            .with_timeouts(timeout)
+            .with_churn(churn);
+        let mut oracle = FaultyOracle::new(replay, plan)
+            .with_telemetry(Box::new(recorder.clone()));
+        let mut loop_sink = recorder.clone();
+        let outcome = run_hc_with_telemetry(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, 40),
+            &mut StdRng::seed_from_u64(63),
+            &mut loop_sink,
+        )
+        .unwrap();
+        let events = recorder.snapshot();
+        let metrics = MetricsRegistry::from_events(&events);
+
+        prop_assert_eq!(metrics.counter("rounds"), outcome.rounds.len() as u64);
+        prop_assert_eq!(
+            metrics.gauge("budget_spent"),
+            Some(outcome.budget_spent as f64)
+        );
+        let received: usize = outcome.rounds.iter().map(|r| r.answers_received).sum();
+        let requested: usize = outcome.rounds.iter().map(|r| r.answers_requested).sum();
+        prop_assert_eq!(metrics.counter("answers_delivered"), received as u64);
+        prop_assert_eq!(metrics.counter("queries_dispatched"), requested as u64);
+        // Unit cost: spend equals deliveries.
+        prop_assert_eq!(metrics.counter("answers_delivered"), outcome.budget_spent);
+        // Every dispatch resolves to exactly one of the three outcomes.
+        prop_assert_eq!(
+            metrics.counter("answers_delivered")
+                + metrics.counter("answers_timed_out")
+                + metrics.counter("answers_dropped"),
+            metrics.counter("queries_dispatched")
+        );
+        let (dispatched, closed) = check_dispatch_closure_invariant(&events);
+        prop_assert_eq!(dispatched, closed);
+    }
+}
