@@ -11,7 +11,7 @@ use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet, QueryS
 use crate::belief::MultiBelief;
 use crate::error::Result;
 use crate::fact::FactId;
-use crate::selection::{GlobalFact, TaskSelector};
+use crate::selection::{ExplainTrace, GlobalFact, TaskSelector};
 use crate::update::update_with_partial_family;
 use crate::worker::{ExpertPanel, Worker};
 use hc_telemetry::timing::{self, Phase};
@@ -35,6 +35,18 @@ pub trait AnswerOracle {
     /// One attempt at "is `fact` true?" by `worker`: the answer, or why
     /// none arrived.
     fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome;
+
+    /// Announces the causal query id of the dispatch whose
+    /// [`AnswerOracle::answer`] call follows.
+    ///
+    /// The HC loop assigns one id per selected query per round
+    /// (panel-wide: all workers answering the same query share it) and
+    /// calls this before each `answer` so layered oracles (platform
+    /// retries, fault injection) can stamp their own events —
+    /// `RetryScheduled`, `FaultInjected` — with the id of the dispatch
+    /// that caused them. The default is a no-op; wrappers should
+    /// forward to their inner oracle.
+    fn begin_dispatch(&mut self, _query_id: u64) {}
 }
 
 /// Pricing of expert answers (the cost-aware extension of §III-D).
@@ -180,6 +192,13 @@ pub struct HcConfig {
     /// this guard the loop would spin forever on an unresponsive panel.
     #[serde(default = "default_max_dry_rounds")]
     pub max_dry_rounds: usize,
+    /// Record per-candidate selection gains as `CandidateScored` /
+    /// `QuerySelected` telemetry (via
+    /// [`TaskSelector::select_with_explain`]). Only takes effect when
+    /// the sink is enabled; with this off (the default) the selection
+    /// path is exactly [`TaskSelector::select`].
+    #[serde(default)]
+    pub explain_selection: bool,
 }
 
 fn default_max_dry_rounds() -> usize {
@@ -197,6 +216,7 @@ impl HcConfig {
             repeat_policy: RepeatPolicy::default(),
             k_schedule: KSchedule::default(),
             max_dry_rounds: default_max_dry_rounds(),
+            explain_selection: false,
         }
     }
 }
@@ -395,6 +415,16 @@ pub fn run_hc_costed_with_telemetry(
     let mut checked_count = 0usize;
     // Consecutive rounds with zero delivered answers (unreliable crowd).
     let mut dry_rounds = 0usize;
+    // Causal id of the next dispatch; one id per selected query per
+    // round, threaded through dispatch → outcome → retry/fault events.
+    let mut next_query_id: u64 = 1;
+    // The explain trace exists only when requested AND the sink wants
+    // events; otherwise the selection path is exactly `select`.
+    let mut trace: Option<ExplainTrace> = if config.explain_selection && sink.enabled() {
+        Some(ExplainTrace::new())
+    } else {
+        None
+    };
 
     if sink.enabled() {
         sink.record(&TelemetryEvent::RunStarted {
@@ -447,7 +477,12 @@ pub fn run_hc_costed_with_telemetry(
             };
         let queries = {
             let _span = timing::span(Phase::Selection);
-            selector.select(beliefs, panel, k_eff, &candidates, rng)?
+            match trace.as_mut() {
+                Some(t) => {
+                    selector.select_with_explain(beliefs, panel, k_eff, &candidates, rng, t)?
+                }
+                None => selector.select(beliefs, panel, k_eff, &candidates, rng)?,
+            }
         };
         if queries.is_empty() {
             stop_reason = StopReason::NoPositiveGain;
@@ -480,9 +515,42 @@ pub fn run_hc_costed_with_telemetry(
                 predicted_entropy,
             });
         }
+        let first_query_id = next_query_id;
+        next_query_id += queries.len() as u64;
+        if let Some(t) = trace.as_ref() {
+            if sink.enabled() {
+                for s in &t.scored {
+                    sink.record(&TelemetryEvent::CandidateScored {
+                        round,
+                        step: s.step,
+                        task: s.fact.task,
+                        fact: s.fact.fact.0,
+                        gain: s.gain,
+                    });
+                }
+                for (idx, s) in t.selected.iter().enumerate() {
+                    sink.record(&TelemetryEvent::QuerySelected {
+                        round,
+                        step: s.step,
+                        task: s.fact.task,
+                        fact: s.fact.fact.0,
+                        gain: s.gain,
+                        query_id: first_query_id + idx as u64,
+                    });
+                }
+            }
+        }
 
         // Collect the answer family and update, task by task.
-        let delivery = apply_round_with_telemetry(beliefs, panel, &queries, oracle, round, sink)?;
+        let delivery = apply_round_with_telemetry(
+            beliefs,
+            panel,
+            &queries,
+            oracle,
+            round,
+            first_query_id,
+            sink,
+        )?;
 
         // Charge only for answers that actually arrived: a dropped or
         // timed-out attempt costs nothing. With a reliable crowd this is
@@ -560,7 +628,7 @@ pub fn apply_round(
     queries: &[GlobalFact],
     oracle: &mut dyn AnswerOracle,
 ) -> Result<RoundDelivery> {
-    apply_round_with_telemetry(beliefs, panel, queries, oracle, 0, &mut NullSink)
+    apply_round_with_telemetry(beliefs, panel, queries, oracle, 0, 1, &mut NullSink)
 }
 
 /// [`apply_round`] that also records each dispatch and its final
@@ -570,40 +638,47 @@ pub fn apply_round(
 /// delivery/timeout/drop events — lower layers (platform retries, fault
 /// injection) emit their own distinct event kinds — so every dispatch
 /// is closed by exactly one delivery event regardless of how many
-/// internal attempts the oracle made.
+/// internal attempts the oracle made. Query `queries[i]` carries the
+/// causal id `first_query_id + i` (shared by every panel worker
+/// answering it), announced to the oracle via
+/// [`AnswerOracle::begin_dispatch`] before each attempt.
 pub fn apply_round_with_telemetry(
     beliefs: &mut MultiBelief,
     panel: &ExpertPanel,
     queries: &[GlobalFact],
     oracle: &mut dyn AnswerOracle,
     round: usize,
+    first_query_id: u64,
     sink: &mut dyn TelemetrySink,
 ) -> Result<RoundDelivery> {
     let mut per_worker = vec![0usize; panel.len()];
-    // Group query facts per task, preserving order.
-    let mut per_task: Vec<(usize, Vec<FactId>)> = Vec::new();
-    for gf in queries {
+    // Group query facts (with their causal ids) per task, preserving order.
+    let mut per_task: Vec<(usize, Vec<(FactId, u64)>)> = Vec::new();
+    for (idx, gf) in queries.iter().enumerate() {
+        let qid = first_query_id + idx as u64;
         match per_task.iter_mut().find(|(t, _)| *t == gf.task) {
-            Some((_, facts)) => facts.push(gf.fact),
-            None => per_task.push((gf.task, vec![gf.fact])),
+            Some((_, facts)) => facts.push((gf.fact, qid)),
+            None => per_task.push((gf.task, vec![(gf.fact, qid)])),
         }
     }
     for (task, facts) in per_task {
         let num_facts = beliefs.tasks()[task].num_facts();
-        let query_set = QuerySet::new(facts.clone(), num_facts)?;
+        let query_set = QuerySet::new(facts.iter().map(|&(f, _)| f).collect(), num_facts)?;
         let mut sets: Vec<PartialAnswerSet> = Vec::with_capacity(panel.len());
         for (w_idx, w) in panel.workers().iter().enumerate() {
             let outcomes: Vec<AnswerOutcome> = facts
                 .iter()
-                .map(|&f| {
+                .map(|&(f, qid)| {
                     if sink.enabled() {
                         sink.record(&TelemetryEvent::QueryDispatched {
                             round,
                             task,
                             fact: f.0,
                             worker: w.id.0,
+                            query_id: qid,
                         });
                     }
+                    oracle.begin_dispatch(qid);
                     let outcome = oracle.answer(w, GlobalFact { task, fact: f });
                     if sink.enabled() {
                         sink.record(&match outcome {
@@ -612,6 +687,7 @@ pub fn apply_round_with_telemetry(
                                 task,
                                 fact: f.0,
                                 worker: w.id.0,
+                                query_id: qid,
                                 answer: a.as_bool(),
                             },
                             AnswerOutcome::TimedOut => TelemetryEvent::AnswerTimedOut {
@@ -619,12 +695,14 @@ pub fn apply_round_with_telemetry(
                                 task,
                                 fact: f.0,
                                 worker: w.id.0,
+                                query_id: qid,
                             },
                             AnswerOutcome::Dropped => TelemetryEvent::AnswerDropped {
                                 round,
                                 task,
                                 fact: f.0,
                                 worker: w.id.0,
+                                query_id: qid,
                             },
                         });
                     }

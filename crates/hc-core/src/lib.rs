@@ -83,8 +83,8 @@ pub mod prelude {
     };
     pub use crate::observation::{Observation, ObservationSpace};
     pub use crate::selection::{
-        BeamSelector, ExactSelector, GlobalFact, GreedySelector, MaxEntropySelector,
-        RandomSelector, TaskSelector,
+        BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector,
+        MaxEntropySelector, RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,
     };
     pub use crate::worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};
 }
@@ -102,7 +102,7 @@ pub use hc::{
 };
 pub use observation::{Observation, ObservationSpace};
 pub use selection::{
-    BeamSelector, ExactSelector, GlobalFact, GreedySelector, MaxEntropySelector, RandomSelector,
-    TaskSelector,
+    BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector, MaxEntropySelector,
+    RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,
 };
 pub use worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};

@@ -22,7 +22,7 @@
 //!   accelerated greedy; it matters when one task has many facts (the
 //!   Table III workload). The `ablations` bench quantifies the win.
 
-use super::{GlobalFact, TaskSelector};
+use super::{ExplainTrace, GlobalFact, ScoredCandidate, SelectedQuery, TaskSelector};
 use crate::belief::MultiBelief;
 use crate::entropy::{answer_family_entropy, answer_family_entropy_projected};
 use crate::error::Result;
@@ -99,19 +99,40 @@ impl TaskSelector for GreedySelector {
         _rng: &mut dyn RngCore,
     ) -> Result<Vec<GlobalFact>> {
         if self.lazy {
-            select_lazy(beliefs, panel, k, candidates)
+            select_lazy(beliefs, panel, k, candidates, None)
         } else {
-            select_cached(beliefs, panel, k, candidates)
+            select_cached(beliefs, panel, k, candidates, None)
+        }
+    }
+
+    fn select_with_explain(
+        &self,
+        beliefs: &MultiBelief,
+        panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        _rng: &mut dyn RngCore,
+        trace: &mut ExplainTrace,
+    ) -> Result<Vec<GlobalFact>> {
+        trace.clear();
+        if self.lazy {
+            select_lazy(beliefs, panel, k, candidates, Some(trace))
+        } else {
+            select_cached(beliefs, panel, k, candidates, Some(trace))
         }
     }
 }
 
-/// Plain greedy with task-dirty gain caching.
+/// Plain greedy with task-dirty gain caching. When `trace` is given,
+/// every *fresh* gain computation is recorded (cached gains are exact
+/// under task independence, so a pick may reuse a gain scored at an
+/// earlier step) along with each step's winner.
 fn select_cached(
     beliefs: &MultiBelief,
     panel: &ExpertPanel,
     k: usize,
     candidates: &[GlobalFact],
+    mut trace: Option<&mut ExplainTrace>,
 ) -> Result<Vec<GlobalFact>> {
     let panel_h = panel.per_query_answer_entropy();
     let mut chosen: Vec<GlobalFact> = Vec::with_capacity(k);
@@ -141,6 +162,13 @@ fn select_cached(
                     panel,
                     panel_h,
                 )?;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.scored.push(ScoredCandidate {
+                        step: chosen.len(),
+                        fact: *gf,
+                        gain: gains[i],
+                    });
+                }
             }
             let g = gains[i];
             if best.is_none_or(|(_, bg)| g > bg) {
@@ -155,6 +183,13 @@ fn select_cached(
         }
         let gf = candidates[idx];
         taken[idx] = true;
+        if let Some(t) = trace.as_deref_mut() {
+            t.selected.push(SelectedQuery {
+                step: chosen.len(),
+                fact: gf,
+                gain: best_gain,
+            });
+        }
         chosen.push(gf);
         selected_per_task[gf.task].push(gf.fact);
         h_as[gf.task] = answer_family_entropy(
@@ -202,6 +237,7 @@ fn select_lazy(
     panel: &ExpertPanel,
     k: usize,
     candidates: &[GlobalFact],
+    mut trace: Option<&mut ExplainTrace>,
 ) -> Result<Vec<GlobalFact>> {
     let panel_h = panel.per_query_answer_entropy();
     let mut selected_per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
@@ -212,6 +248,13 @@ fn select_lazy(
     let mut heap = BinaryHeap::with_capacity(candidates.len());
     for (i, gf) in candidates.iter().enumerate() {
         let g = gain(beliefs, gf.task, &[], gf.fact, 0.0, panel, panel_h)?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.scored.push(ScoredCandidate {
+                step: 0,
+                fact: *gf,
+                gain: g,
+            });
+        }
         heap.push(HeapEntry {
             gain: g,
             candidate_idx: i,
@@ -226,6 +269,13 @@ fn select_lazy(
             // Fresh: by submodularity this is the global argmax.
             if top.gain <= GAIN_EPSILON {
                 break;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.selected.push(SelectedQuery {
+                    step: chosen.len(),
+                    fact: gf,
+                    gain: top.gain,
+                });
             }
             chosen.push(gf);
             selected_per_task[gf.task].push(gf.fact);
@@ -246,6 +296,13 @@ fn select_lazy(
                 panel,
                 panel_h,
             )?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.scored.push(ScoredCandidate {
+                    step: chosen.len(),
+                    fact: gf,
+                    gain: g,
+                });
+            }
             heap.push(HeapEntry {
                 gain: g,
                 candidate_idx: top.candidate_idx,
@@ -355,6 +412,80 @@ mod tests {
             assert!(obj <= prev + 1e-12, "k={k}");
             prev = obj;
         }
+    }
+
+    #[test]
+    fn explain_returns_the_same_set_as_select() {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_marginals(&[0.55, 0.8, 0.63]).unwrap(),
+            Belief::from_marginals(&[0.9, 0.52]).unwrap(),
+        ]);
+        let p = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let candidates = crate::selection::global_facts(&beliefs);
+        for selector in [GreedySelector::new(), GreedySelector::lazy()] {
+            for k in 0..=5 {
+                let plain = selector
+                    .select(&beliefs, &p, k, &candidates, &mut rng())
+                    .unwrap();
+                let mut trace = crate::selection::ExplainTrace::new();
+                let explained = selector
+                    .select_with_explain(&beliefs, &p, k, &candidates, &mut rng(), &mut trace)
+                    .unwrap();
+                assert_eq!(plain, explained, "{} k={k}", selector.name());
+                assert_eq!(trace.selected.len(), explained.len());
+            }
+        }
+    }
+
+    #[test]
+    fn explain_trace_gains_are_consistent() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let candidates = crate::selection::global_facts(&beliefs);
+        for selector in [GreedySelector::new(), GreedySelector::lazy()] {
+            let mut trace = crate::selection::ExplainTrace::new();
+            let chosen = selector
+                .select_with_explain(&beliefs, &p, 3, &candidates, &mut rng(), &mut trace)
+                .unwrap();
+            assert!(!chosen.is_empty());
+            for (step, sel) in trace.selected.iter().enumerate() {
+                assert_eq!(sel.step, step);
+                assert_eq!(sel.fact, chosen[step]);
+                assert!(sel.gain > GAIN_EPSILON, "winning gains are positive");
+                // The winning gain is the latest gain scored for that
+                // fact (cached gains stay exact across steps that touch
+                // other tasks, so the score may predate the pick).
+                let last_scored = trace
+                    .scored
+                    .iter()
+                    .rev()
+                    .find(|s| s.fact == sel.fact && s.step <= step)
+                    .expect("every pick was scored");
+                assert_eq!(last_scored.gain, sel.gain, "{} step {step}", selector.name());
+            }
+            // Step 0 scores every candidate exactly once.
+            assert_eq!(
+                trace.scored.iter().filter(|s| s.step == 0).count(),
+                candidates.len()
+            );
+        }
+    }
+
+    #[test]
+    fn explain_trace_is_cleared_between_rounds() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let candidates = crate::selection::global_facts(&beliefs);
+        let mut trace = crate::selection::ExplainTrace::new();
+        let selector = GreedySelector::new();
+        selector
+            .select_with_explain(&beliefs, &p, 3, &candidates, &mut rng(), &mut trace)
+            .unwrap();
+        let first = trace.clone();
+        selector
+            .select_with_explain(&beliefs, &p, 3, &candidates, &mut rng(), &mut trace)
+            .unwrap();
+        assert_eq!(trace, first, "re-running does not accumulate");
     }
 
     #[test]

@@ -68,6 +68,63 @@ pub fn global_facts(beliefs: &MultiBelief) -> Vec<GlobalFact> {
     out
 }
 
+/// One marginal-gain evaluation recorded during an explained selection.
+///
+/// `step` is the number of queries already chosen when the gain was
+/// computed; for the cached greedy schedule a candidate scored at an
+/// early step may win a later pick with that same gain (task
+/// independence keeps cached gains exact across steps that touch other
+/// tasks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredCandidate {
+    /// Queries already selected when this gain was computed.
+    pub step: usize,
+    /// The candidate that was scored.
+    pub fact: GlobalFact,
+    /// Its marginal conditional-entropy gain at that step.
+    pub gain: f64,
+}
+
+/// One pick of an explained selection: the winning candidate at `step`
+/// and the gain it won with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectedQuery {
+    /// Position of this pick in the selection (0-based).
+    pub step: usize,
+    /// The selected query.
+    pub fact: GlobalFact,
+    /// The winning marginal gain. `NaN` for selectors without per-step
+    /// gain accounting (see [`TaskSelector::select_with_explain`]).
+    pub gain: f64,
+}
+
+/// The record of one explained selection round: every freshly computed
+/// marginal gain plus the per-step winners.
+///
+/// Filled by [`TaskSelector::select_with_explain`]; the HC loop turns it
+/// into `CandidateScored` / `QuerySelected` telemetry events. Reusable
+/// across rounds — implementations clear it before writing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExplainTrace {
+    /// Every marginal gain computed, in evaluation order.
+    pub scored: Vec<ScoredCandidate>,
+    /// The winning candidate of each greedy step, in pick order.
+    pub selected: Vec<SelectedQuery>,
+}
+
+impl ExplainTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties both record lists, keeping capacity.
+    pub fn clear(&mut self) {
+        self.scored.clear();
+        self.selected.clear();
+    }
+}
+
 /// Strategy interface for per-round checking-task selection.
 ///
 /// Implementations return at most `k` facts from `candidates`; fewer
@@ -91,6 +148,36 @@ pub trait TaskSelector: Send + Sync {
         candidates: &[GlobalFact],
         rng: &mut dyn RngCore,
     ) -> Result<Vec<GlobalFact>>;
+
+    /// Like [`TaskSelector::select`], but also records how the choice
+    /// was made into `trace` (cleared first).
+    ///
+    /// The default implementation delegates to `select` and reports each
+    /// pick with a `NaN` gain — selectors that do not account per-step
+    /// gains stay correct without extra work. [`GreedySelector`]
+    /// overrides this to record every marginal-gain evaluation; the
+    /// selected set is identical to what `select` returns for the same
+    /// inputs.
+    fn select_with_explain(
+        &self,
+        beliefs: &MultiBelief,
+        panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        rng: &mut dyn RngCore,
+        trace: &mut ExplainTrace,
+    ) -> Result<Vec<GlobalFact>> {
+        trace.clear();
+        let chosen = self.select(beliefs, panel, k, candidates, rng)?;
+        for (step, &fact) in chosen.iter().enumerate() {
+            trace.selected.push(SelectedQuery {
+                step,
+                fact,
+                gain: f64::NAN,
+            });
+        }
+        Ok(chosen)
+    }
 }
 
 /// Total selection objective `Σ_t H(O_t | AS^{T_t})` for a concrete
@@ -192,6 +279,27 @@ mod tests {
             .select(&beliefs, &p, 1, &candidates, &mut rng)
             .unwrap();
         assert_eq!(first[0], ranked[0].0);
+    }
+
+    #[test]
+    fn default_explain_reports_picks_with_nan_gains() {
+        let beliefs = two_task_beliefs();
+        let p = panel();
+        let candidates = global_facts(&beliefs);
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut trace = ExplainTrace::new();
+        // RandomSelector relies on the trait's default implementation.
+        let chosen = RandomSelector::new()
+            .select_with_explain(&beliefs, &p, 2, &candidates, &mut rng, &mut trace)
+            .unwrap();
+        assert_eq!(trace.selected.len(), chosen.len());
+        assert!(trace.scored.is_empty());
+        for (step, sel) in trace.selected.iter().enumerate() {
+            assert_eq!(sel.step, step);
+            assert_eq!(sel.fact, chosen[step]);
+            assert!(sel.gain.is_nan());
+        }
     }
 
     #[test]

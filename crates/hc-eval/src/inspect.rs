@@ -1,0 +1,408 @@
+//! `hc-eval inspect` — post-hoc run inspection over a telemetry trace.
+//!
+//! Reads a JSONL event log (as written by the harness or
+//! [`crate::telemetry::write_jsonl`]), replays it into per-round state,
+//! audits it against the event-stream contract, and prints a
+//! human-readable report: the run shape, a per-round regret table, a
+//! selection-explain summary (when the run was recorded with
+//! `HcConfig::explain_selection`), the audit findings, and the derived
+//! metrics. With `--prometheus FILE` the metrics are additionally
+//! written in Prometheus text exposition format.
+//!
+//! Exit code contract: error-severity findings (contract violations)
+//! fail the command; warnings only fail it under `--strict`.
+//! Unparseable lines are skipped and reported, never fatal — a
+//! truncated trace still yields a partial report (plus the audit's
+//! truncation errors).
+
+use hc_core::telemetry::replay::parse_jsonl;
+use hc_core::telemetry::{audit, AuditReport, MetricsRegistry, ReplayedRun};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Everything `inspect` derives from one trace.
+pub struct Inspection {
+    /// The replayed per-round run state.
+    pub replay: ReplayedRun,
+    /// Contract-violation and anomaly findings.
+    pub audit: AuditReport,
+    /// Counters/gauges/histograms derived from the events.
+    pub metrics: MetricsRegistry,
+    /// The rendered console report.
+    pub report: String,
+}
+
+impl Inspection {
+    /// Whether the trace passes: no errors, and no warnings if
+    /// `strict`.
+    pub fn passes(&self, strict: bool) -> bool {
+        self.audit.error_count() == 0 && (!strict || self.audit.warning_count() == 0)
+    }
+}
+
+/// Inspects a JSONL trace held in memory.
+pub fn inspect_str(name: &str, text: &str) -> Inspection {
+    let (events, _) = parse_jsonl(text);
+    let replay = ReplayedRun::from_jsonl(text);
+    let audit = audit(&events);
+    let metrics = MetricsRegistry::from_events(&events);
+    let report = render_report(name, &replay, &audit, &metrics);
+    Inspection {
+        replay,
+        audit,
+        metrics,
+        report,
+    }
+}
+
+fn render_report(
+    name: &str,
+    replay: &ReplayedRun,
+    audit: &AuditReport,
+    metrics: &MetricsRegistry,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# run inspector — {name}");
+    let _ = writeln!(
+        out,
+        "{} event(s), {} round(s), {} skipped line(s)",
+        replay.events,
+        replay.rounds.len(),
+        replay.skipped.len()
+    );
+    for skip in &replay.skipped {
+        let _ = writeln!(out, "  skipped line {}: {}", skip.line, skip.error);
+    }
+
+    let _ = writeln!(out, "\n## run shape");
+    match replay.shape {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "tasks {} | facts {} | panel {} | budget {} | k {}",
+                s.tasks, s.facts, s.panel, s.budget, s.k
+            );
+            let _ = writeln!(
+                out,
+                "initial entropy {:.6} nats | initial quality {:.6}",
+                s.entropy, s.quality
+            );
+        }
+        None => {
+            let _ = writeln!(out, "(no RunStarted event — truncated or corrupt trace)");
+        }
+    }
+    match replay.end {
+        Some(e) => {
+            let _ = writeln!(
+                out,
+                "finished after {} round(s): spent {} | entropy {:.6} | quality {:.6} | stop: {:?}",
+                e.rounds, e.budget_spent, e.entropy, e.quality, e.reason
+            );
+        }
+        None => {
+            let _ = writeln!(out, "(no RunFinished event — run did not close)");
+        }
+    }
+
+    let _ = writeln!(out, "\n## rounds");
+    if replay.rounds.is_empty() {
+        let _ = writeln!(out, "(none)");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>3} {:>5} {:>5} {:>4} {:>4} {:>5} {:>6} {:>12} {:>12} {:>11} {:>7}",
+            "round",
+            "k",
+            "disp",
+            "deliv",
+            "t/o",
+            "drop",
+            "retry",
+            "fault",
+            "predicted",
+            "realized",
+            "regret",
+            "spent"
+        );
+        for r in &replay.rounds {
+            let realized = r
+                .realized_entropy
+                .map_or_else(|| "?".to_string(), |v| format!("{v:.6}"));
+            let regret = r
+                .regret()
+                .map_or_else(|| "?".to_string(), |v| format!("{v:+.2e}"));
+            let spent = r
+                .budget_spent
+                .map_or_else(|| "?".to_string(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{:>5} {:>3} {:>5} {:>5} {:>4} {:>4} {:>5} {:>6} {:>12.6} {:>12} {:>11} {:>7}",
+                r.round,
+                r.k_effective,
+                r.dispatched,
+                r.delivered,
+                r.timed_out,
+                r.dropped,
+                r.retries,
+                r.faults,
+                r.predicted_entropy,
+                realized,
+                regret,
+                spent
+            );
+        }
+    }
+
+    let scored_total: usize = replay.rounds.iter().map(|r| r.candidates_scored).sum();
+    let picks_total: usize = replay.rounds.iter().map(|r| r.selected.len()).sum();
+    let _ = writeln!(out, "\n## selection explain");
+    if scored_total == 0 && picks_total == 0 {
+        let _ = writeln!(
+            out,
+            "(no explain events — record with HcConfig::explain_selection to get per-pick gains)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{scored_total} candidate scoring(s), {picks_total} explained pick(s)"
+        );
+        for r in &replay.rounds {
+            if r.selected.is_empty() {
+                continue;
+            }
+            let picks: Vec<String> = r
+                .selected
+                .iter()
+                .map(|s| {
+                    format!(
+                        "#{} ({},{}) gain {:.3e}",
+                        s.query_id, s.task, s.fact, s.gain
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "round {:>3}: {} gain(s) evaluated → {}",
+                r.round,
+                r.candidates_scored,
+                picks.join(", ")
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## audit");
+    out.push_str(&audit.render());
+
+    let _ = writeln!(out, "\n## metrics");
+    out.push_str(&metrics.render_table());
+    out
+}
+
+/// Flags of the `inspect` subcommand.
+struct InspectArgs {
+    trace: PathBuf,
+    strict: bool,
+    prometheus: Option<PathBuf>,
+}
+
+fn parse_inspect_args(args: &[String]) -> Result<InspectArgs, String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut prometheus: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--strict" => strict = true,
+            "--prometheus" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "missing value for --prometheus".to_string())?;
+                prometheus = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                return Err("usage: hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]"
+                    .to_string())
+            }
+            other if trace.is_none() && !other.starts_with('-') => {
+                trace = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown inspect flag {other:?}")),
+        }
+    }
+    let trace = trace.ok_or_else(|| {
+        "usage: hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]".to_string()
+    })?;
+    Ok(InspectArgs {
+        trace,
+        strict,
+        prometheus,
+    })
+}
+
+/// Entry point of `hc-eval inspect`, called from `main` with the
+/// arguments after the subcommand word. Prints the report to stdout
+/// and returns the exit code per the module contract.
+pub fn run_cli(args: &[String]) -> ExitCode {
+    let parsed = match parse_inspect_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&parsed.trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", parsed.trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = parsed.trace.display().to_string();
+    let inspection = inspect_str(&name, &text);
+    println!("{}", inspection.report);
+    if let Some(path) = &parsed.prometheus {
+        if let Err(e) = std::fs::write(path, inspection.metrics.to_prometheus()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("prometheus metrics written to {}", path.display());
+    }
+    if inspection.passes(parsed.strict) {
+        ExitCode::SUCCESS
+    } else {
+        let errors = inspection.audit.error_count();
+        let warnings = inspection.audit.warning_count();
+        eprintln!("inspect: failing ({errors} error(s), {warnings} warning(s))");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::telemetry::{StopReason, TelemetryEvent};
+
+    fn clean_trace() -> String {
+        let events = vec![
+            TelemetryEvent::RunStarted {
+                tasks: 1,
+                facts: 3,
+                panel: 1,
+                budget: 4,
+                k: 1,
+                entropy: 2.0,
+                quality: -2.0,
+            },
+            TelemetryEvent::RoundSelected {
+                round: 1,
+                k_requested: 1,
+                k_effective: 1,
+                queries: vec![(0, 1)],
+                entropy_before: 2.0,
+                predicted_entropy: 1.5,
+            },
+            TelemetryEvent::QuerySelected {
+                round: 1,
+                step: 0,
+                task: 0,
+                fact: 1,
+                gain: 0.5,
+                query_id: 1,
+            },
+            TelemetryEvent::QueryDispatched {
+                round: 1,
+                task: 0,
+                fact: 1,
+                worker: 0,
+                query_id: 1,
+            },
+            TelemetryEvent::AnswerDelivered {
+                round: 1,
+                task: 0,
+                fact: 1,
+                worker: 0,
+                query_id: 1,
+                answer: true,
+            },
+            TelemetryEvent::BeliefUpdated {
+                round: 1,
+                entropy: 1.4,
+                quality: -1.4,
+                budget_spent: 1,
+                answers_requested: 1,
+                answers_received: 1,
+            },
+            TelemetryEvent::RunFinished {
+                rounds: 1,
+                budget_spent: 1,
+                entropy: 1.4,
+                quality: -1.4,
+                reason: StopReason::MaxRounds,
+            },
+        ];
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn clean_trace_passes_and_reports_every_section() {
+        let inspection = inspect_str("unit", &clean_trace());
+        assert!(inspection.passes(true), "{}", inspection.audit.render());
+        assert!(inspection.report.contains("run inspector — unit"));
+        assert!(inspection.report.contains("## run shape"));
+        assert!(inspection.report.contains("## rounds"));
+        assert!(inspection.report.contains("## selection explain"));
+        assert!(inspection.report.contains("audit: clean"));
+        assert!(inspection.report.contains("## metrics"));
+        assert!(inspection.report.contains("gain 5.000e-1"));
+    }
+
+    #[test]
+    fn truncated_trace_fails_but_still_renders() {
+        let full = clean_trace();
+        let truncated: String = full
+            .lines()
+            .take(2)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let inspection = inspect_str("unit", &truncated);
+        assert!(!inspection.passes(false));
+        assert!(inspection.audit.error_count() > 0);
+        assert!(inspection.report.contains("## rounds"));
+        assert!(inspection.report.contains("(no RunFinished event"));
+    }
+
+    #[test]
+    fn bad_lines_are_reported_not_fatal() {
+        let mut text = clean_trace();
+        text.push_str("not json\n");
+        let inspection = inspect_str("unit", &text);
+        assert_eq!(inspection.replay.skipped.len(), 1);
+        assert!(inspection.report.contains("skipped line 8"));
+        // Parse damage does not invent contract violations here: the
+        // garbage line is after RunFinished.
+        assert!(inspection.passes(true), "{}", inspection.audit.render());
+    }
+
+    #[test]
+    fn inspect_arg_parsing() {
+        let ok = parse_inspect_args(&[
+            "trace.jsonl".to_string(),
+            "--strict".to_string(),
+            "--prometheus".to_string(),
+            "out.prom".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(ok.trace, PathBuf::from("trace.jsonl"));
+        assert!(ok.strict);
+        assert_eq!(ok.prometheus, Some(PathBuf::from("out.prom")));
+        assert!(parse_inspect_args(&[]).is_err());
+        assert!(parse_inspect_args(&["--bogus".to_string()]).is_err());
+    }
+}

@@ -9,11 +9,13 @@
 
 pub mod curve;
 pub mod experiments;
+pub mod inspect;
 pub mod report;
 pub mod settings;
 pub mod telemetry;
 
 pub use curve::{run_hc_curve, Curve, CurvePoint};
+pub use inspect::{inspect_str, Inspection};
 pub use experiments::ExperimentOutput;
 pub use report::{curves_table, write_json, Metric};
 pub use settings::{ExpSettings, Scale};

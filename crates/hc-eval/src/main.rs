@@ -3,11 +3,13 @@
 //! ```text
 //! hc-eval [--experiment fig2|…|table3|ext-cost|…|all|ext]
 //!         [--scale quick|paper] [--seed N] [--out DIR] [--charts]
+//! hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]
 //! ```
 //!
 //! Prints the paper-style tables to stdout (plus ASCII charts with
 //! `--charts`) and writes raw curves as JSON under `--out` (default
-//! `results/`).
+//! `results/`). The `inspect` subcommand replays and audits a
+//! recorded telemetry trace; see [`hc_eval::inspect`].
 
 use hc_eval::{
     run_experiment, write_json, ExpSettings, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
@@ -68,6 +70,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // Subcommand dispatch happens before flag parsing: `inspect` has
+    // its own argument grammar.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("inspect") {
+        return hc_eval::inspect::run_cli(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

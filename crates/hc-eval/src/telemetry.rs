@@ -47,12 +47,14 @@ mod tests {
                 task: 0,
                 fact: 2,
                 worker: 7,
+                query_id: 1,
             },
             TelemetryEvent::AnswerDelivered {
                 round: 1,
                 task: 0,
                 fact: 2,
                 worker: 7,
+                query_id: 1,
                 answer: true,
             },
             TelemetryEvent::RunFinished {

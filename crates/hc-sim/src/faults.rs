@@ -155,6 +155,10 @@ pub struct FaultyOracle<O> {
     /// Optional telemetry sink; every injected failure is emitted as a
     /// `FaultInjected` event with its [`FaultKind`].
     sink: Option<Box<dyn TelemetrySink>>,
+    /// Causal id of the dispatch currently being answered (from
+    /// [`AnswerOracle::begin_dispatch`]); stamped onto `FaultInjected`
+    /// events. Zero before the first dispatch.
+    current_query_id: u64,
 }
 
 impl<O> FaultyOracle<O> {
@@ -170,6 +174,7 @@ impl<O> FaultyOracle<O> {
             churned: Vec::new(),
             stats: FaultStats::default(),
             sink: None,
+            current_query_id: 0,
         }
     }
 
@@ -190,6 +195,7 @@ impl<O> FaultyOracle<O> {
                     fact: fact.fact.0,
                     worker: worker.id.0,
                     kind,
+                    query_id: self.current_query_id,
                 });
             }
         }
@@ -217,6 +223,11 @@ impl<O> FaultyOracle<O> {
 }
 
 impl<O: AnswerOracle> AnswerOracle for FaultyOracle<O> {
+    fn begin_dispatch(&mut self, query_id: u64) {
+        self.current_query_id = query_id;
+        self.inner.begin_dispatch(query_id);
+    }
+
     fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         let attempt = self.attempt;
         self.attempt += 1;
@@ -448,21 +459,24 @@ mod tests {
         let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan)
             .with_telemetry(Box::new(recorder.clone()));
         let w = worker(2, 0.9);
-        for _ in 0..5 {
+        for i in 0..5 {
+            faulty.begin_dispatch(i + 1);
             faulty.answer(&w, GlobalFact::new(0, 0));
         }
         let events = recorder.snapshot();
         assert_eq!(events.len(), 5);
-        for event in &events {
+        for (i, event) in events.iter().enumerate() {
             match event {
                 TelemetryEvent::FaultInjected {
                     task,
                     fact,
                     worker,
                     kind,
+                    query_id,
                 } => {
                     assert_eq!((*task, *fact, *worker), (0, 0, 2));
                     assert_eq!(*kind, FaultKind::Dropout);
+                    assert_eq!(*query_id, i as u64 + 1, "fault carries the dispatch id");
                 }
                 other => panic!("unexpected event {other:?}"),
             }

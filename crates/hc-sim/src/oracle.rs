@@ -132,6 +132,10 @@ impl<O> CountingOracle<O> {
 }
 
 impl<O: AnswerOracle> AnswerOracle for CountingOracle<O> {
+    fn begin_dispatch(&mut self, query_id: u64) {
+        self.inner.begin_dispatch(query_id);
+    }
+
     fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         self.attempts += 1;
         let outcome = self.inner.answer(worker, fact);

@@ -98,6 +98,10 @@ pub struct SimulatedPlatform<O, C = UnitCost> {
     /// Optional telemetry sink; retries scheduled by the platform are
     /// emitted here as `RetryScheduled` events.
     sink: Option<Box<dyn TelemetrySink>>,
+    /// Causal id of the dispatch currently being answered, announced by
+    /// the HC loop via [`AnswerOracle::begin_dispatch`]; stamped onto
+    /// the platform's own events. Zero before the first dispatch.
+    current_query_id: u64,
 }
 
 impl<O: AnswerOracle> SimulatedPlatform<O, UnitCost> {
@@ -121,6 +125,7 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
             stats: PlatformStats::default(),
             worker_secs: Vec::new(),
             sink: None,
+            current_query_id: 0,
         }
     }
 
@@ -199,6 +204,11 @@ impl<O: AnswerOracle, C: CostModel> SimulatedPlatform<O, C> {
 }
 
 impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
+    fn begin_dispatch(&mut self, query_id: u64) {
+        self.current_query_id = query_id;
+        self.inner.begin_dispatch(query_id);
+    }
+
     fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
         let max_attempts = self.retry.max_attempts.max(1);
         let mut target = *worker;
@@ -219,6 +229,7 @@ impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
                             worker: target.id.0,
                             attempt,
                             backoff_secs: backoff,
+                            query_id: self.current_query_id,
                         });
                     }
                 }
@@ -327,6 +338,7 @@ mod tests {
             .with_retry_policy(RetryPolicy::standard())
             .with_telemetry(Box::new(recorder.clone()));
         let w = worker(3, 0.9);
+        platform.begin_dispatch(42);
         platform.answer(&w, GlobalFact::new(0, 1));
         let events = recorder.snapshot();
         let retries: Vec<_> = events
@@ -342,12 +354,14 @@ mod tests {
                 worker,
                 attempt,
                 backoff_secs,
+                query_id,
             } => {
                 assert_eq!(*task, 0);
                 assert_eq!(*fact, 1);
                 assert_eq!(*worker, 3);
                 assert_eq!(*attempt, 1);
                 assert!(*backoff_secs > 0.0);
+                assert_eq!(*query_id, 42, "retry carries the causal dispatch id");
             }
             _ => unreachable!(),
         }

@@ -1,0 +1,866 @@
+//! Audit: invariant checks and anomaly detection over an event stream.
+//!
+//! [`audit`] walks a recorded stream and verifies the documented
+//! event-stream grammar (see [`crate::event`]): the run is framed by
+//! `RunStarted`/`RunFinished`, rounds are consecutive, every dispatch
+//! is closed exactly once by a delivery/timeout/drop event with the
+//! same `(round, task, fact, worker, query_id)` key *before* the next
+//! dispatch opens, entropy/quality fields are finite, and spend moves
+//! only when answers arrive. Violations are [`Severity::Error`]
+//! findings.
+//!
+//! On top of the hard contract it flags operational anomalies as
+//! [`Severity::Warning`]s: entropy stalls (rounds that deliver answers
+//! but move the belief by nothing), retry storms, starved workers, and
+//! runs whose crowd barely delivers. A clean reliable-crowd run yields
+//! zero findings of either severity.
+
+use crate::event::TelemetryEvent;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// An operational anomaly worth a look; the log is still valid.
+    Warning,
+    /// A violation of the event-stream contract.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Error (contract violation) or warning (anomaly).
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `unclosed_dispatch`.
+    pub code: &'static str,
+    /// The round the finding points at, when attributable to one.
+    pub round: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.severity, self.code)?;
+        if let Some(round) = self.round {
+            write!(f, " (round {round})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Thresholds for the anomaly (warning) checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Consecutive answer-delivering rounds with an entropy move below
+    /// [`Self::stall_epsilon`] before an `entropy_stall` fires.
+    pub stall_rounds: usize,
+    /// Absolute entropy move (nats) under which a round counts as
+    /// stalled.
+    pub stall_epsilon: f64,
+    /// `retry_storm` fires when retries exceed this multiple of
+    /// dispatches (and at least [`Self::retry_storm_min`] retries).
+    pub retry_storm_ratio: f64,
+    /// Minimum retries before a `retry_storm` can fire.
+    pub retry_storm_min: usize,
+    /// A worker with at least this many dispatches and zero deliveries
+    /// is `starved_worker` (when other workers did deliver).
+    pub starvation_min_dispatches: usize,
+    /// `delivery_deficit` fires when the overall delivered/dispatched
+    /// ratio drops below this (with at least
+    /// [`Self::starvation_min_dispatches`] dispatches).
+    pub min_delivery_ratio: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            stall_rounds: 3,
+            stall_epsilon: 1e-9,
+            retry_storm_ratio: 1.0,
+            retry_storm_min: 8,
+            starvation_min_dispatches: 4,
+            min_delivery_ratio: 0.75,
+        }
+    }
+}
+
+/// The outcome of auditing one stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// All findings, in stream order (errors and warnings interleaved).
+    pub findings: Vec<Finding>,
+    /// Events examined.
+    pub events: usize,
+}
+
+impl AuditReport {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of [`Severity::Error`] findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of [`Severity::Warning`] findings.
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+
+    /// Renders the report as console text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.is_clean() {
+            let _ = writeln!(out, "audit: clean ({} events checked)", self.events);
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} error(s), {} warning(s) over {} events",
+            self.error_count(),
+            self.warning_count(),
+            self.events
+        );
+        for finding in &self.findings {
+            let _ = writeln!(out, "  {finding}");
+        }
+        out
+    }
+}
+
+/// Per-worker tallies for the starvation check.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerTally {
+    dispatched: usize,
+    delivered: usize,
+}
+
+/// Audits `events` with the default thresholds.
+pub fn audit(events: &[TelemetryEvent]) -> AuditReport {
+    audit_with(events, &AuditConfig::default())
+}
+
+/// Audits `events` with explicit anomaly thresholds.
+pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditReport {
+    let mut findings: Vec<Finding> = Vec::new();
+    let err = |code: &'static str, round: Option<usize>, message: String| Finding {
+        severity: Severity::Error,
+        code,
+        round,
+        message,
+    };
+
+    // ── Stream frame ───────────────────────────────────────────────
+    if events.is_empty() {
+        return AuditReport {
+            findings: vec![err("empty_log", None, "the stream has no events".into())],
+            events: 0,
+        };
+    }
+    if !matches!(events.first(), Some(TelemetryEvent::RunStarted { .. })) {
+        findings.push(err(
+            "missing_run_started",
+            None,
+            "stream does not begin with run_started".into(),
+        ));
+    }
+    if !matches!(events.last(), Some(TelemetryEvent::RunFinished { .. })) {
+        findings.push(err(
+            "truncated_log",
+            None,
+            "stream does not end with run_finished".into(),
+        ));
+    }
+
+    // ── Walk ───────────────────────────────────────────────────────
+    let mut open: Option<(usize, usize, u32, u32, u64)> = None;
+    let mut current_round: Option<usize> = None;
+    let mut budget: Option<u64> = None;
+    let mut last_spent: u64 = 0;
+    let mut last_entropy: Option<f64> = None;
+    let mut stall_streak = 0usize;
+    let mut stall_reported = false;
+    let mut rounds_selected = 0usize;
+    let mut rounds_updated = 0usize;
+    let mut total_dispatched = 0usize;
+    let mut total_delivered = 0usize;
+    let mut total_retries = 0usize;
+    let mut workers: BTreeMap<u32, WorkerTally> = BTreeMap::new();
+    // Dispatch/closure tallies for the current round, reset per round.
+    let mut round_delivered = 0usize;
+
+    let check_finite = |findings: &mut Vec<Finding>,
+                            what: &'static str,
+                            value: f64,
+                            round: Option<usize>| {
+        if !value.is_finite() {
+            findings.push(Finding {
+                severity: Severity::Error,
+                code: "nonfinite_value",
+                round,
+                message: format!("{what} is {value}"),
+            });
+        }
+    };
+
+    for event in events {
+        match event {
+            TelemetryEvent::RunStarted {
+                budget: b,
+                entropy,
+                quality,
+                ..
+            } => {
+                budget = Some(*b);
+                check_finite(&mut findings, "run_started.entropy", *entropy, None);
+                check_finite(&mut findings, "run_started.quality", *quality, None);
+            }
+            TelemetryEvent::RoundSelected {
+                round,
+                entropy_before,
+                predicted_entropy,
+                ..
+            } => {
+                rounds_selected += 1;
+                let expected = current_round.unwrap_or(0) + 1;
+                if *round != expected {
+                    findings.push(err(
+                        "round_order",
+                        Some(*round),
+                        format!("round_selected {round} after round {}", expected - 1),
+                    ));
+                }
+                current_round = Some(*round);
+                round_delivered = 0;
+                check_finite(
+                    &mut findings,
+                    "round_selected.entropy_before",
+                    *entropy_before,
+                    Some(*round),
+                );
+                check_finite(
+                    &mut findings,
+                    "round_selected.predicted_entropy",
+                    *predicted_entropy,
+                    Some(*round),
+                );
+            }
+            TelemetryEvent::CandidateScored { round, gain, .. } => {
+                if !gain.is_finite() {
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        code: "nonfinite_gain",
+                        round: Some(*round),
+                        message: format!("candidate_scored gain is {gain}"),
+                    });
+                }
+            }
+            TelemetryEvent::QuerySelected { .. } => {
+                // NaN gains are legitimate here: selectors without
+                // per-step gain accounting report NaN by contract.
+            }
+            TelemetryEvent::QueryDispatched {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            } => {
+                if let Some(open_key) = open {
+                    findings.push(err(
+                        "unclosed_dispatch",
+                        Some(open_key.0),
+                        format!(
+                            "dispatch (task {}, fact {}, worker {}, query {}) still open when the next one starts",
+                            open_key.1, open_key.2, open_key.3, open_key.4
+                        ),
+                    ));
+                }
+                if Some(*round) != current_round {
+                    findings.push(err(
+                        "round_mismatch",
+                        Some(*round),
+                        format!(
+                            "dispatch tagged round {round} inside round {:?}",
+                            current_round
+                        ),
+                    ));
+                }
+                open = Some((*round, *task, *fact, *worker, *query_id));
+                total_dispatched += 1;
+                workers.entry(*worker).or_default().dispatched += 1;
+            }
+            TelemetryEvent::AnswerDelivered {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+                ..
+            }
+            | TelemetryEvent::AnswerTimedOut {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            }
+            | TelemetryEvent::AnswerDropped {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            } => {
+                let key = (*round, *task, *fact, *worker, *query_id);
+                match open.take() {
+                    Some(open_key) if open_key == key => {}
+                    Some(open_key) => {
+                        findings.push(err(
+                            "closure_mismatch",
+                            Some(*round),
+                            format!(
+                                "{} closes (task {}, fact {}, worker {}, query {}) but (task {}, fact {}, worker {}, query {}) is open",
+                                event.kind(), key.1, key.2, key.3, key.4,
+                                open_key.1, open_key.2, open_key.3, open_key.4
+                            ),
+                        ));
+                    }
+                    None => {
+                        findings.push(err(
+                            "orphan_outcome",
+                            Some(*round),
+                            format!(
+                                "{} for (task {}, fact {}, worker {}, query {}) without an open dispatch",
+                                event.kind(), key.1, key.2, key.3, key.4
+                            ),
+                        ));
+                    }
+                }
+                if matches!(event, TelemetryEvent::AnswerDelivered { .. }) {
+                    total_delivered += 1;
+                    round_delivered += 1;
+                    workers.entry(*worker).or_default().delivered += 1;
+                }
+            }
+            TelemetryEvent::RetryScheduled { .. } => {
+                total_retries += 1;
+            }
+            TelemetryEvent::FaultInjected { .. } => {}
+            TelemetryEvent::BeliefUpdated {
+                round,
+                entropy,
+                quality,
+                budget_spent,
+                answers_requested,
+                answers_received,
+            } => {
+                rounds_updated += 1;
+                if Some(*round) != current_round {
+                    findings.push(err(
+                        "round_mismatch",
+                        Some(*round),
+                        format!(
+                            "belief_updated tagged round {round} inside round {:?}",
+                            current_round
+                        ),
+                    ));
+                }
+                check_finite(&mut findings, "belief_updated.entropy", *entropy, Some(*round));
+                check_finite(&mut findings, "belief_updated.quality", *quality, Some(*round));
+                if answers_received > answers_requested {
+                    findings.push(err(
+                        "over_delivery",
+                        Some(*round),
+                        format!("{answers_received} answers received of {answers_requested} requested"),
+                    ));
+                }
+                if *answers_received != round_delivered {
+                    findings.push(err(
+                        "delivery_count_mismatch",
+                        Some(*round),
+                        format!(
+                            "update accounts {answers_received} answers but the round streamed {round_delivered} deliveries"
+                        ),
+                    ));
+                }
+                // Spend: monotone, capped by the budget, and moving
+                // only when answers arrived (delivery-only charging).
+                if *budget_spent < last_spent {
+                    findings.push(err(
+                        "spend_decreased",
+                        Some(*round),
+                        format!("cumulative spend fell from {last_spent} to {budget_spent}"),
+                    ));
+                }
+                let delta = budget_spent.saturating_sub(last_spent);
+                if delta > 0 && *answers_received == 0 {
+                    findings.push(err(
+                        "spend_without_answers",
+                        Some(*round),
+                        format!("spend grew by {delta} in a round with zero delivered answers"),
+                    ));
+                }
+                if let Some(b) = budget {
+                    if *budget_spent > b {
+                        findings.push(err(
+                            "budget_exceeded",
+                            Some(*round),
+                            format!("spent {budget_spent} of a {b} budget"),
+                        ));
+                    }
+                }
+                last_spent = *budget_spent;
+                // Entropy stall: rounds that deliver answers but leave
+                // the belief unmoved, in a row.
+                if *answers_received > 0 {
+                    let moved = match last_entropy {
+                        Some(prev) => (entropy - prev).abs() > config.stall_epsilon,
+                        None => true,
+                    };
+                    if moved {
+                        stall_streak = 0;
+                    } else {
+                        stall_streak += 1;
+                        if stall_streak >= config.stall_rounds && !stall_reported {
+                            stall_reported = true;
+                            findings.push(Finding {
+                                severity: Severity::Warning,
+                                code: "entropy_stall",
+                                round: Some(*round),
+                                message: format!(
+                                    "{stall_streak} consecutive delivering rounds moved entropy by < {:e} nats",
+                                    config.stall_epsilon
+                                ),
+                            });
+                        }
+                    }
+                }
+                last_entropy = Some(*entropy);
+            }
+            TelemetryEvent::RunFinished {
+                rounds,
+                budget_spent,
+                entropy,
+                quality,
+                ..
+            } => {
+                check_finite(&mut findings, "run_finished.entropy", *entropy, None);
+                check_finite(&mut findings, "run_finished.quality", *quality, None);
+                if *rounds != rounds_updated {
+                    findings.push(err(
+                        "final_round_count_mismatch",
+                        None,
+                        format!("run_finished says {rounds} rounds, the stream updated {rounds_updated}"),
+                    ));
+                }
+                if *budget_spent != last_spent {
+                    findings.push(err(
+                        "final_spend_mismatch",
+                        None,
+                        format!(
+                            "run_finished says {budget_spent} spent, the last update said {last_spent}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(open_key) = open {
+        findings.push(err(
+            "unclosed_dispatch",
+            Some(open_key.0),
+            format!(
+                "stream ended with dispatch (task {}, fact {}, worker {}, query {}) open",
+                open_key.1, open_key.2, open_key.3, open_key.4
+            ),
+        ));
+    }
+    if rounds_selected != rounds_updated {
+        findings.push(err(
+            "round_without_update",
+            None,
+            format!("{rounds_selected} rounds selected but {rounds_updated} updated"),
+        ));
+    }
+
+    // ── Anomalies over stream totals ───────────────────────────────
+    if total_retries >= config.retry_storm_min
+        && total_dispatched > 0
+        && total_retries as f64 > config.retry_storm_ratio * total_dispatched as f64
+    {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            code: "retry_storm",
+            round: None,
+            message: format!(
+                "{total_retries} retries against {total_dispatched} dispatches (> {:.1}x)",
+                config.retry_storm_ratio
+            ),
+        });
+    }
+    if total_delivered > 0 {
+        for (worker, tally) in &workers {
+            if tally.dispatched >= config.starvation_min_dispatches && tally.delivered == 0 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    code: "starved_worker",
+                    round: None,
+                    message: format!(
+                        "worker {worker} was dispatched {} queries and delivered none while the crowd delivered {total_delivered}",
+                        tally.dispatched
+                    ),
+                });
+            }
+        }
+    }
+    if total_dispatched >= config.starvation_min_dispatches {
+        let ratio = total_delivered as f64 / total_dispatched as f64;
+        if ratio < config.min_delivery_ratio {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                code: "delivery_deficit",
+                round: None,
+                message: format!(
+                    "only {total_delivered} of {total_dispatched} dispatches delivered ({:.0}% < {:.0}%)",
+                    ratio * 100.0,
+                    config.min_delivery_ratio * 100.0
+                ),
+            });
+        }
+    }
+
+    AuditReport {
+        findings,
+        events: events.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{StopReason, TelemetryEvent as E};
+
+    /// A minimal clean run: one round, two dispatches, both delivered.
+    fn clean_run() -> Vec<E> {
+        vec![
+            E::RunStarted {
+                tasks: 1,
+                facts: 2,
+                panel: 1,
+                budget: 10,
+                k: 2,
+                entropy: 1.4,
+                quality: -1.4,
+            },
+            E::RoundSelected {
+                round: 1,
+                k_requested: 2,
+                k_effective: 2,
+                queries: vec![(0, 0), (0, 1)],
+                entropy_before: 1.4,
+                predicted_entropy: 0.9,
+            },
+            E::QueryDispatched { round: 1, task: 0, fact: 0, worker: 0, query_id: 1 },
+            E::AnswerDelivered { round: 1, task: 0, fact: 0, worker: 0, query_id: 1, answer: true },
+            E::QueryDispatched { round: 1, task: 0, fact: 1, worker: 0, query_id: 2 },
+            E::AnswerDelivered { round: 1, task: 0, fact: 1, worker: 0, query_id: 2, answer: false },
+            E::BeliefUpdated {
+                round: 1,
+                entropy: 0.8,
+                quality: -0.8,
+                budget_spent: 2,
+                answers_requested: 2,
+                answers_received: 2,
+            },
+            E::RunFinished {
+                rounds: 1,
+                budget_spent: 2,
+                entropy: 0.8,
+                quality: -0.8,
+                reason: StopReason::BudgetExhausted,
+            },
+        ]
+    }
+
+    #[test]
+    fn clean_run_has_zero_findings() {
+        let report = audit(&clean_run());
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.render().contains("clean"));
+    }
+
+    #[test]
+    fn empty_log_is_flagged() {
+        let report = audit(&[]);
+        assert_eq!(report.findings[0].code, "empty_log");
+    }
+
+    #[test]
+    fn truncated_log_is_flagged() {
+        let mut events = clean_run();
+        events.pop();
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "truncated_log"));
+    }
+
+    #[test]
+    fn interleaved_dispatch_is_flagged() {
+        let mut events = clean_run();
+        // Swap a closure ahead of its dispatch: (d1, d2, a1, a2).
+        events.swap(3, 4);
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "unclosed_dispatch"),
+            "{}",
+            report.render()
+        );
+        assert!(report.error_count() > 0);
+    }
+
+    #[test]
+    fn mismatched_query_id_is_flagged() {
+        let mut events = clean_run();
+        events[3] = E::AnswerDelivered {
+            round: 1,
+            task: 0,
+            fact: 0,
+            worker: 0,
+            query_id: 99,
+            answer: true,
+        };
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "closure_mismatch"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn orphan_outcome_is_flagged() {
+        let mut events = clean_run();
+        events.remove(2); // delivery without its dispatch
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "orphan_outcome"));
+    }
+
+    #[test]
+    fn non_monotone_rounds_are_flagged() {
+        let mut events = clean_run();
+        if let E::RoundSelected { round, .. } = &mut events[1] {
+            *round = 5;
+        }
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "round_order"));
+    }
+
+    #[test]
+    fn nonfinite_entropy_is_flagged() {
+        let mut events = clean_run();
+        if let E::BeliefUpdated { entropy, .. } = &mut events[6] {
+            *entropy = f64::NAN;
+        }
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "nonfinite_value"));
+    }
+
+    #[test]
+    fn spend_without_answers_is_flagged() {
+        let mut events = clean_run();
+        if let E::BeliefUpdated {
+            answers_received, ..
+        } = &mut events[6]
+        {
+            *answers_received = 0;
+        }
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "spend_without_answers"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn budget_overrun_and_final_mismatch_are_flagged() {
+        let mut events = clean_run();
+        if let E::BeliefUpdated { budget_spent, .. } = &mut events[6] {
+            *budget_spent = 50; // budget is 10
+        }
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "budget_exceeded"));
+        assert!(report.findings.iter().any(|f| f.code == "final_spend_mismatch"));
+    }
+
+    #[test]
+    fn entropy_stall_is_a_warning() {
+        let mut events = vec![events_start()];
+        for round in 1..=4 {
+            events.extend(delivering_round(round, 1.0)); // entropy never moves
+        }
+        events.push(E::RunFinished {
+            rounds: 4,
+            budget_spent: 4,
+            entropy: 1.0,
+            quality: -1.0,
+            reason: StopReason::MaxRounds,
+        });
+        let report = audit(&events);
+        let stall = report
+            .findings
+            .iter()
+            .find(|f| f.code == "entropy_stall")
+            .expect("stall flagged");
+        assert_eq!(stall.severity, Severity::Warning);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn starved_worker_and_deficit_are_warnings() {
+        let mut events = vec![events_start()];
+        // Worker 0 delivers, worker 1 never does, across one round of
+        // eight dispatches.
+        events.push(E::RoundSelected {
+            round: 1,
+            k_requested: 4,
+            k_effective: 4,
+            queries: vec![(0, 0), (0, 1)],
+            entropy_before: 2.0,
+            predicted_entropy: 1.5,
+        });
+        let mut qid = 0u64;
+        for fact in 0..4u32 {
+            for worker in 0..2u32 {
+                qid += 1;
+                events.push(E::QueryDispatched { round: 1, task: 0, fact, worker, query_id: qid });
+                if worker == 0 {
+                    events.push(E::AnswerDelivered { round: 1, task: 0, fact, worker, query_id: qid, answer: true });
+                } else {
+                    events.push(E::AnswerDropped { round: 1, task: 0, fact, worker, query_id: qid });
+                }
+            }
+        }
+        events.push(E::BeliefUpdated {
+            round: 1,
+            entropy: 1.4,
+            quality: -1.4,
+            budget_spent: 4,
+            answers_requested: 8,
+            answers_received: 4,
+        });
+        events.push(E::RunFinished {
+            rounds: 1,
+            budget_spent: 4,
+            entropy: 1.4,
+            quality: -1.4,
+            reason: StopReason::BudgetExhausted,
+        });
+        let report = audit(&events);
+        assert!(report.findings.iter().any(|f| f.code == "starved_worker"));
+        assert!(report.findings.iter().any(|f| f.code == "delivery_deficit"));
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn retry_storm_is_a_warning() {
+        let mut events = vec![events_start()];
+        events.push(E::RoundSelected {
+            round: 1,
+            k_requested: 1,
+            k_effective: 1,
+            queries: vec![(0, 0)],
+            entropy_before: 2.0,
+            predicted_entropy: 1.5,
+        });
+        events.push(E::QueryDispatched { round: 1, task: 0, fact: 0, worker: 0, query_id: 1 });
+        for attempt in 1..=10u32 {
+            events.push(E::RetryScheduled {
+                task: 0,
+                fact: 0,
+                worker: 0,
+                attempt,
+                backoff_secs: 30.0,
+                query_id: 1,
+            });
+        }
+        events.push(E::AnswerDelivered { round: 1, task: 0, fact: 0, worker: 0, query_id: 1, answer: true });
+        events.push(E::BeliefUpdated {
+            round: 1,
+            entropy: 1.5,
+            quality: -1.5,
+            budget_spent: 1,
+            answers_requested: 1,
+            answers_received: 1,
+        });
+        events.push(E::RunFinished {
+            rounds: 1,
+            budget_spent: 1,
+            entropy: 1.5,
+            quality: -1.5,
+            reason: StopReason::BudgetExhausted,
+        });
+        let report = audit(&events);
+        let storm = report
+            .findings
+            .iter()
+            .find(|f| f.code == "retry_storm")
+            .expect("storm flagged");
+        assert_eq!(storm.severity, Severity::Warning);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    fn events_start() -> E {
+        E::RunStarted {
+            tasks: 1,
+            facts: 4,
+            panel: 2,
+            budget: 100,
+            k: 4,
+            entropy: 2.0,
+            quality: -2.0,
+        }
+    }
+
+    /// One round that delivers an answer but realises `entropy`.
+    fn delivering_round(round: usize, entropy: f64) -> Vec<E> {
+        vec![
+            E::RoundSelected {
+                round,
+                k_requested: 1,
+                k_effective: 1,
+                queries: vec![(0, 0)],
+                entropy_before: entropy,
+                predicted_entropy: entropy,
+            },
+            E::QueryDispatched { round, task: 0, fact: 0, worker: 0, query_id: round as u64 },
+            E::AnswerDelivered { round, task: 0, fact: 0, worker: 0, query_id: round as u64, answer: true },
+            E::BeliefUpdated {
+                round,
+                entropy,
+                quality: -entropy,
+                budget_spent: round as u64,
+                answers_requested: 1,
+                answers_received: 1,
+            },
+        ]
+    }
+}

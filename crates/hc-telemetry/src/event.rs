@@ -5,6 +5,8 @@
 //! ```text
 //! RunStarted
 //!   ┌ RoundSelected                  (one per round)
+//!   │   ├ CandidateScored*           (explain mode: gains the argmax saw)
+//!   │   └ QuerySelected*             (explain mode: one per chosen query)
 //!   │   QueryDispatched              (one per query × panel worker)
 //!   │   ├ RetryScheduled / FaultInjected   (platform / fault layer)
 //!   │   └ AnswerDelivered | AnswerTimedOut | AnswerDropped
@@ -12,9 +14,19 @@
 //! RunFinished
 //! ```
 //!
-//! The invariant tests lean on: every [`TelemetryEvent::QueryDispatched`]
-//! is closed by *exactly one* of `AnswerDelivered` / `AnswerTimedOut` /
-//! `AnswerDropped` with the same `(round, task, fact, worker)` key.
+//! The contract the [`crate::audit`] module enforces: every
+//! [`TelemetryEvent::QueryDispatched`] is closed by *exactly one* of
+//! `AnswerDelivered` / `AnswerTimedOut` / `AnswerDropped` with the same
+//! `(round, task, fact, worker, query_id)` key, before the next
+//! dispatch opens (the loop is serial).
+//!
+//! `query_id` is the causal thread: the loop assigns one id per
+//! selected query per round (ids count up from 1 across the run), all
+//! panel dispatches for that query carry it, and the platform / fault
+//! layers stamp their `RetryScheduled` / `FaultInjected` events with
+//! the id of the dispatch they interrupted — so a retry storm or an
+//! injected fault is attributable to the selection step that caused it.
+//! Logs recorded before this field existed decode with `query_id == 0`.
 //!
 //! Events carry plain ids (task index, fact index, worker id) rather
 //! than `hc-core` types so this crate stays dependency-free and every
@@ -129,6 +141,40 @@ pub enum TelemetryEvent {
         /// the entropy it *predicts* will remain after the update.
         predicted_entropy: f64,
     },
+    /// Explain mode: the greedy argmax evaluated this candidate's
+    /// marginal conditional-entropy gain (Equation (35)) at one step.
+    ///
+    /// Emitted only when selection-explain is enabled; one event per
+    /// gain the selector actually computed (the task-dirty / CELF
+    /// schedules skip provably unchanged gains, so skipped candidates
+    /// keep their score from an earlier step).
+    CandidateScored {
+        /// Round the scoring belongs to.
+        round: usize,
+        /// Greedy step (= queries already chosen when scored).
+        step: usize,
+        /// Task index of the candidate.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// The marginal gain the argmax saw for this candidate.
+        gain: f64,
+    },
+    /// Explain mode: the selector committed to this query at one step.
+    QuerySelected {
+        /// Round the selection belongs to.
+        round: usize,
+        /// Greedy step the pick happened at (0-based).
+        step: usize,
+        /// Task index of the chosen query.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// The winning gain (NaN for selectors without per-step gains).
+        gain: f64,
+        /// Causal id threaded through this query's dispatches.
+        query_id: u64,
+    },
     /// One answer attempt was handed to a worker.
     QueryDispatched {
         /// Round the dispatch belongs to.
@@ -139,6 +185,9 @@ pub enum TelemetryEvent {
         fact: u32,
         /// Worker id the query was assigned to.
         worker: u32,
+        /// Causal id of the selected query this dispatch serves
+        /// (0 in logs recorded before the field existed).
+        query_id: u64,
     },
     /// A dispatched attempt came back with an answer.
     AnswerDelivered {
@@ -151,6 +200,8 @@ pub enum TelemetryEvent {
         /// Worker id that was asked (the dispatch key; under
         /// reassignment the *answering* worker may differ).
         worker: u32,
+        /// Causal id of the dispatch being closed.
+        query_id: u64,
         /// The boolean answer.
         answer: bool,
     },
@@ -164,6 +215,8 @@ pub enum TelemetryEvent {
         fact: u32,
         /// Worker id that was asked.
         worker: u32,
+        /// Causal id of the dispatch being closed.
+        query_id: u64,
     },
     /// A dispatched attempt was dropped (after any platform retries).
     AnswerDropped {
@@ -175,6 +228,8 @@ pub enum TelemetryEvent {
         fact: u32,
         /// Worker id that was asked.
         worker: u32,
+        /// Causal id of the dispatch being closed.
+        query_id: u64,
     },
     /// The platform scheduled a retry for a failed attempt.
     RetryScheduled {
@@ -188,6 +243,9 @@ pub enum TelemetryEvent {
         attempt: u32,
         /// Backoff charged before this retry, in simulated seconds.
         backoff_secs: f64,
+        /// Causal id of the dispatch being retried (0 when the
+        /// platform is used outside a dispatching loop).
+        query_id: u64,
     },
     /// The fault layer converted an attempt into a failure.
     FaultInjected {
@@ -199,6 +257,9 @@ pub enum TelemetryEvent {
         worker: u32,
         /// Which fault fired.
         kind: FaultKind,
+        /// Causal id of the dispatch the fault interrupted (0 when the
+        /// fault layer is used outside a dispatching loop).
+        query_id: u64,
     },
     /// The round's Bayes update was applied.
     BeliefUpdated {
@@ -237,6 +298,8 @@ impl TelemetryEvent {
         match self {
             TelemetryEvent::RunStarted { .. } => "run_started",
             TelemetryEvent::RoundSelected { .. } => "round_selected",
+            TelemetryEvent::CandidateScored { .. } => "candidate_scored",
+            TelemetryEvent::QuerySelected { .. } => "query_selected",
             TelemetryEvent::QueryDispatched { .. } => "query_dispatched",
             TelemetryEvent::AnswerDelivered { .. } => "answer_delivered",
             TelemetryEvent::AnswerTimedOut { .. } => "answer_timed_out",
@@ -252,6 +315,8 @@ impl TelemetryEvent {
     pub fn round(&self) -> Option<usize> {
         match self {
             TelemetryEvent::RoundSelected { round, .. }
+            | TelemetryEvent::CandidateScored { round, .. }
+            | TelemetryEvent::QuerySelected { round, .. }
             | TelemetryEvent::QueryDispatched { round, .. }
             | TelemetryEvent::AnswerDelivered { round, .. }
             | TelemetryEvent::AnswerTimedOut { round, .. }
@@ -306,27 +371,58 @@ impl TelemetryEvent {
                 push_f64(&mut s, "entropy_before", *entropy_before);
                 push_f64(&mut s, "predicted_entropy", *predicted_entropy);
             }
+            TelemetryEvent::CandidateScored {
+                round,
+                step,
+                task,
+                fact,
+                gain,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"step\":{step},\"task\":{task},\"fact\":{fact}"
+                );
+                push_f64(&mut s, "gain", *gain);
+            }
+            TelemetryEvent::QuerySelected {
+                round,
+                step,
+                task,
+                fact,
+                gain,
+                query_id,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"step\":{step},\"task\":{task},\"fact\":{fact}"
+                );
+                push_f64(&mut s, "gain", *gain);
+                let _ = write!(s, ",\"query_id\":{query_id}");
+            }
             TelemetryEvent::QueryDispatched {
                 round,
                 task,
                 fact,
                 worker,
+                query_id,
             }
             | TelemetryEvent::AnswerTimedOut {
                 round,
                 task,
                 fact,
                 worker,
+                query_id,
             }
             | TelemetryEvent::AnswerDropped {
                 round,
                 task,
                 fact,
                 worker,
+                query_id,
             } => {
                 let _ = write!(
                     s,
-                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker}"
+                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"query_id\":{query_id}"
                 );
             }
             TelemetryEvent::AnswerDelivered {
@@ -334,11 +430,12 @@ impl TelemetryEvent {
                 task,
                 fact,
                 worker,
+                query_id,
                 answer,
             } => {
                 let _ = write!(
                     s,
-                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"answer\":{answer}"
+                    ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"query_id\":{query_id},\"answer\":{answer}"
                 );
             }
             TelemetryEvent::RetryScheduled {
@@ -347,22 +444,25 @@ impl TelemetryEvent {
                 worker,
                 attempt,
                 backoff_secs,
+                query_id,
             } => {
                 let _ = write!(
                     s,
                     ",\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"attempt\":{attempt}"
                 );
                 push_f64(&mut s, "backoff_secs", *backoff_secs);
+                let _ = write!(s, ",\"query_id\":{query_id}");
             }
             TelemetryEvent::FaultInjected {
                 task,
                 fact,
                 worker,
                 kind,
+                query_id,
             } => {
                 let _ = write!(
                     s,
-                    ",\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"kind\":\"{}\"",
+                    ",\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"kind\":\"{}\",\"query_id\":{query_id}",
                     kind.name()
                 );
             }
@@ -411,6 +511,12 @@ impl TelemetryEvent {
         let us = |name: &str| v.get(name).and_then(Json::as_usize).ok_or_else(|| bad(name));
         let u64f = |name: &str| v.get(name).and_then(Json::as_u64).ok_or_else(|| bad(name));
         let u32f = |name: &str| v.get(name).and_then(Json::as_u32).ok_or_else(|| bad(name));
+        // Back-compat: logs recorded before causal ids existed have no
+        // `query_id` field; a present-but-malformed one is an error.
+        let qid = || match v.get("query_id") {
+            None => Ok(0u64),
+            Some(x) => x.as_u64().ok_or_else(|| bad("query_id")),
+        };
         match kind {
             "run_started" => Ok(TelemetryEvent::RunStarted {
                 tasks: us("tasks")?,
@@ -445,17 +551,34 @@ impl TelemetryEvent {
                     predicted_entropy: f("predicted_entropy")?,
                 })
             }
+            "candidate_scored" => Ok(TelemetryEvent::CandidateScored {
+                round: us("round")?,
+                step: us("step")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                gain: f("gain")?,
+            }),
+            "query_selected" => Ok(TelemetryEvent::QuerySelected {
+                round: us("round")?,
+                step: us("step")?,
+                task: us("task")?,
+                fact: u32f("fact")?,
+                gain: f("gain")?,
+                query_id: qid()?,
+            }),
             "query_dispatched" => Ok(TelemetryEvent::QueryDispatched {
                 round: us("round")?,
                 task: us("task")?,
                 fact: u32f("fact")?,
                 worker: u32f("worker")?,
+                query_id: qid()?,
             }),
             "answer_delivered" => Ok(TelemetryEvent::AnswerDelivered {
                 round: us("round")?,
                 task: us("task")?,
                 fact: u32f("fact")?,
                 worker: u32f("worker")?,
+                query_id: qid()?,
                 answer: v.get("answer").and_then(Json::as_bool).ok_or_else(|| bad("answer"))?,
             }),
             "answer_timed_out" => Ok(TelemetryEvent::AnswerTimedOut {
@@ -463,12 +586,14 @@ impl TelemetryEvent {
                 task: us("task")?,
                 fact: u32f("fact")?,
                 worker: u32f("worker")?,
+                query_id: qid()?,
             }),
             "answer_dropped" => Ok(TelemetryEvent::AnswerDropped {
                 round: us("round")?,
                 task: us("task")?,
                 fact: u32f("fact")?,
                 worker: u32f("worker")?,
+                query_id: qid()?,
             }),
             "retry_scheduled" => Ok(TelemetryEvent::RetryScheduled {
                 task: us("task")?,
@@ -476,6 +601,7 @@ impl TelemetryEvent {
                 worker: u32f("worker")?,
                 attempt: u32f("attempt")?,
                 backoff_secs: f("backoff_secs")?,
+                query_id: qid()?,
             }),
             "fault_injected" => Ok(TelemetryEvent::FaultInjected {
                 task: us("task")?,
@@ -486,6 +612,7 @@ impl TelemetryEvent {
                     .and_then(Json::as_str)
                     .and_then(FaultKind::from_name)
                     .ok_or_else(|| bad("kind"))?,
+                query_id: qid()?,
             }),
             "belief_updated" => Ok(TelemetryEvent::BeliefUpdated {
                 round: us("round")?,
@@ -544,11 +671,27 @@ pub(crate) mod tests {
                 entropy_before: 3.25,
                 predicted_entropy: 2.5,
             },
+            TelemetryEvent::CandidateScored {
+                round: 1,
+                step: 0,
+                task: 0,
+                fact: 2,
+                gain: 0.75,
+            },
+            TelemetryEvent::QuerySelected {
+                round: 1,
+                step: 0,
+                task: 0,
+                fact: 2,
+                gain: 0.75,
+                query_id: 1,
+            },
             TelemetryEvent::QueryDispatched {
                 round: 1,
                 task: 0,
                 fact: 2,
                 worker: 0,
+                query_id: 1,
             },
             TelemetryEvent::RetryScheduled {
                 task: 0,
@@ -556,18 +699,21 @@ pub(crate) mod tests {
                 worker: 1,
                 attempt: 1,
                 backoff_secs: 30.0,
+                query_id: 1,
             },
             TelemetryEvent::FaultInjected {
                 task: 0,
                 fact: 2,
                 worker: 0,
                 kind: FaultKind::Timeout,
+                query_id: 1,
             },
             TelemetryEvent::AnswerDelivered {
                 round: 1,
                 task: 0,
                 fact: 2,
                 worker: 0,
+                query_id: 1,
                 answer: true,
             },
             TelemetryEvent::AnswerTimedOut {
@@ -575,12 +721,14 @@ pub(crate) mod tests {
                 task: 1,
                 fact: 0,
                 worker: 1,
+                query_id: 2,
             },
             TelemetryEvent::AnswerDropped {
                 round: 1,
                 task: 1,
                 fact: 0,
                 worker: 0,
+                query_id: 2,
             },
             TelemetryEvent::BeliefUpdated {
                 round: 1,
@@ -618,6 +766,8 @@ pub(crate) mod tests {
             vec![
                 "run_started",
                 "round_selected",
+                "candidate_scored",
+                "query_selected",
                 "query_dispatched",
                 "retry_scheduled",
                 "fault_injected",
@@ -652,5 +802,40 @@ pub(crate) mod tests {
     #[test]
     fn missing_fields_are_errors() {
         assert!(TelemetryEvent::from_json_line(r#"{"type":"query_dispatched","round":1}"#).is_err());
+    }
+
+    #[test]
+    fn pre_query_id_logs_decode_with_id_zero() {
+        // A PR-2-era line without the field.
+        let line = r#"{"type":"query_dispatched","round":1,"task":0,"fact":2,"worker":0}"#;
+        match TelemetryEvent::from_json_line(line).expect("old logs still parse") {
+            TelemetryEvent::QueryDispatched { query_id, .. } => assert_eq!(query_id, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A present-but-malformed query_id is an error, not a default.
+        let bad = r#"{"type":"query_dispatched","round":1,"task":0,"fact":2,"worker":0,"query_id":-3}"#;
+        assert!(TelemetryEvent::from_json_line(bad).is_err());
+    }
+
+    #[test]
+    fn nan_gain_round_trips_through_json() {
+        // Non-greedy selectors report NaN gains in explain mode; the
+        // encoding (null) must survive a round trip.
+        let event = TelemetryEvent::QuerySelected {
+            round: 2,
+            step: 1,
+            task: 0,
+            fact: 1,
+            gain: f64::NAN,
+            query_id: 9,
+        };
+        let line = event.to_json_line();
+        match TelemetryEvent::from_json_line(&line).expect("parses") {
+            TelemetryEvent::QuerySelected { gain, query_id, .. } => {
+                assert!(gain.is_nan());
+                assert_eq!(query_id, 9);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

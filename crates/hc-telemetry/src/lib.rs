@@ -19,7 +19,16 @@
 //!   fans multiple layers into one ordered log.
 //! - [`MetricsRegistry`] — string-keyed counters, gauges, and
 //!   fixed-bucket [`Histogram`]s; [`MetricsRegistry::from_events`]
-//!   derives the standard HC metric set from an event log.
+//!   derives the standard HC metric set from an event log, and
+//!   [`MetricsRegistry::to_prometheus`] exposes it in Prometheus text
+//!   format.
+//! - [`replay`] — folds a recorded stream (or raw JSONL) back into
+//!   per-round run state: entropy/spend trajectories, per-round query
+//!   accounting, still-open dispatches.
+//! - [`audit`] — invariant checks and anomaly detection over a stream:
+//!   dispatch-closure violations, round-order breaks, non-finite
+//!   values, spend inconsistencies as errors; entropy stalls, retry
+//!   storms, starved workers as warnings.
 //! - [`timing`] — thread-local monotonic spans around the hot paths
 //!   (selection, conditional entropy, Bayes updates), surfaced as
 //!   per-phase latency histograms for benchmarking.
@@ -36,6 +45,7 @@
 //!         task: 0,
 //!         fact: 3,
 //!         worker: 2,
+//!         query_id: 1,
 //!     });
 //! }
 //! let metrics = MetricsRegistry::from_events(sink.events());
@@ -44,13 +54,18 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
+pub mod replay;
 pub mod sink;
 pub mod timing;
 
+pub use audit::{audit, audit_with, AuditConfig, AuditReport, Finding, Severity};
 pub use event::{FaultKind, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use replay::{ReplayedRun, RoundState, RunEnd, RunShape, SkippedLine};
 pub use sink::{FileSink, NullSink, RecordingSink, SharedRecorder, TelemetrySink};
 pub use timing::{Phase, TimingSnapshot};

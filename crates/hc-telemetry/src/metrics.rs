@@ -103,6 +103,51 @@ impl Histogram {
         }
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) of the
+    /// finite samples by linear interpolation inside the bucket the
+    /// quantile falls in, Prometheus-style. NaN when no finite sample
+    /// was observed.
+    ///
+    /// Fixed buckets make this an estimate, with two exactness aids:
+    /// the result is clamped to the observed `[min, max]`, and a
+    /// quantile landing in the overflow bucket returns the last bound —
+    /// a *lower* bound on the true value, since the overflow bucket has
+    /// no upper edge to interpolate toward.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let finite: u64 = self.counts.iter().sum();
+        if finite == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * finite as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let cumulative = below + c;
+            if cumulative as f64 >= target {
+                if i == self.bounds.len() {
+                    // Overflow bucket: report the last bound as a
+                    // lower-bound estimate (clamped below to min for
+                    // the pathological no-bounds histogram).
+                    return self
+                        .bounds
+                        .last()
+                        .copied()
+                        .unwrap_or(self.min)
+                        .clamp(self.min, self.max);
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * frac).clamp(self.min, self.max);
+            }
+            below = cumulative;
+        }
+        self.max
+    }
+
     /// Upper bucket bounds.
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
@@ -186,7 +231,9 @@ impl MetricsRegistry {
     /// Gauges: `budget_spent`, `final_entropy`, `final_quality`,
     /// `dry_streak_max`. Histograms: `round.entropy`,
     /// `round.answers_received`, `round.regret` (predicted − realised
-    /// entropy per round, the selector's per-round regret).
+    /// entropy per round, the selector's per-round regret). Explain-mode
+    /// runs add `candidates_scored` / `queries_selected` counters and
+    /// `selection.scored_gain` / `selection.gain` histograms.
     pub fn from_events(events: &[TelemetryEvent]) -> Self {
         let mut m = Self::new();
         let mut dry_streak = 0u64;
@@ -200,6 +247,14 @@ impl MetricsRegistry {
                 } => {
                     m.incr("rounds", 1);
                     predicted = Some(*predicted_entropy);
+                }
+                TelemetryEvent::CandidateScored { gain, .. } => {
+                    m.incr("candidates_scored", 1);
+                    m.observe("selection.scored_gain", *gain);
+                }
+                TelemetryEvent::QuerySelected { gain, .. } => {
+                    m.incr("queries_selected", 1);
+                    m.observe("selection.gain", *gain);
                 }
                 TelemetryEvent::QueryDispatched { .. } => {
                     m.incr("queries_dispatched", 1);
@@ -285,11 +340,14 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4}",
+                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4} p50={:.4} p95={:.4} p99={:.4}",
                 h.count(),
                 h.mean(),
                 h.min(),
-                h.max()
+                h.max(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
             );
         }
         out
@@ -371,6 +429,48 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 30.0]);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+            h.observe(v);
+        }
+        // All ten samples sit in the first bucket [min=1, 10]: the
+        // median interpolates to the bucket's midpoint region.
+        let p50 = h.quantile(0.5);
+        assert!((4.0..=7.0).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile(1.0), 10.0);
+        assert_eq!(h.quantile(0.0), 1.0, "clamped to the observed min");
+        // Spread across buckets: p95 lands in the right bucket.
+        let mut spread = Histogram::new(vec![10.0, 20.0, 30.0]);
+        for v in [5.0, 12.0, 15.0, 18.0, 22.0, 25.0, 28.0, 29.0, 29.5, 30.0] {
+            spread.observe(v);
+        }
+        let p95 = spread.quantile(0.95);
+        assert!((20.0..=30.0).contains(&p95), "p95 {p95}");
+        assert!(spread.quantile(0.5) <= p95, "quantiles are monotone");
+    }
+
+    #[test]
+    fn overflow_quantile_is_reported_as_the_last_bound() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        // p99 falls in the overflow bucket: the estimate is the last
+        // bound (a lower bound on the true 200.0), never beyond max.
+        assert_eq!(h.quantile(0.99), 10.0);
+        assert!(h.quantile(0.99) <= h.max());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_nan() {
+        let mut h = Histogram::new(Histogram::default_bounds());
+        assert!(h.quantile(0.5).is_nan());
+        h.observe(f64::NAN); // still no *finite* sample
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
     fn empty_histogram_stats_are_nan() {
         let h = Histogram::new(Histogram::default_bounds());
         assert!(h.mean().is_nan());
@@ -406,6 +506,9 @@ mod tests {
         assert_eq!(m.counter("worker.0.delivered"), 1);
         assert_eq!(m.counter("worker.1.timed_out"), 1);
         assert_eq!(m.counter("worker.0.dropped"), 1);
+        assert_eq!(m.counter("candidates_scored"), 1);
+        assert_eq!(m.counter("queries_selected"), 1);
+        assert_eq!(m.histogram("selection.gain").unwrap().count(), 1);
         assert_eq!(m.counter("dry_rounds"), 0);
         assert_eq!(m.gauge("budget_spent"), Some(2.0));
         assert_eq!(m.gauge("final_entropy"), Some(2.75));

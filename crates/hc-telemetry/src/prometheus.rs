@@ -1,0 +1,228 @@
+//! Prometheus text-format exposition for [`MetricsRegistry`].
+//!
+//! [`render`] serialises a registry into the Prometheus text exposition
+//! format (version 0.0.4): every metric gets a `# TYPE` header, names
+//! are prefixed `hc_` and sanitised to the Prometheus charset, counters
+//! get the `_total` suffix, and histograms are expanded into cumulative
+//! `_bucket{le="..."}` series plus `_sum`/`_count`.
+//!
+//! Two registry naming conventions are folded into labels instead of
+//! flat names so dashboards can aggregate across them:
+//!
+//! * `fault.<kind>` counters become `hc_faults_total{kind="<kind>"}`;
+//! * `worker.<id>.<outcome>` counters become
+//!   `hc_worker_outcomes_total{worker="<id>",outcome="<outcome>"}`.
+//!
+//! Output is deterministic: the registry stores metrics in `BTreeMap`s,
+//! and this module preserves that ordering.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Renders the registry in Prometheus text exposition format.
+///
+/// Non-finite values are written with the Prometheus literals `NaN`,
+/// `+Inf`, and `-Inf`. Histogram samples that were non-finite (and so
+/// never landed in a bounded bucket) appear only in the `+Inf` bucket
+/// and `_count`; `_sum` covers finite samples.
+pub fn render(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut faults: Vec<(String, u64)> = Vec::new();
+    let mut workers: Vec<(String, String, u64)> = Vec::new();
+
+    for (name, value) in metrics.counters() {
+        if let Some(kind) = name.strip_prefix("fault.") {
+            faults.push((kind.to_string(), value));
+            continue;
+        }
+        if let Some((worker, outcome)) = split_worker_counter(name) {
+            workers.push((worker.to_string(), outcome.to_string(), value));
+            continue;
+        }
+        let metric = format!("hc_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    if !faults.is_empty() {
+        let _ = writeln!(out, "# TYPE hc_faults_total counter");
+        for (kind, value) in &faults {
+            let _ = writeln!(out, "hc_faults_total{{kind=\"{}\"}} {value}", escape_label(kind));
+        }
+    }
+    if !workers.is_empty() {
+        let _ = writeln!(out, "# TYPE hc_worker_outcomes_total counter");
+        for (worker, outcome, value) in &workers {
+            let _ = writeln!(
+                out,
+                "hc_worker_outcomes_total{{worker=\"{}\",outcome=\"{}\"}} {value}",
+                escape_label(worker),
+                escape_label(outcome)
+            );
+        }
+    }
+
+    for (name, value) in metrics.gauges() {
+        let metric = format!("hc_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = write!(out, "{metric} ");
+        write_value(&mut out, value);
+        out.push('\n');
+    }
+
+    for (name, histogram) in metrics.histograms() {
+        render_histogram(&mut out, name, histogram);
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Renders this registry in Prometheus text exposition format.
+    ///
+    /// Convenience wrapper around [`render`].
+    pub fn to_prometheus(&self) -> String {
+        render(self)
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, histogram: &Histogram) {
+    let metric = format!("hc_{}", sanitize(name));
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in histogram.bounds().iter().zip(histogram.bucket_counts()) {
+        cumulative += count;
+        let _ = write!(out, "{metric}_bucket{{le=\"");
+        write_value(out, *bound);
+        let _ = writeln!(out, "\"}} {cumulative}");
+    }
+    // The +Inf bucket covers everything observed, including non-finite
+    // samples that skipped the bounded buckets.
+    let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", histogram.count());
+    let _ = write!(out, "{metric}_sum ");
+    write_value(out, histogram.sum());
+    out.push('\n');
+    let _ = writeln!(out, "{metric}_count {}", histogram.count());
+}
+
+/// Splits a `worker.<id>.<outcome>` counter name, if it is one.
+fn split_worker_counter(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("worker.")?;
+    rest.split_once('.')
+}
+
+/// Maps a registry metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`); everything else becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    let mut s = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Writes a sample value using Prometheus float literals.
+fn write_value(out: &mut String, value: f64) {
+    if value.is_nan() {
+        out.push_str("NaN");
+    } else if value == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if value == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        crate::json::write_f64(out, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.incr("rounds", 3);
+        m.incr("fault.timeout", 2);
+        m.incr("fault.drop", 1);
+        m.incr("worker.0.delivered", 5);
+        m.incr("worker.1.timed_out", 1);
+        m.set_gauge("final_entropy", 0.5);
+        m.observe("round.entropy", 0.3);
+        m.observe("round.entropy", 7.0);
+        m
+    }
+
+    #[test]
+    fn counters_gain_the_total_suffix() {
+        let text = render(&sample_registry());
+        assert!(text.contains("# TYPE hc_rounds_total counter\nhc_rounds_total 3\n"));
+    }
+
+    #[test]
+    fn fault_and_worker_counters_become_labels() {
+        let text = render(&sample_registry());
+        assert!(text.contains("hc_faults_total{kind=\"timeout\"} 2"));
+        assert!(text.contains("hc_faults_total{kind=\"drop\"} 1"));
+        assert!(text.contains("hc_worker_outcomes_total{worker=\"0\",outcome=\"delivered\"} 5"));
+        assert!(text.contains("hc_worker_outcomes_total{worker=\"1\",outcome=\"timed_out\"} 1"));
+        // The flat names never leak through.
+        assert!(!text.contains("fault.timeout"));
+        assert!(!text.contains("hc_worker_0"));
+    }
+
+    #[test]
+    fn histograms_expand_to_cumulative_buckets() {
+        let text = render(&sample_registry());
+        assert!(text.contains("# TYPE hc_round_entropy histogram"));
+        // 0.3 <= 0.5 bound, 7.0 <= 10.0 bound (default bounds).
+        assert!(text.contains("hc_round_entropy_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("hc_round_entropy_bucket{le=\"10.0\"} 2"));
+        assert!(text.contains("hc_round_entropy_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("hc_round_entropy_count 2"));
+        assert!(text.contains("hc_round_entropy_sum 7.3"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("hc_round_entropy_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "buckets must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn nonfinite_values_use_prometheus_literals() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("broken", f64::NAN);
+        m.set_gauge("hot", f64::INFINITY);
+        m.set_gauge("cold", f64::NEG_INFINITY);
+        let text = render(&m);
+        assert!(text.contains("hc_broken NaN"));
+        assert!(text.contains("hc_hot +Inf"));
+        assert!(text.contains("hc_cold -Inf"));
+    }
+
+    #[test]
+    fn names_are_sanitized_and_output_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.incr("selection.scored_gain-v2", 1);
+        let text = render(&m);
+        assert!(text.contains("hc_selection_scored_gain_v2_total 1"));
+        assert_eq!(render(&sample_registry()), render(&sample_registry()));
+    }
+
+    #[test]
+    fn to_prometheus_matches_render() {
+        let m = sample_registry();
+        assert_eq!(m.to_prometheus(), render(&m));
+    }
+}

@@ -1,0 +1,498 @@
+//! Replay: fold a recorded event stream back into per-round run state.
+//!
+//! A JSONL trace is the run's source of truth — [`ReplayedRun`]
+//! reconstructs from it exactly what [`crate::event`]'s emitters saw:
+//! the entropy trajectory, cumulative spend, per-round delivery
+//! counts, selection-explain data, and which dispatches were left
+//! open. Because the JSON encoding round-trips `f64`s bit-exactly,
+//! the reconstructed entropies and spend equal the live run's
+//! `HcOutcome`/`RoundRecord` values *exactly*, not approximately.
+//!
+//! Parsing is tolerant by design: [`ReplayedRun::from_jsonl`] skips
+//! malformed lines and reports them in [`ReplayedRun::skipped`]
+//! instead of aborting, so one corrupt line does not make a long
+//! trace unreadable. Strict validation is the [`crate::audit`]
+//! module's job.
+
+use crate::event::{StopReason, TelemetryEvent};
+
+/// The run-level facts recorded by `RunStarted`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunShape {
+    /// Number of tasks in the belief state.
+    pub tasks: usize,
+    /// Total facts across all tasks.
+    pub facts: usize,
+    /// Size of the expert panel.
+    pub panel: usize,
+    /// Total checking budget.
+    pub budget: u64,
+    /// Configured base queries per round.
+    pub k: usize,
+    /// Total belief entropy before any checking.
+    pub entropy: f64,
+    /// Dataset quality before any checking.
+    pub quality: f64,
+}
+
+/// The run-level facts recorded by `RunFinished`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunEnd {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total budget spent.
+    pub budget_spent: u64,
+    /// Final total belief entropy.
+    pub entropy: f64,
+    /// Final dataset quality.
+    pub quality: f64,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+}
+
+/// One explain-mode selection: the query the selector committed to at
+/// one greedy step, with its winning gain and causal id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectedQuery {
+    /// Greedy step the pick happened at (0-based).
+    pub step: usize,
+    /// Task index.
+    pub task: usize,
+    /// Fact index within the task.
+    pub fact: u32,
+    /// The winning gain (NaN for selectors without per-step gains).
+    pub gain: f64,
+    /// Causal id threaded through this query's dispatches.
+    pub query_id: u64,
+}
+
+/// Reconstructed state of one round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundState {
+    /// Round number, starting at 1.
+    pub round: usize,
+    /// The selected `(task, fact)` pairs.
+    pub queries: Vec<(usize, u32)>,
+    /// Query count the schedule asked for.
+    pub k_requested: usize,
+    /// Query count actually selected.
+    pub k_effective: usize,
+    /// Total belief entropy before the round.
+    pub entropy_before: f64,
+    /// The selector's predicted post-round entropy.
+    pub predicted_entropy: f64,
+    /// Entropy realised by the update (`None` until `BeliefUpdated`).
+    pub realized_entropy: Option<f64>,
+    /// Dataset quality after the update.
+    pub quality: Option<f64>,
+    /// Cumulative budget spent after the round.
+    pub budget_spent: Option<u64>,
+    /// Answer attempts the update accounted as requested.
+    pub answers_requested: usize,
+    /// Answers the update accounted as received.
+    pub answers_received: usize,
+    /// `QueryDispatched` events observed in the round.
+    pub dispatched: usize,
+    /// `AnswerDelivered` events observed in the round.
+    pub delivered: usize,
+    /// `AnswerTimedOut` events observed in the round.
+    pub timed_out: usize,
+    /// `AnswerDropped` events observed in the round.
+    pub dropped: usize,
+    /// `RetryScheduled` events attributed to the round.
+    pub retries: usize,
+    /// `FaultInjected` events attributed to the round.
+    pub faults: usize,
+    /// Explain mode: gains the argmax evaluated this round.
+    pub candidates_scored: usize,
+    /// Explain mode: the per-step picks with their winning gains.
+    pub selected: Vec<SelectedQuery>,
+}
+
+impl RoundState {
+    /// Per-round selection regret `realized − predicted` entropy;
+    /// `None` until the round's update was seen.
+    pub fn regret(&self) -> Option<f64> {
+        self.realized_entropy.map(|r| r - self.predicted_entropy)
+    }
+}
+
+/// A line [`ReplayedRun::from_jsonl`] could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// The parse error, rendered.
+    pub error: String,
+}
+
+/// A dispatch that was never closed, keyed like the audit contract:
+/// `(round, task, fact, worker, query_id)`.
+pub type OpenDispatch = (usize, usize, u32, u32, u64);
+
+/// A full run reconstructed from its event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayedRun {
+    /// `RunStarted` facts (`None` on a truncated log).
+    pub shape: Option<RunShape>,
+    /// Per-round reconstructed state, in round order.
+    pub rounds: Vec<RoundState>,
+    /// `RunFinished` facts (`None` on a truncated log).
+    pub end: Option<RunEnd>,
+    /// Dispatches never closed by a delivery/timeout/drop event.
+    pub open_dispatches: Vec<OpenDispatch>,
+    /// Events folded in.
+    pub events: usize,
+    /// Lines skipped as unparseable (only via [`Self::from_jsonl`]).
+    pub skipped: Vec<SkippedLine>,
+}
+
+impl ReplayedRun {
+    /// Folds an in-memory event stream.
+    pub fn from_events(events: &[TelemetryEvent]) -> Self {
+        let mut run = ReplayedRun::default();
+        for event in events {
+            run.fold(event);
+        }
+        run
+    }
+
+    /// Parses a JSONL trace, skipping (and reporting) bad lines.
+    pub fn from_jsonl(text: &str) -> Self {
+        let (events, skipped) = parse_jsonl(text);
+        let mut run = Self::from_events(&events);
+        run.skipped = skipped;
+        run
+    }
+
+    /// The run's final entropy: `RunFinished` when present, else the
+    /// last update's realised entropy, else the starting entropy.
+    pub fn final_entropy(&self) -> Option<f64> {
+        self.end
+            .map(|e| e.entropy)
+            .or_else(|| self.rounds.iter().rev().find_map(|r| r.realized_entropy))
+            .or_else(|| self.shape.map(|s| s.entropy))
+    }
+
+    /// Total budget spent: `RunFinished` when present, else the last
+    /// update's cumulative spend, else 0.
+    pub fn total_spent(&self) -> u64 {
+        self.end
+            .map(|e| e.budget_spent)
+            .or_else(|| self.rounds.iter().rev().find_map(|r| r.budget_spent))
+            .unwrap_or(0)
+    }
+
+    /// The realised entropy after each completed round, in order.
+    pub fn entropy_trajectory(&self) -> Vec<f64> {
+        self.rounds.iter().filter_map(|r| r.realized_entropy).collect()
+    }
+
+    /// Cumulative spend after each completed round, in order.
+    pub fn spend_trajectory(&self) -> Vec<u64> {
+        self.rounds.iter().filter_map(|r| r.budget_spent).collect()
+    }
+
+    fn current_round(&mut self) -> Option<&mut RoundState> {
+        self.rounds.last_mut()
+    }
+
+    fn close_dispatch(&mut self, key: OpenDispatch) {
+        if let Some(pos) = self.open_dispatches.iter().position(|&k| k == key) {
+            self.open_dispatches.remove(pos);
+        }
+    }
+
+    fn fold(&mut self, event: &TelemetryEvent) {
+        self.events += 1;
+        match event {
+            TelemetryEvent::RunStarted {
+                tasks,
+                facts,
+                panel,
+                budget,
+                k,
+                entropy,
+                quality,
+            } => {
+                self.shape = Some(RunShape {
+                    tasks: *tasks,
+                    facts: *facts,
+                    panel: *panel,
+                    budget: *budget,
+                    k: *k,
+                    entropy: *entropy,
+                    quality: *quality,
+                });
+            }
+            TelemetryEvent::RoundSelected {
+                round,
+                k_requested,
+                k_effective,
+                queries,
+                entropy_before,
+                predicted_entropy,
+            } => {
+                self.rounds.push(RoundState {
+                    round: *round,
+                    queries: queries.clone(),
+                    k_requested: *k_requested,
+                    k_effective: *k_effective,
+                    entropy_before: *entropy_before,
+                    predicted_entropy: *predicted_entropy,
+                    ..RoundState::default()
+                });
+            }
+            TelemetryEvent::CandidateScored { .. } => {
+                if let Some(r) = self.current_round() {
+                    r.candidates_scored += 1;
+                }
+            }
+            TelemetryEvent::QuerySelected {
+                step,
+                task,
+                fact,
+                gain,
+                query_id,
+                ..
+            } => {
+                if let Some(r) = self.current_round() {
+                    r.selected.push(SelectedQuery {
+                        step: *step,
+                        task: *task,
+                        fact: *fact,
+                        gain: *gain,
+                        query_id: *query_id,
+                    });
+                }
+            }
+            TelemetryEvent::QueryDispatched {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            } => {
+                self.open_dispatches
+                    .push((*round, *task, *fact, *worker, *query_id));
+                if let Some(r) = self.current_round() {
+                    r.dispatched += 1;
+                }
+            }
+            TelemetryEvent::AnswerDelivered {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+                ..
+            } => {
+                self.close_dispatch((*round, *task, *fact, *worker, *query_id));
+                if let Some(r) = self.current_round() {
+                    r.delivered += 1;
+                }
+            }
+            TelemetryEvent::AnswerTimedOut {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            } => {
+                self.close_dispatch((*round, *task, *fact, *worker, *query_id));
+                if let Some(r) = self.current_round() {
+                    r.timed_out += 1;
+                }
+            }
+            TelemetryEvent::AnswerDropped {
+                round,
+                task,
+                fact,
+                worker,
+                query_id,
+            } => {
+                self.close_dispatch((*round, *task, *fact, *worker, *query_id));
+                if let Some(r) = self.current_round() {
+                    r.dropped += 1;
+                }
+            }
+            TelemetryEvent::RetryScheduled { .. } => {
+                if let Some(r) = self.current_round() {
+                    r.retries += 1;
+                }
+            }
+            TelemetryEvent::FaultInjected { .. } => {
+                if let Some(r) = self.current_round() {
+                    r.faults += 1;
+                }
+            }
+            TelemetryEvent::BeliefUpdated {
+                round,
+                entropy,
+                quality,
+                budget_spent,
+                answers_requested,
+                answers_received,
+            } => {
+                // Attach to the matching open round; a stray update
+                // for an unknown round is ignored (the audit flags it).
+                if let Some(r) = self
+                    .rounds
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.round == *round)
+                {
+                    r.realized_entropy = Some(*entropy);
+                    r.quality = Some(*quality);
+                    r.budget_spent = Some(*budget_spent);
+                    r.answers_requested = *answers_requested;
+                    r.answers_received = *answers_received;
+                }
+            }
+            TelemetryEvent::RunFinished {
+                rounds,
+                budget_spent,
+                entropy,
+                quality,
+                reason,
+            } => {
+                self.end = Some(RunEnd {
+                    rounds: *rounds,
+                    budget_spent: *budget_spent,
+                    entropy: *entropy,
+                    quality: *quality,
+                    reason: *reason,
+                });
+            }
+        }
+    }
+}
+
+/// Parses a JSONL trace into events, collecting unparseable lines as
+/// [`SkippedLine`]s instead of failing. Blank lines are ignored.
+pub fn parse_jsonl(text: &str) -> (Vec<TelemetryEvent>, Vec<SkippedLine>) {
+    let mut events = Vec::new();
+    let mut skipped = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TelemetryEvent::from_json_line(line) {
+            Ok(event) => events.push(event),
+            Err(e) => skipped.push(SkippedLine {
+                line: idx + 1,
+                error: e.to_string(),
+            }),
+        }
+    }
+    (events, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::tests::sample_events;
+
+    #[test]
+    fn folds_the_sample_stream_into_one_round() {
+        let run = ReplayedRun::from_events(&sample_events());
+        let shape = run.shape.expect("RunStarted folded");
+        assert_eq!(shape.tasks, 2);
+        assert_eq!(shape.budget, 10);
+        assert_eq!(run.rounds.len(), 1);
+        let r = &run.rounds[0];
+        assert_eq!(r.round, 1);
+        assert_eq!(r.queries, vec![(0, 2), (1, 0)]);
+        assert_eq!(r.dispatched, 1);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.timed_out, 1);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.faults, 1);
+        assert_eq!(r.candidates_scored, 1);
+        assert_eq!(r.selected.len(), 1);
+        assert_eq!(r.selected[0].query_id, 1);
+        assert_eq!(r.realized_entropy, Some(2.75));
+        assert_eq!(r.budget_spent, Some(2));
+        assert_eq!(r.regret(), Some(2.75 - 2.5));
+        let end = run.end.expect("RunFinished folded");
+        assert_eq!(end.budget_spent, 2);
+        assert_eq!(run.final_entropy(), Some(2.75));
+        assert_eq!(run.total_spent(), 2);
+        assert_eq!(run.entropy_trajectory(), vec![2.75]);
+        assert_eq!(run.spend_trajectory(), vec![2]);
+        // The sample stream closes the dispatch it opens; the timeout
+        // and drop close nothing (their dispatches are not in the
+        // sample), which replay tolerates.
+        assert!(run.open_dispatches.is_empty());
+    }
+
+    #[test]
+    fn jsonl_replay_skips_and_reports_bad_lines() {
+        let mut text = String::new();
+        for event in sample_events() {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        let good = ReplayedRun::from_jsonl(&text);
+        assert!(good.skipped.is_empty());
+        assert_eq!(good.events, sample_events().len());
+
+        // Corrupt the middle: truncated JSON, unknown kind, garbage.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut corrupt = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == 2 {
+                corrupt.push_str(&line[..line.len() / 2]);
+                corrupt.push('\n');
+                corrupt.push_str("{\"type\":\"mystery_event\"}\n");
+                corrupt.push_str("ü!! not json at all\n");
+            } else {
+                corrupt.push_str(line);
+                corrupt.push('\n');
+            }
+        }
+        let run = ReplayedRun::from_jsonl(&corrupt);
+        assert_eq!(run.skipped.len(), 3, "{:?}", run.skipped);
+        assert_eq!(run.skipped[0].line, 3);
+        assert_eq!(run.events, sample_events().len() - 1);
+        // The surviving events still reconstruct the run frame.
+        assert!(run.shape.is_some());
+        assert!(run.end.is_some());
+    }
+
+    #[test]
+    fn truncated_log_falls_back_to_the_last_update() {
+        let mut events = sample_events();
+        events.pop(); // drop RunFinished
+        let run = ReplayedRun::from_events(&events);
+        assert!(run.end.is_none());
+        assert_eq!(run.final_entropy(), Some(2.75), "from BeliefUpdated");
+        assert_eq!(run.total_spent(), 2);
+        // Drop the update too: only the starting entropy remains.
+        events.pop();
+        let bare = ReplayedRun::from_events(&events);
+        assert_eq!(bare.final_entropy(), Some(3.25), "from RunStarted");
+        assert_eq!(bare.total_spent(), 0);
+    }
+
+    #[test]
+    fn unclosed_dispatches_are_reported_open() {
+        let events = vec![TelemetryEvent::QueryDispatched {
+            round: 1,
+            task: 0,
+            fact: 1,
+            worker: 2,
+            query_id: 7,
+        }];
+        let run = ReplayedRun::from_events(&events);
+        assert_eq!(run.open_dispatches, vec![(1, 0, 1, 2, 7)]);
+        assert_eq!(run.final_entropy(), None);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_run() {
+        let run = ReplayedRun::from_jsonl("");
+        assert_eq!(run, ReplayedRun::default());
+    }
+}

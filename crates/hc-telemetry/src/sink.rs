@@ -104,9 +104,16 @@ impl TelemetrySink for RecordingSink {
 }
 
 /// A JSONL file sink; one event per line, buffered, flushed on drop.
+///
+/// The [`TelemetrySink`] contract has no error channel, so write and
+/// flush failures cannot propagate at the call site; instead the sink
+/// remembers the *first* I/O error it hits and surfaces it through
+/// [`FileSink::last_error`] — callers that care about truncated logs
+/// check it after flushing.
 #[derive(Debug)]
 pub struct FileSink {
     writer: BufWriter<File>,
+    last_error: Option<std::io::Error>,
 }
 
 impl FileSink {
@@ -114,17 +121,34 @@ impl FileSink {
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
         Ok(Self {
             writer: BufWriter::new(File::create(path)?),
+            last_error: None,
         })
+    }
+
+    /// The first write/flush error encountered, if any. `None` means
+    /// every record and flush so far succeeded.
+    pub fn last_error(&self) -> Option<&std::io::Error> {
+        self.last_error.as_ref()
+    }
+
+    fn note(&mut self, result: std::io::Result<()>) {
+        if let Err(e) = result {
+            if self.last_error.is_none() {
+                self.last_error = Some(e);
+            }
+        }
     }
 }
 
 impl TelemetrySink for FileSink {
     fn record(&mut self, event: &TelemetryEvent) {
-        let _ = writeln!(self.writer, "{}", event.to_json_line());
+        let result = writeln!(self.writer, "{}", event.to_json_line());
+        self.note(result);
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        let result = self.writer.flush();
+        self.note(result);
     }
 }
 
@@ -203,6 +227,7 @@ mod tests {
             task: 0,
             fact: 0,
             worker: 0,
+            query_id: 1,
         };
         sink.record(&a);
         sink.record(&finish());
@@ -242,6 +267,37 @@ mod tests {
         let back = RecordingSink::from_jsonl(&text).expect("parse");
         assert_eq!(back.into_events(), crate::event::tests::sample_events());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_reports_no_error_on_a_healthy_file() {
+        let path = std::env::temp_dir().join(format!(
+            "hc_telemetry_sink_ok_{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = FileSink::create(&path).expect("create");
+        sink.record(&finish());
+        sink.flush();
+        assert!(sink.last_error().is_none());
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn file_sink_remembers_the_first_write_error() {
+        // /dev/full accepts the open but fails every write with ENOSPC,
+        // so the failure surfaces at the latest on flush.
+        let mut sink = FileSink::create("/dev/full").expect("open /dev/full");
+        for _ in 0..4096 {
+            sink.record(&finish());
+        }
+        sink.flush();
+        let err = sink.last_error().expect("writes to /dev/full must fail");
+        let first_kind = err.kind();
+        // Further flushes keep the *first* error.
+        sink.flush();
+        assert_eq!(sink.last_error().unwrap().kind(), first_kind);
     }
 
     #[test]

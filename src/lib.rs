@@ -19,6 +19,7 @@
 //! cargo run --release --example tiers_and_costs
 //! cargo run --release --example unreliable_crowd
 //! cargo run --release --example telemetry_tour
+//! cargo run --release --example run_inspector
 //! ```
 
 #![warn(missing_docs)]

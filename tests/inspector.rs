@@ -1,0 +1,344 @@
+//! Run-inspector contract tests: a recorded JSONL trace alone must
+//! reconstruct the live run exactly (entropy and spend trajectories
+//! bit-identical to the `HcOutcome`), the audit must stay silent on
+//! clean runs and flag injected dropout/retry-storm runs, and the
+//! parser/replay layer must survive arbitrarily malformed input
+//! without panicking.
+
+use hc::eval::inspect_str;
+use hc::prelude::*;
+use hc::telemetry::{audit, ReplayedRun};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 10;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn small_corpus(seed: u64) -> CrowdDataset {
+    let mut config = SynthConfig::paper_default();
+    config.n_tasks = 6;
+    generate(&config, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn prepared(dataset: &CrowdDataset) -> Prepared {
+    prepare(
+        dataset,
+        &PipelineConfig::paper_default(),
+        &InitMethod::CpVotes,
+    )
+    .unwrap()
+}
+
+/// Runs a clean (reliable-oracle) recorded run and returns the outcome
+/// plus its serialized trace.
+fn clean_run(seed: u64, budget: u64) -> (HcOutcome, String) {
+    let dataset = corpus(seed);
+    let p = prepared(&dataset);
+    let mut sink = RecordingSink::new();
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, budget),
+        &mut StdRng::seed_from_u64(seed + 1),
+        &mut sink,
+    )
+    .unwrap();
+    let text = sink.to_jsonl();
+    (outcome, text)
+}
+
+#[test]
+fn replay_reconstructs_the_outcome_exactly_from_jsonl_alone() {
+    let (outcome, text) = clean_run(70, 80);
+    let run = ReplayedRun::from_jsonl(&text);
+    assert!(run.skipped.is_empty());
+    assert!(run.shape.is_some());
+    assert!(run.open_dispatches.is_empty());
+    assert_eq!(run.rounds.len(), outcome.rounds.len());
+
+    // Bit-exact trajectories: the JSON layer round-trips f64s exactly,
+    // so equality here is `==`, not approximate.
+    let live_entropy: Vec<f64> = outcome.rounds.iter().map(|r| r.realized_entropy).collect();
+    assert_eq!(run.entropy_trajectory(), live_entropy);
+    let live_spend: Vec<u64> = outcome.rounds.iter().map(|r| r.budget_spent).collect();
+    assert_eq!(run.spend_trajectory(), live_spend);
+    assert_eq!(run.total_spent(), outcome.budget_spent);
+    assert_eq!(
+        run.final_entropy(),
+        outcome.rounds.last().map(|r| r.realized_entropy)
+    );
+
+    for (replayed, record) in run.rounds.iter().zip(&outcome.rounds) {
+        assert_eq!(replayed.round, record.round);
+        let live_queries: Vec<(usize, u32)> = record
+            .queries
+            .iter()
+            .map(|gf| (gf.task, gf.fact.0))
+            .collect();
+        assert_eq!(replayed.queries, live_queries);
+        assert_eq!(replayed.predicted_entropy, record.predicted_entropy);
+        assert_eq!(replayed.realized_entropy, Some(record.realized_entropy));
+        assert_eq!(replayed.answers_requested, record.answers_requested);
+        assert_eq!(replayed.answers_received, record.answers_received);
+        assert_eq!(replayed.dispatched, record.answers_requested);
+        assert_eq!(replayed.delivered, record.answers_received);
+    }
+    let end = run.end.expect("RunFinished replayed");
+    assert_eq!(end.rounds, outcome.rounds.len());
+    assert_eq!(end.budget_spent, outcome.budget_spent);
+}
+
+#[test]
+fn audit_is_silent_on_a_clean_run_and_inspect_passes_strict() {
+    let (outcome, text) = clean_run(72, 60);
+    let (events, skipped) = hc::telemetry::replay::parse_jsonl(&text);
+    assert!(skipped.is_empty());
+    let report = audit(&events);
+    assert!(report.is_clean(), "clean run must audit clean:\n{}", report.render());
+
+    let inspection = inspect_str("clean", &text);
+    assert!(inspection.passes(true));
+    assert_eq!(inspection.replay.total_spent(), outcome.budget_spent);
+    assert!(inspection.report.contains("audit: clean"));
+    assert!(inspection.report.contains("## rounds"));
+}
+
+#[test]
+fn audit_flags_a_dropout_heavy_run_as_warnings_only() {
+    let dataset = corpus(74);
+    let p = prepared(&dataset);
+    let recorder = SharedRecorder::new();
+    let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let mut oracle = FaultyOracle::new(replay, FaultPlan::uniform(0.9, 75))
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut loop_sink = recorder.clone();
+    run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &HcConfig::new(2, 40),
+        &mut StdRng::seed_from_u64(76),
+        &mut loop_sink,
+    )
+    .unwrap();
+    let events = recorder.snapshot();
+    let report = audit(&events);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "faults are anomalies, not contract violations:\n{}",
+        report.render()
+    );
+    assert!(
+        report.findings.iter().any(|f| f.code == "delivery_deficit"),
+        "90% dropout must flag a delivery deficit:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn audit_flags_a_retry_storm_as_warnings_only() {
+    let dataset = corpus(77);
+    let p = prepared(&dataset);
+    let recorder = SharedRecorder::new();
+    let replay = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let faulty = FaultyOracle::new(replay, FaultPlan::uniform(0.9, 78))
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut platform = SimulatedPlatform::new(faulty, 79)
+        .with_retry_policy(RetryPolicy::standard())
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut loop_sink = recorder.clone();
+    run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut platform,
+        &HcConfig::new(2, 40),
+        &mut StdRng::seed_from_u64(80),
+        &mut loop_sink,
+    )
+    .unwrap();
+    let events = recorder.snapshot();
+    let retries = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::RetryScheduled { .. }))
+        .count();
+    assert!(retries >= 8, "expected a storm, saw {retries} retries");
+    let report = audit(&events);
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+    assert!(
+        report.findings.iter().any(|f| f.code == "retry_storm"),
+        "retries ({retries}) over dispatches must flag a storm:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn explain_run_emits_consistent_selection_events() {
+    let dataset = corpus(82);
+    let p = prepared(&dataset);
+    let mut config = HcConfig::new(2, 60);
+    config.explain_selection = true;
+    let mut sink = RecordingSink::new();
+    let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+    let outcome = run_hc_with_telemetry(
+        p.beliefs.clone(),
+        &p.panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &config,
+        &mut StdRng::seed_from_u64(83),
+        &mut sink,
+    )
+    .unwrap();
+    let run = ReplayedRun::from_events(sink.events());
+    assert_eq!(run.rounds.len(), outcome.rounds.len());
+    let mut expected_next_id = 1u64;
+    for (replayed, record) in run.rounds.iter().zip(&outcome.rounds) {
+        // One explained pick per selected query, in selection order,
+        // with the greedy's positive winning gain and sequential
+        // loop-assigned causal ids.
+        assert_eq!(replayed.selected.len(), record.queries.len());
+        assert!(replayed.candidates_scored >= record.queries.len());
+        for (idx, (pick, gf)) in replayed.selected.iter().zip(&record.queries).enumerate() {
+            assert_eq!(pick.step, idx);
+            assert_eq!((pick.task, pick.fact), (gf.task, gf.fact.0));
+            assert!(pick.gain.is_finite() && pick.gain > 0.0, "gain {}", pick.gain);
+            assert_eq!(pick.query_id, expected_next_id);
+            expected_next_id += 1;
+        }
+    }
+    // Every dispatch carries the id of the pick that caused it.
+    let pick_ids: std::collections::BTreeSet<u64> = run
+        .rounds
+        .iter()
+        .flat_map(|r| r.selected.iter().map(|s| s.query_id))
+        .collect();
+    for event in sink.events() {
+        if let TelemetryEvent::QueryDispatched { query_id, .. } = event {
+            assert!(pick_ids.contains(query_id), "orphan dispatch id {query_id}");
+        }
+    }
+    // The explained run audits clean too.
+    assert!(audit(sink.events()).is_clean());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn replay_is_exact_under_arbitrary_fault_plans(
+        dropout in 0.0f64..=1.0,
+        timeout in 0.0f64..=0.5,
+        churn in 0.0f64..=0.2,
+        plan_seed in 0u64..1_000,
+    ) {
+        let dataset = small_corpus(84);
+        let p = prepared(&dataset);
+        let recorder = SharedRecorder::new();
+        let replay_oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        let plan = FaultPlan::uniform(dropout, plan_seed)
+            .with_timeouts(timeout)
+            .with_churn(churn);
+        let mut oracle = FaultyOracle::new(replay_oracle, plan)
+            .with_telemetry(Box::new(recorder.clone()));
+        let mut loop_sink = recorder.clone();
+        let outcome = run_hc_with_telemetry(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &HcConfig::new(2, 40),
+            &mut StdRng::seed_from_u64(85),
+            &mut loop_sink,
+        )
+        .unwrap();
+        let mut text = String::new();
+        for event in recorder.snapshot() {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        let run = ReplayedRun::from_jsonl(&text);
+        prop_assert!(run.skipped.is_empty());
+        let live_entropy: Vec<f64> =
+            outcome.rounds.iter().map(|r| r.realized_entropy).collect();
+        prop_assert_eq!(run.entropy_trajectory(), live_entropy);
+        let live_spend: Vec<u64> =
+            outcome.rounds.iter().map(|r| r.budget_spent).collect();
+        prop_assert_eq!(run.spend_trajectory(), live_spend);
+        prop_assert_eq!(run.total_spent(), outcome.budget_spent);
+        // Even heavily faulted runs satisfy the stream contract.
+        let (events, _) = hc::telemetry::replay::parse_jsonl(&text);
+        let report = audit(&events);
+        prop_assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn from_json_line_never_panics_on_garbage(line in "\\PC*") {
+        let line: String = line;
+        let _ = TelemetryEvent::from_json_line(&line);
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected_with_an_error(cut_seed in 0usize..10_000) {
+        let event = TelemetryEvent::QueryDispatched {
+            round: 3,
+            task: 1,
+            fact: 2,
+            worker: 4,
+            query_id: 9,
+        };
+        let line = event.to_json_line();
+        let cut_seed: usize = cut_seed;
+        let cut = 1 + cut_seed % (line.len() - 1);
+        prop_assert!(TelemetryEvent::from_json_line(&line[..cut]).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected_with_an_error(kind in "[a-z_]{0,24}") {
+        // No event kind starts with "zz_", so the prefix guarantees
+        // the unknown-kind path without filtering the input space.
+        let kind: String = kind;
+        let line = format!(r#"{{"type":"zz_{kind}","round":1}}"#);
+        prop_assert!(TelemetryEvent::from_json_line(&line).is_err());
+    }
+
+    #[test]
+    fn replay_skips_and_reports_garbage_without_losing_good_lines(
+        garbage in "[^\\r\\n]{0,40}",
+        position in 0usize..6,
+    ) {
+        let garbage: String = garbage;
+        let position: usize = position;
+        let (_, text) = clean_run(86, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        let at = position.min(lines.len());
+        let mut mixed = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == at {
+                mixed.push_str(&garbage);
+                mixed.push('\n');
+            }
+            mixed.push_str(line);
+            mixed.push('\n');
+        }
+        let clean = ReplayedRun::from_jsonl(&text);
+        let run = ReplayedRun::from_jsonl(&mixed);
+        // A non-blank unparseable line is reported; blank ones are
+        // ignored (and a line that happens to parse folds as an event).
+        let bad = usize::from(
+            !garbage.trim().is_empty() && TelemetryEvent::from_json_line(&garbage).is_err(),
+        );
+        prop_assert_eq!(run.skipped.len(), bad);
+        prop_assert!(run.events >= clean.events);
+        prop_assert_eq!(run.end, clean.end);
+    }
+}

@@ -36,7 +36,7 @@ fn prepared(dataset: &CrowdDataset) -> Prepared {
 /// exactly one delivery/timeout/drop event for the same query before
 /// the next dispatch opens. Returns (dispatched, closed).
 fn check_dispatch_closure_invariant(events: &[TelemetryEvent]) -> (usize, usize) {
-    let mut open: Option<(usize, usize, u32, u32)> = None;
+    let mut open: Option<(usize, usize, u32, u32, u64)> = None;
     let mut dispatched = 0usize;
     let mut closed = 0usize;
     for event in events {
@@ -46,9 +46,11 @@ fn check_dispatch_closure_invariant(events: &[TelemetryEvent]) -> (usize, usize)
                 task,
                 fact,
                 worker,
+                query_id,
             } => {
                 assert!(open.is_none(), "dispatch while a query is still open");
-                open = Some((*round, *task, *fact, *worker));
+                assert!(*query_id > 0, "loop-assigned query ids start at 1");
+                open = Some((*round, *task, *fact, *worker, *query_id));
                 dispatched += 1;
             }
             TelemetryEvent::AnswerDelivered {
@@ -56,6 +58,7 @@ fn check_dispatch_closure_invariant(events: &[TelemetryEvent]) -> (usize, usize)
                 task,
                 fact,
                 worker,
+                query_id,
                 ..
             }
             | TelemetryEvent::AnswerTimedOut {
@@ -63,16 +66,18 @@ fn check_dispatch_closure_invariant(events: &[TelemetryEvent]) -> (usize, usize)
                 task,
                 fact,
                 worker,
+                query_id,
             }
             | TelemetryEvent::AnswerDropped {
                 round,
                 task,
                 fact,
                 worker,
+                query_id,
             } => {
                 assert_eq!(
                     open.take(),
-                    Some((*round, *task, *fact, *worker)),
+                    Some((*round, *task, *fact, *worker, *query_id)),
                     "closure must match its dispatch"
                 );
                 closed += 1;
@@ -114,17 +119,37 @@ fn null_sink_run_is_bit_identical_to_the_plain_path() {
         )
         .unwrap()
     };
-    assert_eq!(plain.budget_spent, nulled.budget_spent);
-    assert_eq!(plain.rounds.len(), nulled.rounds.len());
-    assert_eq!(plain.labels(), nulled.labels());
-    for (a, b) in plain.beliefs.tasks().iter().zip(nulled.beliefs.tasks()) {
-        assert_eq!(a.probs(), b.probs(), "NullSink must not perturb the run");
-    }
-    for (ra, rb) in plain.rounds.iter().zip(&nulled.rounds) {
-        assert_eq!(ra.queries, rb.queries);
-        assert_eq!(ra.budget_spent, rb.budget_spent);
-        assert_eq!(ra.predicted_entropy, rb.predicted_entropy);
-        assert_eq!(ra.realized_entropy, rb.realized_entropy);
+    // With the sink disabled, asking for explain traces must be a no-op:
+    // the loop falls back to the exact same `select` call, so the run is
+    // still bit-identical to the plain path.
+    let explained = {
+        let mut explain_config = HcConfig::new(2, 80);
+        explain_config.explain_selection = true;
+        let mut oracle = ReplayOracle::new(&dataset, p.grouping).unwrap();
+        run_hc_with_telemetry(
+            p.beliefs.clone(),
+            &p.panel,
+            &GreedySelector::new(),
+            &mut oracle,
+            &explain_config,
+            &mut StdRng::seed_from_u64(51),
+            &mut NullSink,
+        )
+        .unwrap()
+    };
+    for instrumented in [&nulled, &explained] {
+        assert_eq!(plain.budget_spent, instrumented.budget_spent);
+        assert_eq!(plain.rounds.len(), instrumented.rounds.len());
+        assert_eq!(plain.labels(), instrumented.labels());
+        for (a, b) in plain.beliefs.tasks().iter().zip(instrumented.beliefs.tasks()) {
+            assert_eq!(a.probs(), b.probs(), "NullSink must not perturb the run");
+        }
+        for (ra, rb) in plain.rounds.iter().zip(&instrumented.rounds) {
+            assert_eq!(ra.queries, rb.queries);
+            assert_eq!(ra.budget_spent, rb.budget_spent);
+            assert_eq!(ra.predicted_entropy, rb.predicted_entropy);
+            assert_eq!(ra.realized_entropy, rb.realized_entropy);
+        }
     }
 }
 
