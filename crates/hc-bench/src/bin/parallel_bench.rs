@@ -1,0 +1,76 @@
+//! Serial-vs-parallel curves for greedy checking-task selection.
+//!
+//! For a sweep of task sizes `n` (facts per task, so `2^n` belief cells
+//! and `n` candidates to score each step), runs the same
+//! `GreedySelector` call under `Parallelism::Serial` and under the
+//! machine's full thread count, verifies the selections are identical
+//! (they are bit-identical by construction — see `hc_core::parallel`),
+//! and reports the speedup per point:
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin parallel_bench > BENCH_parallel.json
+//! ```
+//!
+//! Stdout is one JSON object:
+//! `{"threads":T,"points":[{"n":..,"serial_nanos":..,"parallel_nanos":..,
+//! "speedup":..},..],"identical":true}`.
+
+use hc_bench::{bench_panel, bench_rng, bench_single_task};
+use hc_core::parallel::{self, Parallelism};
+use hc_core::selection::{global_facts, GlobalFact, GreedySelector, TaskSelector};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Facts-per-task sweep; `n` is also the candidate count per step.
+const SIZES: [usize; 4] = [8, 10, 12, 14];
+/// Queries per round: deep enough that the per-candidate answer-family
+/// entropies dominate (family bits = K·m = 12 ≤ 30).
+const K: usize = 6;
+/// Timing repeats per point; the minimum is reported.
+const REPEATS: usize = 5;
+
+fn run_selection(n: usize, policy: Parallelism) -> (Vec<GlobalFact>, u64) {
+    let beliefs = bench_single_task(n);
+    let panel = bench_panel();
+    let candidates = global_facts(&beliefs);
+    let selector = GreedySelector::new();
+    let _guard = parallel::scoped(policy);
+    let mut best_nanos = u64::MAX;
+    let mut selection = Vec::new();
+    for _ in 0..REPEATS {
+        let mut rng = bench_rng();
+        let start = Instant::now();
+        selection = selector
+            .select(&beliefs, &panel, K, &candidates, &mut rng)
+            .expect("bench selection succeeds");
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        best_nanos = best_nanos.min(nanos);
+    }
+    (selection, best_nanos)
+}
+
+fn main() {
+    let threads = Parallelism::Auto.effective_threads();
+    let mut identical = true;
+    let mut points = String::new();
+    eprintln!("parallel_bench: {threads} thread(s)");
+    eprintln!("{:>4} {:>14} {:>14} {:>8}", "n", "serial_ns", "parallel_ns", "speedup");
+    for (i, &n) in SIZES.iter().enumerate() {
+        let (serial_sel, serial_nanos) = run_selection(n, Parallelism::Serial);
+        let (parallel_sel, parallel_nanos) = run_selection(n, Parallelism::Threads(threads));
+        if serial_sel != parallel_sel {
+            identical = false;
+        }
+        let speedup = serial_nanos as f64 / parallel_nanos.max(1) as f64;
+        eprintln!("{n:>4} {serial_nanos:>14} {parallel_nanos:>14} {speedup:>8.2}");
+        if i > 0 {
+            points.push(',');
+        }
+        let _ = write!(
+            points,
+            "{{\"n\":{n},\"serial_nanos\":{serial_nanos},\"parallel_nanos\":{parallel_nanos},\"speedup\":{speedup:.4}}}"
+        );
+    }
+    println!("{{\"threads\":{threads},\"points\":[{points}],\"identical\":{identical}}}");
+    assert!(identical, "serial and parallel selections must be identical");
+}

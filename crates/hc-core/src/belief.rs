@@ -197,12 +197,7 @@ impl Belief {
     /// Zero-probability observations contribute zero (the standard
     /// `0 ln 0 = 0` convention).
     pub fn entropy(&self) -> f64 {
-        -self
-            .probs
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.ln())
-            .sum::<f64>()
+        crate::entropy::entropy_of(&self.probs)
     }
 
     /// Data quality `Q(F) = -H(O)` (Definition 2). Higher is better;
@@ -242,24 +237,40 @@ impl Belief {
     /// kernels operate on `q` instead of the full belief — the main
     /// performance lever of this implementation (see `DESIGN.md`).
     pub fn project(&self, facts: &[FactId]) -> Vec<f64> {
+        use crate::parallel;
         let mut q = vec![0.0; 1 << facts.len()];
         if facts.len() == 1 {
             // Hot single-fact case (greedy candidate scans): avoid the
-            // generic bit-gather.
+            // generic bit-gather. Chunked ordered sum, like every other
+            // reduction over the 2^n table.
             let bit = 1usize << facts[0].0;
-            let mut p_true = 0.0;
-            for (o, &p) in self.probs.iter().enumerate() {
-                if o & bit != 0 {
-                    p_true += p;
+            let p_true = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
+                let mut acc = 0.0;
+                for (j, &p) in self.probs[r.clone()].iter().enumerate() {
+                    if (r.start + j) & bit != 0 {
+                        acc += p;
+                    }
                 }
-            }
+                acc
+            });
             q[1] = p_true;
             q[0] = 1.0 - p_true;
             return q;
         }
-        for (o, &p) in self.probs.iter().enumerate() {
-            let t = Observation(o as u32).project(facts) as usize;
-            q[t] += p;
+        // General bit-gather: per-chunk partial histograms merged in
+        // chunk order, so every cell's sum has a fixed association.
+        let partials = parallel::map_chunks(self.probs.len(), parallel::CHUNK, |r| {
+            let mut local = vec![0.0; q.len()];
+            for (j, &p) in self.probs[r.clone()].iter().enumerate() {
+                let t = Observation((r.start + j) as u32).project(facts) as usize;
+                local[t] += p;
+            }
+            local
+        });
+        for local in partials {
+            for (slot, v) in q.iter_mut().zip(local) {
+                *slot += v;
+            }
         }
         q
     }
@@ -339,12 +350,20 @@ impl Belief {
 
     /// Rescales so probabilities sum to exactly one.
     pub(crate) fn renormalize(&mut self) {
-        let sum: f64 = self.probs.iter().sum();
+        use crate::parallel;
+        // Chunked ordered sum + element-independent scale: the Bayes
+        // update's 2^n renormalisation pass, bit-identical for any
+        // thread count (see `parallel` module docs).
+        let sum = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
+            self.probs[r].iter().sum::<f64>()
+        });
         debug_assert!(sum > 0.0, "belief collapsed to zero mass");
         let inv = 1.0 / sum;
-        for p in &mut self.probs {
-            *p *= inv;
-        }
+        parallel::fill_slice(&mut self.probs, parallel::CHUNK, |_, slice| {
+            for p in slice {
+                *p *= inv;
+            }
+        });
     }
 
     /// Mutable access for update kernels inside the crate.

@@ -28,6 +28,7 @@ use crate::answer::enumerate_families;
 use crate::belief::Belief;
 use crate::error::{HcError, Result};
 use crate::fact::FactId;
+use crate::parallel;
 use crate::worker::ExpertPanel;
 
 /// Upper bound on `k · |CE|`, the number of bits indexing an answer
@@ -51,12 +52,17 @@ pub fn binary_entropy(p: f64) -> f64 {
 
 /// Shannon entropy of an arbitrary (not necessarily normalised to machine
 /// precision) distribution, in nats, with the `0 ln 0 = 0` convention.
+///
+/// Summed over fixed [`parallel::CHUNK`]-length chunks with an ordered
+/// merge, so the value is bit-identical for any thread count.
 pub fn entropy_of(dist: &[f64]) -> f64 {
-    -dist
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| p * p.ln())
-        .sum::<f64>()
+    -parallel::sum_chunks(dist.len(), parallel::CHUNK, |r| {
+        dist[r]
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    })
 }
 
 /// Per-worker likelihood tables for a `k`-query set: `tables[w][a][t]` is
@@ -111,21 +117,26 @@ pub fn family_distribution_projected(q: &[f64], panel: &ExpertPanel) -> Result<V
     let n_families = 1usize << bits;
     let mut dist = vec![0.0; n_families];
     let a_mask = (cells - 1) as u64;
-    for (a_joint, slot) in dist.iter_mut().enumerate() {
-        let mut p = 0.0;
-        for (t, &qt) in q.iter().enumerate() {
-            if qt == 0.0 {
-                continue;
+    // Each family's mass depends only on its own index, so the fill is
+    // trivially deterministic under any chunk-to-thread assignment.
+    parallel::fill_slice(&mut dist, parallel::CHUNK, |offset, slice| {
+        for (j, slot) in slice.iter_mut().enumerate() {
+            let a_joint = offset + j;
+            let mut p = 0.0;
+            for (t, &qt) in q.iter().enumerate() {
+                if qt == 0.0 {
+                    continue;
+                }
+                let mut l = qt;
+                for (w, table) in tables.iter().enumerate() {
+                    let a_w = ((a_joint as u64 >> (w * k)) & a_mask) as usize;
+                    l *= table[a_w * cells + t];
+                }
+                p += l;
             }
-            let mut l = qt;
-            for (w, table) in tables.iter().enumerate() {
-                let a_w = ((a_joint as u64 >> (w * k)) & a_mask) as usize;
-                l *= table[a_w * cells + t];
-            }
-            p += l;
+            *slot = p;
         }
-        *slot = p;
-    }
+    });
     Ok(dist)
 }
 
@@ -170,6 +181,13 @@ pub fn conditional_entropy_projected(
     panel: &ExpertPanel,
 ) -> Result<f64> {
     let k = q.len().trailing_zeros() as usize;
+    // Degenerate cases: no queries or no experts means no information.
+    // Return the prior entropy *exactly*, rather than letting the
+    // chain-rule subtraction reintroduce float noise — the naive oracle
+    // takes the matching early exit.
+    if k == 0 || panel.is_empty() {
+        return Ok(prior_entropy);
+    }
     let h_as = answer_family_entropy_projected(q, panel)?;
     let h_as_given_o = answer_family_entropy_given_obs(k, panel);
     Ok((h_as_given_o + prior_entropy - h_as).max(0.0))
@@ -191,6 +209,15 @@ pub fn conditional_entropy_naive(
     let m = panel.len();
     if k * m > MAX_FAMILY_BITS {
         return Err(HcError::TooManyFacts(k * m));
+    }
+    // Match the fast path's degenerate-case contract exactly: with no
+    // queries or no experts the single trivial answer family carries no
+    // information, so the objective is the prior entropy — returned
+    // directly instead of via `posterior / p_family` renormalisation,
+    // whose rounding would otherwise disagree with `belief.entropy()`
+    // in the last bits.
+    if k == 0 || m == 0 {
+        return Ok(belief.entropy());
     }
     let probs = belief.probs();
     // Precompute each observation's projection once.
@@ -257,17 +284,21 @@ pub fn conditional_entropy_with_dropout(
     if dropout == 1.0 {
         return Ok(belief.entropy());
     }
-    let mut total = 0.0;
-    let mut present = vec![false; m];
-    for mask in 0..(1u64 << m) {
+    // Each presence subset's term is an independent sub-panel objective;
+    // evaluate them in parallel (one mask per chunk — each term costs a
+    // full `conditional_entropy`) and merge in mask order, reproducing
+    // the serial accumulation bit-for-bit.
+    let terms = parallel::map_chunks(1usize << m, 1, |r| -> Result<f64> {
+        let mask = r.start as u64;
         let mut weight = 1.0;
+        let mut present = vec![false; m];
         for (w, slot) in present.iter_mut().enumerate() {
             let here = (mask >> w) & 1 == 1;
             *slot = here;
             weight *= if here { 1.0 - dropout } else { dropout };
         }
         if weight == 0.0 {
-            continue;
+            return Ok(0.0);
         }
         let sub = panel.subset(&present);
         let h = if sub.is_empty() {
@@ -275,7 +306,11 @@ pub fn conditional_entropy_with_dropout(
         } else {
             conditional_entropy(belief, queries, &sub)?
         };
-        total += weight * h;
+        Ok(weight * h)
+    });
+    let mut total = 0.0;
+    for term in terms {
+        total += term?;
     }
     Ok(total)
 }
@@ -499,6 +534,67 @@ mod tests {
             conditional_entropy_with_dropout(&b, &[FactId(0)], &p, 1.5),
             Err(HcError::InvalidProbability(_))
         ));
+    }
+
+    #[test]
+    fn degenerate_empty_query_set_fast_and_naive_agree_exactly() {
+        // k = 0: the single trivial answer family carries no information,
+        // so both paths must return the prior entropy *bit-exactly*.
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let prior = b.entropy();
+        let fast = conditional_entropy(&b, &[], &p).unwrap();
+        let naive = conditional_entropy_naive(&b, &[], &p).unwrap();
+        assert_eq!(fast.to_bits(), prior.to_bits());
+        assert_eq!(naive.to_bits(), prior.to_bits());
+    }
+
+    #[test]
+    fn degenerate_empty_panel_fast_and_naive_agree_exactly() {
+        // m = 0: no experts answer, so checking learns nothing.
+        let b = table_i_belief();
+        let empty = panel(&[]);
+        let prior = b.entropy();
+        let facts = [FactId(0), FactId(2)];
+        let fast = conditional_entropy(&b, &facts, &empty).unwrap();
+        let naive = conditional_entropy_naive(&b, &facts, &empty).unwrap();
+        assert_eq!(fast.to_bits(), prior.to_bits());
+        assert_eq!(naive.to_bits(), prior.to_bits());
+    }
+
+    #[test]
+    fn degenerate_fully_dropped_out_round_is_prior_entropy_exactly() {
+        // dropout = 1: every worker is absent for the whole round, which
+        // must match the empty-panel objective bit-for-bit.
+        let b = table_i_belief();
+        let p = panel(&[0.9, 0.8]);
+        let prior = b.entropy();
+        let h = conditional_entropy_with_dropout(&b, &[FactId(1)], &p, 1.0).unwrap();
+        assert_eq!(h.to_bits(), prior.to_bits());
+        let via_empty = conditional_entropy(&b, &[FactId(1)], &panel(&[])).unwrap();
+        assert_eq!(h.to_bits(), via_empty.to_bits());
+    }
+
+    #[test]
+    fn degenerate_empty_queries_under_dropout() {
+        // k = 0 composed with partial dropout still learns nothing.
+        let b = table_i_belief();
+        let p = panel(&[0.9]);
+        let h = conditional_entropy_with_dropout(&b, &[], &p, 0.4).unwrap();
+        assert!((h - b.entropy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_is_bit_identical_across_thread_counts() {
+        let dist: Vec<f64> = (0..10_000).map(|i| ((i % 97) as f64 + 0.5) / 1e4).collect();
+        let serial = {
+            let _g = crate::parallel::scoped(crate::parallel::Parallelism::Serial);
+            entropy_of(&dist)
+        };
+        for threads in [2usize, 8] {
+            let _g = crate::parallel::scoped(crate::parallel::Parallelism::Threads(threads));
+            assert_eq!(entropy_of(&dist).to_bits(), serial.to_bits());
+        }
     }
 
     #[test]

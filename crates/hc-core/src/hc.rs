@@ -199,6 +199,13 @@ pub struct HcConfig {
     /// path is exactly [`TaskSelector::select`].
     #[serde(default)]
     pub explain_selection: bool,
+    /// Thread policy for the deterministic compute engine
+    /// ([`crate::parallel`]): installed for the duration of the run, it
+    /// parallelises candidate scoring, entropy reductions, and Bayes
+    /// renormalisation. Every output of the run is bit-identical
+    /// whatever this is set to.
+    #[serde(default)]
+    pub parallelism: crate::parallel::Parallelism,
 }
 
 fn default_max_dry_rounds() -> usize {
@@ -217,6 +224,7 @@ impl HcConfig {
             k_schedule: KSchedule::default(),
             max_dry_rounds: default_max_dry_rounds(),
             explain_selection: false,
+            parallelism: crate::parallel::Parallelism::default(),
         }
     }
 }
@@ -403,6 +411,9 @@ pub fn run_hc_costed_with_telemetry(
     if panel.is_empty() {
         return Err(crate::error::HcError::EmptyCrowd);
     }
+    // Install the run's thread policy for every kernel below; results
+    // are bit-identical regardless (see `crate::parallel`).
+    let _par = crate::parallel::scoped(config.parallelism);
     // Cost of asking the whole panel one query.
     let panel_cost: u64 = panel.workers().iter().map(|w| costs.cost(w)).sum();
     let mut remaining = config.budget;

@@ -56,6 +56,7 @@ pub mod hc;
 pub mod init;
 pub mod metrics;
 pub mod observation;
+pub mod parallel;
 pub mod quality;
 pub mod selection;
 pub mod update;
@@ -82,6 +83,7 @@ pub mod prelude {
         TelemetrySink,
     };
     pub use crate::observation::{Observation, ObservationSpace};
+    pub use crate::parallel::Parallelism;
     pub use crate::selection::{
         BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector,
         MaxEntropySelector, RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,
@@ -101,6 +103,7 @@ pub use hc::{
     HcConfig, HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,
 };
 pub use observation::{Observation, ObservationSpace};
+pub use parallel::Parallelism;
 pub use selection::{
     BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector, MaxEntropySelector,
     RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,

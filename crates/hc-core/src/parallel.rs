@@ -1,0 +1,364 @@
+//! Deterministic data-parallel compute engine for the hot kernels.
+//!
+//! The greedy `(1 − 1/e)` checker spends almost all of its time in three
+//! embarrassingly parallel loops: scoring candidate marginal gains,
+//! summing answer-pattern distributions (`2^{k·m}` cells), and the Bayes
+//! renormalisation over the `2^n` observation table. This module gives
+//! those loops threads **without giving up bit-exact reproducibility**.
+//!
+//! # The determinism contract
+//!
+//! Floating-point addition is not associative, so a reduction's chunk
+//! layout *is* its numerical contract. Every primitive here therefore:
+//!
+//! 1. splits the index space into chunks at **fixed boundaries** — a
+//!    constant chunk length ([`CHUNK`], or per-call), never derived from
+//!    the thread count or machine load;
+//! 2. evaluates each chunk independently (possibly on scoped worker
+//!    threads, possibly inline); and
+//! 3. merges the per-chunk results **serially, in chunk order**.
+//!
+//! The thread count only decides *which OS thread evaluates which
+//! chunk*; it can never change what is computed. Results — entropies,
+//! gains, posteriors, tie-breaks, telemetry streams — are bit-identical
+//! for any [`Parallelism`], including the serial fallback. The
+//! conformance suite (`tests/determinism.rs`) pins this down by running
+//! full HC loops at 1, 2, and 8 threads and asserting byte equality.
+//!
+//! Worker threads run with parallelism pinned to serial, so nested
+//! kernels (a candidate gain evaluating an answer-family entropy) never
+//! spawn threads of their own.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Environment variable overriding the auto-detected thread count
+/// (`HC_THREADS=1` forces serial; CI runs the test suite under several
+/// values to enforce the determinism contract).
+pub const THREADS_ENV: &str = "HC_THREADS";
+
+/// Fixed chunk length for wide table reductions (`2^n` belief tables,
+/// `2^{k·m}` answer-pattern tables). Part of the numerical contract:
+/// changing it changes the association order of chunked sums.
+pub const CHUNK: usize = 4096;
+
+/// Thread-count policy for the deterministic compute engine.
+///
+/// Threaded through [`crate::hc::HcConfig`] into the checking loop, or
+/// installed for a lexical scope with [`scoped`]. Whatever the policy,
+/// results are bit-identical — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Parallelism {
+    /// Inherit the enclosing [`scoped`] policy when one is installed
+    /// (so an `Auto` [`crate::hc::HcConfig`] respects a CLI-level
+    /// `--threads` scope); at top level, use [`THREADS_ENV`] when set,
+    /// otherwise [`std::thread::available_parallelism`]. The default.
+    #[default]
+    Auto,
+    /// Never spawn worker threads.
+    Serial,
+    /// Exactly this many threads (clamped to ≥ 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The concrete thread count this policy resolves to (≥ 1).
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => auto_threads(),
+        }
+    }
+}
+
+/// `Auto`'s resolution: env override, else available parallelism.
+/// Cached for the process lifetime.
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Per-thread override of the effective thread count; 0 = unset
+    /// (fall back to [`auto_threads`]).
+    static CURRENT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The thread count kernels on this thread will use right now.
+pub fn current_threads() -> usize {
+    let cur = CURRENT.with(Cell::get);
+    if cur == 0 {
+        auto_threads()
+    } else {
+        cur
+    }
+}
+
+/// Installs `parallelism` for the current thread until the returned
+/// guard drops (restoring whatever was in effect before). The HC loop
+/// uses this to apply [`crate::hc::HcConfig::parallelism`] to every
+/// kernel it calls.
+#[must_use = "the override lasts until this guard is dropped"]
+pub fn scoped(parallelism: Parallelism) -> ScopedParallelism {
+    let previous = CURRENT.with(Cell::get);
+    let next = match parallelism {
+        // Auto defers to whatever is already in effect (0 = unset, in
+        // which case kernels fall back to env/auto-detect).
+        Parallelism::Auto => previous,
+        other => other.effective_threads(),
+    };
+    CURRENT.with(|c| c.set(next));
+    ScopedParallelism { previous }
+}
+
+/// Guard returned by [`scoped`]; restores the previous policy on drop.
+pub struct ScopedParallelism {
+    previous: usize,
+}
+
+impl Drop for ScopedParallelism {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+/// Evaluates `f` on every chunk of `0..len` (fixed `chunk` length, last
+/// chunk short) and returns the per-chunk results **in chunk order**.
+///
+/// With more than one effective thread, chunks are distributed as
+/// contiguous runs over scoped worker threads; each worker runs with
+/// parallelism pinned to serial so nested kernels stay inline. The
+/// result vector is identical whatever the thread count.
+pub fn map_chunks<R, F>(len: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let n_chunks = len.div_ceil(chunk);
+    let threads = current_threads().min(n_chunks);
+    let chunk_range = |c: usize| {
+        let start = c * chunk;
+        start..(start + chunk).min(len)
+    };
+    if threads <= 1 {
+        return (0..n_chunks).map(|c| f(chunk_range(c))).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    results.resize_with(n_chunks, || None);
+    let per_thread = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, span) in results.chunks_mut(per_thread).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let _serial = scoped(Parallelism::Serial);
+                for (j, slot) in span.iter_mut().enumerate() {
+                    *slot = Some(f(chunk_range(t * per_thread + j)));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk was evaluated"))
+        .collect()
+}
+
+/// Chunked sum with ordered merge: `Σ_c f(chunk_c)`, the per-chunk
+/// partials added left-to-right in chunk order. This association order
+/// is fixed by `chunk`, never by the thread count — the heart of the
+/// bit-identity contract.
+pub fn sum_chunks<F>(len: usize, chunk: usize, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_chunks(len, chunk, f).into_iter().sum()
+}
+
+/// Applies `f(global_offset, chunk_slice)` to disjoint fixed-length
+/// chunks of `out` in place, possibly in parallel. Each element's value
+/// must depend only on its own index, so the fill is trivially
+/// deterministic.
+pub fn fill_slice<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let len = out.len();
+    let n_chunks = len.div_ceil(chunk);
+    let threads = current_threads().min(n_chunks);
+    if threads <= 1 {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            f(c * chunk, slice);
+        }
+        return;
+    }
+    // Thread spans are whole numbers of chunks so offsets stay aligned.
+    let per_thread = n_chunks.div_ceil(threads) * chunk;
+    std::thread::scope(|s| {
+        for (t, span) in out.chunks_mut(per_thread).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let _serial = scoped(Parallelism::Serial);
+                for (c, slice) in span.chunks_mut(chunk).enumerate() {
+                    f(t * per_thread + c * chunk, slice);
+                }
+            });
+        }
+    });
+}
+
+/// Scores every item independently and returns the results in item
+/// order — the candidate-gain fan-out of the greedy selector. One item
+/// per chunk: items are expensive (an answer-family entropy each) and
+/// item results never participate in a float reduction, so per-item
+/// scheduling cannot perturb numerics.
+pub fn map_items<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_chunks(items.len(), 1, |r| f(r.start, &items[r.start]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_floor_is_one() {
+        assert_eq!(Parallelism::Serial.effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(0).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(5).effective_threads(), 5);
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_override_nests_and_restores() {
+        let outer = current_threads();
+        {
+            let _a = scoped(Parallelism::Threads(3));
+            assert_eq!(current_threads(), 3);
+            {
+                let _b = scoped(Parallelism::Serial);
+                assert_eq!(current_threads(), 1);
+            }
+            assert_eq!(current_threads(), 3);
+        }
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn auto_inherits_enclosing_scope() {
+        let _outer = scoped(Parallelism::Threads(3));
+        {
+            let _inner = scoped(Parallelism::Auto);
+            assert_eq!(current_threads(), 3, "Auto defers to the outer scope");
+        }
+        assert_eq!(current_threads(), 3);
+    }
+
+    #[test]
+    fn map_chunks_is_ordered_and_complete() {
+        for threads in [1usize, 2, 3, 8] {
+            let _g = scoped(Parallelism::Threads(threads));
+            let got = map_chunks(10, 3, |r| (r.start, r.end));
+            assert_eq!(got, vec![(0, 3), (3, 6), (6, 9), (9, 10)], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let got: Vec<usize> = map_chunks(0, 4, |r| r.len());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sum_chunks_bit_identical_across_thread_counts() {
+        // Adversarial magnitudes so association order matters.
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| (1.0 + i as f64).sin() * 10f64.powi((i % 17) as i32 - 8))
+            .collect();
+        let reference = {
+            let _g = scoped(Parallelism::Serial);
+            sum_chunks(data.len(), 64, |r| data[r].iter().sum::<f64>())
+        };
+        for threads in [2usize, 3, 8, 32] {
+            let _g = scoped(Parallelism::Threads(threads));
+            let sum = sum_chunks(data.len(), 64, |r| data[r].iter().sum::<f64>());
+            assert_eq!(
+                sum.to_bits(),
+                reference.to_bits(),
+                "threads={threads}: {sum} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_slice_matches_serial_fill() {
+        let compute = |threads: Parallelism| {
+            let _g = scoped(threads);
+            let mut out = vec![0.0f64; 1000];
+            fill_slice(&mut out, 7, |offset, slice| {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = ((offset + j) as f64).sqrt();
+                }
+            });
+            out
+        };
+        let serial = compute(Parallelism::Serial);
+        for threads in [2usize, 5, 16] {
+            assert_eq!(serial, compute(Parallelism::Threads(threads)));
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1usize, 4] {
+            let _g = scoped(Parallelism::Threads(threads));
+            let got = map_items(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn workers_run_serially() {
+        let _g = scoped(Parallelism::Threads(4));
+        let counts = map_items(&[(); 8], |_, _| current_threads());
+        // Every item evaluated under the pinned-serial worker context
+        // (or inline when the scheduler collapses to one thread).
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in [
+            Parallelism::Auto,
+            Parallelism::Serial,
+            Parallelism::Threads(6),
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Parallelism = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -27,7 +27,9 @@ use crate::belief::MultiBelief;
 use crate::entropy::{answer_family_entropy, answer_family_entropy_projected};
 use crate::error::Result;
 use crate::fact::FactId;
+use crate::parallel;
 use crate::worker::ExpertPanel;
+use hc_telemetry::timing::{span, Phase};
 use rand::RngCore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,6 +38,12 @@ use std::collections::BinaryHeap;
 /// stop condition) — absorbs float noise from the chain-rule subtraction
 /// on near-deterministic beliefs.
 pub const GAIN_EPSILON: f64 = 1e-12;
+
+/// How many consecutive stale heap tops the lazy path re-scores per
+/// parallel batch. A fixed constant — never derived from the thread
+/// count — so the heap's operation sequence (and therefore every
+/// tie-break and trace entry) is identical at any [`parallel::Parallelism`].
+pub const LAZY_RESCORE_BATCH: usize = 16;
 
 /// Algorithm 2: greedy `(1 − 1/e)`-approximate checking-task selection.
 #[derive(Debug, Clone, Default)]
@@ -147,13 +155,21 @@ fn select_cached(
     let mut first_pass = true;
 
     while chosen.len() < k {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, gf) in candidates.iter().enumerate() {
-            if taken[i] {
-                continue;
-            }
-            if first_pass || dirty_task == Some(gf.task) {
-                gains[i] = gain(
+        // Scoring pass: fan the dirty candidates out over the compute
+        // engine (each gain is an independent answer-family entropy),
+        // then write gains and trace entries back in candidate-index
+        // order — exactly the order the serial loop produced.
+        let to_score: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, gf)| !taken[*i] && (first_pass || dirty_task == Some(gf.task)))
+            .map(|(i, _)| i)
+            .collect();
+        let scored = {
+            let _span = span(Phase::Scoring);
+            parallel::map_items(&to_score, |_, &i| {
+                let gf = &candidates[i];
+                gain(
                     beliefs,
                     gf.task,
                     &selected_per_task[gf.task],
@@ -161,21 +177,32 @@ fn select_cached(
                     h_as[gf.task],
                     panel,
                     panel_h,
-                )?;
-                if let Some(t) = trace.as_deref_mut() {
-                    t.scored.push(ScoredCandidate {
-                        step: chosen.len(),
-                        fact: *gf,
-                        gain: gains[i],
-                    });
-                }
+                )
+            })
+        };
+        for (&i, g) in to_score.iter().zip(scored) {
+            gains[i] = g?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.scored.push(ScoredCandidate {
+                    step: chosen.len(),
+                    fact: candidates[i],
+                    gain: gains[i],
+                });
+            }
+        }
+        first_pass = false;
+        // Argmax pass: strict `>` in index order, so the first index
+        // wins ties — independent of how the scores were scheduled.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..candidates.len() {
+            if taken[i] {
+                continue;
             }
             let g = gains[i];
             if best.is_none_or(|(_, bg)| g > bg) {
                 best = Some((i, g));
             }
         }
-        first_pass = false;
         let Some((idx, best_gain)) = best else { break };
         // Algorithm 2, line 4: stop when no candidate improves quality.
         if best_gain <= GAIN_EPSILON {
@@ -245,9 +272,19 @@ fn select_lazy(
     let mut task_epoch: Vec<u32> = vec![0; beliefs.len()];
     let mut chosen: Vec<GlobalFact> = Vec::with_capacity(k);
 
+    // Initial pass: score every candidate in parallel, then push heap
+    // entries in candidate-index order (a fixed operation sequence, so
+    // the heap's internal layout — and with it the pop order of equal
+    // gains — is thread-count-independent).
+    let init_gains = {
+        let _span = span(Phase::Scoring);
+        parallel::map_items(candidates, |_, gf| {
+            gain(beliefs, gf.task, &[], gf.fact, 0.0, panel, panel_h)
+        })
+    };
     let mut heap = BinaryHeap::with_capacity(candidates.len());
-    for (i, gf) in candidates.iter().enumerate() {
-        let g = gain(beliefs, gf.task, &[], gf.fact, 0.0, panel, panel_h)?;
+    for (i, (gf, g)) in candidates.iter().zip(init_gains).enumerate() {
+        let g = g?;
         if let Some(t) = trace.as_deref_mut() {
             t.scored.push(ScoredCandidate {
                 step: 0,
@@ -286,28 +323,55 @@ fn select_lazy(
             )?;
             task_epoch[gf.task] += 1;
         } else {
-            // Stale: re-score against the task's current selection.
-            let g = gain(
-                beliefs,
-                gf.task,
-                &selected_per_task[gf.task],
-                gf.fact,
-                h_as[gf.task],
-                panel,
-                panel_h,
-            )?;
-            if let Some(t) = trace.as_deref_mut() {
-                t.scored.push(ScoredCandidate {
-                    step: chosen.len(),
-                    fact: gf,
+            // Stale: re-score against the task's current selection. Up
+            // to LAZY_RESCORE_BATCH consecutive stale tops are drained
+            // and re-scored as one parallel batch; rescoring extra
+            // stale entries only replaces upper bounds with exact
+            // gains, so the picks are unchanged (a pick still happens
+            // only on a *fresh* top). The batch size is a constant, so
+            // the pop/push sequence is the same at any thread count.
+            let mut batch = vec![top];
+            while batch.len() < LAZY_RESCORE_BATCH {
+                let stale = heap.peek().is_some_and(|e| {
+                    e.task_epoch != task_epoch[candidates[e.candidate_idx].task]
+                });
+                if !stale {
+                    break;
+                }
+                batch.push(heap.pop().expect("peeked entry"));
+            }
+            let rescored = {
+                let _span = span(Phase::Scoring);
+                parallel::map_items(&batch, |_, e| {
+                    let gf = candidates[e.candidate_idx];
+                    gain(
+                        beliefs,
+                        gf.task,
+                        &selected_per_task[gf.task],
+                        gf.fact,
+                        h_as[gf.task],
+                        panel,
+                        panel_h,
+                    )
+                })
+            };
+            // Trace and re-insert in pop order.
+            for (entry, g) in batch.into_iter().zip(rescored) {
+                let g = g?;
+                let gf = candidates[entry.candidate_idx];
+                if let Some(t) = trace.as_deref_mut() {
+                    t.scored.push(ScoredCandidate {
+                        step: chosen.len(),
+                        fact: gf,
+                        gain: g,
+                    });
+                }
+                heap.push(HeapEntry {
                     gain: g,
+                    candidate_idx: entry.candidate_idx,
+                    task_epoch: task_epoch[gf.task],
                 });
             }
-            heap.push(HeapEntry {
-                gain: g,
-                candidate_idx: top.candidate_idx,
-                task_epoch: task_epoch[gf.task],
-            });
         }
     }
     Ok(chosen)

@@ -152,17 +152,24 @@ fn apply_multiplier(belief: &mut Belief, queries: &QuerySet, multiplier: &[f64])
     if facts.is_empty() {
         return Ok(()); // No queries: posterior equals prior.
     }
+    // The multiply is element-independent, so chunking it over the 2^n
+    // table cannot perturb numerics; renormalize() below carries the
+    // chunked-ordered-sum contract for the mass reduction.
     let probs = belief.probs_mut();
     if facts.len() == 1 {
         let bit = 1usize << facts[0].0;
-        for (o, p) in probs.iter_mut().enumerate() {
-            *p *= multiplier[usize::from(o & bit != 0)];
-        }
+        crate::parallel::fill_slice(probs, crate::parallel::CHUNK, |offset, slice| {
+            for (j, p) in slice.iter_mut().enumerate() {
+                *p *= multiplier[usize::from((offset + j) & bit != 0)];
+            }
+        });
     } else {
-        for (o, p) in probs.iter_mut().enumerate() {
-            let t = crate::observation::Observation(o as u32).project(facts) as usize;
-            *p *= multiplier[t];
-        }
+        crate::parallel::fill_slice(probs, crate::parallel::CHUNK, |offset, slice| {
+            for (j, p) in slice.iter_mut().enumerate() {
+                let t = crate::observation::Observation((offset + j) as u32).project(facts) as usize;
+                *p *= multiplier[t];
+            }
+        });
     }
     belief.renormalize();
     Ok(())

@@ -45,6 +45,10 @@ pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
 /// Panics on an unknown id; the valid ids are [`ALL_EXPERIMENTS`] and
 /// [`EXTENSION_EXPERIMENTS`].
 pub fn run_experiment(id: &str, settings: &ExpSettings) -> ExperimentOutput {
+    // Install the settings' thread policy for everything the runner
+    // does; outputs are bit-identical at any thread count, so this only
+    // affects wall-clock.
+    let _par = hc_core::parallel::scoped(settings.parallelism);
     match id {
         "fig2" => experiments::fig2::run(settings),
         "fig3" => experiments::fig3::run(settings),

@@ -3,6 +3,7 @@
 //! ```text
 //! hc-eval [--experiment fig2|…|table3|ext-cost|…|all|ext]
 //!         [--scale quick|paper] [--seed N] [--out DIR] [--charts]
+//!         [--threads auto|serial|N]
 //! hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]
 //! ```
 //!
@@ -23,6 +24,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     charts: bool,
+    threads: hc_core::parallel::Parallelism,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         out: PathBuf::from("results"),
         charts: false,
+        threads: hc_core::parallel::Parallelism::Auto,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,9 +58,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" | "-o" => args.out = PathBuf::from(value("--out")?),
             "--charts" => args.charts = true,
+            "--threads" | "-t" => {
+                args.threads = match value("--threads")?.as_str() {
+                    "auto" => hc_core::parallel::Parallelism::Auto,
+                    "serial" => hc_core::parallel::Parallelism::Serial,
+                    n => hc_core::parallel::Parallelism::Threads(
+                        n.parse().map_err(|e| format!("bad thread count: {e}"))?,
+                    ),
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: hc-eval [--experiment {}|{}|all|ext] [--scale quick|paper] [--seed N] [--out DIR]",
+                    "usage: hc-eval [--experiment {}|{}|all|ext] [--scale quick|paper] [--seed N] [--out DIR] [--threads auto|serial|N]",
                     ALL_EXPERIMENTS.join("|"),
                     EXTENSION_EXPERIMENTS.join("|")
                 );
@@ -83,7 +95,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let settings = ExpSettings::for_scale(args.scale, args.seed);
+    let mut settings = ExpSettings::for_scale(args.scale, args.seed);
+    settings.parallelism = args.threads;
 
     let ids: Vec<&str> = if args.experiment == "all" {
         ALL_EXPERIMENTS.to_vec()

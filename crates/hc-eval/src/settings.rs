@@ -1,5 +1,6 @@
 //! Experiment settings: corpus scale, seeds, and budget checkpoints.
 
+use hc_core::parallel::Parallelism;
 use hc_data::synth::SynthConfig;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,11 @@ pub struct ExpSettings {
     /// (`ext-faults`).
     #[serde(default = "default_dropout_grid")]
     pub dropout_grid: Vec<f64>,
+    /// Thread policy for the deterministic compute engine
+    /// (`hc_core::parallel`); results are bit-identical whatever this
+    /// is, so it is purely a wall-clock knob (`--threads` on the CLI).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 fn default_dropout_grid() -> Vec<f64> {
@@ -46,6 +52,7 @@ impl ExpSettings {
                 budget_max: 120,
                 checkpoints: (0..=120).step_by(20).collect(),
                 dropout_grid: default_dropout_grid(),
+                parallelism: Parallelism::default(),
             },
             Scale::Paper => ExpSettings {
                 scale,
@@ -54,6 +61,7 @@ impl ExpSettings {
                 budget_max: 1000,
                 checkpoints: (0..=1000).step_by(100).collect(),
                 dropout_grid: vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
+                parallelism: Parallelism::default(),
             },
         }
     }

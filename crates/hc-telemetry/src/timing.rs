@@ -20,10 +20,18 @@ pub enum Phase {
     Entropy,
     /// A partial-family Bayes update.
     BayesUpdate,
+    /// A candidate-gain scoring pass inside the greedy selector (the
+    /// fan-out parallelised by `hc_core::parallel`).
+    Scoring,
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 3] = [Phase::Selection, Phase::Entropy, Phase::BayesUpdate];
+pub const PHASES: [Phase; 4] = [
+    Phase::Selection,
+    Phase::Entropy,
+    Phase::BayesUpdate,
+    Phase::Scoring,
+];
 
 impl Phase {
     /// Stable snake_case name used in reports and bench JSON.
@@ -32,6 +40,7 @@ impl Phase {
             Phase::Selection => "selection",
             Phase::Entropy => "entropy",
             Phase::BayesUpdate => "bayes_update",
+            Phase::Scoring => "scoring",
         }
     }
 
@@ -40,6 +49,7 @@ impl Phase {
             Phase::Selection => 0,
             Phase::Entropy => 1,
             Phase::BayesUpdate => 2,
+            Phase::Scoring => 3,
         }
     }
 }
@@ -95,14 +105,14 @@ impl PhaseStats {
 
 struct TimingState {
     enabled: bool,
-    phases: [PhaseStats; 3],
+    phases: [PhaseStats; PHASES.len()],
 }
 
 thread_local! {
     static TIMING: RefCell<TimingState> = const {
         RefCell::new(TimingState {
             enabled: false,
-            phases: [PhaseStats::EMPTY; 3],
+            phases: [PhaseStats::EMPTY; PHASES.len()],
         })
     };
 }
@@ -119,7 +129,7 @@ pub fn is_enabled() -> bool {
 
 /// Clears all recorded samples on this thread (leaves `enabled` as-is).
 pub fn reset() {
-    TIMING.with(|t| t.borrow_mut().phases = [PhaseStats::EMPTY; 3]);
+    TIMING.with(|t| t.borrow_mut().phases = [PhaseStats::EMPTY; PHASES.len()]);
 }
 
 /// Opens a timing span for `phase`; the elapsed time is recorded when
@@ -150,7 +160,7 @@ impl Drop for SpanGuard {
 /// Point-in-time copy of this thread's per-phase timing histograms.
 #[derive(Debug, Clone)]
 pub struct TimingSnapshot {
-    phases: [PhaseStats; 3],
+    phases: [PhaseStats; PHASES.len()],
 }
 
 /// Captures this thread's per-phase timing histograms.

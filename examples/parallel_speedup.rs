@@ -1,0 +1,78 @@
+//! The deterministic parallel compute engine, end to end.
+//!
+//! Runs the identical HC checking loop twice — once on a single thread
+//! and once on four — and shows the central guarantee of
+//! `hc_core::parallel`: the thread count changes *only* the wall-clock.
+//! Selected queries, round records, budget, and every posterior
+//! probability are bit-identical, because all reductions use fixed
+//! chunk boundaries and ordered merges (see `DESIGN.md`).
+//!
+//! ```bash
+//! cargo run --release --example parallel_speedup
+//! ```
+
+use hc::prelude::*;
+use hc::sim::SamplingOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const FACTS: usize = 12;
+
+fn run_once(parallelism: Parallelism) -> hc_core::Result<(HcOutcome, f64)> {
+    // One correlated 12-fact task (the Table III style workload): 4096
+    // belief cells and 12 candidates to score per greedy step.
+    let joint = hc::data::synth::markov_joint(FACTS, 0.55, 0.7);
+    let beliefs = MultiBelief::new(vec![Belief::from_probs(joint)?]);
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9])?;
+    let truths = vec![vec![true; FACTS]];
+    let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut config = HcConfig::new(4, 64);
+    config.parallelism = parallelism;
+
+    let start = Instant::now();
+    let outcome = run_hc(
+        beliefs,
+        &panel,
+        &GreedySelector::new(),
+        &mut oracle,
+        &config,
+        &mut rng,
+    )?;
+    Ok((outcome, start.elapsed().as_secs_f64()))
+}
+
+fn main() -> hc_core::Result<()> {
+    let (serial, serial_secs) = run_once(Parallelism::Serial)?;
+    let (threaded, threaded_secs) = run_once(Parallelism::Threads(4))?;
+
+    println!("serial (1 thread): {serial_secs:.3}s");
+    println!("threads(4):        {threaded_secs:.3}s");
+    println!("speedup:           {:.2}x", serial_secs / threaded_secs.max(1e-9));
+
+    // The determinism contract, checked down to the bits.
+    assert_eq!(serial.rounds.len(), threaded.rounds.len());
+    assert_eq!(serial.budget_spent, threaded.budget_spent);
+    for (a, b) in serial.rounds.iter().zip(&threaded.rounds) {
+        assert_eq!(a.queries, b.queries, "round {}: same selections", a.round);
+        assert_eq!(
+            a.quality.to_bits(),
+            b.quality.to_bits(),
+            "round {}: bit-identical quality",
+            a.round
+        );
+    }
+    for (task_a, task_b) in serial.beliefs.tasks().iter().zip(threaded.beliefs.tasks()) {
+        for (pa, pb) in task_a.probs().iter().zip(task_b.probs()) {
+            assert_eq!(pa.to_bits(), pb.to_bits(), "bit-identical posterior");
+        }
+    }
+    println!(
+        "outcomes are bit-identical: {} rounds, {} budget, quality {:.6}",
+        serial.rounds.len(),
+        serial.budget_spent,
+        serial.beliefs.quality()
+    );
+    Ok(())
+}

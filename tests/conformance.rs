@@ -1,0 +1,212 @@
+//! Differential conformance suite for the selection engine.
+//!
+//! The fast selection path (chain-rule entropies, task-dirty caching,
+//! CELF lazy evaluation, and the parallel scoring engine) is locked
+//! against the independently-coded brute-force reference
+//! `conditional_entropy_naive` (Equation (34)) on random small
+//! instances: the greedy selector's own chosen path must consist of
+//! naive-argmax steps with naive-agreeing gains, the cached and lazy
+//! schedules must reach the same objective, and at `k = 1` greedy must
+//! match the exhaustive `ExactSelector`.
+//!
+//! Gains are validated *along greedy's own path* (winner gain matches
+//! naive, and no remaining candidate naively beats the winner by more
+//! than the tolerance) rather than by re-running an independent argmax,
+//! so near-ties cannot make the test flaky.
+
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::entropy::conditional_entropy_naive;
+use hc_core::fact::FactId;
+use hc_core::selection::{
+    global_facts, selection_objective, ExactSelector, ExplainTrace, GlobalFact, GreedySelector,
+    TaskSelector,
+};
+use hc_core::worker::ExpertPanel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Winner gains must match the naive reference this tightly; the fast
+/// path and Equation (34) agree to ~1e-12, so 1e-7 is generous.
+const GAIN_TOL: f64 = 1e-7;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xC0F0)
+}
+
+/// A normalised belief over `n` facts with strictly positive cells.
+fn belief_strategy(n: usize) -> impl Strategy<Value = Belief> {
+    prop::collection::vec(0.01f64..1.0, 1 << n).prop_map(|mut probs| {
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Belief::from_probs(probs).expect("normalised")
+    })
+}
+
+/// 1–2 tasks with 1–2 facts each (≤ 4 facts total: naive enumeration
+/// over `2^{k·m} · 2^n` stays fast).
+fn beliefs_strategy() -> impl Strategy<Value = MultiBelief> {
+    prop::collection::vec(1usize..=2, 1..=2).prop_flat_map(|sizes| {
+        sizes
+            .into_iter()
+            .map(belief_strategy)
+            .collect::<Vec<_>>()
+            .prop_map(MultiBelief::new)
+    })
+}
+
+fn panel_strategy() -> impl Strategy<Value = ExpertPanel> {
+    prop::collection::vec(0.55f64..=0.95, 1..=2)
+        .prop_map(|rates| ExpertPanel::from_accuracies(&rates).expect("valid rates"))
+}
+
+/// Brute-force quality gain of appending `candidate` to task
+/// `candidate.task`'s current selection, via Equation (34) only.
+fn naive_gain(
+    beliefs: &MultiBelief,
+    selected: &[Vec<FactId>],
+    candidate: GlobalFact,
+    panel: &ExpertPanel,
+) -> f64 {
+    let belief = &beliefs.tasks()[candidate.task];
+    let current = &selected[candidate.task];
+    let before = conditional_entropy_naive(belief, current, panel).expect("naive before");
+    let mut extended = current.clone();
+    extended.push(candidate.fact);
+    let after = conditional_entropy_naive(belief, &extended, panel).expect("naive after");
+    before - after
+}
+
+/// Total naive objective `Σ_t H(O_t | AS^{T_t})` for a global selection.
+fn naive_objective(beliefs: &MultiBelief, selection: &[GlobalFact], panel: &ExpertPanel) -> f64 {
+    let mut per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
+    for gf in selection {
+        per_task[gf.task].push(gf.fact);
+    }
+    beliefs
+        .tasks()
+        .iter()
+        .zip(&per_task)
+        .map(|(b, sel)| conditional_entropy_naive(b, sel, panel).expect("naive objective"))
+        .sum()
+}
+
+/// Replays a greedy run against the naive reference: every selected
+/// step's gain must match Equation (34), and no candidate left on the
+/// table may naively beat the winner.
+fn assert_greedy_path_is_naive_argmax(
+    beliefs: &MultiBelief,
+    panel: &ExpertPanel,
+    k: usize,
+    selector: &GreedySelector,
+) -> Result<(), TestCaseError> {
+    let candidates = global_facts(beliefs);
+    let mut trace = ExplainTrace::new();
+    let chosen = selector
+        .select_with_explain(beliefs, panel, k, &candidates, &mut rng(), &mut trace)
+        .expect("greedy select");
+    prop_assert_eq!(trace.selected.len(), chosen.len());
+
+    let mut selected_per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
+    let mut remaining: Vec<GlobalFact> = candidates.clone();
+    for (step, sq) in trace.selected.iter().enumerate() {
+        prop_assert_eq!(sq.fact, chosen[step], "trace matches selection");
+        let winner_naive = naive_gain(beliefs, &selected_per_task, sq.fact, panel);
+        prop_assert!(
+            (sq.gain - winner_naive).abs() < GAIN_TOL,
+            "step {step}: greedy gain {} vs naive {winner_naive}",
+            sq.gain
+        );
+        for &gf in &remaining {
+            let g = naive_gain(beliefs, &selected_per_task, gf, panel);
+            prop_assert!(
+                g <= winner_naive + GAIN_TOL,
+                "step {step}: {gf:?} naively gains {g} > winner {winner_naive}"
+            );
+        }
+        remaining.retain(|&gf| gf != sq.fact);
+        selected_per_task[sq.fact.task].push(sq.fact.fact);
+    }
+    // Early stop means nothing left was (meaningfully) worth picking.
+    if chosen.len() < k {
+        for &gf in &remaining {
+            let g = naive_gain(beliefs, &selected_per_task, gf, panel);
+            prop_assert!(
+                g <= GAIN_TOL,
+                "greedy stopped early but {gf:?} still naively gains {g}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_greedy_follows_the_naive_argmax_path(
+        beliefs in beliefs_strategy(),
+        panel in panel_strategy(),
+        k in 1usize..=3,
+    ) {
+        assert_greedy_path_is_naive_argmax(&beliefs, &panel, k, &GreedySelector::new())?;
+    }
+
+    #[test]
+    fn lazy_greedy_follows_the_naive_argmax_path(
+        beliefs in beliefs_strategy(),
+        panel in panel_strategy(),
+        k in 1usize..=3,
+    ) {
+        assert_greedy_path_is_naive_argmax(&beliefs, &panel, k, &GreedySelector::lazy())?;
+    }
+
+    #[test]
+    fn cached_and_lazy_reach_the_same_objective(
+        beliefs in beliefs_strategy(),
+        panel in panel_strategy(),
+        k in 1usize..=3,
+    ) {
+        let candidates = global_facts(&beliefs);
+        let cached = GreedySelector::new()
+            .select(&beliefs, &panel, k, &candidates, &mut rng())
+            .expect("cached select");
+        let lazy = GreedySelector::lazy()
+            .select(&beliefs, &panel, k, &candidates, &mut rng())
+            .expect("lazy select");
+        prop_assert_eq!(cached.len(), lazy.len());
+        let obj_cached = selection_objective(&beliefs, &cached, &panel).expect("objective");
+        let obj_lazy = selection_objective(&beliefs, &lazy, &panel).expect("objective");
+        prop_assert!(
+            (obj_cached - obj_lazy).abs() < 1e-9,
+            "cached {obj_cached} vs lazy {obj_lazy}"
+        );
+        // And both agree with the naive evaluation of their own sets.
+        let naive_cached = naive_objective(&beliefs, &cached, &panel);
+        prop_assert!((obj_cached - naive_cached).abs() < GAIN_TOL);
+    }
+
+    #[test]
+    fn greedy_matches_exact_selector_at_k1(
+        beliefs in beliefs_strategy(),
+        panel in panel_strategy(),
+    ) {
+        // At k = 1 greedy *is* exhaustive search, so the objectives must
+        // coincide (the selected fact may differ only on exact ties).
+        let candidates = global_facts(&beliefs);
+        let greedy = GreedySelector::new()
+            .select(&beliefs, &panel, 1, &candidates, &mut rng())
+            .expect("greedy select");
+        let exact = ExactSelector::new()
+            .select(&beliefs, &panel, 1, &candidates, &mut rng())
+            .expect("exact select");
+        let obj_greedy = naive_objective(&beliefs, &greedy, &panel);
+        let obj_exact = naive_objective(&beliefs, &exact, &panel);
+        prop_assert!(
+            (obj_greedy - obj_exact).abs() < GAIN_TOL,
+            "greedy {obj_greedy} vs exact {obj_exact}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Thread-count bit-identity: the determinism contract of
+//! `hc_core::parallel`, enforced end to end.
+//!
+//! The parallel engine promises that the thread count is invisible in
+//! every output: all reductions run over fixed chunk boundaries with
+//! serial ordered merges, so the floating-point operation order — and
+//! therefore every bit of every result — is the same at `Serial`,
+//! `Threads(2)`, and `Threads(8)`.
+//!
+//! These tests run the *full* stack — fault injection, retries,
+//! explain-mode selection traces, and a recording telemetry sink — and
+//! compare the complete outcome (posterior bits, serialized round
+//! records, the JSON event stream) across thread counts with exact
+//! equality, no tolerances.
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc, run_hc_costed_with_telemetry, HcConfig, RoundRecord, UnitCost};
+use hc_core::parallel::Parallelism;
+use hc_core::selection::GreedySelector;
+use hc_core::telemetry::SharedRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two correlated tasks, big enough that chunked scoring and the
+/// parallel entropy reductions all engage (64- and 32-cell beliefs).
+fn test_beliefs() -> MultiBelief {
+    let a = Belief::from_probs(hc::data::synth::markov_joint(6, 0.6, 0.65)).expect("valid joint");
+    let b = Belief::from_probs(hc::data::synth::markov_joint(5, 0.45, 0.8)).expect("valid joint");
+    MultiBelief::new(vec![a, b])
+}
+
+fn test_truths() -> Vec<Vec<bool>> {
+    vec![
+        vec![true, false, true, true, false, true],
+        vec![false, true, true, false, true],
+    ]
+}
+
+/// One fully-instrumented HC run under `parallelism`: unreliable crowd
+/// (dropout + timeouts + a burst outage), standard retry policy,
+/// explain-mode selection, and every layer fanned into one recorder.
+///
+/// Returns everything observable about the run, serialized:
+/// (posterior bit patterns, round records as JSON, budget, events as
+/// JSON lines).
+fn run_instrumented(parallelism: Parallelism) -> (Vec<u64>, String, u64, String) {
+    let mut beliefs = test_beliefs();
+    let truths = test_truths();
+    let recorder = SharedRecorder::new();
+
+    let sampling = SamplingOracle::new(&truths, StdRng::seed_from_u64(0xFA11));
+    let plan = FaultPlan::uniform(0.25, 0xD0_0D)
+        .with_timeouts(0.1)
+        .with_burst(7, 2);
+    let faulty = FaultyOracle::new(sampling, plan).with_telemetry(Box::new(recorder.clone()));
+    let mut platform = SimulatedPlatform::new(faulty, 0x51ED)
+        .with_retry_policy(RetryPolicy::standard())
+        .with_telemetry(Box::new(recorder.clone()));
+
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85]).expect("valid panel");
+    let mut config = HcConfig::new(3, 30);
+    config.explain_selection = true;
+    config.parallelism = parallelism;
+
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut observer = |_: &MultiBelief, record: &RoundRecord| rounds.push(record.clone());
+    let mut sink = recorder.clone();
+    let (_, spent) = run_hc_costed_with_telemetry(
+        &mut beliefs,
+        &panel,
+        &GreedySelector::new(),
+        &mut platform,
+        &config,
+        &UnitCost,
+        &mut rng,
+        &mut observer,
+        &mut sink,
+    )
+    .expect("instrumented loop runs");
+
+    let bits: Vec<u64> = beliefs
+        .tasks()
+        .iter()
+        .flat_map(|t| t.probs().iter().map(|p| p.to_bits()))
+        .collect();
+    let rounds_json = serde_json::to_string(&rounds).expect("rounds serialize");
+    let events = recorder.into_events();
+    let events_jsonl: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("event serializes"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    (bits, rounds_json, spent, events_jsonl)
+}
+
+#[test]
+fn full_instrumented_run_is_bit_identical_across_thread_counts() {
+    let (bits_1, rounds_1, spent_1, events_1) = run_instrumented(Parallelism::Threads(1));
+    let (bits_2, rounds_2, spent_2, events_2) = run_instrumented(Parallelism::Threads(2));
+    let (bits_8, rounds_8, spent_8, events_8) = run_instrumented(Parallelism::Threads(8));
+
+    // The run did real work: faults fired, retries happened, the
+    // explain trace produced per-candidate events.
+    assert!(spent_1 > 0, "the loop must spend budget");
+    assert!(
+        events_1.contains("\"fault_injected\"") || events_1.contains("FaultInjected"),
+        "the fault layer must be exercised"
+    );
+    assert!(
+        events_1.contains("candidate_scored") || events_1.contains("CandidateScored"),
+        "explain mode must record candidate gains"
+    );
+
+    assert_eq!(bits_1, bits_2, "posteriors: 1 vs 2 threads");
+    assert_eq!(bits_1, bits_8, "posteriors: 1 vs 8 threads");
+    assert_eq!(spent_1, spent_2, "budget: 1 vs 2 threads");
+    assert_eq!(spent_1, spent_8, "budget: 1 vs 8 threads");
+    assert_eq!(rounds_1, rounds_2, "round records: 1 vs 2 threads");
+    assert_eq!(rounds_1, rounds_8, "round records: 1 vs 8 threads");
+    assert_eq!(events_1, events_2, "event stream: 1 vs 2 threads");
+    assert_eq!(events_1, events_8, "event stream: 1 vs 8 threads");
+}
+
+#[test]
+fn serial_and_auto_agree_on_a_plain_run() {
+    // The simple `run_hc` front door honours `config.parallelism` too;
+    // Auto (whatever the machine resolves it to) must be bit-identical
+    // to Serial.
+    let run = |parallelism: Parallelism| {
+        let truths = test_truths();
+        let mut oracle = SamplingOracle::new(&truths, StdRng::seed_from_u64(21));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut config = HcConfig::new(2, 16);
+        config.parallelism = parallelism;
+        run_hc(
+            test_beliefs(),
+            &ExpertPanel::from_accuracies(&[0.93, 0.88]).expect("valid panel"),
+            &GreedySelector::new(),
+            &mut oracle,
+            &config,
+            &mut rng,
+        )
+        .expect("plain loop runs")
+    };
+    let serial = run(Parallelism::Serial);
+    let auto = run(Parallelism::Auto);
+    assert_eq!(serial.budget_spent, auto.budget_spent);
+    assert_eq!(serial.rounds.len(), auto.rounds.len());
+    for (a, b) in serial.rounds.iter().zip(&auto.rounds) {
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.quality.to_bits(), b.quality.to_bits());
+    }
+    for (ta, tb) in serial.beliefs.tasks().iter().zip(auto.beliefs.tasks()) {
+        for (pa, pb) in ta.probs().iter().zip(tb.probs()) {
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn lazy_selector_is_bit_identical_across_thread_counts() {
+    // The CELF schedule has the subtlest parallel path (batched heap
+    // rescoring); pin its selections and gains across thread counts.
+    use hc_core::selection::{global_facts, ExplainTrace, TaskSelector};
+    let beliefs = test_beliefs();
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9]).expect("valid panel");
+    let candidates = global_facts(&beliefs);
+    let run = |parallelism: Parallelism| {
+        let _guard = hc_core::parallel::scoped(parallelism);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut trace = ExplainTrace::new();
+        let chosen = GreedySelector::lazy()
+            .select_with_explain(&beliefs, &panel, 5, &candidates, &mut rng, &mut trace)
+            .expect("lazy select");
+        let gains: Vec<u64> = trace.selected.iter().map(|s| s.gain.to_bits()).collect();
+        let scored: Vec<(usize, usize, u32, u64)> = trace
+            .scored
+            .iter()
+            .map(|s| (s.step, s.fact.task, s.fact.fact.0, s.gain.to_bits()))
+            .collect();
+        (chosen, gains, scored)
+    };
+    let at_1 = run(Parallelism::Threads(1));
+    let at_2 = run(Parallelism::Threads(2));
+    let at_8 = run(Parallelism::Threads(8));
+    assert_eq!(at_1, at_2, "lazy: 1 vs 2 threads");
+    assert_eq!(at_1, at_8, "lazy: 1 vs 8 threads");
+}

@@ -1,0 +1,193 @@
+//! Golden-trace snapshot of the quickstart scenario (paper Table I).
+//!
+//! Pins the full observable behaviour of two greedy checking rounds on
+//! the three-fact Table I belief with the θ = 0.9 expert panel
+//! `[0.95, 0.92]` and truthful expert answers for ground truth
+//! `(true, true, false)`:
+//!
+//! * the selection *order* and every scored marginal gain, per step;
+//! * the belief entropy after each round's Bayes update;
+//! * the final posterior, cell by cell, and the recovered labels.
+//!
+//! The expected values are literals from an independent f64 reference
+//! implementation of Equations (34)–(36) (direct enumeration, no chain
+//! rule), compared at 1e-9 — far above f64 association noise, far below
+//! anything a real regression would produce. Bit-exactness across
+//! thread counts is enforced separately in `tests/determinism.rs`;
+//! this file pins the *values* so a silent change to the math (not just
+//! to the reduction order) fails loudly.
+
+use hc::prelude::*;
+use hc_core::answer::{Answer, AnswerFamily, AnswerSet, QuerySet};
+use hc_core::selection::{global_facts, ExplainTrace, GlobalFact, TaskSelector};
+use hc_core::update::update_with_family;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-9;
+const TRUTH: [bool; 3] = [true, true, false];
+
+/// Table I: three correlated facts, bit `i` of the cell index is the
+/// truth value of fact `i`.
+fn table_one() -> Belief {
+    Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18])
+        .expect("Table I joint is a distribution")
+}
+
+fn expert_panel() -> ExpertPanel {
+    ExpertPanel::from_accuracies(&[0.95, 0.92]).expect("valid panel")
+}
+
+/// One greedy round: select `k = 2` with an explain trace, then apply
+/// truthful answers from every expert for the selected facts.
+fn golden_round(beliefs: &mut MultiBelief, panel: &ExpertPanel) -> ExplainTrace {
+    let candidates = global_facts(beliefs);
+    let mut trace = ExplainTrace::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let chosen = GreedySelector::new()
+        .select_with_explain(beliefs, panel, 2, &candidates, &mut rng, &mut trace)
+        .expect("greedy select");
+    let facts: Vec<FactId> = chosen.iter().map(|q| q.fact).collect();
+    let queries = QuerySet::new(facts.clone(), 3).expect("valid query set");
+    let truthful: Vec<Answer> = facts
+        .iter()
+        .map(|f| Answer::from_bool(TRUTH[f.index()]))
+        .collect();
+    let family = AnswerFamily::new(vec![AnswerSet::new(&truthful); panel.len()]);
+    let belief = &mut beliefs.tasks_mut()[0];
+    update_with_family(belief, &queries, panel, &family).expect("Bayes update");
+    trace
+}
+
+/// Asserts one explained pick: position, fact, and gain.
+fn assert_pick(trace: &ExplainTrace, step: usize, fact: u32, gain: f64) {
+    let pick = &trace.selected[step];
+    assert_eq!(pick.step, step);
+    assert_eq!(pick.fact, GlobalFact::new(0, fact), "winner of step {step}");
+    assert!(
+        (pick.gain - gain).abs() < TOL,
+        "step {step} gain: got {}, want {gain}",
+        pick.gain
+    );
+}
+
+/// Asserts a scored (not necessarily winning) gain evaluated at `step`.
+fn assert_scored(trace: &ExplainTrace, step: usize, fact: u32, gain: f64) {
+    let found = trace
+        .scored
+        .iter()
+        .find(|s| s.step == step && s.fact == GlobalFact::new(0, fact))
+        .unwrap_or_else(|| panic!("fact {fact} must be scored at step {step}"));
+    assert!(
+        (found.gain - gain).abs() < TOL,
+        "scored gain of f{fact} at step {step}: got {}, want {gain}",
+        found.gain
+    );
+}
+
+#[test]
+fn quickstart_two_rounds_match_the_golden_trace() {
+    let mut beliefs = MultiBelief::new(vec![table_one()]);
+    let panel = expert_panel();
+
+    assert!(
+        (beliefs.entropy() - 2.023_666_548_128_520_3).abs() < TOL,
+        "prior entropy: got {}",
+        beliefs.entropy()
+    );
+
+    // Round 1: f3 wins (0.5868 nats), then f1 (0.5731 against the
+    // updated base). All three first-step gains are pinned.
+    let trace = golden_round(&mut beliefs, &panel);
+    assert_eq!(trace.selected.len(), 2);
+    assert_scored(&trace, 0, 0, 0.575_577_886_370_268_3);
+    assert_scored(&trace, 0, 1, 0.557_034_780_694_086_74);
+    assert_scored(&trace, 0, 2, 0.586_753_567_758_532_49);
+    assert_pick(&trace, 0, 2, 0.586_753_567_758_532_49);
+    assert_scored(&trace, 1, 0, 0.573_094_144_222_161_54);
+    assert_scored(&trace, 1, 1, 0.555_576_977_353_782_2);
+    assert_pick(&trace, 1, 0, 0.573_094_144_222_161_54);
+    assert!(
+        (beliefs.entropy() - 0.695_651_598_156_339_26).abs() < TOL,
+        "entropy after round 1: got {}",
+        beliefs.entropy()
+    );
+
+    // Round 2: the still-unchecked f2 dominates (0.5497), then f3 again
+    // with the small residual gain (0.0175).
+    let trace = golden_round(&mut beliefs, &panel);
+    assert_eq!(trace.selected.len(), 2);
+    assert_scored(&trace, 0, 0, 0.012_542_336_115_130_448);
+    assert_scored(&trace, 0, 1, 0.549_720_658_217_970_34);
+    assert_scored(&trace, 0, 2, 0.017_491_565_565_500_355);
+    assert_pick(&trace, 0, 1, 0.549_720_658_217_970_34);
+    assert_scored(&trace, 1, 0, 0.012_518_253_510_465_26);
+    assert_scored(&trace, 1, 2, 0.017_490_117_617_552_065);
+    assert_pick(&trace, 1, 2, 0.017_490_117_617_552_065);
+    assert!(
+        (beliefs.entropy() - 0.033_974_551_747_096_64).abs() < TOL,
+        "entropy after round 2: got {}",
+        beliefs.entropy()
+    );
+
+    // The final posterior, cell by cell: the true observation o4
+    // (f1=T f2=T f3=F, index 0b011) holds ~99.5% of the mass.
+    let expected = [
+        9.380_270_441_671_130_9e-6,
+        2.505_053_334_061_838_7e-3,
+        2.277_321_212_783_489_7e-3,
+        9.951_893_699_863_845_2e-1,
+        1.746_465_273_499_749_5e-10,
+        4.293_029_950_421_570_5e-8,
+        7.155_049_917_369_282_7e-8,
+        1.876_054_088_334_226_2e-5,
+    ];
+    let posterior = beliefs.tasks()[0].probs();
+    assert_eq!(posterior.len(), expected.len());
+    for (i, (&got, &want)) in posterior.iter().zip(&expected).enumerate() {
+        assert!(
+            (got - want).abs() < TOL,
+            "posterior cell {i}: got {got}, want {want}"
+        );
+    }
+
+    // And the labels recover the ground truth.
+    let marginals = beliefs.tasks()[0].marginals();
+    let labels: Vec<bool> = marginals.iter().map(|&m| m > 0.5).collect();
+    assert_eq!(labels, TRUTH.to_vec());
+    assert!((marginals[0] - 0.997_713_226_791_629_22).abs() < TOL);
+    assert!((marginals[1] - 0.997_485_523_290_550_51).abs() < TOL);
+    assert!((marginals[2] - 1.887_519_632_854_752e-5).abs() < TOL);
+}
+
+#[test]
+fn golden_trace_is_thread_count_invariant() {
+    // The same two rounds produce bit-identical picks, gains, and
+    // posteriors whatever the thread policy — the snapshot above cannot
+    // drift with the machine it runs on.
+    let run = |parallelism| {
+        let _guard = hc_core::parallel::scoped(parallelism);
+        let mut beliefs = MultiBelief::new(vec![table_one()]);
+        let panel = expert_panel();
+        let t1 = golden_round(&mut beliefs, &panel);
+        let t2 = golden_round(&mut beliefs, &panel);
+        let gains: Vec<u64> = t1
+            .selected
+            .iter()
+            .chain(&t2.selected)
+            .map(|s| s.gain.to_bits())
+            .collect();
+        let picks: Vec<GlobalFact> = t1
+            .selected
+            .iter()
+            .chain(&t2.selected)
+            .map(|s| s.fact)
+            .collect();
+        let probs: Vec<u64> = beliefs.tasks()[0].probs().iter().map(|p| p.to_bits()).collect();
+        (picks, gains, probs)
+    };
+    use hc_core::parallel::Parallelism;
+    let serial = run(Parallelism::Serial);
+    assert_eq!(serial, run(Parallelism::Threads(2)));
+    assert_eq!(serial, run(Parallelism::Threads(8)));
+}
