@@ -454,6 +454,30 @@ pub fn answer_set_likelihood(accuracy: f64, set: AnswerSet, o_proj: u32) -> f64 
     accuracy.powi(consistent as i32) * (1.0 - accuracy).powi(inconsistent as i32)
 }
 
+/// `ln P(A_cr^T | o)` — the log-domain counterpart of
+/// [`answer_set_likelihood`], used by the Bayes update's underflow
+/// rescue path (`crates/hc-core/src/update.rs`).
+///
+/// Returns `-∞` exactly when the linear likelihood is zero (a perfect
+/// worker contradicted by `o_proj`); a *finite* log-likelihood whose
+/// `exp` underflows to zero is precisely the case the rescue path
+/// recovers. The zero-count factors are skipped rather than multiplied
+/// so that `0 · ln(0) = NaN` can never leak out of a perfect worker
+/// whose answers are all consistent.
+#[inline]
+pub fn answer_set_log_likelihood(accuracy: f64, set: AnswerSet, o_proj: u32) -> f64 {
+    let consistent = set.consistent_count(o_proj);
+    let inconsistent = set.len() as u32 - consistent;
+    let mut l = 0.0;
+    if consistent > 0 {
+        l += f64::from(consistent) * accuracy.ln();
+    }
+    if inconsistent > 0 {
+        l += f64::from(inconsistent) * (1.0 - accuracy).ln();
+    }
+    l
+}
+
 /// `P(A_C^T | o)` — the likelihood of a whole answer family given an
 /// observation: the product over workers (they answer independently given
 /// the ground truth; Lemma 2).
@@ -479,6 +503,27 @@ pub fn partial_answer_set_likelihood(accuracy: f64, set: PartialAnswerSet, o_pro
     let consistent = set.consistent_count(o_proj);
     let inconsistent = set.answered_count() - consistent;
     accuracy.powi(consistent as i32) * (1.0 - accuracy).powi(inconsistent as i32)
+}
+
+/// `ln P(A_cr^{T'} | o)` — the log-domain counterpart of
+/// [`partial_answer_set_likelihood`]; see
+/// [`answer_set_log_likelihood`] for the rescue-path contract.
+#[inline]
+pub fn partial_answer_set_log_likelihood(
+    accuracy: f64,
+    set: PartialAnswerSet,
+    o_proj: u32,
+) -> f64 {
+    let consistent = set.consistent_count(o_proj);
+    let inconsistent = set.answered_count() - consistent;
+    let mut l = 0.0;
+    if consistent > 0 {
+        l += f64::from(consistent) * accuracy.ln();
+    }
+    if inconsistent > 0 {
+        l += f64::from(inconsistent) * (1.0 - accuracy).ln();
+    }
+    l
 }
 
 /// `P(A_C^{T'} | o)` for a partial answer family: the product over

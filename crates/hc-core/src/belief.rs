@@ -24,6 +24,24 @@ pub const MAX_FACTS: usize = 26;
 /// Tolerance used when validating that probability vectors sum to one.
 pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
 
+/// The floor applied when a probability must be kept away from exactly
+/// zero (or one) for numerical reasons.
+///
+/// One constant for the whole crate: [`Belief::from_marginals`] clamps
+/// CP vote fractions into `[PROB_FLOOR, 1 − PROB_FLOOR]` so no
+/// observation starts with an unrevivable zero prior, and
+/// [`crate::metrics::log_loss`] clamps predictions by the same amount so
+/// a confidently-wrong label costs `−ln(PROB_FLOOR) ≈ 20.7` nats instead
+/// of infinity. `1e-9` is far below any probability the crowd model can
+/// produce honestly (even a `1 − 1e-12`-accurate expert moves posteriors
+/// by factors of ~`1e12` per answer, many orders above the floor) while
+/// staying far above the `f64` underflow threshold. Clamp *counts* are
+/// surfaced rather than silent: [`Belief::from_marginals_counted`]
+/// reports how many marginals were floored, and the update path reports
+/// flushed multiplier cells through `UpdateHealth` / the
+/// `NumericalHealth` telemetry event.
+pub const PROB_FLOOR: f64 = 1e-9;
+
 /// A joint distribution `P(O)` over the observations of one task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Belief {
@@ -79,7 +97,7 @@ impl Belief {
             num_facts: num_facts as u8,
             probs,
         };
-        belief.renormalize();
+        belief.renormalize()?;
         Ok(belief)
     }
 
@@ -88,23 +106,36 @@ impl Belief {
     /// its complement (false). This is exactly the initialisation of
     /// Equation (15) when the marginals are CP vote fractions.
     ///
-    /// Marginals are clamped into `[ε, 1-ε]` (`ε = 1e-9`) so that no
-    /// observation starts with exactly zero probability — a zero prior can
-    /// never be revived by Bayes updates even if every expert contradicts
-    /// it, which would make the checking loop brittle against unanimous CP
-    /// mistakes.
+    /// Marginals are clamped into `[ε, 1-ε]` (`ε =` [`PROB_FLOOR`]) so
+    /// that no observation starts with exactly zero probability — a zero
+    /// prior can never be revived by Bayes updates even if every expert
+    /// contradicts it, which would make the checking loop brittle against
+    /// unanimous CP mistakes.
     pub fn from_marginals(marginals: &[f64]) -> Result<Self> {
+        Self::from_marginals_counted(marginals).map(|(belief, _)| belief)
+    }
+
+    /// Like [`Belief::from_marginals`], but additionally reports how many
+    /// marginals had to be clamped away from an exact 0 or 1 — clamping
+    /// is a lossy numerical intervention and callers that care about run
+    /// health (e.g. the init path feeding `NumericalHealth` telemetry)
+    /// should not have it happen silently.
+    pub fn from_marginals_counted(marginals: &[f64]) -> Result<(Self, usize)> {
         Self::check_num_facts(marginals.len())?;
         if marginals.is_empty() {
             return Err(HcError::EmptyFactSet);
         }
-        const EPS: f64 = 1e-9;
+        let mut clamp_count = 0usize;
         let mut clamped = Vec::with_capacity(marginals.len());
         for &m in marginals {
             if !m.is_finite() || !(0.0..=1.0).contains(&m) {
                 return Err(HcError::InvalidProbability(m));
             }
-            clamped.push(m.clamp(EPS, 1.0 - EPS));
+            let c = m.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR);
+            if c != m {
+                clamp_count += 1;
+            }
+            clamped.push(c);
         }
         let len = 1usize << marginals.len();
         let mut probs = Vec::with_capacity(len);
@@ -119,8 +150,8 @@ impl Belief {
             num_facts: marginals.len() as u8,
             probs,
         };
-        belief.renormalize();
-        Ok(belief)
+        belief.renormalize()?;
+        Ok((belief, clamp_count))
     }
 
     /// A point-mass belief on a single observation (useful in tests and
@@ -303,53 +334,75 @@ impl Belief {
             num_facts: self.num_facts,
             probs,
         };
-        out.renormalize();
+        out.renormalize()?;
         Ok(out)
     }
 
     /// Kullback–Leibler divergence `D(self ‖ other)` in nats.
     ///
     /// Returns `f64::INFINITY` when `self` puts mass where `other` has
-    /// none (the standard convention).
+    /// none (the standard convention). The sum runs over fixed chunk
+    /// boundaries with an ordered merge — like `entropy_of` and
+    /// [`Belief::total_variation`] — so the value honours the
+    /// thread-invariance contract of [`crate::parallel`].
     pub fn kl_divergence(&self, other: &Belief) -> Result<f64> {
+        use crate::parallel;
         if other.num_facts != self.num_facts {
             return Err(HcError::DimensionMismatch {
                 expected: self.num_facts(),
                 actual: other.num_facts(),
             });
         }
-        let mut kl = 0.0;
-        for (&p, &q) in self.probs.iter().zip(&other.probs) {
-            if p == 0.0 {
-                continue;
+        let kl = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
+            let mut acc = 0.0;
+            for (&p, &q) in self.probs[r.clone()].iter().zip(&other.probs[r]) {
+                if p == 0.0 {
+                    // 0 ln 0 = 0, and 0/0 must not poison the sum.
+                    continue;
+                }
+                // q == 0 with p > 0 yields +inf here, which propagates
+                // through the fold to the standard D = ∞ convention.
+                acc += p * (p / q).ln();
             }
-            if q == 0.0 {
-                return Ok(f64::INFINITY);
-            }
-            kl += p * (p / q).ln();
-        }
+            acc
+        });
         Ok(kl.max(0.0))
     }
 
     /// Total variation distance `½ Σ_o |P(o) − Q(o)|` ∈ [0, 1].
+    ///
+    /// Chunked ordered sum: bit-identical at any thread count.
     pub fn total_variation(&self, other: &Belief) -> Result<f64> {
+        use crate::parallel;
         if other.num_facts != self.num_facts {
             return Err(HcError::DimensionMismatch {
                 expected: self.num_facts(),
                 actual: other.num_facts(),
             });
         }
-        Ok(0.5
-            * self
-                .probs
+        let sum = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
+            self.probs[r.clone()]
                 .iter()
-                .zip(&other.probs)
+                .zip(&other.probs[r])
                 .map(|(&p, &q)| (p - q).abs())
-                .sum::<f64>())
+                .sum::<f64>()
+        });
+        Ok(0.5 * sum)
     }
 
-    /// Rescales so probabilities sum to exactly one.
-    pub(crate) fn renormalize(&mut self) {
+    /// Rescales so probabilities sum to exactly one, returning the
+    /// pre-normalisation mass that was divided out.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::BeliefCollapsed`] when the mass is zero, negative,
+    /// non-finite, or so subnormal that its reciprocal overflows — in
+    /// every such case scaling would poison the table with NaN/Inf, so
+    /// the belief is left untouched instead. This is a real release-mode
+    /// check: the former `debug_assert!(sum > 0.0)` compiled away exactly
+    /// in the optimised builds where long near-perfect-expert runs make
+    /// underflow most likely.
+    pub(crate) fn renormalize(&mut self) -> Result<f64> {
         use crate::parallel;
         // Chunked ordered sum + element-independent scale: the Bayes
         // update's 2^n renormalisation pass, bit-identical for any
@@ -357,13 +410,16 @@ impl Belief {
         let sum = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
             self.probs[r].iter().sum::<f64>()
         });
-        debug_assert!(sum > 0.0, "belief collapsed to zero mass");
         let inv = 1.0 / sum;
+        if !(sum > 0.0) || !inv.is_finite() {
+            return Err(HcError::BeliefCollapsed { mass: sum });
+        }
         parallel::fill_slice(&mut self.probs, parallel::CHUNK, |_, slice| {
             for p in slice {
                 *p *= inv;
             }
         });
+        Ok(sum)
     }
 
     /// Mutable access for update kernels inside the crate.
@@ -614,5 +670,95 @@ mod tests {
         let point3 = Belief::point_mass(2, Observation(3)).unwrap();
         assert!((point0.total_variation(&point3).unwrap() - 1.0).abs() < 1e-12);
         assert!(b.total_variation(&Belief::uniform(2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn from_marginals_counts_clamps() {
+        let (b, count) = Belief::from_marginals_counted(&[1.0, 0.0, 0.5]).unwrap();
+        assert_eq!(count, 2, "both extreme marginals must be reported");
+        assert!(b.probs().iter().all(|&p| p > 0.0));
+        let (_, clean) = Belief::from_marginals_counted(&[0.3, 0.7]).unwrap();
+        assert_eq!(clean, 0, "interior marginals are untouched");
+    }
+
+    /// A deterministic non-uniform belief large enough to span several
+    /// `parallel::CHUNK` chunks.
+    fn big_belief(seed: u64) -> Belief {
+        let len = 1usize << 13;
+        let raw: Vec<f64> = (0..len as u64)
+            .map(|i| ((i.wrapping_mul(seed) % 97) + 1) as f64)
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        Belief::from_probs(raw.into_iter().map(|p| p / sum).collect()).unwrap()
+    }
+
+    #[test]
+    fn kl_and_tv_are_thread_invariant_across_chunks() {
+        use crate::parallel::{self, Parallelism};
+        let a = big_belief(31);
+        let b = big_belief(57);
+        let run = |parallelism| {
+            let _guard = parallel::scoped(parallelism);
+            (
+                a.kl_divergence(&b).unwrap().to_bits(),
+                a.total_variation(&b).unwrap().to_bits(),
+            )
+        };
+        let serial = run(Parallelism::Serial);
+        assert_eq!(serial, run(Parallelism::Threads(2)), "1 vs 2 threads");
+        assert_eq!(serial, run(Parallelism::Threads(8)), "1 vs 8 threads");
+        // And the self-distances stay exactly degenerate.
+        assert!(a.kl_divergence(&a).unwrap().abs() < 1e-12);
+        assert_eq!(a.total_variation(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_is_infinite_on_support_mismatch_in_any_chunk() {
+        // Zero `other`-cell deep inside a later chunk: the +inf term must
+        // survive the chunked merge.
+        let a = big_belief(11);
+        let mut probs = big_belief(13).probs().to_vec();
+        let dead = probs.len() - 7;
+        let spread = probs[dead] / (probs.len() - 1) as f64;
+        probs[dead] = 0.0;
+        for (i, p) in probs.iter_mut().enumerate() {
+            if i != dead {
+                *p += spread;
+            }
+        }
+        let b = Belief::from_probs(probs).unwrap();
+        assert_eq!(a.kl_divergence(&b).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn renormalize_reports_collapse_instead_of_dividing_by_zero() {
+        // All-zero mass: the release-mode path must error, not divide.
+        let mut dead = Belief {
+            num_facts: 2,
+            probs: vec![0.0; 4],
+        };
+        assert!(matches!(
+            dead.renormalize(),
+            Err(HcError::BeliefCollapsed { mass }) if mass == 0.0
+        ));
+        assert!(dead.probs().iter().all(|&p| p == 0.0), "left untouched");
+
+        // Subnormal mass whose reciprocal overflows: also a collapse.
+        let mut tiny = Belief {
+            num_facts: 2,
+            probs: vec![1e-320; 4],
+        };
+        assert!(matches!(
+            tiny.renormalize(),
+            Err(HcError::BeliefCollapsed { .. })
+        ));
+
+        // A healthy table reports the divided-out mass.
+        let mut ok = Belief {
+            num_facts: 1,
+            probs: vec![1.0, 3.0],
+        };
+        assert_eq!(ok.renormalize().unwrap(), 4.0);
+        assert_eq!(ok.probs(), &[0.25, 0.75]);
     }
 }

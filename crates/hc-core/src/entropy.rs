@@ -37,9 +37,18 @@ use crate::worker::ExpertPanel;
 pub const MAX_FAMILY_BITS: usize = 30;
 
 /// Binary Shannon entropy `h(p) = -p ln p - (1-p) ln(1-p)` in nats.
+///
+/// Inputs are clamped into `[0, 1]` so a marginal that leaks a few
+/// ulps outside the unit interval (roundoff in a projection sum) costs
+/// nothing in debug *and* release instead of returning NaN via the log
+/// of a negative number. In-range inputs are untouched, so the clamp
+/// never changes a healthy result's bits.
 #[inline]
 pub fn binary_entropy(p: f64) -> f64 {
-    debug_assert!((0.0..=1.0).contains(&p));
+    // Tolerate roundoff-scale leakage in debug too; gross violations
+    // (and NaN, for which `contains` is false) still trip the assert.
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "p = {p}");
+    let p = p.clamp(0.0, 1.0);
     let mut h = 0.0;
     if p > 0.0 {
         h -= p * p.ln();
@@ -105,6 +114,10 @@ fn worker_tables(panel: &ExpertPanel, k: usize) -> Vec<Vec<f64>> {
 ///
 /// [`HcError::TooManyFacts`] when `k · m` exceeds [`MAX_FAMILY_BITS`].
 pub fn family_distribution_projected(q: &[f64], panel: &ExpertPanel) -> Result<Vec<f64>> {
+    // Internal invariant: every caller passes a `Belief::project`
+    // result, whose length is `1 << |T|` by construction. In release a
+    // violation would only mis-size the family space (`k` is derived
+    // from `trailing_zeros`), never touch memory out of bounds.
     debug_assert!(q.len().is_power_of_two());
     let k = q.len().trailing_zeros() as usize;
     let m = panel.len();
@@ -356,6 +369,14 @@ mod tests {
         assert!((binary_entropy(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
         // Symmetry.
         assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_entropy_clamps_roundoff_leakage() {
+        // A marginal a few ulps outside [0, 1] clamps to an endpoint
+        // instead of producing NaN through ln of a negative number.
+        assert_eq!(binary_entropy(1.0 + 1e-12), 0.0);
+        assert_eq!(binary_entropy(-1e-12), 0.0);
     }
 
     #[test]

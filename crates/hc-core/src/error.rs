@@ -47,6 +47,20 @@ pub enum HcError {
     Timeout,
     /// The checking budget cannot afford even a single query.
     BudgetExhausted,
+    /// A belief's total mass collapsed to zero (or a non-finite value)
+    /// during renormalisation.
+    ///
+    /// This is the numerical dead end of Bayes' rule: the evidence
+    /// assigned probability zero to every observation the belief still
+    /// considered possible — either a genuine contradiction (a perfect
+    /// expert contradicting a zero-prior cell) or an underflow the
+    /// log-domain rescue path could not recover. The belief is left
+    /// unmodified when this error is returned.
+    BeliefCollapsed {
+        /// The offending pre-normalisation mass (zero, negative, or
+        /// non-finite).
+        mass: f64,
+    },
 }
 
 impl fmt::Display for HcError {
@@ -75,6 +89,13 @@ impl fmt::Display for HcError {
             HcError::Timeout => write!(f, "selection exceeded its time budget"),
             HcError::BudgetExhausted => {
                 write!(f, "checking budget cannot afford a single query")
+            }
+            HcError::BeliefCollapsed { mass } => {
+                write!(
+                    f,
+                    "belief collapsed: pre-normalisation mass {mass} is not a \
+                     usable positive value"
+                )
             }
         }
     }
@@ -108,6 +129,7 @@ mod tests {
             (HcError::InvalidQuery { fact: 7 }, "7"),
             (HcError::Timeout, "time budget"),
             (HcError::BudgetExhausted, "budget"),
+            (HcError::BeliefCollapsed { mass: 0.0 }, "collapsed"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -12,7 +12,7 @@ use crate::belief::MultiBelief;
 use crate::error::Result;
 use crate::fact::FactId;
 use crate::selection::{ExplainTrace, GlobalFact, TaskSelector};
-use crate::update::update_with_partial_family;
+use crate::update::{update_with_partial_family, UpdateHealth};
 use crate::worker::{ExpertPanel, Worker};
 use hc_telemetry::timing::{self, Phase};
 use hc_telemetry::{NullSink, StopReason, TelemetryEvent, TelemetrySink};
@@ -160,7 +160,12 @@ impl KSchedule {
                 nats_per_query,
                 max,
             } => {
-                debug_assert!(nats_per_query > 0.0);
+                // A non-positive (or NaN) rate would divide to ±∞/NaN and
+                // `as usize`-saturate; fall back to the base `k` instead
+                // of letting a bad config poison the schedule in release.
+                if !(nats_per_query > 0.0) {
+                    return base_k.clamp(1, max.max(1));
+                }
                 let k = (beliefs.entropy() / nats_per_query).ceil() as usize;
                 k.clamp(1, max.max(1))
             }
@@ -553,7 +558,7 @@ pub fn run_hc_costed_with_telemetry(
         }
 
         // Collect the answer family and update, task by task.
-        let delivery = apply_round_with_telemetry(
+        let (delivery, health) = apply_round_with_telemetry(
             beliefs,
             panel,
             &queries,
@@ -594,6 +599,21 @@ pub fn run_hc_costed_with_telemetry(
                 answers_requested: delivery.requested,
                 answers_received: delivery.delivered,
             });
+            // One numerical-health report per round that actually
+            // renormalised something, so the inspector's audit can flag
+            // near-collapse runs. All fields come from fixed-chunk
+            // ordered reductions, so the event stream stays bit-identical
+            // across thread counts.
+            if health.is_meaningful() {
+                sink.record(&TelemetryEvent::NumericalHealth {
+                    round,
+                    min_mass: health.min_mass,
+                    renorm_scale: health.renorm_scale,
+                    log_evidence: health.log_evidence,
+                    clamp_count: health.clamp_count as u64,
+                    rescued: health.rescued,
+                });
+            }
         }
         observer(beliefs, &record);
         rounds.push(record);
@@ -640,6 +660,7 @@ pub fn apply_round(
     oracle: &mut dyn AnswerOracle,
 ) -> Result<RoundDelivery> {
     apply_round_with_telemetry(beliefs, panel, queries, oracle, 0, 1, &mut NullSink)
+        .map(|(delivery, _)| delivery)
 }
 
 /// [`apply_round`] that also records each dispatch and its final
@@ -653,6 +674,10 @@ pub fn apply_round(
 /// causal id `first_query_id + i` (shared by every panel worker
 /// answering it), announced to the oracle via
 /// [`AnswerOracle::begin_dispatch`] before each attempt.
+///
+/// Alongside the delivery report, returns the round's aggregated
+/// [`UpdateHealth`] (worst-case across the per-task Bayes updates) for
+/// the `NumericalHealth` telemetry event.
 pub fn apply_round_with_telemetry(
     beliefs: &mut MultiBelief,
     panel: &ExpertPanel,
@@ -661,7 +686,8 @@ pub fn apply_round_with_telemetry(
     round: usize,
     first_query_id: u64,
     sink: &mut dyn TelemetrySink,
-) -> Result<RoundDelivery> {
+) -> Result<(RoundDelivery, UpdateHealth)> {
+    let mut health = UpdateHealth::identity();
     let mut per_worker = vec![0usize; panel.len()];
     // Group query facts (with their causal ids) per task, preserving order.
     let mut per_task: Vec<(usize, Vec<(FactId, u64)>)> = Vec::new();
@@ -725,14 +751,19 @@ pub fn apply_round_with_telemetry(
             sets.push(set);
         }
         let family = PartialAnswerFamily::new(sets);
-        update_with_partial_family(&mut beliefs.tasks_mut()[task], &query_set, panel, &family)?;
+        let task_health =
+            update_with_partial_family(&mut beliefs.tasks_mut()[task], &query_set, panel, &family)?;
+        health.merge(&task_health);
     }
     let delivered = per_worker.iter().sum();
-    Ok(RoundDelivery {
-        requested: queries.len() * panel.len(),
-        delivered,
-        per_worker,
-    })
+    Ok((
+        RoundDelivery {
+            requested: queries.len() * panel.len(),
+            delivered,
+            per_worker,
+        },
+        health,
+    ))
 }
 
 /// Sequential multi-tier checking (§III-D): the belief is checked by each

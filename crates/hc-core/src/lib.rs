@@ -70,9 +70,10 @@ pub mod prelude {
         Answer, AnswerFamily, AnswerOutcome, AnswerSet, PartialAnswerFamily, PartialAnswerSet,
         QuerySet,
     };
-    pub use crate::belief::{Belief, MultiBelief};
+    pub use crate::belief::{Belief, MultiBelief, PROB_FLOOR};
     pub use crate::error::{HcError, Result};
     pub use crate::fact::{Fact, FactId, FactSet};
+    pub use crate::update::UpdateHealth;
     pub use crate::hc::{
         run_hc, run_hc_with_observer, run_hc_with_telemetry, AccuracyCost, AnswerOracle,
         CostModel, HcConfig, HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord,
@@ -95,9 +96,10 @@ pub use answer::{
     Answer, AnswerFamily, AnswerOutcome, AnswerSet, PartialAnswerFamily, PartialAnswerSet,
     QuerySet,
 };
-pub use belief::{Belief, MultiBelief};
+pub use belief::{Belief, MultiBelief, PROB_FLOOR};
 pub use error::{HcError, Result};
 pub use fact::{Fact, FactId, FactSet};
+pub use update::UpdateHealth;
 pub use hc::{
     run_hc, run_hc_with_observer, run_hc_with_telemetry, AccuracyCost, AnswerOracle, CostModel,
     HcConfig, HcOutcome, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord, UnitCost,

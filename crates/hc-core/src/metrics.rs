@@ -7,7 +7,7 @@
 //! (Brier, log loss) and an expected-calibration-error estimate, all
 //! over per-fact marginals against boolean ground truth.
 
-use crate::belief::MultiBelief;
+use crate::belief::{MultiBelief, PROB_FLOOR};
 
 /// Flattens the per-fact marginals of every task, in (task, fact) order.
 pub fn flat_marginals(beliefs: &MultiBelief) -> Vec<f64> {
@@ -38,19 +38,20 @@ pub fn brier_score(marginals: &[f64], truth: &[bool]) -> f64 {
 }
 
 /// Mean negative log-likelihood of the truth under the marginals, in
-/// nats. Probabilities are clamped to `[ε, 1−ε]` so a single confident
-/// mistake yields a large-but-finite penalty.
+/// nats. Probabilities are clamped to `[ε, 1−ε]` (`ε =`
+/// [`PROB_FLOOR`], the same floor `Belief::from_marginals` applies on
+/// the way in) so a single confident mistake yields a large-but-finite
+/// penalty of at most `−ln(PROB_FLOOR) ≈ 20.7` nats.
 pub fn log_loss(marginals: &[f64], truth: &[bool]) -> f64 {
     debug_assert_eq!(marginals.len(), truth.len());
     if marginals.is_empty() {
         return 0.0;
     }
-    const EPS: f64 = 1e-12;
     marginals
         .iter()
         .zip(truth)
         .map(|(&p, &t)| {
-            let p = p.clamp(EPS, 1.0 - EPS);
+            let p = p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR);
             if t {
                 -p.ln()
             } else {

@@ -7,7 +7,8 @@
 //!            = [H(AS^{T∪f}) − H(AS^T)] − Σ_cr h(Pr_cr)`
 //!
 //! (chain rule; only answer-family entropies are evaluated). Selection
-//! stops at `k` queries or when no candidate has positive gain. Because
+//! stops at `k` queries or when no candidate's gain clears the
+//! entropy-scaled noise floor ([`stop_floor`]). Because
 //! the gain function is submodular, the greedy set is a `(1 − 1/e)`-
 //! approximation of the optimum.
 //!
@@ -34,10 +35,26 @@ use rand::RngCore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Gains at or below this threshold are treated as zero (Algorithm 2's
-/// stop condition) — absorbs float noise from the chain-rule subtraction
-/// on near-deterministic beliefs.
+/// Base unit of the greedy stop threshold (Algorithm 2's "no positive
+/// gain" condition). Gains at or below the *scaled* threshold — see
+/// [`stop_floor`] — are treated as zero.
 pub const GAIN_EPSILON: f64 = 1e-12;
+
+/// The stop threshold for one selection round: [`GAIN_EPSILON`] scaled
+/// by the current total entropy of the belief state, floored at 1 nat
+/// so a near-certain belief never loosens the cut-off below the
+/// absolute epsilon.
+///
+/// An absolute `1e-12` cut-off is meaningless when the gains come from
+/// a chain-rule subtraction of entropies that are themselves O(10)
+/// nats: the subtraction's roundoff is proportional to the operand
+/// scale, so the noise floor must track that scale too. The scaled
+/// floor stays many orders of magnitude below the conformance
+/// tolerance between the greedy schedules, so cached, lazy, and exact
+/// selection keep agreeing.
+pub fn stop_floor(beliefs: &MultiBelief) -> f64 {
+    GAIN_EPSILON * beliefs.entropy().max(1.0)
+}
 
 /// How many consecutive stale heap tops the lazy path re-scores per
 /// parallel batch. A fixed constant — never derived from the thread
@@ -143,6 +160,7 @@ fn select_cached(
     mut trace: Option<&mut ExplainTrace>,
 ) -> Result<Vec<GlobalFact>> {
     let panel_h = panel.per_query_answer_entropy();
+    let gain_floor = stop_floor(beliefs);
     let mut chosen: Vec<GlobalFact> = Vec::with_capacity(k);
     let mut selected_per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
     // H(AS^{T_t}) per task; empty selection has a single sure family,
@@ -204,8 +222,9 @@ fn select_cached(
             }
         }
         let Some((idx, best_gain)) = best else { break };
-        // Algorithm 2, line 4: stop when no candidate improves quality.
-        if best_gain <= GAIN_EPSILON {
+        // Algorithm 2, line 4: stop when no candidate improves quality
+        // beyond the entropy-scaled noise floor.
+        if best_gain <= gain_floor {
             break;
         }
         let gf = candidates[idx];
@@ -267,6 +286,7 @@ fn select_lazy(
     mut trace: Option<&mut ExplainTrace>,
 ) -> Result<Vec<GlobalFact>> {
     let panel_h = panel.per_query_answer_entropy();
+    let gain_floor = stop_floor(beliefs);
     let mut selected_per_task: Vec<Vec<FactId>> = vec![Vec::new(); beliefs.len()];
     let mut h_as: Vec<f64> = vec![0.0; beliefs.len()];
     let mut task_epoch: Vec<u32> = vec![0; beliefs.len()];
@@ -304,7 +324,7 @@ fn select_lazy(
         let gf = candidates[top.candidate_idx];
         if top.task_epoch == task_epoch[gf.task] {
             // Fresh: by submodularity this is the global argmax.
-            if top.gain <= GAIN_EPSILON {
+            if top.gain <= gain_floor {
                 break;
             }
             if let Some(t) = trace.as_deref_mut() {
@@ -550,6 +570,26 @@ mod tests {
             .select_with_explain(&beliefs, &p, 3, &candidates, &mut rng(), &mut trace)
             .unwrap();
         assert_eq!(trace, first, "re-running does not accumulate");
+    }
+
+    #[test]
+    fn stop_floor_tracks_the_entropy_scale() {
+        let beliefs = two_task_beliefs();
+        let floor = stop_floor(&beliefs);
+        assert!(floor >= GAIN_EPSILON, "never looser than the absolute epsilon");
+        assert!(
+            (floor - GAIN_EPSILON * beliefs.entropy().max(1.0)).abs() == 0.0,
+            "exactly the scaled epsilon"
+        );
+        // A certain belief has zero entropy: the floor clamps to the
+        // absolute epsilon instead of collapsing to zero.
+        let certain =
+            Belief::point_mass(2, crate::observation::Observation(0b01)).unwrap();
+        let certain_beliefs = MultiBelief::new(vec![certain]);
+        assert_eq!(stop_floor(&certain_beliefs), GAIN_EPSILON);
+        // The floor stays far below the cross-schedule conformance
+        // tolerance even at the 26-fact ceiling.
+        assert!(GAIN_EPSILON * 26.0 * std::f64::consts::LN_2 < 1e-7);
     }
 
     #[test]

@@ -12,12 +12,72 @@
 //! instead of `O(2^n · k·m)`.
 
 use crate::answer::{
-    answer_set_likelihood, partial_answer_set_likelihood, AnswerFamily, AnswerSet,
-    PartialAnswerFamily, QuerySet,
+    answer_set_likelihood, answer_set_log_likelihood, partial_answer_set_likelihood,
+    partial_answer_set_log_likelihood, AnswerFamily, AnswerSet, PartialAnswerFamily, QuerySet,
 };
 use crate::belief::Belief;
 use crate::error::{HcError, Result};
 use crate::worker::ExpertPanel;
+
+/// Numerical health report from one Bayes update — the raw material of
+/// the `NumericalHealth` telemetry event.
+///
+/// Every update function returns one of these; existing callers that
+/// only care about success can keep discarding it with `?`. The HC loop
+/// aggregates the per-task reports into a per-round event so the
+/// inspector's audit can flag runs that came close to collapse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateHealth {
+    /// Smallest posterior cell mass after renormalisation. Cells at or
+    /// below [`crate::belief::PROB_FLOOR`] are one underflow away from
+    /// being unrecoverable by the linear path.
+    pub min_mass: f64,
+    /// Pre-normalisation total mass — the renormalisation scale
+    /// `Σ_o P(o)·m(o)`. Values near the subnormal range mean the table
+    /// survived this round only barely.
+    pub renorm_scale: f64,
+    /// Log evidence of the round's answers, `ln Σ_o P(o)·m(o)`,
+    /// accumulated in log domain on the rescue path so it stays finite
+    /// even when the linear mass underflows.
+    pub log_evidence: f64,
+    /// Posterior cells flushed to exact zero despite a finite
+    /// log-likelihood (plus any prior cells clamped at
+    /// [`crate::belief::PROB_FLOOR`] by the caller's construction path).
+    pub clamp_count: usize,
+    /// Whether the log-domain rescue path had to take over because the
+    /// linear multiply-and-renormalise underflowed.
+    pub rescued: bool,
+}
+
+impl UpdateHealth {
+    /// The no-op update: identity for [`UpdateHealth::merge`].
+    pub fn identity() -> Self {
+        UpdateHealth {
+            min_mass: f64::INFINITY,
+            renorm_scale: f64::INFINITY,
+            log_evidence: 0.0,
+            clamp_count: 0,
+            rescued: false,
+        }
+    }
+
+    /// Folds another update's report into this one (per-round
+    /// aggregation across tasks): worst-case mins, summed log evidence
+    /// and clamp counts.
+    pub fn merge(&mut self, other: &UpdateHealth) {
+        self.min_mass = self.min_mass.min(other.min_mass);
+        self.renorm_scale = self.renorm_scale.min(other.renorm_scale);
+        self.log_evidence += other.log_evidence;
+        self.clamp_count += other.clamp_count;
+        self.rescued |= other.rescued;
+    }
+
+    /// Whether at least one real renormalisation fed this report (the
+    /// mins are meaningful, not the identity's infinities).
+    pub fn is_meaningful(&self) -> bool {
+        self.min_mass.is_finite() && self.renorm_scale.is_finite()
+    }
+}
 
 /// Updates `belief` in place with one expert's answer set (Lemma 3,
 /// Equation (19)).
@@ -25,13 +85,15 @@ use crate::worker::ExpertPanel;
 /// # Errors
 ///
 /// [`HcError::DimensionMismatch`] when the answer set length differs from
-/// the query set length.
+/// the query set length; [`HcError::InvalidProbability`] /
+/// [`HcError::BeliefCollapsed`] when the answers leave no posterior mass
+/// (see [`apply_multiplier`'s contract](update_with_partial_family)).
 pub fn update_with_answer_set(
     belief: &mut Belief,
     queries: &QuerySet,
     accuracy: f64,
     set: AnswerSet,
-) -> Result<()> {
+) -> Result<UpdateHealth> {
     if set.len() != queries.len() {
         return Err(HcError::DimensionMismatch {
             expected: queries.len(),
@@ -43,7 +105,11 @@ pub fn update_with_answer_set(
     for t in 0..cells as u32 {
         multiplier.push(answer_set_likelihood(accuracy, set, t));
     }
-    apply_multiplier(belief, queries, &multiplier)
+    apply_multiplier(belief, queries, &multiplier, || {
+        (0..cells as u32)
+            .map(|t| answer_set_log_likelihood(accuracy, set, t))
+            .collect()
+    })
 }
 
 /// Updates `belief` in place with a whole answer family from the expert
@@ -58,7 +124,7 @@ pub fn update_with_family(
     queries: &QuerySet,
     panel: &ExpertPanel,
     family: &AnswerFamily,
-) -> Result<()> {
+) -> Result<UpdateHealth> {
     if family.len() != panel.len() {
         return Err(HcError::DimensionMismatch {
             expected: panel.len(),
@@ -81,7 +147,16 @@ pub fn update_with_family(
             *m *= answer_set_likelihood(acc, set, t as u32);
         }
     }
-    apply_multiplier(belief, queries, &multiplier)
+    apply_multiplier(belief, queries, &multiplier, || {
+        let mut log_mult = vec![0.0; cells];
+        for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+            let acc = worker.accuracy.rate();
+            for (t, l) in log_mult.iter_mut().enumerate() {
+                *l += answer_set_log_likelihood(acc, set, t as u32);
+            }
+        }
+        log_mult
+    })
 }
 
 /// Updates `belief` in place with a *partial* answer family — the
@@ -101,13 +176,14 @@ pub fn update_with_family(
 /// from the panel's, or any partial set's query count differs from the
 /// query set; [`HcError::InvalidProbability`] when the delivered answers
 /// are impossible under the current belief (perfect expert contradicting
-/// a zero-prior observation).
+/// a zero-prior observation); [`HcError::BeliefCollapsed`] when even the
+/// log-domain rescue path cannot recover a usable posterior mass.
 pub fn update_with_partial_family(
     belief: &mut Belief,
     queries: &QuerySet,
     panel: &ExpertPanel,
     family: &PartialAnswerFamily,
-) -> Result<()> {
+) -> Result<UpdateHealth> {
     let _span = hc_telemetry::timing::span(hc_telemetry::timing::Phase::BayesUpdate);
     if family.len() != panel.len() {
         return Err(HcError::DimensionMismatch {
@@ -134,45 +210,224 @@ pub fn update_with_partial_family(
             *m *= partial_answer_set_likelihood(acc, set, t as u32);
         }
     }
-    apply_multiplier(belief, queries, &multiplier)
+    apply_multiplier(belief, queries, &multiplier, || {
+        let mut log_mult = vec![0.0; cells];
+        for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+            if set.answered_count() == 0 {
+                continue;
+            }
+            let acc = worker.accuracy.rate();
+            for (t, l) in log_mult.iter_mut().enumerate() {
+                *l += partial_answer_set_log_likelihood(acc, set, t as u32);
+            }
+        }
+        log_mult
+    })
 }
 
 /// Multiplies each observation's probability by `multiplier[o|T]` and
-/// renormalises.
-fn apply_multiplier(belief: &mut Belief, queries: &QuerySet, multiplier: &[f64]) -> Result<()> {
+/// renormalises, falling back to a log-domain rescue when the linear
+/// products underflow.
+///
+/// The healthy path is bit-for-bit the historical multiply-then-
+/// renormalise kernel: a chunked dry-run reduction first computes
+/// `Σ_o fl(P(o)·m)` with exactly the summands, chunk boundaries, and
+/// merge order the old stored-multiply + `renormalize()` produced, and
+/// only when that mass is usable (`> 0` with a finite reciprocal) does
+/// a single write pass store `fl(fl(P(o)·m)·inv)` — the same two
+/// roundings the old code performed. The belief is therefore never
+/// touched until the update is known to succeed.
+///
+/// When the linear mass underflows, `log_multiplier` is invoked (only
+/// then — the hot path never pays for it) to rebuild the per-pattern
+/// likelihoods as `Σ ln(factor)`. The table is shifted by the largest
+/// log-likelihood among patterns the belief actually supports, so the
+/// rescued multiplier `exp(l − lmax)` is exactly 1.0 somewhere mass
+/// lives, and the posterior is renormalised by *division* (a subnormal
+/// rescued mass must not become an infinite reciprocal). The evidence
+/// `lmax + ln(Σ P(o)·exp(l − lmax))` stays finite throughout.
+///
+/// # Errors
+///
+/// [`HcError::InvalidProbability`] when the projected evidence mass is
+/// exactly non-positive (genuinely impossible answers);
+/// [`HcError::BeliefCollapsed`] when even the rescued mass is zero or
+/// non-finite. In both cases the belief is left unmodified.
+fn apply_multiplier(
+    belief: &mut Belief,
+    queries: &QuerySet,
+    multiplier: &[f64],
+    log_multiplier: impl FnOnce() -> Vec<f64>,
+) -> Result<UpdateHealth> {
+    use crate::parallel;
     let facts = queries.facts();
-    // Total evidence mass: if the answers are impossible under the current
-    // belief (can only happen with perfect experts and a zero-prior
-    // observation), the posterior is undefined.
+    // Total evidence mass under the *projected* belief. A non-positive
+    // value is either genuinely impossible evidence (perfect experts
+    // contradicting a zero-prior observation) or a linear underflow — the
+    // two are indistinguishable here (both are exactly 0.0), so the
+    // verdict is deferred to the log-domain check below.
     let q = belief.project(facts);
     let mass: f64 = q.iter().zip(multiplier).map(|(&a, &b)| a * b).sum();
-    if mass <= 0.0 {
+    let linear_mass_ok = mass > 0.0; // NaN-safe: NaN fails this too.
+    if facts.is_empty() {
+        if !linear_mass_ok {
+            return Err(HcError::InvalidProbability(mass));
+        }
+        // No queries: posterior equals prior, bit for bit. The report is
+        // the merge identity so an all-empty round aggregates to "no
+        // renormalisation happened".
+        return Ok(UpdateHealth::identity());
+    }
+    let single_bit = (facts.len() == 1).then(|| 1usize << facts[0].0);
+    let mult_of = |o: usize| -> f64 {
+        match single_bit {
+            Some(bit) => multiplier[usize::from(o & bit != 0)],
+            None => {
+                multiplier[crate::observation::Observation(o as u32).project(facts) as usize]
+            }
+        }
+    };
+
+    let n = belief.probs().len();
+    let probs_ro = belief.probs();
+    if linear_mass_ok {
+        // Pass 1 (read-only): chunked ordered reduction of the scaled
+        // table. The per-chunk running sum and the left-to-right merge
+        // reproduce `renormalize()`'s `sum_chunks` association order
+        // exactly; the min rides along without touching the sum's
+        // arithmetic.
+        let parts = parallel::map_chunks(n, parallel::CHUNK, |r| {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            for o in r {
+                let scaled = probs_ro[o] * mult_of(o);
+                sum += scaled;
+                if scaled < min {
+                    min = scaled;
+                }
+            }
+            (sum, min)
+        });
+        let mut sum = 0.0;
+        let mut min_scaled = f64::INFINITY;
+        for &(s, m) in &parts {
+            sum += s;
+            if m < min_scaled {
+                min_scaled = m;
+            }
+        }
+
+        let inv = 1.0 / sum;
+        if sum > 0.0 && inv.is_finite() {
+            // Healthy: single write pass, identical bits to the
+            // historical multiply-then-renormalise double write.
+            let probs = belief.probs_mut();
+            parallel::fill_slice(probs, parallel::CHUNK, |offset, slice| {
+                for (j, p) in slice.iter_mut().enumerate() {
+                    *p = (*p * mult_of(offset + j)) * inv;
+                }
+            });
+            return Ok(UpdateHealth {
+                min_mass: min_scaled * inv,
+                renorm_scale: sum,
+                log_evidence: sum.ln(),
+                clamp_count: 0,
+                rescued: false,
+            });
+        }
+    }
+
+    // Rescue: the linear path underflowed (projected mass or full-table
+    // mass flushed to zero, or its reciprocal overflowed). Rebuild the
+    // multiplier in log domain and shift by the largest log-likelihood
+    // among *supported* patterns (`q[t] > 0`) — shifting by an
+    // unsupported pattern's larger likelihood would re-flush the cells
+    // that still carry mass.
+    let log_mult = log_multiplier();
+    debug_assert_eq!(log_mult.len(), multiplier.len());
+    let mut lmax = f64::NEG_INFINITY;
+    for (&qt, &l) in q.iter().zip(&log_mult) {
+        if qt > 0.0 && l > lmax {
+            lmax = l;
+        }
+    }
+    if !lmax.is_finite() {
+        // Every pattern the belief supports has log-likelihood −∞ (or the
+        // belief has no support at all): the evidence is genuinely
+        // impossible, not underflowed — keep the historical error.
         return Err(HcError::InvalidProbability(mass));
     }
-    if facts.is_empty() {
-        return Ok(()); // No queries: posterior equals prior.
+    // `exp(l − lmax) ∈ [0, 1]` on supported patterns (their `l` is at
+    // most `lmax` by construction), equal to 1.0 on the dominant one.
+    // Unsupported patterns are pinned to 0.0 outright: their
+    // log-likelihood may exceed `lmax`, and `exp` of that difference
+    // overflows to `+inf`, which would turn the zero-mass cells
+    // projecting there into `0 · ∞ = NaN`. Every cell with positive
+    // mass projects to a supported pattern, so the pin changes no
+    // posterior value. A supported pattern that still flushes to zero
+    // despite a finite log-likelihood is a genuine clamp — counted per
+    // cell below.
+    let rescued_mult: Vec<f64> = log_mult
+        .iter()
+        .zip(&q)
+        .map(|(&l, &qt)| if qt > 0.0 { (l - lmax).exp() } else { 0.0 })
+        .collect();
+    let flushed: Vec<bool> = log_mult
+        .iter()
+        .zip(&rescued_mult)
+        .map(|(&l, &m)| l.is_finite() && m == 0.0)
+        .collect();
+    let rescued_of = |o: usize| -> (f64, bool) {
+        let t = match single_bit {
+            Some(bit) => usize::from(o & bit != 0),
+            None => crate::observation::Observation(o as u32).project(facts) as usize,
+        };
+        (rescued_mult[t], flushed[t])
+    };
+    let parts = parallel::map_chunks(n, parallel::CHUNK, |r| {
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut clamps = 0usize;
+        for o in r {
+            let p = probs_ro[o];
+            let (m, pattern_flushed) = rescued_of(o);
+            let scaled = p * m;
+            if p > 0.0 && (pattern_flushed || (m > 0.0 && scaled == 0.0)) {
+                clamps += 1;
+            }
+            sum += scaled;
+            if scaled < min {
+                min = scaled;
+            }
+        }
+        (sum, min, clamps)
+    });
+    let mut rsum = 0.0;
+    let mut rmin = f64::INFINITY;
+    let mut clamp_count = 0usize;
+    for &(s, m, c) in &parts {
+        rsum += s;
+        if m < rmin {
+            rmin = m;
+        }
+        clamp_count += c;
     }
-    // The multiply is element-independent, so chunking it over the 2^n
-    // table cannot perturb numerics; renormalize() below carries the
-    // chunked-ordered-sum contract for the mass reduction.
+    if !(rsum > 0.0) || !rsum.is_finite() {
+        return Err(HcError::BeliefCollapsed { mass: rsum });
+    }
     let probs = belief.probs_mut();
-    if facts.len() == 1 {
-        let bit = 1usize << facts[0].0;
-        crate::parallel::fill_slice(probs, crate::parallel::CHUNK, |offset, slice| {
-            for (j, p) in slice.iter_mut().enumerate() {
-                *p *= multiplier[usize::from((offset + j) & bit != 0)];
-            }
-        });
-    } else {
-        crate::parallel::fill_slice(probs, crate::parallel::CHUNK, |offset, slice| {
-            for (j, p) in slice.iter_mut().enumerate() {
-                let t = crate::observation::Observation((offset + j) as u32).project(facts) as usize;
-                *p *= multiplier[t];
-            }
-        });
-    }
-    belief.renormalize();
-    Ok(())
+    parallel::fill_slice(probs, parallel::CHUNK, |offset, slice| {
+        for (j, p) in slice.iter_mut().enumerate() {
+            *p = (*p * rescued_of(offset + j).0) / rsum;
+        }
+    });
+    Ok(UpdateHealth {
+        min_mass: rmin / rsum,
+        renorm_scale: rsum,
+        log_evidence: lmax + rsum.ln(),
+        clamp_count,
+        rescued: true,
+    })
 }
 
 /// The posterior belief given an answer family, without mutating the
@@ -316,8 +571,116 @@ mod tests {
         let queries = QuerySet::empty();
         let panel = ExpertPanel::from_accuracies(&[0.9]).unwrap();
         let family = AnswerFamily::new(vec![AnswerSet::new(&[])]);
-        update_with_family(&mut b, &queries, &panel, &family).unwrap();
+        let health = update_with_family(&mut b, &queries, &panel, &family).unwrap();
         assert_eq!(b, before);
+        // The prior must be untouched *bit for bit* — the early return
+        // happens before any write pass, so not even a `*= 1.0` rounding
+        // identity may run over the table.
+        for (a, e) in b.probs().iter().zip(before.probs()) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+        // No renormalisation happened: the report is the merge identity.
+        assert!(!health.is_meaningful());
+        assert!(!health.rescued);
+        assert_eq!(health.clamp_count, 0);
+    }
+
+    #[test]
+    fn perfect_panel_contradicting_zero_prior_is_rejected_without_mutation() {
+        // Several perfect experts all contradicting a point-mass prior:
+        // the projected evidence mass is exactly zero, the update must
+        // fail with `InvalidProbability`, and the belief must be left
+        // bit-for-bit unchanged.
+        let mut b = Belief::point_mass(2, Observation(0)).unwrap();
+        let before = b.clone();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 2).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[1.0, 1.0]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::Yes]),
+            AnswerSet::new(&[Answer::Yes, Answer::Yes]),
+        ]);
+        let err = update_with_family(&mut b, &queries, &panel, &family);
+        assert!(matches!(err, Err(HcError::InvalidProbability(_))));
+        for (a, e) in b.probs().iter().zip(before.probs()) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn underflowing_evidence_is_rescued_in_log_domain() {
+        // A prior with support on a single pattern, hammered by a panel
+        // whose combined contradiction likelihood underflows f64 — the
+        // linear multiplier is (1e-12)^30 ≈ 1e-360 → 0.0 on every
+        // surviving cell, so the old kernel's renormalisation mass was
+        // exactly zero (NaN posterior in release). The rescue path must
+        // recognise that evidence cannot move a point mass and return it
+        // unchanged, with a finite log evidence.
+        let mut b = Belief::from_probs(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 2).unwrap();
+        let acc = 1.0 - 1e-12;
+        let panel = ExpertPanel::from_accuracies(&vec![acc; 15]).unwrap();
+        // Truth is o=0b01 (f0 true, f1 false); every worker answers the
+        // exact opposite on both queries: 30 contradicting factors.
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::No, Answer::Yes]);
+            15
+        ]);
+        let health = update_with_family(&mut b, &queries, &panel, &family).unwrap();
+        assert!(health.rescued, "the linear path must have underflowed");
+        assert!(
+            health.log_evidence.is_finite() && health.log_evidence < -800.0,
+            "log evidence ≈ 30·ln(1e-12) ≈ -829, got {}",
+            health.log_evidence
+        );
+        assert!((b.prob(Observation(0b01)) - 1.0).abs() < 1e-12);
+        assert!(b.probs().iter().all(|p| p.is_finite()));
+        assert!((b.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_health_reports_the_renormalisation() {
+        let mut b = table_i_belief();
+        let queries = QuerySet::new(vec![FactId(0)], 3).unwrap();
+        let health =
+            update_with_answer_set(&mut b, &queries, 0.9, AnswerSet::new(&[Answer::Yes]))
+                .unwrap();
+        assert!(health.is_meaningful());
+        assert!(!health.rescued);
+        assert_eq!(health.clamp_count, 0);
+        // Pre-normalisation mass = 0.9·P(f0) + 0.1·(1−P(f0)), and the log
+        // evidence is its logarithm.
+        let prior = table_i_belief().marginal(FactId(0));
+        let expected_mass = 0.9 * prior + 0.1 * (1.0 - prior);
+        assert!((health.renorm_scale - expected_mass).abs() < 1e-12);
+        assert!((health.log_evidence - expected_mass.ln()).abs() < 1e-12);
+        // min_mass is the smallest posterior cell.
+        let observed_min = b.probs().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((health.min_mass - observed_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_health_merge_aggregates_worst_case() {
+        let mut agg = UpdateHealth::identity();
+        agg.merge(&UpdateHealth {
+            min_mass: 1e-3,
+            renorm_scale: 0.5,
+            log_evidence: -0.7,
+            clamp_count: 1,
+            rescued: false,
+        });
+        agg.merge(&UpdateHealth {
+            min_mass: 1e-9,
+            renorm_scale: 0.9,
+            log_evidence: -0.1,
+            clamp_count: 2,
+            rescued: true,
+        });
+        assert_eq!(agg.min_mass, 1e-9);
+        assert_eq!(agg.renorm_scale, 0.5);
+        assert!((agg.log_evidence - -0.8).abs() < 1e-12);
+        assert_eq!(agg.clamp_count, 3);
+        assert!(agg.rescued);
+        assert!(agg.is_meaningful());
     }
 
     #[test]

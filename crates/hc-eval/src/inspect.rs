@@ -5,7 +5,8 @@
 //! audits it against the event-stream contract, and prints a
 //! human-readable report: the run shape, a per-round regret table, a
 //! selection-explain summary (when the run was recorded with
-//! `HcConfig::explain_selection`), the audit findings, and the derived
+//! `HcConfig::explain_selection`), the per-round numerical-health
+//! telemetry of the Bayes updates, the audit findings, and the derived
 //! metrics. With `--prometheus FILE` the metrics are additionally
 //! written in Prometheus text exposition format.
 //!
@@ -192,6 +193,41 @@ fn render_report(
         }
     }
 
+    let _ = writeln!(out, "\n## numerical health");
+    let with_health: Vec<_> = replay
+        .rounds
+        .iter()
+        .filter_map(|r| r.health.map(|h| (r.round, h)))
+        .collect();
+    if with_health.is_empty() {
+        let _ = writeln!(
+            out,
+            "(no numerical_health events — trace predates health telemetry)"
+        );
+    } else {
+        let rescued = with_health.iter().filter(|(_, h)| h.rescued).count();
+        let clamps: u64 = with_health.iter().map(|(_, h)| h.clamp_count).sum();
+        let _ = writeln!(
+            out,
+            "{} report(s), {} rescued round(s), {} clamped cell(s)",
+            with_health.len(),
+            rescued,
+            clamps
+        );
+        for (round, h) in &with_health {
+            let _ = writeln!(
+                out,
+                "round {:>3}: min mass {:.3e} | renorm scale {:.3e} | log evidence {:+.4} | clamps {}{}",
+                round,
+                h.min_mass,
+                h.renorm_scale,
+                h.log_evidence,
+                h.clamp_count,
+                if h.rescued { " | RESCUED" } else { "" }
+            );
+        }
+    }
+
     let _ = writeln!(out, "\n## audit");
     out.push_str(&audit.render());
 
@@ -334,6 +370,14 @@ mod tests {
                 answers_requested: 1,
                 answers_received: 1,
             },
+            TelemetryEvent::NumericalHealth {
+                round: 1,
+                min_mass: 0.02,
+                renorm_scale: 0.55,
+                log_evidence: -0.597_837,
+                clamp_count: 0,
+                rescued: false,
+            },
             TelemetryEvent::RunFinished {
                 rounds: 1,
                 budget_spent: 1,
@@ -358,9 +402,43 @@ mod tests {
         assert!(inspection.report.contains("## run shape"));
         assert!(inspection.report.contains("## rounds"));
         assert!(inspection.report.contains("## selection explain"));
+        assert!(inspection.report.contains("## numerical health"));
+        assert!(inspection.report.contains("1 report(s), 0 rescued round(s)"));
         assert!(inspection.report.contains("audit: clean"));
         assert!(inspection.report.contains("## metrics"));
         assert!(inspection.report.contains("gain 5.000e-1"));
+    }
+
+    #[test]
+    fn rescued_round_is_surfaced_in_the_report() {
+        let mut text = String::new();
+        for line in clean_trace().lines() {
+            if line.contains("numerical_health") {
+                text.push_str(
+                    &TelemetryEvent::NumericalHealth {
+                        round: 1,
+                        min_mass: 1e-14,
+                        renorm_scale: 0.4,
+                        log_evidence: -730.25,
+                        clamp_count: 5,
+                        rescued: true,
+                    }
+                    .to_json_line(),
+                );
+            } else {
+                text.push_str(line);
+            }
+            text.push('\n');
+        }
+        let inspection = inspect_str("unit", &text);
+        assert!(inspection.report.contains("1 rescued round(s)"));
+        assert!(inspection.report.contains("5 clamped cell(s)"));
+        assert!(inspection.report.contains("RESCUED"));
+        assert!(inspection.report.contains("near_collapse"));
+        // A rescue is a warning, not a contract violation: plain
+        // inspect passes, strict does not.
+        assert!(inspection.passes(false), "{}", inspection.audit.render());
+        assert!(!inspection.passes(true));
     }
 
     #[test]
@@ -384,7 +462,7 @@ mod tests {
         text.push_str("not json\n");
         let inspection = inspect_str("unit", &text);
         assert_eq!(inspection.replay.skipped.len(), 1);
-        assert!(inspection.report.contains("skipped line 8"));
+        assert!(inspection.report.contains("skipped line 9"));
         // Parse damage does not invent contract violations here: the
         // garbage line is after RunFinished.
         assert!(inspection.passes(true), "{}", inspection.audit.render());

@@ -11,9 +11,11 @@
 //!
 //! On top of the hard contract it flags operational anomalies as
 //! [`Severity::Warning`]s: entropy stalls (rounds that deliver answers
-//! but move the belief by nothing), retry storms, starved workers, and
-//! runs whose crowd barely delivers. A clean reliable-crowd run yields
-//! zero findings of either severity.
+//! but move the belief by nothing), retry storms, starved workers,
+//! runs whose crowd barely delivers, and rounds whose Bayes updates
+//! were numerically near collapse (vanishing pre-normalisation mass or
+//! a log-domain rescue). A clean reliable-crowd run yields zero
+//! findings of either severity.
 
 use crate::event::TelemetryEvent;
 use std::collections::BTreeMap;
@@ -81,6 +83,11 @@ pub struct AuditConfig {
     /// ratio drops below this (with at least
     /// [`Self::starvation_min_dispatches`] dispatches).
     pub min_delivery_ratio: f64,
+    /// `near_collapse` fires when a round's pre-normalisation mass
+    /// (`numerical_health.renorm_scale`) drops below this, or when the
+    /// update engine reports a log-domain rescue. The default sits well
+    /// above the subnormal range but far below any healthy likelihood.
+    pub near_collapse_scale: f64,
 }
 
 impl Default for AuditConfig {
@@ -92,6 +99,7 @@ impl Default for AuditConfig {
             retry_storm_min: 8,
             starvation_min_dispatches: 4,
             min_delivery_ratio: 0.75,
+            near_collapse_scale: 1e-250,
         }
     }
 }
@@ -456,6 +464,52 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                 }
                 last_entropy = Some(*entropy);
             }
+            TelemetryEvent::NumericalHealth {
+                round,
+                min_mass,
+                renorm_scale,
+                log_evidence,
+                clamp_count,
+                rescued,
+            } => {
+                check_finite(
+                    &mut findings,
+                    "numerical_health.min_mass",
+                    *min_mass,
+                    Some(*round),
+                );
+                check_finite(
+                    &mut findings,
+                    "numerical_health.renorm_scale",
+                    *renorm_scale,
+                    Some(*round),
+                );
+                check_finite(
+                    &mut findings,
+                    "numerical_health.log_evidence",
+                    *log_evidence,
+                    Some(*round),
+                );
+                // Near-collapse: the update either already needed the
+                // log-domain rescue, or its linear mass is within a few
+                // orders of magnitude of underflowing.
+                if *rescued || (renorm_scale.is_finite() && *renorm_scale < config.near_collapse_scale)
+                {
+                    let how = if *rescued {
+                        format!("log-domain rescue ({clamp_count} cells clamped)")
+                    } else {
+                        format!("pre-normalisation mass {renorm_scale:e}")
+                    };
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        code: "near_collapse",
+                        round: Some(*round),
+                        message: format!(
+                            "belief update ran near numerical collapse: {how}, log evidence {log_evidence:.3}"
+                        ),
+                    });
+                }
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -778,6 +832,97 @@ mod tests {
         assert!(report.findings.iter().any(|f| f.code == "starved_worker"));
         assert!(report.findings.iter().any(|f| f.code == "delivery_deficit"));
         assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn healthy_numerical_report_stays_clean() {
+        let mut events = clean_run();
+        // A comfortable update: mass near 1, no rescue, no clamps.
+        events.insert(
+            7,
+            E::NumericalHealth {
+                round: 1,
+                min_mass: 0.01,
+                renorm_scale: 0.45,
+                log_evidence: -0.8,
+                clamp_count: 0,
+                rescued: false,
+            },
+        );
+        let report = audit(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn rescued_update_is_a_near_collapse_warning() {
+        let mut events = clean_run();
+        events.insert(
+            7,
+            E::NumericalHealth {
+                round: 1,
+                min_mass: 1e-12,
+                renorm_scale: 0.3,
+                log_evidence: -710.0,
+                clamp_count: 2,
+                rescued: true,
+            },
+        );
+        let report = audit(&events);
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.code == "near_collapse")
+            .expect("near_collapse flagged");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert_eq!(finding.round, Some(1));
+        assert!(finding.message.contains("rescue"), "{}", finding.message);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn vanishing_renorm_scale_is_a_near_collapse_warning() {
+        let mut events = clean_run();
+        events.insert(
+            7,
+            E::NumericalHealth {
+                round: 1,
+                min_mass: 1e-280,
+                renorm_scale: 1e-260,
+                log_evidence: -598.6,
+                clamp_count: 0,
+                rescued: false,
+            },
+        );
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "near_collapse"),
+            "{}",
+            report.render()
+        );
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn nonfinite_health_fields_are_errors() {
+        let mut events = clean_run();
+        events.insert(
+            7,
+            E::NumericalHealth {
+                round: 1,
+                min_mass: f64::NAN,
+                renorm_scale: 0.4,
+                log_evidence: f64::NEG_INFINITY,
+                clamp_count: 0,
+                rescued: false,
+            },
+        );
+        let report = audit(&events);
+        let nonfinite: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.code == "nonfinite_value")
+            .collect();
+        assert_eq!(nonfinite.len(), 2, "{}", report.render());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   │   QueryDispatched              (one per query × panel worker)
 //!   │   ├ RetryScheduled / FaultInjected   (platform / fault layer)
 //!   │   └ AnswerDelivered | AnswerTimedOut | AnswerDropped
-//!   └ BeliefUpdated
+//!   ├ BeliefUpdated
+//!   └ NumericalHealth              (update-kernel float health report)
 //! RunFinished
 //! ```
 //!
@@ -277,6 +278,28 @@ pub enum TelemetryEvent {
         /// Answers that actually arrived this round.
         answers_received: usize,
     },
+    /// Numerical health of the round's Bayes updates — emitted by the
+    /// update hot path so the [`crate::audit`] rules can flag runs that
+    /// came close to (or needed rescue from) floating-point collapse.
+    NumericalHealth {
+        /// Round number.
+        round: usize,
+        /// Smallest posterior cell mass across the round's per-task
+        /// renormalisations.
+        min_mass: f64,
+        /// Smallest pre-normalisation total mass (the renormalisation
+        /// scale); values near the subnormal range mean the belief
+        /// survived the round only barely.
+        renorm_scale: f64,
+        /// Total log evidence of the round's answers, summed across
+        /// tasks (finite even when the linear mass underflowed).
+        log_evidence: f64,
+        /// Posterior cells flushed to exact zero despite finite
+        /// log-likelihood, summed across tasks.
+        clamp_count: u64,
+        /// Whether any task's update needed the log-domain rescue path.
+        rescued: bool,
+    },
     /// The loop terminated.
     RunFinished {
         /// Rounds executed.
@@ -307,6 +330,7 @@ impl TelemetryEvent {
             TelemetryEvent::RetryScheduled { .. } => "retry_scheduled",
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::BeliefUpdated { .. } => "belief_updated",
+            TelemetryEvent::NumericalHealth { .. } => "numerical_health",
             TelemetryEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -321,7 +345,8 @@ impl TelemetryEvent {
             | TelemetryEvent::AnswerDelivered { round, .. }
             | TelemetryEvent::AnswerTimedOut { round, .. }
             | TelemetryEvent::AnswerDropped { round, .. }
-            | TelemetryEvent::BeliefUpdated { round, .. } => Some(*round),
+            | TelemetryEvent::BeliefUpdated { round, .. }
+            | TelemetryEvent::NumericalHealth { round, .. } => Some(*round),
             _ => None,
         }
     }
@@ -482,6 +507,20 @@ impl TelemetryEvent {
                     ",\"budget_spent\":{budget_spent},\"answers_requested\":{answers_requested},\"answers_received\":{answers_received}"
                 );
             }
+            TelemetryEvent::NumericalHealth {
+                round,
+                min_mass,
+                renorm_scale,
+                log_evidence,
+                clamp_count,
+                rescued,
+            } => {
+                let _ = write!(s, ",\"round\":{round}");
+                push_f64(&mut s, "min_mass", *min_mass);
+                push_f64(&mut s, "renorm_scale", *renorm_scale);
+                push_f64(&mut s, "log_evidence", *log_evidence);
+                let _ = write!(s, ",\"clamp_count\":{clamp_count},\"rescued\":{rescued}");
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -622,6 +661,17 @@ impl TelemetryEvent {
                 answers_requested: us("answers_requested")?,
                 answers_received: us("answers_received")?,
             }),
+            "numerical_health" => Ok(TelemetryEvent::NumericalHealth {
+                round: us("round")?,
+                min_mass: f("min_mass")?,
+                renorm_scale: f("renorm_scale")?,
+                log_evidence: f("log_evidence")?,
+                clamp_count: u64f("clamp_count")?,
+                rescued: v
+                    .get("rescued")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("rescued"))?,
+            }),
             "run_finished" => Ok(TelemetryEvent::RunFinished {
                 rounds: us("rounds")?,
                 budget_spent: u64f("budget_spent")?,
@@ -738,6 +788,14 @@ pub(crate) mod tests {
                 answers_requested: 4,
                 answers_received: 1,
             },
+            TelemetryEvent::NumericalHealth {
+                round: 1,
+                min_mass: 1.5e-11,
+                renorm_scale: 0.125,
+                log_evidence: -2.079_441_541_679_835_7,
+                clamp_count: 3,
+                rescued: true,
+            },
             TelemetryEvent::RunFinished {
                 rounds: 1,
                 budget_spent: 2,
@@ -775,6 +833,7 @@ pub(crate) mod tests {
                 "answer_timed_out",
                 "answer_dropped",
                 "belief_updated",
+                "numerical_health",
                 "run_finished",
             ]
         );

@@ -66,6 +66,6 @@ pub mod timing;
 pub use audit::{audit, audit_with, AuditConfig, AuditReport, Finding, Severity};
 pub use event::{FaultKind, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use replay::{ReplayedRun, RoundState, RunEnd, RunShape, SkippedLine};
+pub use replay::{ReplayedRun, RoundHealth, RoundState, RunEnd, RunShape, SkippedLine};
 pub use sink::{FileSink, NullSink, RecordingSink, SharedRecorder, TelemetrySink};
 pub use timing::{Phase, TimingSnapshot};

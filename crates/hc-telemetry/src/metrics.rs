@@ -234,6 +234,10 @@ impl MetricsRegistry {
     /// entropy per round, the selector's per-round regret). Explain-mode
     /// runs add `candidates_scored` / `queries_selected` counters and
     /// `selection.scored_gain` / `selection.gain` histograms.
+    /// `NumericalHealth` events add `posterior_clamps` /
+    /// `rescued_updates` counters and `numerical.min_mass` /
+    /// `numerical.renorm_scale` histograms (their `min()` is the
+    /// worst-case mass of the run).
     pub fn from_events(events: &[TelemetryEvent]) -> Self {
         let mut m = Self::new();
         let mut dry_streak = 0u64;
@@ -299,6 +303,20 @@ impl MetricsRegistry {
                     } else {
                         dry_streak = 0;
                     }
+                }
+                TelemetryEvent::NumericalHealth {
+                    min_mass,
+                    renorm_scale,
+                    clamp_count,
+                    rescued,
+                    ..
+                } => {
+                    m.incr("posterior_clamps", *clamp_count);
+                    if *rescued {
+                        m.incr("rescued_updates", 1);
+                    }
+                    m.observe("numerical.min_mass", *min_mass);
+                    m.observe("numerical.renorm_scale", *renorm_scale);
                 }
                 TelemetryEvent::RunFinished {
                     budget_spent,
@@ -517,6 +535,11 @@ mod tests {
         assert_eq!(regret.count(), 1);
         // realised 2.75 − predicted 2.5
         assert!((regret.sum() - 0.25).abs() < 1e-12);
+        assert_eq!(m.counter("posterior_clamps"), 3);
+        assert_eq!(m.counter("rescued_updates"), 1);
+        let min_mass = m.histogram("numerical.min_mass").unwrap();
+        assert_eq!(min_mass.count(), 1);
+        assert_eq!(min_mass.min(), 1.5e-11);
     }
 
     #[test]

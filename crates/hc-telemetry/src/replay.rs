@@ -66,6 +66,22 @@ pub struct SelectedQuery {
     pub query_id: u64,
 }
 
+/// Numerical-health facts recorded by a round's `NumericalHealth`
+/// event — the update kernel's floating-point self-report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundHealth {
+    /// Smallest posterior cell mass across the round's renormalisations.
+    pub min_mass: f64,
+    /// Smallest pre-normalisation total mass (renormalisation scale).
+    pub renorm_scale: f64,
+    /// Total log evidence of the round's answers.
+    pub log_evidence: f64,
+    /// Posterior cells flushed to zero despite finite log-likelihood.
+    pub clamp_count: u64,
+    /// Whether the log-domain rescue path was needed.
+    pub rescued: bool,
+}
+
 /// Reconstructed state of one round.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundState {
@@ -107,6 +123,9 @@ pub struct RoundState {
     pub candidates_scored: usize,
     /// Explain mode: the per-step picks with their winning gains.
     pub selected: Vec<SelectedQuery>,
+    /// Numerical health of the round's updates (`None` until a
+    /// `NumericalHealth` event is seen — older logs have none).
+    pub health: Option<RoundHealth>,
 }
 
 impl RoundState {
@@ -349,6 +368,29 @@ impl ReplayedRun {
                     r.answers_received = *answers_received;
                 }
             }
+            TelemetryEvent::NumericalHealth {
+                round,
+                min_mass,
+                renorm_scale,
+                log_evidence,
+                clamp_count,
+                rescued,
+            } => {
+                if let Some(r) = self
+                    .rounds
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.round == *round)
+                {
+                    r.health = Some(RoundHealth {
+                        min_mass: *min_mass,
+                        renorm_scale: *renorm_scale,
+                        log_evidence: *log_evidence,
+                        clamp_count: *clamp_count,
+                        rescued: *rescued,
+                    });
+                }
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -415,6 +457,10 @@ mod tests {
         assert_eq!(r.realized_entropy, Some(2.75));
         assert_eq!(r.budget_spent, Some(2));
         assert_eq!(r.regret(), Some(2.75 - 2.5));
+        let health = r.health.expect("NumericalHealth folded");
+        assert_eq!(health.clamp_count, 3);
+        assert!(health.rescued);
+        assert_eq!(health.renorm_scale, 0.125);
         let end = run.end.expect("RunFinished folded");
         assert_eq!(end.budget_spent, 2);
         assert_eq!(run.final_entropy(), Some(2.75));
@@ -469,8 +515,10 @@ mod tests {
         assert!(run.end.is_none());
         assert_eq!(run.final_entropy(), Some(2.75), "from BeliefUpdated");
         assert_eq!(run.total_spent(), 2);
-        // Drop the update too: only the starting entropy remains.
-        events.pop();
+        // Drop the health report and the update too: only the starting
+        // entropy remains.
+        events.pop(); // NumericalHealth
+        events.pop(); // BeliefUpdated
         let bare = ReplayedRun::from_events(&events);
         assert_eq!(bare.final_entropy(), Some(3.25), "from RunStarted");
         assert_eq!(bare.total_spent(), 0);

@@ -88,7 +88,7 @@ fn run_instrumented(parallelism: Parallelism) -> (Vec<u64>, String, u64, String)
     let events = recorder.into_events();
     let events_jsonl: String = events
         .iter()
-        .map(|e| serde_json::to_string(e).expect("event serializes"))
+        .map(|e| e.to_json_line())
         .collect::<Vec<_>>()
         .join("\n");
     (bits, rounds_json, spent, events_jsonl)

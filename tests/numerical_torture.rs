@@ -1,0 +1,252 @@
+//! Float-torture suite for the hardened belief engine.
+//!
+//! Drives the Bayes update path through the regimes that used to be
+//! release-mode landmines: near-perfect accuracies (`1 − 1e-12`),
+//! hundreds of consecutive rounds, beliefs up to 20 facts (`2^20`
+//! cells), and evidence whose linear-domain likelihood underflows to
+//! exactly zero. After every update the posterior must be finite,
+//! non-negative, and normalised; entropies and selection gains must be
+//! finite; and the whole run must be bit-identical at 1, 2, and 8
+//! threads.
+//!
+//! Sizes are scaled down under `debug_assertions` so `cargo test`
+//! stays quick; CI runs the full-scale suite in `--release`.
+
+use hc::prelude::*;
+use hc_core::answer::{answer_set_likelihood, AnswerSet, QuerySet};
+use hc_core::entropy::conditional_entropy;
+use hc_core::update::{update_with_answer_set, update_with_family, UpdateHealth};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(debug_assertions)]
+mod scale {
+    /// Largest belief exercised, in facts (cells are `2^N`).
+    pub const MAX_FACTS: usize = 10;
+    /// Update rounds per torture case.
+    pub const ROUNDS: usize = 50;
+    /// Proptest cases per property.
+    pub const CASES: u32 = 8;
+}
+#[cfg(not(debug_assertions))]
+mod scale {
+    pub const MAX_FACTS: usize = 20;
+    pub const ROUNDS: usize = 200;
+    pub const CASES: u32 = 16;
+}
+
+/// Sum tolerance after an explicit renormalisation: ordered summation
+/// over up to `2^20` cells accumulates a few ulps per chunk, nothing
+/// more.
+const SUM_TOL: f64 = 1e-8;
+
+/// Accuracies from comfortable to one ulp shy of certain. The extreme
+/// members are the whole point of the suite: `(1 − acc)` factors of
+/// `1e-12` underflow a 64-bit float after a few hundred products.
+fn accuracy_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => 0.51f64..0.999,
+        1 => Just(1.0 - 1e-6),
+        1 => Just(1.0 - 1e-9),
+        2 => Just(1.0 - 1e-12),
+    ]
+}
+
+/// `k` distinct fact ids out of `n`, chosen by partial Fisher–Yates.
+fn pick_facts(rng: &mut StdRng, n: usize, k: usize) -> Vec<FactId> {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().map(FactId).collect()
+}
+
+/// One worker's answers to `queries`: each query answered correctly
+/// (relative to `truth`) with probability `acc`.
+fn noisy_answers(rng: &mut StdRng, queries: &QuerySet, truth: Observation, acc: f64) -> AnswerSet {
+    let proj = truth.project(queries.facts());
+    let mut bits = 0u32;
+    for j in 0..queries.len() {
+        let truth_bit = (proj >> j) & 1 == 1;
+        let correct = rng.gen_bool(acc);
+        if truth_bit == correct {
+            bits |= 1 << j;
+        }
+    }
+    AnswerSet::from_bits(bits, queries.len())
+}
+
+/// Asserts the posterior invariants that release builds used to lose
+/// silently: every cell finite and non-negative, total mass one.
+fn assert_normalised(belief: &Belief, context: &str) {
+    let mut sum = 0.0;
+    for (i, &p) in belief.probs().iter().enumerate() {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "{context}: cell {i} is {p}"
+        );
+        sum += p;
+    }
+    assert!(
+        (sum - 1.0).abs() < SUM_TOL,
+        "{context}: total mass {sum}"
+    );
+}
+
+/// Runs `rounds` noisy single-worker updates against a fixed ground
+/// truth, checking the posterior after every round. Returns the final
+/// belief and the aggregated health.
+fn torture_run(n: usize, acc: f64, rounds: usize, seed: u64) -> (Belief, UpdateHealth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let marginals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.02..0.98)).collect();
+    let mut belief = Belief::from_marginals(&marginals).expect("valid marginals");
+    let truth = Observation(rng.gen_range(0..(1u64 << n)) as u32);
+    let mut agg = UpdateHealth::identity();
+    for round in 0..rounds {
+        let k = rng.gen_range(1..=3.min(n));
+        let queries =
+            QuerySet::new(pick_facts(&mut rng, n, k), n).expect("valid query set");
+        let set = noisy_answers(&mut rng, &queries, truth, acc);
+        let health = update_with_answer_set(&mut belief, &queries, acc, set)
+            .expect("hardened update never poisons the belief");
+        agg.merge(&health);
+        assert_normalised(&belief, &format!("n={n} acc={acc} round={round}"));
+        if round % 25 == 0 {
+            let h = belief.entropy();
+            assert!(h.is_finite() && h >= 0.0, "round {round}: entropy {h}");
+        }
+    }
+    (belief, agg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: scale::CASES,
+        ..ProptestConfig::default()
+    })]
+
+    /// The tentpole property: arbitrarily extreme accuracies and long
+    /// runs never produce a NaN, a negative cell, or a denormalised
+    /// posterior — and entropies/gains stay finite throughout.
+    #[test]
+    fn torture_posteriors_stay_finite_and_normalised(
+        n in 2usize..=scale::MAX_FACTS,
+        acc in accuracy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (belief, health) = torture_run(n, acc, scale::ROUNDS, seed);
+        let entropy = belief.entropy();
+        prop_assert!(entropy.is_finite() && entropy >= 0.0, "entropy {entropy}");
+        // Selection stays usable on the tortured posterior.
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let h_cond = conditional_entropy(&belief, &[FactId(0)], &panel).unwrap();
+        prop_assert!(h_cond.is_finite() && h_cond >= 0.0, "H(O|AS) {h_cond}");
+        let gain = entropy - h_cond;
+        prop_assert!(gain.is_finite() && gain >= -1e-9, "gain {gain}");
+        // Health telemetry from real updates is always meaningful.
+        prop_assert!(health.is_meaningful());
+        prop_assert!(health.renorm_scale.is_finite() && health.renorm_scale > 0.0);
+        prop_assert!(health.min_mass.is_finite() && health.min_mass >= 0.0);
+    }
+
+    /// Differential check: in benign regimes (moderate accuracies,
+    /// modest depth) the hardened path agrees with a naively-coded
+    /// multiply-then-normalise update to 1e-9 per cell.
+    #[test]
+    fn hardened_update_matches_naive_in_benign_regimes(
+        n in 2usize..=8,
+        acc in 0.55f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let marginals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let mut hardened = Belief::from_marginals(&marginals).unwrap();
+        let mut naive: Vec<f64> = hardened.probs().to_vec();
+        let truth = Observation(rng.gen_range(0..(1u64 << n)) as u32);
+        for _ in 0..50 {
+            let k = rng.gen_range(1..=2.min(n));
+            let queries = QuerySet::new(pick_facts(&mut rng, n, k), n).unwrap();
+            let set = noisy_answers(&mut rng, &queries, truth, acc);
+            update_with_answer_set(&mut hardened, &queries, acc, set).unwrap();
+            // Naive reference: linear multiply, plain-sum renormalise.
+            for (o, p) in naive.iter_mut().enumerate() {
+                let proj = Observation(o as u32).project(queries.facts());
+                *p *= answer_set_likelihood(acc, set, proj);
+            }
+            let sum: f64 = naive.iter().sum();
+            for p in naive.iter_mut() {
+                *p /= sum;
+            }
+        }
+        for (i, (&h, &nv)) in hardened.probs().iter().zip(&naive).enumerate() {
+            prop_assert!(
+                (h - nv).abs() <= 1e-9,
+                "cell {i}: hardened {h} vs naive {nv}"
+            );
+        }
+    }
+}
+
+/// A posterior that is *already* a point mass, contradicted each round
+/// by a large panel of near-perfect workers, underflows the linear
+/// domain every single update (30 factors of `1e-12` per round). The
+/// log-domain rescue must absorb all `ROUNDS` of it without ever
+/// losing the supported cell or de-normalising.
+#[test]
+fn repeated_underflowing_rounds_are_rescued_indefinitely() {
+    let n = 2;
+    let mut probs = vec![0.0; 1 << n];
+    probs[0b01] = 1.0;
+    let mut belief = Belief::from_probs(probs).unwrap();
+    let acc = 1.0 - 1e-12;
+    let panel = ExpertPanel::from_accuracies(&vec![acc; 15]).unwrap();
+    let queries = QuerySet::new(vec![FactId(0), FactId(1)], n).unwrap();
+    // Both answers inconsistent with the supported pattern 0b01.
+    let family = AnswerFamily::new(vec![
+        AnswerSet::new(&[Answer::No, Answer::Yes]);
+        15
+    ]);
+    for round in 0..scale::ROUNDS {
+        let health = update_with_family(&mut belief, &queries, &panel, &family)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert!(health.rescued, "round {round}: rescue must engage");
+        assert!(
+            health.log_evidence.is_finite() && health.log_evidence < -800.0,
+            "round {round}: log evidence {}",
+            health.log_evidence
+        );
+        assert_normalised(&belief, &format!("rescued round {round}"));
+        assert!(
+            (belief.probs()[0b01] - 1.0).abs() < 1e-12,
+            "round {round}: supported cell lost"
+        );
+    }
+}
+
+/// Byte-equality of the tortured posterior and its health report at 1,
+/// 2, and 8 threads — the PR-4 determinism contract extended to the
+/// rescue path.
+#[test]
+fn tortured_run_is_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let _guard = hc_core::parallel::scoped(Parallelism::Threads(threads));
+        let (belief, health) = torture_run(12.min(scale::MAX_FACTS), 1.0 - 1e-12, 100, 0xF10A7);
+        let bits: Vec<u64> = belief.probs().iter().map(|p| p.to_bits()).collect();
+        (
+            bits,
+            health.min_mass.to_bits(),
+            health.renorm_scale.to_bits(),
+            health.log_evidence.to_bits(),
+            health.clamp_count,
+            health.rescued,
+        )
+    };
+    let at_1 = run(1);
+    let at_2 = run(2);
+    let at_8 = run(8);
+    assert_eq!(at_1, at_2, "torture: 1 vs 2 threads");
+    assert_eq!(at_1, at_8, "torture: 1 vs 8 threads");
+}
