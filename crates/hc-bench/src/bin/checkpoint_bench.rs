@@ -1,0 +1,159 @@
+//! Checkpoint overhead and resume latency micro-benchmark.
+//!
+//! Drives the chaos fixture (`hc_sim::crash::SessionFixture`) start to
+//! finish with the `--checkpoint-every 1` discipline and times every
+//! durability operation a crash-safe deployment pays for:
+//!
+//! - **encode** — serialize session state into a checksummed
+//!   [`CheckpointFrame`] JSON line (per step);
+//! - **snapshot write** — atomic temp+fsync+rename replace of the
+//!   snapshot file (per step);
+//! - **scan** — find the latest valid checkpoint embedded in the full
+//!   JSONL trace (what recovery does first);
+//! - **snapshot read / from_frame / cursor restore** — rehydrate the
+//!   session and oracle stack from the final checkpoint;
+//! - **fold resume** — reconstruct the same state by folding the raw
+//!   event trace (the snapshot-less recovery path).
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin checkpoint_bench > BENCH_checkpoint.json
+//! ```
+//!
+//! Stderr gets a human-readable table; stdout one JSON object with
+//! minimum-of-repeats nanosecond timings.
+
+use hc_core::session::{HcSession, ResumableOracle, SessionEnv, SessionStatus};
+use hc_core::telemetry::checkpoint::{latest_in_jsonl, read_snapshot, write_snapshot};
+use hc_core::telemetry::{RecordingSink, TelemetryEvent};
+use hc_core::{resume_state_from_trace, MultiBelief, Parallelism, RoundRecord, UnitCost};
+use hc_sim::crash::SessionFixture;
+use std::time::Instant;
+
+/// Timing repeats for the resume-path measurements; minimum reported.
+const REPEATS: usize = 20;
+
+fn nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn min_nanos(repeats: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        f();
+        best = best.min(nanos(start));
+    }
+    best
+}
+
+fn main() {
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    let snapshot_path =
+        std::env::temp_dir().join(format!("hc_checkpoint_bench_{}.ckpt", std::process::id()));
+
+    // ---- Checkpointed run: per-step encode + snapshot-write cost ----
+    let mut session = fixture.session();
+    let mut oracle = fixture.stack();
+    let mut rng = SessionFixture::loop_rng();
+    let mut sink = RecordingSink::new();
+    let mut trace = String::new();
+    let mut emitted = 0usize;
+    let mut steps = 0u64;
+    let mut encode_total = 0u64;
+    let mut snapshot_total = 0u64;
+    loop {
+        let status = {
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            session.step(&mut env).expect("bench fixture step")
+        };
+        steps += 1;
+        for event in &sink.events()[emitted..] {
+            trace.push_str(&event.to_json_line());
+            trace.push('\n');
+        }
+        emitted = sink.events().len();
+
+        let start = Instant::now();
+        session.set_oracle_cursor(Some(oracle.save_cursor()));
+        let frame = session.checkpoint_frame(steps);
+        let line = frame.to_json_line();
+        encode_total += nanos(start);
+        trace.push_str(&line);
+        trace.push('\n');
+
+        let start = Instant::now();
+        write_snapshot(&snapshot_path, &frame).expect("bench snapshot write");
+        snapshot_total += nanos(start);
+
+        if matches!(status, SessionStatus::Finished(_)) {
+            break;
+        }
+    }
+    let encode_per_step = encode_total / steps;
+    let snapshot_per_step = snapshot_total / steps;
+
+    // ---- Recovery paths ---------------------------------------------
+    let scan_nanos = min_nanos(REPEATS, || {
+        latest_in_jsonl(&trace).expect("trace has checkpoints");
+    });
+    let snapshot_read_nanos = min_nanos(REPEATS, || {
+        read_snapshot(&snapshot_path).expect("bench snapshot read");
+    });
+    let frame = read_snapshot(&snapshot_path).expect("final frame");
+    let frame_bytes = frame.to_json_line().len();
+    let selector = hc_core::GreedySelector::new();
+    let from_frame_nanos = min_nanos(REPEATS, || {
+        HcSession::from_frame(&frame, &selector, &UnitCost).expect("bench from_frame");
+    });
+    let resumed = HcSession::from_frame(&frame, &selector, &UnitCost).expect("bench from_frame");
+    let cursor = resumed
+        .state()
+        .oracle_cursor
+        .clone()
+        .expect("final checkpoint carries a cursor");
+    let cursor_restore_nanos = min_nanos(REPEATS, || {
+        let mut stack = fixture.stack();
+        stack.restore_cursor(&cursor).expect("bench cursor restore");
+    });
+
+    let events: Vec<TelemetryEvent> = trace
+        .lines()
+        .filter_map(|l| TelemetryEvent::from_json_line(l).ok())
+        .collect();
+    let (beliefs, panel, config) = fixture.fold_inputs();
+    let fold_nanos = min_nanos(REPEATS, || {
+        resume_state_from_trace(beliefs.clone(), panel.clone(), config.clone(), &events)
+            .expect("bench fold resume");
+    });
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    eprintln!("checkpoint_bench: {steps} steps, frame {frame_bytes} bytes");
+    eprintln!("{:>22} {:>12}", "operation", "nanos");
+    for (name, v) in [
+        ("encode/step", encode_per_step),
+        ("snapshot write/step", snapshot_per_step),
+        ("trace scan", scan_nanos),
+        ("snapshot read", snapshot_read_nanos),
+        ("from_frame", from_frame_nanos),
+        ("cursor restore", cursor_restore_nanos),
+        ("fold resume", fold_nanos),
+    ] {
+        eprintln!("{name:>22} {v:>12}");
+    }
+    println!(
+        "{{\"steps\":{steps},\"frame_bytes\":{frame_bytes},\
+         \"encode_nanos_per_step\":{encode_per_step},\
+         \"snapshot_write_nanos_per_step\":{snapshot_per_step},\
+         \"trace_scan_nanos\":{scan_nanos},\
+         \"snapshot_read_nanos\":{snapshot_read_nanos},\
+         \"from_frame_nanos\":{from_frame_nanos},\
+         \"cursor_restore_nanos\":{cursor_restore_nanos},\
+         \"fold_resume_nanos\":{fold_nanos}}}"
+    );
+}

@@ -174,6 +174,44 @@ impl Belief {
         })
     }
 
+    /// Reconstructs a belief from checkpointed probabilities *without*
+    /// renormalising, so a save/restore round trip is bit-exact.
+    ///
+    /// [`Belief::from_probs`] divides by the validated sum, which is not
+    /// idempotent at the ULP level (a vector whose sum is `1.0 - 1e-16`
+    /// changes bits when renormalised again); the checkpoint path
+    /// validates the same invariants but trusts the stored bits, which
+    /// were normalised when the belief was first built.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`Belief::from_probs`].
+    pub(crate) fn from_checkpoint_probs(probs: Vec<f64>) -> Result<Self> {
+        let len = probs.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(HcError::DimensionMismatch {
+                expected: len.next_power_of_two().max(1),
+                actual: len,
+            });
+        }
+        let num_facts = len.trailing_zeros() as usize;
+        Self::check_num_facts(num_facts)?;
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(HcError::InvalidProbability(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(HcError::NotNormalized { sum });
+        }
+        Ok(Belief {
+            num_facts: num_facts as u8,
+            probs,
+        })
+    }
+
     fn check_num_facts(num_facts: usize) -> Result<()> {
         if num_facts > MAX_FACTS {
             return Err(HcError::TooManyFacts(num_facts));
@@ -411,7 +449,9 @@ impl Belief {
             self.probs[r].iter().sum::<f64>()
         });
         let inv = 1.0 / sum;
-        if !(sum > 0.0) || !inv.is_finite() {
+        // A NaN sum yields a NaN (non-finite) inverse, so this also
+        // rejects NaN-poisoned mass.
+        if sum <= 0.0 || !inv.is_finite() {
             return Err(HcError::BeliefCollapsed { mass: sum });
         }
         parallel::fill_slice(&mut self.probs, parallel::CHUNK, |_, slice| {

@@ -61,6 +61,17 @@ pub enum HcError {
         /// non-finite).
         mass: f64,
     },
+    /// A session checkpoint could not be restored: wrong format version,
+    /// internally inconsistent state, or a resume trace that diverged
+    /// from the recorded run.
+    ///
+    /// The contract of [`crate::session`]: a rejected checkpoint applies
+    /// *no* state — restoration either yields a complete, validated
+    /// [`crate::session::SessionState`] or this error.
+    InvalidCheckpoint {
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
 }
 
 impl fmt::Display for HcError {
@@ -97,6 +108,9 @@ impl fmt::Display for HcError {
                      usable positive value"
                 )
             }
+            HcError::InvalidCheckpoint { reason } => {
+                write!(f, "invalid session checkpoint: {reason}")
+            }
         }
     }
 }
@@ -130,6 +144,12 @@ mod tests {
             (HcError::Timeout, "time budget"),
             (HcError::BudgetExhausted, "budget"),
             (HcError::BeliefCollapsed { mass: 0.0 }, "collapsed"),
+            (
+                HcError::InvalidCheckpoint {
+                    reason: "version 9".into(),
+                },
+                "version 9",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -11,11 +11,10 @@ use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet, QueryS
 use crate::belief::MultiBelief;
 use crate::error::Result;
 use crate::fact::FactId;
-use crate::selection::{ExplainTrace, GlobalFact, TaskSelector};
+use crate::selection::{GlobalFact, TaskSelector};
 use crate::update::{update_with_partial_family, UpdateHealth};
 use crate::worker::{ExpertPanel, Worker};
-use hc_telemetry::timing::{self, Phase};
-use hc_telemetry::{NullSink, StopReason, TelemetryEvent, TelemetrySink};
+use hc_telemetry::{NullSink, TelemetryEvent, TelemetrySink};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -163,7 +162,7 @@ impl KSchedule {
                 // A non-positive (or NaN) rate would divide to ±∞/NaN and
                 // `as usize`-saturate; fall back to the base `k` instead
                 // of letting a bad config poison the schedule in release.
-                if !(nats_per_query > 0.0) {
+                if nats_per_query.is_nan() || nats_per_query <= 0.0 {
                     return base_k.clamp(1, max.max(1));
                 }
                 let k = (beliefs.entropy() / nats_per_query).ceil() as usize;
@@ -401,6 +400,11 @@ pub fn run_hc_costed(
 /// [`run_hc_costed`] plus telemetry: every phase of the loop emits into
 /// `sink` (gated on [`TelemetrySink::enabled`], so a [`NullSink`] run
 /// constructs no events).
+///
+/// Since the crash-safety refactor this is a thin driver over the
+/// [`crate::session::HcSession`] state machine — one `step` per loop
+/// phase, no checkpointing. Callers that want checkpoint/resume drive
+/// the session directly.
 #[allow(clippy::too_many_arguments)]
 pub fn run_hc_costed_with_telemetry(
     beliefs: &mut MultiBelief,
@@ -416,232 +420,23 @@ pub fn run_hc_costed_with_telemetry(
     if panel.is_empty() {
         return Err(crate::error::HcError::EmptyCrowd);
     }
-    // Install the run's thread policy for every kernel below; results
-    // are bit-identical regardless (see `crate::parallel`).
-    let _par = crate::parallel::scoped(config.parallelism);
-    // Cost of asking the whole panel one query.
-    let panel_cost: u64 = panel.workers().iter().map(|w| costs.cost(w)).sum();
-    let mut remaining = config.budget;
-    let mut spent: u64 = 0;
-    let mut rounds: Vec<RoundRecord> = Vec::new();
-    let mut round = 0usize;
-    let all_facts = crate::selection::global_facts(beliefs);
-    // Facts checked in the current cycle (CycleThenRepeat policy).
-    let mut checked: Vec<bool> = vec![false; all_facts.len()];
-    let mut checked_count = 0usize;
-    // Consecutive rounds with zero delivered answers (unreliable crowd).
-    let mut dry_rounds = 0usize;
-    // Causal id of the next dispatch; one id per selected query per
-    // round, threaded through dispatch → outcome → retry/fault events.
-    let mut next_query_id: u64 = 1;
-    // The explain trace exists only when requested AND the sink wants
-    // events; otherwise the selection path is exactly `select`.
-    let mut trace: Option<ExplainTrace> = if config.explain_selection && sink.enabled() {
-        Some(ExplainTrace::new())
-    } else {
-        None
+    // Move the beliefs into the session for the duration of the run;
+    // they come back (partially updated on error, exactly as the
+    // pre-session loop behaved) via `into_parts`.
+    let owned = std::mem::replace(beliefs, MultiBelief::new(Vec::new()));
+    let mut session =
+        crate::session::HcSession::start(owned, panel.clone(), config.clone(), selector, costs)
+            .expect("panel verified non-empty above");
+    let mut env = crate::session::SessionEnv {
+        oracle,
+        rng,
+        sink,
+        observer,
     };
-
-    if sink.enabled() {
-        sink.record(&TelemetryEvent::RunStarted {
-            tasks: beliefs.len(),
-            facts: beliefs.total_facts(),
-            panel: panel.len(),
-            budget: config.budget,
-            k: config.k,
-            entropy: beliefs.entropy(),
-            quality: beliefs.quality(),
-        });
-    }
-
-    let stop_reason;
-    loop {
-        if let Some(cap) = config.max_rounds {
-            if round >= cap {
-                stop_reason = StopReason::MaxRounds;
-                break;
-            }
-        }
-        // Algorithm 2 caps |T| at min(k, affordable queries); the
-        // schedule may shrink or grow the base k first (§III-D).
-        let round_k = config
-            .k_schedule
-            .round_k(config.k, spent, config.budget, beliefs);
-        let affordable = (remaining / panel_cost) as usize;
-        let k_eff = round_k.min(affordable);
-        if k_eff == 0 {
-            stop_reason = StopReason::BudgetExhausted;
-            break; // Budget exhausted (Algorithm 3, line 8).
-        }
-        // Eligible candidates under the repeat policy.
-        if config.repeat_policy == RepeatPolicy::CycleThenRepeat
-            && checked_count == all_facts.len()
-        {
-            checked.fill(false);
-            checked_count = 0;
-        }
-        let candidates: Vec<crate::selection::GlobalFact> =
-            if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
-                all_facts
-                    .iter()
-                    .zip(&checked)
-                    .filter(|(_, &c)| !c)
-                    .map(|(&gf, _)| gf)
-                    .collect()
-            } else {
-                all_facts.clone()
-            };
-        let queries = {
-            let _span = timing::span(Phase::Selection);
-            match trace.as_mut() {
-                Some(t) => {
-                    selector.select_with_explain(beliefs, panel, k_eff, &candidates, rng, t)?
-                }
-                None => selector.select(beliefs, panel, k_eff, &candidates, rng)?,
-            }
-        };
-        if queries.is_empty() {
-            stop_reason = StopReason::NoPositiveGain;
-            break; // No positive-gain candidate left (Algorithm 2, line 4).
-        }
-        if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
-            for q in &queries {
-                let idx = all_facts
-                    .iter()
-                    .position(|gf| gf == q)
-                    .expect("selector returns candidates");
-                if !checked[idx] {
-                    checked[idx] = true;
-                    checked_count += 1;
-                }
-            }
-        }
-        round += 1;
-
-        // What the selector expects to remain after this round — stored
-        // in the RoundRecord so per-round regret is computable.
-        let predicted_entropy = crate::selection::selection_objective(beliefs, &queries, panel)?;
-        if sink.enabled() {
-            sink.record(&TelemetryEvent::RoundSelected {
-                round,
-                k_requested: round_k,
-                k_effective: queries.len(),
-                queries: queries.iter().map(|q| (q.task, q.fact.0)).collect(),
-                entropy_before: beliefs.entropy(),
-                predicted_entropy,
-            });
-        }
-        let first_query_id = next_query_id;
-        next_query_id += queries.len() as u64;
-        if let Some(t) = trace.as_ref() {
-            if sink.enabled() {
-                for s in &t.scored {
-                    sink.record(&TelemetryEvent::CandidateScored {
-                        round,
-                        step: s.step,
-                        task: s.fact.task,
-                        fact: s.fact.fact.0,
-                        gain: s.gain,
-                    });
-                }
-                for (idx, s) in t.selected.iter().enumerate() {
-                    sink.record(&TelemetryEvent::QuerySelected {
-                        round,
-                        step: s.step,
-                        task: s.fact.task,
-                        fact: s.fact.fact.0,
-                        gain: s.gain,
-                        query_id: first_query_id + idx as u64,
-                    });
-                }
-            }
-        }
-
-        // Collect the answer family and update, task by task.
-        let (delivery, health) = apply_round_with_telemetry(
-            beliefs,
-            panel,
-            &queries,
-            oracle,
-            round,
-            first_query_id,
-            sink,
-        )?;
-
-        // Charge only for answers that actually arrived: a dropped or
-        // timed-out attempt costs nothing. With a reliable crowd this is
-        // exactly the paper's `|T| · |CE|` per-round charge.
-        let cost: u64 = panel
-            .workers()
-            .iter()
-            .zip(&delivery.per_worker)
-            .map(|(w, &n)| costs.cost(w) * n as u64)
-            .sum();
-        remaining -= cost;
-        spent += cost;
-        let realized_entropy = beliefs.entropy();
-        let record = RoundRecord {
-            round,
-            queries,
-            budget_spent: spent,
-            quality: beliefs.quality(),
-            answers_requested: delivery.requested,
-            answers_received: delivery.delivered,
-            predicted_entropy,
-            realized_entropy,
-        };
-        if sink.enabled() {
-            sink.record(&TelemetryEvent::BeliefUpdated {
-                round,
-                entropy: realized_entropy,
-                quality: record.quality,
-                budget_spent: spent,
-                answers_requested: delivery.requested,
-                answers_received: delivery.delivered,
-            });
-            // One numerical-health report per round that actually
-            // renormalised something, so the inspector's audit can flag
-            // near-collapse runs. All fields come from fixed-chunk
-            // ordered reductions, so the event stream stays bit-identical
-            // across thread counts.
-            if health.is_meaningful() {
-                sink.record(&TelemetryEvent::NumericalHealth {
-                    round,
-                    min_mass: health.min_mass,
-                    renorm_scale: health.renorm_scale,
-                    log_evidence: health.log_evidence,
-                    clamp_count: health.clamp_count as u64,
-                    rescued: health.rescued,
-                });
-            }
-        }
-        observer(beliefs, &record);
-        rounds.push(record);
-
-        // An unresponsive crowd delivers nothing and charges nothing, so
-        // the budget check alone cannot terminate the loop — bound it by
-        // consecutive all-dry rounds instead.
-        if delivery.delivered == 0 {
-            dry_rounds += 1;
-            if dry_rounds >= config.max_dry_rounds.max(1) {
-                stop_reason = StopReason::DryRounds;
-                break;
-            }
-        } else {
-            dry_rounds = 0;
-        }
-    }
-    if sink.enabled() {
-        sink.record(&TelemetryEvent::RunFinished {
-            rounds: round,
-            budget_spent: spent,
-            entropy: beliefs.entropy(),
-            quality: beliefs.quality(),
-            reason: stop_reason,
-        });
-        sink.flush();
-    }
-    Ok((rounds, spent))
+    let result = session.run_to_completion(&mut env);
+    let (final_beliefs, rounds, spent) = session.into_parts();
+    *beliefs = final_beliefs;
+    result.map(|_| (rounds, spent))
 }
 
 /// Sends `queries` to every expert, groups answers per task, and applies

@@ -59,6 +59,7 @@ pub mod observation;
 pub mod parallel;
 pub mod quality;
 pub mod selection;
+pub mod session;
 pub mod update;
 pub mod worker;
 
@@ -89,6 +90,11 @@ pub mod prelude {
         BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector,
         MaxEntropySelector, RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,
     };
+    pub use crate::session::{
+        resume_state_from_trace, HcSession, ResumableOracle, SessionEnv, SessionState,
+        SessionStatus, SessionStep, StepCursor, TraceResume, SESSION_CHECKPOINT_KIND,
+        SESSION_FORMAT_VERSION,
+    };
     pub use crate::worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};
 }
 
@@ -109,5 +115,11 @@ pub use parallel::Parallelism;
 pub use selection::{
     BeamSelector, ExactSelector, ExplainTrace, GlobalFact, GreedySelector, MaxEntropySelector,
     RandomSelector, ScoredCandidate, SelectedQuery, TaskSelector,
+};
+pub use session::{
+    group_queries, replay_draws, resume_state_from_trace, CollectedRound, HcSession,
+    PlannedRound, ResumableOracle, RngDraw, SessionEnv, SessionState, SessionStatus,
+    SessionStep, StepCursor, TaskGroup, TraceResume, SESSION_CHECKPOINT_KIND,
+    SESSION_FORMAT_VERSION,
 };
 pub use worker::{Accuracy, Crowd, CrowdSplit, ExpertPanel, Worker, WorkerId};

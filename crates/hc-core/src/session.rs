@@ -1,0 +1,2663 @@
+//! Crash-safe resumable HC sessions: the checking loop of Algorithm 3
+//! factored into an explicit state machine with step-boundary
+//! checkpoints.
+//!
+//! [`crate::hc::run_hc_costed_with_telemetry`] is a thin driver over
+//! [`HcSession`]: every iteration of the paper's loop decomposes into
+//! five resumable steps —
+//!
+//! ```text
+//! SelectQueries → Dispatch → CollectAnswers → UpdateBeliefs → CloseRound
+//! ```
+//!
+//! — and between any two steps the complete session state
+//! ([`SessionState`]) serializes to a versioned, CRC-checksummed
+//! [`CheckpointFrame`] (see `hc_telemetry::checkpoint`). A process
+//! killed at any step boundary resumes from the last frame and produces
+//! **byte-identical** output — posteriors, round records, and the
+//! remainder of the telemetry event stream — to a run that was never
+//! interrupted. `tests/crash_resume.rs` asserts exactly that, at every
+//! boundary, under 1/2/8 compute threads.
+//!
+//! # What makes resumption exact
+//!
+//! - **Beliefs** round-trip through
+//!   `Belief::from_checkpoint_probs`, which validates but does *not*
+//!   renormalise, so probabilities restore bit-for-bit.
+//! - **Floats** are encoded with shortest-round-trip formatting
+//!   (`hc_telemetry::json::write_f64`); fields that may legitimately be
+//!   non-finite (numerical-health extrema, adaptive-schedule rates) are
+//!   stored as 16-hex-digit IEEE-754 bit patterns instead.
+//! - **The loop RNG** is not serializable in general, so the session
+//!   logs every draw the selector makes ([`RngDraw`], run-length
+//!   encoded) and resume fast-forwards a freshly seeded RNG with
+//!   [`replay_draws`].
+//! - **The oracle** carries its own state (platform retry counters,
+//!   sampling positions). Oracles that support resumption implement
+//!   [`ResumableOracle`]; the session stores their opaque cursor string
+//!   alongside its own state.
+//! - **Telemetry continuation**: [`SessionState`] counts nothing the
+//!   sink already wrote — the driver records how many JSONL lines
+//!   preceded the checkpoint, truncates the log there on restart, and
+//!   the resumed session regenerates the identical remainder.
+//!
+//! # Failure semantics
+//!
+//! Restoration is all-or-nothing: [`SessionState::from_payload`] and
+//! [`HcSession::resume`] either return a fully validated state or a
+//! typed [`HcError::InvalidCheckpoint`] — never a partially applied
+//! one. A `step` that returns an error poisons the in-memory session
+//! (the `UpdateBeliefs` step is not idempotent on failure); recover by
+//! resuming from the last checkpoint instead of re-stepping.
+
+use std::collections::BTreeMap;
+
+use crate::answer::{Answer, AnswerOutcome, PartialAnswerFamily, PartialAnswerSet, QuerySet};
+use crate::belief::{Belief, MultiBelief};
+use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::hc::{AnswerOracle, CostModel, HcConfig, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord};
+use crate::parallel::Parallelism;
+use crate::selection::{ExplainTrace, GlobalFact, TaskSelector};
+use crate::update::{update_with_partial_family, UpdateHealth};
+use crate::worker::{ExpertPanel, Worker};
+use hc_telemetry::json::{self, Json};
+use hc_telemetry::timing::{self, Phase};
+use hc_telemetry::{CheckpointFrame, StopReason, TelemetryEvent, TelemetrySink};
+use rand::RngCore;
+
+/// Version tag of the [`SessionState`] payload encoding. Bumped on any
+/// incompatible change; restore rejects other versions with a typed
+/// error rather than guessing.
+pub const SESSION_FORMAT_VERSION: u32 = 1;
+
+/// The `kind` tag session checkpoints carry inside a
+/// [`CheckpointFrame`], so readers cannot confuse them with frames
+/// written by other producers.
+pub const SESSION_CHECKPOINT_KIND: &str = "hc-session";
+
+/// The five resumable steps of one checking round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Run the stop checks and the selector; plan the round's queries.
+    SelectQueries,
+    /// Assign causal query ids and group the plan per task.
+    Dispatch,
+    /// Ask every panel worker every planned query (the only step that
+    /// touches the oracle).
+    CollectAnswers,
+    /// Apply the partial-answer Bayes update per task (the only step
+    /// that mutates beliefs).
+    UpdateBeliefs,
+    /// Charge the budget, record the round, and run the dry-round
+    /// guard.
+    CloseRound,
+}
+
+impl SessionStep {
+    /// All steps in execution order.
+    pub const ALL: [SessionStep; 5] = [
+        SessionStep::SelectQueries,
+        SessionStep::Dispatch,
+        SessionStep::CollectAnswers,
+        SessionStep::UpdateBeliefs,
+        SessionStep::CloseRound,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionStep::SelectQueries => "select_queries",
+            SessionStep::Dispatch => "dispatch",
+            SessionStep::CollectAnswers => "collect_answers",
+            SessionStep::UpdateBeliefs => "update_beliefs",
+            SessionStep::CloseRound => "close_round",
+        }
+    }
+}
+
+/// Where a session stands after a [`HcSession::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The run continues; the named step executes next.
+    Pending(SessionStep),
+    /// The run is over (the `RunFinished` event has been emitted).
+    Finished(StopReason),
+}
+
+/// One run-length-encoded record of loop-RNG consumption.
+///
+/// The session cannot serialize an arbitrary [`RngCore`], so it records
+/// *how much* randomness the selector consumed; resume replays the same
+/// draws against a freshly seeded RNG of the same kind, leaving it in
+/// the exact pre-crash position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngDraw {
+    /// `n` consecutive `next_u32` calls.
+    U32 {
+        /// Number of calls.
+        n: u64,
+    },
+    /// `n` consecutive `next_u64` calls.
+    U64 {
+        /// Number of calls.
+        n: u64,
+    },
+    /// One `fill_bytes`/`try_fill_bytes` call of `len` bytes. Never
+    /// merged: byte fills are rare and the length matters.
+    Bytes {
+        /// Buffer length of the fill.
+        len: u64,
+    },
+}
+
+/// Fast-forwards `rng` through a recorded draw log, discarding the
+/// values. After this, `rng` is positioned exactly where the logging
+/// run's RNG stood when the log ended.
+pub fn replay_draws(log: &[RngDraw], rng: &mut dyn RngCore) {
+    for d in log {
+        match *d {
+            RngDraw::U32 { n } => {
+                for _ in 0..n {
+                    rng.next_u32();
+                }
+            }
+            RngDraw::U64 { n } => {
+                for _ in 0..n {
+                    rng.next_u64();
+                }
+            }
+            RngDraw::Bytes { len } => {
+                let mut buf = vec![0u8; len as usize];
+                rng.fill_bytes(&mut buf);
+            }
+        }
+    }
+}
+
+/// RNG wrapper that forwards to an inner RNG while appending every
+/// draw to a run-length-encoded log (see [`RngDraw`]).
+struct CursorRng<'a> {
+    inner: &'a mut dyn RngCore,
+    log: &'a mut Vec<RngDraw>,
+}
+
+impl RngCore for CursorRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        if let Some(RngDraw::U32 { n }) = self.log.last_mut() {
+            *n += 1;
+        } else {
+            self.log.push(RngDraw::U32 { n: 1 });
+        }
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        if let Some(RngDraw::U64 { n }) = self.log.last_mut() {
+            *n += 1;
+        } else {
+            self.log.push(RngDraw::U64 { n: 1 });
+        }
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.log.push(RngDraw::Bytes {
+            len: dest.len() as u64,
+        });
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        let result = self.inner.try_fill_bytes(dest);
+        if result.is_ok() {
+            self.log.push(RngDraw::Bytes {
+                len: dest.len() as u64,
+            });
+        }
+        result
+    }
+}
+
+/// An [`AnswerOracle`] whose internal state (platform retry counters,
+/// sampling positions, fault-plan progress) can be exported and
+/// restored, so a resumed session sees the same answer stream an
+/// uninterrupted one would have.
+///
+/// `restore_cursor` is contractually applied to a *freshly constructed,
+/// identically seeded* oracle; the cursor carries only the mutable
+/// progress, not the configuration.
+pub trait ResumableOracle: AnswerOracle {
+    /// Serializes the oracle's mutable progress to an opaque string
+    /// (stored verbatim in [`SessionState::oracle_cursor`]).
+    fn save_cursor(&self) -> String;
+
+    /// Restores progress previously produced by
+    /// [`ResumableOracle::save_cursor`] on an identically configured
+    /// oracle. Rejects unparseable cursors with
+    /// [`HcError::InvalidCheckpoint`] and leaves the oracle unchanged.
+    fn restore_cursor(&mut self, cursor: &str) -> Result<()>;
+}
+
+/// The immutable outcome of a round's `SelectQueries` step, carried
+/// through the remaining steps of the round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedRound {
+    /// Round number (1-based) this plan belongs to.
+    pub round: usize,
+    /// What the k-schedule requested before the affordability clamp.
+    pub k_requested: usize,
+    /// The selected queries, in selection order.
+    pub queries: Vec<GlobalFact>,
+    /// The selector's objective for the chosen set (predicted
+    /// post-round entropy).
+    pub predicted_entropy: f64,
+    /// Causal id of `queries[0]`; query `i` carries `first_query_id + i`.
+    pub first_query_id: u64,
+}
+
+/// A round's queries for one task, with their causal ids, in dispatch
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskGroup {
+    /// Task index into the [`MultiBelief`].
+    pub task: usize,
+    /// `(fact, query_id)` pairs, in selection order.
+    pub facts: Vec<(FactId, u64)>,
+}
+
+/// Everything the `CollectAnswers` step gathered from the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedRound {
+    /// Outcome grid: `outcomes[group][worker][fact]`, aligned with the
+    /// round's [`TaskGroup`]s and the panel's worker order.
+    pub outcomes: Vec<Vec<Vec<AnswerOutcome>>>,
+    /// Delivered-answer counts per panel worker.
+    pub per_worker: Vec<usize>,
+}
+
+/// The session's position inside (or between) rounds — the state-machine
+/// cursor, carrying each step's output forward to the next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepCursor {
+    /// Between rounds; `SelectQueries` runs next.
+    NextRound,
+    /// Selection done; `Dispatch` runs next.
+    Selected {
+        /// The round plan.
+        plan: PlannedRound,
+    },
+    /// Dispatch grouping done; `CollectAnswers` runs next.
+    Dispatched {
+        /// The round plan.
+        plan: PlannedRound,
+        /// Per-task dispatch groups derived from the plan.
+        groups: Vec<TaskGroup>,
+    },
+    /// Answers collected; `UpdateBeliefs` runs next.
+    Collected {
+        /// The round plan.
+        plan: PlannedRound,
+        /// Per-task dispatch groups derived from the plan.
+        groups: Vec<TaskGroup>,
+        /// The collected answer grid.
+        collected: CollectedRound,
+    },
+    /// Beliefs updated; `CloseRound` runs next.
+    Updated {
+        /// The round plan.
+        plan: PlannedRound,
+        /// What the round actually delivered (drives the budget charge).
+        delivery: RoundDelivery,
+        /// Aggregated numerical health of the round's Bayes updates.
+        health: UpdateHealth,
+    },
+    /// Terminal: the run finished and `RunFinished` was emitted.
+    Finished {
+        /// Why the run stopped.
+        reason: StopReason,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: a hand-rolled codec over `hc_telemetry::json`.
+//
+// The codec is deliberately dependency-free and bit-exact:
+// - u64/usize counters encode as JSON numbers (exact below 2^53, far
+//   beyond any real budget or query id);
+// - floats that are finite by construction (probabilities, entropies,
+//   qualities) encode as numbers via shortest-round-trip formatting;
+// - floats that may be non-finite (UpdateHealth extrema start at +inf;
+//   EntropyAdaptive rates are user input) encode as 16-hex-digit bit
+//   patterns so even NaN payloads round-trip losslessly.
+// ---------------------------------------------------------------------------
+
+fn bad(what: &str) -> HcError {
+    HcError::InvalidCheckpoint {
+        reason: format!("missing or invalid `{what}`"),
+    }
+}
+
+fn invalid(reason: String) -> HcError {
+    HcError::InvalidCheckpoint { reason }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| bad(key))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64> {
+    let x = v.get(key).and_then(Json::as_f64).ok_or_else(|| bad(key))?;
+    if !x.is_finite() {
+        return Err(bad(key));
+    }
+    Ok(x)
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool> {
+    v.get(key).and_then(Json::as_bool).ok_or_else(|| bad(key))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+    v.get(key).and_then(Json::as_str).ok_or_else(|| bad(key))
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json]> {
+    v.get(key).and_then(Json::as_arr).ok_or_else(|| bad(key))
+}
+
+fn num(v: u64) -> Json {
+    debug_assert!(v < (1u64 << 53), "u64 exceeds exact-f64 range");
+    Json::Num(v as f64)
+}
+
+fn num_usize(v: usize) -> Json {
+    num(v as u64)
+}
+
+/// Encodes a possibly-non-finite float as its IEEE-754 bit pattern.
+fn bits_json(v: f64) -> Json {
+    Json::Str(format!("{:016x}", v.to_bits()))
+}
+
+/// Decodes a float stored as a 16-hex-digit bit pattern.
+fn get_bits_f64(v: &Json, key: &str) -> Result<f64> {
+    let s = get_str(v, key)?;
+    if s.len() != 16 {
+        return Err(bad(key));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|_| bad(key))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    let mut map = BTreeMap::new();
+    for (k, v) in entries {
+        map.insert(k.to_string(), v);
+    }
+    Json::Obj(map)
+}
+
+fn queries_to_json(queries: &[GlobalFact]) -> Json {
+    Json::Arr(
+        queries
+            .iter()
+            .map(|q| Json::Arr(vec![num_usize(q.task), num(u64::from(q.fact.0))]))
+            .collect(),
+    )
+}
+
+fn queries_from_json(v: &Json, key: &str) -> Result<Vec<GlobalFact>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|pair| {
+            let parts = pair.as_arr().ok_or_else(|| bad(key))?;
+            if parts.len() != 2 {
+                return Err(bad(key));
+            }
+            let task = parts[0].as_usize().ok_or_else(|| bad(key))?;
+            let fact = parts[1].as_u32().ok_or_else(|| bad(key))?;
+            Ok(GlobalFact::new(task, fact))
+        })
+        .collect()
+}
+
+fn config_to_json(c: &HcConfig) -> Json {
+    let k_schedule = match c.k_schedule {
+        KSchedule::Fixed => obj(vec![("kind", Json::Str("fixed".into()))]),
+        KSchedule::LinearDecay { end } => obj(vec![
+            ("kind", Json::Str("linear_decay".into())),
+            ("end", num_usize(end)),
+        ]),
+        KSchedule::EntropyAdaptive {
+            nats_per_query,
+            max,
+        } => obj(vec![
+            ("kind", Json::Str("entropy_adaptive".into())),
+            ("nats_per_query", bits_json(nats_per_query)),
+            ("max", num_usize(max)),
+        ]),
+    };
+    let repeat_policy = match c.repeat_policy {
+        RepeatPolicy::Unrestricted => "unrestricted",
+        RepeatPolicy::CycleThenRepeat => "cycle_then_repeat",
+    };
+    let parallelism = match c.parallelism {
+        Parallelism::Auto => Json::Str("auto".into()),
+        Parallelism::Serial => Json::Str("serial".into()),
+        Parallelism::Threads(n) => num_usize(n),
+    };
+    obj(vec![
+        ("k", num_usize(c.k)),
+        ("budget", num(c.budget)),
+        (
+            "max_rounds",
+            match c.max_rounds {
+                Some(n) => num_usize(n),
+                None => Json::Null,
+            },
+        ),
+        ("repeat_policy", Json::Str(repeat_policy.into())),
+        ("k_schedule", k_schedule),
+        ("max_dry_rounds", num_usize(c.max_dry_rounds)),
+        ("explain_selection", Json::Bool(c.explain_selection)),
+        ("parallelism", parallelism),
+    ])
+}
+
+fn config_from_json(v: &Json) -> Result<HcConfig> {
+    let repeat_policy = match get_str(v, "repeat_policy")? {
+        "unrestricted" => RepeatPolicy::Unrestricted,
+        "cycle_then_repeat" => RepeatPolicy::CycleThenRepeat,
+        other => return Err(invalid(format!("unknown repeat policy `{other}`"))),
+    };
+    let sched = v.get("k_schedule").ok_or_else(|| bad("k_schedule"))?;
+    let k_schedule = match get_str(sched, "kind")? {
+        "fixed" => KSchedule::Fixed,
+        "linear_decay" => KSchedule::LinearDecay {
+            end: get_usize(sched, "end")?,
+        },
+        "entropy_adaptive" => KSchedule::EntropyAdaptive {
+            nats_per_query: get_bits_f64(sched, "nats_per_query")?,
+            max: get_usize(sched, "max")?,
+        },
+        other => return Err(invalid(format!("unknown k-schedule `{other}`"))),
+    };
+    let parallelism = match v.get("parallelism").ok_or_else(|| bad("parallelism"))? {
+        Json::Str(s) if s == "auto" => Parallelism::Auto,
+        Json::Str(s) if s == "serial" => Parallelism::Serial,
+        j => Parallelism::Threads(j.as_usize().ok_or_else(|| bad("parallelism"))?),
+    };
+    let max_rounds = match v.get("max_rounds").ok_or_else(|| bad("max_rounds"))? {
+        Json::Null => None,
+        j => Some(j.as_usize().ok_or_else(|| bad("max_rounds"))?),
+    };
+    Ok(HcConfig {
+        k: get_usize(v, "k")?,
+        budget: get_u64(v, "budget")?,
+        max_rounds,
+        repeat_policy,
+        k_schedule,
+        max_dry_rounds: get_usize(v, "max_dry_rounds")?,
+        explain_selection: get_bool(v, "explain_selection")?,
+        parallelism,
+    })
+}
+
+fn panel_to_json(panel: &ExpertPanel) -> Json {
+    Json::Arr(
+        panel
+            .workers()
+            .iter()
+            .map(|w| {
+                obj(vec![
+                    ("id", num(u64::from(w.id.0))),
+                    ("accuracy", Json::Num(w.accuracy.rate())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn panel_from_json(v: &Json, key: &str) -> Result<ExpertPanel> {
+    let workers = get_arr(v, key)?
+        .iter()
+        .map(|w| {
+            let id = w.get("id").and_then(Json::as_u32).ok_or_else(|| bad(key))?;
+            let rate = get_f64(w, "accuracy")?;
+            Worker::new(id, rate).map_err(|e| invalid(format!("panel worker: {e}")))
+        })
+        .collect::<Result<Vec<Worker>>>()?;
+    Ok(ExpertPanel::new(workers))
+}
+
+fn beliefs_to_json(beliefs: &MultiBelief) -> Json {
+    Json::Arr(
+        beliefs
+            .tasks()
+            .iter()
+            .map(|b| Json::Arr(b.probs().iter().map(|&p| Json::Num(p)).collect()))
+            .collect(),
+    )
+}
+
+fn beliefs_from_json(v: &Json, key: &str) -> Result<MultiBelief> {
+    let tasks = get_arr(v, key)?
+        .iter()
+        .map(|t| {
+            let probs = t
+                .as_arr()
+                .ok_or_else(|| bad(key))?
+                .iter()
+                .map(|p| p.as_f64().ok_or_else(|| bad(key)))
+                .collect::<Result<Vec<f64>>>()?;
+            Belief::from_checkpoint_probs(probs)
+                .map_err(|e| invalid(format!("belief restore: {e}")))
+        })
+        .collect::<Result<Vec<Belief>>>()?;
+    Ok(MultiBelief::new(tasks))
+}
+
+fn record_to_json(r: &RoundRecord) -> Json {
+    obj(vec![
+        ("round", num_usize(r.round)),
+        ("queries", queries_to_json(&r.queries)),
+        ("budget_spent", num(r.budget_spent)),
+        ("quality", Json::Num(r.quality)),
+        ("answers_requested", num_usize(r.answers_requested)),
+        ("answers_received", num_usize(r.answers_received)),
+        ("predicted_entropy", Json::Num(r.predicted_entropy)),
+        ("realized_entropy", Json::Num(r.realized_entropy)),
+    ])
+}
+
+fn record_from_json(v: &Json) -> Result<RoundRecord> {
+    Ok(RoundRecord {
+        round: get_usize(v, "round")?,
+        queries: queries_from_json(v, "queries")?,
+        budget_spent: get_u64(v, "budget_spent")?,
+        quality: get_f64(v, "quality")?,
+        answers_requested: get_usize(v, "answers_requested")?,
+        answers_received: get_usize(v, "answers_received")?,
+        predicted_entropy: get_f64(v, "predicted_entropy")?,
+        realized_entropy: get_f64(v, "realized_entropy")?,
+    })
+}
+
+fn plan_to_json(p: &PlannedRound) -> Json {
+    obj(vec![
+        ("round", num_usize(p.round)),
+        ("k_requested", num_usize(p.k_requested)),
+        ("queries", queries_to_json(&p.queries)),
+        ("predicted_entropy", Json::Num(p.predicted_entropy)),
+        ("first_query_id", num(p.first_query_id)),
+    ])
+}
+
+fn plan_from_json(v: &Json, key: &str) -> Result<PlannedRound> {
+    let p = v.get(key).ok_or_else(|| bad(key))?;
+    Ok(PlannedRound {
+        round: get_usize(p, "round")?,
+        k_requested: get_usize(p, "k_requested")?,
+        queries: queries_from_json(p, "queries")?,
+        predicted_entropy: get_f64(p, "predicted_entropy")?,
+        first_query_id: get_u64(p, "first_query_id")?,
+    })
+}
+
+fn groups_to_json(groups: &[TaskGroup]) -> Json {
+    Json::Arr(
+        groups
+            .iter()
+            .map(|g| {
+                obj(vec![
+                    ("task", num_usize(g.task)),
+                    (
+                        "facts",
+                        Json::Arr(
+                            g.facts
+                                .iter()
+                                .map(|&(f, qid)| {
+                                    Json::Arr(vec![num(u64::from(f.0)), num(qid)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn groups_from_json(v: &Json, key: &str) -> Result<Vec<TaskGroup>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|g| {
+            let facts = get_arr(g, "facts")?
+                .iter()
+                .map(|pair| {
+                    let parts = pair.as_arr().ok_or_else(|| bad(key))?;
+                    if parts.len() != 2 {
+                        return Err(bad(key));
+                    }
+                    let f = parts[0].as_u32().ok_or_else(|| bad(key))?;
+                    let qid = parts[1].as_u64().ok_or_else(|| bad(key))?;
+                    Ok((FactId(f), qid))
+                })
+                .collect::<Result<Vec<(FactId, u64)>>>()?;
+            Ok(TaskGroup {
+                task: get_usize(g, "task")?,
+                facts,
+            })
+        })
+        .collect()
+}
+
+fn outcome_to_str(o: &AnswerOutcome) -> &'static str {
+    match o {
+        AnswerOutcome::Answered(a) => {
+            if a.as_bool() {
+                "y"
+            } else {
+                "n"
+            }
+        }
+        AnswerOutcome::TimedOut => "t",
+        AnswerOutcome::Dropped => "d",
+    }
+}
+
+fn outcome_from_str(s: &str) -> Result<AnswerOutcome> {
+    match s {
+        "y" => Ok(AnswerOutcome::Answered(Answer::from_bool(true))),
+        "n" => Ok(AnswerOutcome::Answered(Answer::from_bool(false))),
+        "t" => Ok(AnswerOutcome::TimedOut),
+        "d" => Ok(AnswerOutcome::Dropped),
+        other => Err(invalid(format!("unknown answer outcome `{other}`"))),
+    }
+}
+
+fn collected_to_json(c: &CollectedRound) -> Json {
+    obj(vec![
+        (
+            "outcomes",
+            Json::Arr(
+                c.outcomes
+                    .iter()
+                    .map(|grid| {
+                        Json::Arr(
+                            grid.iter()
+                                .map(|row| {
+                                    Json::Arr(
+                                        row.iter()
+                                            .map(|o| Json::Str(outcome_to_str(o).into()))
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "per_worker",
+            Json::Arr(c.per_worker.iter().map(|&n| num_usize(n)).collect()),
+        ),
+    ])
+}
+
+fn usize_arr_from_json(v: &Json, key: &str) -> Result<Vec<usize>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|n| n.as_usize().ok_or_else(|| bad(key)))
+        .collect()
+}
+
+fn collected_from_json(v: &Json, key: &str) -> Result<CollectedRound> {
+    let c = v.get(key).ok_or_else(|| bad(key))?;
+    let outcomes = get_arr(c, "outcomes")?
+        .iter()
+        .map(|grid| {
+            grid.as_arr()
+                .ok_or_else(|| bad(key))?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| bad(key))?
+                        .iter()
+                        .map(|o| outcome_from_str(o.as_str().ok_or_else(|| bad(key))?))
+                        .collect::<Result<Vec<AnswerOutcome>>>()
+                })
+                .collect::<Result<Vec<Vec<AnswerOutcome>>>>()
+        })
+        .collect::<Result<Vec<Vec<Vec<AnswerOutcome>>>>>()?;
+    Ok(CollectedRound {
+        outcomes,
+        per_worker: usize_arr_from_json(c, "per_worker")?,
+    })
+}
+
+fn delivery_to_json(d: &RoundDelivery) -> Json {
+    obj(vec![
+        ("requested", num_usize(d.requested)),
+        ("delivered", num_usize(d.delivered)),
+        (
+            "per_worker",
+            Json::Arr(d.per_worker.iter().map(|&n| num_usize(n)).collect()),
+        ),
+    ])
+}
+
+fn delivery_from_json(v: &Json, key: &str) -> Result<RoundDelivery> {
+    let d = v.get(key).ok_or_else(|| bad(key))?;
+    Ok(RoundDelivery {
+        requested: get_usize(d, "requested")?,
+        delivered: get_usize(d, "delivered")?,
+        per_worker: usize_arr_from_json(d, "per_worker")?,
+    })
+}
+
+fn health_to_json(h: &UpdateHealth) -> Json {
+    obj(vec![
+        ("min_mass", bits_json(h.min_mass)),
+        ("renorm_scale", bits_json(h.renorm_scale)),
+        ("log_evidence", bits_json(h.log_evidence)),
+        ("clamp_count", num_usize(h.clamp_count)),
+        ("rescued", Json::Bool(h.rescued)),
+    ])
+}
+
+fn health_from_json(v: &Json, key: &str) -> Result<UpdateHealth> {
+    let h = v.get(key).ok_or_else(|| bad(key))?;
+    Ok(UpdateHealth {
+        min_mass: get_bits_f64(h, "min_mass")?,
+        renorm_scale: get_bits_f64(h, "renorm_scale")?,
+        log_evidence: get_bits_f64(h, "log_evidence")?,
+        clamp_count: get_usize(h, "clamp_count")?,
+        rescued: get_bool(h, "rescued")?,
+    })
+}
+
+fn cursor_to_json(c: &StepCursor) -> Json {
+    match c {
+        StepCursor::NextRound => obj(vec![("step", Json::Str("next_round".into()))]),
+        StepCursor::Selected { plan } => obj(vec![
+            ("step", Json::Str("selected".into())),
+            ("plan", plan_to_json(plan)),
+        ]),
+        StepCursor::Dispatched { plan, groups } => obj(vec![
+            ("step", Json::Str("dispatched".into())),
+            ("plan", plan_to_json(plan)),
+            ("groups", groups_to_json(groups)),
+        ]),
+        StepCursor::Collected {
+            plan,
+            groups,
+            collected,
+        } => obj(vec![
+            ("step", Json::Str("collected".into())),
+            ("plan", plan_to_json(plan)),
+            ("groups", groups_to_json(groups)),
+            ("collected", collected_to_json(collected)),
+        ]),
+        StepCursor::Updated {
+            plan,
+            delivery,
+            health,
+        } => obj(vec![
+            ("step", Json::Str("updated".into())),
+            ("plan", plan_to_json(plan)),
+            ("delivery", delivery_to_json(delivery)),
+            ("health", health_to_json(health)),
+        ]),
+        StepCursor::Finished { reason } => obj(vec![
+            ("step", Json::Str("finished".into())),
+            ("reason", Json::Str(reason.name().into())),
+        ]),
+    }
+}
+
+fn cursor_from_json(v: &Json, key: &str) -> Result<StepCursor> {
+    let c = v.get(key).ok_or_else(|| bad(key))?;
+    match get_str(c, "step")? {
+        "next_round" => Ok(StepCursor::NextRound),
+        "selected" => Ok(StepCursor::Selected {
+            plan: plan_from_json(c, "plan")?,
+        }),
+        "dispatched" => Ok(StepCursor::Dispatched {
+            plan: plan_from_json(c, "plan")?,
+            groups: groups_from_json(c, "groups")?,
+        }),
+        "collected" => Ok(StepCursor::Collected {
+            plan: plan_from_json(c, "plan")?,
+            groups: groups_from_json(c, "groups")?,
+            collected: collected_from_json(c, "collected")?,
+        }),
+        "updated" => Ok(StepCursor::Updated {
+            plan: plan_from_json(c, "plan")?,
+            delivery: delivery_from_json(c, "delivery")?,
+            health: health_from_json(c, "health")?,
+        }),
+        "finished" => {
+            let name = get_str(c, "reason")?;
+            let reason = StopReason::from_name(name)
+                .ok_or_else(|| invalid(format!("unknown stop reason `{name}`")))?;
+            Ok(StepCursor::Finished { reason })
+        }
+        other => Err(invalid(format!("unknown cursor step `{other}`"))),
+    }
+}
+
+fn draws_to_json(draws: &[RngDraw]) -> Json {
+    Json::Arr(
+        draws
+            .iter()
+            .map(|d| match *d {
+                RngDraw::U32 { n } => Json::Arr(vec![Json::Str("u32".into()), num(n)]),
+                RngDraw::U64 { n } => Json::Arr(vec![Json::Str("u64".into()), num(n)]),
+                RngDraw::Bytes { len } => {
+                    Json::Arr(vec![Json::Str("bytes".into()), num(len)])
+                }
+            })
+            .collect(),
+    )
+}
+
+fn draws_from_json(v: &Json, key: &str) -> Result<Vec<RngDraw>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|d| {
+            let parts = d.as_arr().ok_or_else(|| bad(key))?;
+            if parts.len() != 2 {
+                return Err(bad(key));
+            }
+            let n = parts[1].as_u64().ok_or_else(|| bad(key))?;
+            match parts[0].as_str().ok_or_else(|| bad(key))? {
+                "u32" => Ok(RngDraw::U32 { n }),
+                "u64" => Ok(RngDraw::U64 { n }),
+                "bytes" => Ok(RngDraw::Bytes { len: n }),
+                other => Err(invalid(format!("unknown rng draw kind `{other}`"))),
+            }
+        })
+        .collect()
+}
+
+/// The complete, self-contained state of a checking run between two
+/// steps — everything needed to continue the run bit-exactly.
+///
+/// Serializes to a compact JSON payload ([`SessionState::to_payload`])
+/// intended to travel inside a CRC-checksummed [`CheckpointFrame`];
+/// restoration ([`SessionState::from_payload`]) is all-or-nothing with
+/// typed [`HcError::InvalidCheckpoint`] errors.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// Payload format version (see [`SESSION_FORMAT_VERSION`]).
+    pub version: u32,
+    /// The run's configuration.
+    pub config: HcConfig,
+    /// The expert panel answering queries.
+    pub panel: ExpertPanel,
+    /// Current per-task posteriors.
+    pub beliefs: MultiBelief,
+    /// Closed rounds so far.
+    pub rounds: Vec<RoundRecord>,
+    /// Budget spent so far.
+    pub spent: u64,
+    /// Budget remaining (`config.budget - spent`, kept explicit).
+    pub remaining: u64,
+    /// Rounds started so far (1-based round number of the round in
+    /// flight, if any).
+    pub round: usize,
+    /// Per-fact checked flags of the current repeat cycle, aligned with
+    /// `selection::global_facts(&beliefs)`.
+    pub checked: Vec<bool>,
+    /// Number of `true` entries in `checked`.
+    pub checked_count: usize,
+    /// Consecutive rounds with zero delivered answers.
+    pub dry_rounds: usize,
+    /// Causal id the next selected query will receive.
+    pub next_query_id: u64,
+    /// Whether `RunStarted` has been emitted.
+    pub started: bool,
+    /// Position inside the step state machine.
+    pub cursor: StepCursor,
+    /// Run-length-encoded log of every loop-RNG draw so far (replayed
+    /// on resume; see [`replay_draws`]).
+    pub rng_draws: Vec<RngDraw>,
+    /// Opaque oracle cursor captured at checkpoint time (see
+    /// [`ResumableOracle`]), if the driver supplied one.
+    pub oracle_cursor: Option<String>,
+}
+
+impl SessionState {
+    /// Encodes the state as a JSON value.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("version", num(u64::from(self.version))),
+            ("config", config_to_json(&self.config)),
+            ("panel", panel_to_json(&self.panel)),
+            ("beliefs", beliefs_to_json(&self.beliefs)),
+            (
+                "rounds",
+                Json::Arr(self.rounds.iter().map(record_to_json).collect()),
+            ),
+            ("spent", num(self.spent)),
+            ("remaining", num(self.remaining)),
+            ("round", num_usize(self.round)),
+            (
+                "checked",
+                Json::Str(
+                    self.checked
+                        .iter()
+                        .map(|&c| if c { '1' } else { '0' })
+                        .collect(),
+                ),
+            ),
+            ("checked_count", num_usize(self.checked_count)),
+            ("dry_rounds", num_usize(self.dry_rounds)),
+            ("next_query_id", num(self.next_query_id)),
+            ("started", Json::Bool(self.started)),
+            ("cursor", cursor_to_json(&self.cursor)),
+            ("rng_draws", draws_to_json(&self.rng_draws)),
+            (
+                "oracle_cursor",
+                match &self.oracle_cursor {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes a state from a JSON value. The format version is checked
+    /// *first*: a payload of any other version is rejected before any
+    /// field is interpreted.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| bad("version"))?;
+        if version != SESSION_FORMAT_VERSION {
+            return Err(invalid(format!(
+                "unsupported session format version {version} (expected {SESSION_FORMAT_VERSION})"
+            )));
+        }
+        let checked: Vec<bool> = get_str(v, "checked")?
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(bad("checked")),
+            })
+            .collect::<Result<Vec<bool>>>()?;
+        let oracle_cursor = match v.get("oracle_cursor").ok_or_else(|| bad("oracle_cursor"))? {
+            Json::Null => None,
+            j => Some(j.as_str().ok_or_else(|| bad("oracle_cursor"))?.to_string()),
+        };
+        Ok(SessionState {
+            version,
+            config: config_from_json(v.get("config").ok_or_else(|| bad("config"))?)?,
+            panel: panel_from_json(v, "panel")?,
+            beliefs: beliefs_from_json(v, "beliefs")?,
+            rounds: get_arr(v, "rounds")?
+                .iter()
+                .map(record_from_json)
+                .collect::<Result<Vec<RoundRecord>>>()?,
+            spent: get_u64(v, "spent")?,
+            remaining: get_u64(v, "remaining")?,
+            round: get_usize(v, "round")?,
+            checked,
+            checked_count: get_usize(v, "checked_count")?,
+            dry_rounds: get_usize(v, "dry_rounds")?,
+            next_query_id: get_u64(v, "next_query_id")?,
+            started: get_bool(v, "started")?,
+            cursor: cursor_from_json(v, "cursor")?,
+            rng_draws: draws_from_json(v, "rng_draws")?,
+            oracle_cursor,
+        })
+    }
+
+    /// Serializes to the compact string payload stored in a
+    /// [`CheckpointFrame`].
+    pub fn to_payload(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a payload produced by [`SessionState::to_payload`].
+    /// All-or-nothing: any malformed field yields
+    /// [`HcError::InvalidCheckpoint`] and no state.
+    pub fn from_payload(payload: &str) -> Result<Self> {
+        let v = json::parse(payload)
+            .map_err(|e| invalid(format!("payload is not valid JSON: {e:?}")))?;
+        Self::from_json(&v)
+    }
+}
+
+/// The mutable collaborators a session borrows for the duration of one
+/// [`HcSession::step`] call — everything that is *not* part of the
+/// serializable state.
+pub struct SessionEnv<'e> {
+    /// Source of expert answers.
+    pub oracle: &'e mut dyn AnswerOracle,
+    /// The loop RNG (selector randomness). On the first step after a
+    /// resume it must be freshly seeded exactly like the original run's;
+    /// the session fast-forwards it through the recorded draw log.
+    pub rng: &'e mut dyn RngCore,
+    /// Telemetry destination.
+    pub sink: &'e mut dyn TelemetrySink,
+    /// Per-round callback, invoked after each round's belief update.
+    pub observer: &'e mut dyn FnMut(&MultiBelief, &RoundRecord),
+}
+
+/// Groups a round's queries per task (first-seen task order, selection
+/// order within a task), attaching the causal id `first_query_id + i`
+/// to query `i` — the exact grouping the checking loop has always used.
+pub fn group_queries(queries: &[GlobalFact], first_query_id: u64) -> Vec<TaskGroup> {
+    let mut groups: Vec<TaskGroup> = Vec::new();
+    for (idx, gf) in queries.iter().enumerate() {
+        let qid = first_query_id + idx as u64;
+        match groups.iter_mut().find(|g| g.task == gf.task) {
+            Some(g) => g.facts.push((gf.fact, qid)),
+            None => groups.push(TaskGroup {
+                task: gf.task,
+                facts: vec![(gf.fact, qid)],
+            }),
+        }
+    }
+    groups
+}
+
+/// Asks every panel worker every query of one task group, emitting the
+/// dispatch/outcome telemetry pairs. Returns `grid[worker][fact]`.
+fn collect_group(
+    panel: &ExpertPanel,
+    group: &TaskGroup,
+    oracle: &mut dyn AnswerOracle,
+    round: usize,
+    sink: &mut dyn TelemetrySink,
+) -> Vec<Vec<AnswerOutcome>> {
+    let task = group.task;
+    panel
+        .workers()
+        .iter()
+        .map(|w| {
+            group
+                .facts
+                .iter()
+                .map(|&(f, qid)| {
+                    if sink.enabled() {
+                        sink.record(&TelemetryEvent::QueryDispatched {
+                            round,
+                            task,
+                            fact: f.0,
+                            worker: w.id.0,
+                            query_id: qid,
+                        });
+                    }
+                    oracle.begin_dispatch(qid);
+                    let outcome = oracle.answer(w, GlobalFact { task, fact: f });
+                    if sink.enabled() {
+                        sink.record(&match outcome {
+                            AnswerOutcome::Answered(a) => TelemetryEvent::AnswerDelivered {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                                query_id: qid,
+                                answer: a.as_bool(),
+                            },
+                            AnswerOutcome::TimedOut => TelemetryEvent::AnswerTimedOut {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                                query_id: qid,
+                            },
+                            AnswerOutcome::Dropped => TelemetryEvent::AnswerDropped {
+                                round,
+                                task,
+                                fact: f.0,
+                                worker: w.id.0,
+                                query_id: qid,
+                            },
+                        });
+                    }
+                    outcome
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Applies one task group's partial-answer Bayes update from a
+/// collected outcome grid (`outcomes[worker][fact]`).
+fn update_group(
+    beliefs: &mut MultiBelief,
+    panel: &ExpertPanel,
+    group: &TaskGroup,
+    outcomes: &[Vec<AnswerOutcome>],
+) -> Result<UpdateHealth> {
+    let num_facts = beliefs.tasks()[group.task].num_facts();
+    let query_set = QuerySet::new(group.facts.iter().map(|&(f, _)| f).collect(), num_facts)?;
+    let sets: Vec<PartialAnswerSet> = outcomes
+        .iter()
+        .map(|row| PartialAnswerSet::new(row))
+        .collect();
+    let family = PartialAnswerFamily::new(sets);
+    update_with_partial_family(&mut beliefs.tasks_mut()[group.task], &query_set, panel, &family)
+}
+
+/// The checking loop of Algorithm 3 as an explicit, resumable state
+/// machine.
+///
+/// Construct with [`HcSession::start`] (fresh run) or
+/// [`HcSession::resume`] / [`HcSession::from_frame`] (from a
+/// checkpoint), then drive with [`HcSession::step`] or
+/// [`HcSession::run_to_completion`]. Between any two steps,
+/// [`HcSession::checkpoint_frame`] captures the entire run.
+pub struct HcSession<'a> {
+    selector: &'a dyn TaskSelector,
+    costs: &'a dyn CostModel,
+    state: SessionState,
+    /// Cost of asking the whole panel one query (derived).
+    panel_cost: u64,
+    /// The global fact space (derived from the beliefs' shape).
+    all_facts: Vec<GlobalFact>,
+    /// Set on resume: the next `step` call fast-forwards `env.rng`
+    /// through the recorded draw log before doing anything else.
+    needs_rng_replay: bool,
+}
+
+impl std::fmt::Debug for HcSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HcSession")
+            .field("selector", &self.selector.name())
+            .field("state", &self.state)
+            .field("panel_cost", &self.panel_cost)
+            .field("needs_rng_replay", &self.needs_rng_replay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> HcSession<'a> {
+    /// Begins a fresh run. Fails only on an empty panel.
+    pub fn start(
+        beliefs: MultiBelief,
+        panel: ExpertPanel,
+        config: HcConfig,
+        selector: &'a dyn TaskSelector,
+        costs: &'a dyn CostModel,
+    ) -> Result<Self> {
+        if panel.is_empty() {
+            return Err(HcError::EmptyCrowd);
+        }
+        let all_facts = crate::selection::global_facts(&beliefs);
+        let panel_cost: u64 = panel.workers().iter().map(|w| costs.cost(w)).sum();
+        let state = SessionState {
+            version: SESSION_FORMAT_VERSION,
+            remaining: config.budget,
+            spent: 0,
+            rounds: Vec::new(),
+            round: 0,
+            checked: vec![false; all_facts.len()],
+            checked_count: 0,
+            dry_rounds: 0,
+            next_query_id: 1,
+            started: false,
+            cursor: StepCursor::NextRound,
+            rng_draws: Vec::new(),
+            oracle_cursor: None,
+            config,
+            panel,
+            beliefs,
+        };
+        Ok(HcSession {
+            selector,
+            costs,
+            state,
+            panel_cost,
+            all_facts,
+            needs_rng_replay: false,
+        })
+    }
+
+    /// Rehydrates a session from a restored [`SessionState`], validating
+    /// its internal consistency exhaustively first. A state that fails
+    /// any check is rejected with [`HcError::InvalidCheckpoint`] and
+    /// nothing is constructed.
+    pub fn resume(
+        state: SessionState,
+        selector: &'a dyn TaskSelector,
+        costs: &'a dyn CostModel,
+    ) -> Result<Self> {
+        if state.version != SESSION_FORMAT_VERSION {
+            return Err(invalid(format!(
+                "unsupported session format version {} (expected {SESSION_FORMAT_VERSION})",
+                state.version
+            )));
+        }
+        if state.panel.is_empty() {
+            return Err(invalid("checkpoint has an empty expert panel".into()));
+        }
+        let all_facts = crate::selection::global_facts(&state.beliefs);
+        if state.checked.len() != all_facts.len() {
+            return Err(invalid(format!(
+                "checked-flag vector has {} entries for a {}-fact space",
+                state.checked.len(),
+                all_facts.len()
+            )));
+        }
+        let count = state.checked.iter().filter(|&&c| c).count();
+        if count != state.checked_count {
+            return Err(invalid(format!(
+                "checked_count {} does not match {} set flags",
+                state.checked_count, count
+            )));
+        }
+        if state.spent.checked_add(state.remaining) != Some(state.config.budget) {
+            return Err(invalid(format!(
+                "spent {} + remaining {} does not equal budget {}",
+                state.spent, state.remaining, state.config.budget
+            )));
+        }
+        match &state.cursor {
+            StepCursor::NextRound | StepCursor::Finished { .. } => {
+                if state.rounds.len() != state.round {
+                    return Err(invalid(format!(
+                        "{} closed rounds recorded but round counter is {}",
+                        state.rounds.len(),
+                        state.round
+                    )));
+                }
+            }
+            StepCursor::Selected { plan }
+            | StepCursor::Dispatched { plan, .. }
+            | StepCursor::Collected { plan, .. }
+            | StepCursor::Updated { plan, .. } => {
+                if plan.round != state.round || state.rounds.len() + 1 != state.round {
+                    return Err(invalid(format!(
+                        "mid-round cursor for round {} is inconsistent with round \
+                         counter {} and {} closed rounds",
+                        plan.round,
+                        state.round,
+                        state.rounds.len()
+                    )));
+                }
+                if plan.queries.is_empty() {
+                    return Err(invalid("mid-round cursor has an empty query plan".into()));
+                }
+                if plan.first_query_id + plan.queries.len() as u64 != state.next_query_id {
+                    return Err(invalid(
+                        "query-id counter does not follow the in-flight plan".into(),
+                    ));
+                }
+                for q in &plan.queries {
+                    if !all_facts.contains(q) {
+                        return Err(invalid(format!(
+                            "planned query (task {}, fact {}) is outside the fact space",
+                            q.task, q.fact.0
+                        )));
+                    }
+                }
+            }
+        }
+        match &state.cursor {
+            StepCursor::Dispatched { plan, groups }
+            | StepCursor::Collected { plan, groups, .. }
+                if *groups != group_queries(&plan.queries, plan.first_query_id) =>
+            {
+                return Err(invalid(
+                    "dispatch groups do not match the query plan".into(),
+                ));
+            }
+            _ => {}
+        }
+        if let StepCursor::Collected {
+            groups, collected, ..
+        } = &state.cursor
+        {
+            if collected.outcomes.len() != groups.len()
+                || collected.per_worker.len() != state.panel.len()
+            {
+                return Err(invalid("collected outcome grid has wrong shape".into()));
+            }
+            let mut per_worker = vec![0usize; state.panel.len()];
+            for (g, grid) in groups.iter().zip(&collected.outcomes) {
+                if grid.len() != state.panel.len() {
+                    return Err(invalid("collected outcome grid has wrong shape".into()));
+                }
+                for (w, row) in grid.iter().enumerate() {
+                    if row.len() != g.facts.len() {
+                        return Err(invalid("collected outcome grid has wrong shape".into()));
+                    }
+                    per_worker[w] += row.iter().filter(|o| o.is_answered()).count();
+                }
+            }
+            if per_worker != collected.per_worker {
+                return Err(invalid(
+                    "per-worker delivery counts do not match the outcome grid".into(),
+                ));
+            }
+        }
+        if let StepCursor::Updated { plan, delivery, .. } = &state.cursor {
+            if delivery.per_worker.len() != state.panel.len()
+                || delivery.requested != plan.queries.len() * state.panel.len()
+                || delivery.delivered != delivery.per_worker.iter().sum::<usize>()
+                || delivery.delivered > delivery.requested
+            {
+                return Err(invalid(
+                    "round delivery report is internally inconsistent".into(),
+                ));
+            }
+        }
+        let panel_cost: u64 = state.panel.workers().iter().map(|w| costs.cost(w)).sum();
+        Ok(HcSession {
+            selector,
+            costs,
+            state,
+            panel_cost,
+            all_facts,
+            needs_rng_replay: true,
+        })
+    }
+
+    /// [`HcSession::resume`] from a raw [`CheckpointFrame`]: verifies
+    /// the frame's kind tag, decodes the payload, and validates.
+    pub fn from_frame(
+        frame: &CheckpointFrame,
+        selector: &'a dyn TaskSelector,
+        costs: &'a dyn CostModel,
+    ) -> Result<Self> {
+        frame
+            .expect_kind(SESSION_CHECKPOINT_KIND)
+            .map_err(|e| invalid(e.to_string()))?;
+        let state = SessionState::from_payload(&frame.payload)?;
+        Self::resume(state, selector, costs)
+    }
+
+    /// Captures the current state as a checkpoint frame with sequence
+    /// number `seq`. Call only between steps (never mid-`step`).
+    pub fn checkpoint_frame(&self, seq: u64) -> CheckpointFrame {
+        CheckpointFrame::new(SESSION_CHECKPOINT_KIND, seq, self.state.to_payload())
+    }
+
+    /// Stores the driver's oracle cursor so it rides along in the next
+    /// [`HcSession::checkpoint_frame`] (see [`ResumableOracle`]).
+    pub fn set_oracle_cursor(&mut self, cursor: Option<String>) {
+        self.state.oracle_cursor = cursor;
+    }
+
+    /// Read access to the session state.
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Where the session stands: the step that `step` would execute
+    /// next, or the finished stop reason.
+    pub fn status(&self) -> SessionStatus {
+        match &self.state.cursor {
+            StepCursor::NextRound => SessionStatus::Pending(SessionStep::SelectQueries),
+            StepCursor::Selected { .. } => SessionStatus::Pending(SessionStep::Dispatch),
+            StepCursor::Dispatched { .. } => SessionStatus::Pending(SessionStep::CollectAnswers),
+            StepCursor::Collected { .. } => SessionStatus::Pending(SessionStep::UpdateBeliefs),
+            StepCursor::Updated { .. } => SessionStatus::Pending(SessionStep::CloseRound),
+            StepCursor::Finished { reason } => SessionStatus::Finished(*reason),
+        }
+    }
+
+    /// Consumes the session, yielding the final beliefs, the closed
+    /// rounds, and the budget spent.
+    pub fn into_parts(self) -> (MultiBelief, Vec<RoundRecord>, u64) {
+        (self.state.beliefs, self.state.rounds, self.state.spent)
+    }
+
+    /// Executes exactly one step of the state machine and returns where
+    /// the session stands afterwards.
+    ///
+    /// Calling `step` on a finished session is a no-op that returns the
+    /// terminal status again (nothing is re-emitted). An `Err` return
+    /// leaves the cursor *before* the failed step, but the step's
+    /// partial side effects (oracle calls, partially applied updates)
+    /// make re-stepping unsound — resume from the last checkpoint
+    /// instead.
+    pub fn step(&mut self, env: &mut SessionEnv<'_>) -> Result<SessionStatus> {
+        // Install the run's thread policy for every kernel below;
+        // results are bit-identical regardless (see `crate::parallel`).
+        let _par = crate::parallel::scoped(self.state.config.parallelism);
+        if self.needs_rng_replay {
+            replay_draws(&self.state.rng_draws, env.rng);
+            self.needs_rng_replay = false;
+        }
+        if let StepCursor::Finished { reason } = self.state.cursor {
+            return Ok(SessionStatus::Finished(reason));
+        }
+        if !self.state.started {
+            if env.sink.enabled() {
+                env.sink.record(&TelemetryEvent::RunStarted {
+                    tasks: self.state.beliefs.len(),
+                    facts: self.state.beliefs.total_facts(),
+                    panel: self.state.panel.len(),
+                    budget: self.state.config.budget,
+                    k: self.state.config.k,
+                    entropy: self.state.beliefs.entropy(),
+                    quality: self.state.beliefs.quality(),
+                });
+            }
+            self.state.started = true;
+        }
+        match self.state.cursor.clone() {
+            StepCursor::NextRound => self.select_queries(env),
+            StepCursor::Selected { plan } => self.dispatch(plan),
+            StepCursor::Dispatched { plan, groups } => self.collect_answers(plan, groups, env),
+            StepCursor::Collected {
+                plan,
+                groups,
+                collected,
+            } => self.update_beliefs(plan, groups, collected),
+            StepCursor::Updated {
+                plan,
+                delivery,
+                health,
+            } => self.close_round(plan, delivery, health, env),
+            StepCursor::Finished { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// Drives [`HcSession::step`] until the run finishes.
+    pub fn run_to_completion(&mut self, env: &mut SessionEnv<'_>) -> Result<StopReason> {
+        loop {
+            if let SessionStatus::Finished(reason) = self.step(env)? {
+                return Ok(reason);
+            }
+        }
+    }
+
+    fn select_queries(&mut self, env: &mut SessionEnv<'_>) -> Result<SessionStatus> {
+        // Normally the dry-round guard fires inside `close_round`; this
+        // pre-check only triggers on a state folded from a trace that
+        // ended after a dry round's BeliefUpdated but before its
+        // RunFinished — the resumed session must still emit it.
+        if self.state.dry_rounds >= self.state.config.max_dry_rounds.max(1) {
+            return self.finish(StopReason::DryRounds, env);
+        }
+        if let Some(cap) = self.state.config.max_rounds {
+            if self.state.round >= cap {
+                return self.finish(StopReason::MaxRounds, env);
+            }
+        }
+        // Algorithm 2 caps |T| at min(k, affordable queries); the
+        // schedule may shrink or grow the base k first (§III-D).
+        let round_k = self.state.config.k_schedule.round_k(
+            self.state.config.k,
+            self.state.spent,
+            self.state.config.budget,
+            &self.state.beliefs,
+        );
+        let affordable = (self.state.remaining / self.panel_cost) as usize;
+        let k_eff = round_k.min(affordable);
+        if k_eff == 0 {
+            return self.finish(StopReason::BudgetExhausted, env);
+        }
+        // Eligible candidates under the repeat policy.
+        if self.state.config.repeat_policy == RepeatPolicy::CycleThenRepeat
+            && self.state.checked_count == self.all_facts.len()
+        {
+            self.state.checked.fill(false);
+            self.state.checked_count = 0;
+        }
+        let candidates: Vec<GlobalFact> =
+            if self.state.config.repeat_policy == RepeatPolicy::CycleThenRepeat {
+                self.all_facts
+                    .iter()
+                    .zip(&self.state.checked)
+                    .filter(|(_, &c)| !c)
+                    .map(|(&gf, _)| gf)
+                    .collect()
+            } else {
+                self.all_facts.clone()
+            };
+        // The explain trace exists only when requested AND the sink
+        // wants events; otherwise the selection path is exactly `select`.
+        let mut trace: Option<ExplainTrace> =
+            if self.state.config.explain_selection && env.sink.enabled() {
+                Some(ExplainTrace::new())
+            } else {
+                None
+            };
+        let queries = {
+            let _span = timing::span(Phase::Selection);
+            let mut rng = CursorRng {
+                inner: env.rng,
+                log: &mut self.state.rng_draws,
+            };
+            match trace.as_mut() {
+                Some(t) => self.selector.select_with_explain(
+                    &self.state.beliefs,
+                    &self.state.panel,
+                    k_eff,
+                    &candidates,
+                    &mut rng,
+                    t,
+                )?,
+                None => self.selector.select(
+                    &self.state.beliefs,
+                    &self.state.panel,
+                    k_eff,
+                    &candidates,
+                    &mut rng,
+                )?,
+            }
+        };
+        if queries.is_empty() {
+            return self.finish(StopReason::NoPositiveGain, env);
+        }
+        if self.state.config.repeat_policy == RepeatPolicy::CycleThenRepeat {
+            for q in &queries {
+                let idx = self
+                    .all_facts
+                    .iter()
+                    .position(|gf| gf == q)
+                    .expect("selector returns candidates");
+                if !self.state.checked[idx] {
+                    self.state.checked[idx] = true;
+                    self.state.checked_count += 1;
+                }
+            }
+        }
+        self.state.round += 1;
+        // What the selector expects to remain after this round — stored
+        // in the RoundRecord so per-round regret is computable.
+        let predicted_entropy =
+            crate::selection::selection_objective(&self.state.beliefs, &queries, &self.state.panel)?;
+        if env.sink.enabled() {
+            env.sink.record(&TelemetryEvent::RoundSelected {
+                round: self.state.round,
+                k_requested: round_k,
+                k_effective: queries.len(),
+                queries: queries.iter().map(|q| (q.task, q.fact.0)).collect(),
+                entropy_before: self.state.beliefs.entropy(),
+                predicted_entropy,
+            });
+        }
+        let first_query_id = self.state.next_query_id;
+        self.state.next_query_id += queries.len() as u64;
+        if let Some(t) = trace.as_ref() {
+            if env.sink.enabled() {
+                for s in &t.scored {
+                    env.sink.record(&TelemetryEvent::CandidateScored {
+                        round: self.state.round,
+                        step: s.step,
+                        task: s.fact.task,
+                        fact: s.fact.fact.0,
+                        gain: s.gain,
+                    });
+                }
+                for (idx, s) in t.selected.iter().enumerate() {
+                    env.sink.record(&TelemetryEvent::QuerySelected {
+                        round: self.state.round,
+                        step: s.step,
+                        task: s.fact.task,
+                        fact: s.fact.fact.0,
+                        gain: s.gain,
+                        query_id: first_query_id + idx as u64,
+                    });
+                }
+            }
+        }
+        self.state.cursor = StepCursor::Selected {
+            plan: PlannedRound {
+                round: self.state.round,
+                k_requested: round_k,
+                queries,
+                predicted_entropy,
+                first_query_id,
+            },
+        };
+        Ok(SessionStatus::Pending(SessionStep::Dispatch))
+    }
+
+    fn dispatch(&mut self, plan: PlannedRound) -> Result<SessionStatus> {
+        let groups = group_queries(&plan.queries, plan.first_query_id);
+        // Validate every group's query set *before* any oracle call, so
+        // a selector emitting duplicate or out-of-range facts fails here
+        // (as the pre-session loop did) rather than after dispatching.
+        for g in &groups {
+            let num_facts = self.state.beliefs.tasks()[g.task].num_facts();
+            QuerySet::new(g.facts.iter().map(|&(f, _)| f).collect(), num_facts)?;
+        }
+        self.state.cursor = StepCursor::Dispatched { plan, groups };
+        Ok(SessionStatus::Pending(SessionStep::CollectAnswers))
+    }
+
+    fn collect_answers(
+        &mut self,
+        plan: PlannedRound,
+        groups: Vec<TaskGroup>,
+        env: &mut SessionEnv<'_>,
+    ) -> Result<SessionStatus> {
+        let mut outcomes = Vec::with_capacity(groups.len());
+        let mut per_worker = vec![0usize; self.state.panel.len()];
+        for group in &groups {
+            let grid = collect_group(&self.state.panel, group, env.oracle, plan.round, env.sink);
+            for (w, row) in grid.iter().enumerate() {
+                per_worker[w] += row.iter().filter(|o| o.is_answered()).count();
+            }
+            outcomes.push(grid);
+        }
+        self.state.cursor = StepCursor::Collected {
+            plan,
+            groups,
+            collected: CollectedRound {
+                outcomes,
+                per_worker,
+            },
+        };
+        Ok(SessionStatus::Pending(SessionStep::UpdateBeliefs))
+    }
+
+    fn update_beliefs(
+        &mut self,
+        plan: PlannedRound,
+        groups: Vec<TaskGroup>,
+        collected: CollectedRound,
+    ) -> Result<SessionStatus> {
+        let mut health = UpdateHealth::identity();
+        for (group, grid) in groups.iter().zip(&collected.outcomes) {
+            let task_health =
+                update_group(&mut self.state.beliefs, &self.state.panel, group, grid)?;
+            health.merge(&task_health);
+        }
+        let delivery = RoundDelivery {
+            requested: plan.queries.len() * self.state.panel.len(),
+            delivered: collected.per_worker.iter().sum(),
+            per_worker: collected.per_worker,
+        };
+        self.state.cursor = StepCursor::Updated {
+            plan,
+            delivery,
+            health,
+        };
+        Ok(SessionStatus::Pending(SessionStep::CloseRound))
+    }
+
+    fn close_round(
+        &mut self,
+        plan: PlannedRound,
+        delivery: RoundDelivery,
+        health: UpdateHealth,
+        env: &mut SessionEnv<'_>,
+    ) -> Result<SessionStatus> {
+        // Charge only for answers that actually arrived: a dropped or
+        // timed-out attempt costs nothing. With a reliable crowd this is
+        // exactly the paper's `|T| · |CE|` per-round charge.
+        let cost: u64 = self
+            .state
+            .panel
+            .workers()
+            .iter()
+            .zip(&delivery.per_worker)
+            .map(|(w, &n)| self.costs.cost(w) * n as u64)
+            .sum();
+        self.state.remaining -= cost;
+        self.state.spent += cost;
+        let realized_entropy = self.state.beliefs.entropy();
+        let record = RoundRecord {
+            round: plan.round,
+            queries: plan.queries,
+            budget_spent: self.state.spent,
+            quality: self.state.beliefs.quality(),
+            answers_requested: delivery.requested,
+            answers_received: delivery.delivered,
+            predicted_entropy: plan.predicted_entropy,
+            realized_entropy,
+        };
+        if env.sink.enabled() {
+            env.sink.record(&TelemetryEvent::BeliefUpdated {
+                round: plan.round,
+                entropy: realized_entropy,
+                quality: record.quality,
+                budget_spent: self.state.spent,
+                answers_requested: delivery.requested,
+                answers_received: delivery.delivered,
+            });
+            // One numerical-health report per round that actually
+            // renormalised something, so the inspector's audit can flag
+            // near-collapse runs. All fields come from fixed-chunk
+            // ordered reductions, so the event stream stays bit-identical
+            // across thread counts.
+            if health.is_meaningful() {
+                env.sink.record(&TelemetryEvent::NumericalHealth {
+                    round: plan.round,
+                    min_mass: health.min_mass,
+                    renorm_scale: health.renorm_scale,
+                    log_evidence: health.log_evidence,
+                    clamp_count: health.clamp_count as u64,
+                    rescued: health.rescued,
+                });
+            }
+        }
+        (env.observer)(&self.state.beliefs, &record);
+        self.state.rounds.push(record);
+        // An unresponsive crowd delivers nothing and charges nothing, so
+        // the budget check alone cannot terminate the loop — bound it by
+        // consecutive all-dry rounds instead.
+        if delivery.delivered == 0 {
+            self.state.dry_rounds += 1;
+            if self.state.dry_rounds >= self.state.config.max_dry_rounds.max(1) {
+                return self.finish(StopReason::DryRounds, env);
+            }
+        } else {
+            self.state.dry_rounds = 0;
+        }
+        self.state.cursor = StepCursor::NextRound;
+        Ok(SessionStatus::Pending(SessionStep::SelectQueries))
+    }
+
+    fn finish(&mut self, reason: StopReason, env: &mut SessionEnv<'_>) -> Result<SessionStatus> {
+        if env.sink.enabled() {
+            env.sink.record(&TelemetryEvent::RunFinished {
+                rounds: self.state.round,
+                budget_spent: self.state.spent,
+                entropy: self.state.beliefs.entropy(),
+                quality: self.state.beliefs.quality(),
+                reason,
+            });
+            env.sink.flush();
+        }
+        self.state.cursor = StepCursor::Finished { reason };
+        Ok(SessionStatus::Finished(reason))
+    }
+}
+
+/// Result of [`resume_state_from_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceResume {
+    /// The reconstructed state, positioned at the next round boundary
+    /// (or finished, when the trace contains `RunFinished`).
+    pub state: SessionState,
+    /// How many leading events of the input were folded into `state`.
+    /// Events past this index belong to a partial round the resumed
+    /// session re-executes, so a stitched log must be truncated to this
+    /// many events before the resumed run appends to it.
+    pub events_consumed: usize,
+}
+
+/// A round in flight during the trace fold: selected, answers arriving,
+/// not yet closed by a `BeliefUpdated`.
+struct PendingRound {
+    round: usize,
+    k_requested: usize,
+    queries: Vec<GlobalFact>,
+    predicted_entropy: f64,
+    /// `(task, fact, worker, query_id, outcome)` in event order.
+    outcomes: Vec<(usize, u32, u32, u64, AnswerOutcome)>,
+}
+
+/// Reconstructs a resumable [`SessionState`] by folding a recorded
+/// telemetry stream over the run's *initial* inputs — recovery when no
+/// snapshot survived but the JSONL trace did.
+///
+/// The fold replays every closed round's Bayes updates and
+/// cross-checks the recomputed entropies bit-for-bit against the
+/// recorded ones; any divergence (wrong initial beliefs, edited trace,
+/// foreign events) is rejected with [`HcError::InvalidCheckpoint`]. A
+/// trailing partial round (selected but not closed when the process
+/// died) is discarded — the resumed session re-executes it and, being
+/// deterministic, re-emits the identical events.
+///
+/// Limitations, by construction: the returned state has an empty RNG
+/// draw log and no oracle cursor, so it resumes exactly only runs
+/// whose selector draws no loop randomness (all deterministic
+/// selectors) and whose oracle state the driver restores out of band
+/// (e.g. from the count of answer events consumed).
+pub fn resume_state_from_trace(
+    beliefs: MultiBelief,
+    panel: ExpertPanel,
+    config: HcConfig,
+    events: &[TelemetryEvent],
+) -> Result<TraceResume> {
+    if panel.is_empty() {
+        return Err(HcError::EmptyCrowd);
+    }
+    let _par = crate::parallel::scoped(config.parallelism);
+    let mut beliefs = beliefs;
+    let all_facts = crate::selection::global_facts(&beliefs);
+    let mut started = false;
+    let mut finished: Option<StopReason> = None;
+    let mut pending: Option<PendingRound> = None;
+    let mut consumed = 0usize;
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut spent: u64 = 0;
+    let mut round_count = 0usize;
+    let mut checked: Vec<bool> = vec![false; all_facts.len()];
+    let mut checked_count = 0usize;
+    let mut dry_rounds = 0usize;
+    let mut next_query_id: u64 = 1;
+    // Set when the trace ends exactly at a `BeliefUpdated`: the round's
+    // close may have been torn mid-write (its `NumericalHealth` or
+    // `RunFinished` never reached the log), so the round is left at the
+    // `Updated` cursor and the resumed session re-runs `CloseRound`,
+    // re-emitting the close byte-identically.
+    let mut tail_cursor: Option<StepCursor> = None;
+
+    for (idx, ev) in events.iter().enumerate() {
+        if finished.is_some() {
+            return Err(invalid("trace contains events after RunFinished".into()));
+        }
+        match ev {
+            TelemetryEvent::RunStarted {
+                tasks,
+                facts,
+                panel: panel_size,
+                budget,
+                k,
+                entropy,
+                quality: _,
+            } => {
+                if started {
+                    return Err(invalid("trace contains a second RunStarted".into()));
+                }
+                if *tasks != beliefs.len()
+                    || *facts != beliefs.total_facts()
+                    || *panel_size != panel.len()
+                    || *budget != config.budget
+                    || *k != config.k
+                {
+                    return Err(invalid(
+                        "RunStarted does not match the supplied run inputs".into(),
+                    ));
+                }
+                if entropy.to_bits() != beliefs.entropy().to_bits() {
+                    return Err(invalid(
+                        "RunStarted entropy does not match the supplied initial beliefs".into(),
+                    ));
+                }
+                started = true;
+                consumed = idx + 1;
+            }
+            _ if !started => {
+                return Err(invalid("trace event precedes RunStarted".into()));
+            }
+            TelemetryEvent::RoundSelected {
+                round,
+                k_requested,
+                k_effective,
+                queries,
+                entropy_before,
+                predicted_entropy,
+            } => {
+                if pending.is_some() {
+                    return Err(invalid(
+                        "RoundSelected before the previous round closed".into(),
+                    ));
+                }
+                if *round != round_count + 1 {
+                    return Err(invalid(format!(
+                        "RoundSelected for round {round} after {round_count} closed rounds"
+                    )));
+                }
+                if queries.len() != *k_effective || queries.is_empty() {
+                    return Err(invalid("RoundSelected query list is inconsistent".into()));
+                }
+                if entropy_before.to_bits() != beliefs.entropy().to_bits() {
+                    return Err(invalid(format!(
+                        "trace diverged: entropy before round {round} does not match"
+                    )));
+                }
+                let qs: Vec<GlobalFact> = queries
+                    .iter()
+                    .map(|&(t, f)| GlobalFact::new(t, f))
+                    .collect();
+                for q in &qs {
+                    if !all_facts.contains(q) {
+                        return Err(invalid(format!(
+                            "selected query (task {}, fact {}) is outside the fact space",
+                            q.task, q.fact.0
+                        )));
+                    }
+                }
+                pending = Some(PendingRound {
+                    round: *round,
+                    k_requested: *k_requested,
+                    queries: qs,
+                    predicted_entropy: *predicted_entropy,
+                    outcomes: Vec::new(),
+                });
+            }
+            TelemetryEvent::CandidateScored { .. }
+            | TelemetryEvent::QuerySelected { .. }
+            | TelemetryEvent::QueryDispatched { .. }
+            | TelemetryEvent::RetryScheduled { .. }
+            | TelemetryEvent::FaultInjected { .. } => {}
+            TelemetryEvent::AnswerDelivered {
+                task,
+                fact,
+                worker,
+                query_id,
+                answer,
+                ..
+            } => {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| invalid("answer event outside an open round".into()))?;
+                p.outcomes.push((
+                    *task,
+                    *fact,
+                    *worker,
+                    *query_id,
+                    AnswerOutcome::Answered(Answer::from_bool(*answer)),
+                ));
+            }
+            TelemetryEvent::AnswerTimedOut {
+                task,
+                fact,
+                worker,
+                query_id,
+                ..
+            } => {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| invalid("answer event outside an open round".into()))?;
+                p.outcomes
+                    .push((*task, *fact, *worker, *query_id, AnswerOutcome::TimedOut));
+            }
+            TelemetryEvent::AnswerDropped {
+                task,
+                fact,
+                worker,
+                query_id,
+                ..
+            } => {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| invalid("answer event outside an open round".into()))?;
+                p.outcomes
+                    .push((*task, *fact, *worker, *query_id, AnswerOutcome::Dropped));
+            }
+            TelemetryEvent::BeliefUpdated {
+                round,
+                entropy,
+                quality,
+                budget_spent,
+                answers_requested,
+                answers_received,
+            } => {
+                let p = pending
+                    .take()
+                    .ok_or_else(|| invalid("BeliefUpdated without RoundSelected".into()))?;
+                if p.round != *round {
+                    return Err(invalid(format!(
+                        "BeliefUpdated for round {round} closes round {}",
+                        p.round
+                    )));
+                }
+                // Mirror the loop's bookkeeping exactly: cycle reset,
+                // checked marks, round counter, query-id allocation.
+                if config.repeat_policy == RepeatPolicy::CycleThenRepeat {
+                    if checked_count == all_facts.len() {
+                        checked.fill(false);
+                        checked_count = 0;
+                    }
+                    for q in &p.queries {
+                        let fidx = all_facts
+                            .iter()
+                            .position(|gf| gf == q)
+                            .expect("membership validated at RoundSelected");
+                        if !checked[fidx] {
+                            checked[fidx] = true;
+                            checked_count += 1;
+                        }
+                    }
+                }
+                round_count += 1;
+                debug_assert_eq!(round_count, *round);
+                let first_query_id = next_query_id;
+                next_query_id += p.queries.len() as u64;
+                let groups = group_queries(&p.queries, first_query_id);
+                // Consume the round's answer events positionally in
+                // dispatch order, verifying each against its slot.
+                let mut cursor = p.outcomes.iter();
+                let mut per_worker = vec![0usize; panel.len()];
+                let mut grids: Vec<Vec<Vec<AnswerOutcome>>> = Vec::with_capacity(groups.len());
+                for g in &groups {
+                    let mut grid = Vec::with_capacity(panel.len());
+                    for (w_idx, w) in panel.workers().iter().enumerate() {
+                        let mut row = Vec::with_capacity(g.facts.len());
+                        for &(f, qid) in &g.facts {
+                            let &(t2, f2, w2, q2, outcome) = cursor.next().ok_or_else(|| {
+                                invalid(format!("round {round} is missing answer events"))
+                            })?;
+                            if t2 != g.task || f2 != f.0 || w2 != w.id.0 || q2 != qid {
+                                return Err(invalid(format!(
+                                    "round {round} answer events are out of dispatch order"
+                                )));
+                            }
+                            if outcome.is_answered() {
+                                per_worker[w_idx] += 1;
+                            }
+                            row.push(outcome);
+                        }
+                        grid.push(row);
+                    }
+                    grids.push(grid);
+                }
+                if cursor.next().is_some() {
+                    return Err(invalid(format!(
+                        "round {round} has surplus answer events"
+                    )));
+                }
+                let delivered: usize = per_worker.iter().sum();
+                if delivered != *answers_received
+                    || p.queries.len() * panel.len() != *answers_requested
+                {
+                    return Err(invalid(format!(
+                        "round {round} delivery counts do not match its answer events"
+                    )));
+                }
+                let mut health = UpdateHealth::identity();
+                for (g, grid) in groups.iter().zip(&grids) {
+                    let task_health = update_group(&mut beliefs, &panel, g, grid)?;
+                    health.merge(&task_health);
+                }
+                if *budget_spent < spent || *budget_spent > config.budget {
+                    return Err(invalid(format!(
+                        "round {round} budget_spent {budget_spent} is not monotone within budget"
+                    )));
+                }
+                let realized = beliefs.entropy();
+                let q = beliefs.quality();
+                if realized.to_bits() != entropy.to_bits() || q.to_bits() != quality.to_bits() {
+                    return Err(invalid(format!(
+                        "trace diverged: recomputed beliefs after round {round} do not \
+                         match the recorded entropy/quality"
+                    )));
+                }
+                if idx + 1 == events.len() {
+                    // Last event of the trace: `CloseRound` emits
+                    // `BeliefUpdated`, then (sometimes) `NumericalHealth`,
+                    // then (sometimes) `RunFinished` — a crash between
+                    // those writes leaves this exact shape, and the log
+                    // alone cannot distinguish it from a completed close.
+                    // Leave the round un-closed: the resumed session
+                    // re-runs `CloseRound` from identical state and
+                    // re-emits the close byte-for-byte either way.
+                    let delivery = RoundDelivery {
+                        requested: *answers_requested,
+                        delivered,
+                        per_worker,
+                    };
+                    tail_cursor = Some(StepCursor::Updated {
+                        plan: PlannedRound {
+                            round: *round,
+                            k_requested: p.k_requested,
+                            queries: p.queries,
+                            predicted_entropy: p.predicted_entropy,
+                            first_query_id,
+                        },
+                        delivery,
+                        health,
+                    });
+                    consumed = idx;
+                } else {
+                    spent = *budget_spent;
+                    rounds.push(RoundRecord {
+                        round: *round,
+                        queries: p.queries,
+                        budget_spent: spent,
+                        quality: q,
+                        answers_requested: *answers_requested,
+                        answers_received: *answers_received,
+                        predicted_entropy: p.predicted_entropy,
+                        realized_entropy: realized,
+                    });
+                    if delivered == 0 {
+                        dry_rounds += 1;
+                    } else {
+                        dry_rounds = 0;
+                    }
+                    consumed = idx + 1;
+                }
+            }
+            TelemetryEvent::NumericalHealth { .. } => {
+                // Emitted right after its round's BeliefUpdated; fold it
+                // into the consumed prefix only at that position.
+                if pending.is_none() {
+                    consumed = idx + 1;
+                }
+            }
+            TelemetryEvent::RunFinished {
+                rounds: finished_rounds,
+                budget_spent,
+                entropy,
+                quality: _,
+                reason,
+            } => {
+                if pending.is_some() {
+                    return Err(invalid("RunFinished inside an open round".into()));
+                }
+                if *finished_rounds != round_count || *budget_spent != spent {
+                    return Err(invalid(
+                        "RunFinished totals do not match the folded rounds".into(),
+                    ));
+                }
+                if entropy.to_bits() != beliefs.entropy().to_bits() {
+                    return Err(invalid(
+                        "RunFinished entropy does not match the recomputed beliefs".into(),
+                    ));
+                }
+                finished = Some(*reason);
+                consumed = idx + 1;
+            }
+        }
+    }
+    if !started {
+        return Err(invalid("trace contains no RunStarted".into()));
+    }
+    let cursor = match finished {
+        Some(reason) => StepCursor::Finished { reason },
+        None => tail_cursor.unwrap_or(StepCursor::NextRound),
+    };
+    let state = SessionState {
+        version: SESSION_FORMAT_VERSION,
+        remaining: config.budget - spent,
+        config,
+        panel,
+        beliefs,
+        rounds,
+        spent,
+        round: round_count,
+        checked,
+        checked_count,
+        dry_rounds,
+        next_query_id,
+        started,
+        cursor,
+        rng_draws: Vec::new(),
+        oracle_cursor: None,
+    };
+    Ok(TraceResume {
+        state,
+        events_consumed: consumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hc::UnitCost;
+    use hc_telemetry::RecordingSink;
+
+    /// Deterministic selector: first `k` eligible candidates, no RNG.
+    struct FirstK;
+
+    impl TaskSelector for FirstK {
+        fn name(&self) -> &'static str {
+            "first-k"
+        }
+
+        fn select(
+            &self,
+            _beliefs: &MultiBelief,
+            _panel: &ExpertPanel,
+            k: usize,
+            candidates: &[GlobalFact],
+            _rng: &mut dyn RngCore,
+        ) -> Result<Vec<GlobalFact>> {
+            Ok(candidates.iter().take(k).copied().collect())
+        }
+    }
+
+    /// Selector that consumes loop RNG (one `next_u64` per pick), to
+    /// exercise the draw-log replay path.
+    struct RandomishK;
+
+    impl TaskSelector for RandomishK {
+        fn name(&self) -> &'static str {
+            "randomish-k"
+        }
+
+        fn select(
+            &self,
+            _beliefs: &MultiBelief,
+            _panel: &ExpertPanel,
+            k: usize,
+            candidates: &[GlobalFact],
+            rng: &mut dyn RngCore,
+        ) -> Result<Vec<GlobalFact>> {
+            let mut pool = candidates.to_vec();
+            let mut picked = Vec::new();
+            for _ in 0..k.min(pool.len()) {
+                let i = (rng.next_u64() % pool.len() as u64) as usize;
+                picked.push(pool.remove(i));
+            }
+            Ok(picked)
+        }
+    }
+
+    /// Tiny deterministic RNG (LCG) independent of any rand backend.
+    struct TestRng(u64);
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    /// Deterministic stateful flaky oracle: outcome is a pure function
+    /// of a call counter, which doubles as its resume cursor.
+    struct FlakyCounter {
+        calls: u64,
+    }
+
+    impl AnswerOracle for FlakyCounter {
+        fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+            self.calls += 1;
+            match self.calls % 7 {
+                0 => AnswerOutcome::TimedOut,
+                3 => AnswerOutcome::Dropped,
+                c => AnswerOutcome::Answered(Answer::from_bool(
+                    (c + u64::from(fact.fact.0) + u64::from(worker.id.0)) % 2 == 0,
+                )),
+            }
+        }
+    }
+
+    impl ResumableOracle for FlakyCounter {
+        fn save_cursor(&self) -> String {
+            self.calls.to_string()
+        }
+        fn restore_cursor(&mut self, cursor: &str) -> Result<()> {
+            self.calls = cursor
+                .parse()
+                .map_err(|_| invalid("bad oracle cursor".into()))?;
+            Ok(())
+        }
+    }
+
+    /// Oracle whose crowd never responds, for the dry-round guard.
+    struct AlwaysDrop;
+
+    impl AnswerOracle for AlwaysDrop {
+        fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+            AnswerOutcome::Dropped
+        }
+    }
+
+    fn fixture() -> (MultiBelief, ExpertPanel, HcConfig) {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_probs(vec![0.4, 0.3, 0.2, 0.1]).unwrap(),
+            Belief::from_probs(vec![0.15, 0.35, 0.3, 0.2]).unwrap(),
+        ]);
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let config = HcConfig::new(2, 16);
+        (beliefs, panel, config)
+    }
+
+    fn posterior_bits(b: &MultiBelief) -> Vec<Vec<u64>> {
+        b.tasks()
+            .iter()
+            .map(|t| t.probs().iter().map(|p| p.to_bits()).collect())
+            .collect()
+    }
+
+    /// Runs a session start-to-finish, returning (event JSON lines,
+    /// posterior bits, final-state payload, number of steps taken).
+    fn run_full(selector: &dyn TaskSelector, seed: u64) -> (Vec<String>, Vec<Vec<u64>>, String, usize) {
+        let (beliefs, panel, config) = fixture();
+        let mut session = HcSession::start(beliefs, panel, config, selector, &UnitCost).unwrap();
+        let mut oracle = FlakyCounter { calls: 0 };
+        let mut rng = TestRng(seed);
+        let mut sink = RecordingSink::new();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let mut steps = 0usize;
+        loop {
+            let status = {
+                let mut env = SessionEnv {
+                    oracle: &mut oracle,
+                    rng: &mut rng,
+                    sink: &mut sink,
+                    observer: &mut obs,
+                };
+                session.step(&mut env).unwrap()
+            };
+            steps += 1;
+            if matches!(status, SessionStatus::Finished(_)) {
+                break;
+            }
+        }
+        let lines = sink.events().iter().map(|e| e.to_json_line()).collect();
+        let bits = posterior_bits(&session.state().beliefs);
+        let payload = session.state().to_payload();
+        (lines, bits, payload, steps)
+    }
+
+    /// Crash at every step boundary, resume from the checkpoint frame,
+    /// and require byte-identical stitched events, posteriors, and
+    /// final-state payload.
+    fn assert_crash_resume_everywhere(selector: &dyn TaskSelector, seed: u64) {
+        let (base_lines, base_bits, base_payload, total_steps) = run_full(selector, seed);
+        assert!(total_steps > 6, "fixture should run several rounds");
+        for crash_after in 0..total_steps {
+            let (beliefs, panel, config) = fixture();
+            let mut session =
+                HcSession::start(beliefs, panel, config, selector, &UnitCost).unwrap();
+            let mut oracle = FlakyCounter { calls: 0 };
+            let mut rng = TestRng(seed);
+            let mut sink = RecordingSink::new();
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            for _ in 0..crash_after {
+                let mut env = SessionEnv {
+                    oracle: &mut oracle,
+                    rng: &mut rng,
+                    sink: &mut sink,
+                    observer: &mut obs,
+                };
+                session.step(&mut env).unwrap();
+            }
+            let mut stitched: Vec<String> =
+                sink.events().iter().map(|e| e.to_json_line()).collect();
+            session.set_oracle_cursor(Some(oracle.save_cursor()));
+            let frame = session.checkpoint_frame(crash_after as u64);
+            // The payload must survive its own codec bit-exactly.
+            assert_eq!(
+                SessionState::from_payload(&frame.payload).unwrap().to_payload(),
+                frame.payload,
+                "payload round trip at boundary {crash_after}"
+            );
+            // Round-trip the whole frame through its JSONL encoding,
+            // exactly as a crash-recovery read would.
+            let frame = CheckpointFrame::from_json_line(&frame.to_json_line()).unwrap();
+            let mut resumed = HcSession::from_frame(&frame, selector, &UnitCost).unwrap();
+            let mut oracle2 = FlakyCounter { calls: 0 };
+            oracle2
+                .restore_cursor(resumed.state().oracle_cursor.clone().unwrap().as_str())
+                .unwrap();
+            let mut rng2 = TestRng(seed);
+            let mut sink2 = RecordingSink::new();
+            let mut obs2 = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env2 = SessionEnv {
+                oracle: &mut oracle2,
+                rng: &mut rng2,
+                sink: &mut sink2,
+                observer: &mut obs2,
+            };
+            resumed.run_to_completion(&mut env2).unwrap();
+            stitched.extend(sink2.events().iter().map(|e| e.to_json_line()));
+            assert_eq!(stitched, base_lines, "event stream at boundary {crash_after}");
+            assert_eq!(
+                posterior_bits(&resumed.state().beliefs),
+                base_bits,
+                "posteriors at boundary {crash_after}"
+            );
+            resumed.set_oracle_cursor(None);
+            assert_eq!(
+                resumed.state().to_payload(),
+                base_payload,
+                "final state at boundary {crash_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_at_every_boundary_deterministic_selector() {
+        assert_crash_resume_everywhere(&FirstK, 7);
+    }
+
+    #[test]
+    fn crash_at_every_boundary_rng_selector_via_draw_replay() {
+        assert_crash_resume_everywhere(&RandomishK, 42);
+    }
+
+    #[test]
+    fn rng_draw_log_is_run_length_encoded() {
+        let mut log = Vec::new();
+        let mut inner = TestRng(1);
+        {
+            let mut rng = CursorRng {
+                inner: &mut inner,
+                log: &mut log,
+            };
+            rng.next_u64();
+            rng.next_u64();
+            rng.next_u32();
+            let mut buf = [0u8; 5];
+            rng.fill_bytes(&mut buf);
+            rng.next_u64();
+        }
+        assert_eq!(
+            log,
+            vec![
+                RngDraw::U64 { n: 2 },
+                RngDraw::U32 { n: 1 },
+                RngDraw::Bytes { len: 5 },
+                RngDraw::U64 { n: 1 },
+            ]
+        );
+        // Replaying the log against a fresh RNG reaches the same state.
+        let mut fresh = TestRng(1);
+        replay_draws(&log, &mut fresh);
+        assert_eq!(fresh.0, inner.0);
+    }
+
+    #[test]
+    fn rejects_garbage_payload() {
+        let err = SessionState::from_payload("{not json").unwrap_err();
+        assert!(matches!(err, HcError::InvalidCheckpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_format_version() {
+        let (_, _, payload, _) = run_full(&FirstK, 7);
+        let tampered = payload.replace("\"version\":1", "\"version\":9");
+        assert_ne!(tampered, payload, "tamper must hit the version field");
+        let err = SessionState::from_payload(&tampered).unwrap_err();
+        match err {
+            HcError::InvalidCheckpoint { reason } => {
+                assert!(reason.contains("version"), "{reason}");
+            }
+            other => panic!("expected InvalidCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_frame_kind() {
+        let (_, _, payload, _) = run_full(&FirstK, 7);
+        let frame = CheckpointFrame::new("other-producer", 0, payload);
+        let err = HcSession::from_frame(&frame, &FirstK, &UnitCost).unwrap_err();
+        assert!(matches!(err, HcError::InvalidCheckpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_internally_inconsistent_state() {
+        let (_, _, payload, _) = run_full(&FirstK, 7);
+        let mut state = SessionState::from_payload(&payload).unwrap();
+        state.checked_count = state.checked_count.wrapping_add(1);
+        let err = HcSession::resume(state, &FirstK, &UnitCost).unwrap_err();
+        assert!(matches!(err, HcError::InvalidCheckpoint { .. }), "{err:?}");
+
+        let mut state = SessionState::from_payload(&payload).unwrap();
+        state.remaining += 1;
+        let err = HcSession::resume(state, &FirstK, &UnitCost).unwrap_err();
+        assert!(matches!(err, HcError::InvalidCheckpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn trace_fold_of_full_run_matches_live_state() {
+        let (base_lines, _bits, base_payload, _) = run_full(&FirstK, 7);
+        let events: Vec<TelemetryEvent> = base_lines
+            .iter()
+            .map(|l| TelemetryEvent::from_json_line(l).unwrap())
+            .collect();
+        let (beliefs, panel, config) = fixture();
+        let folded = resume_state_from_trace(beliefs, panel, config, &events).unwrap();
+        assert_eq!(folded.events_consumed, events.len());
+        assert_eq!(folded.state.to_payload(), base_payload);
+    }
+
+    #[test]
+    fn trace_fold_of_prefix_resumes_byte_identically() {
+        let (base_lines, base_bits, _payload, _) = run_full(&FirstK, 7);
+        let events: Vec<TelemetryEvent> = base_lines
+            .iter()
+            .map(|l| TelemetryEvent::from_json_line(l).unwrap())
+            .collect();
+        // Cut mid-run at several positions, including mid-round ones
+        // whose partial tail the fold must discard and re-execute.
+        for cut in [1, events.len() / 3, events.len() / 2, events.len() - 2] {
+            let prefix = &events[..cut];
+            let (beliefs, panel, config) = fixture();
+            let folded =
+                resume_state_from_trace(beliefs, panel, config, prefix).unwrap();
+            assert!(folded.events_consumed <= cut);
+            // The oracle's position is the number of dispatch attempts
+            // inside the consumed prefix (one answer event each).
+            let calls = prefix[..folded.events_consumed]
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        TelemetryEvent::AnswerDelivered { .. }
+                            | TelemetryEvent::AnswerTimedOut { .. }
+                            | TelemetryEvent::AnswerDropped { .. }
+                    )
+                })
+                .count() as u64;
+            let consumed = folded.events_consumed;
+            let mut resumed = HcSession::resume(folded.state, &FirstK, &UnitCost).unwrap();
+            let mut oracle = FlakyCounter { calls };
+            let mut rng = TestRng(7);
+            let mut sink = RecordingSink::new();
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            resumed.run_to_completion(&mut env).unwrap();
+            let mut stitched: Vec<String> = base_lines[..consumed].to_vec();
+            stitched.extend(sink.events().iter().map(|e| e.to_json_line()));
+            assert_eq!(stitched, base_lines, "cut at {cut}");
+            assert_eq!(posterior_bits(&resumed.state().beliefs), base_bits);
+        }
+    }
+
+    #[test]
+    fn trace_fold_rejects_divergent_stream() {
+        let (base_lines, ..) = run_full(&FirstK, 7);
+        let events: Vec<TelemetryEvent> = base_lines
+            .iter()
+            .map(|l| TelemetryEvent::from_json_line(l).unwrap())
+            .collect();
+        // Same trace folded over the *wrong* initial beliefs diverges.
+        let (_, panel, config) = fixture();
+        let wrong = MultiBelief::new(vec![
+            Belief::from_probs(vec![0.25, 0.25, 0.25, 0.25]).unwrap(),
+            Belief::from_probs(vec![0.25, 0.25, 0.25, 0.25]).unwrap(),
+        ]);
+        let err = resume_state_from_trace(wrong, panel, config, &events).unwrap_err();
+        assert!(matches!(err, HcError::InvalidCheckpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dry_round_finish_survives_trace_resume() {
+        // A fully dropped crowd stops via the dry-round guard. Crash
+        // after the final BeliefUpdated but before RunFinished: the
+        // resumed session must still emit the identical RunFinished.
+        let (beliefs, panel, config) = fixture();
+        let mut session =
+            HcSession::start(beliefs, panel, config, &FirstK, &UnitCost).unwrap();
+        let mut oracle = AlwaysDrop;
+        let mut rng = TestRng(5);
+        let mut sink = RecordingSink::new();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let reason = {
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            session.run_to_completion(&mut env).unwrap()
+        };
+        assert_eq!(reason, StopReason::DryRounds);
+        let base_lines: Vec<String> = sink.events().iter().map(|e| e.to_json_line()).collect();
+        let events: Vec<TelemetryEvent> = base_lines
+            .iter()
+            .map(|l| TelemetryEvent::from_json_line(l).unwrap())
+            .collect();
+        let truncated = &events[..events.len() - 1];
+        let (beliefs, panel, config) = fixture();
+        let folded = resume_state_from_trace(beliefs, panel, config, truncated).unwrap();
+        // A trailing BeliefUpdated stays unconsumed (possibly-torn close,
+        // re-emitted on resume); a trailing NumericalHealth closes its
+        // round completely. Either way the stitched log below must match.
+        assert!(folded.events_consumed >= truncated.len() - 1);
+        let mut resumed = HcSession::resume(folded.state, &FirstK, &UnitCost).unwrap();
+        let mut oracle2 = AlwaysDrop;
+        let mut rng2 = TestRng(5);
+        let mut sink2 = RecordingSink::new();
+        let mut obs2 = |_: &MultiBelief, _: &RoundRecord| {};
+        let mut env2 = SessionEnv {
+            oracle: &mut oracle2,
+            rng: &mut rng2,
+            sink: &mut sink2,
+            observer: &mut obs2,
+        };
+        let reason2 = resumed.run_to_completion(&mut env2).unwrap();
+        assert_eq!(reason2, StopReason::DryRounds);
+        let tail: Vec<String> = sink2.events().iter().map(|e| e.to_json_line()).collect();
+        let mut stitched: Vec<String> = base_lines[..folded.events_consumed].to_vec();
+        stitched.extend(tail);
+        assert_eq!(stitched, base_lines);
+    }
+
+    #[test]
+    fn stepping_a_finished_session_is_a_silent_no_op() {
+        let (beliefs, panel, config) = fixture();
+        let mut session =
+            HcSession::start(beliefs, panel, config, &FirstK, &UnitCost).unwrap();
+        let mut oracle = FlakyCounter { calls: 0 };
+        let mut rng = TestRng(7);
+        let mut sink = RecordingSink::new();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let mut env = SessionEnv {
+            oracle: &mut oracle,
+            rng: &mut rng,
+            sink: &mut sink,
+            observer: &mut obs,
+        };
+        let reason = session.run_to_completion(&mut env).unwrap();
+        let events_before = sink.events().len();
+        let mut env2 = SessionEnv {
+            oracle: &mut oracle,
+            rng: &mut rng,
+            sink: &mut sink,
+            observer: &mut obs,
+        };
+        let status = session.step(&mut env2).unwrap();
+        assert_eq!(status, SessionStatus::Finished(reason));
+        assert_eq!(sink.events().len(), events_before);
+    }
+}

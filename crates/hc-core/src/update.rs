@@ -412,7 +412,8 @@ fn apply_multiplier(
         }
         clamp_count += c;
     }
-    if !(rsum > 0.0) || !rsum.is_finite() {
+    // NaN is non-finite, so a NaN-poisoned sum is rejected too.
+    if rsum <= 0.0 || !rsum.is_finite() {
         return Err(HcError::BeliefCollapsed { mass: rsum });
     }
     let probs = belief.probs_mut();

@@ -11,6 +11,7 @@ pub mod curve;
 pub mod experiments;
 pub mod inspect;
 pub mod report;
+pub mod session_cli;
 pub mod settings;
 pub mod telemetry;
 

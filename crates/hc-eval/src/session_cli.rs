@@ -1,0 +1,279 @@
+//! `hc-eval session` — crash-safe resumable session runs from the CLI.
+//!
+//! ```text
+//! hc-eval session run    --out DIR [--checkpoint-every N] [--threads auto|serial|N]
+//!                        [--kill-after-steps M]
+//! hc-eval session resume --out DIR [--checkpoint-every N]
+//! ```
+//!
+//! `run` drives the standard chaos fixture (see
+//! [`hc_sim::crash::SessionFixture`]) step by step, appending telemetry
+//! to `DIR/session_trace.jsonl` and — every N steps — both embedding a
+//! checkpoint line in the trace and atomically replacing the snapshot
+//! `DIR/session.ckpt`. With `--kill-after-steps M` the process aborts at
+//! that step boundary without flushing, exactly like a SIGKILL: buffered
+//! events after the last checkpoint are lost.
+//!
+//! `resume` recovers the way a restarted service would: read the
+//! snapshot (falling back to the latest valid checkpoint embedded in the
+//! trace when the snapshot is missing or torn), truncate the trace to
+//! its last durable checkpoint line, and continue the run to completion,
+//! appending to the same trace. Both subcommands finish by printing a
+//! `state_crc32` line over the final serialized state — a crashed and
+//! resumed run prints the same digest as an uninterrupted one.
+
+use hc_core::hc::UnitCost;
+use hc_core::selection::GreedySelector;
+use hc_core::session::{HcSession, ResumableOracle, SessionEnv, SessionStatus};
+use hc_core::telemetry::checkpoint::{
+    crc32, is_checkpoint_line, latest_in_jsonl, read_snapshot, write_snapshot, CheckpointFrame,
+};
+use hc_core::telemetry::FileSink;
+use hc_core::{MultiBelief, Parallelism, RoundRecord};
+use hc_sim::crash::SessionFixture;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const TRACE_FILE: &str = "session_trace.jsonl";
+const SNAPSHOT_FILE: &str = "session.ckpt";
+
+struct SessionArgs {
+    out: PathBuf,
+    checkpoint_every: usize,
+    threads: Parallelism,
+    kill_after_steps: Option<usize>,
+}
+
+fn parse(raw: &[String]) -> Result<SessionArgs, String> {
+    let mut args = SessionArgs {
+        out: PathBuf::from("results"),
+        checkpoint_every: 1,
+        threads: Parallelism::Auto,
+        kill_after_steps: None,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--out" | "-o" => args.out = PathBuf::from(value("--out")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if args.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+            }
+            "--threads" | "-t" => {
+                args.threads = match value("--threads")?.as_str() {
+                    "auto" => Parallelism::Auto,
+                    "serial" => Parallelism::Serial,
+                    n => Parallelism::Threads(
+                        n.parse().map_err(|e| format!("bad thread count: {e}"))?,
+                    ),
+                }
+            }
+            "--kill-after-steps" => {
+                args.kill_after_steps = Some(
+                    value("--kill-after-steps")?
+                        .parse()
+                        .map_err(|e| format!("bad --kill-after-steps: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: hc-eval session run    --out DIR [--checkpoint-every N] \
+                     [--threads auto|serial|N] [--kill-after-steps M]\n\
+                     \x20      hc-eval session resume --out DIR [--checkpoint-every N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Entry point for `hc-eval session <run|resume> …`.
+pub fn run_cli(raw: &[String]) -> ExitCode {
+    let (verb, rest) = match raw.split_first() {
+        Some((v, rest)) if v == "run" || v == "resume" => (v.as_str(), rest),
+        _ => {
+            eprintln!("error: expected `session run` or `session resume`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match parse(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if verb == "run" {
+        cmd_run(&args)
+    } else {
+        cmd_resume(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Steps `session` to completion, writing a checkpoint (embedded trace
+/// line + atomic snapshot) every `checkpoint_every` steps and at the
+/// finish. Optionally aborts the process at a step boundary to simulate
+/// a crash. Prints the final summary.
+#[allow(clippy::too_many_arguments)]
+fn drive<O: ResumableOracle>(
+    session: &mut HcSession<'_>,
+    oracle: &mut O,
+    rng: &mut impl rand::RngCore,
+    sink: &mut FileSink,
+    snapshot_path: &Path,
+    checkpoint_every: usize,
+    kill_after_steps: Option<usize>,
+    mut seq: u64,
+) -> Result<(), String> {
+    let mut steps = 0usize;
+    loop {
+        if kill_after_steps == Some(steps) {
+            // Simulate SIGKILL at a step boundary: no flush, no Drop —
+            // everything buffered since the last checkpoint is lost.
+            eprintln!("killing session after {steps} steps (simulated crash)");
+            std::process::abort();
+        }
+        let status = {
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env = SessionEnv {
+                oracle: &mut *oracle,
+                rng,
+                sink,
+                observer: &mut obs,
+            };
+            session.step(&mut env).map_err(|e| format!("step failed: {e}"))?
+        };
+        steps += 1;
+        let finished = matches!(status, SessionStatus::Finished(_));
+        if steps.is_multiple_of(checkpoint_every) || finished {
+            seq += 1;
+            session.set_oracle_cursor(Some(oracle.save_cursor()));
+            let frame = session.checkpoint_frame(seq);
+            sink.write_checkpoint(&frame)
+                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+            write_snapshot(snapshot_path, &frame)
+                .map_err(|e| format!("snapshot write failed: {e}"))?;
+        }
+        if let SessionStatus::Finished(reason) = status {
+            session.set_oracle_cursor(None);
+            let payload = session.state().to_payload();
+            println!("steps_this_process: {steps}");
+            println!("rounds: {}", session.state().rounds.len());
+            println!("spent: {}", session.state().spent);
+            println!("stop: {reason:?}");
+            println!("state_crc32: {:#010x}", crc32(payload.as_bytes()));
+            return Ok(());
+        }
+    }
+}
+
+fn cmd_run(args: &SessionArgs) -> Result<(), String> {
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let trace_path = args.out.join(TRACE_FILE);
+    let snapshot_path = args.out.join(SNAPSHOT_FILE);
+    let fixture = SessionFixture::standard(args.threads);
+    let mut session = fixture.session();
+    let mut oracle = fixture.stack();
+    let mut rng = SessionFixture::loop_rng();
+    let mut sink =
+        FileSink::create(&trace_path).map_err(|e| format!("cannot create trace: {e}"))?;
+    drive(
+        &mut session,
+        &mut oracle,
+        &mut rng,
+        &mut sink,
+        &snapshot_path,
+        args.checkpoint_every,
+        args.kill_after_steps,
+        0,
+    )?;
+    finish(sink, &trace_path)
+}
+
+fn cmd_resume(args: &SessionArgs) -> Result<(), String> {
+    let trace_path = args.out.join(TRACE_FILE);
+    let snapshot_path = args.out.join(SNAPSHOT_FILE);
+    let trace = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+
+    // Prefer the snapshot; a missing or torn one falls back to the
+    // latest valid checkpoint embedded in the trace.
+    let frame = match read_snapshot(&snapshot_path) {
+        Ok(frame) => Some(frame),
+        Err(e) => {
+            eprintln!("snapshot unusable ({e}); falling back to embedded trace checkpoints");
+            latest_in_jsonl(&trace)
+        }
+    };
+    let frame =
+        frame.ok_or_else(|| "no usable checkpoint found; re-run from scratch".to_string())?;
+
+    // Truncate the trace to its last durable checkpoint line — anything
+    // after it (possibly torn) is re-emitted by the resumed session.
+    let lines: Vec<&str> = trace.lines().collect();
+    let stitch = lines
+        .iter()
+        .rposition(|l| is_checkpoint_line(l) && CheckpointFrame::from_json_line(l).is_ok())
+        .ok_or_else(|| "trace has no valid checkpoint line".to_string())?;
+    let mut durable = lines[..=stitch].join("\n");
+    durable.push('\n');
+    let dropped = lines.len() - stitch - 1;
+    if dropped > 0 {
+        eprintln!("dropping {dropped} trace line(s) after the last durable checkpoint");
+    }
+    std::fs::write(&trace_path, &durable).map_err(|e| format!("cannot truncate trace: {e}"))?;
+
+    let selector = GreedySelector::new();
+    let mut session = HcSession::from_frame(&frame, &selector, &UnitCost)
+        .map_err(|e| format!("checkpoint rejected: {e}"))?;
+    // Rebuild the oracle stack from its fixed seeds and restore its
+    // cursor; the thread policy rides in the restored config itself.
+    let fixture = SessionFixture::standard(Parallelism::Auto);
+    let mut oracle = fixture.stack();
+    if let Some(cursor) = session.state().oracle_cursor.clone() {
+        oracle
+            .restore_cursor(&cursor)
+            .map_err(|e| format!("oracle cursor rejected: {e}"))?;
+    }
+    let mut rng = SessionFixture::loop_rng();
+    let mut sink =
+        FileSink::append(&trace_path).map_err(|e| format!("cannot append to trace: {e}"))?;
+    drive(
+        &mut session,
+        &mut oracle,
+        &mut rng,
+        &mut sink,
+        &snapshot_path,
+        args.checkpoint_every,
+        None,
+        frame.seq,
+    )?;
+    finish(sink, &trace_path)
+}
+
+fn finish(sink: FileSink, trace_path: &Path) -> Result<(), String> {
+    // Deferred I/O errors surface here instead of being dropped.
+    sink.close()
+        .map_err(|e| format!("trace file error on close: {e}"))?;
+    eprintln!("trace: {}", trace_path.display());
+    Ok(())
+}

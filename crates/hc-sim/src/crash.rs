@@ -1,0 +1,521 @@
+//! Crash-injection chaos harness: seeded kill points, torn-write
+//! corruption, and checkpoint/resume drivers for differential testing.
+//!
+//! The harness reproduces the failure modes a real deployment hits when
+//! the process dies mid-run:
+//!
+//! - **Kill at a step boundary** — the trace ends exactly at an embedded
+//!   checkpoint line ([`TornWrite::None`]).
+//! - **Torn event line** — the first event of the next step was half
+//!   flushed when the process died ([`TornWrite::TornEventLine`]).
+//! - **Torn checkpoint line** — a whole step's events landed but the
+//!   checkpoint written after them was cut mid-line
+//!   ([`TornWrite::TornCheckpointLine`]); recovery must fall back to the
+//!   previous valid checkpoint and *re-emit* those events byte-for-byte.
+//! - **Garbage tail** — non-JSON bytes after the last durable line
+//!   ([`TornWrite::GarbageTail`]).
+//!
+//! [`SessionFixture`] assembles the full simulated stack — sampling
+//! oracle → fault layer (dropouts, timeouts, burst outages) → metered
+//! platform with retries — on fixed seeds, so an uninterrupted
+//! [`SessionFixture::reference`] run and a
+//! [`SessionFixture::crash_and_resume`] run under any [`CrashPlan`] can
+//! be compared for *byte* equality: stitched event stream, posterior bit
+//! patterns, and the final serialized session state.
+
+use crate::faults::{FaultPlan, FaultyOracle, RetryPolicy};
+use crate::oracle::SamplingOracle;
+use crate::platform::SimulatedPlatform;
+use hc_core::hc::UnitCost;
+use hc_core::selection::GreedySelector;
+use hc_core::session::{HcSession, ResumableOracle, SessionEnv, SessionStatus};
+use hc_core::telemetry::checkpoint::{is_checkpoint_line, latest_in_jsonl, CheckpointFrame};
+use hc_core::telemetry::{RecordingSink, StopReason};
+use hc_core::{
+    Belief, ExpertPanel, HcConfig, HcError, MultiBelief, Parallelism, Result, RoundRecord,
+};
+use hc_data::markov_joint;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Fixed seeds of the standard chaos fixture. Every layer gets its own
+/// stream so a cursor bug in one layer cannot be masked by another.
+const ORACLE_SEED: u64 = 0xFA11;
+const FAULT_SEED: u64 = 0xD0_0D;
+const PLATFORM_SEED: u64 = 0x51ED;
+const LOOP_SEED: u64 = 0xC0DE;
+
+/// What the dying process leaves at the tail of the JSONL trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWrite {
+    /// Clean kill exactly at a step boundary: the trace ends with the
+    /// checkpoint line.
+    None,
+    /// The first event line of the *next* step was torn mid-write.
+    TornEventLine,
+    /// The next step's events all landed, but the checkpoint line
+    /// written after them was torn — recovery resumes from the previous
+    /// checkpoint and must re-emit those events identically.
+    TornCheckpointLine,
+    /// Arbitrary non-JSON bytes trail the trace.
+    GarbageTail,
+}
+
+/// A seeded description of one injected crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Completed session steps before the process dies. Zero means the
+    /// crash hit before anything durable was written (cold restart).
+    pub kill_after_steps: usize,
+    /// Tail corruption left behind by the kill.
+    pub torn: TornWrite,
+    /// Seed for the torn-write cut position.
+    pub seed: u64,
+}
+
+impl CrashPlan {
+    /// A plan killing after `kill_after_steps` steps with tail `torn`.
+    pub fn new(kill_after_steps: usize, torn: TornWrite, seed: u64) -> Self {
+        CrashPlan {
+            kill_after_steps,
+            torn,
+            seed,
+        }
+    }
+}
+
+/// Everything a finished run leaves behind, in comparable (bit-exact)
+/// form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifacts {
+    /// Event JSON lines, in emission order (checkpoint lines excluded).
+    pub event_lines: Vec<String>,
+    /// IEEE-754 bit patterns of every posterior cell, per task.
+    pub posterior_bits: Vec<Vec<u64>>,
+    /// The final session state payload (oracle cursor cleared).
+    pub final_payload: String,
+    /// Session steps executed by this process (a resumed run counts only
+    /// its own steps).
+    pub steps: usize,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// The posterior of every task as raw IEEE-754 bit patterns — the
+/// strictest possible equality for differential assertions.
+pub fn posterior_bits(beliefs: &MultiBelief) -> Vec<Vec<u64>> {
+    beliefs
+        .tasks()
+        .iter()
+        .map(|t| t.probs().iter().map(|p| p.to_bits()).collect())
+        .collect()
+}
+
+/// The deterministic simulated-crowd stack the chaos suite runs against.
+///
+/// Two correlated tasks (Markov-chain joints over 6 and 5 facts), a
+/// three-expert panel, and an unreliable crowd: 25% dropout, 10%
+/// timeouts, a 2-attempt burst outage every 7 attempts, answered through
+/// a platform that retries with reassignment. Small enough to sweep
+/// every step boundary, messy enough that every oracle cursor field is
+/// load-bearing.
+pub struct SessionFixture {
+    truths: Vec<Vec<bool>>,
+    beliefs: MultiBelief,
+    panel: ExpertPanel,
+    config: HcConfig,
+    selector: GreedySelector,
+    fault_plan: FaultPlan,
+}
+
+/// The concrete oracle stack of the fixture.
+pub type FixtureStack<'a> = SimulatedPlatform<FaultyOracle<SamplingOracle<'a, StdRng>>>;
+
+impl SessionFixture {
+    /// The standard fixture under the given thread policy. Runs are
+    /// bit-identical across policies (see `hc_core::parallel`), which is
+    /// exactly what the differential suite asserts.
+    pub fn standard(parallelism: Parallelism) -> Self {
+        let beliefs = MultiBelief::new(vec![
+            Belief::from_probs(markov_joint(6, 0.6, 0.65)).expect("fixture joint (6 facts)"),
+            Belief::from_probs(markov_joint(5, 0.45, 0.8)).expect("fixture joint (5 facts)"),
+        ]);
+        let truths = vec![
+            vec![true, false, true, true, false, false],
+            vec![false, true, false, true, true],
+        ];
+        let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85]).expect("fixture panel");
+        let mut config = HcConfig::new(3, 30);
+        config.parallelism = parallelism;
+        SessionFixture {
+            truths,
+            beliefs,
+            panel,
+            config,
+            selector: GreedySelector::new(),
+            fault_plan: FaultPlan::uniform(0.25, FAULT_SEED)
+                .with_timeouts(0.1)
+                .with_burst(7, 2),
+        }
+    }
+
+    /// Replaces the fixture's fault plan — the chaos properties sweep
+    /// arbitrary unreliability profiles through the same differential
+    /// machinery.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The fixture's loop RNG, freshly seeded — drivers outside this
+    /// module must use this exact stream for selector randomness or a
+    /// resumed run will diverge from the original.
+    pub fn loop_rng() -> StdRng {
+        StdRng::seed_from_u64(LOOP_SEED)
+    }
+
+    /// Clones of the inputs `resume_state_from_trace` needs to fold a
+    /// recorded trace of this fixture back into session state.
+    pub fn fold_inputs(&self) -> (MultiBelief, ExpertPanel, HcConfig) {
+        (self.beliefs.clone(), self.panel.clone(), self.config.clone())
+    }
+
+    /// A freshly seeded copy of the full oracle stack. Restore a saved
+    /// cursor onto it to continue a checkpointed run.
+    pub fn stack(&self) -> FixtureStack<'_> {
+        let sampling = SamplingOracle::new(&self.truths, StdRng::seed_from_u64(ORACLE_SEED));
+        let faulty = FaultyOracle::new(sampling, self.fault_plan.clone());
+        SimulatedPlatform::new(faulty, PLATFORM_SEED)
+            .with_retry_policy(RetryPolicy::standard())
+            .with_reassignment_panel(&self.panel)
+    }
+
+    /// A fresh session over the fixture's beliefs, panel, and config.
+    pub fn session(&self) -> HcSession<'_> {
+        HcSession::start(
+            self.beliefs.clone(),
+            self.panel.clone(),
+            self.config.clone(),
+            &self.selector,
+            &UnitCost,
+        )
+        .expect("fixture session")
+    }
+
+    /// Runs the fixture start to finish with no interference — the
+    /// ground truth every crashed-and-resumed run must match byte for
+    /// byte.
+    pub fn reference(&self) -> RunArtifacts {
+        let mut session = self.session();
+        let mut oracle = self.stack();
+        let mut rng = StdRng::seed_from_u64(LOOP_SEED);
+        let mut sink = RecordingSink::new();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let mut steps = 0usize;
+        let stop = loop {
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            let status = session.step(&mut env).expect("reference step");
+            steps += 1;
+            if let SessionStatus::Finished(reason) = status {
+                break reason;
+            }
+        };
+        RunArtifacts {
+            event_lines: sink.events().iter().map(|e| e.to_json_line()).collect(),
+            posterior_bits: posterior_bits(&session.state().beliefs),
+            final_payload: session.state().to_payload(),
+            steps,
+            stop,
+        }
+    }
+
+    /// Runs until the plan's kill point, checkpointing after every step
+    /// (the `--checkpoint-every 1` discipline), corrupts the trace tail
+    /// per the plan, then recovers exactly as a restarted process would:
+    /// latest valid embedded checkpoint, truncate the trace to it,
+    /// rebuild the stack from seeds, restore cursors, run to completion.
+    ///
+    /// The returned artifacts carry the *stitched* event stream (durable
+    /// prefix + resumed tail).
+    ///
+    /// # Errors
+    ///
+    /// Any [`HcError`] surfaced by resume validation — a harness whose
+    /// corruption was too aggressive for recovery reports it instead of
+    /// producing partial state.
+    pub fn crash_and_resume(&self, plan: &CrashPlan) -> Result<RunArtifacts> {
+        // ---- Phase 1: the doomed process ----------------------------
+        let mut session = self.session();
+        let mut oracle = self.stack();
+        let mut rng = StdRng::seed_from_u64(LOOP_SEED);
+        let mut sink = RecordingSink::new();
+        let mut trace = String::new();
+        let mut emitted = 0usize;
+        let mut finished = false;
+        for seq in 1..=plan.kill_after_steps {
+            if finished {
+                break;
+            }
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            finished = matches!(session.step(&mut env)?, SessionStatus::Finished(_));
+            for event in &sink.events()[emitted..] {
+                trace.push_str(&event.to_json_line());
+                trace.push('\n');
+            }
+            emitted = sink.events().len();
+            session.set_oracle_cursor(Some(oracle.save_cursor()));
+            trace.push_str(&session.checkpoint_frame(seq as u64).to_json_line());
+            trace.push('\n');
+        }
+        self.corrupt_tail(plan, &mut trace, &mut session, &mut oracle, &mut rng, &mut sink, emitted);
+
+        // ---- Phase 2: recovery in a fresh process -------------------
+        let frame = latest_in_jsonl(&trace);
+        let durable_events = durable_event_lines(&trace);
+        let mut resumed = match &frame {
+            Some(frame) => HcSession::from_frame(frame, &self.selector, &UnitCost)?,
+            // Nothing durable: cold restart from scratch.
+            None => self.session(),
+        };
+        let mut oracle = self.stack();
+        if let Some(cursor) = resumed.state().oracle_cursor.clone() {
+            oracle.restore_cursor(&cursor)?;
+        }
+        let mut rng = StdRng::seed_from_u64(LOOP_SEED);
+        let mut sink = RecordingSink::new();
+        let mut steps = 0usize;
+        let stop = loop {
+            let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+            let mut env = SessionEnv {
+                oracle: &mut oracle,
+                rng: &mut rng,
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            let status = resumed.step(&mut env)?;
+            steps += 1;
+            if let SessionStatus::Finished(reason) = status {
+                break reason;
+            }
+        };
+        let mut event_lines = durable_events;
+        event_lines.extend(sink.events().iter().map(|e| e.to_json_line()));
+        resumed.set_oracle_cursor(None);
+        Ok(RunArtifacts {
+            event_lines,
+            posterior_bits: posterior_bits(&resumed.state().beliefs),
+            final_payload: resumed.state().to_payload(),
+            steps,
+            stop,
+        })
+    }
+
+    /// Applies the plan's tail corruption, possibly running the doomed
+    /// session one step further to obtain realistic half-written bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn corrupt_tail(
+        &self,
+        plan: &CrashPlan,
+        trace: &mut String,
+        session: &mut HcSession<'_>,
+        oracle: &mut FixtureStack<'_>,
+        rng: &mut StdRng,
+        sink: &mut RecordingSink,
+        emitted: usize,
+    ) {
+        match plan.torn {
+            TornWrite::None => {}
+            TornWrite::TornEventLine => {
+                let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+                let mut env = SessionEnv {
+                    oracle,
+                    rng,
+                    sink,
+                    observer: &mut obs,
+                };
+                let _ = session.step(&mut env);
+                if let Some(event) = sink.events().get(emitted) {
+                    trace.push_str(&torn_prefix(&event.to_json_line(), plan.seed));
+                }
+            }
+            TornWrite::TornCheckpointLine => {
+                let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+                let mut env = SessionEnv {
+                    oracle,
+                    rng,
+                    sink,
+                    observer: &mut obs,
+                };
+                let _ = session.step(&mut env);
+                for event in &sink.events()[emitted..] {
+                    trace.push_str(&event.to_json_line());
+                    trace.push('\n');
+                }
+                session.set_oracle_cursor(Some(oracle.save_cursor()));
+                let frame = session.checkpoint_frame(plan.kill_after_steps as u64 + 1);
+                trace.push_str(&torn_prefix(&frame.to_json_line(), plan.seed));
+            }
+            TornWrite::GarbageTail => {
+                trace.push_str("{\"type\":\"qu\u{1}\u{2}%%%garbage");
+            }
+        }
+    }
+}
+
+/// The event lines a restarted process trusts: everything up to and
+/// including the last *valid* checkpoint line, with checkpoint lines
+/// themselves filtered out. Anything after that point — torn or intact
+/// — is dropped; the resumed session re-emits it.
+pub fn durable_event_lines(trace: &str) -> Vec<String> {
+    let lines: Vec<&str> = trace.lines().collect();
+    let last_valid = lines
+        .iter()
+        .rposition(|l| is_checkpoint_line(l) && CheckpointFrame::from_json_line(l).is_ok());
+    match last_valid {
+        Some(idx) => lines[..=idx]
+            .iter()
+            .filter(|l| !is_checkpoint_line(l))
+            .map(|l| l.to_string())
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// A strict prefix of `line` (never the whole line, never empty for
+/// multi-byte lines), cut at a seeded position — the shape an
+/// interrupted buffered write leaves on disk.
+fn torn_prefix(line: &str, seed: u64) -> String {
+    if line.len() < 2 {
+        return String::new();
+    }
+    let cut = 1 + (StdRng::seed_from_u64(seed).next_u64() as usize) % (line.len() - 1);
+    let mut cut = cut.min(line.len() - 1);
+    while !line.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    line[..cut].to_string()
+}
+
+/// Convenience: asserts (by returning the mismatch as an error) that a
+/// crashed-and-resumed run reproduced the reference bit-for-bit.
+pub fn diff_artifacts(reference: &RunArtifacts, resumed: &RunArtifacts) -> Result<()> {
+    if resumed.event_lines != reference.event_lines {
+        let n = reference
+            .event_lines
+            .iter()
+            .zip(&resumed.event_lines)
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Err(HcError::InvalidCheckpoint {
+            reason: format!(
+                "stitched event stream diverges at line {n} \
+                 (reference {} lines, resumed {} lines)",
+                reference.event_lines.len(),
+                resumed.event_lines.len()
+            ),
+        });
+    }
+    if resumed.posterior_bits != reference.posterior_bits {
+        return Err(HcError::InvalidCheckpoint {
+            reason: "posterior bit patterns diverge".to_string(),
+        });
+    }
+    if resumed.final_payload != reference.final_payload {
+        return Err(HcError::InvalidCheckpoint {
+            reason: "final session payloads diverge".to_string(),
+        });
+    }
+    if resumed.stop != reference.stop {
+        return Err(HcError::InvalidCheckpoint {
+            reason: format!(
+                "stop reasons diverge: reference {:?}, resumed {:?}",
+                reference.stop, resumed.stop
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_run_is_reproducible_and_nontrivial() {
+        let fixture = SessionFixture::standard(Parallelism::Serial);
+        let a = fixture.reference();
+        let b = fixture.reference();
+        assert_eq!(a, b, "two reference runs must be bit-identical");
+        assert!(a.steps > 6, "fixture should run several rounds: {}", a.steps);
+        assert!(!a.event_lines.is_empty());
+    }
+
+    #[test]
+    fn clean_kill_at_a_mid_run_boundary_resumes_byte_identically() {
+        let fixture = SessionFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(3, TornWrite::None, 1))
+            .expect("resume");
+        diff_artifacts(&reference, &resumed).expect("byte-identical resume");
+        assert_eq!(resumed.steps, reference.steps - 3, "no step is repeated");
+    }
+
+    #[test]
+    fn kill_before_anything_durable_is_a_cold_restart() {
+        let fixture = SessionFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(0, TornWrite::GarbageTail, 2))
+            .expect("cold restart");
+        diff_artifacts(&reference, &resumed).expect("cold restart equals reference");
+        assert_eq!(resumed.steps, reference.steps);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_and_reemits_the_lost_step() {
+        let fixture = SessionFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(2, TornWrite::TornCheckpointLine, 3))
+            .expect("resume");
+        diff_artifacts(&reference, &resumed).expect("re-emitted events are identical");
+        // The step whose checkpoint tore is executed again.
+        assert_eq!(resumed.steps, reference.steps - 2);
+    }
+
+    #[test]
+    fn torn_prefix_is_a_strict_prefix() {
+        for seed in 0..32 {
+            let line = "{\"type\":\"checkpoint\",\"seq\":1}";
+            let torn = torn_prefix(line, seed);
+            assert!(!torn.is_empty());
+            assert!(torn.len() < line.len());
+            assert!(line.starts_with(&torn));
+        }
+    }
+
+    #[test]
+    fn durable_lines_stop_at_the_last_valid_checkpoint() {
+        let frame = CheckpointFrame::new("hc-session", 1, "p".to_string());
+        let trace = format!(
+            "{{\"e\":1}}\n{}\n{{\"e\":2}}\n{}",
+            frame.to_json_line(),
+            &frame.to_json_line()[..25]
+        );
+        let lines = durable_event_lines(&trace);
+        assert_eq!(lines, vec!["{\"e\":1}".to_string()]);
+        assert!(durable_event_lines("{\"e\":1}\n").is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared codec helpers for oracle checkpoint cursors.
+//!
+//! Every simulated-crowd oracle serializes its mutable progress —
+//! attempt counters, churn lists, RNG positions — to a compact JSON
+//! cursor string via [`hc_core::session::ResumableOracle`]. The helpers
+//! here mirror the session codec's conventions: integers as exact-f64
+//! JSON numbers (guarded below `2^53`), floats that must restore
+//! bit-for-bit as 16-hex-digit IEEE-754 bit patterns, and all failures
+//! mapped to [`HcError::InvalidCheckpoint`] so a torn or foreign cursor
+//! can never half-apply.
+
+use hc_core::telemetry::json::{self, Json};
+use hc_core::{HcError, Result};
+use std::collections::BTreeMap;
+
+pub(crate) fn bad(what: &str) -> HcError {
+    HcError::InvalidCheckpoint {
+        reason: format!("oracle cursor: missing or invalid `{what}`"),
+    }
+}
+
+/// Parses a cursor string, rejecting anything that is not a JSON object.
+pub(crate) fn parse(cursor: &str) -> Result<Json> {
+    let v = json::parse(cursor).map_err(|e| HcError::InvalidCheckpoint {
+        reason: format!("oracle cursor is not valid JSON: {e}"),
+    })?;
+    match v {
+        Json::Obj(_) => Ok(v),
+        _ => Err(HcError::InvalidCheckpoint {
+            reason: "oracle cursor is not a JSON object".into(),
+        }),
+    }
+}
+
+pub(crate) fn obj(entries: Vec<(&str, Json)>) -> Json {
+    let mut map = BTreeMap::new();
+    for (k, v) in entries {
+        map.insert(k.to_string(), v);
+    }
+    Json::Obj(map)
+}
+
+pub(crate) fn num(v: u64) -> Json {
+    debug_assert!(v < (1u64 << 53), "u64 exceeds exact-f64 range");
+    Json::Num(v as f64)
+}
+
+pub(crate) fn get_u64(v: &Json, key: &str) -> Result<u64> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key))
+}
+
+pub(crate) fn get_usize(v: &Json, key: &str) -> Result<usize> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| bad(key))
+}
+
+pub(crate) fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+    v.get(key).and_then(Json::as_str).ok_or_else(|| bad(key))
+}
+
+pub(crate) fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json]> {
+    v.get(key).and_then(Json::as_arr).ok_or_else(|| bad(key))
+}
+
+/// Encodes a float as its IEEE-754 bit pattern for lossless restore.
+pub(crate) fn bits_json(v: f64) -> Json {
+    Json::Str(format!("{:016x}", v.to_bits()))
+}
+
+pub(crate) fn bits_from(item: &Json, key: &str) -> Result<f64> {
+    let s = item.as_str().ok_or_else(|| bad(key))?;
+    if s.len() != 16 {
+        return Err(bad(key));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|_| bad(key))?;
+    Ok(f64::from_bits(bits))
+}
+
+pub(crate) fn get_bits_f64(v: &Json, key: &str) -> Result<f64> {
+    let item = v.get(key).ok_or_else(|| bad(key))?;
+    bits_from(item, key)
+}
+
+pub(crate) fn u64_arr(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&x| num(x)).collect())
+}
+
+pub(crate) fn get_u64_arr(v: &Json, key: &str) -> Result<Vec<u64>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| bad(key)))
+        .collect()
+}
+
+pub(crate) fn u32_arr(values: &[u32]) -> Json {
+    Json::Arr(values.iter().map(|&x| num(u64::from(x))).collect())
+}
+
+pub(crate) fn get_u32_arr(v: &Json, key: &str) -> Result<Vec<u32>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(key))
+        })
+        .collect()
+}
+
+pub(crate) fn f64_bits_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&x| bits_json(x)).collect())
+}
+
+pub(crate) fn get_f64_bits_arr(v: &Json, key: &str) -> Result<Vec<f64>> {
+    get_arr(v, key)?
+        .iter()
+        .map(|item| bits_from(item, key))
+        .collect()
+}

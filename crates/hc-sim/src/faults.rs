@@ -15,10 +15,13 @@
 //! with all probabilities at zero leaves the wrapped oracle's answer
 //! stream untouched — wrapped and unwrapped runs are identical.
 
+use crate::cursor;
 use hc_core::hc::AnswerOracle;
 use hc_core::selection::GlobalFact;
+use hc_core::session::ResumableOracle;
+use hc_core::telemetry::json::Json;
 use hc_core::telemetry::{FaultKind, TelemetryEvent, TelemetrySink};
-use hc_core::{AnswerOutcome, Worker, WorkerId};
+use hc_core::{AnswerOutcome, HcError, Result, Worker, WorkerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -273,6 +276,61 @@ impl<O: AnswerOracle> AnswerOracle for FaultyOracle<O> {
             AnswerOutcome::Dropped => self.stats.dropped += 1,
         }
         outcome
+    }
+}
+
+impl<O: ResumableOracle> ResumableOracle for FaultyOracle<O> {
+    fn save_cursor(&self) -> String {
+        cursor::obj(vec![
+            ("attempt", cursor::num(self.attempt)),
+            ("churned", cursor::u32_arr(&self.churned)),
+            (
+                "stats",
+                cursor::obj(vec![
+                    ("attempts", cursor::num(self.stats.attempts)),
+                    ("answered", cursor::num(self.stats.answered)),
+                    ("dropped", cursor::num(self.stats.dropped)),
+                    ("timed_out", cursor::num(self.stats.timed_out)),
+                    ("churned_workers", cursor::num(self.stats.churned_workers)),
+                ]),
+            ),
+            ("inner", Json::Str(self.inner.save_cursor())),
+        ])
+        .to_string()
+    }
+
+    fn restore_cursor(&mut self, cursor_str: &str) -> Result<()> {
+        let v = cursor::parse(cursor_str)?;
+        let attempt = cursor::get_u64(&v, "attempt")?;
+        if attempt < self.attempt {
+            return Err(HcError::InvalidCheckpoint {
+                reason: format!(
+                    "fault-layer cursor rewinds the fault RNG ({} attempts behind)",
+                    self.attempt - attempt
+                ),
+            });
+        }
+        let churned = cursor::get_u32_arr(&v, "churned")?;
+        let s = v.get("stats").ok_or_else(|| cursor::bad("stats"))?;
+        let stats = FaultStats {
+            attempts: cursor::get_u64(s, "attempts")?,
+            answered: cursor::get_u64(s, "answered")?,
+            dropped: cursor::get_u64(s, "dropped")?,
+            timed_out: cursor::get_u64(s, "timed_out")?,
+            churned_workers: cursor::get_u64(s, "churned_workers")?,
+        };
+        self.inner.restore_cursor(cursor::get_str(&v, "inner")?)?;
+        // Fast-forward the fault RNG: `answer` draws exactly three
+        // variates per attempt regardless of which branch fires.
+        for _ in self.attempt..attempt {
+            let _ = self.rng.gen::<f64>();
+            let _ = self.rng.gen::<f64>();
+            let _ = self.rng.gen::<f64>();
+        }
+        self.attempt = attempt;
+        self.churned = churned;
+        self.stats = stats;
+        Ok(())
     }
 }
 

@@ -55,6 +55,18 @@ impl LatencyModel {
         base * factor
     }
 
+    /// Discards the jitter draws [`Self::answer_secs`] would have
+    /// consumed for `n` delivered answers — used by checkpoint restore
+    /// to fast-forward a freshly seeded latency RNG to its recorded
+    /// position. Jitter-free models draw nothing, so this is a no-op.
+    pub fn skip_jitter_draws(&self, rng: &mut impl Rng, n: u64) {
+        if self.jitter > 0.0 {
+            for _ in 0..n {
+                let _ = rng.gen_range(1.0 - self.jitter..=1.0 + self.jitter);
+            }
+        }
+    }
+
     /// Wall-clock seconds for one round of `k` queries answered by every
     /// worker of the panel: workers run in parallel, their own queries
     /// sequentially.

@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod crash;
+mod cursor;
 pub mod estimation;
 pub mod faults;
 pub mod latency;
@@ -21,6 +23,7 @@ pub mod pipeline;
 pub mod stopping;
 
 pub use budget::BudgetLedger;
+pub use crash::{CrashPlan, RunArtifacts, SessionFixture, TornWrite};
 pub use estimation::{estimate_accuracies, sample_gold_items, wilson_interval};
 pub use faults::{FaultPlan, FaultStats, FaultyOracle, RetryPolicy};
 pub use latency::{LatencyModel, WallClock};

@@ -13,9 +13,11 @@
 //! error model on every query (correct with probability `Pr_cr`), which
 //! models a live crowd that can be asked again.
 
+use crate::cursor;
 use hc_core::hc::AnswerOracle;
 use hc_core::selection::GlobalFact;
-use hc_core::{Answer, AnswerOutcome, Worker};
+use hc_core::session::ResumableOracle;
+use hc_core::{Answer, AnswerOutcome, Result, Worker};
 use hc_data::{CrowdDataset, TaskGrouping};
 use rand::RngCore;
 
@@ -24,12 +26,25 @@ use rand::RngCore;
 pub struct SamplingOracle<'a, R: RngCore> {
     truths: &'a [Vec<bool>],
     rng: R,
+    /// Answers served so far — equivalently, `next_u64` draws consumed.
+    /// This *is* the oracle's checkpoint cursor: restoring replays this
+    /// many draws on a freshly seeded clone.
+    served: u64,
 }
 
 impl<'a, R: RngCore> SamplingOracle<'a, R> {
     /// Creates a sampling oracle over per-task ground truths.
     pub fn new(truths: &'a [Vec<bool>], rng: R) -> Self {
-        SamplingOracle { truths, rng }
+        SamplingOracle {
+            truths,
+            rng,
+            served: 0,
+        }
+    }
+
+    /// Answers served so far (one RNG draw each).
+    pub fn served(&self) -> u64 {
+        self.served
     }
 }
 
@@ -40,7 +55,34 @@ impl<R: RngCore> AnswerOracle for SamplingOracle<'_, R> {
         // over RngCore: draw a uniform u64.
         let threshold = (worker.accuracy.rate() * u64::MAX as f64) as u64;
         let correct = self.rng.next_u64() <= threshold;
+        self.served += 1;
         Answer::from_bool(if correct { truth } else { !truth }).into()
+    }
+}
+
+impl<R: RngCore> ResumableOracle for SamplingOracle<'_, R> {
+    fn save_cursor(&self) -> String {
+        cursor::obj(vec![("served", cursor::num(self.served))]).to_string()
+    }
+
+    fn restore_cursor(&mut self, cursor_str: &str) -> Result<()> {
+        let v = cursor::parse(cursor_str)?;
+        let served = cursor::get_u64(&v, "served")?;
+        if served < self.served {
+            return Err(hc_core::HcError::InvalidCheckpoint {
+                reason: format!(
+                    "sampling-oracle cursor rewinds the RNG ({} draws behind)",
+                    self.served - served
+                ),
+            });
+        }
+        // Fast-forward the freshly seeded RNG to the recorded position:
+        // one draw per served answer, mirroring `answer` exactly.
+        for _ in self.served..served {
+            let _ = self.rng.next_u64();
+        }
+        self.served = served;
+        Ok(())
     }
 }
 
@@ -97,6 +139,19 @@ impl AnswerOracle for ReplayOracle {
     }
 }
 
+impl ResumableOracle for ReplayOracle {
+    /// The replay oracle is a pure lookup table — it has no mutable
+    /// progress, so its cursor is the empty object.
+    fn save_cursor(&self) -> String {
+        "{}".into()
+    }
+
+    fn restore_cursor(&mut self, cursor_str: &str) -> Result<()> {
+        cursor::parse(cursor_str)?;
+        Ok(())
+    }
+}
+
 /// Wraps another oracle and counts the answers served — used to verify
 /// budget accounting in tests and experiments.
 pub struct CountingOracle<O> {
@@ -143,6 +198,32 @@ impl<O: AnswerOracle> AnswerOracle for CountingOracle<O> {
             self.count += 1;
         }
         outcome
+    }
+}
+
+impl<O: ResumableOracle> ResumableOracle for CountingOracle<O> {
+    fn save_cursor(&self) -> String {
+        cursor::obj(vec![
+            ("attempts", cursor::num(self.attempts)),
+            ("count", cursor::num(self.count)),
+            (
+                "inner",
+                hc_core::telemetry::json::Json::Str(self.inner.save_cursor()),
+            ),
+        ])
+        .to_string()
+    }
+
+    fn restore_cursor(&mut self, cursor_str: &str) -> Result<()> {
+        let v = cursor::parse(cursor_str)?;
+        let attempts = cursor::get_u64(&v, "attempts")?;
+        let count = cursor::get_u64(&v, "count")?;
+        // Everything parsed; restore the inner oracle (itself
+        // all-or-nothing) before committing our own counters.
+        self.inner.restore_cursor(cursor::get_str(&v, "inner")?)?;
+        self.attempts = attempts;
+        self.count = count;
+        Ok(())
     }
 }
 

@@ -16,13 +16,16 @@
 //! simulated wall-clock always, and money only when the policy charges
 //! failed attempts.
 
+use crate::cursor;
 use crate::faults::RetryPolicy;
 use crate::latency::{LatencyModel, WallClock};
 use hc_core::hc::{AnswerOracle, CostModel, UnitCost};
 use hc_core::selection::GlobalFact;
-use hc_core::worker::ExpertPanel;
+use hc_core::session::ResumableOracle;
+use hc_core::telemetry::json::Json;
 use hc_core::telemetry::{TelemetryEvent, TelemetrySink};
-use hc_core::{AnswerOutcome, Worker};
+use hc_core::worker::ExpertPanel;
+use hc_core::{AnswerOutcome, Result, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -264,6 +267,63 @@ impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
             }
         }
         last
+    }
+}
+
+impl<O: ResumableOracle, C: CostModel> ResumableOracle for SimulatedPlatform<O, C> {
+    fn save_cursor(&self) -> String {
+        cursor::obj(vec![
+            ("answers", cursor::num(self.stats.answers)),
+            ("attempts", cursor::num(self.stats.attempts)),
+            ("retries", cursor::num(self.stats.retries)),
+            ("timeouts", cursor::num(self.stats.timeouts)),
+            ("dropouts", cursor::num(self.stats.dropouts)),
+            ("spend", cursor::num(self.stats.spend)),
+            ("per_worker", cursor::u64_arr(&self.stats.per_worker)),
+            ("clock_secs", cursor::bits_json(self.stats.clock.total_secs)),
+            ("clock_rounds", cursor::num(self.stats.clock.rounds as u64)),
+            ("worker_secs", cursor::f64_bits_arr(&self.worker_secs)),
+            ("query_id", cursor::num(self.current_query_id)),
+            ("inner", Json::Str(self.inner.save_cursor())),
+        ])
+        .to_string()
+    }
+
+    fn restore_cursor(&mut self, cursor_str: &str) -> Result<()> {
+        let v = cursor::parse(cursor_str)?;
+        let answers = cursor::get_u64(&v, "answers")?;
+        if answers < self.stats.answers {
+            return Err(hc_core::HcError::InvalidCheckpoint {
+                reason: format!(
+                    "platform cursor rewinds the latency RNG ({} answers behind)",
+                    self.stats.answers - answers
+                ),
+            });
+        }
+        let stats = PlatformStats {
+            clock: WallClock {
+                total_secs: cursor::get_bits_f64(&v, "clock_secs")?,
+                rounds: cursor::get_usize(&v, "clock_rounds")?,
+            },
+            answers,
+            attempts: cursor::get_u64(&v, "attempts")?,
+            retries: cursor::get_u64(&v, "retries")?,
+            timeouts: cursor::get_u64(&v, "timeouts")?,
+            dropouts: cursor::get_u64(&v, "dropouts")?,
+            spend: cursor::get_u64(&v, "spend")?,
+            per_worker: cursor::get_u64_arr(&v, "per_worker")?,
+        };
+        let worker_secs = cursor::get_f64_bits_arr(&v, "worker_secs")?;
+        let query_id = cursor::get_u64(&v, "query_id")?;
+        self.inner.restore_cursor(cursor::get_str(&v, "inner")?)?;
+        // Fast-forward the latency RNG: `answer` consumes exactly one
+        // jitter draw per *delivered* answer (none when jitter is zero).
+        self.latency
+            .skip_jitter_draws(&mut self.latency_rng, answers - self.stats.answers);
+        self.stats = stats;
+        self.worker_secs = worker_secs;
+        self.current_query_id = query_id;
+        Ok(())
     }
 }
 

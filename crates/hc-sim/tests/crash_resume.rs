@@ -1,0 +1,260 @@
+//! Differential crash/resume suite over the full simulated stack.
+//!
+//! For every step boundary of the chaos fixture, under every torn-write
+//! mode, at 1/2/8 threads: kill the run, recover from the (possibly
+//! corrupted) trace, and require the stitched event stream, posterior
+//! bit patterns, final session payload, and stop reason to be *byte
+//! identical* to an uninterrupted run. Corrupt checkpoints must be
+//! rejected with typed errors and never yield partial state.
+
+use hc_core::telemetry::checkpoint::{
+    read_snapshot, write_snapshot, CheckpointError, CheckpointFrame,
+};
+use hc_core::{HcError, Parallelism};
+use hc_sim::crash::{diff_artifacts, CrashPlan, SessionFixture, TornWrite};
+
+const TORN_MODES: [TornWrite; 4] = [
+    TornWrite::None,
+    TornWrite::TornEventLine,
+    TornWrite::TornCheckpointLine,
+    TornWrite::GarbageTail,
+];
+
+/// Crash at every boundary under every torn-write mode and require
+/// byte-identical recovery.
+fn assert_crash_everywhere(parallelism: Parallelism) {
+    let fixture = SessionFixture::standard(parallelism);
+    let reference = fixture.reference();
+    assert!(
+        reference.steps > 6,
+        "fixture too small to be interesting: {} steps",
+        reference.steps
+    );
+    for kill_after in 0..=reference.steps {
+        for (i, torn) in TORN_MODES.iter().enumerate() {
+            let plan = CrashPlan::new(kill_after, *torn, (kill_after * 4 + i) as u64 + 1);
+            let resumed = fixture
+                .crash_and_resume(&plan)
+                .unwrap_or_else(|e| panic!("resume failed for {plan:?}: {e}"));
+            diff_artifacts(&reference, &resumed)
+                .unwrap_or_else(|e| panic!("divergence for {plan:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn crash_at_every_boundary_serial() {
+    assert_crash_everywhere(Parallelism::Serial);
+}
+
+#[test]
+fn crash_at_every_boundary_two_threads() {
+    assert_crash_everywhere(Parallelism::Threads(2));
+}
+
+#[test]
+fn crash_at_every_boundary_eight_threads() {
+    assert_crash_everywhere(Parallelism::Threads(8));
+}
+
+#[test]
+fn thread_count_never_changes_the_run() {
+    // The serialized payload embeds the configured thread policy, so
+    // cross-policy runs are compared on their *behavioral* artifacts:
+    // event stream, posterior bits, and stop reason.
+    let serial = SessionFixture::standard(Parallelism::Serial).reference();
+    for threads in [1, 2, 8] {
+        let parallel = SessionFixture::standard(Parallelism::Threads(threads)).reference();
+        assert_eq!(
+            parallel.event_lines, serial.event_lines,
+            "{threads}-thread event stream diverges from serial"
+        );
+        assert_eq!(
+            parallel.posterior_bits, serial.posterior_bits,
+            "{threads}-thread posteriors diverge from serial"
+        );
+        assert_eq!(parallel.stop, serial.stop);
+        assert_eq!(parallel.steps, serial.steps);
+    }
+}
+
+#[test]
+fn resumed_runs_never_repeat_a_completed_step() {
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    let reference = fixture.reference();
+    for kill_after in 0..=reference.steps {
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(kill_after, TornWrite::None, 99))
+            .expect("resume");
+        // A clean kill after N steps leaves exactly steps-N to do; past
+        // the end, the no-op extra step still reports Finished once.
+        let expected = reference.steps - kill_after.min(reference.steps - 1);
+        assert_eq!(
+            resumed.steps, expected,
+            "kill after {kill_after}: resumed run re-executed work"
+        );
+    }
+}
+
+// ---- Corruption is rejected with typed errors, never partial state ----
+
+fn sample_frame() -> CheckpointFrame {
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    let resumed = fixture
+        .crash_and_resume(&CrashPlan::new(3, TornWrite::None, 7))
+        .expect("resume");
+    // Re-derive a frame from the final payload so it is a genuine
+    // session checkpoint, not a toy.
+    CheckpointFrame::new(
+        hc_core::SESSION_CHECKPOINT_KIND,
+        1,
+        resumed.final_payload,
+    )
+}
+
+#[test]
+fn corrupted_checksum_is_a_typed_rejection() {
+    let frame = sample_frame();
+    let line = frame.to_json_line();
+    // Flip one payload byte inside the encoded line (the word `spent`
+    // only occurs in the session payload, which follows the CRC field).
+    let corrupted = line.replacen("spent", "spEnt", 1);
+    assert_ne!(line, corrupted, "fixture payload must contain `spent`");
+    match CheckpointFrame::from_json_line(&corrupted) {
+        Err(CheckpointError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_is_a_typed_rejection() {
+    let frame = sample_frame();
+    let line = frame.to_json_line().replacen("\"version\":1", "\"version\":99", 1);
+    match CheckpointFrame::from_json_line(&line) {
+        Err(CheckpointError::VersionMismatch { expected, found }) => {
+            assert_eq!(found, 99);
+            assert_ne!(expected, 99);
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_kind_cannot_rehydrate_a_session() {
+    let mut frame = sample_frame();
+    frame.kind = "someone-elses-checkpoint".to_string();
+    let selector = hc_core::GreedySelector::new();
+    match hc_core::HcSession::from_frame(&frame, &selector, &hc_core::UnitCost) {
+        Err(HcError::InvalidCheckpoint { reason }) => {
+            assert!(reason.contains("kind"), "reason: {reason}");
+        }
+        Ok(_) => panic!("foreign frame must not rehydrate"),
+        Err(e) => panic!("expected InvalidCheckpoint, got {e}"),
+    }
+}
+
+#[test]
+fn garbage_oracle_cursors_are_typed_rejections_and_leave_no_state() {
+    use hc_core::session::ResumableOracle;
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    let mut stack = fixture.stack();
+    let pristine = stack.save_cursor();
+    for garbage in [
+        "",
+        "not json",
+        "[1,2,3]",
+        "{\"answers\":-1}",
+        "{\"answers\":\"x\"}",
+        "{}",
+    ] {
+        match stack.restore_cursor(garbage) {
+            Err(HcError::InvalidCheckpoint { .. }) => {}
+            Ok(()) => panic!("cursor {garbage:?} must be rejected"),
+            Err(e) => panic!("cursor {garbage:?}: expected InvalidCheckpoint, got {e}"),
+        }
+        assert_eq!(
+            stack.save_cursor(),
+            pristine,
+            "rejected cursor {garbage:?} must leave the oracle unchanged"
+        );
+    }
+}
+
+#[test]
+fn oracle_cursor_rewind_is_rejected() {
+    use hc_core::session::ResumableOracle;
+    use hc_core::{hc::AnswerOracle, selection::GlobalFact, Worker};
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    let mut stack = fixture.stack();
+    let w = Worker::new(0, 0.9).unwrap();
+    for _ in 0..5 {
+        stack.answer(&w, GlobalFact::new(0, 0));
+    }
+    let early = stack.save_cursor();
+    for _ in 0..5 {
+        stack.answer(&w, GlobalFact::new(0, 0));
+    }
+    match stack.restore_cursor(&early) {
+        Err(HcError::InvalidCheckpoint { reason }) => {
+            assert!(reason.contains("rewind"), "reason: {reason}");
+        }
+        other => panic!("rewinding cursor must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn cursor_round_trips_through_a_live_stack() {
+    use hc_core::session::ResumableOracle;
+    use hc_core::{hc::AnswerOracle, selection::GlobalFact, Worker};
+    let fixture = SessionFixture::standard(Parallelism::Serial);
+    // Drive one stack a while, save, then replay the same prefix on a
+    // fresh stack, restore, and require identical continuations.
+    let mut a = fixture.stack();
+    let w = Worker::new(1, 0.9).unwrap();
+    for i in 0..17u64 {
+        a.begin_dispatch(i);
+        a.answer(&w, GlobalFact::new(0, (i % 6) as u32));
+    }
+    let cursor = a.save_cursor();
+    let mut b = fixture.stack();
+    b.restore_cursor(&cursor).expect("restore onto fresh stack");
+    assert_eq!(b.save_cursor(), cursor, "cursor round trip");
+    for i in 17..40u64 {
+        a.begin_dispatch(i);
+        b.begin_dispatch(i);
+        let fact = GlobalFact::new(1, (i % 5) as u32);
+        assert_eq!(a.answer(&w, fact), b.answer(&w, fact), "continuation {i}");
+    }
+    assert_eq!(a.stats(), b.stats(), "metered stats after continuation");
+}
+
+// ---- Snapshot files: atomic replace, torn reads are typed ----
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hc_crash_resume_{tag}_{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn snapshot_file_round_trips_a_real_session_frame() {
+    let frame = sample_frame();
+    let path = temp_path("roundtrip");
+    write_snapshot(&path, &frame).expect("write snapshot");
+    let back = read_snapshot(&path).expect("read snapshot");
+    assert_eq!(back, frame);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_snapshot_is_torn_not_partial() {
+    let frame = sample_frame();
+    let path = temp_path("torn");
+    let line = frame.to_json_line();
+    for cut in [1, line.len() / 3, line.len() - 2] {
+        std::fs::write(&path, &line[..cut]).expect("write torn bytes");
+        match read_snapshot(&path) {
+            Err(CheckpointError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

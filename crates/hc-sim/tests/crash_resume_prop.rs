@@ -1,0 +1,86 @@
+//! Property-based chaos: crash at an *arbitrary* step boundary, with an
+//! arbitrary torn-write mode, under an *arbitrary* fault plan and thread
+//! policy — recovery must always be byte-identical to the uninterrupted
+//! run of the same fixture.
+
+use hc_core::Parallelism;
+use hc_sim::crash::{diff_artifacts, CrashPlan, SessionFixture, TornWrite};
+use hc_sim::FaultPlan;
+use proptest::prelude::*;
+
+fn torn_strategy() -> impl Strategy<Value = TornWrite> {
+    prop_oneof![
+        Just(TornWrite::None),
+        Just(TornWrite::TornEventLine),
+        Just(TornWrite::TornCheckpointLine),
+        Just(TornWrite::GarbageTail),
+    ]
+}
+
+fn parallelism_strategy() -> impl Strategy<Value = Parallelism> {
+    prop_oneof![
+        Just(Parallelism::Serial),
+        Just(Parallelism::Auto),
+        (1usize..=8).prop_map(Parallelism::Threads),
+    ]
+}
+
+/// An arbitrary-but-valid unreliability profile. Dropout stays below
+/// the retry policy's give-up point so runs always terminate.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.5,
+        0.0f64..0.3,
+        any::<u64>(),
+        // burst: every 3..12 attempts, 0..3 attempts long (0 = none)
+        3u64..12,
+        0u64..3,
+    )
+        .prop_map(|(dropout, timeouts, seed, every, len)| {
+            let mut plan = FaultPlan::uniform(dropout, seed).with_timeouts(timeouts);
+            if len > 0 {
+                plan = plan.with_burst(every, len);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core theorem of the harness: for any fault plan, any kill
+    /// point, any tail corruption, and any thread policy, a crashed and
+    /// resumed run is indistinguishable from one that never crashed.
+    #[test]
+    fn crash_anywhere_resumes_byte_identically(
+        plan in fault_plan_strategy(),
+        parallelism in parallelism_strategy(),
+        kill_frac in 0.0f64..=1.0,
+        torn in torn_strategy(),
+        torn_seed in 1u64..u64::MAX,
+    ) {
+        let fixture = SessionFixture::standard(parallelism).with_fault_plan(plan);
+        let reference = fixture.reference();
+        // Map the fraction onto the run's actual boundary count so every
+        // case lands on a meaningful kill point (including 0 and past-end).
+        let kill_after = (kill_frac * reference.steps as f64).round() as usize;
+        let crash = CrashPlan::new(kill_after, torn, torn_seed);
+        let resumed = fixture
+            .crash_and_resume(&crash)
+            .map_err(|e| TestCaseError::fail(format!("resume failed for {crash:?}: {e}")))?;
+        diff_artifacts(&reference, &resumed)
+            .map_err(|e| TestCaseError::fail(format!("divergence for {crash:?}: {e}")))?;
+    }
+
+    /// Fault-layer determinism under arbitrary plans: the reference run
+    /// itself must be reproducible, or the differential assertions above
+    /// prove nothing.
+    #[test]
+    fn arbitrary_fault_plans_stay_deterministic(
+        plan in fault_plan_strategy(),
+        parallelism in parallelism_strategy(),
+    ) {
+        let fixture = SessionFixture::standard(parallelism).with_fault_plan(plan);
+        prop_assert_eq!(fixture.reference(), fixture.reference());
+    }
+}

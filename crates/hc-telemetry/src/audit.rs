@@ -166,6 +166,34 @@ pub fn audit(events: &[TelemetryEvent]) -> AuditReport {
     audit_with(events, &AuditConfig::default())
 }
 
+/// Audits a raw JSONL trace with the default thresholds — like
+/// [`audit`] over the parsed events, plus text-level findings only the
+/// raw bytes can reveal: a trailing line torn by a crash mid-write is a
+/// distinct [`Severity::Warning`] `torn_tail` finding (recovery
+/// tolerates it), separate from generic malformed-line skips (which
+/// stay non-findings, as replay already reports them).
+pub fn audit_jsonl(text: &str) -> AuditReport {
+    audit_jsonl_with(text, &AuditConfig::default())
+}
+
+/// [`audit_jsonl`] with explicit anomaly thresholds.
+pub fn audit_jsonl_with(text: &str, config: &AuditConfig) -> AuditReport {
+    let (events, skipped) = crate::replay::parse_jsonl(text);
+    let mut report = audit_with(&events, config);
+    for skip in skipped.iter().filter(|s| s.torn) {
+        report.findings.push(Finding {
+            severity: Severity::Warning,
+            code: "torn_tail",
+            round: None,
+            message: format!(
+                "line {} was torn mid-write (crash signature); recovery drops it: {}",
+                skip.line, skip.error
+            ),
+        });
+    }
+    report
+}
+
 /// Audits `events` with explicit anomaly thresholds.
 pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditReport {
     let mut findings: Vec<Finding> = Vec::new();
@@ -970,6 +998,41 @@ mod tests {
             .find(|f| f.code == "retry_storm")
             .expect("storm flagged");
         assert_eq!(storm.severity, Severity::Warning);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn torn_tail_is_a_distinct_warning() {
+        let mut text = String::new();
+        for event in clean_run() {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        // The intact trace has no torn_tail.
+        assert!(
+            !audit_jsonl(&text).findings.iter().any(|f| f.code == "torn_tail"),
+            "intact trace must not report torn_tail"
+        );
+        // Crash signature: trailing half-line, no newline.
+        let extra = clean_run()[2].to_json_line();
+        let torn = format!("{text}{}", &extra[..extra.len() / 2]);
+        let report = audit_jsonl(&torn);
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.code == "torn_tail")
+            .expect("torn_tail reported");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        // Newline-terminated garbage is generic corruption, not a torn
+        // tail — and not a finding at all (replay reports the skip).
+        let garbage = format!("{text}not json at all\n");
+        let report = audit_jsonl(&garbage);
+        assert!(
+            !report.findings.iter().any(|f| f.code == "torn_tail"),
+            "{}",
+            report.render()
+        );
         assert_eq!(report.error_count(), 0, "{}", report.render());
     }
 

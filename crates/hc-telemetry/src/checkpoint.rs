@@ -1,0 +1,430 @@
+//! Versioned, checksummed checkpoint frames and crash-safe snapshot I/O.
+//!
+//! A checkpoint is one JSON line wrapping an opaque payload string:
+//!
+//! ```json
+//! {"crc32":3632233996,"kind":"hc-session","payload":"...","seq":3,"type":"checkpoint","version":1}
+//! ```
+//!
+//! The payload is whatever the producer serialized (the HC session
+//! state, an evaluation runner's wrapper, …) — this module only
+//! guarantees its *integrity*: the CRC-32 covers the payload bytes, the
+//! `version` field gates format evolution, and the `kind` field lets a
+//! reader reject a frame written by a different producer. All three
+//! failures surface as distinct [`CheckpointError`] variants so callers
+//! can refuse to apply partial or foreign state.
+//!
+//! Two placements are supported:
+//!
+//! - **Embedded**: a checkpoint line inside a JSONL event trace
+//!   ([`is_checkpoint_line`], [`latest_in_jsonl`]). The replay parser
+//!   ignores these lines, so an instrumented trace with embedded
+//!   checkpoints is still a valid event stream.
+//! - **Snapshot file**: a single-frame file written atomically
+//!   ([`write_snapshot`]) — temp file, `fsync`, rename, directory
+//!   `fsync` — so a crash mid-write can never leave a half-new
+//!   snapshot; readers see either the old frame or the new one. A torn
+//!   write that does slip through (e.g. a truncated temp file read
+//!   directly) is reported as [`CheckpointError::Truncated`].
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Current checkpoint frame format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One checkpoint: a versioned, checksummed, kind-tagged payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// Frame format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Producer tag; readers reject frames of the wrong kind.
+    pub kind: String,
+    /// Monotone sequence number assigned by the producer.
+    pub seq: u64,
+    /// The producer's serialized state, opaque to this module.
+    pub payload: String,
+}
+
+impl CheckpointFrame {
+    /// A frame of the current version wrapping `payload`.
+    pub fn new(kind: &str, seq: u64, payload: String) -> Self {
+        CheckpointFrame {
+            version: CHECKPOINT_VERSION,
+            kind: kind.to_string(),
+            seq,
+            payload,
+        }
+    }
+
+    /// Serializes the frame as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("type".to_string(), Json::Str("checkpoint".to_string()));
+        map.insert("version".to_string(), Json::Num(self.version as f64));
+        map.insert("kind".to_string(), Json::Str(self.kind.clone()));
+        map.insert("seq".to_string(), Json::Num(self.seq as f64));
+        map.insert(
+            "crc32".to_string(),
+            Json::Num(crc32(self.payload.as_bytes()) as f64),
+        );
+        map.insert("payload".to_string(), Json::Str(self.payload.clone()));
+        Json::Obj(map).to_string()
+    }
+
+    /// Parses and *verifies* a frame: JSON shape, `version`, CRC-32.
+    pub fn from_json_line(line: &str) -> Result<Self, CheckpointError> {
+        let value = json::parse(line.trim())
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if value.get("type").and_then(Json::as_str) != Some("checkpoint") {
+            return Err(CheckpointError::Malformed(
+                "not a checkpoint line (missing type=checkpoint)".to_string(),
+            ));
+        }
+        let version = value
+            .get("version")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| CheckpointError::Malformed("missing version".to_string()))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: version,
+            });
+        }
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Malformed("missing kind".to_string()))?
+            .to_string();
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CheckpointError::Malformed("missing seq".to_string()))?;
+        let payload = value
+            .get("payload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Malformed("missing payload".to_string()))?
+            .to_string();
+        let stored = value
+            .get("crc32")
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| CheckpointError::Malformed("missing crc32".to_string()))?;
+        let actual = crc32(payload.as_bytes());
+        if stored != actual {
+            return Err(CheckpointError::ChecksumMismatch {
+                expected: stored,
+                found: actual,
+            });
+        }
+        Ok(CheckpointFrame {
+            version,
+            kind,
+            seq,
+            payload,
+        })
+    }
+
+    /// Verifies the producer tag, for readers that only accept one kind.
+    pub fn expect_kind(&self, kind: &str) -> Result<(), CheckpointError> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(CheckpointError::KindMismatch {
+                expected: kind.to_string(),
+                found: self.kind.clone(),
+            })
+        }
+    }
+}
+
+/// Why a checkpoint could not be read or verified. No variant ever
+/// leaves partial state applied: verification happens before any
+/// payload is handed to the caller.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The snapshot file is empty or its single line was torn mid-write.
+    Truncated,
+    /// The line is not valid checkpoint JSON.
+    Malformed(String),
+    /// The payload bytes do not match the stored CRC-32.
+    ChecksumMismatch {
+        /// CRC stored in the frame.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        found: u32,
+    },
+    /// The frame was written by an incompatible format version.
+    VersionMismatch {
+        /// The version this reader understands.
+        expected: u32,
+        /// The version found in the frame.
+        found: u32,
+    },
+    /// The frame was written by a different producer.
+    KindMismatch {
+        /// The kind the reader requires.
+        expected: String,
+        /// The kind found in the frame.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Truncated => {
+                write!(f, "checkpoint is truncated (torn write)")
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {expected:#010x}, payload hashes to {found:#010x}"
+            ),
+            CheckpointError::VersionMismatch { expected, found } => write!(
+                f,
+                "checkpoint version mismatch: reader supports {expected}, frame is {found}"
+            ),
+            CheckpointError::KindMismatch { expected, found } => write!(
+                f,
+                "checkpoint kind mismatch: expected `{expected}`, frame is `{found}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Cheap test for an (intact) embedded checkpoint line.
+///
+/// A line torn *inside* the `"type"` field fails this test and falls
+/// through to the replay parser's skip path, which is the correct
+/// recovery behaviour for a torn tail.
+pub fn is_checkpoint_line(line: &str) -> bool {
+    line.contains("\"type\":\"checkpoint\"")
+}
+
+/// The last *valid* checkpoint frame embedded in a JSONL trace, if any.
+/// Lines that fail verification (torn, corrupt) are ignored.
+pub fn latest_in_jsonl(text: &str) -> Option<CheckpointFrame> {
+    let mut latest = None;
+    for line in text.lines() {
+        if is_checkpoint_line(line) {
+            if let Ok(frame) = CheckpointFrame::from_json_line(line) {
+                latest = Some(frame);
+            }
+        }
+    }
+    latest
+}
+
+/// Atomically replaces the snapshot at `path` with `frame`.
+///
+/// Durability contract: the frame is written to a sibling temp file,
+/// `fsync`ed, renamed over `path`, and the parent directory is
+/// `fsync`ed — after this returns, a crash at any point leaves either
+/// the previous snapshot or the new one, never a torn mix.
+pub fn write_snapshot(path: &Path, frame: &CheckpointFrame) -> Result<(), CheckpointError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Malformed("snapshot path has no file name".to_string()))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(frame.to_json_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // Root-less relative paths have an empty parent; skip those.
+        if !parent.as_os_str().is_empty() {
+            fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies the snapshot at `path`.
+///
+/// An empty file or a line torn mid-write (no terminating newline and
+/// unparseable) is [`CheckpointError::Truncated`]; corruption inside a
+/// complete line surfaces as the precise verification failure.
+pub fn read_snapshot(path: &Path) -> Result<CheckpointFrame, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    let line = match text.lines().find(|l| !l.trim().is_empty()) {
+        Some(line) => line,
+        None => return Err(CheckpointError::Truncated),
+    };
+    match CheckpointFrame::from_json_line(line) {
+        Ok(frame) => Ok(frame),
+        // A malformed single line that was never newline-terminated is
+        // a torn write, not corruption of a complete frame.
+        Err(CheckpointError::Malformed(_)) if !text.ends_with('\n') => {
+            Err(CheckpointError::Truncated)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc_ckpt_{tag}_{}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips_through_its_json_line() {
+        let frame = CheckpointFrame::new("hc-session", 7, "{\"spent\":12,\"nl\":\"a\\nb\"}".to_string());
+        let line = frame.to_json_line();
+        assert!(is_checkpoint_line(&line));
+        assert!(!line.contains('\n'), "a frame is a single line");
+        let back = CheckpointFrame::from_json_line(&line).expect("round trip");
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_mismatch() {
+        let frame = CheckpointFrame::new("hc-session", 1, "payload-bytes".to_string());
+        let line = frame.to_json_line().replace("payload-bytes", "payload-bytez");
+        match CheckpointFrame::from_json_line(&line) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_a_version_mismatch() {
+        let frame = CheckpointFrame::new("hc-session", 1, "x".to_string());
+        let line = frame.to_json_line().replace("\"version\":1", "\"version\":99");
+        match CheckpointFrame::from_json_line(&line) {
+            Err(CheckpointError::VersionMismatch { expected, found }) => {
+                assert_eq!(expected, CHECKPOINT_VERSION);
+                assert_eq!(found, 99);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected_on_demand() {
+        let frame = CheckpointFrame::new("something-else", 1, "x".to_string());
+        assert!(frame.expect_kind("something-else").is_ok());
+        match frame.expect_kind("hc-session") {
+            Err(CheckpointError::KindMismatch { expected, found }) => {
+                assert_eq!(expected, "hc-session");
+                assert_eq!(found, "something-else");
+            }
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_malformed_not_panics() {
+        for line in ["", "{", "{\"type\":\"event\"}", "not json"] {
+            match CheckpointFrame::from_json_line(line) {
+                Err(CheckpointError::Malformed(_)) => {}
+                other => panic!("line {line:?}: expected malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_write_read_round_trips() {
+        let path = temp_path("roundtrip");
+        let frame = CheckpointFrame::new("hc-session", 3, "state".to_string());
+        write_snapshot(&path, &frame).expect("write");
+        let back = read_snapshot(&path).expect("read");
+        assert_eq!(back, frame);
+        // Overwrite is atomic-replace, not append.
+        let frame2 = CheckpointFrame::new("hc-session", 4, "state2".to_string());
+        write_snapshot(&path, &frame2).expect("rewrite");
+        assert_eq!(read_snapshot(&path).expect("reread"), frame2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_snapshot_is_truncated_with_no_state_leaked() {
+        let path = temp_path("torn");
+        let frame = CheckpointFrame::new("hc-session", 9, "abcdefgh".to_string());
+        let full = frame.to_json_line();
+        // Simulate a crash mid-write: half the line, no newline.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match read_snapshot(&path) {
+            Err(CheckpointError::Truncated) => {}
+            other => panic!("expected truncated, got {other:?}"),
+        }
+        // Empty file too.
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(CheckpointError::Truncated)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_io_error() {
+        let path = temp_path("missing_never_written");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(read_snapshot(&path), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn latest_embedded_frame_wins_and_torn_ones_are_ignored() {
+        let f1 = CheckpointFrame::new("hc-session", 1, "one".to_string());
+        let f2 = CheckpointFrame::new("hc-session", 2, "two".to_string());
+        let torn = &f2.to_json_line()[..20];
+        let text = format!(
+            "{{\"type\":\"run_started\"}}\n{}\n{}\n{torn}",
+            f1.to_json_line(),
+            f2.to_json_line()
+        );
+        let latest = latest_in_jsonl(&text).expect("found");
+        assert_eq!(latest.seq, 2);
+        assert_eq!(latest.payload, "two");
+        assert!(latest_in_jsonl("plain\nlines\n").is_none());
+    }
+}

@@ -95,7 +95,12 @@ impl StopReason {
         }
     }
 
-    fn from_name(name: &str) -> Option<Self> {
+    /// Parses a [`StopReason::name`] back; `None` for unknown names.
+    ///
+    /// Public because checkpoint payloads (see [`crate::checkpoint`])
+    /// store stop reasons by their stable name and must reject foreign
+    /// values with a typed error rather than a panic.
+    pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "budget_exhausted" => Some(StopReason::BudgetExhausted),
             "no_positive_gain" => Some(StopReason::NoPositiveGain),

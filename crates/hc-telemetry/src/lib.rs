@@ -28,7 +28,10 @@
 //! - [`audit`] — invariant checks and anomaly detection over a stream:
 //!   dispatch-closure violations, round-order breaks, non-finite
 //!   values, spend inconsistencies as errors; entropy stalls, retry
-//!   storms, starved workers as warnings.
+//!   storms, starved workers, torn trailing lines as warnings.
+//! - [`checkpoint`] — versioned, CRC-checksummed checkpoint frames
+//!   (embedded in a trace or as atomically-replaced snapshot files)
+//!   with typed rejection of torn, corrupt, or foreign frames.
 //! - [`timing`] — thread-local monotonic spans around the hot paths
 //!   (selection, conditional entropy, Bayes updates), surfaced as
 //!   per-phase latency histograms for benchmarking.
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod checkpoint;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -63,7 +67,10 @@ pub mod replay;
 pub mod sink;
 pub mod timing;
 
-pub use audit::{audit, audit_with, AuditConfig, AuditReport, Finding, Severity};
+pub use audit::{
+    audit, audit_jsonl, audit_jsonl_with, audit_with, AuditConfig, AuditReport, Finding, Severity,
+};
+pub use checkpoint::{CheckpointError, CheckpointFrame, CHECKPOINT_VERSION};
 pub use event::{FaultKind, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use replay::{ReplayedRun, RoundHealth, RoundState, RunEnd, RunShape, SkippedLine};

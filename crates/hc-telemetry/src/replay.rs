@@ -143,6 +143,11 @@ pub struct SkippedLine {
     pub line: usize,
     /// The parse error, rendered.
     pub error: String,
+    /// Whether this is a *torn tail*: the final non-empty line of the
+    /// input, unparseable, with no terminating newline — the signature
+    /// of a process killed mid-write. Recovery tolerates exactly this
+    /// shape; any other unparseable line is generic corruption.
+    pub torn: bool,
 }
 
 /// A dispatch that was never closed, keyed like the audit contract:
@@ -411,12 +416,28 @@ impl ReplayedRun {
 }
 
 /// Parses a JSONL trace into events, collecting unparseable lines as
-/// [`SkippedLine`]s instead of failing. Blank lines are ignored.
+/// [`SkippedLine`]s instead of failing. Blank lines are ignored, as are
+/// intact embedded checkpoint lines (see [`crate::checkpoint`]) — a
+/// trace with checkpoints is still a pure event stream to replay. A
+/// trailing line torn by a crash is reported with
+/// [`SkippedLine::torn`] set.
 pub fn parse_jsonl(text: &str) -> (Vec<TelemetryEvent>, Vec<SkippedLine>) {
     let mut events = Vec::new();
     let mut skipped = Vec::new();
+    let last_nonempty = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, _)| i)
+        .last();
+    let terminated = text.ends_with('\n');
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
+            continue;
+        }
+        if crate::checkpoint::is_checkpoint_line(line)
+            && crate::checkpoint::CheckpointFrame::from_json_line(line).is_ok()
+        {
             continue;
         }
         match TelemetryEvent::from_json_line(line) {
@@ -424,6 +445,7 @@ pub fn parse_jsonl(text: &str) -> (Vec<TelemetryEvent>, Vec<SkippedLine>) {
             Err(e) => skipped.push(SkippedLine {
                 line: idx + 1,
                 error: e.to_string(),
+                torn: Some(idx) == last_nonempty && !terminated,
             }),
         }
     }
@@ -542,5 +564,66 @@ mod tests {
     fn empty_input_is_an_empty_run() {
         let run = ReplayedRun::from_jsonl("");
         assert_eq!(run, ReplayedRun::default());
+    }
+
+    #[test]
+    fn a_torn_tail_is_classified_as_torn() {
+        let mut text = String::new();
+        for event in sample_events() {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        // Crash mid-write: half of one more line, no newline.
+        let extra = sample_events()[2].to_json_line();
+        text.push_str(&extra[..extra.len() / 2]);
+        let run = ReplayedRun::from_jsonl(&text);
+        assert_eq!(run.skipped.len(), 1, "{:?}", run.skipped);
+        assert!(run.skipped[0].torn, "trailing unterminated line is torn");
+        assert_eq!(run.events, sample_events().len(), "prefix fully replayed");
+
+        // The same garbage followed by a newline is NOT torn…
+        let terminated = format!("{text}\n");
+        let run = ReplayedRun::from_jsonl(&terminated);
+        assert!(!run.skipped[0].torn, "newline-terminated garbage is generic corruption");
+
+        // …and neither is a mid-stream bad line even without a final newline.
+        let mut mid = String::new();
+        for (i, event) in sample_events().iter().enumerate() {
+            if i == 2 {
+                mid.push_str("ü!! not json\n");
+            }
+            mid.push_str(&event.to_json_line());
+            if i + 1 < sample_events().len() {
+                mid.push('\n');
+            }
+        }
+        let run = ReplayedRun::from_jsonl(&mid);
+        assert_eq!(run.skipped.len(), 1);
+        assert!(!run.skipped[0].torn, "mid-stream corruption is not a torn tail");
+    }
+
+    #[test]
+    fn embedded_checkpoint_lines_are_ignored_by_replay() {
+        use crate::checkpoint::CheckpointFrame;
+        let mut text = String::new();
+        for (i, event) in sample_events().iter().enumerate() {
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+            if i == 3 {
+                let frame = CheckpointFrame::new("hc-session", 1, "state".to_string());
+                text.push_str(&frame.to_json_line());
+                text.push('\n');
+            }
+        }
+        let run = ReplayedRun::from_jsonl(&text);
+        assert!(run.skipped.is_empty(), "{:?}", run.skipped);
+        assert_eq!(run.events, sample_events().len());
+        // A *corrupt* checkpoint line is still reported as skipped.
+        let frame = CheckpointFrame::new("hc-session", 1, "state".to_string());
+        let bad = frame.to_json_line().replace("state", "statx");
+        let text = format!("{bad}\n{text}");
+        let run = ReplayedRun::from_jsonl(&text);
+        assert_eq!(run.skipped.len(), 1);
+        assert_eq!(run.skipped[0].line, 1);
     }
 }

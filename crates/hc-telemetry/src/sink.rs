@@ -6,10 +6,11 @@
 //! pairs or formats a JSON line — the instrumented loop does one
 //! virtual call per emission site and nothing else.
 
+use crate::checkpoint::CheckpointFrame;
 use crate::event::TelemetryEvent;
 use crate::json;
-use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -108,12 +109,21 @@ impl TelemetrySink for RecordingSink {
 /// The [`TelemetrySink`] contract has no error channel, so write and
 /// flush failures cannot propagate at the call site; instead the sink
 /// remembers the *first* I/O error it hits and surfaces it through
-/// [`FileSink::last_error`] — callers that care about truncated logs
-/// check it after flushing.
+/// [`FileSink::last_error`] — or, without polling, through
+/// [`FileSink::close`], which consumes the sink and returns that first
+/// deferred error (a plain drop would lose it silently).
+///
+/// Durability: a `RunFinished` record and every
+/// [`FileSink::write_checkpoint`] call flush the buffer *and* `fsync`
+/// the file, so a completed run (or any round up to the last
+/// checkpoint) survives a crash of the process or the OS. Ordinary
+/// events are only buffered — a crash mid-round may tear the trailing
+/// line, which the replay/audit layer tolerates as a `torn_tail`.
 #[derive(Debug)]
 pub struct FileSink {
     writer: BufWriter<File>,
     last_error: Option<std::io::Error>,
+    lines: u64,
 }
 
 impl FileSink {
@@ -122,6 +132,25 @@ impl FileSink {
         Ok(Self {
             writer: BufWriter::new(File::create(path)?),
             last_error: None,
+            lines: 0,
+        })
+    }
+
+    /// Opens `path` for appending (creating it if absent), e.g. to
+    /// continue a trace after a crash+resume. [`FileSink::lines_written`]
+    /// starts at the number of lines already in the file, so it keeps
+    /// reporting the file's total line count.
+    pub fn append<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let existing = match File::open(&path) {
+            Ok(file) => BufReader::new(file).lines().count() as u64,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            last_error: None,
+            lines: existing,
         })
     }
 
@@ -131,6 +160,44 @@ impl FileSink {
         self.last_error.as_ref()
     }
 
+    /// Total lines in the file (pre-existing on [`FileSink::append`]
+    /// plus every event and checkpoint line written since). This is the
+    /// stitch point a resume records: truncating the trace to this many
+    /// lines drops anything written — possibly torn — after it.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes the buffer and `fsync`s the file to disk.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()
+    }
+
+    /// Writes an embedded checkpoint line, then flushes and `fsync`s
+    /// (checkpoints are durability barriers by contract).
+    pub fn write_checkpoint(&mut self, frame: &CheckpointFrame) -> std::io::Result<()> {
+        let result = writeln!(self.writer, "{}", frame.to_json_line()).and_then(|()| {
+            self.lines += 1;
+            self.sync()
+        });
+        if let Err(e) = &result {
+            self.note_kind(e.kind());
+        }
+        result
+    }
+
+    /// Flushes and closes the sink, surfacing the first deferred I/O
+    /// error (if any) instead of dropping it on the floor.
+    pub fn close(mut self) -> std::io::Result<()> {
+        let result = self.writer.flush();
+        self.note(result);
+        match self.last_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn note(&mut self, result: std::io::Result<()>) {
         if let Err(e) = result {
             if self.last_error.is_none() {
@@ -138,12 +205,24 @@ impl FileSink {
             }
         }
     }
+
+    fn note_kind(&mut self, kind: std::io::ErrorKind) {
+        if self.last_error.is_none() {
+            self.last_error = Some(std::io::Error::from(kind));
+        }
+    }
 }
 
 impl TelemetrySink for FileSink {
     fn record(&mut self, event: &TelemetryEvent) {
         let result = writeln!(self.writer, "{}", event.to_json_line());
+        self.lines += 1;
         self.note(result);
+        // A finished run must survive a crash: fsync at the frame edge.
+        if matches!(event, TelemetryEvent::RunFinished { .. }) {
+            let result = self.sync();
+            self.note(result);
+        }
     }
 
     fn flush(&mut self) {
@@ -298,6 +377,57 @@ mod tests {
         // Further flushes keep the *first* error.
         sink.flush();
         assert_eq!(sink.last_error().unwrap().kind(), first_kind);
+    }
+
+    #[test]
+    fn close_surfaces_the_deferred_error() {
+        // Healthy file: close is Ok.
+        let path = std::env::temp_dir().join(format!(
+            "hc_telemetry_sink_close_{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = FileSink::create(&path).expect("create");
+        sink.record(&finish());
+        sink.close().expect("healthy close");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn close_fails_on_a_full_device() {
+        let mut sink = FileSink::create("/dev/full").expect("open /dev/full");
+        for _ in 0..4096 {
+            sink.record(&finish());
+        }
+        assert!(sink.close().is_err(), "deferred ENOSPC must surface at close");
+    }
+
+    #[test]
+    fn line_counter_tracks_events_and_checkpoints_across_append() {
+        let path = std::env::temp_dir().join(format!(
+            "hc_telemetry_sink_lines_{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = FileSink::create(&path).expect("create");
+        assert_eq!(sink.lines_written(), 0);
+        sink.record(&finish());
+        let frame = CheckpointFrame::new("test", 1, "p".to_string());
+        sink.write_checkpoint(&frame).expect("checkpoint");
+        assert_eq!(sink.lines_written(), 2);
+        sink.close().expect("close");
+
+        // Re-open for append: the counter resumes at the file's total.
+        let mut sink = FileSink::append(&path).expect("append");
+        assert_eq!(sink.lines_written(), 2);
+        sink.record(&finish());
+        assert_eq!(sink.lines_written(), 3);
+        sink.close().expect("close");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 3);
+        // The embedded checkpoint round-trips from the trace.
+        let latest = crate::checkpoint::latest_in_jsonl(&text).expect("embedded frame");
+        assert_eq!(latest, frame);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
