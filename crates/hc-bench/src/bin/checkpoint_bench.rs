@@ -19,7 +19,8 @@
 //! cargo run --release -p hc-bench --bin checkpoint_bench > BENCH_checkpoint.json
 //! ```
 //!
-//! Stderr gets a human-readable table; stdout one JSON object with
+//! Stderr gets a human-readable table; stdout one stamped envelope (see
+//! [`hc_bench::stamp`]) whose `"results"` payload holds the
 //! minimum-of-repeats nanosecond timings.
 
 use hc_core::session::{HcSession, ResumableOracle, SessionEnv, SessionStatus};
@@ -146,7 +147,7 @@ fn main() {
     ] {
         eprintln!("{name:>22} {v:>12}");
     }
-    println!(
+    let results = format!(
         "{{\"steps\":{steps},\"frame_bytes\":{frame_bytes},\
          \"encode_nanos_per_step\":{encode_per_step},\
          \"snapshot_write_nanos_per_step\":{snapshot_per_step},\
@@ -156,4 +157,5 @@ fn main() {
          \"cursor_restore_nanos\":{cursor_restore_nanos},\
          \"fold_resume_nanos\":{fold_nanos}}}"
     );
+    println!("{}", hc_bench::stamp::stamped("checkpoint", &results));
 }

@@ -11,7 +11,8 @@
 //! cargo run --release -p hc-bench --bin parallel_bench > BENCH_parallel.json
 //! ```
 //!
-//! Stdout is one JSON object:
+//! Stdout is one stamped envelope (see [`hc_bench::stamp`]) whose
+//! `"results"` payload is
 //! `{"threads":T,"points":[{"n":..,"serial_nanos":..,"parallel_nanos":..,
 //! "speedup":..},..],"identical":true}`.
 
@@ -71,6 +72,8 @@ fn main() {
             "{{\"n\":{n},\"serial_nanos\":{serial_nanos},\"parallel_nanos\":{parallel_nanos},\"speedup\":{speedup:.4}}}"
         );
     }
-    println!("{{\"threads\":{threads},\"points\":[{points}],\"identical\":{identical}}}");
+    let results =
+        format!("{{\"threads\":{threads},\"points\":[{points}],\"identical\":{identical}}}");
+    println!("{}", hc_bench::stamp::stamped("parallel", &results));
     assert!(identical, "serial and parallel selections must be identical");
 }

@@ -4,7 +4,9 @@
 //! conditional entropy, and the partial Bayes update — by driving full
 //! HC loops on the bench fixtures with per-phase timing enabled, then
 //! prints the per-phase latency histograms (stderr, human-readable) and
-//! a `BENCH_telemetry.json`-compatible summary (stdout):
+//! a stamped `BENCH_telemetry.json` envelope (stdout, see
+//! [`hc_bench::stamp`]) whose `"results"` payload is the per-phase
+//! p50/p95/p99 summary:
 //!
 //! ```bash
 //! cargo run --release -p hc-bench --bin telemetry_bench > BENCH_telemetry.json
@@ -46,5 +48,8 @@ fn main() {
 
     let snapshot = timing::snapshot();
     eprintln!("{}", snapshot.render_table());
-    println!("{}", snapshot.to_bench_json());
+    println!(
+        "{}",
+        hc_bench::stamp::stamped("telemetry", &snapshot.to_bench_json())
+    );
 }

@@ -210,6 +210,16 @@ pub struct HcConfig {
     /// whatever this is set to.
     #[serde(default)]
     pub parallelism: crate::parallel::Parallelism,
+    /// Collect a hierarchical profile of the run (step/phase span tree,
+    /// latency quantiles, work counters) and emit it as one
+    /// `ProfileReport` telemetry event just before `RunFinished`. Off by
+    /// default: span timings are wall-clock and therefore
+    /// nondeterministic, so enabling this changes the emitted *stream*
+    /// (never the computed posteriors) and golden-trace comparisons
+    /// must strip the report. Only takes effect when the sink is
+    /// enabled.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 fn default_max_dry_rounds() -> usize {
@@ -229,6 +239,7 @@ impl HcConfig {
             max_dry_rounds: default_max_dry_rounds(),
             explain_selection: false,
             parallelism: crate::parallel::Parallelism::default(),
+            profile: false,
         }
     }
 }

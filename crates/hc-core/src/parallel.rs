@@ -95,6 +95,38 @@ thread_local! {
     /// Per-thread override of the effective thread count; 0 = unset
     /// (fall back to [`auto_threads`]).
     static CURRENT: Cell<usize> = const { Cell::new(0) };
+    /// Kernel nesting depth on this thread. The `chunks_dispatched`
+    /// work counter must count *top-level* kernel invocations only:
+    /// a serial run executes nested kernels inline on the coordinating
+    /// thread (where timing is enabled) while a threaded run executes
+    /// them on workers (where it never is), so counting nested calls
+    /// would make the counter depend on the thread policy.
+    static KERNEL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Bumps this thread's kernel depth; counts the dispatch at top level.
+struct KernelGuard {
+    depth: usize,
+}
+
+impl KernelGuard {
+    fn enter(n_chunks: usize) -> KernelGuard {
+        let depth = KERNEL_DEPTH.with(Cell::get);
+        if depth == 0 {
+            hc_telemetry::timing::add(
+                hc_telemetry::timing::Counter::ChunksDispatched,
+                n_chunks as u64,
+            );
+        }
+        KERNEL_DEPTH.with(|d| d.set(depth + 1));
+        KernelGuard { depth }
+    }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        KERNEL_DEPTH.with(|d| d.set(self.depth));
+    }
 }
 
 /// The thread count kernels on this thread will use right now.
@@ -149,6 +181,7 @@ where
 {
     assert!(chunk > 0, "chunk length must be positive");
     let n_chunks = len.div_ceil(chunk);
+    let _kernel = KernelGuard::enter(n_chunks);
     let threads = current_threads().min(n_chunks);
     let chunk_range = |c: usize| {
         let start = c * chunk;
@@ -200,6 +233,7 @@ where
     assert!(chunk > 0, "chunk length must be positive");
     let len = out.len();
     let n_chunks = len.div_ceil(chunk);
+    let _kernel = KernelGuard::enter(n_chunks);
     let threads = current_threads().min(n_chunks);
     if threads <= 1 {
         for (c, slice) in out.chunks_mut(chunk).enumerate() {

@@ -30,7 +30,7 @@ use crate::error::Result;
 use crate::fact::FactId;
 use crate::parallel;
 use crate::worker::ExpertPanel;
-use hc_telemetry::timing::{span, Phase};
+use hc_telemetry::timing::{add, span, Counter, Phase};
 use rand::RngCore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -185,6 +185,9 @@ fn select_cached(
             .collect();
         let scored = {
             let _span = span(Phase::Scoring);
+            // Counted on the coordinating thread — worker-thread timing
+            // state is always disabled, so counters there would vanish.
+            add(Counter::CandidateEvals, to_score.len() as u64);
             parallel::map_items(&to_score, |_, &i| {
                 let gf = &candidates[i];
                 gain(
@@ -298,6 +301,7 @@ fn select_lazy(
     // gains — is thread-count-independent).
     let init_gains = {
         let _span = span(Phase::Scoring);
+        add(Counter::CandidateEvals, candidates.len() as u64);
         parallel::map_items(candidates, |_, gf| {
             gain(beliefs, gf.task, &[], gf.fact, 0.0, panel, panel_h)
         })
@@ -362,6 +366,7 @@ fn select_lazy(
             }
             let rescored = {
                 let _span = span(Phase::Scoring);
+                add(Counter::CandidateEvals, batch.len() as u64);
                 parallel::map_items(&batch, |_, e| {
                     let gf = candidates[e.candidate_idx];
                     gain(

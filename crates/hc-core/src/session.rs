@@ -466,6 +466,7 @@ fn config_to_json(c: &HcConfig) -> Json {
         ("max_dry_rounds", num_usize(c.max_dry_rounds)),
         ("explain_selection", Json::Bool(c.explain_selection)),
         ("parallelism", parallelism),
+        ("profile", Json::Bool(c.profile)),
     ])
 }
 
@@ -505,6 +506,11 @@ fn config_from_json(v: &Json) -> Result<HcConfig> {
         max_dry_rounds: get_usize(v, "max_dry_rounds")?,
         explain_selection: get_bool(v, "explain_selection")?,
         parallelism,
+        // Absent in frames written before profiling existed.
+        profile: match v.get("profile") {
+            None => false,
+            Some(j) => j.as_bool().ok_or_else(|| bad("profile"))?,
+        },
     })
 }
 
@@ -1171,6 +1177,11 @@ pub struct HcSession<'a> {
     /// Set on resume: the next `step` call fast-forwards `env.rng`
     /// through the recorded draw log before doing anything else.
     needs_rng_replay: bool,
+    /// Set by the first `step` of a `config.profile` run: the thread's
+    /// timing state has been reset and enabled, and `finish` must emit
+    /// the `ProfileReport` and disable it again. Deliberately not
+    /// serialized — a resumed session profiles its own segment.
+    profile_started: bool,
 }
 
 impl std::fmt::Debug for HcSession<'_> {
@@ -1223,6 +1234,7 @@ impl<'a> HcSession<'a> {
             panel_cost,
             all_facts,
             needs_rng_replay: false,
+            profile_started: false,
         })
     }
 
@@ -1363,6 +1375,7 @@ impl<'a> HcSession<'a> {
             panel_cost,
             all_facts,
             needs_rng_replay: true,
+            profile_started: false,
         })
     }
 
@@ -1436,6 +1449,15 @@ impl<'a> HcSession<'a> {
         if let StepCursor::Finished { reason } = self.state.cursor {
             return Ok(SessionStatus::Finished(reason));
         }
+        // Opt-in profiling owns this thread's timing state for the whole
+        // run: reset once at the first step (fresh or resumed), disabled
+        // again when `finish` emits the report. Span timings are
+        // wall-clock, so nothing below feeds back into computed bits.
+        if self.state.config.profile && !self.profile_started {
+            timing::reset();
+            timing::set_enabled(true);
+            self.profile_started = true;
+        }
         if !self.state.started {
             if env.sink.enabled() {
                 env.sink.record(&TelemetryEvent::RunStarted {
@@ -1450,6 +1472,17 @@ impl<'a> HcSession<'a> {
             }
             self.state.started = true;
         }
+        // Step-level spans parent the kernel spans below them
+        // (selection/scoring/entropy/update), giving the profile tree
+        // its top layer. No-ops unless this thread's timing is enabled.
+        let _step_span = timing::span(match &self.state.cursor {
+            StepCursor::NextRound => Phase::SelectQueries,
+            StepCursor::Selected { .. } => Phase::Dispatch,
+            StepCursor::Dispatched { .. } => Phase::CollectAnswers,
+            StepCursor::Collected { .. } => Phase::UpdateBeliefs,
+            StepCursor::Updated { .. } => Phase::CloseRound,
+            StepCursor::Finished { .. } => unreachable!("handled above"),
+        });
         match self.state.cursor.clone() {
             StepCursor::NextRound => self.select_queries(env),
             StepCursor::Selected { plan } => self.dispatch(plan),
@@ -1670,6 +1703,9 @@ impl<'a> HcSession<'a> {
         for (group, grid) in groups.iter().zip(&collected.outcomes) {
             let task_health =
                 update_group(&mut self.state.beliefs, &self.state.panel, group, grid)?;
+            if task_health.rescued {
+                timing::add(timing::Counter::RescuedUpdates, 1);
+            }
             health.merge(&task_health);
         }
         let delivery = RoundDelivery {
@@ -1759,6 +1795,18 @@ impl<'a> HcSession<'a> {
     }
 
     fn finish(&mut self, reason: StopReason, env: &mut SessionEnv<'_>) -> Result<SessionStatus> {
+        if self.profile_started {
+            // The step span that led here is still open; its in-flight
+            // execution opens no child spans before reaching `finish`,
+            // so the snapshot's telescoping identity (Σ self == Σ root
+            // inclusive) still holds over everything recorded.
+            if env.sink.enabled() {
+                env.sink
+                    .record(&TelemetryEvent::profile_report(&timing::snapshot()));
+            }
+            timing::set_enabled(false);
+            self.profile_started = false;
+        }
         if env.sink.enabled() {
             env.sink.record(&TelemetryEvent::RunFinished {
                 rounds: self.state.round,
@@ -1933,7 +1981,8 @@ pub fn resume_state_from_trace(
             | TelemetryEvent::QuerySelected { .. }
             | TelemetryEvent::QueryDispatched { .. }
             | TelemetryEvent::RetryScheduled { .. }
-            | TelemetryEvent::FaultInjected { .. } => {}
+            | TelemetryEvent::FaultInjected { .. }
+            | TelemetryEvent::ProfileReport { .. } => {}
             TelemetryEvent::AnswerDelivered {
                 task,
                 fact,

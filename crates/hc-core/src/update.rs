@@ -289,6 +289,10 @@ fn apply_multiplier(
     };
 
     let n = belief.probs().len();
+    // Work counter: every pattern of this belief's table is read (and,
+    // on success, rewritten) by the passes below. Counted here on the
+    // coordinating thread; a no-op unless profiling is enabled.
+    hc_telemetry::timing::add(hc_telemetry::timing::Counter::PatternsTouched, n as u64);
     let probs_ro = belief.probs();
     if linear_mass_ok {
         // Pass 1 (read-only): chunked ordered reduction of the scaled

@@ -1,0 +1,160 @@
+//! `hc-eval compare` — diff two runs of the performance observatory.
+//!
+//! Takes two files, each either a JSONL telemetry trace (as consumed by
+//! `hc-eval inspect`) or a stamped `BENCH_*.json` document, and prints
+//! the [`hc_core::telemetry::compare_str`] report: trajectory
+//! divergence (trace mode), per-phase latency deltas with
+//! p50/p95/p99, counter ratios, and metadata notes. With `--json` the
+//! report is emitted as a single machine-readable JSON object.
+//!
+//! Exit code contract: unreadable or unparseable inputs fail. With
+//! `--fail-on-regress PCT` the command also fails when any gated
+//! latency metric of `<b>` regressed by more than `PCT` percent over
+//! `<a>`; without the flag the comparison is informational and always
+//! succeeds on valid input. Comparing a trace against a bench file is
+//! an error — the two have no common metric space.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hc-eval compare <a> <b> [--json] [--fail-on-regress PCT]";
+
+/// Flags of the `compare` subcommand.
+struct CompareArgs {
+    a: PathBuf,
+    b: PathBuf,
+    json: bool,
+    fail_on_regress: Option<f64>,
+}
+
+fn parse_compare_args(args: &[String]) -> Result<CompareArgs, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut json = false;
+    let mut fail_on_regress: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--fail-on-regress" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "missing value for --fail-on-regress".to_string())?;
+                let pct: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--fail-on-regress wants a percentage, got {value:?}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!(
+                        "--fail-on-regress wants a non-negative percentage, got {value:?}"
+                    ));
+                }
+                fail_on_regress = Some(pct);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if !other.starts_with('-') && paths.len() < 2 => {
+                paths.push(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown compare flag {other:?}")),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(USAGE.to_string());
+    }
+    let b = paths.pop().expect("two paths");
+    let a = paths.pop().expect("two paths");
+    Ok(CompareArgs {
+        a,
+        b,
+        json,
+        fail_on_regress,
+    })
+}
+
+/// Entry point of `hc-eval compare`, called from `main` with the
+/// arguments after the subcommand word. Prints the report to stdout
+/// and returns the exit code per the module contract.
+pub fn run_cli(args: &[String]) -> ExitCode {
+    let parsed = match parse_compare_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let (text_a, text_b) = match (read(&parsed.a), read(&parsed.b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match hc_core::telemetry::compare_str(&text_a, &text_b) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.json {
+        println!("{}", report.to_json(parsed.fail_on_regress));
+    } else {
+        println!(
+            "# compare — {} vs {}",
+            parsed.a.display(),
+            parsed.b.display()
+        );
+        print!("{}", report.render(parsed.fail_on_regress));
+    }
+    match parsed.fail_on_regress {
+        Some(pct) if !report.regressions(pct).is_empty() => {
+            eprintln!(
+                "compare: failing ({} metric(s) regressed by more than {pct}%)",
+                report.regressions(pct).len()
+            );
+            ExitCode::FAILURE
+        }
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn compare_arg_parsing() {
+        let ok = parse_compare_args(&s(&[
+            "a.jsonl",
+            "b.jsonl",
+            "--json",
+            "--fail-on-regress",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(ok.a, PathBuf::from("a.jsonl"));
+        assert_eq!(ok.b, PathBuf::from("b.jsonl"));
+        assert!(ok.json);
+        assert_eq!(ok.fail_on_regress, Some(25.0));
+
+        let plain = parse_compare_args(&s(&["a", "b"])).unwrap();
+        assert!(!plain.json);
+        assert_eq!(plain.fail_on_regress, None);
+    }
+
+    #[test]
+    fn compare_arg_errors() {
+        assert!(parse_compare_args(&[]).is_err());
+        assert!(parse_compare_args(&s(&["only-one"])).is_err());
+        assert!(parse_compare_args(&s(&["a", "b", "c"])).is_err());
+        assert!(parse_compare_args(&s(&["a", "b", "--bogus"])).is_err());
+        assert!(parse_compare_args(&s(&["a", "b", "--fail-on-regress"])).is_err());
+        assert!(parse_compare_args(&s(&["a", "b", "--fail-on-regress", "lots"])).is_err());
+        assert!(parse_compare_args(&s(&["a", "b", "--fail-on-regress", "-5"])).is_err());
+    }
+}

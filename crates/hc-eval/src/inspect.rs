@@ -6,9 +6,13 @@
 //! human-readable report: the run shape, a per-round regret table, a
 //! selection-explain summary (when the run was recorded with
 //! `HcConfig::explain_selection`), the per-round numerical-health
-//! telemetry of the Bayes updates, the audit findings, and the derived
-//! metrics. With `--prometheus FILE` the metrics are additionally
-//! written in Prometheus text exposition format.
+//! telemetry of the Bayes updates, the profiling span tree (when the
+//! run was recorded with `HcConfig::profile`), the audit findings, and
+//! the derived metrics. With `--prometheus FILE` the metrics are
+//! additionally written in Prometheus text exposition format. With
+//! `--json` the whole inspection — shape, regret table, health,
+//! profile, audit findings — is printed as one machine-readable JSON
+//! object instead of the console report.
 //!
 //! Exit code contract: error-severity findings (contract violations)
 //! fail the command; warnings only fail it under `--strict`.
@@ -16,8 +20,9 @@
 //! truncated trace still yields a partial report (plus the audit's
 //! truncation errors).
 
+use hc_core::telemetry::json::Json;
 use hc_core::telemetry::replay::parse_jsonl;
-use hc_core::telemetry::{audit, AuditReport, MetricsRegistry, ReplayedRun};
+use hc_core::telemetry::{audit, AuditReport, MetricsRegistry, ReplayedRun, Severity};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -228,6 +233,56 @@ fn render_report(
         }
     }
 
+    let _ = writeln!(out, "\n## profile");
+    match &replay.profile {
+        None => {
+            let _ = writeln!(
+                out,
+                "(no profile_report event — record with HcConfig::profile to get span timings)"
+            );
+        }
+        Some(p) => {
+            let _ = writeln!(out, "span tree (inclusive | self):");
+            for span in &p.spans {
+                let depth = span.path.matches('/').count();
+                let name = span.path.rsplit('/').next().unwrap_or(&span.path);
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{:<width$} ×{:<6} {:>10} | {:>10}",
+                    "",
+                    name,
+                    span.count,
+                    fmt_nanos(span.total_nanos as f64),
+                    fmt_nanos(span.self_nanos as f64),
+                    indent = depth * 2,
+                    width = 24usize.saturating_sub(depth * 2),
+                );
+            }
+            let _ = writeln!(out, "phase latency:");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "phase", "count", "total", "p50", "p95", "p99"
+            );
+            for ph in &p.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                    ph.phase,
+                    ph.count,
+                    fmt_nanos(ph.total_nanos as f64),
+                    fmt_nanos(ph.p50_nanos),
+                    fmt_nanos(ph.p95_nanos),
+                    fmt_nanos(ph.p99_nanos),
+                );
+            }
+            let _ = writeln!(out, "work counters:");
+            for (name, value) in &p.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+    }
+
     let _ = writeln!(out, "\n## audit");
     out.push_str(&audit.render());
 
@@ -236,43 +291,255 @@ fn render_report(
     out
 }
 
+/// Renders a nanosecond count at a human scale (ns/µs/ms/s).
+fn fmt_nanos(n: f64) -> String {
+    if !n.is_finite() {
+        "?".to_string()
+    } else if n >= 1e9 {
+        format!("{:.3}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.3}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.3}µs", n / 1e3)
+    } else {
+        format!("{n:.0}ns")
+    }
+}
+
+/// Builds a JSON object from string keys (helper for [`Inspection::to_json`]).
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn opt_f64(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, |n| Json::Num(n as f64))
+}
+
+impl Inspection {
+    /// The whole inspection as one machine-readable JSON object: run
+    /// shape and end, the per-round regret table, numerical health,
+    /// the profile (when recorded), and the audit findings. Key order
+    /// is sorted (BTreeMap encoding), so the output is deterministic;
+    /// the schema is snapshot-tested.
+    pub fn to_json(&self, name: &str) -> Json {
+        let shape = self.replay.shape.map_or(Json::Null, |s| {
+            obj(vec![
+                ("tasks", Json::Num(s.tasks as f64)),
+                ("facts", Json::Num(s.facts as f64)),
+                ("panel", Json::Num(s.panel as f64)),
+                ("budget", Json::Num(s.budget as f64)),
+                ("k", Json::Num(s.k as f64)),
+                ("entropy", Json::Num(s.entropy)),
+                ("quality", Json::Num(s.quality)),
+            ])
+        });
+        let end = self.replay.end.map_or(Json::Null, |e| {
+            obj(vec![
+                ("rounds", Json::Num(e.rounds as f64)),
+                ("budget_spent", Json::Num(e.budget_spent as f64)),
+                ("entropy", Json::Num(e.entropy)),
+                ("quality", Json::Num(e.quality)),
+                ("reason", Json::Str(e.reason.name().to_string())),
+            ])
+        });
+        let rounds: Vec<Json> = self
+            .replay
+            .rounds
+            .iter()
+            .map(|r| {
+                let selected: Vec<Json> = r
+                    .selected
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("step", Json::Num(s.step as f64)),
+                            ("task", Json::Num(s.task as f64)),
+                            ("fact", Json::Num(f64::from(s.fact))),
+                            ("gain", Json::Num(s.gain)),
+                            ("query_id", Json::Num(s.query_id as f64)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("round", Json::Num(r.round as f64)),
+                    ("k_requested", Json::Num(r.k_requested as f64)),
+                    ("k_effective", Json::Num(r.k_effective as f64)),
+                    ("entropy_before", Json::Num(r.entropy_before)),
+                    ("predicted_entropy", Json::Num(r.predicted_entropy)),
+                    ("realized_entropy", opt_f64(r.realized_entropy)),
+                    ("regret", opt_f64(r.regret())),
+                    ("quality", opt_f64(r.quality)),
+                    ("budget_spent", opt_u64(r.budget_spent)),
+                    ("answers_requested", Json::Num(r.answers_requested as f64)),
+                    ("answers_received", Json::Num(r.answers_received as f64)),
+                    ("dispatched", Json::Num(r.dispatched as f64)),
+                    ("delivered", Json::Num(r.delivered as f64)),
+                    ("timed_out", Json::Num(r.timed_out as f64)),
+                    ("dropped", Json::Num(r.dropped as f64)),
+                    ("retries", Json::Num(r.retries as f64)),
+                    ("faults", Json::Num(r.faults as f64)),
+                    ("candidates_scored", Json::Num(r.candidates_scored as f64)),
+                    ("selected", Json::Arr(selected)),
+                ])
+            })
+            .collect();
+        let health: Vec<Json> = self
+            .replay
+            .rounds
+            .iter()
+            .filter_map(|r| r.health.map(|h| (r.round, h)))
+            .map(|(round, h)| {
+                obj(vec![
+                    ("round", Json::Num(round as f64)),
+                    ("min_mass", Json::Num(h.min_mass)),
+                    ("renorm_scale", Json::Num(h.renorm_scale)),
+                    ("log_evidence", Json::Num(h.log_evidence)),
+                    ("clamp_count", Json::Num(h.clamp_count as f64)),
+                    ("rescued", Json::Bool(h.rescued)),
+                ])
+            })
+            .collect();
+        let findings: Vec<Json> = self
+            .audit
+            .findings
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    (
+                        "severity",
+                        Json::Str(match f.severity {
+                            Severity::Error => "error".to_string(),
+                            Severity::Warning => "warning".to_string(),
+                        }),
+                    ),
+                    ("code", Json::Str(f.code.to_string())),
+                    ("round", opt_u64(f.round.map(|r| r as u64))),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let audit = obj(vec![
+            ("error_count", Json::Num(self.audit.error_count() as f64)),
+            (
+                "warning_count",
+                Json::Num(self.audit.warning_count() as f64),
+            ),
+            ("findings", Json::Arr(findings)),
+        ]);
+        let profile = self.replay.profile.as_ref().map_or(Json::Null, |p| {
+            let spans: Vec<Json> = p
+                .spans
+                .iter()
+                .map(|s| {
+                    obj(vec![
+                        ("path", Json::Str(s.path.clone())),
+                        ("count", Json::Num(s.count as f64)),
+                        ("total_nanos", Json::Num(s.total_nanos as f64)),
+                        ("self_nanos", Json::Num(s.self_nanos as f64)),
+                    ])
+                })
+                .collect();
+            let phases: Vec<Json> = p
+                .phases
+                .iter()
+                .map(|ph| {
+                    obj(vec![
+                        ("phase", Json::Str(ph.phase.clone())),
+                        ("count", Json::Num(ph.count as f64)),
+                        ("total_nanos", Json::Num(ph.total_nanos as f64)),
+                        ("min_nanos", Json::Num(ph.min_nanos as f64)),
+                        ("max_nanos", Json::Num(ph.max_nanos as f64)),
+                        ("p50_nanos", Json::Num(ph.p50_nanos)),
+                        ("p95_nanos", Json::Num(ph.p95_nanos)),
+                        ("p99_nanos", Json::Num(ph.p99_nanos)),
+                    ])
+                })
+                .collect();
+            let counters: Vec<(&str, Json)> = p
+                .counters
+                .iter()
+                .map(|(n, v)| (n.as_str(), Json::Num(*v as f64)))
+                .collect();
+            obj(vec![
+                ("spans", Json::Arr(spans)),
+                ("phases", Json::Arr(phases)),
+                ("counters", obj(counters)),
+            ])
+        });
+        let skipped: Vec<Json> = self
+            .replay
+            .skipped
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("line", Json::Num(s.line as f64)),
+                    ("error", Json::Str(s.error.clone())),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("events", Json::Num(self.replay.events as f64)),
+            ("shape", shape),
+            ("end", end),
+            ("rounds", Json::Arr(rounds)),
+            ("health", Json::Arr(health)),
+            ("profile", profile),
+            ("audit", audit),
+            ("skipped", Json::Arr(skipped)),
+            (
+                "passes",
+                obj(vec![
+                    ("plain", Json::Bool(self.passes(false))),
+                    ("strict", Json::Bool(self.passes(true))),
+                ]),
+            ),
+        ])
+    }
+}
+
 /// Flags of the `inspect` subcommand.
 struct InspectArgs {
     trace: PathBuf,
     strict: bool,
+    json: bool,
     prometheus: Option<PathBuf>,
 }
 
 fn parse_inspect_args(args: &[String]) -> Result<InspectArgs, String> {
+    const USAGE: &str =
+        "usage: hc-eval inspect <run.jsonl> [--strict] [--json] [--prometheus FILE]";
     let mut trace: Option<PathBuf> = None;
     let mut strict = false;
+    let mut json = false;
     let mut prometheus: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--strict" => strict = true,
+            "--json" => json = true,
             "--prometheus" => {
                 let value = it
                     .next()
                     .ok_or_else(|| "missing value for --prometheus".to_string())?;
                 prometheus = Some(PathBuf::from(value));
             }
-            "--help" | "-h" => {
-                return Err("usage: hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]"
-                    .to_string())
-            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other if trace.is_none() && !other.starts_with('-') => {
                 trace = Some(PathBuf::from(other));
             }
             other => return Err(format!("unknown inspect flag {other:?}")),
         }
     }
-    let trace = trace.ok_or_else(|| {
-        "usage: hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]".to_string()
-    })?;
+    let trace = trace.ok_or_else(|| USAGE.to_string())?;
     Ok(InspectArgs {
         trace,
         strict,
+        json,
         prometheus,
     })
 }
@@ -297,7 +564,11 @@ pub fn run_cli(args: &[String]) -> ExitCode {
     };
     let name = parsed.trace.display().to_string();
     let inspection = inspect_str(&name, &text);
-    println!("{}", inspection.report);
+    if parsed.json {
+        println!("{}", inspection.to_json(&name));
+    } else {
+        println!("{}", inspection.report);
+    }
     if let Some(path) = &parsed.prometheus {
         if let Err(e) = std::fs::write(path, inspection.metrics.to_prometheus()) {
             eprintln!("error: cannot write {}: {e}", path.display());
@@ -473,14 +744,220 @@ mod tests {
         let ok = parse_inspect_args(&[
             "trace.jsonl".to_string(),
             "--strict".to_string(),
+            "--json".to_string(),
             "--prometheus".to_string(),
             "out.prom".to_string(),
         ])
         .unwrap();
         assert_eq!(ok.trace, PathBuf::from("trace.jsonl"));
         assert!(ok.strict);
+        assert!(ok.json);
         assert_eq!(ok.prometheus, Some(PathBuf::from("out.prom")));
+        assert!(!parse_inspect_args(&["trace.jsonl".to_string()]).unwrap().json);
         assert!(parse_inspect_args(&[]).is_err());
         assert!(parse_inspect_args(&["--bogus".to_string()]).is_err());
+    }
+
+    use hc_core::telemetry::{PhaseProfile, ProfileSpan};
+
+    /// The clean trace with a `profile_report` inserted before
+    /// `run_finished`, as a profiled run would emit it.
+    fn profiled_trace() -> String {
+        let profile = TelemetryEvent::ProfileReport {
+            spans: vec![
+                ProfileSpan {
+                    path: "select_queries".to_string(),
+                    count: 1,
+                    total_nanos: 1000,
+                    self_nanos: 400,
+                },
+                ProfileSpan {
+                    path: "select_queries/selection".to_string(),
+                    count: 1,
+                    total_nanos: 600,
+                    self_nanos: 600,
+                },
+            ],
+            phases: vec![PhaseProfile {
+                phase: "select_queries".to_string(),
+                count: 1,
+                total_nanos: 1000,
+                min_nanos: 1000,
+                max_nanos: 1000,
+                p50_nanos: 1000.0,
+                p95_nanos: 1000.0,
+                p99_nanos: 1000.0,
+            }],
+            counters: vec![
+                ("candidate_evals".to_string(), 3),
+                ("rescued_updates".to_string(), 0),
+            ],
+        };
+        let mut text = String::new();
+        for line in clean_trace().lines() {
+            if line.contains("run_finished") {
+                text.push_str(&profile.to_json_line());
+                text.push('\n');
+            }
+            text.push_str(line);
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn profile_section_renders_span_tree_phases_and_counters() {
+        let without = inspect_str("unit", &clean_trace());
+        assert!(without.report.contains("## profile"));
+        assert!(without.report.contains("no profile_report event"));
+
+        let with = inspect_str("unit", &profiled_trace());
+        assert!(with.passes(true), "{}", with.audit.render());
+        assert!(with.report.contains("## profile"));
+        assert!(with.report.contains("span tree (inclusive | self)"));
+        // The child path renders indented under its parent, by leaf name.
+        assert!(with.report.contains("select_queries"));
+        assert!(with.report.contains("  selection"));
+        assert!(with.report.contains("phase latency:"));
+        assert!(with.report.contains("1.000µs"));
+        assert!(with.report.contains("candidate_evals = 3"));
+    }
+
+    fn keys(j: &Json) -> Vec<&str> {
+        match j {
+            Json::Obj(m) => m.keys().map(String::as_str).collect(),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_mode_is_a_stable_schema_snapshot() {
+        let inspection = inspect_str("unit", &profiled_trace());
+        let rendered = inspection.to_json("unit").to_string();
+        // The output is a single line of JSON that parses back.
+        assert_eq!(rendered.lines().count(), 1);
+        let parsed = hc_core::telemetry::json::parse(&rendered).expect("inspect JSON parses");
+
+        assert_eq!(
+            keys(&parsed),
+            [
+                "audit", "end", "events", "health", "name", "passes", "profile", "rounds",
+                "shape", "skipped"
+            ]
+        );
+        assert_eq!(
+            keys(parsed.get("shape").unwrap()),
+            ["budget", "entropy", "facts", "k", "panel", "quality", "tasks"]
+        );
+        assert_eq!(
+            keys(parsed.get("end").unwrap()),
+            ["budget_spent", "entropy", "quality", "reason", "rounds"]
+        );
+        assert_eq!(
+            parsed.get("end").unwrap().get("reason").unwrap().as_str(),
+            Some("max_rounds")
+        );
+
+        let rounds = parsed.get("rounds").unwrap().as_arr().unwrap();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(
+            keys(&rounds[0]),
+            [
+                "answers_received",
+                "answers_requested",
+                "budget_spent",
+                "candidates_scored",
+                "delivered",
+                "dispatched",
+                "dropped",
+                "entropy_before",
+                "faults",
+                "k_effective",
+                "k_requested",
+                "predicted_entropy",
+                "quality",
+                "realized_entropy",
+                "regret",
+                "retries",
+                "round",
+                "selected",
+                "timed_out"
+            ]
+        );
+        let regret = rounds[0].get("regret").unwrap().as_f64().unwrap();
+        assert!((regret - (1.4 - 1.5)).abs() < 1e-12, "regret {regret}");
+        let selected = rounds[0].get("selected").unwrap().as_arr().unwrap();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(
+            keys(&selected[0]),
+            ["fact", "gain", "query_id", "step", "task"]
+        );
+
+        let health = parsed.get("health").unwrap().as_arr().unwrap();
+        assert_eq!(health.len(), 1);
+        assert_eq!(
+            keys(&health[0]),
+            [
+                "clamp_count", "log_evidence", "min_mass", "renorm_scale", "rescued", "round"
+            ]
+        );
+
+        let profile = parsed.get("profile").unwrap();
+        assert_eq!(keys(profile), ["counters", "phases", "spans"]);
+        assert_eq!(
+            profile
+                .get("counters")
+                .unwrap()
+                .get("candidate_evals")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            keys(&profile.get("spans").unwrap().as_arr().unwrap()[0]),
+            ["count", "path", "self_nanos", "total_nanos"]
+        );
+        assert_eq!(
+            keys(&profile.get("phases").unwrap().as_arr().unwrap()[0]),
+            [
+                "count", "max_nanos", "min_nanos", "p50_nanos", "p95_nanos", "p99_nanos",
+                "phase", "total_nanos"
+            ]
+        );
+
+        let audit = parsed.get("audit").unwrap();
+        assert_eq!(keys(audit), ["error_count", "findings", "warning_count"]);
+        assert_eq!(audit.get("error_count").unwrap().as_u64(), Some(0));
+
+        let passes = parsed.get("passes").unwrap();
+        assert_eq!(passes.get("plain").unwrap().as_bool(), Some(true));
+        assert_eq!(passes.get("strict").unwrap().as_bool(), Some(true));
+
+        // A profile-less trace serialises `"profile": null`.
+        let plain = inspect_str("unit", &clean_trace());
+        assert!(plain
+            .to_json("unit")
+            .to_string()
+            .contains("\"profile\":null"));
+    }
+
+    #[test]
+    fn json_mode_surfaces_audit_findings() {
+        let full = clean_trace();
+        let truncated: String = full.lines().take(2).flat_map(|l| [l, "\n"]).collect();
+        let inspection = inspect_str("unit", &truncated);
+        let json = inspection.to_json("unit");
+        let audit = json.get("audit").unwrap();
+        assert!(audit.get("error_count").unwrap().as_u64().unwrap() > 0);
+        let findings = audit.get("findings").unwrap().as_arr().unwrap();
+        assert!(!findings.is_empty());
+        assert_eq!(
+            keys(&findings[0]),
+            ["code", "message", "round", "severity"]
+        );
+        assert_eq!(
+            json.get("passes").unwrap().get("plain").unwrap().as_bool(),
+            Some(false)
+        );
     }
 }

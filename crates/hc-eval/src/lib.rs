@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare_cli;
 pub mod curve;
 pub mod experiments;
 pub mod inspect;

@@ -4,16 +4,19 @@
 //! hc-eval [--experiment fig2|…|table3|ext-cost|…|all|ext]
 //!         [--scale quick|paper] [--seed N] [--out DIR] [--charts]
 //!         [--threads auto|serial|N]
-//! hc-eval inspect <run.jsonl> [--strict] [--prometheus FILE]
+//! hc-eval inspect <run.jsonl> [--strict] [--json] [--prometheus FILE]
+//! hc-eval compare <a> <b> [--json] [--fail-on-regress PCT]
 //! hc-eval session <run|resume> --out DIR [--checkpoint-every N] …
 //! ```
 //!
 //! Prints the paper-style tables to stdout (plus ASCII charts with
 //! `--charts`) and writes raw curves as JSON under `--out` (default
 //! `results/`). The `inspect` subcommand replays and audits a
-//! recorded telemetry trace; see [`hc_eval::inspect`]. The `session`
-//! subcommand runs a crash-safe checkpointed session and resumes it
-//! after a kill; see [`hc_eval::session_cli`].
+//! recorded telemetry trace; see [`hc_eval::inspect`]. The `compare`
+//! subcommand diffs two traces or two stamped `BENCH_*.json` files and
+//! can gate on latency regressions; see [`hc_eval::compare_cli`]. The
+//! `session` subcommand runs a crash-safe checkpointed session and
+//! resumes it after a kill; see [`hc_eval::session_cli`].
 
 use hc_eval::{
     run_experiment, write_json, ExpSettings, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
@@ -90,6 +93,9 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("inspect") {
         return hc_eval::inspect::run_cli(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("compare") {
+        return hc_eval::compare_cli::run_cli(&raw[1..]);
     }
     if raw.first().map(String::as_str) == Some("session") {
         return hc_eval::session_cli::run_cli(&raw[1..]);

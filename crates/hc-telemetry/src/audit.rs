@@ -538,6 +538,10 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                     });
                 }
             }
+            TelemetryEvent::ProfileReport { .. } => {
+                // Wall-clock profiling metadata; carries no replayable
+                // state and is exempt from the stream grammar.
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -688,6 +692,20 @@ mod tests {
         let report = audit(&clean_run());
         assert!(report.is_clean(), "{}", report.render());
         assert!(report.render().contains("clean"));
+    }
+
+    #[test]
+    fn profile_report_is_exempt_from_the_grammar() {
+        let mut events = clean_run();
+        let end = events.pop().expect("run_finished");
+        events.push(E::ProfileReport {
+            spans: Vec::new(),
+            phases: Vec::new(),
+            counters: vec![("candidate_evals".to_string(), 4)],
+        });
+        events.push(end);
+        let report = audit(&events);
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

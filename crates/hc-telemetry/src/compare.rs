@@ -1,0 +1,710 @@
+//! Cross-run comparison: diff two traces or two `BENCH_*.json` files.
+//!
+//! The perf observatory's question is always the same — *did anything
+//! move?* — asked of two artifacts:
+//!
+//! - **Two JSONL traces** (replayed via [`crate::replay`]): the
+//!   per-round entropy/spend trajectories are compared bit-exactly
+//!   (two runs of the same seeded config must not diverge at all; a
+//!   serial and an 8-thread run of the same config must diverge in
+//!   *timings only*), phase latencies come from each trace's
+//!   [`TelemetryEvent::ProfileReport`], and work counters are reported
+//!   as ratios.
+//! - **Two stamped bench files** (see `hc-bench`'s harness): every
+//!   numeric leaf under `results` is flattened to a dotted key and
+//!   diffed.
+//!
+//! Latency keys are *gated* — eligible to fail a regression check —
+//! when they are p95 estimates or point measurements (the
+//! min-of-repeats and per-step numbers the micro-benches emit).
+//! Distribution companions (`min`/`max`/`mean`/`total`/`p50`/`p99`)
+//! and non-latency leaves (counts, speedups, byte sizes) never gate:
+//! they either duplicate the gated signal or move legitimately.
+//!
+//! `hc-eval compare <a> <b> [--json] [--fail-on-regress PCT]` is the
+//! CLI surface; CI runs it against the committed baselines.
+
+use crate::json::{self, Json};
+use crate::replay::ReplayedRun;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed comparison input.
+#[derive(Debug, Clone)]
+pub enum Side {
+    /// A JSONL event trace, replayed.
+    Trace(Box<ReplayedRun>),
+    /// A single-object bench JSON document.
+    Bench(Json),
+}
+
+/// Classifies and parses one input text: a single JSON object without
+/// a `type` field is a bench document; anything else is treated as a
+/// JSONL trace (replay skips unparseable lines and reports them).
+pub fn load(text: &str) -> Side {
+    if let Ok(v @ Json::Obj(_)) = json::parse(text.trim()) {
+        if v.get("type").is_none() {
+            return Side::Bench(v);
+        }
+    }
+    Side::Trace(Box::new(ReplayedRun::from_jsonl(text)))
+}
+
+/// How far two runs' per-round trajectories drift apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryDiff {
+    /// Completed rounds in each run.
+    pub rounds_a: usize,
+    /// Completed rounds in the other run.
+    pub rounds_b: usize,
+    /// First 1-based round where the entropy (bit-compared) or spend
+    /// differs, or where one trajectory ends; `None` when identical.
+    pub first_divergent_round: Option<usize>,
+    /// Largest `|entropy_a − entropy_b|` over the common prefix.
+    pub max_abs_entropy_diff: f64,
+    /// Largest `|spend_a − spend_b|` over the common prefix.
+    pub max_abs_spend_diff: u64,
+}
+
+impl TrajectoryDiff {
+    /// Whether the two trajectories are identical to the bit.
+    pub fn is_identical(&self) -> bool {
+        self.first_divergent_round.is_none()
+    }
+
+    fn of(a: &ReplayedRun, b: &ReplayedRun) -> TrajectoryDiff {
+        let (ea, eb) = (a.entropy_trajectory(), b.entropy_trajectory());
+        let (sa, sb) = (a.spend_trajectory(), b.spend_trajectory());
+        let rounds = ea.len().min(eb.len()).min(sa.len()).min(sb.len());
+        let mut first = None;
+        let mut max_e = 0.0f64;
+        let mut max_s = 0u64;
+        for i in 0..rounds {
+            let diverged = ea[i].to_bits() != eb[i].to_bits() || sa[i] != sb[i];
+            if diverged && first.is_none() {
+                first = Some(i + 1);
+            }
+            max_e = max_e.max((ea[i] - eb[i]).abs());
+            max_s = max_s.max(sa[i].abs_diff(sb[i]));
+        }
+        if first.is_none() && (ea.len() != eb.len() || sa.len() != sb.len()) {
+            first = Some(rounds + 1);
+        }
+        TrajectoryDiff {
+            rounds_a: ea.len(),
+            rounds_b: eb.len(),
+            first_divergent_round: first,
+            max_abs_entropy_diff: max_e,
+            max_abs_spend_diff: max_s,
+        }
+    }
+}
+
+/// One diffed numeric metric (a dotted key into either artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted key, e.g. `phase.selection.p95_nanos` or
+    /// `points.2.parallel_nanos`.
+    pub key: String,
+    /// Value in the first artifact (`NaN` when absent there).
+    pub a: f64,
+    /// Value in the second artifact (`NaN` when absent there).
+    pub b: f64,
+    /// Whether the key is eligible to fail a regression check.
+    pub gated: bool,
+}
+
+impl MetricDelta {
+    /// `b / a`, or `NaN` when undefined.
+    pub fn ratio(&self) -> f64 {
+        if self.a > 0.0 {
+            self.b / self.a
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// `(b − a) / a` in percent, or `NaN` when undefined.
+    pub fn delta_pct(&self) -> f64 {
+        (self.ratio() - 1.0) * 100.0
+    }
+
+    /// Whether this metric regressed by more than `pct` percent.
+    pub fn regressed_by(&self, pct: f64) -> bool {
+        self.gated && self.a > 0.0 && self.b.is_finite() && self.b > self.a * (1.0 + pct / 100.0)
+    }
+}
+
+/// A work counter's value in both runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// The counter's stable name.
+    pub name: String,
+    /// Value in the first run (0 when absent).
+    pub a: u64,
+    /// Value in the second run (0 when absent).
+    pub b: u64,
+}
+
+impl CounterDelta {
+    /// `b / a`, or `NaN` when `a` is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.a > 0 {
+            self.b as f64 / self.a as f64
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The outcome of comparing two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// `"trace"` or `"bench"`.
+    pub mode: &'static str,
+    /// Trajectory divergence (trace mode only).
+    pub trajectory: Option<TrajectoryDiff>,
+    /// Diffed numeric metrics, sorted by key.
+    pub metrics: Vec<MetricDelta>,
+    /// Work-counter ratios (trace mode only), sorted by name.
+    pub counters: Vec<CounterDelta>,
+    /// Human-readable observations (metadata mismatches, one-sided
+    /// phases, missing profiles).
+    pub notes: Vec<String>,
+}
+
+/// Compares two artifacts given their raw texts. Returns an error when
+/// the inputs are of different kinds (a trace cannot be diffed against
+/// a bench document).
+pub fn compare_str(a: &str, b: &str) -> Result<CompareReport, String> {
+    match (load(a), load(b)) {
+        (Side::Trace(a), Side::Trace(b)) => Ok(compare_traces(&a, &b)),
+        (Side::Bench(a), Side::Bench(b)) => Ok(compare_bench(&a, &b)),
+        (Side::Trace(_), Side::Bench(_)) => {
+            Err("first input is a trace, second is a bench document".to_string())
+        }
+        (Side::Bench(_), Side::Trace(_)) => {
+            Err("first input is a bench document, second is a trace".to_string())
+        }
+    }
+}
+
+/// Diffs two replayed runs: trajectories bit-exactly, phase latencies
+/// from their `ProfileReport`s, counters as ratios.
+pub fn compare_traces(a: &ReplayedRun, b: &ReplayedRun) -> CompareReport {
+    let mut notes = Vec::new();
+    for (run, label) in [(a, "first"), (b, "second")] {
+        if !run.skipped.is_empty() {
+            notes.push(format!(
+                "{label} trace: {} unparseable line(s) skipped",
+                run.skipped.len()
+            ));
+        }
+        if run.profile.is_none() {
+            notes.push(format!(
+                "{label} trace has no profile_report (run without HcConfig::profile?); \
+                 phase latencies unavailable"
+            ));
+        }
+    }
+
+    let mut metrics = Vec::new();
+    let mut counters = Vec::new();
+    let empty = crate::replay::RunProfile::default();
+    let pa = a.profile.as_ref().unwrap_or(&empty);
+    let pb = b.profile.as_ref().unwrap_or(&empty);
+
+    let mut phase_names: Vec<&str> = pa
+        .phases
+        .iter()
+        .chain(pb.phases.iter())
+        .map(|p| p.phase.as_str())
+        .collect();
+    phase_names.sort_unstable();
+    phase_names.dedup();
+    for name in phase_names {
+        let (xa, xb) = (pa.phase(name), pb.phase(name));
+        if xa.is_none() || xb.is_none() {
+            notes.push(format!(
+                "phase `{name}` sampled in only one run ({} vs {} spans)",
+                xa.map_or(0, |p| p.count),
+                xb.map_or(0, |p| p.count)
+            ));
+        }
+        let field = |p: Option<&crate::event::PhaseProfile>, f: fn(&crate::event::PhaseProfile) -> f64| {
+            p.map_or(f64::NAN, f)
+        };
+        for (metric, fa) in [
+            ("total_nanos", (|p| p.total_nanos as f64) as fn(&crate::event::PhaseProfile) -> f64),
+            ("p50_nanos", |p| p.p50_nanos),
+            ("p95_nanos", |p| p.p95_nanos),
+            ("p99_nanos", |p| p.p99_nanos),
+        ] {
+            metrics.push(MetricDelta {
+                key: format!("phase.{name}.{metric}"),
+                a: field(xa, fa),
+                b: field(xb, fa),
+                gated: metric == "p95_nanos",
+            });
+        }
+    }
+
+    let mut counter_names: Vec<&str> = pa
+        .counters
+        .iter()
+        .chain(pb.counters.iter())
+        .map(|(n, _)| n.as_str())
+        .collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    for name in counter_names {
+        counters.push(CounterDelta {
+            name: name.to_string(),
+            a: pa.counter(name).unwrap_or(0),
+            b: pb.counter(name).unwrap_or(0),
+        });
+    }
+
+    CompareReport {
+        mode: "trace",
+        trajectory: Some(TrajectoryDiff::of(a, b)),
+        metrics,
+        counters,
+        notes,
+    }
+}
+
+/// Diffs two bench documents: every numeric leaf under `results`
+/// (falling back to the whole object for unstamped legacy files) is
+/// flattened to a dotted key and compared.
+pub fn compare_bench(a: &Json, b: &Json) -> CompareReport {
+    let mut notes = Vec::new();
+    for key in ["bench", "threads", "commit", "schema_version"] {
+        let (xa, xb) = (render_meta(a.get(key)), render_meta(b.get(key)));
+        if xa != xb {
+            notes.push(format!("metadata `{key}` differs: {xa} vs {xb}"));
+        }
+    }
+    let results = |v: &Json| -> BTreeMap<String, f64> {
+        let mut leaves = BTreeMap::new();
+        flatten(v.get("results").unwrap_or(v), String::new(), &mut leaves);
+        leaves
+    };
+    let (la, lb) = (results(a), results(b));
+    let mut keys: Vec<&String> = la.keys().chain(lb.keys()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let metrics = keys
+        .into_iter()
+        .map(|key| MetricDelta {
+            key: key.clone(),
+            a: la.get(key).copied().unwrap_or(f64::NAN),
+            b: lb.get(key).copied().unwrap_or(f64::NAN),
+            gated: gated_key(key),
+        })
+        .collect();
+    CompareReport {
+        mode: "bench",
+        trajectory: None,
+        metrics,
+        counters: Vec::new(),
+        notes,
+    }
+}
+
+fn render_meta(v: Option<&Json>) -> String {
+    match v {
+        None => "(absent)".to_string(),
+        Some(v) => v.to_string(),
+    }
+}
+
+/// Flattens numeric leaves into dotted keys (`points.1.serial_nanos`).
+fn flatten(v: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Json::Bool(b) => {
+            out.insert(prefix, if *b { 1.0 } else { 0.0 });
+        }
+        Json::Obj(map) => {
+            for (k, x) in map {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(x, key, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, x) in items.iter().enumerate() {
+                flatten(x, format!("{prefix}.{i}"), out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+/// Whether a dotted key is eligible to fail a regression check: p95
+/// estimates and point latency measurements gate; distribution
+/// companions and non-latency leaves never do.
+fn gated_key(key: &str) -> bool {
+    let last = key.rsplit('.').next().unwrap_or(key);
+    if !last.contains("nanos") {
+        return false;
+    }
+    !matches!(
+        last,
+        "min_nanos" | "max_nanos" | "mean_nanos" | "total_nanos" | "p50_nanos" | "p99_nanos"
+    )
+}
+
+impl CompareReport {
+    /// The gated metrics that regressed by more than `pct` percent.
+    pub fn regressions(&self, pct: f64) -> Vec<&MetricDelta> {
+        self.metrics.iter().filter(|m| m.regressed_by(pct)).collect()
+    }
+
+    /// Renders the report as console text; when `fail_on_regress` is
+    /// set, a regression section (and only then) lists the offenders.
+    pub fn render(&self, fail_on_regress: Option<f64>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "compare: {} vs {}", self.mode, self.mode);
+        if let Some(t) = &self.trajectory {
+            let _ = writeln!(
+                out,
+                "-- trajectory --\nrounds {} vs {}; {}; max |Δentropy| {:e}, max |Δspend| {}",
+                t.rounds_a,
+                t.rounds_b,
+                match t.first_divergent_round {
+                    None => "identical to the bit".to_string(),
+                    Some(r) => format!("first divergence at round {r}"),
+                },
+                t.max_abs_entropy_diff,
+                t.max_abs_spend_diff,
+            );
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "-- latency --");
+            let width = self.metrics.iter().map(|m| m.key.len()).max().unwrap_or(3).max(3);
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>14} {:>14} {:>8} {:>9}  gated",
+                "key", "a", "b", "ratio", "delta_pct"
+            );
+            for m in &self.metrics {
+                let _ = writeln!(
+                    out,
+                    "{:<width$} {:>14.1} {:>14.1} {:>8.3} {:>8.1}%  {}",
+                    m.key,
+                    m.a,
+                    m.b,
+                    m.ratio(),
+                    m.delta_pct(),
+                    if m.gated { "yes" } else { "-" },
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "-- counters --");
+            let width = self.counters.iter().map(|c| c.name.len()).max().unwrap_or(4).max(4);
+            for c in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "{:<width$} {:>14} {:>14} {:>8.3}",
+                    c.name,
+                    c.a,
+                    c.b,
+                    c.ratio()
+                );
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        if let Some(pct) = fail_on_regress {
+            let offenders = self.regressions(pct);
+            if offenders.is_empty() {
+                let _ = writeln!(out, "regression gate ({pct}%): clean");
+            } else {
+                let _ = writeln!(out, "regression gate ({pct}%): {} offender(s)", offenders.len());
+                for m in offenders {
+                    let _ = writeln!(out, "  {} +{:.1}% ({:.0} -> {:.0})", m.key, m.delta_pct(), m.a, m.b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises the report as a JSON document.
+    pub fn to_json(&self, fail_on_regress: Option<f64>) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("mode".to_string(), Json::Str(self.mode.to_string()));
+        if let Some(t) = &self.trajectory {
+            let mut obj = BTreeMap::new();
+            obj.insert("rounds_a".to_string(), Json::Num(t.rounds_a as f64));
+            obj.insert("rounds_b".to_string(), Json::Num(t.rounds_b as f64));
+            obj.insert(
+                "first_divergent_round".to_string(),
+                match t.first_divergent_round {
+                    None => Json::Null,
+                    Some(r) => Json::Num(r as f64),
+                },
+            );
+            obj.insert("identical".to_string(), Json::Bool(t.is_identical()));
+            obj.insert(
+                "max_abs_entropy_diff".to_string(),
+                Json::Num(t.max_abs_entropy_diff),
+            );
+            obj.insert(
+                "max_abs_spend_diff".to_string(),
+                Json::Num(t.max_abs_spend_diff as f64),
+            );
+            root.insert("trajectory".to_string(), Json::Obj(obj));
+        }
+        root.insert(
+            "metrics".to_string(),
+            Json::Arr(
+                self.metrics
+                    .iter()
+                    .map(|m| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("key".to_string(), Json::Str(m.key.clone()));
+                        obj.insert("a".to_string(), Json::Num(m.a));
+                        obj.insert("b".to_string(), Json::Num(m.b));
+                        obj.insert("ratio".to_string(), Json::Num(m.ratio()));
+                        obj.insert("delta_pct".to_string(), Json::Num(m.delta_pct()));
+                        obj.insert("gated".to_string(), Json::Bool(m.gated));
+                        Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "counters".to_string(),
+            Json::Arr(
+                self.counters
+                    .iter()
+                    .map(|c| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("name".to_string(), Json::Str(c.name.clone()));
+                        obj.insert("a".to_string(), Json::Num(c.a as f64));
+                        obj.insert("b".to_string(), Json::Num(c.b as f64));
+                        obj.insert("ratio".to_string(), Json::Num(c.ratio()));
+                        Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "notes".to_string(),
+            Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        );
+        if let Some(pct) = fail_on_regress {
+            root.insert("fail_on_regress_pct".to_string(), Json::Num(pct));
+            root.insert(
+                "regressions".to_string(),
+                Json::Arr(
+                    self.regressions(pct)
+                        .iter()
+                        .map(|m| Json::Str(m.key.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        Json::Obj(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::tests::sample_events;
+    use crate::event::TelemetryEvent;
+
+    fn trace_text(scale: u64) -> String {
+        // The shared sample stream with its profile timings scaled, so
+        // two texts share trajectories but differ in latency.
+        let mut text = String::new();
+        for event in sample_events() {
+            let event = match event {
+                TelemetryEvent::ProfileReport {
+                    mut spans,
+                    mut phases,
+                    counters,
+                } => {
+                    for s in &mut spans {
+                        s.total_nanos *= scale;
+                        s.self_nanos *= scale;
+                    }
+                    for p in &mut phases {
+                        p.total_nanos *= scale;
+                        p.p50_nanos *= scale as f64;
+                        p.p95_nanos *= scale as f64;
+                        p.p99_nanos *= scale as f64;
+                    }
+                    TelemetryEvent::ProfileReport {
+                        spans,
+                        phases,
+                        counters,
+                    }
+                }
+                e => e,
+            };
+            text.push_str(&event.to_json_line());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn identical_traces_report_zero_divergence() {
+        let text = trace_text(1);
+        let report = compare_str(&text, &text).expect("same kind");
+        assert_eq!(report.mode, "trace");
+        let t = report.trajectory.as_ref().expect("trace mode");
+        assert!(t.is_identical());
+        assert_eq!(t.max_abs_entropy_diff, 0.0);
+        assert_eq!(t.max_abs_spend_diff, 0);
+        assert!(report.regressions(0.0).is_empty());
+        // Counters ratio 1.0 for non-zero counters.
+        let evals = report
+            .counters
+            .iter()
+            .find(|c| c.name == "candidate_evals")
+            .expect("counter diffed");
+        assert_eq!(evals.ratio(), 1.0);
+    }
+
+    #[test]
+    fn same_trajectory_different_timings_gates_only_latency() {
+        let report = compare_str(&trace_text(1), &trace_text(10)).expect("same kind");
+        let t = report.trajectory.as_ref().expect("trace mode");
+        assert!(t.is_identical(), "timings must not affect the trajectory");
+        let p95 = report
+            .metrics
+            .iter()
+            .find(|m| m.key == "phase.selection.p95_nanos")
+            .expect("phase diffed");
+        assert!(p95.gated);
+        assert!((p95.ratio() - 10.0).abs() < 1e-9);
+        let offenders = report.regressions(25.0);
+        assert!(!offenders.is_empty());
+        assert!(offenders.iter().all(|m| m.key.ends_with("p95_nanos")));
+        // The reverse direction is an improvement, not a regression.
+        let reverse = compare_str(&trace_text(10), &trace_text(1)).expect("same kind");
+        assert!(reverse.regressions(25.0).is_empty());
+    }
+
+    #[test]
+    fn diverging_trajectories_are_located() {
+        let a = trace_text(1);
+        // Perturb the entropy of the round's update in the second run.
+        let b = a.replace("\"entropy\":2.75", "\"entropy\":2.745");
+        assert_ne!(a, b);
+        let report = compare_str(&a, &b).expect("same kind");
+        let t = report.trajectory.as_ref().expect("trace mode");
+        assert_eq!(t.first_divergent_round, Some(1));
+        assert!((t.max_abs_entropy_diff - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_documents_flatten_and_gate_point_latencies() {
+        let a = r#"{"schema_version":1,"bench":"parallel_bench","threads":8,"commit":"aaa",
+                    "results":{"points":[{"n":256,"serial_nanos":1000,"parallel_nanos":400,"speedup":2.5}],
+                               "identical":true}}"#;
+        let b = r#"{"schema_version":1,"bench":"parallel_bench","threads":8,"commit":"bbb",
+                    "results":{"points":[{"n":256,"serial_nanos":1000,"parallel_nanos":900,"speedup":1.1}],
+                               "identical":true}}"#;
+        let report = compare_str(a, b).expect("same kind");
+        assert_eq!(report.mode, "bench");
+        assert!(report.notes.iter().any(|n| n.contains("commit")));
+        let m = report
+            .metrics
+            .iter()
+            .find(|m| m.key == "points.0.parallel_nanos")
+            .expect("flattened");
+        assert!(m.gated);
+        assert!(m.regressed_by(25.0));
+        let speedup = report
+            .metrics
+            .iter()
+            .find(|m| m.key == "points.0.speedup")
+            .expect("flattened");
+        assert!(!speedup.gated, "speedups never gate");
+        assert_eq!(report.regressions(25.0).len(), 1);
+        // Within tolerance passes.
+        assert!(report.regressions(200.0).is_empty());
+    }
+
+    #[test]
+    fn mixed_kinds_are_an_error() {
+        let bench = r#"{"schema_version":1,"results":{"x_nanos":1}}"#;
+        let trace = trace_text(1);
+        assert!(compare_str(bench, &trace).is_err());
+        assert!(compare_str(&trace, bench).is_err());
+    }
+
+    #[test]
+    fn distribution_companions_never_gate() {
+        for key in [
+            "phase.selection.min_nanos",
+            "phase.selection.max_nanos",
+            "phase.selection.mean_nanos",
+            "phase.selection.total_nanos",
+            "phase.selection.p50_nanos",
+            "phase.selection.p99_nanos",
+            "frame_bytes",
+            "points.0.n",
+        ] {
+            assert!(!gated_key(key), "{key}");
+        }
+        for key in [
+            "phase.selection.p95_nanos",
+            "encode_nanos_per_step",
+            "trace_scan_nanos",
+            "points.0.serial_nanos",
+        ] {
+            assert!(gated_key(key), "{key}");
+        }
+    }
+
+    #[test]
+    fn render_and_json_carry_the_verdict() {
+        let report = compare_str(&trace_text(1), &trace_text(10)).expect("same kind");
+        let text = report.render(Some(25.0));
+        assert!(text.contains("identical to the bit"));
+        assert!(text.contains("regression gate (25%)"));
+        assert!(text.contains("offender"));
+        let v = report.to_json(Some(25.0));
+        let parsed = json::parse(&v.to_string()).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("trajectory")
+                .and_then(|t| t.get("identical"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(!parsed.get("regressions").unwrap().as_arr().unwrap().is_empty());
+        // Clean gate renders clean.
+        let clean = compare_str(&trace_text(1), &trace_text(1)).expect("same kind");
+        assert!(clean.render(Some(25.0)).contains("clean"));
+    }
+
+    #[test]
+    fn missing_profiles_are_noted_not_fatal() {
+        let mut text = String::new();
+        for event in sample_events() {
+            if !matches!(event, TelemetryEvent::ProfileReport { .. }) {
+                text.push_str(&event.to_json_line());
+                text.push('\n');
+            }
+        }
+        let report = compare_str(&text, &text).expect("same kind");
+        assert!(report.metrics.is_empty());
+        assert!(report.notes.iter().any(|n| n.contains("no profile_report")));
+        assert!(report.trajectory.as_ref().unwrap().is_identical());
+    }
+}

@@ -111,6 +111,44 @@ impl StopReason {
     }
 }
 
+/// One aggregated span-tree path in a [`TelemetryEvent::ProfileReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpan {
+    /// `/`-joined phase names from the root of the span tree, e.g.
+    /// `select_queries/selection/scoring`.
+    pub path: String,
+    /// Number of spans aggregated into this path.
+    pub count: u64,
+    /// Inclusive wall-clock nanoseconds.
+    pub total_nanos: u64,
+    /// Self nanoseconds (inclusive minus direct children's inclusive).
+    pub self_nanos: u64,
+}
+
+/// Flat latency stats for one phase in a
+/// [`TelemetryEvent::ProfileReport`]. Quantiles are estimated from the
+/// log-scale buckets at snapshot time so trace consumers never need
+/// the raw histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// The phase's stable snake_case name.
+    pub phase: String,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_nanos: u64,
+    /// Fastest span, in nanoseconds.
+    pub min_nanos: u64,
+    /// Slowest span, in nanoseconds.
+    pub max_nanos: u64,
+    /// Estimated median span duration, in nanoseconds.
+    pub p50_nanos: f64,
+    /// Estimated 95th-percentile span duration, in nanoseconds.
+    pub p95_nanos: f64,
+    /// Estimated 99th-percentile span duration, in nanoseconds.
+    pub p99_nanos: f64,
+}
+
 /// One structured event in an HC run's telemetry stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
@@ -305,6 +343,21 @@ pub enum TelemetryEvent {
         /// Whether any task's update needed the log-domain rescue path.
         rescued: bool,
     },
+    /// End-of-run profile from the session thread's timing state:
+    /// the hierarchical span tree, flat per-phase latency stats, and
+    /// deterministic work counters. Emitted just before
+    /// [`TelemetryEvent::RunFinished`] when profiling is enabled
+    /// (`HcConfig::profile`); timings are wall-clock and therefore
+    /// **not** reproducible across runs, which is why the event is
+    /// opt-in and ignored by the replay fold's state reconstruction.
+    ProfileReport {
+        /// Span-tree paths in depth-first order.
+        spans: Vec<ProfileSpan>,
+        /// Per-phase latency stats (phases with at least one span).
+        phases: Vec<PhaseProfile>,
+        /// Work counters, sorted by counter name.
+        counters: Vec<(String, u64)>,
+    },
     /// The loop terminated.
     RunFinished {
         /// Rounds executed.
@@ -336,7 +389,51 @@ impl TelemetryEvent {
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::BeliefUpdated { .. } => "belief_updated",
             TelemetryEvent::NumericalHealth { .. } => "numerical_health",
+            TelemetryEvent::ProfileReport { .. } => "profile_report",
             TelemetryEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// Builds a [`TelemetryEvent::ProfileReport`] from a thread's
+    /// timing snapshot. Phases with no spans are omitted; counters are
+    /// emitted for every [`crate::timing::Counter`], sorted by name.
+    pub fn profile_report(snap: &crate::timing::TimingSnapshot) -> Self {
+        let spans = snap
+            .tree_nodes()
+            .iter()
+            .map(|n| ProfileSpan {
+                path: n.path.clone(),
+                count: n.count,
+                total_nanos: n.total_nanos,
+                self_nanos: n.self_nanos,
+            })
+            .collect();
+        let phases = crate::timing::PHASES
+            .into_iter()
+            .filter(|&p| snap.count(p) > 0)
+            .map(|p| {
+                let (min_nanos, max_nanos) = snap.min_max_nanos(p).unwrap_or((0, 0));
+                PhaseProfile {
+                    phase: p.name().to_string(),
+                    count: snap.count(p),
+                    total_nanos: snap.total_nanos(p),
+                    min_nanos,
+                    max_nanos,
+                    p50_nanos: snap.quantile_nanos(p, 0.50).unwrap_or(f64::NAN),
+                    p95_nanos: snap.quantile_nanos(p, 0.95).unwrap_or(f64::NAN),
+                    p99_nanos: snap.quantile_nanos(p, 0.99).unwrap_or(f64::NAN),
+                }
+            })
+            .collect();
+        let mut counters: Vec<(String, u64)> = crate::timing::COUNTERS
+            .into_iter()
+            .map(|c| (c.name().to_string(), snap.counter(c)))
+            .collect();
+        counters.sort();
+        TelemetryEvent::ProfileReport {
+            spans,
+            phases,
+            counters,
         }
     }
 
@@ -526,6 +623,51 @@ impl TelemetryEvent {
                 push_f64(&mut s, "log_evidence", *log_evidence);
                 let _ = write!(s, ",\"clamp_count\":{clamp_count},\"rescued\":{rescued}");
             }
+            TelemetryEvent::ProfileReport {
+                spans,
+                phases,
+                counters,
+            } => {
+                s.push_str(",\"spans\":[");
+                for (i, sp) in spans.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"path\":");
+                    json::write_str(&mut s, &sp.path);
+                    let _ = write!(
+                        s,
+                        ",\"count\":{},\"total_nanos\":{},\"self_nanos\":{}}}",
+                        sp.count, sp.total_nanos, sp.self_nanos
+                    );
+                }
+                s.push_str("],\"phases\":[");
+                for (i, ph) in phases.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"phase\":");
+                    json::write_str(&mut s, &ph.phase);
+                    let _ = write!(
+                        s,
+                        ",\"count\":{},\"total_nanos\":{},\"min_nanos\":{},\"max_nanos\":{}",
+                        ph.count, ph.total_nanos, ph.min_nanos, ph.max_nanos
+                    );
+                    push_f64(&mut s, "p50_nanos", ph.p50_nanos);
+                    push_f64(&mut s, "p95_nanos", ph.p95_nanos);
+                    push_f64(&mut s, "p99_nanos", ph.p99_nanos);
+                    s.push('}');
+                }
+                s.push_str("],\"counters\":{");
+                for (i, (name, value)) in counters.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    json::write_str(&mut s, name);
+                    let _ = write!(s, ":{value}");
+                }
+                s.push('}');
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -677,6 +819,57 @@ impl TelemetryEvent {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| bad("rescued"))?,
             }),
+            "profile_report" => {
+                let span_of = |x: &Json| -> Option<ProfileSpan> {
+                    Some(ProfileSpan {
+                        path: x.get("path")?.as_str()?.to_string(),
+                        count: x.get("count")?.as_u64()?,
+                        total_nanos: x.get("total_nanos")?.as_u64()?,
+                        self_nanos: x.get("self_nanos")?.as_u64()?,
+                    })
+                };
+                let phase_of = |x: &Json| -> Option<PhaseProfile> {
+                    Some(PhaseProfile {
+                        phase: x.get("phase")?.as_str()?.to_string(),
+                        count: x.get("count")?.as_u64()?,
+                        total_nanos: x.get("total_nanos")?.as_u64()?,
+                        min_nanos: x.get("min_nanos")?.as_u64()?,
+                        max_nanos: x.get("max_nanos")?.as_u64()?,
+                        p50_nanos: x.get("p50_nanos")?.as_f64()?,
+                        p95_nanos: x.get("p95_nanos")?.as_f64()?,
+                        p99_nanos: x.get("p99_nanos")?.as_f64()?,
+                    })
+                };
+                let spans = v
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("spans"))?
+                    .iter()
+                    .map(span_of)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad("spans"))?;
+                let phases = v
+                    .get("phases")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("phases"))?
+                    .iter()
+                    .map(phase_of)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad("phases"))?;
+                let counters = match v.get("counters") {
+                    Some(Json::Obj(map)) => map
+                        .iter()
+                        .map(|(k, x)| Some((k.clone(), x.as_u64()?)))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| bad("counters"))?,
+                    _ => return Err(bad("counters")),
+                };
+                Ok(TelemetryEvent::ProfileReport {
+                    spans,
+                    phases,
+                    counters,
+                })
+            }
             "run_finished" => Ok(TelemetryEvent::RunFinished {
                 rounds: us("rounds")?,
                 budget_spent: u64f("budget_spent")?,
@@ -801,6 +994,38 @@ pub(crate) mod tests {
                 clamp_count: 3,
                 rescued: true,
             },
+            TelemetryEvent::ProfileReport {
+                spans: vec![
+                    ProfileSpan {
+                        path: "select_queries".to_string(),
+                        count: 1,
+                        total_nanos: 1500,
+                        self_nanos: 500,
+                    },
+                    ProfileSpan {
+                        path: "select_queries/selection".to_string(),
+                        count: 1,
+                        total_nanos: 1000,
+                        self_nanos: 1000,
+                    },
+                ],
+                phases: vec![PhaseProfile {
+                    phase: "selection".to_string(),
+                    count: 1,
+                    total_nanos: 1000,
+                    min_nanos: 1000,
+                    max_nanos: 1000,
+                    p50_nanos: 1000.0,
+                    p95_nanos: 1000.0,
+                    p99_nanos: 1000.0,
+                }],
+                counters: vec![
+                    ("candidate_evals".to_string(), 12),
+                    ("chunks_dispatched".to_string(), 0),
+                    ("patterns_touched".to_string(), 64),
+                    ("rescued_updates".to_string(), 1),
+                ],
+            },
             TelemetryEvent::RunFinished {
                 rounds: 1,
                 budget_spent: 2,
@@ -839,6 +1064,7 @@ pub(crate) mod tests {
                 "answer_dropped",
                 "belief_updated",
                 "numerical_health",
+                "profile_report",
                 "run_finished",
             ]
         );
@@ -848,9 +1074,8 @@ pub(crate) mod tests {
     fn round_accessor_covers_round_scoped_events() {
         for event in sample_events() {
             match event.kind() {
-                "run_started" | "run_finished" | "retry_scheduled" | "fault_injected" => {
-                    assert_eq!(event.round(), None)
-                }
+                "run_started" | "run_finished" | "retry_scheduled" | "fault_injected"
+                | "profile_report" => assert_eq!(event.round(), None),
                 _ => assert_eq!(event.round(), Some(1)),
             }
         }
@@ -900,6 +1125,53 @@ pub(crate) mod tests {
                 assert_eq!(query_id, 9);
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_report_builds_from_a_snapshot_and_round_trips() {
+        use crate::timing::{self, Counter, Phase};
+        timing::set_enabled(true);
+        timing::reset();
+        {
+            let _outer = timing::span(Phase::SelectQueries);
+            let _inner = timing::span(Phase::Selection);
+        }
+        timing::add(Counter::CandidateEvals, 7);
+        let snap = timing::snapshot();
+        timing::set_enabled(false);
+        timing::reset();
+
+        let event = TelemetryEvent::profile_report(&snap);
+        let line = event.to_json_line();
+        let back = TelemetryEvent::from_json_line(&line).expect("parses");
+        assert_eq!(back, event, "via {line}");
+        match &event {
+            TelemetryEvent::ProfileReport {
+                spans,
+                phases,
+                counters,
+            } => {
+                let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+                assert_eq!(paths, vec!["select_queries", "select_queries/selection"]);
+                // Only sampled phases appear.
+                assert_eq!(phases.len(), 2);
+                assert!(counters.contains(&("candidate_evals".to_string(), 7)));
+                assert!(counters.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_profile_reports_are_errors() {
+        for line in [
+            r#"{"type":"profile_report"}"#,
+            r#"{"type":"profile_report","spans":[],"phases":[]}"#,
+            r#"{"type":"profile_report","spans":[{"path":"x"}],"phases":[],"counters":{}}"#,
+            r#"{"type":"profile_report","spans":[],"phases":[],"counters":{"a":-1}}"#,
+        ] {
+            assert!(TelemetryEvent::from_json_line(line).is_err(), "{line}");
         }
     }
 }

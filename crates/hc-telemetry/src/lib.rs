@@ -33,8 +33,13 @@
 //!   (embedded in a trace or as atomically-replaced snapshot files)
 //!   with typed rejection of torn, corrupt, or foreign frames.
 //! - [`timing`] — thread-local monotonic spans around the hot paths
-//!   (selection, conditional entropy, Bayes updates), surfaced as
-//!   per-phase latency histograms for benchmarking.
+//!   (selection, conditional entropy, Bayes updates), aggregated both
+//!   as flat per-phase latency histograms and as a hierarchical span
+//!   tree (inclusive vs self time), plus deterministic work counters;
+//!   a snapshot becomes a [`TelemetryEvent::ProfileReport`].
+//! - [`compare`] — diffs two runs (JSONL traces or stamped
+//!   `BENCH_*.json` documents): trajectory divergence, per-phase
+//!   latency deltas, counter ratios, and a regression gate.
 //!
 //! # Example
 //!
@@ -59,6 +64,7 @@
 
 pub mod audit;
 pub mod checkpoint;
+pub mod compare;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -71,8 +77,9 @@ pub use audit::{
     audit, audit_jsonl, audit_jsonl_with, audit_with, AuditConfig, AuditReport, Finding, Severity,
 };
 pub use checkpoint::{CheckpointError, CheckpointFrame, CHECKPOINT_VERSION};
-pub use event::{FaultKind, StopReason, TelemetryEvent};
+pub use compare::{compare_str, CompareReport, CounterDelta, MetricDelta, TrajectoryDiff};
+pub use event::{FaultKind, PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use replay::{ReplayedRun, RoundHealth, RoundState, RunEnd, RunShape, SkippedLine};
+pub use replay::{ReplayedRun, RoundHealth, RoundState, RunEnd, RunProfile, RunShape, SkippedLine};
 pub use sink::{FileSink, NullSink, RecordingSink, SharedRecorder, TelemetrySink};
-pub use timing::{Phase, TimingSnapshot};
+pub use timing::{Counter, Phase, SpanNode, TimingSnapshot, COUNTERS, PHASES};

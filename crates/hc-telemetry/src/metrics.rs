@@ -110,9 +110,12 @@ impl Histogram {
     ///
     /// Fixed buckets make this an estimate, with two exactness aids:
     /// the result is clamped to the observed `[min, max]`, and a
-    /// quantile landing in the overflow bucket returns the last bound —
-    /// a *lower* bound on the true value, since the overflow bucket has
-    /// no upper edge to interpolate toward.
+    /// quantile landing in the overflow bucket interpolates between the
+    /// last bound and the observed **max** — the bucket has no upper
+    /// edge of its own, and the largest sample is the only honest one.
+    /// In particular, when *every* sample overflows (the former silent
+    /// lie: the last bound, below all data), the estimate interpolates
+    /// across `[min, max]` like any other bucket.
     pub fn quantile(&self, q: f64) -> f64 {
         let finite: u64 = self.counts.iter().sum();
         if finite == 0 {
@@ -128,15 +131,18 @@ impl Histogram {
             let cumulative = below + c;
             if cumulative as f64 >= target {
                 if i == self.bounds.len() {
-                    // Overflow bucket: report the last bound as a
-                    // lower-bound estimate (clamped below to min for
-                    // the pathological no-bounds histogram).
-                    return self
+                    // Overflow bucket: interpolate toward the observed
+                    // max, its only honest upper edge. Samples here all
+                    // exceed the last bound, so `lower <= max` holds
+                    // whenever the bucket is non-empty.
+                    let lower = self
                         .bounds
                         .last()
                         .copied()
                         .unwrap_or(self.min)
-                        .clamp(self.min, self.max);
+                        .max(self.min);
+                    let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                    return (lower + (self.max - lower) * frac).clamp(self.min, self.max);
                 }
                 let upper = self.bounds[i];
                 let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
@@ -318,6 +324,14 @@ impl MetricsRegistry {
                     m.observe("numerical.min_mass", *min_mass);
                     m.observe("numerical.renorm_scale", *renorm_scale);
                 }
+                TelemetryEvent::ProfileReport { counters, .. } => {
+                    // Surface the run's work counters under a stable
+                    // `profile.` prefix so they reach the Prometheus
+                    // exposition alongside the derived metrics.
+                    for (name, value) in counters {
+                        m.incr(&format!("profile.{name}"), *value);
+                    }
+                }
                 TelemetryEvent::RunFinished {
                     budget_spent,
                     entropy,
@@ -358,7 +372,7 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4} p50={:.4} p95={:.4} p99={:.4}",
+                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4} p50={:.4} p95={:.4} p99={:.4} p999={:.4}",
                 h.count(),
                 h.mean(),
                 h.min(),
@@ -366,6 +380,7 @@ impl MetricsRegistry {
                 h.quantile(0.50),
                 h.quantile(0.95),
                 h.quantile(0.99),
+                h.quantile(0.999),
             );
         }
         out
@@ -469,15 +484,32 @@ mod tests {
     }
 
     #[test]
-    fn overflow_quantile_is_reported_as_the_last_bound() {
+    fn overflow_quantile_interpolates_toward_the_observed_max() {
         let mut h = Histogram::new(vec![1.0, 10.0]);
         h.observe(0.5);
         h.observe(100.0);
         h.observe(200.0);
-        // p99 falls in the overflow bucket: the estimate is the last
-        // bound (a lower bound on the true 200.0), never beyond max.
-        assert_eq!(h.quantile(0.99), 10.0);
-        assert!(h.quantile(0.99) <= h.max());
+        // p99 falls in the overflow bucket: interpolate over
+        // [last bound, max] instead of reporting the last bound (10.0,
+        // below both overflowing samples).
+        let p99 = h.quantile(0.99);
+        assert!((10.0..=200.0).contains(&p99), "p99 {p99}");
+        assert!(p99 > 100.0, "p99 {p99} should sit near the top sample");
+        assert_eq!(h.quantile(1.0), 200.0);
+    }
+
+    #[test]
+    fn all_overflow_quantiles_span_the_observed_range() {
+        // Every sample beyond the last bound — the former behavior
+        // reported 10.0 for all quantiles, below ALL the data.
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        for v in [50.0, 100.0, 150.0, 200.0] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((50.0..=200.0).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(0.999) >= p50, "quantiles are monotone");
+        assert_eq!(h.quantile(1.0), 200.0);
     }
 
     #[test]
@@ -589,5 +621,6 @@ mod tests {
         assert!(table.contains("rounds"));
         assert!(table.contains("budget_spent"));
         assert!(table.contains("round.entropy"));
+        assert!(table.contains("p999="), "tail column present:\n{table}");
     }
 }

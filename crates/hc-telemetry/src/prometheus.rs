@@ -1,10 +1,18 @@
 //! Prometheus text-format exposition for [`MetricsRegistry`].
 //!
 //! [`render`] serialises a registry into the Prometheus text exposition
-//! format (version 0.0.4): every metric gets a `# TYPE` header, names
-//! are prefixed `hc_` and sanitised to the Prometheus charset, counters
-//! get the `_total` suffix, and histograms are expanded into cumulative
-//! `_bucket{le="..."}` series plus `_sum`/`_count`.
+//! format (version 0.0.4): every metric gets `# HELP` and `# TYPE`
+//! headers, names are prefixed `hc_` and sanitised to the Prometheus
+//! charset, counters get the `_total` suffix, and histograms are
+//! expanded into cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`.
+//!
+//! Escaping follows the exposition format exactly: label values escape
+//! backslash, double-quote, and newline ([`escape_label`] — the full
+//! triple, since labels are quoted); help text escapes backslash and
+//! newline ([`escape_help`] — quotes are legal in unquoted help text).
+//! Registry names are free-form strings and flow into help text
+//! verbatim, so a hostile name can never break line framing.
 //!
 //! Two registry naming conventions are folded into labels instead of
 //! flat names so dashboards can aggregate across them:
@@ -40,16 +48,26 @@ pub fn render(metrics: &MetricsRegistry) -> String {
             continue;
         }
         let metric = format!("hc_{}_total", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Registry counter \"{}\".",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {metric} counter");
         let _ = writeln!(out, "{metric} {value}");
     }
     if !faults.is_empty() {
+        let _ = writeln!(out, "# HELP hc_faults_total Injected faults by kind.");
         let _ = writeln!(out, "# TYPE hc_faults_total counter");
         for (kind, value) in &faults {
             let _ = writeln!(out, "hc_faults_total{{kind=\"{}\"}} {value}", escape_label(kind));
         }
     }
     if !workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP hc_worker_outcomes_total Per-worker answer outcomes."
+        );
         let _ = writeln!(out, "# TYPE hc_worker_outcomes_total counter");
         for (worker, outcome, value) in &workers {
             let _ = writeln!(
@@ -63,6 +81,11 @@ pub fn render(metrics: &MetricsRegistry) -> String {
 
     for (name, value) in metrics.gauges() {
         let metric = format!("hc_{}", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Registry gauge \"{}\".",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {metric} gauge");
         let _ = write!(out, "{metric} ");
         write_value(&mut out, value);
@@ -86,6 +109,11 @@ impl MetricsRegistry {
 
 fn render_histogram(out: &mut String, name: &str, histogram: &Histogram) {
     let metric = format!("hc_{}", sanitize(name));
+    let _ = writeln!(
+        out,
+        "# HELP {metric} Registry histogram \"{}\".",
+        escape_help(name)
+    );
     let _ = writeln!(out, "# TYPE {metric} histogram");
     let mut cumulative = 0u64;
     for (bound, count) in histogram.bounds().iter().zip(histogram.bucket_counts()) {
@@ -118,13 +146,28 @@ fn sanitize(name: &str) -> String {
 }
 
 /// Escapes a label value per the exposition format (backslash, quote,
-/// newline).
+/// newline — labels are quoted, so all three would break the sample).
 fn escape_label(value: &str) -> String {
     let mut s = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
             '\\' => s.push_str("\\\\"),
             '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Escapes `# HELP` text per the exposition format (backslash and
+/// newline only — help text is unquoted, so double quotes are legal
+/// and pass through).
+fn escape_help(value: &str) -> String {
+    let mut s = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
             '\n' => s.push_str("\\n"),
             _ => s.push(c),
         }
@@ -224,5 +267,83 @@ mod tests {
     fn to_prometheus_matches_render() {
         let m = sample_registry();
         assert_eq!(m.to_prometheus(), render(&m));
+    }
+
+    #[test]
+    fn every_metric_gets_a_help_line_before_its_type_line() {
+        let text = render(&sample_registry());
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let metric = rest.split(' ').next().unwrap();
+                let help = lines[i.checked_sub(1).expect("TYPE is never first")];
+                assert!(
+                    help.starts_with(&format!("# HELP {metric} ")),
+                    "{metric}: HELP must directly precede TYPE, got {help:?}"
+                );
+            }
+        }
+        assert!(text.contains("# HELP hc_rounds_total Registry counter \"rounds\"."));
+        assert!(text.contains("# HELP hc_faults_total Injected faults by kind."));
+    }
+
+    /// Inverse of [`escape_label`] for round-trip testing.
+    fn unescape_label(value: &str) -> String {
+        let mut s = String::with_capacity(value.len());
+        let mut chars = value.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                s.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => s.push('\\'),
+                Some('"') => s.push('"'),
+                Some('n') => s.push('\n'),
+                other => panic!("invalid escape \\{other:?} in {value:?}"),
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn malicious_label_values_round_trip_and_stay_on_one_line() {
+        let nasty = [
+            "line\nbreak",
+            "quote\"inject\"} 999",
+            "back\\slash",
+            "\\n literal then real\n",
+            "all\\three\"at\nonce\\\"",
+        ];
+        for kind in nasty {
+            assert_eq!(unescape_label(&escape_label(kind)), kind, "{kind:?}");
+            let mut m = MetricsRegistry::new();
+            m.incr(&format!("fault.{kind}"), 7);
+            let text = render(&m);
+            // The sample must be exactly one line, parseable back to
+            // the original kind.
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with("hc_faults_total{kind=\""))
+                .expect("sample rendered");
+            assert!(sample.ends_with("\"} 7"), "framing intact: {sample:?}");
+            let inner = sample
+                .strip_prefix("hc_faults_total{kind=\"")
+                .unwrap()
+                .strip_suffix("\"} 7")
+                .unwrap();
+            assert_eq!(unescape_label(inner), kind);
+        }
+    }
+
+    #[test]
+    fn malicious_metric_names_cannot_break_help_framing() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("evil\nname \\ with \"quotes\"", 1.0);
+        let text = render(&m);
+        // One HELP line, one TYPE line, one sample — injection would
+        // add a fourth.
+        assert_eq!(text.lines().count(), 3, "{text:?}");
+        assert!(text.contains("Registry gauge \"evil\\nname \\\\ with \"quotes\"\"."));
     }
 }

@@ -14,7 +14,7 @@
 //! trace unreadable. Strict validation is the [`crate::audit`]
 //! module's job.
 
-use crate::event::{StopReason, TelemetryEvent};
+use crate::event::{PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
 
 /// The run-level facts recorded by `RunStarted`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +136,36 @@ impl RoundState {
     }
 }
 
+/// The profiling facts recorded by a `ProfileReport` event: the span
+/// tree, per-phase latency stats, and work counters of the run that
+/// wrote the trace. Wall-clock numbers — informative, not replayable
+/// state (two traces of the same seeded run differ here and nowhere
+/// else).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunProfile {
+    /// Span-tree paths in depth-first order.
+    pub spans: Vec<ProfileSpan>,
+    /// Per-phase latency stats (sampled phases only).
+    pub phases: Vec<PhaseProfile>,
+    /// Work counters, sorted by counter name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunProfile {
+    /// Looks up a phase's stats by its stable name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// Looks up a work counter by its stable name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
 /// A line [`ReplayedRun::from_jsonl`] could not parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkippedLine {
@@ -165,6 +195,8 @@ pub struct ReplayedRun {
     pub end: Option<RunEnd>,
     /// Dispatches never closed by a delivery/timeout/drop event.
     pub open_dispatches: Vec<OpenDispatch>,
+    /// End-of-run profile (`None` unless the run had profiling on).
+    pub profile: Option<RunProfile>,
     /// Events folded in.
     pub events: usize,
     /// Lines skipped as unparseable (only via [`Self::from_jsonl`]).
@@ -396,6 +428,17 @@ impl ReplayedRun {
                     });
                 }
             }
+            TelemetryEvent::ProfileReport {
+                spans,
+                phases,
+                counters,
+            } => {
+                self.profile = Some(RunProfile {
+                    spans: spans.clone(),
+                    phases: phases.clone(),
+                    counters: counters.clone(),
+                });
+            }
             TelemetryEvent::RunFinished {
                 rounds,
                 budget_spent,
@@ -493,6 +536,13 @@ mod tests {
         // and drop close nothing (their dispatches are not in the
         // sample), which replay tolerates.
         assert!(run.open_dispatches.is_empty());
+        // The sample's ProfileReport is surfaced, not folded into state.
+        let profile = run.profile.as_ref().expect("ProfileReport folded");
+        assert_eq!(profile.spans.len(), 2);
+        assert_eq!(profile.counter("candidate_evals"), Some(12));
+        assert_eq!(profile.counter("unknown"), None);
+        assert!(profile.phase("selection").is_some());
+        assert!(profile.phase("nope").is_none());
     }
 
     #[test]
@@ -537,8 +587,9 @@ mod tests {
         assert!(run.end.is_none());
         assert_eq!(run.final_entropy(), Some(2.75), "from BeliefUpdated");
         assert_eq!(run.total_spent(), 2);
-        // Drop the health report and the update too: only the starting
-        // entropy remains.
+        // Drop the profile, health report, and the update too: only
+        // the starting entropy remains.
+        events.pop(); // ProfileReport
         events.pop(); // NumericalHealth
         events.pop(); // BeliefUpdated
         let bare = ReplayedRun::from_events(&events);

@@ -1,17 +1,37 @@
-//! Monotonic timing spans around the HC hot paths.
+//! Monotonic timing spans and work counters around the HC hot paths.
 //!
 //! Free functions like `conditional_entropy` can't thread a sink
 //! through their signatures without churning every caller, so timing
 //! uses thread-local state instead: a run turns collection on with
 //! [`set_enabled`], instrumented code opens a [`span`] (a drop guard),
-//! and the elapsed nanoseconds land in a per-phase log-scale histogram.
-//! When disabled, a span is a single thread-local boolean load.
+//! and the elapsed nanoseconds land in two places at once:
+//!
+//! - a flat per-phase log-scale histogram (count/total/min/max plus
+//!   bucket counts — the shape `telemetry_bench` has always reported);
+//! - a **hierarchical span tree**: each open span becomes the parent
+//!   of spans opened while it is on the stack, aggregated by
+//!   `(parent, phase)`, so `select_queries → selection → scoring →
+//!   entropy` shows up as one path with an inclusive time (the span's
+//!   own wall clock) and a *self* time (inclusive minus the inclusive
+//!   time of its direct children). Self times telescope: summed over
+//!   every node they equal the inclusive time summed over the roots.
+//!
+//! Instrumented kernels also tally deterministic work [`Counter`]s
+//! (candidate evaluations, belief patterns touched, chunks dispatched,
+//! rescued updates) via [`add`]. Counters are incremented on the
+//! coordinating thread only — worker threads spawned by
+//! `hc_core::parallel` keep their own thread-local state disabled, so
+//! nothing is double-counted and disabled runs pay one boolean load.
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Which hot path a span covers.
+///
+/// The first five variants are the session state-machine steps (one
+/// span per step execution); the rest are the kernels that run inside
+/// them. Nesting is recorded by the span tree, not by the variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Greedy query selection (the per-round selector call).
@@ -23,14 +43,29 @@ pub enum Phase {
     /// A candidate-gain scoring pass inside the greedy selector (the
     /// fan-out parallelised by `hc_core::parallel`).
     Scoring,
+    /// The `SelectQueries` session step (wraps [`Phase::Selection`]).
+    SelectQueries,
+    /// The `Dispatch` session step (oracle fan-out).
+    Dispatch,
+    /// The `CollectAnswers` session step (outcome ingestion).
+    CollectAnswers,
+    /// The `UpdateBeliefs` session step (wraps [`Phase::BayesUpdate`]).
+    UpdateBeliefs,
+    /// The `CloseRound` session step (records, stop checks).
+    CloseRound,
 }
 
-/// All phases, in display order.
-pub const PHASES: [Phase; 4] = [
+/// All phases, in display order: session steps first, kernels after.
+pub const PHASES: [Phase; 9] = [
+    Phase::SelectQueries,
+    Phase::Dispatch,
+    Phase::CollectAnswers,
+    Phase::UpdateBeliefs,
+    Phase::CloseRound,
     Phase::Selection,
+    Phase::Scoring,
     Phase::Entropy,
     Phase::BayesUpdate,
-    Phase::Scoring,
 ];
 
 impl Phase {
@@ -41,7 +76,17 @@ impl Phase {
             Phase::Entropy => "entropy",
             Phase::BayesUpdate => "bayes_update",
             Phase::Scoring => "scoring",
+            Phase::SelectQueries => "select_queries",
+            Phase::Dispatch => "dispatch",
+            Phase::CollectAnswers => "collect_answers",
+            Phase::UpdateBeliefs => "update_beliefs",
+            Phase::CloseRound => "close_round",
         }
+    }
+
+    /// Parses a [`Phase::name`] back; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        PHASES.into_iter().find(|p| p.name() == name)
     }
 
     fn index(self) -> usize {
@@ -50,6 +95,64 @@ impl Phase {
             Phase::Entropy => 1,
             Phase::BayesUpdate => 2,
             Phase::Scoring => 3,
+            Phase::SelectQueries => 4,
+            Phase::Dispatch => 5,
+            Phase::CollectAnswers => 6,
+            Phase::UpdateBeliefs => 7,
+            Phase::CloseRound => 8,
+        }
+    }
+}
+
+/// A deterministic work counter tallied by the instrumented kernels.
+///
+/// Unlike span durations, counter values are pure functions of the
+/// input and configuration: two runs of the same seeded config report
+/// identical `candidate_evals` / `patterns_touched` / `rescued_updates`
+/// at any thread count (`chunks_dispatched` reflects the parallel
+/// engine's actual fan-out, so it varies with the thread policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Candidate marginal-gain evaluations the greedy selector ran.
+    CandidateEvals,
+    /// Belief patterns (posterior cells) written by Bayes updates.
+    PatternsTouched,
+    /// Work chunks handed to the parallel engine (0 in serial runs).
+    ChunksDispatched,
+    /// Bayes updates that needed the log-domain rescue path.
+    RescuedUpdates,
+}
+
+/// All counters, in display order.
+pub const COUNTERS: [Counter; 4] = [
+    Counter::CandidateEvals,
+    Counter::PatternsTouched,
+    Counter::ChunksDispatched,
+    Counter::RescuedUpdates,
+];
+
+impl Counter {
+    /// Stable snake_case name used in reports and the profile event.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CandidateEvals => "candidate_evals",
+            Counter::PatternsTouched => "patterns_touched",
+            Counter::ChunksDispatched => "chunks_dispatched",
+            Counter::RescuedUpdates => "rescued_updates",
+        }
+    }
+
+    /// Parses a [`Counter::name`] back; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        COUNTERS.into_iter().find(|c| c.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::CandidateEvals => 0,
+            Counter::PatternsTouched => 1,
+            Counter::ChunksDispatched => 2,
+            Counter::RescuedUpdates => 3,
         }
     }
 }
@@ -103,9 +206,81 @@ impl PhaseStats {
     }
 }
 
+/// One aggregation node in the span tree: all spans of `phase` whose
+/// parent span aggregated into `parent`.
+#[derive(Debug, Clone)]
+struct TreeNode {
+    phase: Phase,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    count: u64,
+    total_nanos: u64,
+    child_nanos: u64,
+}
+
 struct TimingState {
     enabled: bool,
     phases: [PhaseStats; PHASES.len()],
+    nodes: Vec<TreeNode>,
+    stack: Vec<usize>,
+    counters: [u64; COUNTERS.len()],
+}
+
+impl TimingState {
+    fn clear(&mut self) {
+        self.phases = [PhaseStats::EMPTY; PHASES.len()];
+        self.nodes.clear();
+        self.stack.clear();
+        self.counters = [0; COUNTERS.len()];
+    }
+
+    /// Finds the `(parent-of-stack-top, phase)` aggregation node, or
+    /// creates it, and returns its index.
+    fn open(&mut self, phase: Phase) -> usize {
+        let parent = self.stack.last().copied();
+        let existing = match parent {
+            Some(p) => self.nodes[p]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].phase == phase),
+            None => self
+                .nodes
+                .iter()
+                .position(|n| n.parent.is_none() && n.phase == phase),
+        };
+        let idx = existing.unwrap_or_else(|| {
+            let idx = self.nodes.len();
+            self.nodes.push(TreeNode {
+                phase,
+                parent,
+                children: Vec::new(),
+                count: 0,
+                total_nanos: 0,
+                child_nanos: 0,
+            });
+            if let Some(p) = parent {
+                self.nodes[p].children.push(idx);
+            }
+            idx
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    fn close(&mut self, idx: usize, nanos: u64) {
+        self.phases[self.nodes[idx].phase.index()].observe(nanos);
+        let node = &mut self.nodes[idx];
+        node.count += 1;
+        node.total_nanos += nanos;
+        let parent = node.parent;
+        if let Some(pos) = self.stack.iter().rposition(|&i| i == idx) {
+            self.stack.truncate(pos);
+        }
+        if let Some(p) = parent {
+            self.nodes[p].child_nanos += nanos;
+        }
+    }
 }
 
 thread_local! {
@@ -113,6 +288,9 @@ thread_local! {
         RefCell::new(TimingState {
             enabled: false,
             phases: [PhaseStats::EMPTY; PHASES.len()],
+            nodes: Vec::new(),
+            stack: Vec::new(),
+            counters: [0; COUNTERS.len()],
         })
     };
 }
@@ -127,46 +305,119 @@ pub fn is_enabled() -> bool {
     TIMING.with(|t| t.borrow().enabled)
 }
 
-/// Clears all recorded samples on this thread (leaves `enabled` as-is).
+/// Clears all recorded samples, the span tree, and the counters on
+/// this thread (leaves `enabled` as-is).
 pub fn reset() {
-    TIMING.with(|t| t.borrow_mut().phases = [PhaseStats::EMPTY; PHASES.len()]);
+    TIMING.with(|t| t.borrow_mut().clear());
+}
+
+/// Adds `n` to a work counter on this thread. No-op when disabled.
+pub fn add(counter: Counter, n: u64) {
+    TIMING.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.enabled {
+            t.counters[counter.index()] += n;
+        }
+    });
 }
 
 /// Opens a timing span for `phase`; the elapsed time is recorded when
-/// the returned guard drops. Costs one boolean load when disabled.
+/// the returned guard drops, both in the flat per-phase histogram and
+/// as a node of the span tree under the innermost still-open span.
+/// Costs one boolean load when disabled.
 #[must_use = "the span measures until this guard is dropped"]
 pub fn span(phase: Phase) -> SpanGuard {
-    let start = if is_enabled() { Some(Instant::now()) } else { None };
-    SpanGuard { phase, start }
+    let node = TIMING.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.enabled {
+            Some(t.open(phase))
+        } else {
+            None
+        }
+    });
+    SpanGuard {
+        open: node.map(|idx| (idx, Instant::now())),
+    }
 }
 
 /// Drop guard returned by [`span`].
 pub struct SpanGuard {
-    phase: Phase,
-    start: Option<Instant>,
+    open: Option<(usize, Instant)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
+        if let Some((idx, start)) = self.open {
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            TIMING.with(|t| {
-                t.borrow_mut().phases[self.phase.index()].observe(nanos);
-            });
+            TIMING.with(|t| t.borrow_mut().close(idx, nanos));
         }
     }
 }
 
-/// Point-in-time copy of this thread's per-phase timing histograms.
+/// One flattened span-tree node in a [`TimingSnapshot`], in
+/// depth-first order (children in first-opened order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The phase the aggregated spans belong to.
+    pub phase: Phase,
+    /// Nesting depth (0 for roots).
+    pub depth: usize,
+    /// `/`-joined phase names from the root, e.g.
+    /// `select_queries/selection/scoring`.
+    pub path: String,
+    /// Number of spans aggregated into this node.
+    pub count: u64,
+    /// Inclusive wall-clock nanoseconds (the spans' own elapsed time).
+    pub total_nanos: u64,
+    /// Self nanoseconds: inclusive minus direct children's inclusive.
+    pub self_nanos: u64,
+}
+
+/// Point-in-time copy of this thread's timing state: flat per-phase
+/// histograms, the hierarchical span tree, and the work counters.
 #[derive(Debug, Clone)]
 pub struct TimingSnapshot {
     phases: [PhaseStats; PHASES.len()],
+    tree: Vec<SpanNode>,
+    counters: [u64; COUNTERS.len()],
 }
 
-/// Captures this thread's per-phase timing histograms.
+/// Captures this thread's timing state.
 pub fn snapshot() -> TimingSnapshot {
-    TIMING.with(|t| TimingSnapshot {
-        phases: t.borrow().phases,
+    TIMING.with(|t| {
+        let t = t.borrow();
+        let mut tree = Vec::with_capacity(t.nodes.len());
+        // DFS over roots in first-opened order.
+        let mut stack: Vec<(usize, usize, String)> = Vec::new();
+        for root in (0..t.nodes.len()).rev() {
+            if t.nodes[root].parent.is_none() {
+                stack.push((root, 0, String::new()));
+            }
+        }
+        while let Some((idx, depth, prefix)) = stack.pop() {
+            let node = &t.nodes[idx];
+            let path = if prefix.is_empty() {
+                node.phase.name().to_string()
+            } else {
+                format!("{prefix}/{}", node.phase.name())
+            };
+            tree.push(SpanNode {
+                phase: node.phase,
+                depth,
+                path: path.clone(),
+                count: node.count,
+                total_nanos: node.total_nanos,
+                self_nanos: node.total_nanos.saturating_sub(node.child_nanos),
+            });
+            for &child in node.children.iter().rev() {
+                stack.push((child, depth + 1, path.clone()));
+            }
+        }
+        TimingSnapshot {
+            phases: t.phases,
+            tree,
+            counters: t.counters,
+        }
     })
 }
 
@@ -201,6 +452,37 @@ impl TimingSnapshot {
         }
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) span duration for
+    /// `phase` in nanoseconds by linear interpolation inside the
+    /// log-scale bucket holding the target rank, clamped to the
+    /// observed `[min, max]` (the overflow bucket interpolates toward
+    /// the observed max rather than inventing an upper bound).
+    /// `None` when unsampled or `q` is out of range.
+    pub fn quantile_nanos(&self, phase: Phase, q: f64) -> Option<f64> {
+        let p = &self.phases[phase.index()];
+        if p.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * p.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in p.counts.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum as f64 >= target {
+                let lower = if i == 0 { 0 } else { NANO_BOUNDS[i - 1] };
+                let upper = if i < NANO_BOUNDS.len() {
+                    NANO_BOUNDS[i]
+                } else {
+                    p.max_nanos
+                };
+                let before = (cum - c) as f64;
+                let frac = ((target - before) / c as f64).clamp(0.0, 1.0);
+                let est = lower as f64 + (upper.max(lower) - lower) as f64 * frac;
+                return Some(est.clamp(p.min_nanos as f64, p.max_nanos as f64));
+            }
+        }
+        Some(p.max_nanos as f64)
+    }
+
     /// Log-scale bucket counts for `phase` (last entry is overflow).
     pub fn bucket_counts(&self, phase: Phase) -> &[u64] {
         &self.phases[phase.index()].counts
@@ -211,17 +493,44 @@ impl TimingSnapshot {
         &NANO_BOUNDS
     }
 
+    /// The flattened span tree in depth-first order.
+    pub fn tree_nodes(&self) -> &[SpanNode] {
+        &self.tree
+    }
+
+    /// The value of a work counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Total inclusive nanoseconds across the span-tree roots.
+    pub fn roots_total_nanos(&self) -> u64 {
+        self.tree
+            .iter()
+            .filter(|n| n.depth == 0)
+            .map(|n| n.total_nanos)
+            .sum()
+    }
+
+    /// Total self nanoseconds across every span-tree node. By the
+    /// telescoping identity this equals [`Self::roots_total_nanos`]
+    /// whenever all spans closed before the snapshot (saturating
+    /// subtraction can only lose time if clocks misbehave).
+    pub fn self_total_nanos(&self) -> u64 {
+        self.tree.iter().map(|n| n.self_nanos).sum()
+    }
+
     /// Renders an aligned plain-text per-phase latency table.
     pub fn render_table(&self) -> String {
-        let mut out = String::from("phase         count      mean_us       min_us       max_us     total_ms\n");
+        let mut out = String::from("phase             count      mean_us       min_us       max_us     total_ms\n");
         for phase in PHASES {
             let p = &self.phases[phase.index()];
             if p.count == 0 {
-                let _ = writeln!(out, "{:<12} {:>6}            -            -            -            -", phase.name(), 0);
+                let _ = writeln!(out, "{:<16} {:>6}            -            -            -            -", phase.name(), 0);
             } else {
                 let _ = writeln!(
                     out,
-                    "{:<12} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.3}",
+                    "{:<16} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.3}",
                     phase.name(),
                     p.count,
                     p.total_nanos as f64 / p.count as f64 / 1e3,
@@ -234,8 +543,31 @@ impl TimingSnapshot {
         out
     }
 
+    /// Renders the span tree as an indented inclusive/self table.
+    pub fn render_tree(&self) -> String {
+        let mut out =
+            String::from("span                                count incl_ms   self_ms\n");
+        if self.tree.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        for node in &self.tree {
+            let label = format!("{}{}", "  ".repeat(node.depth), node.phase.name());
+            let _ = writeln!(
+                out,
+                "{:<34} {:>7} {:>9.3} {:>9.3}",
+                label,
+                node.count,
+                node.total_nanos as f64 / 1e6,
+                node.self_nanos as f64 / 1e6,
+            );
+        }
+        out
+    }
+
     /// Serialises the snapshot in the repo's `BENCH_*.json` shape: one
-    /// entry per phase with count and nanosecond stats.
+    /// entry per phase with count, nanosecond stats, and estimated
+    /// p50/p95/p99 quantiles.
     pub fn to_bench_json(&self) -> String {
         let mut s = String::from("{");
         for (i, phase) in PHASES.iter().enumerate() {
@@ -252,7 +584,12 @@ impl TimingSnapshot {
             );
             crate::json::write_f64(&mut s, self.mean_nanos(*phase).unwrap_or(f64::NAN));
             let (min, max) = self.min_max_nanos(*phase).unwrap_or((0, 0));
-            let _ = write!(s, ",\"min_nanos\":{min},\"max_nanos\":{max}}}");
+            let _ = write!(s, ",\"min_nanos\":{min},\"max_nanos\":{max}");
+            for (label, q) in [("p50_nanos", 0.50), ("p95_nanos", 0.95), ("p99_nanos", 0.99)] {
+                let _ = write!(s, ",\"{label}\":");
+                crate::json::write_f64(&mut s, self.quantile_nanos(*phase, q).unwrap_or(f64::NAN));
+            }
+            s.push('}');
         }
         s.push('}');
         s
@@ -277,7 +614,11 @@ mod tests {
             {
                 let _g = span(Phase::Selection);
             }
-            assert_eq!(snapshot().count(Phase::Selection), 0);
+            add(Counter::CandidateEvals, 5);
+            let snap = snapshot();
+            assert_eq!(snap.count(Phase::Selection), 0);
+            assert!(snap.tree_nodes().is_empty());
+            assert_eq!(snap.counter(Counter::CandidateEvals), 0);
         });
     }
 
@@ -316,9 +657,123 @@ mod tests {
             {
                 let _g = span(Phase::Selection);
             }
+            add(Counter::PatternsTouched, 3);
             reset();
             assert!(is_enabled());
-            assert_eq!(snapshot().count(Phase::Selection), 0);
+            let snap = snapshot();
+            assert_eq!(snap.count(Phase::Selection), 0);
+            assert!(snap.tree_nodes().is_empty());
+            assert_eq!(snap.counter(Counter::PatternsTouched), 0);
+        });
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_telescoping_self_times() {
+        with_clean_state(|| {
+            set_enabled(true);
+            for _ in 0..3 {
+                let _outer = span(Phase::SelectQueries);
+                {
+                    let _mid = span(Phase::Selection);
+                    {
+                        let _inner = span(Phase::Entropy);
+                        std::hint::black_box(0u64);
+                    }
+                    {
+                        let _inner = span(Phase::Entropy);
+                    }
+                }
+            }
+            {
+                let _other_root = span(Phase::UpdateBeliefs);
+            }
+            let snap = snapshot();
+            let tree = snap.tree_nodes();
+            // Aggregation: three identical outer spans share one node.
+            let paths: Vec<&str> = tree.iter().map(|n| n.path.as_str()).collect();
+            assert_eq!(
+                paths,
+                vec![
+                    "select_queries",
+                    "select_queries/selection",
+                    "select_queries/selection/entropy",
+                    "update_beliefs",
+                ]
+            );
+            let outer = &tree[0];
+            let mid = &tree[1];
+            let inner = &tree[2];
+            assert_eq!(outer.count, 3);
+            assert_eq!(mid.count, 3);
+            assert_eq!(inner.count, 6);
+            assert_eq!(outer.depth, 0);
+            assert_eq!(inner.depth, 2);
+            // Inclusive times nest; self times telescope exactly.
+            assert!(outer.total_nanos >= mid.total_nanos);
+            assert!(mid.total_nanos >= inner.total_nanos);
+            assert_eq!(snap.self_total_nanos(), snap.roots_total_nanos());
+        });
+    }
+
+    #[test]
+    fn recursive_same_phase_spans_nest_rather_than_cycle() {
+        with_clean_state(|| {
+            set_enabled(true);
+            {
+                let _a = span(Phase::Entropy);
+                {
+                    let _b = span(Phase::Entropy);
+                }
+            }
+            let snap = snapshot();
+            let paths: Vec<&str> = snap.tree_nodes().iter().map(|n| n.path.as_str()).collect();
+            assert_eq!(paths, vec!["entropy", "entropy/entropy"]);
+            assert_eq!(snap.count(Phase::Entropy), 2);
+        });
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        with_clean_state(|| {
+            set_enabled(true);
+            add(Counter::CandidateEvals, 10);
+            add(Counter::CandidateEvals, 5);
+            add(Counter::ChunksDispatched, 2);
+            let snap = snapshot();
+            assert_eq!(snap.counter(Counter::CandidateEvals), 15);
+            assert_eq!(snap.counter(Counter::ChunksDispatched), 2);
+            assert_eq!(snap.counter(Counter::RescuedUpdates), 0);
+        });
+    }
+
+    #[test]
+    fn phase_and_counter_names_round_trip() {
+        for phase in PHASES {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+        }
+        for counter in COUNTERS {
+            assert_eq!(Counter::from_name(counter.name()), Some(counter));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+        assert_eq!(Counter::from_name("nope"), None);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        with_clean_state(|| {
+            set_enabled(true);
+            for _ in 0..100 {
+                let _g = span(Phase::Scoring);
+            }
+            let snap = snapshot();
+            let (min, max) = snap.min_max_nanos(Phase::Scoring).unwrap();
+            let p50 = snap.quantile_nanos(Phase::Scoring, 0.50).unwrap();
+            let p95 = snap.quantile_nanos(Phase::Scoring, 0.95).unwrap();
+            let p99 = snap.quantile_nanos(Phase::Scoring, 0.99).unwrap();
+            assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+            assert!(p50 >= min as f64 && p99 <= max as f64);
+            assert_eq!(snap.quantile_nanos(Phase::Selection, 0.5), None);
+            assert_eq!(snap.quantile_nanos(Phase::Scoring, 1.5), None);
         });
     }
 
@@ -334,6 +789,8 @@ mod tests {
             for phase in PHASES {
                 assert!(table.contains(phase.name()));
             }
+            let tree = snap.render_tree();
+            assert!(tree.contains("selection"));
             let text = snap.to_bench_json();
             let v = crate::json::parse(&text).expect("valid json");
             assert_eq!(
@@ -344,6 +801,7 @@ mod tests {
                 v.get("bayes_update").and_then(|p| p.get("count")).and_then(|c| c.as_u64()),
                 Some(0)
             );
+            assert!(v.get("selection").and_then(|p| p.get("p95_nanos")).is_some());
         });
     }
 }

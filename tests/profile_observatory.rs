@@ -1,0 +1,263 @@
+//! End-to-end contract of the performance observatory: hierarchical
+//! profiling spans, work counters, and cross-run trace diffing.
+//!
+//! Pins the four guarantees the profiler makes:
+//!
+//! * a profiled run emits one `profile_report` whose span tree
+//!   telescopes — self-times sum to the inclusive root time (within 1%,
+//!   exact modulo saturation) — and whose work counters are non-trivial;
+//! * profiling is an observability feature, not a behaviour change:
+//!   posteriors, budget, and the functional event stream are
+//!   bit-identical with profiling on, off, and with a disabled sink;
+//! * the span timings are the *only* thread-policy-dependent output:
+//!   serial and 8-thread runs agree bit for bit on posteriors and on
+//!   every work counter;
+//! * `compare` on two traces of the same seeded run reports zero
+//!   trajectory divergence.
+
+use hc::prelude::*;
+use hc_core::hc::{run_hc_costed_with_telemetry, HcConfig, UnitCost};
+use hc_core::parallel::Parallelism;
+use hc_core::selection::GreedySelector;
+use hc_core::telemetry::compare::compare_str;
+use hc_core::telemetry::{ReplayedRun, SharedRecorder, TelemetryEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two correlated tasks, big enough that chunked scoring and the
+/// parallel entropy reductions all engage (64- and 32-cell beliefs).
+fn test_beliefs() -> MultiBelief {
+    let a = Belief::from_probs(hc::data::synth::markov_joint(6, 0.6, 0.65)).expect("valid joint");
+    let b = Belief::from_probs(hc::data::synth::markov_joint(5, 0.45, 0.8)).expect("valid joint");
+    MultiBelief::new(vec![a, b])
+}
+
+fn test_truths() -> Vec<Vec<bool>> {
+    vec![
+        vec![true, false, true, true, false, true],
+        vec![false, true, true, false, true],
+    ]
+}
+
+/// One seeded HC run over an unreliable crowd. Returns the posterior
+/// bit patterns, the budget spent, and the recorded event stream.
+fn run_observed(
+    parallelism: Parallelism,
+    profile: bool,
+    record: bool,
+) -> (Vec<u64>, u64, Vec<TelemetryEvent>) {
+    let mut beliefs = test_beliefs();
+    let truths = test_truths();
+    let recorder = SharedRecorder::new();
+
+    let sampling = SamplingOracle::new(&truths, StdRng::seed_from_u64(0xFA11));
+    let plan = FaultPlan::uniform(0.25, 0xD0_0D).with_timeouts(0.1);
+    let faulty = FaultyOracle::new(sampling, plan);
+    let mut platform =
+        SimulatedPlatform::new(faulty, 0x51ED).with_retry_policy(RetryPolicy::standard());
+
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85]).expect("valid panel");
+    let mut config = HcConfig::new(3, 30);
+    config.parallelism = parallelism;
+    config.profile = profile;
+
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut observer = |_: &MultiBelief, _: &hc_core::hc::RoundRecord| {};
+    let spent = if record {
+        let mut sink = recorder.clone();
+        let (_, spent) = run_hc_costed_with_telemetry(
+            &mut beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut platform,
+            &config,
+            &UnitCost,
+            &mut rng,
+            &mut observer,
+            &mut sink,
+        )
+        .expect("instrumented loop runs");
+        spent
+    } else {
+        let mut sink = hc_core::telemetry::NullSink;
+        let (_, spent) = run_hc_costed_with_telemetry(
+            &mut beliefs,
+            &panel,
+            &GreedySelector::new(),
+            &mut platform,
+            &config,
+            &UnitCost,
+            &mut rng,
+            &mut observer,
+            &mut sink,
+        )
+        .expect("instrumented loop runs");
+        spent
+    };
+
+    let bits: Vec<u64> = beliefs
+        .tasks()
+        .iter()
+        .flat_map(|t| t.probs().iter().map(|p| p.to_bits()))
+        .collect();
+    (bits, spent, recorder.into_events())
+}
+
+fn to_jsonl(events: &[TelemetryEvent]) -> String {
+    let mut text = String::new();
+    for e in events {
+        text.push_str(&e.to_json_line());
+        text.push('\n');
+    }
+    text
+}
+
+fn profile_of(events: &[TelemetryEvent]) -> (Vec<hc_core::telemetry::ProfileSpan>, Vec<(String, u64)>) {
+    let report = events
+        .iter()
+        .find_map(|e| match e {
+            TelemetryEvent::ProfileReport { spans, counters, .. } => {
+                Some((spans.clone(), counters.clone()))
+            }
+            _ => None,
+        })
+        .expect("a profiled run emits exactly one profile_report");
+    report
+}
+
+fn without_profile(events: &[TelemetryEvent]) -> Vec<TelemetryEvent> {
+    events
+        .iter()
+        .filter(|e| !matches!(e, TelemetryEvent::ProfileReport { .. }))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn profiled_run_emits_a_telescoping_span_tree_with_work_counters() {
+    let (_, spent, events) = run_observed(Parallelism::Serial, true, true);
+    assert!(spent > 0, "the loop must spend budget");
+    let profiles = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::ProfileReport { .. }))
+        .count();
+    assert_eq!(profiles, 1, "exactly one profile_report per run");
+
+    let (spans, counters) = profile_of(&events);
+    assert!(!spans.is_empty(), "the span tree must not be empty");
+    for s in &spans {
+        assert!(
+            s.self_nanos <= s.total_nanos,
+            "self must not exceed inclusive time on {}",
+            s.path
+        );
+    }
+    // Telescoping: Σ self over the whole tree equals Σ inclusive over
+    // the roots (self = inclusive − children, summed over a tree).
+    let self_sum: u64 = spans.iter().map(|s| s.self_nanos).sum();
+    let root_sum: u64 = spans
+        .iter()
+        .filter(|s| !s.path.contains('/'))
+        .map(|s| s.total_nanos)
+        .sum();
+    assert!(root_sum > 0, "the run must have taken measurable time");
+    let diff = self_sum.abs_diff(root_sum) as f64;
+    assert!(
+        diff <= root_sum as f64 * 0.01,
+        "span self-times must telescope: Σself {self_sum} vs Σroot {root_sum}"
+    );
+    // The tree is hierarchical: phase work is nested under step spans.
+    assert!(
+        spans.iter().any(|s| s.path.contains('/')),
+        "the tree must have at least one child span"
+    );
+
+    // Every kernel-level work counter is reported; selection, update,
+    // and dispatch counters must all have fired on this run.
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    assert!(counter("candidate_evals") > 0, "greedy scoring must count");
+    assert!(counter("patterns_touched") > 0, "Bayes updates must count");
+    assert!(counter("chunks_dispatched") > 0, "kernels must count");
+    let _ = counter("rescued_updates"); // present even when zero
+
+    // The trace replays, and the replayed profile matches the event.
+    let replay = ReplayedRun::from_jsonl(&to_jsonl(&events));
+    let profile = replay.profile.expect("replay keeps the profile");
+    assert_eq!(profile.spans, spans);
+    assert_eq!(profile.counters, counters);
+}
+
+#[test]
+fn profiling_changes_the_stream_only_by_the_report() {
+    let (bits_off, spent_off, events_off) = run_observed(Parallelism::Serial, false, true);
+    let (bits_on, spent_on, events_on) = run_observed(Parallelism::Serial, true, true);
+    assert_eq!(bits_off, bits_on, "posteriors: profile off vs on");
+    assert_eq!(spent_off, spent_on, "budget: profile off vs on");
+    assert!(
+        !events_off
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::ProfileReport { .. })),
+        "an unprofiled run must not emit profile_report"
+    );
+    assert_eq!(
+        events_off,
+        without_profile(&events_on),
+        "profiling must add the report and change nothing else"
+    );
+
+    // With a disabled sink the profiled run still computes the same
+    // posteriors and emits nothing at all.
+    let (bits_null, spent_null, events_null) = run_observed(Parallelism::Serial, true, false);
+    assert_eq!(bits_off, bits_null, "posteriors: NullSink");
+    assert_eq!(spent_off, spent_null, "budget: NullSink");
+    assert!(events_null.is_empty(), "NullSink records nothing");
+}
+
+#[test]
+fn counters_and_posteriors_are_thread_policy_invariant() {
+    let (bits_1, spent_1, events_1) = run_observed(Parallelism::Serial, true, true);
+    let (bits_8, spent_8, events_8) = run_observed(Parallelism::Threads(8), true, true);
+    assert_eq!(bits_1, bits_8, "posteriors: serial vs 8 threads");
+    assert_eq!(spent_1, spent_8, "budget: serial vs 8 threads");
+    // Everything but the wall-clock profile is bit-identical…
+    assert_eq!(
+        without_profile(&events_1),
+        without_profile(&events_8),
+        "functional event stream: serial vs 8 threads"
+    );
+    // …and even inside the profile, the *work counters* agree exactly:
+    // counting happens only on the coordinating thread, and nested
+    // kernels are never double-counted.
+    let (_, counters_1) = profile_of(&events_1);
+    let (_, counters_8) = profile_of(&events_8);
+    assert_eq!(counters_1, counters_8, "work counters: serial vs 8 threads");
+}
+
+#[test]
+fn same_seed_traces_compare_with_zero_trajectory_divergence() {
+    let (_, _, events_a) = run_observed(Parallelism::Serial, true, true);
+    let (_, _, events_b) = run_observed(Parallelism::Threads(8), true, true);
+    let report = compare_str(&to_jsonl(&events_a), &to_jsonl(&events_b)).expect("traces compare");
+    assert_eq!(report.mode, "trace");
+    let trajectory = report.trajectory.expect("trace mode has a trajectory");
+    assert!(
+        trajectory.is_identical(),
+        "same seeded run must show zero trajectory divergence: {trajectory:?}"
+    );
+    assert_eq!(trajectory.first_divergent_round, None);
+    // Phase latency metrics are present (both sides carry profiles) and
+    // no counter ratio strays from 1.
+    assert!(
+        report.metrics.iter().any(|m| m.key.starts_with("phase.")),
+        "phase latency deltas must be reported"
+    );
+    for c in &report.counters {
+        assert_eq!(c.a, c.b, "counter {} must not drift", c.name);
+    }
+}
