@@ -1982,6 +1982,7 @@ pub fn resume_state_from_trace(
             | TelemetryEvent::QueryDispatched { .. }
             | TelemetryEvent::RetryScheduled { .. }
             | TelemetryEvent::FaultInjected { .. }
+            | TelemetryEvent::AnswerLatency { .. }
             | TelemetryEvent::ProfileReport { .. } => {}
             TelemetryEvent::AnswerDelivered {
                 task,

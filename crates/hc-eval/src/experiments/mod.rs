@@ -15,6 +15,7 @@
 //! curves for JSON export.
 
 pub mod ext;
+pub mod ext_drift;
 pub mod ext_faults;
 pub mod fig2;
 pub mod fig3;

@@ -7,8 +7,9 @@
 //! selection-explain summary (when the run was recorded with
 //! `HcConfig::explain_selection`), the per-round numerical-health
 //! telemetry of the Bayes updates, the profiling span tree (when the
-//! run was recorded with `HcConfig::profile`), the audit findings, and
-//! the derived metrics. With `--prometheus FILE` the metrics are
+//! run was recorded with `HcConfig::profile`), the per-worker crowd
+//! health ledger (delivery/agreement/latency/drift), the audit
+//! findings, and the derived metrics. With `--prometheus FILE` the metrics are
 //! additionally written in Prometheus text exposition format. With
 //! `--json` the whole inspection — shape, regret table, health,
 //! profile, audit findings — is printed as one machine-readable JSON
@@ -22,7 +23,7 @@
 
 use hc_core::telemetry::json::Json;
 use hc_core::telemetry::replay::parse_jsonl;
-use hc_core::telemetry::{audit, AuditReport, MetricsRegistry, ReplayedRun, Severity};
+use hc_core::telemetry::{audit, AuditReport, CrowdLedger, MetricsRegistry, ReplayedRun, Severity};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +36,8 @@ pub struct Inspection {
     pub audit: AuditReport,
     /// Counters/gauges/histograms derived from the events.
     pub metrics: MetricsRegistry,
+    /// Per-worker crowd-health ledger folded from the events.
+    pub crowd: CrowdLedger,
     /// The rendered console report.
     pub report: String,
 }
@@ -53,11 +56,13 @@ pub fn inspect_str(name: &str, text: &str) -> Inspection {
     let replay = ReplayedRun::from_jsonl(text);
     let audit = audit(&events);
     let metrics = MetricsRegistry::from_events(&events);
-    let report = render_report(name, &replay, &audit, &metrics);
+    let crowd = CrowdLedger::from_events(&events);
+    let report = render_report(name, &replay, &audit, &metrics, &crowd);
     Inspection {
         replay,
         audit,
         metrics,
+        crowd,
         report,
     }
 }
@@ -67,6 +72,7 @@ fn render_report(
     replay: &ReplayedRun,
     audit: &AuditReport,
     metrics: &MetricsRegistry,
+    crowd: &CrowdLedger,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# run inspector — {name}");
@@ -283,6 +289,9 @@ fn render_report(
         }
     }
 
+    let _ = writeln!(out, "\n## crowd health");
+    out.push_str(&crowd.render());
+
     let _ = writeln!(out, "\n## audit");
     out.push_str(&audit.render());
 
@@ -322,7 +331,8 @@ fn opt_u64(v: Option<u64>) -> Json {
 impl Inspection {
     /// The whole inspection as one machine-readable JSON object: run
     /// shape and end, the per-round regret table, numerical health,
-    /// the profile (when recorded), and the audit findings. Key order
+    /// the profile (when recorded), the per-worker crowd ledger, and
+    /// the audit findings. Key order
     /// is sorted (BTreeMap encoding), so the output is deterministic;
     /// the schema is snapshot-tested.
     pub fn to_json(&self, name: &str) -> Json {
@@ -489,6 +499,7 @@ impl Inspection {
             ("rounds", Json::Arr(rounds)),
             ("health", Json::Arr(health)),
             ("profile", profile),
+            ("crowd", self.crowd.to_json()),
             ("audit", audit),
             ("skipped", Json::Arr(skipped)),
             (
@@ -675,9 +686,26 @@ mod tests {
         assert!(inspection.report.contains("## selection explain"));
         assert!(inspection.report.contains("## numerical health"));
         assert!(inspection.report.contains("1 report(s), 0 rescued round(s)"));
+        assert!(inspection.report.contains("## crowd health"));
         assert!(inspection.report.contains("audit: clean"));
         assert!(inspection.report.contains("## metrics"));
         assert!(inspection.report.contains("gain 5.000e-1"));
+    }
+
+    #[test]
+    fn crowd_section_lists_per_worker_rows() {
+        let inspection = inspect_str("unit", &clean_trace());
+        // The clean trace has one delivering worker; the ledger renders
+        // a row for it and the JSON carries the same counts.
+        assert_eq!(inspection.crowd.workers.len(), 1);
+        let w = &inspection.crowd.workers[&0];
+        assert_eq!(w.dispatched, 1);
+        assert_eq!(w.delivered, 1);
+        let json = inspection.to_json("unit");
+        let crowd = json.get("crowd").expect("crowd key");
+        let rows = crowd.get("workers").and_then(Json::as_arr).expect("workers");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("delivered").and_then(Json::as_u64), Some(1));
     }
 
     #[test]
@@ -841,9 +869,13 @@ mod tests {
         assert_eq!(
             keys(&parsed),
             [
-                "audit", "end", "events", "health", "name", "passes", "profile", "rounds",
-                "shape", "skipped"
+                "audit", "crowd", "end", "events", "health", "name", "passes", "profile",
+                "rounds", "shape", "skipped"
             ]
+        );
+        assert_eq!(
+            keys(parsed.get("crowd").unwrap()),
+            ["consensus_ties", "drifting", "workers"]
         );
         assert_eq!(
             keys(parsed.get("shape").unwrap()),

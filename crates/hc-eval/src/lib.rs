@@ -29,8 +29,8 @@ pub const ALL_EXPERIMENTS: [&str; 7] = [
 
 /// Extension experiments beyond the paper (§III-D items and design
 /// ablations; see [`experiments::ext`] and
-/// [`experiments::ext_faults`]).
-pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
+/// [`experiments::ext_faults`], and [`experiments::ext_drift`]).
+pub const EXTENSION_EXPERIMENTS: [&str; 8] = [
     "ext-cost",
     "ext-estimation",
     "ext-policy",
@@ -38,6 +38,7 @@ pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
     "ext-allocation",
     "ext-latency",
     "ext-faults",
+    "ext-drift",
 ];
 
 /// Runs one experiment by id.
@@ -66,6 +67,7 @@ pub fn run_experiment(id: &str, settings: &ExpSettings) -> ExperimentOutput {
         "ext-allocation" => experiments::ext::allocation(settings),
         "ext-latency" => experiments::ext::latency(settings),
         "ext-faults" => experiments::ext_faults::run(settings),
+        "ext-drift" => experiments::ext_drift::run(settings),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

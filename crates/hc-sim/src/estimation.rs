@@ -63,17 +63,58 @@ pub fn estimate_accuracies(dataset: &CrowdDataset, gold_items: &[usize]) -> Vec<
 ///
 /// `z` is the normal quantile (1.96 for 95%). Returns `(lo, hi)` within
 /// `[0, 1]`; `(0, 1)` when there are no trials.
+///
+/// The math lives in [`hc_core::telemetry::crowd::wilson_interval`]
+/// (the crowd-health ledger uses the same interval for its empirical
+/// agreement rates); this wrapper keeps the `u32` signature this module
+/// has always exposed.
 pub fn wilson_interval(correct: u32, total: u32, z: f64) -> (f64, f64) {
-    if total == 0 {
-        return (0.0, 1.0);
+    hc_core::telemetry::crowd::wilson_interval(u64::from(correct), u64::from(total), z)
+}
+
+/// A gold-set accuracy estimate with its Wilson uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyEstimate {
+    /// Laplace-smoothed point estimate, clamped to `[0.5, 1.0)` (what
+    /// [`estimate_accuracies`] returns).
+    pub rate: f64,
+    /// Wilson interval half-width at the requested confidence — the
+    /// `±` on the *raw* proportion (before Laplace smoothing), so it
+    /// honestly reflects the gold-set evidence.
+    pub half_width: f64,
+    /// Gold answers this worker contributed.
+    pub total: u32,
+}
+
+/// [`estimate_accuracies`] plus per-worker Wilson half-widths, so
+/// callers can see not just the estimate but how much gold evidence
+/// backs it. `z` is the normal quantile (1.96 for 95%). Workers with no
+/// gold answers get the chance rate with the vacuous half-width 0.5.
+pub fn estimate_accuracies_with_intervals(
+    dataset: &CrowdDataset,
+    gold_items: &[usize],
+    z: f64,
+) -> Vec<AccuracyEstimate> {
+    let mut correct = vec![0u32; dataset.n_workers()];
+    let mut total = vec![0u32; dataset.n_workers()];
+    for &item in gold_items {
+        for e in dataset.matrix.by_item(item) {
+            total[e.worker as usize] += 1;
+            if e.label == dataset.ground_truth[item] {
+                correct[e.worker as usize] += 1;
+            }
+        }
     }
-    let n = total as f64;
-    let p = correct as f64 / n;
-    let z2 = z * z;
-    let denom = 1.0 + z2 / n;
-    let centre = (p + z2 / (2.0 * n)) / denom;
-    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-    ((centre - half).max(0.0), (centre + half).min(1.0))
+    let rates = estimate_accuracies(dataset, gold_items);
+    rates
+        .into_iter()
+        .zip(correct.iter().zip(&total))
+        .map(|(rate, (&c, &t))| AccuracyEstimate {
+            rate,
+            half_width: hc_core::telemetry::crowd::wilson_half_width(u64::from(c), u64::from(t), z),
+            total: t,
+        })
+        .collect()
 }
 
 /// Gold-set size needed so the Wilson half-width at accuracy `p` stays
@@ -167,6 +208,33 @@ mod tests {
         // Extreme proportions stay in range.
         let (lo3, hi3) = wilson_interval(10, 10, 1.96);
         assert!(lo3 > 0.6 && hi3 <= 1.0);
+    }
+
+    #[test]
+    fn interval_estimates_carry_evidence_weighted_half_widths() {
+        let dataset = corpus(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = sample_gold_items(dataset.n_items(), 10, &mut rng);
+        let large = sample_gold_items(dataset.n_items(), 400, &mut rng);
+        let narrow = estimate_accuracies_with_intervals(&dataset, &large, 1.96);
+        let wide = estimate_accuracies_with_intervals(&dataset, &small, 1.96);
+        // Point estimates match the plain estimator exactly.
+        let plain = estimate_accuracies(&dataset, &large);
+        assert_eq!(
+            narrow.iter().map(|e| e.rate).collect::<Vec<_>>(),
+            plain
+        );
+        // More gold evidence, tighter intervals (workers all answer
+        // every item in this corpus, so per-worker totals track the
+        // gold-set size).
+        for (n, w) in narrow.iter().zip(&wide) {
+            assert!(n.total > w.total);
+            assert!(n.half_width < w.half_width, "{n:?} vs {w:?}");
+            assert!(n.half_width > 0.0 && w.half_width <= 0.5 + 1e-12);
+        }
+        // No gold at all: chance rate, vacuous interval.
+        let none = estimate_accuracies_with_intervals(&dataset, &[], 1.96);
+        assert!(none.iter().all(|e| e.rate == 0.5 && e.half_width == 0.5 && e.total == 0));
     }
 
     #[test]

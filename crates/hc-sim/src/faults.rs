@@ -50,8 +50,33 @@ pub struct FaultPlan {
     /// permanently leaves the crowd; every later attempt by that worker
     /// is dropped.
     pub churn_prob: f64,
+    /// Mid-run accuracy decay, for drift-detection scenarios. `None`
+    /// (the default, and what plans serialized before this field
+    /// existed deserialize to) disables decay.
+    #[serde(default)]
+    pub accuracy_decay: Option<AccuracyDecay>,
     /// Seed of the fault layer's private RNG.
     pub seed: u64,
+}
+
+/// Mid-run worker degradation: after the fault layer has seen
+/// `after_attempts` attempts (its global 0-based counter), the listed
+/// workers answer as if their accuracy had dropped to `floor`.
+///
+/// The substitution happens *between* the fault layer and its inner
+/// oracle — the degraded [`Worker`] is handed to the inner oracle's
+/// sampling — so it consumes no extra RNG draws and leaves the fault
+/// sequence, the retry behaviour, and the resume cursor untouched.
+/// Decay never *raises* accuracy: the effective rate is
+/// `min(worker rate, clamp(floor, 0.5, 1.0))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyDecay {
+    /// Fault-layer attempt index (0-based) at which the decay sets in.
+    pub after_attempts: u64,
+    /// Worker ids that degrade. Workers not listed are unaffected.
+    pub workers: Vec<u32>,
+    /// Post-onset accuracy, clamped to `[0.5, 1.0]` when applied.
+    pub floor: f64,
 }
 
 fn clamp01(p: f64) -> f64 {
@@ -73,6 +98,7 @@ impl FaultPlan {
             burst_every: 0,
             burst_len: 0,
             churn_prob: 0.0,
+            accuracy_decay: None,
             seed,
         }
     }
@@ -102,6 +128,17 @@ impl FaultPlan {
     /// Adds permanent-churn probability per attempt.
     pub fn with_churn(mut self, prob: f64) -> Self {
         self.churn_prob = clamp01(prob);
+        self
+    }
+
+    /// Adds mid-run accuracy decay: after `after_attempts` attempts the
+    /// listed workers answer at accuracy `floor` (see [`AccuracyDecay`]).
+    pub fn with_accuracy_decay(mut self, after_attempts: u64, workers: Vec<u32>, floor: f64) -> Self {
+        self.accuracy_decay = Some(AccuracyDecay {
+            after_attempts,
+            workers,
+            floor,
+        });
         self
     }
 
@@ -269,13 +306,39 @@ impl<O: AnswerOracle> AnswerOracle for FaultyOracle<O> {
             self.emit_fault(worker, fact, FaultKind::Dropout);
             return AnswerOutcome::Dropped;
         }
-        let outcome = self.inner.answer(worker, fact);
+        let outcome = match self.degraded(worker, attempt) {
+            Some(degraded) => self.inner.answer(&degraded, fact),
+            None => self.inner.answer(worker, fact),
+        };
         match outcome {
             AnswerOutcome::Answered(_) => self.stats.answered += 1,
             AnswerOutcome::TimedOut => self.stats.timed_out += 1,
             AnswerOutcome::Dropped => self.stats.dropped += 1,
         }
         outcome
+    }
+}
+
+impl<O> FaultyOracle<O> {
+    /// The decayed stand-in for `worker` at fault-layer attempt index
+    /// `attempt`, when the plan's [`AccuracyDecay`] applies — keyed on
+    /// the attempt counter alone, so it is a pure function of the plan
+    /// and perturbs neither the fault RNG nor the resume cursor.
+    fn degraded(&self, worker: &Worker, attempt: u64) -> Option<Worker> {
+        let decay = self.plan.accuracy_decay.as_ref()?;
+        if attempt < decay.after_attempts || !decay.workers.contains(&worker.id.0) {
+            return None;
+        }
+        let floor = if decay.floor.is_nan() {
+            0.5
+        } else {
+            decay.floor.clamp(0.5, 1.0)
+        };
+        let rate = floor.min(worker.accuracy.rate());
+        if rate >= worker.accuracy.rate() {
+            return None;
+        }
+        Some(Worker::new(worker.id.0, rate).expect("clamped decay rate is a valid accuracy"))
     }
 }
 
@@ -558,6 +621,99 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn accuracy_decay_degrades_only_listed_workers_after_onset() {
+        // One fact whose truth is `true`; a perfect worker answers Yes
+        // until the decay kicks in, after which it samples at 0.5.
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::none(31).with_accuracy_decay(10, vec![0], 0.5);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 8), plan);
+        let decaying = worker(0, 1.0);
+        let steady = worker(1, 1.0);
+        let mut wrong_before = 0;
+        let mut wrong_after = 0;
+        for i in 0..100 {
+            let w = if i % 2 == 0 { &decaying } else { &steady };
+            let outcome = faulty.answer(w, GlobalFact::new(0, 0));
+            let wrong = outcome != AnswerOutcome::Answered(hc_core::Answer::Yes);
+            if w.id.0 == 1 {
+                assert!(!wrong, "unlisted worker must stay perfect (attempt {i})");
+            } else if i < 10 {
+                assert!(!wrong, "decay must not fire before onset (attempt {i})");
+            } else {
+                wrong_after += usize::from(wrong);
+            }
+            wrong_before += usize::from(wrong && i < 10);
+        }
+        assert_eq!(wrong_before, 0);
+        assert!(
+            wrong_after > 5,
+            "a 0.5-accuracy coin should err often, got {wrong_after}/45"
+        );
+    }
+
+    #[test]
+    fn accuracy_decay_never_raises_accuracy_or_perturbs_rng() {
+        let truths = vec![vec![true, false]];
+        // Floor above the worker's own rate: the substitution is a
+        // no-op and the stream matches the undecayed run bit-for-bit.
+        let base = FaultPlan::uniform(0.2, 47).with_timeouts(0.1);
+        let decayed = base.clone().with_accuracy_decay(0, vec![0], 0.95);
+        let run = |plan: FaultPlan| {
+            let mut faulty = FaultyOracle::new(sampling(&truths, 5), plan);
+            let w = worker(0, 0.7);
+            (0..200)
+                .map(|i| faulty.answer(&w, GlobalFact::new(0, i % 2)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(base), run(decayed));
+    }
+
+    #[test]
+    fn accuracy_decay_survives_serde_and_old_plans_default_to_none() {
+        let plan = FaultPlan::uniform(0.1, 3).with_accuracy_decay(50, vec![2, 7], 0.6);
+        let Ok(json) = serde_json::to_string(&plan) else {
+            // Offline stub toolchain: serde is non-functional; the
+            // round-trip is exercised by CI's real serde.
+            return;
+        };
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        // A plan serialized before the field existed still parses.
+        let old = json
+            .replace(",\"accuracy_decay\":{\"after_attempts\":50,\"workers\":[2,7],\"floor\":0.6}", "")
+            .replace("\"accuracy_decay\":{\"after_attempts\":50,\"workers\":[2,7],\"floor\":0.6},", "");
+        assert!(!old.contains("accuracy_decay"), "{old}");
+        let legacy: FaultPlan = serde_json::from_str(&old).unwrap();
+        assert_eq!(legacy.accuracy_decay, None);
+        assert_eq!(legacy.base_dropout, plan.base_dropout);
+    }
+
+    #[test]
+    fn accuracy_decay_leaves_the_resume_cursor_untouched() {
+        let truths = vec![vec![true]];
+        let plan = FaultPlan::none(19).with_accuracy_decay(5, vec![0], 0.5);
+        let mut faulty = FaultyOracle::new(sampling(&truths, 2), plan.clone());
+        let w = worker(0, 0.95);
+        for _ in 0..12 {
+            faulty.answer(&w, GlobalFact::new(0, 0));
+        }
+        let cursor_str = faulty.save_cursor();
+        // A fresh oracle under the same plan restores and continues
+        // identically to the uninterrupted one.
+        let mut resumed = FaultyOracle::new(sampling(&truths, 2), plan);
+        for _ in 0..12 {
+            resumed.answer(&w, GlobalFact::new(0, 0));
+        }
+        resumed.restore_cursor(&cursor_str).unwrap();
+        for _ in 0..12 {
+            assert_eq!(
+                faulty.answer(&w, GlobalFact::new(0, 0)),
+                resumed.answer(&w, GlobalFact::new(0, 0))
+            );
+        }
     }
 
     #[test]

@@ -24,8 +24,11 @@ pub mod stopping;
 
 pub use budget::BudgetLedger;
 pub use crash::{CrashPlan, RunArtifacts, SessionFixture, TornWrite};
-pub use estimation::{estimate_accuracies, sample_gold_items, wilson_interval};
-pub use faults::{FaultPlan, FaultStats, FaultyOracle, RetryPolicy};
+pub use estimation::{
+    estimate_accuracies, estimate_accuracies_with_intervals, sample_gold_items, wilson_interval,
+    AccuracyEstimate,
+};
+pub use faults::{AccuracyDecay, FaultPlan, FaultStats, FaultyOracle, RetryPolicy};
 pub use latency::{LatencyModel, WallClock};
 pub use oracle::{CountingOracle, ReplayOracle, SamplingOracle};
 pub use platform::{PlatformStats, SimulatedPlatform};

@@ -247,6 +247,21 @@ impl<O: AnswerOracle, C: CostModel> AnswerOracle for SimulatedPlatform<O, C> {
                     self.stats.bump_worker(target.id.index());
                     let secs = self.latency.answer_secs(&target, &mut self.latency_rng);
                     self.charge_lane(target.id.index(), secs);
+                    // Metering metadata for the crowd ledger: attributed
+                    // to the worker that actually answered (under
+                    // reassignment that may differ from the dispatch
+                    // key the loop will stamp on AnswerDelivered).
+                    if let Some(sink) = self.sink.as_mut() {
+                        if sink.enabled() {
+                            sink.record(&TelemetryEvent::AnswerLatency {
+                                task: fact.task,
+                                fact: fact.fact.0,
+                                worker: target.id.0,
+                                latency_secs: secs,
+                                query_id: self.current_query_id,
+                            });
+                        }
+                    }
                     return outcome;
                 }
                 AnswerOutcome::TimedOut => self.stats.timeouts += 1,
@@ -428,6 +443,110 @@ mod tests {
     }
 
     #[test]
+    fn platform_emits_answer_latency_events() {
+        use hc_core::telemetry::SharedRecorder;
+        // No jitter: a 0.95-accuracy worker takes exactly
+        // 12 + 0.45·20 = 21 s, so the event value is checkable.
+        let model = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let truths = vec![vec![true]];
+        let recorder = SharedRecorder::new();
+        let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(3));
+        let mut platform = SimulatedPlatform::with_models(inner, model, UnitCost, 17)
+            .with_telemetry(Box::new(recorder.clone()));
+        let w = worker(0, 0.95);
+        platform.begin_dispatch(7);
+        platform.answer(&w, GlobalFact::new(0, 0));
+        let events = recorder.snapshot();
+        let latencies: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::AnswerLatency { .. }))
+            .collect();
+        assert_eq!(latencies.len(), 1);
+        match latencies[0] {
+            TelemetryEvent::AnswerLatency {
+                task,
+                fact,
+                worker,
+                latency_secs,
+                query_id,
+            } => {
+                assert_eq!(*task, 0);
+                assert_eq!(*fact, 0);
+                assert_eq!(*worker, 0);
+                assert_eq!(*latency_secs, 21.0);
+                assert_eq!(*query_id, 7, "latency carries the causal dispatch id");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_the_simulation() {
+        use hc_core::telemetry::SharedRecorder;
+        // Same seed with and without a sink: every stat (including the
+        // jittered latency clock) must be bit-identical.
+        let truths = vec![vec![true, false], vec![false, true]];
+        let run = |sink: bool| {
+            let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(9));
+            let mut platform = SimulatedPlatform::new(inner, 23)
+                .with_retry_policy(RetryPolicy::standard());
+            if sink {
+                platform = platform.with_telemetry(Box::new(SharedRecorder::new()));
+            }
+            let w0 = worker(0, 0.9);
+            let w1 = worker(1, 0.6);
+            for round in 0..4 {
+                platform.begin_dispatch(round as u64 + 1);
+                platform.answer(&w0, GlobalFact::new(round % 2, 0));
+                platform.begin_dispatch(round as u64 + 100);
+                platform.answer(&w1, GlobalFact::new(round % 2, 1));
+                platform.end_round();
+            }
+            platform.stats().clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reassigned_latency_attributes_to_the_answering_worker() {
+        use hc_core::telemetry::SharedRecorder;
+        struct FirstWorkerDead;
+        impl AnswerOracle for FirstWorkerDead {
+            fn answer(&mut self, worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+                if worker.id.0 == 0 {
+                    AnswerOutcome::TimedOut
+                } else {
+                    Answer::Yes.into()
+                }
+            }
+        }
+        let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85]).unwrap();
+        let recorder = SharedRecorder::new();
+        let mut platform = SimulatedPlatform::new(FirstWorkerDead, 10)
+            .with_retry_policy(RetryPolicy::standard())
+            .with_reassignment_panel(&panel)
+            .with_telemetry(Box::new(recorder.clone()));
+        let w0 = panel.workers()[0];
+        platform.begin_dispatch(5);
+        let out = platform.answer(&w0, GlobalFact::new(0, 0));
+        assert_eq!(out, AnswerOutcome::Answered(Answer::Yes));
+        let events = recorder.snapshot();
+        let lat = events
+            .iter()
+            .find_map(|e| match e {
+                TelemetryEvent::AnswerLatency { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .expect("latency emitted");
+        // The loop's AnswerDelivered will be keyed on worker 0 (the
+        // dispatch target); the latency event names who really answered.
+        assert_eq!(lat, 1);
+    }
+
+    #[test]
     fn end_round_accumulates_wall_clock() {
         let truths = vec![vec![true]];
         let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(2));
@@ -597,5 +716,87 @@ mod tests {
         platform.answer(&w, GlobalFact::new(0, 0));
         assert_eq!(platform.stats().spend, 2, "both failed attempts charged");
         assert_eq!(platform.stats().answers, 0);
+    }
+
+    /// Deterministic slice of the `tests/crowd_ledger.rs` property:
+    /// the crowd ledger folded from a full instrumented HC run must
+    /// agree with the platform's per-worker table, and fold to the
+    /// same bytes regardless of thread count.
+    #[test]
+    fn crowd_ledger_agrees_with_per_worker_stats_at_any_thread_count() {
+        use hc_core::belief::{Belief, MultiBelief};
+        use hc_core::hc::{run_hc_costed_with_telemetry, HcConfig};
+        use hc_core::selection::GreedySelector;
+        use hc_core::telemetry::crowd::CrowdLedger;
+        use hc_core::telemetry::SharedRecorder;
+        use hc_core::worker::ExpertPanel;
+        use hc_core::Parallelism;
+
+        let run = |parallelism: Parallelism| {
+            let _threads = hc_core::parallel::scoped(parallelism);
+            let mut beliefs = MultiBelief::new(
+                (0..6)
+                    .map(|t| {
+                        let base = 0.52 + 0.04 * (t % 4) as f64;
+                        Belief::from_marginals(&[base, 1.0 - base]).unwrap()
+                    })
+                    .collect(),
+            );
+            let truths: Vec<Vec<bool>> =
+                (0..6).map(|t| vec![t % 2 == 0, t % 3 == 0]).collect();
+            let panel = ExpertPanel::from_accuracies(&[0.95, 0.85, 0.75]).unwrap();
+            let recorder = SharedRecorder::new();
+            let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(5));
+            let plan = FaultPlan::uniform(0.2, 17)
+                .with_timeouts(0.1)
+                .with_accuracy_decay(12, vec![0], 0.5);
+            let faulty =
+                FaultyOracle::new(inner, plan).with_telemetry(Box::new(recorder.clone()));
+            let mut platform = SimulatedPlatform::new(faulty, 19)
+                .with_retry_policy(RetryPolicy::standard())
+                .with_telemetry(Box::new(recorder.clone()));
+            let mut rng = StdRng::seed_from_u64(23);
+            let mut observer = |_: &MultiBelief, _: &hc_core::hc::RoundRecord| {};
+            let mut sink = recorder.clone();
+            run_hc_costed_with_telemetry(
+                &mut beliefs,
+                &panel,
+                &GreedySelector::new(),
+                &mut platform,
+                &HcConfig::new(1, 36),
+                &UnitCost,
+                &mut rng,
+                &mut observer,
+                &mut sink,
+            )
+            .expect("sub-critical faults terminate");
+            platform.end_round();
+            let stats = platform.stats().clone();
+            (CrowdLedger::from_events(&recorder.into_events()), stats)
+        };
+
+        let (ledger, stats) = run(Parallelism::Serial);
+        // Per-worker delivery counts are bit-for-bit the platform's.
+        let max_id = stats.per_worker_counts().len().max(
+            ledger.workers.keys().map(|&w| w as usize + 1).max().unwrap_or(0),
+        );
+        let mut total = 0;
+        for id in 0..max_id {
+            let folded = ledger.workers.get(&(id as u32)).map_or(0, |w| w.delivered);
+            assert_eq!(folded, stats.per_worker_count(id), "worker {id}");
+            total += folded;
+        }
+        assert_eq!(total, stats.answers);
+        // Scheduling independence: 2 and 8 threads fold identically.
+        for threads in [2, 8] {
+            let (other, other_stats) = run(Parallelism::Threads(threads));
+            assert_eq!(other, ledger, "{threads}-thread ledger diverged");
+            assert_eq!(
+                other.to_json().to_string(),
+                ledger.to_json().to_string(),
+                "{threads}-thread ledger bytes diverged"
+            );
+            assert_eq!(other_stats.per_worker_counts(), stats.per_worker_counts());
+        }
     }
 }

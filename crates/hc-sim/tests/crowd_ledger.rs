@@ -1,0 +1,174 @@
+//! Property-based crowd-ledger conformance: for *any* fault plan and
+//! *any* thread policy, the per-worker ledger folded from the telemetry
+//! stream must agree bit-for-bit with the platform's own delivery
+//! accounting, and the folded ledger must serialise to byte-identical
+//! JSON regardless of how many threads the HC loop ran on.
+
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::hc::{run_hc_costed_with_telemetry, HcConfig, UnitCost};
+use hc_core::selection::GreedySelector;
+use hc_core::telemetry::crowd::CrowdLedger;
+use hc_core::telemetry::{SharedRecorder, TelemetryEvent};
+use hc_core::worker::ExpertPanel;
+use hc_core::Parallelism;
+use hc_sim::{FaultPlan, FaultyOracle, PlatformStats, RetryPolicy, SamplingOracle, SimulatedPlatform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small heterogeneous fixture: 8 tasks × 3 facts, 5 experts.
+fn fixture() -> (MultiBelief, ExpertPanel, Vec<Vec<bool>>) {
+    let mut tasks = Vec::new();
+    let mut truths = Vec::new();
+    for t in 0..8usize {
+        let base = 0.52 + 0.03 * (t % 5) as f64;
+        tasks.push(Belief::from_marginals(&[base, 1.0 - base, base + 0.1]).unwrap());
+        truths.push(vec![t % 2 == 0, t % 3 == 0, t % 5 != 0]);
+    }
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9, 0.85, 0.8, 0.75]).unwrap();
+    (MultiBelief::new(tasks), panel, truths)
+}
+
+/// Runs the HC loop over the fixture under `plan` and returns the full
+/// telemetry stream plus the platform's own accounting.
+fn run_fixture(
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    parallelism: Parallelism,
+) -> (Vec<TelemetryEvent>, PlatformStats) {
+    let _threads = hc_core::parallel::scoped(parallelism);
+    let (mut beliefs, panel, truths) = fixture();
+    let recorder = SharedRecorder::new();
+    let inner = SamplingOracle::new(&truths, StdRng::seed_from_u64(7));
+    let faulty = FaultyOracle::new(inner, plan).with_telemetry(Box::new(recorder.clone()));
+    let mut platform = SimulatedPlatform::new(faulty, 11)
+        .with_retry_policy(policy)
+        .with_telemetry(Box::new(recorder.clone()));
+    let mut rng = StdRng::seed_from_u64(13);
+    let config = HcConfig::new(1, 60);
+    let mut observer = |_: &MultiBelief, _: &hc_core::hc::RoundRecord| {};
+    let mut sink = recorder.clone();
+    run_hc_costed_with_telemetry(
+        &mut beliefs,
+        &panel,
+        &GreedySelector::new(),
+        &mut platform,
+        &config,
+        &UnitCost,
+        &mut rng,
+        &mut observer,
+        &mut sink,
+    )
+    .expect("sub-critical fault plans terminate");
+    platform.end_round();
+    let stats = platform.stats().clone();
+    (recorder.into_events(), stats)
+}
+
+/// An arbitrary-but-terminating unreliability profile, covering every
+/// fault knob the plan exposes (dropout, timeouts, bursts, churn, and
+/// mid-run accuracy decay).
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.5,
+        0.0f64..0.3,
+        any::<u64>(),
+        // burst: every 3..12 attempts, 0..3 attempts long (0 = none)
+        3u64..12,
+        0u64..3,
+        0.0f64..0.02,
+        // decay: onset attempts, floor, worker-id bitmask (0 = none)
+        0u64..80,
+        0.5f64..0.9,
+        0u32..32,
+    )
+        .prop_map(
+            |(dropout, timeouts, seed, every, len, churn, onset, floor, mask)| {
+                let mut plan = FaultPlan::uniform(dropout, seed)
+                    .with_timeouts(timeouts)
+                    .with_churn(churn);
+                if len > 0 {
+                    plan = plan.with_burst(every, len);
+                }
+                let decayed: Vec<u32> = (0..5).filter(|w| mask & (1 << w) != 0).collect();
+                if !decayed.is_empty() {
+                    plan = plan.with_accuracy_decay(onset, decayed, floor);
+                }
+                plan
+            },
+        )
+}
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    prop_oneof![Just(RetryPolicy::none()), Just(RetryPolicy::standard())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The ledger's per-worker delivery counts are a pure fold of the
+    /// telemetry stream — they must match the platform's independently
+    /// maintained per-worker table exactly, for every worker id either
+    /// side knows about.
+    #[test]
+    fn ledger_matches_platform_per_worker_counts(
+        plan in fault_plan_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let (events, stats) = run_fixture(plan, policy, Parallelism::Auto);
+        let ledger = CrowdLedger::from_events(&events);
+        let max_id = ledger
+            .workers
+            .keys()
+            .map(|&w| w as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(stats.per_worker_counts().len());
+        let mut total = 0u64;
+        for id in 0..max_id {
+            let folded = ledger
+                .workers
+                .get(&(id as u32))
+                .map_or(0, |w| w.delivered);
+            prop_assert_eq!(
+                folded,
+                stats.per_worker_count(id),
+                "worker {} delivery mismatch", id
+            );
+            total += folded;
+        }
+        prop_assert_eq!(total, stats.answers, "aggregate deliveries drifted");
+    }
+
+    /// Thread-count invariance: the folded ledger (and its serialised
+    /// bytes) must be identical whether the loop ran serially or on 2
+    /// or 8 threads — worker attribution cannot depend on scheduling.
+    #[test]
+    fn ledger_bytes_are_identical_across_thread_counts(
+        plan in fault_plan_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let runs = [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ]
+        .map(|p| run_fixture(plan.clone(), policy.clone(), p));
+        let reference = CrowdLedger::from_events(&runs[0].0);
+        let reference_json = reference.to_json().to_string();
+        for (events, stats) in &runs[1..] {
+            let ledger = CrowdLedger::from_events(events);
+            prop_assert_eq!(&ledger, &reference, "folded ledgers diverged");
+            prop_assert_eq!(
+                ledger.to_json().to_string(),
+                reference_json.clone(),
+                "serialised ledger bytes diverged"
+            );
+            prop_assert_eq!(
+                stats.per_worker_counts(),
+                runs[0].1.per_worker_counts(),
+                "platform accounting diverged"
+            );
+        }
+    }
+}

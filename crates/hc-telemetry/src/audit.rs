@@ -12,9 +12,13 @@
 //! On top of the hard contract it flags operational anomalies as
 //! [`Severity::Warning`]s: entropy stalls (rounds that deliver answers
 //! but move the belief by nothing), retry storms, starved workers,
-//! runs whose crowd barely delivers, and rounds whose Bayes updates
-//! were numerically near collapse (vanishing pre-normalisation mass or
-//! a log-domain rescue). A clean reliable-crowd run yields zero
+//! runs whose crowd barely delivers, rounds whose Bayes updates were
+//! numerically near collapse (vanishing pre-normalisation mass or a
+//! log-domain rescue), and crowd-health anomalies from the
+//! [`crate::crowd`] ledger — a worker whose agreement stream drifts
+//! below its own baseline (`worker_drift_suspected`) or one that
+//! agrees with the consensus suspiciously often
+//! (`too_perfect_worker`). A clean reliable-crowd run yields zero
 //! findings of either severity.
 
 use crate::event::TelemetryEvent;
@@ -88,6 +92,15 @@ pub struct AuditConfig {
     /// update engine reports a log-domain rescue. The default sits well
     /// above the subnormal range but far below any healthy likelihood.
     pub near_collapse_scale: f64,
+    /// Crowd-ledger fold and drift-detector knobs behind the
+    /// `worker_drift_suspected` warning (see [`crate::crowd`]).
+    pub crowd: crate::crowd::CrowdConfig,
+    /// Minimum comparable answers before `too_perfect_worker` can
+    /// fire. Perfect agreement over a short run is unremarkable (a
+    /// 0.95-accuracy worker clears 24 answers ~29% of the time); the
+    /// default demands a streak a merely-good worker essentially never
+    /// produces.
+    pub perfect_min_answers: u64,
 }
 
 impl Default for AuditConfig {
@@ -100,6 +113,8 @@ impl Default for AuditConfig {
             starvation_min_dispatches: 4,
             min_delivery_ratio: 0.75,
             near_collapse_scale: 1e-250,
+            crowd: crate::crowd::CrowdConfig::default(),
+            perfect_min_answers: 40,
         }
     }
 }
@@ -397,6 +412,17 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                     workers.entry(*worker).or_default().delivered += 1;
                 }
             }
+            TelemetryEvent::AnswerLatency { latency_secs, .. } => {
+                // Metering metadata: exempt from the dispatch-closure
+                // grammar (like RetryScheduled), but its value must be
+                // a real duration.
+                check_finite(
+                    &mut findings,
+                    "answer_latency.latency_secs",
+                    *latency_secs,
+                    None,
+                );
+            }
             TelemetryEvent::RetryScheduled { .. } => {
                 total_retries += 1;
             }
@@ -629,6 +655,33 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                     "only {total_delivered} of {total_dispatched} dispatches delivered ({:.0}% < {:.0}%)",
                     ratio * 100.0,
                     config.min_delivery_ratio * 100.0
+                ),
+            });
+        }
+    }
+
+    // ── Crowd health ───────────────────────────────────────────────
+    let ledger = crate::crowd::CrowdLedger::from_events_with(events, &config.crowd);
+    for drift in ledger.drifting() {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            code: "worker_drift_suspected",
+            round: None,
+            message: format!(
+                "worker {} agreement drifted below its own baseline: {:.2} -> {:.2} (cusum {:.2} at answer {})",
+                drift.worker, drift.baseline, drift.recent, drift.cusum, drift.at_answer
+            ),
+        });
+    }
+    for w in ledger.workers.values() {
+        if w.comparable >= config.perfect_min_answers && w.agreements == w.comparable {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                code: "too_perfect_worker",
+                round: None,
+                message: format!(
+                    "worker {} agreed with the consensus on all {} comparable answers — statistically suspicious (copying the majority?)",
+                    w.worker, w.comparable
                 ),
             });
         }
@@ -1052,6 +1105,145 @@ mod tests {
             report.render()
         );
         assert_eq!(report.error_count(), 0, "{}", report.render());
+    }
+
+    /// A grammar-clean multi-voter trace: three workers answer every
+    /// round's fact; worker 0 votes with the crowd until `flip_round`
+    /// (1-based), against it afterwards. Entropy moves every round so
+    /// no stall warning muddies the crowd-health assertions.
+    fn voting_trace(rounds: usize, flip_round: usize) -> Vec<E> {
+        let mut events = vec![E::RunStarted {
+            tasks: rounds,
+            facts: rounds,
+            panel: 3,
+            budget: 1000,
+            k: 1,
+            entropy: 2.0,
+            quality: -2.0,
+        }];
+        let mut qid = 0u64;
+        let mut entropy = 2.0;
+        for round in 1..=rounds {
+            let task = round - 1;
+            let next_entropy = 2.0 - 0.01 * round as f64;
+            events.push(E::RoundSelected {
+                round,
+                k_requested: 1,
+                k_effective: 1,
+                queries: vec![(task, 0)],
+                entropy_before: entropy,
+                predicted_entropy: next_entropy,
+            });
+            for worker in 0..3u32 {
+                qid += 1;
+                let answer = worker != 0 || round < flip_round;
+                events.push(E::QueryDispatched { round, task, fact: 0, worker, query_id: qid });
+                events.push(E::AnswerDelivered { round, task, fact: 0, worker, query_id: qid, answer });
+            }
+            entropy = next_entropy;
+            events.push(E::BeliefUpdated {
+                round,
+                entropy,
+                quality: -entropy,
+                budget_spent: 3 * round as u64,
+                answers_requested: 3,
+                answers_received: 3,
+            });
+        }
+        events.push(E::RunFinished {
+            rounds,
+            budget_spent: 3 * rounds as u64,
+            entropy,
+            quality: -entropy,
+            reason: StopReason::BudgetExhausted,
+        });
+        events
+    }
+
+    #[test]
+    fn drifting_worker_is_a_warning() {
+        // Clean baseline for 12 rounds, defection afterwards.
+        let report = audit(&voting_trace(30, 13));
+        let drift = report
+            .findings
+            .iter()
+            .find(|f| f.code == "worker_drift_suspected")
+            .expect("drift flagged");
+        assert_eq!(drift.severity, Severity::Warning);
+        assert!(drift.message.contains("worker 0"), "{}", drift.message);
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        // Only the defector is flagged.
+        assert_eq!(
+            report.findings.iter().filter(|f| f.code == "worker_drift_suspected").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn steady_crowds_raise_no_drift_warning() {
+        let report = audit(&voting_trace(30, 100));
+        assert!(
+            !report.findings.iter().any(|f| f.code == "worker_drift_suspected"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn suspiciously_perfect_worker_is_a_warning() {
+        // 45 unanimous rounds: every worker clears perfect_min_answers
+        // with 100% leave-one-out agreement.
+        let report = audit(&voting_trace(45, 100));
+        let perfect: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.code == "too_perfect_worker")
+            .collect();
+        assert_eq!(perfect.len(), 3, "{}", report.render());
+        assert!(perfect.iter().all(|f| f.severity == Severity::Warning));
+        assert_eq!(report.error_count(), 0, "{}", report.render());
+        // Shorter perfect streaks are unremarkable.
+        let short = audit(&voting_trace(30, 100));
+        assert!(
+            !short.findings.iter().any(|f| f.code == "too_perfect_worker"),
+            "{}",
+            short.render()
+        );
+    }
+
+    #[test]
+    fn nonfinite_answer_latency_is_an_error() {
+        let mut events = clean_run();
+        events.insert(
+            3,
+            E::AnswerLatency {
+                task: 0,
+                fact: 0,
+                worker: 0,
+                latency_secs: f64::NAN,
+                query_id: 1,
+            },
+        );
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "nonfinite_value"),
+            "{}",
+            report.render()
+        );
+        // A finite latency between dispatch and delivery is exempt
+        // from the closure grammar.
+        let mut ok = clean_run();
+        ok.insert(
+            3,
+            E::AnswerLatency {
+                task: 0,
+                fact: 0,
+                worker: 0,
+                latency_secs: 21.5,
+                query_id: 1,
+            },
+        );
+        assert!(audit(&ok).is_clean(), "{}", audit(&ok).render());
     }
 
     fn events_start() -> E {

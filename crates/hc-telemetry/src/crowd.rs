@@ -1,0 +1,759 @@
+//! Crowd health: fold an event stream into per-worker ledgers with
+//! agreement-based accuracy estimates, Wilson confidence intervals,
+//! latency histograms, and a CUSUM drift detector.
+//!
+//! The θ-split assumes worker accuracies are known and static; this
+//! module is the measurement layer that checks both assumptions from
+//! the trace alone. Ground truth is never available at audit time, so
+//! *agreement with the crowd consensus* stands in for accuracy: a
+//! first pass pools every [`TelemetryEvent::AnswerDelivered`] into
+//! per-`(task, fact)` vote tallies, and a second pass scores each
+//! answer against the **leave-one-out majority** — the consensus of
+//! the *other* voters on that fact, so a worker never agrees with
+//! itself (a lone voter, or an exactly split remainder, is a tie and
+//! is excluded). The resulting 0/1 agreement stream per worker feeds:
+//!
+//! - a point estimate with a Wilson score interval
+//!   ([`wilson_interval`]) — honest uncertainty at small counts, the
+//!   input every adaptive allocation policy consumes;
+//! - a one-sided CUSUM detector ([`CrowdConfig`]) that alarms when a
+//!   worker's recent agreement falls persistently below its own
+//!   baseline — the "which worker is degrading?" primitive.
+//!
+//! Everything here is a deterministic fold over the trace: the same
+//! JSONL bytes produce the same ledger (and the same
+//! [`CrowdLedger::to_json`] bytes) at any thread count.
+
+use crate::event::TelemetryEvent;
+use crate::json::Json;
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Wilson score interval for a binomial proportion, as `(low, high)`.
+///
+/// Unlike the normal approximation, the interval stays inside `[0, 1]`
+/// and keeps honest width at small `total` — `(0.0, 1.0)` when no
+/// trials were observed. `z` is the standard-normal critical value
+/// (1.96 for 95% confidence).
+pub fn wilson_interval(correct: u64, total: u64, z: f64) -> (f64, f64) {
+    if total == 0 {
+        return (0.0, 1.0);
+    }
+    let n = total as f64;
+    let p = correct.min(total) as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Half the width of the [`wilson_interval`] — the `±` uncertainty a
+/// report quotes next to the point estimate.
+pub fn wilson_half_width(correct: u64, total: u64, z: f64) -> f64 {
+    let (low, high) = wilson_interval(correct, total, z);
+    (high - low) / 2.0
+}
+
+/// Knobs for the ledger fold and the drift detector.
+///
+/// The CUSUM is one-sided and downward: with baseline agreement `p0`
+/// (the mean of the worker's first [`Self::drift_window`] comparable
+/// answers) the statistic evolves as
+/// `S ← max(0, S + (p0 − aᵢ − slack))` over subsequent agreement bits
+/// `aᵢ`, and alarms when `S > threshold`. `slack` absorbs baseline
+/// noise; `threshold` trades detection latency against false alarms —
+/// the default 2.5 needs roughly three near-consecutive disagreements
+/// beyond slack before it can fire, which a healthy high-agreement
+/// worker essentially never produces by chance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdConfig {
+    /// Critical value for the Wilson intervals (1.96 ≈ 95%).
+    pub wilson_z: f64,
+    /// Baseline window: comparable answers used to estimate `p0`, and
+    /// the "recent agreement" window quoted when an alarm fires.
+    pub drift_window: usize,
+    /// Allowance subtracted from every CUSUM increment.
+    pub drift_slack: f64,
+    /// Alarm level for the CUSUM statistic.
+    pub drift_threshold: f64,
+    /// Minimum comparable answers before the detector may alarm.
+    pub drift_min_answers: usize,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            wilson_z: 1.96,
+            drift_window: 10,
+            drift_slack: 0.1,
+            drift_threshold: 2.5,
+            drift_min_answers: 10,
+        }
+    }
+}
+
+/// A CUSUM alarm: one worker's agreement stream fell persistently
+/// below its own baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerDriftSuspected {
+    /// The drifting worker.
+    pub worker: u32,
+    /// 0-based index into the worker's *comparable* answer stream at
+    /// which the alarm fired (detection latency, in answers, counts
+    /// from the change point to here).
+    pub at_answer: usize,
+    /// Baseline agreement `p0` over the first window.
+    pub baseline: f64,
+    /// Mean agreement over the last window at alarm time.
+    pub recent: f64,
+    /// The CUSUM statistic when it crossed the threshold.
+    pub cusum: f64,
+}
+
+/// Per-worker tallies folded from one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLedger {
+    /// The worker id the tallies belong to.
+    pub worker: u32,
+    /// Dispatches keyed to this worker.
+    pub dispatched: u64,
+    /// Answers this worker delivered.
+    pub delivered: u64,
+    /// Dispatches to this worker that timed out.
+    pub timed_out: u64,
+    /// Dispatches to this worker that were dropped.
+    pub dropped: u64,
+    /// Retries scheduled against this worker.
+    pub retries: u64,
+    /// Faults injected on this worker's attempts.
+    pub faults: u64,
+    /// Delivered answers that had a consensus to compare against.
+    pub comparable: u64,
+    /// Of those, answers agreeing with the consensus.
+    pub agreements: u64,
+    /// The accuracy the worker was *hired at* (from the panel / fault
+    /// plan), when the caller supplies it; the gap between declared
+    /// and observed agreement is the re-tiering signal.
+    pub declared_accuracy: Option<f64>,
+    /// Simulated per-answer latency, when the trace carries
+    /// [`TelemetryEvent::AnswerLatency`] events.
+    pub latency: Histogram,
+    /// The first drift alarm on this worker's agreement stream, if any.
+    pub drift: Option<WorkerDriftSuspected>,
+}
+
+impl WorkerLedger {
+    fn new(worker: u32) -> Self {
+        WorkerLedger {
+            worker,
+            dispatched: 0,
+            delivered: 0,
+            timed_out: 0,
+            dropped: 0,
+            retries: 0,
+            faults: 0,
+            comparable: 0,
+            agreements: 0,
+            declared_accuracy: None,
+            latency: Histogram::new(Histogram::default_bounds()),
+            drift: None,
+        }
+    }
+
+    /// Observed agreement-with-consensus rate; NaN with no comparable
+    /// answers.
+    pub fn agreement(&self) -> f64 {
+        if self.comparable == 0 {
+            f64::NAN
+        } else {
+            self.agreements as f64 / self.comparable as f64
+        }
+    }
+
+    /// Wilson interval around [`Self::agreement`] at critical value `z`.
+    pub fn wilson(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.agreements, self.comparable, z)
+    }
+}
+
+/// The folded crowd-health state of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrowdLedger {
+    /// Per-worker ledgers, keyed (and therefore rendered) by id.
+    pub workers: BTreeMap<u32, WorkerLedger>,
+    /// Delivered answers excluded from agreement because the
+    /// leave-one-out vote on their `(task, fact)` was tied (including
+    /// the lone-voter case, where no other votes exist).
+    pub consensus_ties: u64,
+    /// The configuration the fold ran with.
+    pub config: CrowdConfig,
+}
+
+impl CrowdLedger {
+    /// Folds `events` with the default [`CrowdConfig`].
+    pub fn from_events(events: &[TelemetryEvent]) -> Self {
+        Self::from_events_with(events, &CrowdConfig::default())
+    }
+
+    /// Folds `events` with explicit knobs.
+    ///
+    /// Two deterministic passes: pooled vote tallies per
+    /// `(task, fact)` first, then per-worker leave-one-out scoring in
+    /// stream order, feeding the CUSUM per worker.
+    pub fn from_events_with(events: &[TelemetryEvent], config: &CrowdConfig) -> Self {
+        // Pass 1: (true_votes, false_votes) per (task, fact).
+        let mut votes: BTreeMap<(usize, u32), (u64, u64)> = BTreeMap::new();
+        for event in events {
+            if let TelemetryEvent::AnswerDelivered {
+                task, fact, answer, ..
+            } = event
+            {
+                let entry = votes.entry((*task, *fact)).or_insert((0, 0));
+                if *answer {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+        }
+        // Leave-one-out: the consensus *this* answer is scored against
+        // excludes the answer itself, so a worker cannot vouch for its
+        // own vote and single-voter facts drop out as ties.
+        let consensus = |task: usize, fact: u32, answer: bool| -> Option<bool> {
+            let (mut yes, mut no) = votes.get(&(task, fact)).copied().unwrap_or((0, 0));
+            if answer {
+                yes = yes.saturating_sub(1);
+            } else {
+                no = no.saturating_sub(1);
+            }
+            match yes.cmp(&no) {
+                std::cmp::Ordering::Greater => Some(true),
+                std::cmp::Ordering::Less => Some(false),
+                std::cmp::Ordering::Equal => None,
+            }
+        };
+
+        // Pass 2: per-worker tallies plus agreement bit-streams.
+        let mut ledger = CrowdLedger {
+            workers: BTreeMap::new(),
+            consensus_ties: 0,
+            config: *config,
+        };
+        let mut streams: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        for event in events {
+            match event {
+                TelemetryEvent::QueryDispatched { worker, .. } => {
+                    ledger.entry(*worker).dispatched += 1;
+                }
+                TelemetryEvent::AnswerDelivered {
+                    task,
+                    fact,
+                    worker,
+                    answer,
+                    ..
+                } => {
+                    let w = ledger.entry(*worker);
+                    w.delivered += 1;
+                    match consensus(*task, *fact, *answer) {
+                        Some(c) => {
+                            w.comparable += 1;
+                            let agree = *answer == c;
+                            if agree {
+                                w.agreements += 1;
+                            }
+                            streams.entry(*worker).or_default().push(u8::from(agree));
+                        }
+                        None => ledger.consensus_ties += 1,
+                    }
+                }
+                TelemetryEvent::AnswerTimedOut { worker, .. } => {
+                    ledger.entry(*worker).timed_out += 1;
+                }
+                TelemetryEvent::AnswerDropped { worker, .. } => {
+                    ledger.entry(*worker).dropped += 1;
+                }
+                TelemetryEvent::RetryScheduled { worker, .. } => {
+                    ledger.entry(*worker).retries += 1;
+                }
+                TelemetryEvent::FaultInjected { worker, .. } => {
+                    ledger.entry(*worker).faults += 1;
+                }
+                TelemetryEvent::AnswerLatency {
+                    worker,
+                    latency_secs,
+                    ..
+                } => {
+                    ledger.entry(*worker).latency.observe(*latency_secs);
+                }
+                _ => {}
+            }
+        }
+        for (worker, bits) in &streams {
+            ledger
+                .workers
+                .get_mut(worker)
+                .expect("stream implies ledger entry")
+                .drift = detect_drift(*worker, bits, config);
+        }
+        ledger
+    }
+
+    /// Attaches declared (hiring-time) accuracies, e.g. from the
+    /// expert panel; unknown worker ids create empty ledger rows so
+    /// hired-but-never-asked workers still show up in reports.
+    pub fn with_declared<I: IntoIterator<Item = (u32, f64)>>(mut self, declared: I) -> Self {
+        for (worker, accuracy) in declared {
+            self.entry(worker).declared_accuracy = Some(accuracy);
+        }
+        self
+    }
+
+    /// The ledger row for `worker`, created on first touch.
+    fn entry(&mut self, worker: u32) -> &mut WorkerLedger {
+        self.workers
+            .entry(worker)
+            .or_insert_with(|| WorkerLedger::new(worker))
+    }
+
+    /// Workers with a drift alarm, in id order.
+    pub fn drifting(&self) -> impl Iterator<Item = &WorkerDriftSuspected> {
+        self.workers.values().filter_map(|w| w.drift.as_ref())
+    }
+
+    /// Renders an aligned plain-text table, one row per worker.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.workers.is_empty() {
+            out.push_str("no worker-attributed events in the trace\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7}  {:<17} {:>9}  {:>11} drift",
+            "worker",
+            "dispatch",
+            "delivered",
+            "timeout",
+            "dropped",
+            "retries",
+            "faults",
+            "agree",
+            "wilson95",
+            "declared",
+            "lat p50/p95"
+        );
+        for w in self.workers.values() {
+            let (low, high) = w.wilson(self.config.wilson_z);
+            let agree = if w.comparable == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.3}", w.agreement())
+            };
+            let wilson = if w.comparable == 0 {
+                "-".to_string()
+            } else {
+                format!("[{low:.3}, {high:.3}]")
+            };
+            let declared = match w.declared_accuracy {
+                Some(d) => format!("{d:.3}"),
+                None => "-".to_string(),
+            };
+            let lat = if w.latency.count() == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}/{:.1}s",
+                    w.latency.quantile(0.5),
+                    w.latency.quantile(0.95)
+                )
+            };
+            let drift = match &w.drift {
+                Some(d) => format!(
+                    "SUSPECTED at answer {} (baseline {:.2} -> recent {:.2}, cusum {:.2})",
+                    d.at_answer, d.baseline, d.recent, d.cusum
+                ),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7}  {:<17} {:>9}  {:>11} {}",
+                w.worker,
+                w.dispatched,
+                w.delivered,
+                w.timed_out,
+                w.dropped,
+                w.retries,
+                w.faults,
+                agree,
+                wilson,
+                declared,
+                lat,
+                drift
+            );
+        }
+        if self.consensus_ties > 0 {
+            let _ = writeln!(
+                out,
+                "({} answers excluded from agreement: tied consensus)",
+                self.consensus_ties
+            );
+        }
+        out
+    }
+
+    /// Serialises the ledger as a deterministic [`Json`] value —
+    /// `BTreeMap` ordering end to end, so equal traces produce equal
+    /// bytes at any thread count.
+    pub fn to_json(&self) -> Json {
+        let num = |v: u64| Json::Num(v as f64);
+        let workers = self
+            .workers
+            .values()
+            .map(|w| {
+                let (low, high) = w.wilson(self.config.wilson_z);
+                let mut obj = BTreeMap::new();
+                obj.insert("worker".into(), num(u64::from(w.worker)));
+                obj.insert("dispatched".into(), num(w.dispatched));
+                obj.insert("delivered".into(), num(w.delivered));
+                obj.insert("timed_out".into(), num(w.timed_out));
+                obj.insert("dropped".into(), num(w.dropped));
+                obj.insert("retries".into(), num(w.retries));
+                obj.insert("faults".into(), num(w.faults));
+                obj.insert("comparable".into(), num(w.comparable));
+                obj.insert("agreements".into(), num(w.agreements));
+                obj.insert("agreement".into(), Json::Num(w.agreement()));
+                obj.insert("wilson_low".into(), Json::Num(low));
+                obj.insert("wilson_high".into(), Json::Num(high));
+                obj.insert(
+                    "declared_accuracy".into(),
+                    w.declared_accuracy.map_or(Json::Null, Json::Num),
+                );
+                obj.insert(
+                    "latency".into(),
+                    if w.latency.count() == 0 {
+                        Json::Null
+                    } else {
+                        let mut lat = BTreeMap::new();
+                        lat.insert("count".into(), num(w.latency.count()));
+                        lat.insert("mean_secs".into(), Json::Num(w.latency.mean()));
+                        lat.insert("p50_secs".into(), Json::Num(w.latency.quantile(0.5)));
+                        lat.insert("p95_secs".into(), Json::Num(w.latency.quantile(0.95)));
+                        lat.insert("max_secs".into(), Json::Num(w.latency.max()));
+                        Json::Obj(lat)
+                    },
+                );
+                obj.insert(
+                    "drift".into(),
+                    match &w.drift {
+                        None => Json::Null,
+                        Some(d) => {
+                            let mut drift = BTreeMap::new();
+                            drift.insert("at_answer".into(), num(d.at_answer as u64));
+                            drift.insert("baseline".into(), Json::Num(d.baseline));
+                            drift.insert("recent".into(), Json::Num(d.recent));
+                            drift.insert("cusum".into(), Json::Num(d.cusum));
+                            Json::Obj(drift)
+                        }
+                    },
+                );
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("workers".into(), Json::Arr(workers));
+        root.insert("consensus_ties".into(), num(self.consensus_ties));
+        root.insert("drifting".into(), num(self.drifting().count() as u64));
+        Json::Obj(root)
+    }
+}
+
+/// Runs the one-sided downward CUSUM over one worker's agreement bits.
+fn detect_drift(worker: u32, bits: &[u8], config: &CrowdConfig) -> Option<WorkerDriftSuspected> {
+    let window = config.drift_window.max(1);
+    if bits.len() < window.max(config.drift_min_answers) {
+        return None;
+    }
+    let mean = |slice: &[u8]| {
+        slice.iter().map(|&b| f64::from(b)).sum::<f64>() / slice.len().max(1) as f64
+    };
+    let baseline = mean(&bits[..window]);
+    let mut cusum = 0.0f64;
+    for (i, &bit) in bits.iter().enumerate().skip(window) {
+        cusum = (cusum + (baseline - f64::from(bit) - config.drift_slack)).max(0.0);
+        if cusum > config.drift_threshold && i + 1 >= config.drift_min_answers {
+            return Some(WorkerDriftSuspected {
+                worker,
+                at_answer: i,
+                baseline,
+                recent: mean(&bits[i + 1 - window..=i]),
+                cusum,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKind, StopReason, TelemetryEvent as E};
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (low, high) = wilson_interval(90, 100, 1.96);
+        assert!(low < 0.9 && 0.9 < high, "[{low}, {high}]");
+        assert!(low > 0.8 && high < 0.96, "[{low}, {high}]");
+        // Tighter with more data.
+        let wide = wilson_half_width(9, 10, 1.96);
+        let narrow = wilson_half_width(900, 1000, 1.96);
+        assert!(narrow < wide, "{narrow} vs {wide}");
+        // Extremes stay inside [0, 1].
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (l0, _) = wilson_interval(0, 20, 1.96);
+        let (_, h1) = wilson_interval(20, 20, 1.96);
+        assert_eq!(l0, 0.0);
+        assert_eq!(h1, 1.0);
+        // `correct > total` is clamped, not a panic or a >1 estimate.
+        let (_, high) = wilson_interval(30, 20, 1.96);
+        assert!(high <= 1.0);
+    }
+
+    /// A two-worker round-robin trace: worker 0's answers flip to the
+    /// minority side from `flip_at` (its own comparable-answer index).
+    fn trace(rounds: usize, flip_at: usize) -> Vec<E> {
+        let mut events = vec![E::RunStarted {
+            tasks: rounds,
+            facts: rounds,
+            panel: 3,
+            budget: 1000,
+            k: 1,
+            entropy: 1.0,
+            quality: -1.0,
+        }];
+        let mut qid = 0u64;
+        for round in 1..=rounds {
+            let task = round - 1;
+            events.push(E::RoundSelected {
+                round,
+                k_requested: 1,
+                k_effective: 1,
+                queries: vec![(task, 0)],
+                entropy_before: 1.0,
+                predicted_entropy: 0.9,
+            });
+            for worker in 0..3u32 {
+                qid += 1;
+                // Workers 1 and 2 always vote true, fixing consensus;
+                // worker 0 defects after its flip point.
+                let answer = worker != 0 || task < flip_at;
+                events.push(E::QueryDispatched {
+                    round,
+                    task,
+                    fact: 0,
+                    worker,
+                    query_id: qid,
+                });
+                events.push(E::AnswerDelivered {
+                    round,
+                    task,
+                    fact: 0,
+                    worker,
+                    query_id: qid,
+                    answer,
+                });
+            }
+            events.push(E::BeliefUpdated {
+                round,
+                entropy: 0.9,
+                quality: -0.9,
+                budget_spent: 3 * round as u64,
+                answers_requested: 3,
+                answers_received: 3,
+            });
+        }
+        events.push(E::RunFinished {
+            rounds,
+            budget_spent: 3 * rounds as u64,
+            entropy: 0.9,
+            quality: -0.9,
+            reason: StopReason::BudgetExhausted,
+        });
+        events
+    }
+
+    #[test]
+    fn ledger_counts_match_the_stream() {
+        let events = trace(6, 100);
+        let ledger = CrowdLedger::from_events(&events);
+        assert_eq!(ledger.workers.len(), 3);
+        for w in ledger.workers.values() {
+            assert_eq!(w.dispatched, 6);
+            assert_eq!(w.delivered, 6);
+            assert_eq!(w.comparable, 6);
+            assert_eq!(w.agreements, 6, "unanimous crowd: every leave-one-out vote agrees");
+            assert_eq!(w.agreement(), 1.0);
+            assert_eq!(w.timed_out + w.dropped + w.retries + w.faults, 0);
+        }
+        assert_eq!(ledger.consensus_ties, 0);
+    }
+
+    #[test]
+    fn dissent_lowers_agreement_but_not_the_majority() {
+        // Worker 0 defects from the start. Its leave-one-out view is
+        // the two loyal voters (2-vs-0 true): every answer disagrees.
+        let ledger = CrowdLedger::from_events(&trace(8, 0));
+        let w0 = &ledger.workers[&0];
+        assert_eq!(w0.agreements, 0);
+        assert_eq!(w0.comparable, 8);
+        assert_eq!(w0.agreement(), 0.0);
+        let (low, high) = w0.wilson(1.96);
+        assert_eq!(low, 0.0);
+        assert!(high > 0.0 && high < 0.5, "small-n upper bound {high}");
+        // A loyal worker's leave-one-out view is split 1-vs-1 — a tie,
+        // so its answers are excluded rather than scored.
+        assert_eq!(ledger.workers[&1].comparable, 0);
+        assert!(ledger.workers[&1].agreement().is_nan());
+        assert_eq!(ledger.consensus_ties, 16);
+    }
+
+    #[test]
+    fn lone_voters_and_split_remainders_are_ties() {
+        // Fact (0,0): a single voter — no one to compare against.
+        // Fact (0,1): three voters, 2-vs-1; the two majority voters
+        // each see a 1-1 split without themselves, the minority voter
+        // sees 2-0 against it.
+        let events = vec![
+            E::AnswerDelivered { round: 1, task: 0, fact: 0, worker: 0, query_id: 1, answer: true },
+            E::AnswerDelivered { round: 1, task: 0, fact: 1, worker: 0, query_id: 2, answer: true },
+            E::AnswerDelivered { round: 1, task: 0, fact: 1, worker: 1, query_id: 3, answer: true },
+            E::AnswerDelivered { round: 1, task: 0, fact: 1, worker: 2, query_id: 4, answer: false },
+        ];
+        let ledger = CrowdLedger::from_events(&events);
+        assert_eq!(ledger.consensus_ties, 3, "lone voter + two split-remainder voters");
+        assert_eq!(ledger.workers[&0].comparable, 0);
+        assert_eq!(ledger.workers[&1].comparable, 0);
+        let w2 = &ledger.workers[&2];
+        assert_eq!((w2.comparable, w2.agreements), (1, 0));
+    }
+
+    #[test]
+    fn mid_run_defection_trips_the_detector() {
+        // 30 answers, defection from answer 12: baseline window is
+        // clean, then every answer disagrees.
+        let ledger = CrowdLedger::from_events(&trace(30, 12));
+        let drift = ledger.workers[&0].drift.as_ref().expect("drift alarm");
+        assert_eq!(drift.worker, 0);
+        assert_eq!(drift.baseline, 1.0);
+        assert!(drift.recent < 0.8, "recent {}", drift.recent);
+        // Alarm within a few answers of the change point.
+        assert!(
+            (12..18).contains(&drift.at_answer),
+            "at_answer {}",
+            drift.at_answer
+        );
+        assert!(drift.cusum > ledger.config.drift_threshold);
+        // The loyal workers stay clean.
+        assert!(ledger.workers[&1].drift.is_none());
+        assert!(ledger.workers[&2].drift.is_none());
+        assert_eq!(ledger.drifting().count(), 1);
+    }
+
+    #[test]
+    fn steady_workers_never_alarm() {
+        for flip in [100, 0] {
+            // flip=100: always agrees. flip=0: always disagrees — bad,
+            // but *stationary*, so no drift alarm (the audit's
+            // starvation/agreement checks cover static badness).
+            let ledger = CrowdLedger::from_events(&trace(40, flip));
+            assert!(
+                ledger.workers[&0].drift.is_none(),
+                "flip={flip} must not alarm"
+            );
+        }
+    }
+
+    #[test]
+    fn short_streams_never_alarm() {
+        // Fewer comparable answers than drift_min_answers: detector off.
+        let ledger = CrowdLedger::from_events(&trace(8, 4));
+        assert!(ledger.workers[&0].drift.is_none());
+    }
+
+    #[test]
+    fn retries_faults_and_failures_attribute_to_workers() {
+        let events = vec![
+            E::QueryDispatched { round: 1, task: 0, fact: 0, worker: 7, query_id: 1 },
+            E::FaultInjected { task: 0, fact: 0, worker: 7, kind: FaultKind::Timeout, query_id: 1 },
+            E::RetryScheduled { task: 0, fact: 0, worker: 7, attempt: 1, backoff_secs: 30.0, query_id: 1 },
+            E::AnswerTimedOut { round: 1, task: 0, fact: 0, worker: 7, query_id: 1 },
+            E::QueryDispatched { round: 1, task: 0, fact: 1, worker: 9, query_id: 2 },
+            E::AnswerDropped { round: 1, task: 0, fact: 1, worker: 9, query_id: 2 },
+        ];
+        let ledger = CrowdLedger::from_events(&events);
+        let w7 = &ledger.workers[&7];
+        assert_eq!((w7.dispatched, w7.timed_out, w7.retries, w7.faults), (1, 1, 1, 1));
+        let w9 = &ledger.workers[&9];
+        assert_eq!((w9.dispatched, w9.dropped), (1, 1));
+        assert_eq!(w9.delivered, 0);
+    }
+
+    #[test]
+    fn latency_events_feed_per_worker_histograms() {
+        let events = vec![
+            E::AnswerLatency { task: 0, fact: 0, worker: 2, latency_secs: 10.0, query_id: 1 },
+            E::AnswerLatency { task: 0, fact: 1, worker: 2, latency_secs: 30.0, query_id: 2 },
+        ];
+        let ledger = CrowdLedger::from_events(&events);
+        let lat = &ledger.workers[&2].latency;
+        assert_eq!(lat.count(), 2);
+        assert!((lat.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn declared_accuracies_attach_and_create_rows() {
+        let ledger = CrowdLedger::from_events(&trace(4, 100))
+            .with_declared([(0, 0.95), (99, 0.9)]);
+        assert_eq!(ledger.workers[&0].declared_accuracy, Some(0.95));
+        // Hired but never asked: present with an empty row.
+        let idle = &ledger.workers[&99];
+        assert_eq!(idle.declared_accuracy, Some(0.9));
+        assert_eq!(idle.dispatched, 0);
+    }
+
+    #[test]
+    fn old_traces_without_worker_events_fold_to_an_empty_ledger() {
+        // A PR-2-era trace slice: no Answer*/latency events at all.
+        let events = vec![
+            E::RunStarted { tasks: 1, facts: 1, panel: 1, budget: 1, k: 1, entropy: 1.0, quality: -1.0 },
+            E::RunFinished { rounds: 0, budget_spent: 0, entropy: 1.0, quality: -1.0, reason: StopReason::MaxRounds },
+        ];
+        let ledger = CrowdLedger::from_events(&events);
+        assert!(ledger.workers.is_empty());
+        assert!(ledger.render().contains("no worker-attributed events"));
+    }
+
+    #[test]
+    fn render_and_json_are_deterministic_and_complete() {
+        let ledger = CrowdLedger::from_events(&trace(30, 12)).with_declared([(0, 0.95)]);
+        let text = ledger.render();
+        assert!(text.contains("SUSPECTED"), "{text}");
+        assert!(text.contains("0.95"), "declared accuracy rendered: {text}");
+        let json = ledger.to_json().to_string();
+        assert_eq!(json, ledger.to_json().to_string(), "stable bytes");
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("drifting").and_then(Json::as_u64),
+            Some(1),
+            "{json}"
+        );
+        let workers = parsed.get("workers").and_then(Json::as_arr).expect("arr");
+        assert_eq!(workers.len(), 3);
+        assert!(workers[0].get("drift").is_some_and(|d| *d != Json::Null));
+        assert_eq!(
+            workers[0].get("declared_accuracy").and_then(Json::as_f64),
+            Some(0.95)
+        );
+    }
+}

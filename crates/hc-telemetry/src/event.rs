@@ -8,7 +8,7 @@
 //!   │   ├ CandidateScored*           (explain mode: gains the argmax saw)
 //!   │   └ QuerySelected*             (explain mode: one per chosen query)
 //!   │   QueryDispatched              (one per query × panel worker)
-//!   │   ├ RetryScheduled / FaultInjected   (platform / fault layer)
+//!   │   ├ RetryScheduled / FaultInjected / AnswerLatency   (platform / fault layer)
 //!   │   └ AnswerDelivered | AnswerTimedOut | AnswerDropped
 //!   ├ BeliefUpdated
 //!   └ NumericalHealth              (update-kernel float health report)
@@ -275,6 +275,26 @@ pub enum TelemetryEvent {
         /// Causal id of the dispatch being closed.
         query_id: u64,
     },
+    /// The platform metered the simulated latency of one delivered
+    /// answer. Emitted by the platform *before* the loop's own
+    /// `AnswerDelivered` closes the dispatch, and attributed to the
+    /// worker that actually answered (under reassignment that may
+    /// differ from the dispatch-key worker). Carries no round — the
+    /// platform does not know it — and, like `RetryScheduled`, is
+    /// exempt from the dispatch-closure grammar.
+    AnswerLatency {
+        /// Task index.
+        task: usize,
+        /// Fact index within the task.
+        fact: u32,
+        /// Worker that delivered the answer.
+        worker: u32,
+        /// Simulated seconds the answer took.
+        latency_secs: f64,
+        /// Causal id of the dispatch being answered (0 when the
+        /// platform is used outside a dispatching loop).
+        query_id: u64,
+    },
     /// The platform scheduled a retry for a failed attempt.
     RetryScheduled {
         /// Task index.
@@ -385,6 +405,7 @@ impl TelemetryEvent {
             TelemetryEvent::AnswerDelivered { .. } => "answer_delivered",
             TelemetryEvent::AnswerTimedOut { .. } => "answer_timed_out",
             TelemetryEvent::AnswerDropped { .. } => "answer_dropped",
+            TelemetryEvent::AnswerLatency { .. } => "answer_latency",
             TelemetryEvent::RetryScheduled { .. } => "retry_scheduled",
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::BeliefUpdated { .. } => "belief_updated",
@@ -564,6 +585,17 @@ impl TelemetryEvent {
                     s,
                     ",\"round\":{round},\"task\":{task},\"fact\":{fact},\"worker\":{worker},\"query_id\":{query_id},\"answer\":{answer}"
                 );
+            }
+            TelemetryEvent::AnswerLatency {
+                task,
+                fact,
+                worker,
+                latency_secs,
+                query_id,
+            } => {
+                let _ = write!(s, ",\"task\":{task},\"fact\":{fact},\"worker\":{worker}");
+                push_f64(&mut s, "latency_secs", *latency_secs);
+                let _ = write!(s, ",\"query_id\":{query_id}");
             }
             TelemetryEvent::RetryScheduled {
                 task,
@@ -781,6 +813,13 @@ impl TelemetryEvent {
                 worker: u32f("worker")?,
                 query_id: qid()?,
             }),
+            "answer_latency" => Ok(TelemetryEvent::AnswerLatency {
+                task: us("task")?,
+                fact: u32f("fact")?,
+                worker: u32f("worker")?,
+                latency_secs: f("latency_secs")?,
+                query_id: qid()?,
+            }),
             "retry_scheduled" => Ok(TelemetryEvent::RetryScheduled {
                 task: us("task")?,
                 fact: u32f("fact")?,
@@ -956,6 +995,13 @@ pub(crate) mod tests {
                 kind: FaultKind::Timeout,
                 query_id: 1,
             },
+            TelemetryEvent::AnswerLatency {
+                task: 0,
+                fact: 2,
+                worker: 0,
+                latency_secs: 21.5,
+                query_id: 1,
+            },
             TelemetryEvent::AnswerDelivered {
                 round: 1,
                 task: 0,
@@ -1059,6 +1105,7 @@ pub(crate) mod tests {
                 "query_dispatched",
                 "retry_scheduled",
                 "fault_injected",
+                "answer_latency",
                 "answer_delivered",
                 "answer_timed_out",
                 "answer_dropped",
@@ -1075,7 +1122,7 @@ pub(crate) mod tests {
         for event in sample_events() {
             match event.kind() {
                 "run_started" | "run_finished" | "retry_scheduled" | "fault_injected"
-                | "profile_report" => assert_eq!(event.round(), None),
+                | "answer_latency" | "profile_report" => assert_eq!(event.round(), None),
                 _ => assert_eq!(event.round(), Some(1)),
             }
         }
@@ -1104,6 +1151,56 @@ pub(crate) mod tests {
         // A present-but-malformed query_id is an error, not a default.
         let bad = r#"{"type":"query_dispatched","round":1,"task":0,"fact":2,"worker":0,"query_id":-3}"#;
         assert!(TelemetryEvent::from_json_line(bad).is_err());
+    }
+
+    #[test]
+    fn old_fault_and_retry_lines_keep_their_worker_attribution() {
+        // A pre-crowd-health trace: fault/retry lines in the oldest
+        // shape (no query_id, no answer_latency lines anywhere). The
+        // worker id those events always carried must decode, round-trip,
+        // and fold into the crowd ledger's per-worker counters.
+        let old_trace = [
+            r#"{"type":"query_dispatched","round":1,"task":0,"fact":0,"worker":3}"#,
+            r#"{"type":"fault_injected","task":0,"fact":0,"worker":3,"kind":"timeout"}"#,
+            r#"{"type":"retry_scheduled","task":0,"fact":0,"worker":3,"attempt":1,"backoff_secs":30.0}"#,
+            r#"{"type":"answer_timed_out","round":1,"task":0,"fact":0,"worker":3}"#,
+        ];
+        let events: Vec<TelemetryEvent> = old_trace
+            .iter()
+            .map(|line| TelemetryEvent::from_json_line(line).expect("old logs still parse"))
+            .collect();
+        match (&events[1], &events[2]) {
+            (
+                TelemetryEvent::FaultInjected {
+                    worker: fw,
+                    query_id: fq,
+                    ..
+                },
+                TelemetryEvent::RetryScheduled {
+                    worker: rw,
+                    query_id: rq,
+                    ..
+                },
+            ) => {
+                assert_eq!((*fw, *rw), (3, 3));
+                assert_eq!((*fq, *rq), (0, 0), "missing causal ids default to 0");
+            }
+            other => panic!("wrong variants: {other:?}"),
+        }
+        // The re-encoded lines decode to the same events (the modern
+        // encoding adds query_id:0, which is the same trace).
+        for event in &events {
+            let back = TelemetryEvent::from_json_line(&event.to_json_line()).expect("round-trips");
+            assert_eq!(&back, event);
+        }
+        // Worker attribution survives into the folded ledger.
+        let ledger = crate::crowd::CrowdLedger::from_events(&events);
+        let w = ledger.workers.get(&3).expect("worker 3 has a row");
+        assert_eq!(w.dispatched, 1);
+        assert_eq!(w.faults, 1);
+        assert_eq!(w.retries, 1);
+        assert_eq!(w.timed_out, 1);
+        assert_eq!(w.delivered, 0);
     }
 
     #[test]

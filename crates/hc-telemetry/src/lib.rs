@@ -25,6 +25,10 @@
 //! - [`replay`] — folds a recorded stream (or raw JSONL) back into
 //!   per-round run state: entropy/spend trajectories, per-round query
 //!   accounting, still-open dispatches.
+//! - [`crowd`] — per-worker crowd health: fold a trace into worker
+//!   ledgers (deliveries, failures, retries, latency, agreement with
+//!   the crowd consensus with Wilson intervals) and run a CUSUM drift
+//!   detector over each worker's agreement stream.
 //! - [`audit`] — invariant checks and anomaly detection over a stream:
 //!   dispatch-closure violations, round-order breaks, non-finite
 //!   values, spend inconsistencies as errors; entropy stalls, retry
@@ -65,6 +69,7 @@
 pub mod audit;
 pub mod checkpoint;
 pub mod compare;
+pub mod crowd;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -77,6 +82,10 @@ pub use audit::{
     audit, audit_jsonl, audit_jsonl_with, audit_with, AuditConfig, AuditReport, Finding, Severity,
 };
 pub use checkpoint::{CheckpointError, CheckpointFrame, CHECKPOINT_VERSION};
+pub use crowd::{
+    wilson_half_width, wilson_interval, CrowdConfig, CrowdLedger, WorkerDriftSuspected,
+    WorkerLedger,
+};
 pub use compare::{compare_str, CompareReport, CounterDelta, MetricDelta, TrajectoryDiff};
 pub use event::{FaultKind, PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};

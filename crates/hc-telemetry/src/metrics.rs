@@ -281,6 +281,12 @@ impl MetricsRegistry {
                     m.incr("answers_dropped", 1);
                     m.incr(&format!("worker.{worker}.dropped"), 1);
                 }
+                TelemetryEvent::AnswerLatency { latency_secs, .. } => {
+                    // One global latency histogram; the per-worker
+                    // split lives in the crowd ledger, where histogram
+                    // cardinality is not a registry concern.
+                    m.observe("latency.answer_secs", *latency_secs);
+                }
                 TelemetryEvent::RetryScheduled { .. } => {
                     m.incr("retries_scheduled", 1);
                 }

@@ -21,11 +21,70 @@
 //! * `worker.<id>.<outcome>` counters become
 //!   `hc_worker_outcomes_total{worker="<id>",outcome="<outcome>"}`.
 //!
+//! Per-worker label cardinality is bounded at exposition time: only the
+//! [`MAX_WORKER_SERIES`] workers with the largest total counter volume
+//! keep their own `worker="<id>"` label; everything else is rolled up
+//! into `worker="other"` per outcome (see [`MAX_WORKER_SERIES`] for the
+//! rationale and caveats). The registry itself stays exact — the bound
+//! applies only to the rendered exposition.
+//!
 //! Output is deterministic: the registry stores metrics in `BTreeMap`s,
 //! and this module preserves that ordering.
 
 use crate::metrics::{Histogram, MetricsRegistry};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Maximum number of distinct `worker="<id>"` label values exposed by
+/// [`render`]. Prometheus treats every label value as a separate time
+/// series, so an unbounded crowd (thousands of workers, or a hostile
+/// trace with synthetic worker names) would blow up scrape cardinality.
+/// The top `MAX_WORKER_SERIES` workers by total counter volume (ties
+/// broken by label, ascending) keep their own series; the rest are
+/// summed into a per-outcome `worker="other"` rollup.
+///
+/// Caveat: a genuine worker whose label is literally `other` merges
+/// with the rollup series. Registry names produced by this codebase use
+/// numeric worker ids, so the collision only arises with hand-crafted
+/// registries.
+pub const MAX_WORKER_SERIES: usize = 16;
+
+/// Applies the [`MAX_WORKER_SERIES`] bound to collected
+/// `(worker, outcome, value)` rows: rows for the top-K workers by
+/// total volume pass through in their original (BTreeMap, i.e.
+/// deterministic) order; all other rows are summed into trailing
+/// `("other", outcome, sum)` rows, sorted by outcome.
+fn bound_worker_series(rows: Vec<(String, String, u64)>) -> Vec<(String, String, u64)> {
+    let mut volume: BTreeMap<&str, u64> = BTreeMap::new();
+    for (worker, _, value) in &rows {
+        *volume.entry(worker).or_default() += value;
+    }
+    if volume.len() <= MAX_WORKER_SERIES {
+        return rows;
+    }
+    let mut ranked: Vec<(&str, u64)> = volume.into_iter().collect();
+    // Highest volume first; the BTreeMap order makes label-ascending
+    // the tiebreak, so the cut is deterministic.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let kept: Vec<String> = ranked
+        .iter()
+        .take(MAX_WORKER_SERIES)
+        .map(|(w, _)| (*w).to_string())
+        .collect();
+    let mut bounded = Vec::with_capacity(rows.len());
+    let mut rollup: BTreeMap<String, u64> = BTreeMap::new();
+    for (worker, outcome, value) in rows {
+        if kept.iter().any(|k| *k == worker) {
+            bounded.push((worker, outcome, value));
+        } else {
+            *rollup.entry(outcome).or_default() += value;
+        }
+    }
+    for (outcome, value) in rollup {
+        bounded.push(("other".to_string(), outcome, value));
+    }
+    bounded
+}
 
 /// Renders the registry in Prometheus text exposition format.
 ///
@@ -63,10 +122,11 @@ pub fn render(metrics: &MetricsRegistry) -> String {
             let _ = writeln!(out, "hc_faults_total{{kind=\"{}\"}} {value}", escape_label(kind));
         }
     }
+    let workers = bound_worker_series(workers);
     if !workers.is_empty() {
         let _ = writeln!(
             out,
-            "# HELP hc_worker_outcomes_total Per-worker answer outcomes."
+            "# HELP hc_worker_outcomes_total Per-worker answer outcomes (top {MAX_WORKER_SERIES} workers by volume; the rest roll up into worker=\"other\")."
         );
         let _ = writeln!(out, "# TYPE hc_worker_outcomes_total counter");
         for (worker, outcome, value) in &workers {
@@ -334,6 +394,91 @@ mod tests {
                 .unwrap();
             assert_eq!(unescape_label(inner), kind);
         }
+    }
+
+    #[test]
+    fn worker_series_are_bounded_with_an_other_rollup() {
+        let mut m = MetricsRegistry::new();
+        // 20 workers: worker i delivers i+1 answers, and the busiest
+        // four also time out once each.
+        for i in 0..20u32 {
+            m.incr(&format!("worker.{i}.delivered"), u64::from(i) + 1);
+        }
+        for i in 16..20u32 {
+            m.incr(&format!("worker.{i}.timed_out"), 1);
+        }
+        let text = render(&m);
+        let series: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("hc_worker_outcomes_total{"))
+            .collect();
+        let distinct: std::collections::BTreeSet<&str> = series
+            .iter()
+            .map(|l| {
+                l.strip_prefix("hc_worker_outcomes_total{worker=\"")
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(distinct.len(), MAX_WORKER_SERIES + 1, "{distinct:?}");
+        assert!(distinct.contains("other"));
+        // The busiest workers keep their own series; the four smallest
+        // (volume 1..=4) fold into the rollup.
+        assert!(distinct.contains("19"));
+        assert!(distinct.contains("4"));
+        for dropped in ["0", "1", "2"] {
+            assert!(!distinct.contains(dropped), "worker {dropped} should roll up");
+        }
+        assert!(text.contains("hc_worker_outcomes_total{worker=\"other\",outcome=\"delivered\"} 10"));
+        // No count is lost: exposed series sum to the registry total.
+        let exposed: u64 = series
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(exposed, (1..=20).sum::<u64>() + 4);
+    }
+
+    #[test]
+    fn few_workers_keep_their_own_series() {
+        let text = render(&sample_registry());
+        assert!(!text.contains("{worker=\"other\""));
+        assert_eq!(
+            bound_worker_series(vec![("9".into(), "delivered".into(), 3)]),
+            vec![("9".to_string(), "delivered".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn adversarial_worker_names_escape_and_stay_bounded() {
+        let mut m = MetricsRegistry::new();
+        // 20 hostile worker labels, each trying to break line framing
+        // or smuggle in extra series.
+        for i in 0..20u32 {
+            m.incr(&format!("worker.w{i}\"}} 999\nhc_fake{{x=\"y.delivered"), u64::from(i) + 1);
+        }
+        let text = render(&m);
+        let series: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("hc_worker_outcomes_total{"))
+            .collect();
+        assert_eq!(series.len(), MAX_WORKER_SERIES + 1);
+        for line in &series {
+            assert!(line.rsplit(' ').next().unwrap().parse::<u64>().is_ok(), "{line:?}");
+        }
+        // The newline in the label is escaped, so no line ever *starts*
+        // with the smuggled metric name.
+        assert!(
+            !text.lines().any(|l| l.starts_with("hc_fake")),
+            "label escaped its quotes"
+        );
+        // The nastiest labels still round-trip through the escaper.
+        let worker_label = series[0]
+            .strip_prefix("hc_worker_outcomes_total{worker=\"")
+            .unwrap();
+        let end = worker_label.find("\",outcome=").unwrap();
+        assert!(unescape_label(&worker_label[..end]).starts_with('w'));
     }
 
     #[test]

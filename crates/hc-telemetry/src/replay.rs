@@ -372,6 +372,10 @@ impl ReplayedRun {
                     r.dropped += 1;
                 }
             }
+            TelemetryEvent::AnswerLatency { .. } => {
+                // Latency metering carries no replayable round state;
+                // the crowd ledger consumes it instead.
+            }
             TelemetryEvent::RetryScheduled { .. } => {
                 if let Some(r) = self.current_round() {
                     r.retries += 1;
