@@ -1,0 +1,170 @@
+//! Corpus-scheduler throughput at 1k / 10k / 100k facts.
+//!
+//! Builds synthetic corpora of independent five-fact groups (so 32
+//! belief cells each), pools one global checking budget over them, and
+//! times `CorpusScheduler::run` — cross-group CELF allocation, per-group
+//! rounds, and the drain steps that finish every group. The run is
+//! RNG-free (truthful oracles, greedy selector), so the spend/entropy
+//! numbers in the payload are bit-stable across machines; only the
+//! timings vary.
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin corpus_bench > BENCH_corpus.json
+//! cargo run --release -p hc-bench --bin corpus_bench -- --quick  # CI smoke
+//! ```
+//!
+//! Stdout is one stamped envelope (see [`hc_bench::stamp`]) whose
+//! `"results"` payload is `{"quick":bool,"scales":[{"facts":..,
+//! "groups":..,"steps":..,"spent":..,"entropy_initial":..,
+//! "entropy_final":..,"entropy_per_spend":..,"nanos":..,
+//! "groups_per_sec":..,"steps_per_sec":..},..]}`.
+
+use hc_core::corpus::{CorpusBudget, CorpusEnv, CorpusScheduler};
+use hc_core::selection::GreedySelector;
+use hc_core::session::HcSession;
+use hc_core::telemetry::NullSink;
+use hc_core::{
+    Answer, AnswerOracle, AnswerOutcome, ExpertPanel, GlobalFact, HcConfig, MultiBelief,
+    RoundRecord, UnitCost, Worker,
+};
+use hc_core::{Belief, Result};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Facts per group; each group is one correlated five-fact task.
+const FACTS_PER_GROUP: usize = 5;
+/// Corpus scales in total facts — ~1k, ~10k, ~100k.
+const SCALES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// A deterministic expert crowd answering the group's fixed ground
+/// truth; never touches the RNG, so the whole bench is replay-exact.
+struct TruthfulGroup {
+    group: usize,
+}
+
+impl AnswerOracle for TruthfulGroup {
+    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        // Ground truth varies by group and fact but costs no state.
+        let truth = (self.group + fact.fact.index()) % 3 != 0;
+        AnswerOutcome::Answered(Answer::from_bool(truth))
+    }
+}
+
+struct ScalePoint {
+    facts: usize,
+    groups: usize,
+    steps: u64,
+    spent: u64,
+    entropy_initial: f64,
+    entropy_final: f64,
+    nanos: u64,
+}
+
+/// One timed corpus run at `total_facts` facts. The pooled budget gives
+/// roughly half the groups one checking round; every group still costs
+/// a drain step, so throughput covers both the productive allocation
+/// and the long finishing tail.
+fn run_scale(total_facts: usize) -> Result<ScalePoint> {
+    let groups = total_facts / FACTS_PER_GROUP;
+    let selector = GreedySelector::new();
+    let costs = UnitCost;
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.9]).expect("bench panel");
+    let config = HcConfig::new(1, u64::MAX / 2);
+    let sessions: Vec<HcSession<'_>> = (0..groups)
+        .map(|g| {
+            // Deterministic per-group joints of varying sharpness and
+            // correlation — no RNG anywhere in the corpus build.
+            let base = 0.45 + (g % 7) as f64 * 0.015;
+            let corr = 0.55 + (g % 5) as f64 * 0.04;
+            let joint = hc_data::markov_joint(FACTS_PER_GROUP, base, corr);
+            let beliefs = MultiBelief::new(vec![
+                Belief::from_probs(joint).expect("markov joint is valid"),
+            ]);
+            HcSession::start(beliefs, panel.clone(), config.clone(), &selector, &costs)
+        })
+        .collect::<Result<_>>()?;
+    let pool = groups as u64; // panel costs 2/round => ~groups/2 rounds
+    let mut scheduler = CorpusScheduler::new(sessions, CorpusBudget::Pooled(pool));
+    let entropy_initial = scheduler.entropy();
+
+    let mut oracles: Vec<TruthfulGroup> = (0..groups).map(|group| TruthfulGroup { group }).collect();
+    let mut rngs: Vec<StdRng> = (0..groups).map(|g| StdRng::seed_from_u64(g as u64)).collect();
+    let mut sink = NullSink;
+    let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+    let mut env = CorpusEnv {
+        oracles: oracles
+            .iter_mut()
+            .map(|o| o as &mut dyn AnswerOracle)
+            .collect(),
+        rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+        sink: &mut sink,
+        observer: &mut observer,
+    };
+    let start = Instant::now();
+    let report = scheduler.run(&mut env)?;
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    assert_eq!(
+        report.groups_finished, groups,
+        "every group must finish (drain steps included)"
+    );
+    assert!(report.spent <= pool, "pooled budget respected");
+    Ok(ScalePoint {
+        facts: groups * FACTS_PER_GROUP,
+        groups,
+        steps: report.steps,
+        spent: report.spent,
+        entropy_initial,
+        entropy_final: report.entropy,
+        nanos,
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scales: &[usize] = if quick { &SCALES[..1] } else { &SCALES[..] };
+    eprintln!(
+        "corpus_bench: {} scale(s){}",
+        scales.len(),
+        if quick { " (--quick)" } else { "" }
+    );
+    eprintln!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "facts", "groups", "steps", "spent", "nanos", "groups/s", "steps/s"
+    );
+    let mut points = String::new();
+    for (i, &total_facts) in scales.iter().enumerate() {
+        let p = run_scale(total_facts).expect("bench corpus runs");
+        let secs = p.nanos as f64 / 1e9;
+        let groups_per_sec = p.groups as f64 / secs.max(1e-9);
+        let steps_per_sec = p.steps as f64 / secs.max(1e-9);
+        let entropy_per_spend = (p.entropy_initial - p.entropy_final) / p.spent.max(1) as f64;
+        eprintln!(
+            "{:>8} {:>8} {:>8} {:>8} {:>12} {:>12.0} {:>12.0}",
+            p.facts, p.groups, p.steps, p.spent, p.nanos, groups_per_sec, steps_per_sec
+        );
+        if i > 0 {
+            points.push(',');
+        }
+        let _ = write!(
+            points,
+            "{{\"facts\":{},\"groups\":{},\"steps\":{},\"spent\":{},\
+             \"entropy_initial\":{:.6},\"entropy_final\":{:.6},\
+             \"entropy_per_spend\":{:.6},\"nanos\":{},\
+             \"groups_per_sec\":{:.1},\"steps_per_sec\":{:.1}}}",
+            p.facts,
+            p.groups,
+            p.steps,
+            p.spent,
+            p.entropy_initial,
+            p.entropy_final,
+            entropy_per_spend,
+            p.nanos,
+            groups_per_sec,
+            steps_per_sec
+        );
+    }
+    let results = format!("{{\"quick\":{quick},\"scales\":[{points}]}}");
+    println!("{}", hc_bench::stamp::stamped("corpus", &results));
+}

@@ -1,0 +1,798 @@
+//! Corpus-scale scheduling: many independent HC loops under one
+//! checking budget, allocated across groups by global marginal entropy
+//! gain.
+//!
+//! The paper's Algorithm 3 spends a budget greedily *within* one
+//! correlated fact group. A production labeling system faces a corpus
+//! of thousands of independent groups competing for a single budget,
+//! which turns allocation into a cross-group knapsack: at every step,
+//! spend the next round of checking on whichever group buys the most
+//! entropy. [`CorpusScheduler`] implements that as a CELF-style
+//! lazy-greedy layered on top of the per-group greedy selector.
+//!
+//! # Why the lazy heap is exact
+//!
+//! Each heap entry carries the gain a group's *next* round was last
+//! scored at. Entries go stale two ways: the group itself advanced
+//! (its own epoch bumped), or — in [`CorpusBudget::Pooled`] mode —
+//! the shared pool shrank (the global pool epoch bumped). A stale
+//! entry's recorded gain is still a valid **upper bound** on its fresh
+//! gain:
+//!
+//! - Advancing a group only shrinks what its next round can buy —
+//!   per-group marginal gains are non-increasing along the greedy path
+//!   (the submodularity argument behind the within-group selector, see
+//!   `DESIGN.md`).
+//! - A smaller pool can only shrink the previewed round: every
+//!   [`crate::hc::KSchedule`] variant is non-increasing in a shrinking
+//!   budget view (`Fixed` is constant, `LinearDecay` decays with the
+//!   spent fraction, `EntropyAdaptive` ignores the budget), and the
+//!   affordability cap `remaining / panel_cost` obviously is. Fewer
+//!   queries selected by a greedy prefix means no more gain.
+//!
+//! So when the popped maximum is stale, re-scoring it and re-inserting
+//! cannot unfairly demote any other entry — their stale keys still
+//! dominate their true values — and the first entry popped *fresh* is
+//! the true argmax. That is exactly CELF's lazy evaluation, and it is
+//! what the differential suite in `tests/corpus_conformance.rs` locks
+//! against a brute-force "re-score everything every step" oracle.
+//!
+//! # Determinism contract
+//!
+//! The schedule is a pure function of the corpus and the budget mode:
+//! ties in gain break toward the lowest group index, scoring previews
+//! draw no RNG (see [`HcSession::preview_next_round`]), and the
+//! parallel scoring fan-out uses [`crate::parallel::map_items`] whose
+//! chunk boundaries are fixed regardless of thread count. Corpus runs
+//! are therefore byte-identical at any `Parallelism`, and a scheduler
+//! resumed from a [`CorpusScheduler::checkpoint_frame`] continues with
+//! the exact schedule of an uninterrupted run: resume re-scores every
+//! unfinished group fresh, and a fresh re-score picks the same argmax
+//! the lazy heap would have (`tests/corpus_determinism.rs`).
+//!
+//! # Telemetry envelope
+//!
+//! Each scheduler step wraps the advanced group's session events in a
+//! `GroupScheduled` … `GroupAdvanced`/`GroupFinished` segment, the
+//! whole run in `CorpusStarted` … `CorpusFinished`. Concatenating one
+//! group's segments yields that group's complete single-run trace;
+//! `hc_telemetry::audit` demuxes and checks exactly that.
+
+use std::collections::BinaryHeap;
+
+use crate::belief::MultiBelief;
+use crate::error::{HcError, Result};
+use crate::hc::{AnswerOracle, CostModel, RoundRecord};
+use crate::parallel;
+use crate::selection::TaskSelector;
+use crate::session::{
+    HcSession, SessionEnv, SessionState, SessionStatus, SessionStep,
+};
+use hc_telemetry::json::{self, Json};
+use hc_telemetry::{CheckpointFrame, TelemetryEvent, TelemetrySink};
+use rand::RngCore;
+
+/// Version tag of the corpus checkpoint payload.
+pub const CORPUS_FORMAT_VERSION: u32 = 1;
+
+/// The `kind` tag corpus checkpoints carry inside a
+/// [`CheckpointFrame`].
+pub const CORPUS_CHECKPOINT_KIND: &str = "hc-corpus";
+
+/// How the corpus budget constrains the groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusBudget {
+    /// One global pool shared by every group: before a group is
+    /// advanced the scheduler lends it the whole remaining pool (see
+    /// [`HcSession::lend_budget`]), so any group may spend whatever is
+    /// left and the pool shrinks by what it actually spent.
+    Pooled(u64),
+    /// Every group keeps its own configured budget; the scheduler only
+    /// decides *order*. Each group's posteriors, rounds, and telemetry
+    /// substream are bit-identical to running it alone.
+    PerGroup,
+}
+
+impl CorpusBudget {
+    fn pooled(&self) -> bool {
+        matches!(self, CorpusBudget::Pooled(_))
+    }
+}
+
+/// The per-group collaborators a corpus run borrows: one oracle and
+/// one loop RNG per group (indexes align with the scheduler's
+/// sessions), a single shared telemetry sink, and a corpus-wide round
+/// observer that also receives the group index.
+pub struct CorpusEnv<'e> {
+    /// Answer sources, one per group.
+    pub oracles: Vec<&'e mut dyn AnswerOracle>,
+    /// Loop RNGs, one per group (selector randomness; the default
+    /// greedy selector draws nothing).
+    pub rngs: Vec<&'e mut dyn RngCore>,
+    /// Telemetry destination shared by the envelope and every group.
+    pub sink: &'e mut dyn TelemetrySink,
+    /// Invoked after each closed round as `(group, beliefs, record)`.
+    pub observer: &'e mut dyn FnMut(usize, &MultiBelief, &RoundRecord),
+}
+
+/// Summary of a completed corpus run — the same numbers the closing
+/// `CorpusFinished` event carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusReport {
+    /// Scheduler steps executed (group-rounds plus drain steps).
+    pub steps: u64,
+    /// Total budget spent across all groups.
+    pub spent: u64,
+    /// Groups that reached a terminal [`hc_telemetry::StopReason`].
+    pub groups_finished: usize,
+    /// Sum of the groups' final posterior entropies.
+    pub entropy: f64,
+}
+
+/// A lazy-heap entry: the gain group `group` was last scored at, and
+/// the epochs that scoring observed. `Ord` is by gain descending, ties
+/// toward the lowest group index (so `BinaryHeap::pop` returns the
+/// deterministic argmax).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    gain: f64,
+    group: usize,
+    epoch: u64,
+    pool_epoch: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.group.cmp(&self.group))
+    }
+}
+
+/// Runs many independent [`HcSession`]s over a corpus, advancing one
+/// group per step by global marginal entropy gain. See the module docs
+/// for the allocation math and the determinism contract.
+pub struct CorpusScheduler<'a> {
+    sessions: Vec<HcSession<'a>>,
+    budget: CorpusBudget,
+    /// The corpus-wide budget at construction (pool size, or the sum
+    /// of per-group remainders) — what `CorpusStarted` reports.
+    budget_total: u64,
+    /// Unspent pool (tracks `budget_total` minus deltas; equal to the
+    /// per-group remainders' sum in [`CorpusBudget::PerGroup`] mode).
+    pool_remaining: u64,
+    steps: u64,
+    started: bool,
+    closed: bool,
+    finished: Vec<bool>,
+    /// Bumped when the group itself advances; entries scored under an
+    /// older epoch are stale.
+    epochs: Vec<u64>,
+    /// Bumped when the shared pool shrinks (pooled mode only).
+    pool_epoch: u64,
+    heap: BinaryHeap<Entry>,
+    heap_built: bool,
+}
+
+fn invalid(reason: String) -> HcError {
+    HcError::InvalidCheckpoint { reason }
+}
+
+fn bad(what: &str) -> HcError {
+    invalid(format!("corpus payload field `{what}` is missing or malformed"))
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+impl<'a> CorpusScheduler<'a> {
+    /// Builds a scheduler over freshly started (or individually
+    /// resumed) sessions. Sessions should stand at a round boundary;
+    /// indexes into `sessions` are the group ids the telemetry
+    /// envelope reports.
+    pub fn new(sessions: Vec<HcSession<'a>>, budget: CorpusBudget) -> Self {
+        let n = sessions.len();
+        let budget_total = match budget {
+            CorpusBudget::Pooled(b) => b,
+            CorpusBudget::PerGroup => sessions.iter().map(|s| s.state().remaining).sum(),
+        };
+        CorpusScheduler {
+            sessions,
+            budget,
+            budget_total,
+            pool_remaining: budget_total,
+            steps: 0,
+            started: false,
+            closed: false,
+            finished: vec![false; n],
+            epochs: vec![0; n],
+            pool_epoch: 0,
+            heap: BinaryHeap::with_capacity(n),
+            heap_built: false,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the corpus holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Read access to a group's session.
+    pub fn session(&self, group: usize) -> &HcSession<'a> {
+        &self.sessions[group]
+    }
+
+    /// Scheduler steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total budget spent across all groups.
+    pub fn spent(&self) -> u64 {
+        self.sessions.iter().map(|s| s.state().spent).sum()
+    }
+
+    /// The budget mode the scheduler was built with.
+    pub fn budget(&self) -> CorpusBudget {
+        self.budget
+    }
+
+    /// Unspent corpus budget: the shared pool in
+    /// [`CorpusBudget::Pooled`] mode, or the sum of the groups' own
+    /// remainders in [`CorpusBudget::PerGroup`] mode.
+    pub fn budget_remaining(&self) -> u64 {
+        match self.budget {
+            CorpusBudget::Pooled(_) => self.pool_remaining,
+            CorpusBudget::PerGroup => self.sessions.iter().map(|s| s.state().remaining).sum(),
+        }
+    }
+
+    /// Groups that have reached a terminal stop reason.
+    pub fn groups_finished(&self) -> usize {
+        self.finished.iter().filter(|&&f| f).count()
+    }
+
+    /// True once every group has finished and `CorpusFinished` has
+    /// been emitted.
+    pub fn is_complete(&self) -> bool {
+        self.closed
+    }
+
+    /// Sum of the groups' current posterior entropies.
+    pub fn entropy(&self) -> f64 {
+        self.sessions.iter().map(|s| s.state().beliefs.entropy()).sum()
+    }
+
+    /// Consumes the scheduler, yielding the sessions.
+    pub fn into_sessions(self) -> Vec<HcSession<'a>> {
+        self.sessions
+    }
+
+    /// Stores a group's oracle cursor so it rides along in the next
+    /// [`CorpusScheduler::checkpoint_frame`].
+    pub fn set_oracle_cursor(&mut self, group: usize, cursor: Option<String>) {
+        self.sessions[group].set_oracle_cursor(cursor);
+    }
+
+    /// The budget view a scoring preview of `group` should see.
+    fn remaining_view(&self, group: usize) -> u64 {
+        match self.budget {
+            CorpusBudget::Pooled(_) => self.pool_remaining,
+            CorpusBudget::PerGroup => self.sessions[group].state().remaining,
+        }
+    }
+
+    /// Fresh gain of `group`'s next round: the previewed entropy gain,
+    /// or 0.0 when the next step would terminate the group (a "drain"
+    /// entry — executed after all productive rounds so every group
+    /// still emits its `RunFinished`).
+    fn score(&self, group: usize) -> Result<f64> {
+        Ok(self.sessions[group]
+            .preview_next_round(self.remaining_view(group))?
+            .map_or(0.0, |p| p.gain))
+    }
+
+    /// Scores every unfinished group and fills the heap. The fan-out
+    /// runs through [`parallel::map_items`] with one group per chunk,
+    /// so results are ordered and bit-identical at any thread count.
+    fn build_heap(&mut self) -> Result<()> {
+        let views: Vec<u64> = (0..self.sessions.len())
+            .map(|g| self.remaining_view(g))
+            .collect();
+        let scored: Vec<Result<f64>> = {
+            let sessions = &self.sessions;
+            parallel::map_items(&views, |g, &view| {
+                Ok(sessions[g].preview_next_round(view)?.map_or(0.0, |p| p.gain))
+            })
+        };
+        self.heap.clear();
+        for (g, gain) in scored.into_iter().enumerate() {
+            if self.finished[g] {
+                continue;
+            }
+            self.heap.push(Entry {
+                gain: gain?,
+                group: g,
+                epoch: self.epochs[g],
+                pool_epoch: self.pool_epoch,
+            });
+        }
+        self.heap_built = true;
+        Ok(())
+    }
+
+    /// Executes one scheduler step: pops the lazy heap until the
+    /// maximum is fresh, advances that group one full round (or its
+    /// terminal step), and re-inserts it unless it finished. Returns
+    /// the advanced group, or `None` once the corpus is complete (the
+    /// call that drains the last group also emits `CorpusFinished`).
+    pub fn step_once(&mut self, env: &mut CorpusEnv<'_>) -> Result<Option<usize>> {
+        if self.closed {
+            return Ok(None);
+        }
+        if !self.started {
+            if env.sink.enabled() {
+                env.sink.record(&TelemetryEvent::CorpusStarted {
+                    groups: self.sessions.len(),
+                    facts: self
+                        .sessions
+                        .iter()
+                        .map(|s| s.state().beliefs.total_facts())
+                        .sum(),
+                    budget: self.budget_total,
+                    pooled: self.budget.pooled(),
+                });
+            }
+            self.started = true;
+        }
+        if !self.heap_built {
+            self.build_heap()?;
+        }
+        let entry = loop {
+            let Some(e) = self.heap.pop() else { break None };
+            if self.finished[e.group] {
+                continue;
+            }
+            if e.epoch == self.epochs[e.group] && e.pool_epoch == self.pool_epoch {
+                break Some(e);
+            }
+            // Stale: its key is an upper bound (see module docs), so
+            // re-score and re-insert; the first fresh pop is the argmax.
+            let gain = self.score(e.group)?;
+            self.heap.push(Entry {
+                gain,
+                group: e.group,
+                epoch: self.epochs[e.group],
+                pool_epoch: self.pool_epoch,
+            });
+        };
+        let Some(entry) = entry else {
+            if env.sink.enabled() {
+                env.sink.record(&TelemetryEvent::CorpusFinished {
+                    steps: self.steps,
+                    spent: self.spent(),
+                    finished: self.groups_finished(),
+                    entropy: self.entropy(),
+                });
+            }
+            self.closed = true;
+            return Ok(None);
+        };
+
+        let g = entry.group;
+        let step = self.steps;
+        self.steps += 1;
+        if env.sink.enabled() {
+            env.sink.record(&TelemetryEvent::GroupScheduled {
+                group: g,
+                step,
+                gain: entry.gain,
+            });
+        }
+        if self.budget.pooled() {
+            self.sessions[g].lend_budget(self.pool_remaining);
+        }
+        let spent_before = self.sessions[g].state().spent;
+        let status = {
+            let CorpusEnv {
+                oracles,
+                rngs,
+                sink,
+                observer,
+            } = &mut *env;
+            let mut obs =
+                |beliefs: &MultiBelief, record: &RoundRecord| (**observer)(g, beliefs, record);
+            let mut senv = SessionEnv {
+                oracle: &mut *oracles[g],
+                rng: &mut *rngs[g],
+                sink: &mut **sink,
+                observer: &mut obs,
+            };
+            // One scheduling quantum is one full round: advance until
+            // the session stands at the next round boundary (or ended).
+            loop {
+                let st = self.sessions[g].step(&mut senv)?;
+                match st {
+                    SessionStatus::Pending(SessionStep::SelectQueries) => break st,
+                    SessionStatus::Finished(_) => break st,
+                    _ => {}
+                }
+            }
+        };
+        let spent_after = self.sessions[g].state().spent;
+        let delta = spent_after - spent_before;
+        if self.budget.pooled() {
+            self.pool_remaining = self.pool_remaining.saturating_sub(delta);
+            if delta > 0 {
+                // Every other entry's budget view shrank.
+                self.pool_epoch += 1;
+            }
+        }
+        self.epochs[g] += 1;
+        let entropy = self.sessions[g].state().beliefs.entropy();
+        match status {
+            SessionStatus::Finished(reason) => {
+                if env.sink.enabled() {
+                    env.sink.record(&TelemetryEvent::GroupFinished {
+                        group: g,
+                        step,
+                        reason,
+                        spent: spent_after,
+                        entropy,
+                    });
+                }
+                self.finished[g] = true;
+            }
+            _ => {
+                if env.sink.enabled() {
+                    env.sink.record(&TelemetryEvent::GroupAdvanced {
+                        group: g,
+                        step,
+                        round: self.sessions[g].state().round,
+                        spent_delta: delta,
+                        entropy,
+                    });
+                }
+                let gain = self.score(g)?;
+                self.heap.push(Entry {
+                    gain,
+                    group: g,
+                    epoch: self.epochs[g],
+                    pool_epoch: self.pool_epoch,
+                });
+            }
+        }
+        Ok(Some(g))
+    }
+
+    /// Drives [`CorpusScheduler::step_once`] until the corpus
+    /// completes.
+    pub fn run(&mut self, env: &mut CorpusEnv<'_>) -> Result<CorpusReport> {
+        while self.step_once(env)?.is_some() {}
+        Ok(CorpusReport {
+            steps: self.steps,
+            spent: self.spent(),
+            groups_finished: self.groups_finished(),
+            entropy: self.entropy(),
+        })
+    }
+
+    /// Captures the whole corpus as a checkpoint frame. Call only
+    /// between [`CorpusScheduler::step_once`] calls — that is the
+    /// group-boundary guarantee: every session stands at a round
+    /// boundary or is finished, so each group's payload round-trips
+    /// through the ordinary session validation.
+    pub fn checkpoint_frame(&self, seq: u64) -> CheckpointFrame {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("version".to_string(), num(u64::from(CORPUS_FORMAT_VERSION)));
+        obj.insert("pooled".to_string(), Json::Bool(self.budget.pooled()));
+        obj.insert("budget_total".to_string(), num(self.budget_total));
+        obj.insert("pool_remaining".to_string(), num(self.pool_remaining));
+        obj.insert("steps".to_string(), num(self.steps));
+        obj.insert("started".to_string(), Json::Bool(self.started));
+        obj.insert("closed".to_string(), Json::Bool(self.closed));
+        obj.insert(
+            "finished".to_string(),
+            Json::Str(self.finished.iter().map(|&f| if f { '1' } else { '0' }).collect()),
+        );
+        obj.insert(
+            "groups".to_string(),
+            Json::Arr(self.sessions.iter().map(|s| s.state().to_json()).collect()),
+        );
+        CheckpointFrame::new(CORPUS_CHECKPOINT_KIND, seq, Json::Obj(obj).to_string())
+    }
+
+    /// Restores a scheduler from a [`CorpusScheduler::checkpoint_frame`].
+    /// All-or-nothing like [`HcSession::resume`]; every group passes
+    /// the full session validation. The heap is rebuilt by re-scoring
+    /// every unfinished group fresh on the next step, which provably
+    /// continues the uninterrupted schedule (module docs).
+    pub fn from_frame(
+        frame: &CheckpointFrame,
+        selector: &'a dyn TaskSelector,
+        costs: &'a dyn CostModel,
+    ) -> Result<Self> {
+        frame
+            .expect_kind(CORPUS_CHECKPOINT_KIND)
+            .map_err(|e| invalid(e.to_string()))?;
+        let v = json::parse(&frame.payload)
+            .map_err(|e| invalid(format!("corpus payload is not valid JSON: {e:?}")))?;
+        let version = v.get("version").and_then(Json::as_u32).ok_or_else(|| bad("version"))?;
+        if version != CORPUS_FORMAT_VERSION {
+            return Err(invalid(format!(
+                "unsupported corpus format version {version} (expected {CORPUS_FORMAT_VERSION})"
+            )));
+        }
+        let pooled = v.get("pooled").and_then(Json::as_bool).ok_or_else(|| bad("pooled"))?;
+        let budget_total = v
+            .get("budget_total")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("budget_total"))?;
+        let pool_remaining = v
+            .get("pool_remaining")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("pool_remaining"))?;
+        if pool_remaining > budget_total {
+            return Err(invalid(format!(
+                "pool remaining {pool_remaining} exceeds corpus budget {budget_total}"
+            )));
+        }
+        let steps = v.get("steps").and_then(Json::as_u64).ok_or_else(|| bad("steps"))?;
+        let started = v.get("started").and_then(Json::as_bool).ok_or_else(|| bad("started"))?;
+        let closed = v.get("closed").and_then(Json::as_bool).ok_or_else(|| bad("closed"))?;
+        let finished: Vec<bool> = v
+            .get("finished")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("finished"))?
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(bad("finished")),
+            })
+            .collect::<Result<_>>()?;
+        let groups = v
+            .get("groups")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("groups"))?;
+        if groups.len() != finished.len() {
+            return Err(invalid(format!(
+                "{} finished flags for {} groups",
+                finished.len(),
+                groups.len()
+            )));
+        }
+        let mut sessions = Vec::with_capacity(groups.len());
+        for (g, gv) in groups.iter().enumerate() {
+            let state = SessionState::from_json(gv)
+                .map_err(|e| invalid(format!("group {g}: {e}")))?;
+            let session = HcSession::resume(state, selector, costs)
+                .map_err(|e| invalid(format!("group {g}: {e}")))?;
+            if !finished[g] && !matches!(session.status(), SessionStatus::Pending(_)) {
+                return Err(invalid(format!(
+                    "group {g} is finished but not flagged as such"
+                )));
+            }
+            sessions.push(session);
+        }
+        let n = sessions.len();
+        Ok(CorpusScheduler {
+            sessions,
+            budget: if pooled {
+                CorpusBudget::Pooled(budget_total)
+            } else {
+                CorpusBudget::PerGroup
+            },
+            budget_total,
+            pool_remaining,
+            steps,
+            started,
+            closed,
+            finished,
+            epochs: vec![0; n],
+            pool_epoch: 0,
+            heap: BinaryHeap::with_capacity(n),
+            heap_built: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{Answer, AnswerOutcome};
+    use crate::belief::{Belief, MultiBelief};
+    use crate::hc::{HcConfig, UnitCost};
+    use crate::selection::{GlobalFact, GreedySelector};
+    use crate::worker::{ExpertPanel, Worker};
+    use hc_telemetry::{RecordingSink, StopReason};
+
+    /// Belief/loop state fans out across shard threads.
+    #[test]
+    fn session_state_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<SessionState>();
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_sync::<HcSession<'_>>();
+    }
+
+    fn flat_group(n_facts: usize) -> MultiBelief {
+        MultiBelief::new(vec![Belief::uniform(n_facts).unwrap()])
+    }
+
+    struct Truthful;
+    impl AnswerOracle for Truthful {
+        fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+            AnswerOutcome::Answered(Answer::Yes)
+        }
+    }
+
+    fn build<'a>(
+        selector: &'a GreedySelector,
+        costs: &'a UnitCost,
+        sizes: &[usize],
+        budget_each: u64,
+    ) -> Vec<HcSession<'a>> {
+        sizes
+            .iter()
+            .map(|&n| {
+                HcSession::start(
+                    flat_group(n),
+                    ExpertPanel::from_accuracies(&[0.9]).unwrap(),
+                    HcConfig::new(1, budget_each),
+                    selector,
+                    costs,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn run_corpus(
+        sizes: &[usize],
+        budget: CorpusBudget,
+        budget_each: u64,
+    ) -> (CorpusReport, Vec<TelemetryEvent>) {
+        let selector = GreedySelector::new();
+        let costs = UnitCost;
+        let sessions = build(&selector, &costs, sizes, budget_each);
+        let n = sessions.len();
+        let mut scheduler = CorpusScheduler::new(sessions, budget);
+        let mut oracles: Vec<Truthful> = (0..n).map(|_| Truthful).collect();
+        let mut rngs: Vec<rand::rngs::StdRng> = (0..n)
+            .map(|g| <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(g as u64))
+            .collect();
+        let mut sink = RecordingSink::new();
+        let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+        let report = {
+            let mut env = CorpusEnv {
+                oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+                rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+                sink: &mut sink,
+                observer: &mut observer,
+            };
+            scheduler.run(&mut env).unwrap()
+        };
+        assert!(scheduler.is_complete());
+        (report, sink.into_events())
+    }
+
+    #[test]
+    fn every_group_finishes_and_the_envelope_is_clean() {
+        let (report, events) = run_corpus(&[2, 3, 2], CorpusBudget::Pooled(12), u64::MAX / 2);
+        assert_eq!(report.groups_finished, 3);
+        assert!(report.spent <= 12);
+        let audit = hc_telemetry::audit(&events);
+        assert!(audit.is_clean(), "{}", audit.render());
+        let finished = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::GroupFinished { .. }))
+            .count();
+        assert_eq!(finished, 3);
+    }
+
+    #[test]
+    fn per_group_mode_is_clean_too() {
+        let (report, events) = run_corpus(&[2, 2], CorpusBudget::PerGroup, 4);
+        assert_eq!(report.groups_finished, 2);
+        assert_eq!(report.spent, 8, "both groups exhaust their own budget");
+        let audit = hc_telemetry::audit(&events);
+        assert!(audit.is_clean(), "{}", audit.render());
+    }
+
+    #[test]
+    fn empty_corpus_opens_and_closes() {
+        let (report, events) = run_corpus(&[], CorpusBudget::Pooled(5), 5);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.groups_finished, 0);
+        assert!(matches!(events.first(), Some(TelemetryEvent::CorpusStarted { groups: 0, .. })));
+        assert!(matches!(events.last(), Some(TelemetryEvent::CorpusFinished { .. })));
+    }
+
+    #[test]
+    fn pooled_run_never_overspends() {
+        for pool in [1u64, 3, 7] {
+            let (report, _) = run_corpus(&[3, 3], CorpusBudget::Pooled(pool), u64::MAX / 2);
+            assert!(report.spent <= pool, "pool {pool} overspent: {}", report.spent);
+            assert_eq!(report.groups_finished, 2, "pool {pool}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_between_any_two_steps() {
+        let selector = GreedySelector::new();
+        let costs = UnitCost;
+        let sessions = build(&selector, &costs, &[2, 3], 100);
+        let mut scheduler = CorpusScheduler::new(sessions, CorpusBudget::Pooled(6));
+        let mut oracles = [Truthful, Truthful];
+        let mut rngs: Vec<rand::rngs::StdRng> = (0..2)
+            .map(|g| <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(g))
+            .collect();
+        let mut sink = hc_telemetry::NullSink;
+        let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+        let mut env = CorpusEnv {
+            oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+            rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+            sink: &mut sink,
+            observer: &mut observer,
+        };
+        let mut seq = 0;
+        loop {
+            let frame = scheduler.checkpoint_frame(seq);
+            let restored = CorpusScheduler::from_frame(&frame, &selector, &costs).unwrap();
+            assert_eq!(restored.steps(), scheduler.steps());
+            assert_eq!(restored.spent(), scheduler.spent());
+            assert_eq!(
+                restored.checkpoint_frame(seq).payload,
+                frame.payload,
+                "checkpoint re-encodes byte-identically"
+            );
+            if scheduler.step_once(&mut env).unwrap().is_none() {
+                break;
+            }
+            seq += 1;
+        }
+        assert!(scheduler.is_complete());
+    }
+
+    #[test]
+    fn wrong_kind_frame_is_rejected() {
+        let frame = CheckpointFrame::new("hc-session", 0, "{}".to_string());
+        let selector = GreedySelector::new();
+        let costs = UnitCost;
+        assert!(matches!(
+            CorpusScheduler::from_frame(&frame, &selector, &costs),
+            Err(HcError::InvalidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn finished_groups_emit_run_finished_with_a_reason() {
+        let (_, events) = run_corpus(&[2], CorpusBudget::Pooled(3), u64::MAX / 2);
+        let reasons: Vec<StopReason> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::RunFinished { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec![StopReason::BudgetExhausted]);
+    }
+}

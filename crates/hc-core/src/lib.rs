@@ -49,6 +49,7 @@
 
 pub mod answer;
 pub mod belief;
+pub mod corpus;
 pub mod entropy;
 pub mod error;
 pub mod fact;

@@ -1195,6 +1195,24 @@ impl std::fmt::Debug for HcSession<'_> {
     }
 }
 
+/// What [`HcSession::preview_next_round`] predicts the next
+/// `SelectQueries` step would do under a hypothetical remaining budget:
+/// the effective query count, the selector's predicted post-round
+/// entropy, and the resulting entropy gain. Used by
+/// [`crate::corpus::CorpusScheduler`] to score groups without mutating
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundPreview {
+    /// min(scheduled k, affordable queries) for the previewed round.
+    pub k_eff: usize,
+    /// The selection objective of the previewed plan (expected entropy
+    /// after the round).
+    pub predicted_entropy: f64,
+    /// Current total entropy minus `predicted_entropy` — the marginal
+    /// gain the round is expected to buy.
+    pub gain: f64,
+}
+
 impl<'a> HcSession<'a> {
     /// Begins a fresh run. Fails only on an empty panel.
     pub fn start(
@@ -1427,6 +1445,107 @@ impl<'a> HcSession<'a> {
     /// rounds, and the budget spent.
     pub fn into_parts(self) -> (MultiBelief, Vec<RoundRecord>, u64) {
         (self.state.beliefs, self.state.rounds, self.state.spent)
+    }
+
+    /// Cost of asking the whole panel one query under this session's
+    /// cost model.
+    pub fn panel_cost(&self) -> u64 {
+        self.panel_cost
+    }
+
+    /// Re-points the session at a new remaining budget, keeping the
+    /// `spent + remaining == config.budget` checkpoint invariant by
+    /// rewriting `config.budget` to match. This is how
+    /// [`crate::corpus::CorpusScheduler`] lends slices of a pooled
+    /// corpus budget to a group just before advancing it; a session
+    /// whose budget is never lent behaves exactly as configured.
+    pub fn lend_budget(&mut self, remaining: u64) {
+        self.state.remaining = remaining;
+        self.state.config.budget = self.state.spent + remaining;
+    }
+
+    /// The `k_eff` that the next `SelectQueries` step would compute if
+    /// the session had `remaining_view` budget left: 0 when the session
+    /// is finished, mid-round, or would stop (dry rounds, round cap, or
+    /// unaffordable panel). Because every [`KSchedule`] variant is
+    /// non-increasing in a shrinking budget view, this is non-increasing
+    /// in `remaining_view` — the monotonicity the corpus scheduler's
+    /// lazy heap relies on.
+    pub fn preview_k_eff(&self, remaining_view: u64) -> usize {
+        if !matches!(self.state.cursor, StepCursor::NextRound) {
+            return 0;
+        }
+        if self.state.dry_rounds >= self.state.config.max_dry_rounds.max(1) {
+            return 0;
+        }
+        if let Some(cap) = self.state.config.max_rounds {
+            if self.state.round >= cap {
+                return 0;
+            }
+        }
+        let round_k = self.state.config.k_schedule.round_k(
+            self.state.config.k,
+            self.state.spent,
+            self.state.spent + remaining_view,
+            &self.state.beliefs,
+        );
+        let affordable = (remaining_view / self.panel_cost) as usize;
+        round_k.min(affordable)
+    }
+
+    /// Dry-runs the next `SelectQueries` step under a hypothetical
+    /// remaining budget of `remaining_view`, without mutating the
+    /// session: replays the budget/round guards, the repeat-policy
+    /// candidate filter (including a *virtual* cycle reset), and the
+    /// selector, and reports the plan's predicted entropy and marginal
+    /// gain. Returns `Ok(None)` when the step would terminate the run
+    /// instead of selecting a round (or when the session is not at a
+    /// round boundary).
+    ///
+    /// The preview draws from a throwaway fixed-seed RNG rather than
+    /// the session's logged stream, so it predicts the executed round
+    /// **exactly** only for selectors that make no RNG draws (the
+    /// default greedy selector draws nothing). This is the pure scoring
+    /// function behind the corpus scheduler's cross-group CELF: calling
+    /// it never changes what the session will do next.
+    pub fn preview_next_round(&self, remaining_view: u64) -> Result<Option<RoundPreview>> {
+        use rand::SeedableRng as _;
+        let k_eff = self.preview_k_eff(remaining_view);
+        if k_eff == 0 {
+            return Ok(None);
+        }
+        let cycle_reset = self.state.config.repeat_policy == RepeatPolicy::CycleThenRepeat
+            && self.state.checked_count == self.all_facts.len();
+        let candidates: Vec<GlobalFact> =
+            if self.state.config.repeat_policy == RepeatPolicy::CycleThenRepeat && !cycle_reset {
+                self.all_facts
+                    .iter()
+                    .zip(&self.state.checked)
+                    .filter(|(_, &c)| !c)
+                    .map(|(&gf, _)| gf)
+                    .collect()
+            } else {
+                self.all_facts.clone()
+            };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let queries = self.selector.select(
+            &self.state.beliefs,
+            &self.state.panel,
+            k_eff,
+            &candidates,
+            &mut rng,
+        )?;
+        if queries.is_empty() {
+            return Ok(None);
+        }
+        let predicted_entropy =
+            crate::selection::selection_objective(&self.state.beliefs, &queries, &self.state.panel)?;
+        let gain = self.state.beliefs.entropy() - predicted_entropy;
+        Ok(Some(RoundPreview {
+            k_eff,
+            predicted_entropy,
+            gain,
+        }))
     }
 
     /// Executes exactly one step of the state machine and returns where
@@ -2202,6 +2321,19 @@ pub fn resume_state_from_trace(
                 }
                 finished = Some(*reason);
                 consumed = idx + 1;
+            }
+            TelemetryEvent::CorpusStarted { .. }
+            | TelemetryEvent::GroupScheduled { .. }
+            | TelemetryEvent::GroupAdvanced { .. }
+            | TelemetryEvent::GroupFinished { .. }
+            | TelemetryEvent::CorpusFinished { .. } => {
+                // A single-group trace never carries the corpus
+                // envelope; demux the corpus log first (see
+                // `hc_telemetry::audit`) and fold one group's segments.
+                return Err(invalid(format!(
+                    "corpus envelope event `{}` inside a single-run trace",
+                    ev.kind()
+                )));
             }
         }
     }

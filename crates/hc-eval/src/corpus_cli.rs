@@ -1,0 +1,314 @@
+//! `hc-eval corpus` — crash-safe corpus-scheduler runs from the CLI.
+//!
+//! ```text
+//! hc-eval corpus run    --out DIR [--checkpoint-every N] [--threads auto|serial|N]
+//!                       [--kill-after-steps M]
+//! hc-eval corpus resume --out DIR [--checkpoint-every N]
+//! ```
+//!
+//! The corpus-level sibling of [`crate::session_cli`]: `run` drives the
+//! standard four-group chaos fixture (see [`hc_sim::CorpusFixture`])
+//! through [`hc_core::corpus::CorpusScheduler`] one scheduler step — one
+//! group boundary — at a time, appending telemetry to
+//! `DIR/corpus_trace.jsonl` and, every N steps, both embedding a corpus
+//! checkpoint line in the trace and atomically replacing the snapshot
+//! `DIR/corpus.ckpt`. With `--kill-after-steps M` the process aborts at
+//! that boundary without flushing, exactly like a SIGKILL.
+//!
+//! `resume` recovers the way a restarted service would: read the
+//! snapshot (falling back to the latest valid checkpoint embedded in the
+//! trace), truncate the trace to its last durable checkpoint line,
+//! rebuild every group's oracle and loop RNG from their fixed seeds,
+//! restore the per-group oracle cursors, and continue the allocation to
+//! completion. Both subcommands finish by printing a `state_crc32` line
+//! over the final serialized corpus state — a crashed and resumed run
+//! prints the same digest as an uninterrupted one.
+
+use hc_core::corpus::{CorpusEnv, CorpusScheduler};
+use hc_core::hc::{AnswerOracle, UnitCost};
+use hc_core::selection::GreedySelector;
+use hc_core::session::ResumableOracle;
+use hc_core::telemetry::checkpoint::{
+    crc32, is_checkpoint_line, latest_in_jsonl, read_snapshot, write_snapshot, CheckpointFrame,
+};
+use hc_core::telemetry::FileSink;
+use hc_core::{MultiBelief, Parallelism, RoundRecord};
+use hc_sim::{CorpusFixture, SamplingOracle};
+use rand::rngs::StdRng;
+use rand::RngCore;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const TRACE_FILE: &str = "corpus_trace.jsonl";
+const SNAPSHOT_FILE: &str = "corpus.ckpt";
+
+struct CorpusArgs {
+    out: PathBuf,
+    checkpoint_every: usize,
+    threads: Parallelism,
+    kill_after_steps: Option<usize>,
+}
+
+fn parse(raw: &[String]) -> Result<CorpusArgs, String> {
+    let mut args = CorpusArgs {
+        out: PathBuf::from("results"),
+        checkpoint_every: 1,
+        threads: Parallelism::Auto,
+        kill_after_steps: None,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--out" | "-o" => args.out = PathBuf::from(value("--out")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if args.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+            }
+            "--threads" | "-t" => {
+                args.threads = match value("--threads")?.as_str() {
+                    "auto" => Parallelism::Auto,
+                    "serial" => Parallelism::Serial,
+                    n => Parallelism::Threads(
+                        n.parse().map_err(|e| format!("bad thread count: {e}"))?,
+                    ),
+                }
+            }
+            "--kill-after-steps" => {
+                args.kill_after_steps = Some(
+                    value("--kill-after-steps")?
+                        .parse()
+                        .map_err(|e| format!("bad --kill-after-steps: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: hc-eval corpus run    --out DIR [--checkpoint-every N] \
+                     [--threads auto|serial|N] [--kill-after-steps M]\n\
+                     \x20      hc-eval corpus resume --out DIR [--checkpoint-every N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Entry point for `hc-eval corpus <run|resume> …`.
+pub fn run_cli(raw: &[String]) -> ExitCode {
+    let (verb, rest) = match raw.split_first() {
+        Some((v, rest)) if v == "run" || v == "resume" => (v.as_str(), rest),
+        _ => {
+            eprintln!("error: expected `corpus run` or `corpus resume`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match parse(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if verb == "run" {
+        cmd_run(&args)
+    } else {
+        cmd_resume(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Steps the corpus scheduler to completion, writing a checkpoint
+/// (embedded trace line + atomic snapshot) every `checkpoint_every`
+/// steps and at the finish. Optionally aborts the process at a step
+/// boundary to simulate a crash. Prints the final summary.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    scheduler: &mut CorpusScheduler<'_>,
+    oracles: &mut [SamplingOracle<'_, StdRng>],
+    rngs: &mut [StdRng],
+    sink: &mut FileSink,
+    snapshot_path: &Path,
+    checkpoint_every: usize,
+    kill_after_steps: Option<usize>,
+    mut seq: u64,
+) -> Result<(), String> {
+    let mut steps = 0usize;
+    loop {
+        if kill_after_steps == Some(steps) {
+            // Simulate SIGKILL at a group boundary: no flush, no Drop —
+            // everything buffered since the last checkpoint is lost.
+            eprintln!("killing corpus after {steps} steps (simulated crash)");
+            std::process::abort();
+        }
+        let advanced = {
+            let mut obs = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+            let mut env = CorpusEnv {
+                oracles: oracles
+                    .iter_mut()
+                    .map(|o| o as &mut dyn AnswerOracle)
+                    .collect(),
+                rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+                sink,
+                observer: &mut obs,
+            };
+            scheduler
+                .step_once(&mut env)
+                .map_err(|e| format!("step failed: {e}"))?
+        };
+        if advanced.is_none() {
+            // Complete: one last durable checkpoint, then the summary.
+            seq += 1;
+            checkpoint(scheduler, oracles, sink, snapshot_path, seq)?;
+            for g in 0..scheduler.len() {
+                scheduler.set_oracle_cursor(g, None);
+            }
+            let payload = scheduler.checkpoint_frame(0).payload;
+            println!("steps_this_process: {steps}");
+            println!("steps: {}", scheduler.steps());
+            println!("spent: {}", scheduler.spent());
+            println!(
+                "groups_finished: {}/{}",
+                scheduler.groups_finished(),
+                scheduler.len()
+            );
+            println!("entropy: {:.6}", scheduler.entropy());
+            println!("state_crc32: {:#010x}", crc32(payload.as_bytes()));
+            return Ok(());
+        }
+        steps += 1;
+        if steps.is_multiple_of(checkpoint_every) {
+            seq += 1;
+            checkpoint(scheduler, oracles, sink, snapshot_path, seq)?;
+        }
+    }
+}
+
+/// Saves every group's oracle cursor into the scheduler, then writes the
+/// corpus frame both as an embedded trace line and as the snapshot.
+fn checkpoint(
+    scheduler: &mut CorpusScheduler<'_>,
+    oracles: &[SamplingOracle<'_, StdRng>],
+    sink: &mut FileSink,
+    snapshot_path: &Path,
+    seq: u64,
+) -> Result<(), String> {
+    for (g, oracle) in oracles.iter().enumerate() {
+        scheduler.set_oracle_cursor(g, Some(oracle.save_cursor()));
+    }
+    let frame = scheduler.checkpoint_frame(seq);
+    sink.write_checkpoint(&frame)
+        .map_err(|e| format!("checkpoint write failed: {e}"))?;
+    write_snapshot(snapshot_path, &frame).map_err(|e| format!("snapshot write failed: {e}"))
+}
+
+fn cmd_run(args: &CorpusArgs) -> Result<(), String> {
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let trace_path = args.out.join(TRACE_FILE);
+    let snapshot_path = args.out.join(SNAPSHOT_FILE);
+    let fixture = CorpusFixture::standard(args.threads);
+    let mut scheduler = fixture.scheduler();
+    let mut oracles = fixture.oracles();
+    let mut rngs = fixture.loop_rngs();
+    let mut sink =
+        FileSink::create(&trace_path).map_err(|e| format!("cannot create trace: {e}"))?;
+    drive(
+        &mut scheduler,
+        &mut oracles,
+        &mut rngs,
+        &mut sink,
+        &snapshot_path,
+        args.checkpoint_every,
+        args.kill_after_steps,
+        0,
+    )?;
+    finish(sink, &trace_path)
+}
+
+fn cmd_resume(args: &CorpusArgs) -> Result<(), String> {
+    let trace_path = args.out.join(TRACE_FILE);
+    let snapshot_path = args.out.join(SNAPSHOT_FILE);
+    let trace = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+
+    // Prefer the snapshot; a missing or torn one falls back to the
+    // latest valid checkpoint embedded in the trace.
+    let frame = match read_snapshot(&snapshot_path) {
+        Ok(frame) => Some(frame),
+        Err(e) => {
+            eprintln!("snapshot unusable ({e}); falling back to embedded trace checkpoints");
+            latest_in_jsonl(&trace)
+        }
+    };
+    let frame =
+        frame.ok_or_else(|| "no usable checkpoint found; re-run from scratch".to_string())?;
+
+    // Truncate the trace to its last durable checkpoint line — anything
+    // after it (possibly torn) is re-emitted by the resumed corpus.
+    let lines: Vec<&str> = trace.lines().collect();
+    let stitch = lines
+        .iter()
+        .rposition(|l| is_checkpoint_line(l) && CheckpointFrame::from_json_line(l).is_ok())
+        .ok_or_else(|| "trace has no valid checkpoint line".to_string())?;
+    let mut durable = lines[..=stitch].join("\n");
+    durable.push('\n');
+    let dropped = lines.len() - stitch - 1;
+    if dropped > 0 {
+        eprintln!("dropping {dropped} trace line(s) after the last durable checkpoint");
+    }
+    std::fs::write(&trace_path, &durable).map_err(|e| format!("cannot truncate trace: {e}"))?;
+
+    let selector = GreedySelector::new();
+    let mut scheduler = CorpusScheduler::from_frame(&frame, &selector, &UnitCost)
+        .map_err(|e| format!("checkpoint rejected: {e}"))?;
+    // Rebuild every group's oracle and RNG from their fixed seeds and
+    // restore the saved cursors; each session's thread policy rides in
+    // its restored config.
+    let fixture = CorpusFixture::standard(Parallelism::Auto);
+    let mut oracles = fixture.oracles();
+    for (g, oracle) in oracles.iter_mut().enumerate() {
+        if let Some(cursor) = scheduler.session(g).state().oracle_cursor.clone() {
+            oracle
+                .restore_cursor(&cursor)
+                .map_err(|e| format!("oracle cursor rejected: {e}"))?;
+        }
+    }
+    let mut rngs = fixture.loop_rngs();
+    let mut sink =
+        FileSink::append(&trace_path).map_err(|e| format!("cannot append to trace: {e}"))?;
+    drive(
+        &mut scheduler,
+        &mut oracles,
+        &mut rngs,
+        &mut sink,
+        &snapshot_path,
+        args.checkpoint_every,
+        None,
+        frame.seq,
+    )?;
+    finish(sink, &trace_path)
+}
+
+fn finish(sink: FileSink, trace_path: &Path) -> Result<(), String> {
+    // Deferred I/O errors surface here instead of being dropped.
+    sink.close()
+        .map_err(|e| format!("trace file error on close: {e}"))?;
+    eprintln!("trace: {}", trace_path.display());
+    Ok(())
+}

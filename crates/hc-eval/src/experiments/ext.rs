@@ -11,14 +11,13 @@
 //!   the offline-replay evaluation needs (see `hc-core::hc::RepeatPolicy`).
 //! * [`multitier`] — more than two crowd tiers, checked sequentially.
 
-use super::{aggregator_marginals, build_corpus, ExperimentOutput};
+use super::{aggregator_marginals, build_corpus, run_variant_corpus, ExperimentOutput, VariantRun};
 use crate::curve::{run_hc_curve, Curve, CurvePoint};
 use crate::report::{curves_table, Metric};
 use crate::settings::ExpSettings;
 use hc_baselines::{Aggregator, Ebcc};
-use hc_core::hc::{
-    run_hc_costed, AccuracyCost, HcConfig, RepeatPolicy, RoundRecord, UnitCost,
-};
+use hc_core::belief::MultiBelief;
+use hc_core::hc::{AccuracyCost, CostModel, HcConfig, RepeatPolicy, RoundRecord, UnitCost};
 use hc_core::selection::GreedySelector;
 use hc_core::worker::ExpertPanel;
 use hc_data::CrowdDataset;
@@ -41,66 +40,97 @@ pub(crate) fn paper_prepare(
     (prepared, config)
 }
 
+/// Runs labelled experiment variants through [`run_variant_corpus`] and
+/// turns each variant's rounds into a sampled accuracy/quality curve.
+///
+/// Every variant gets its own fresh replay oracle and an RNG seeded from
+/// `settings.seed ^ seed_salt` — exactly the collaborators the old
+/// serial per-variant loops constructed, so the curves are bit-identical
+/// to running each variant alone.
+fn run_ext_variants(
+    settings: &ExpSettings,
+    dataset: &CrowdDataset,
+    prepared: &hc_sim::Prepared,
+    labels: &[&str],
+    variants: Vec<VariantRun<'_>>,
+    seed_salt: u64,
+) -> Vec<Curve> {
+    let n = variants.len();
+    assert_eq!(labels.len(), n, "one label per variant");
+    let mut oracles: Vec<ReplayOracle> = (0..n)
+        .map(|_| ReplayOracle::new(dataset, prepared.grouping).expect("complete synthetic corpus"))
+        .collect();
+    let mut rngs: Vec<StdRng> = (0..n)
+        .map(|_| StdRng::seed_from_u64(settings.seed ^ seed_salt))
+        .collect();
+    let mut points: Vec<Vec<CurvePoint>> = variants
+        .iter()
+        .map(|v| {
+            vec![CurvePoint {
+                budget: 0,
+                accuracy: dataset_accuracy(&v.beliefs, &prepared.truths),
+                quality: v.beliefs.quality(),
+            }]
+        })
+        .collect();
+    let truths = &prepared.truths;
+    run_variant_corpus(
+        &prepared.panel,
+        &GreedySelector::new(),
+        variants,
+        &mut oracles,
+        &mut rngs,
+        |g: usize, state: &MultiBelief, record: &RoundRecord| {
+            points[g].push(CurvePoint {
+                budget: record.budget_spent,
+                accuracy: dataset_accuracy(state, truths),
+                quality: record.quality,
+            });
+        },
+    )
+    .expect("corpus-scheduled variants succeed");
+    labels
+        .iter()
+        .zip(points)
+        .map(|(label, pts)| {
+            Curve {
+                label: label.to_string(),
+                points: pts,
+            }
+            .sample(&settings.checkpoints)
+        })
+        .collect()
+}
+
 /// Cost-aware checking: unit pricing vs accuracy-proportional pricing at
 /// the same monetary budget.
 pub fn cost(settings: &ExpSettings) -> ExperimentOutput {
     let dataset = build_corpus(settings);
     let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
 
-    let mut curves = Vec::new();
-    for (label, model) in [
-        ("UnitCost", None),
-        ("AccuracyCost", Some(AccuracyCost { base: 1, scale: 2 })),
-    ] {
-        let mut beliefs = prepared.beliefs.clone();
-        let mut oracle =
-            ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
-        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE001);
-        let config = HcConfig::new(1, settings.budget_max);
-        let mut points = vec![CurvePoint {
-            budget: 0,
-            accuracy: dataset_accuracy(&beliefs, &prepared.truths),
-            quality: beliefs.quality(),
-        }];
-        let truths = &prepared.truths;
-        let mut observer = |state: &hc_core::belief::MultiBelief, record: &RoundRecord| {
-            points.push(CurvePoint {
-                budget: record.budget_spent,
-                accuracy: dataset_accuracy(state, truths),
-                quality: record.quality,
-            });
-        };
-        match model {
-            None => run_hc_costed(
-                &mut beliefs,
-                &prepared.panel,
-                &GreedySelector::new(),
-                &mut oracle,
-                &config,
-                &UnitCost,
-                &mut rng,
-                &mut observer,
-            ),
-            Some(m) => run_hc_costed(
-                &mut beliefs,
-                &prepared.panel,
-                &GreedySelector::new(),
-                &mut oracle,
-                &config,
-                &m,
-                &mut rng,
-                &mut observer,
-            ),
-        }
-        .expect("costed loop succeeds");
-        curves.push(
-            Curve {
-                label: label.to_string(),
-                points,
-            }
-            .sample(&settings.checkpoints),
-        );
-    }
+    // Both pricing variants advance through one corpus scheduler in
+    // per-group mode — same per-variant oracles, seeds, and budgets as
+    // the old serial loop, so every variant's curve is bit-identical
+    // (locked by `corpus_scheduler_reproduces_direct_runs_bit_for_bit`).
+    let unit = UnitCost;
+    let priced = AccuracyCost { base: 1, scale: 2 };
+    let labels = ["UnitCost", "AccuracyCost"];
+    let models: [&dyn CostModel; 2] = [&unit, &priced];
+    let curves = run_ext_variants(
+        settings,
+        &dataset,
+        &prepared,
+        &labels,
+        models
+            .iter()
+            .map(|&costs| VariantRun {
+                beliefs: prepared.beliefs.clone(),
+                config: HcConfig::new(1, settings.budget_max),
+                costs,
+            })
+            .collect(),
+        0xE001,
+    );
 
     let tables = vec![curves_table(
         "Extension — cost-aware experts (same monetary budget)",
@@ -220,49 +250,30 @@ pub fn policy(settings: &ExpSettings) -> ExperimentOutput {
     let dataset = build_corpus(settings);
     let (prepared, _) = paper_prepare(&dataset, super::fig2::THETA);
 
-    let mut curves = Vec::new();
-    for (label, policy) in [
-        ("CycleThenRepeat", RepeatPolicy::CycleThenRepeat),
-        ("Unrestricted", RepeatPolicy::Unrestricted),
-    ] {
-        let mut beliefs = prepared.beliefs.clone();
-        let mut oracle =
-            ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
-        let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE004);
-        let mut config = HcConfig::new(1, settings.budget_max);
-        config.repeat_policy = policy;
-        let mut points = vec![CurvePoint {
-            budget: 0,
-            accuracy: dataset_accuracy(&beliefs, &prepared.truths),
-            quality: beliefs.quality(),
-        }];
-        let truths = &prepared.truths;
-        let mut observer = |state: &hc_core::belief::MultiBelief, record: &RoundRecord| {
-            points.push(CurvePoint {
-                budget: record.budget_spent,
-                accuracy: dataset_accuracy(state, truths),
-                quality: record.quality,
-            });
-        };
-        run_hc_costed(
-            &mut beliefs,
-            &prepared.panel,
-            &GreedySelector::new(),
-            &mut oracle,
-            &config,
-            &UnitCost,
-            &mut rng,
-            &mut observer,
-        )
-        .expect("loop succeeds");
-        curves.push(
-            Curve {
-                label: label.to_string(),
-                points,
-            }
-            .sample(&settings.checkpoints),
-        );
-    }
+    // Both repeat policies ride one per-group corpus schedule; see
+    // `cost` for why the outputs stay bit-identical to serial runs.
+    let unit = UnitCost;
+    let labels = ["CycleThenRepeat", "Unrestricted"];
+    let policies = [RepeatPolicy::CycleThenRepeat, RepeatPolicy::Unrestricted];
+    let curves = run_ext_variants(
+        settings,
+        &dataset,
+        &prepared,
+        &labels,
+        policies
+            .iter()
+            .map(|&policy| {
+                let mut config = HcConfig::new(1, settings.budget_max);
+                config.repeat_policy = policy;
+                VariantRun {
+                    beliefs: prepared.beliefs.clone(),
+                    config,
+                    costs: &unit,
+                }
+            })
+            .collect(),
+        0xE004,
+    );
 
     let tables = vec![
         curves_table("Extension — repeat policy (accuracy)", &curves, Metric::Accuracy),
@@ -516,9 +527,135 @@ pub fn latency(settings: &ExpSettings) -> ExperimentOutput {
 mod tests {
     use super::*;
     use crate::settings::Scale;
+    use hc_core::hc::run_hc_costed;
 
     fn settings() -> ExpSettings {
         ExpSettings::for_scale(Scale::Quick, 42)
+    }
+
+    /// Serialised posterior bit patterns of every cell of every task.
+    fn posterior_bits(beliefs: &MultiBelief) -> Vec<Vec<u64>> {
+        beliefs
+            .tasks()
+            .iter()
+            .map(|t| t.probs().iter().map(|p| p.to_bits()).collect())
+            .collect()
+    }
+
+    /// A fully bit-exact digest of a round trace: every field, floats
+    /// by bit pattern.
+    #[allow(clippy::type_complexity)]
+    fn round_digest(
+        rounds: &[RoundRecord],
+    ) -> Vec<(usize, Vec<hc_core::selection::GlobalFact>, u64, u64, usize, usize, u64, u64)> {
+        rounds
+            .iter()
+            .map(|r| {
+                (
+                    r.round,
+                    r.queries.clone(),
+                    r.budget_spent,
+                    r.quality.to_bits(),
+                    r.answers_requested,
+                    r.answers_received,
+                    r.predicted_entropy.to_bits(),
+                    r.realized_entropy.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    /// The ext-* loops used to run each variant serially with
+    /// `run_hc_costed`; they now ride one `CorpusScheduler` in
+    /// per-group mode. This locks the refactor: same seeds, same
+    /// oracles => bit-identical rounds, posteriors, and spend.
+    #[test]
+    fn corpus_scheduler_reproduces_direct_runs_bit_for_bit() {
+        let settings = settings();
+        let dataset = build_corpus(&settings);
+        let (prepared, _) = paper_prepare(&dataset, super::super::fig2::THETA);
+        let policies = [RepeatPolicy::CycleThenRepeat, RepeatPolicy::Unrestricted];
+
+        // Direct serial reference, one isolated run per policy.
+        let mut direct = Vec::new();
+        for &policy in &policies {
+            let mut beliefs = prepared.beliefs.clone();
+            let mut oracle =
+                ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus");
+            let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xE004);
+            let mut config = HcConfig::new(1, settings.budget_max);
+            config.repeat_policy = policy;
+            let (rounds, spent) = run_hc_costed(
+                &mut beliefs,
+                &prepared.panel,
+                &GreedySelector::new(),
+                &mut oracle,
+                &config,
+                &UnitCost,
+                &mut rng,
+                &mut |_, _| {},
+            )
+            .expect("direct run succeeds");
+            direct.push((posterior_bits(&beliefs), rounds, spent));
+        }
+
+        // The same two variants through one corpus schedule.
+        let unit = UnitCost;
+        let variants = policies
+            .iter()
+            .map(|&policy| {
+                let mut config = HcConfig::new(1, settings.budget_max);
+                config.repeat_policy = policy;
+                VariantRun {
+                    beliefs: prepared.beliefs.clone(),
+                    config,
+                    costs: &unit,
+                }
+            })
+            .collect();
+        let mut oracles: Vec<ReplayOracle> = (0..2)
+            .map(|_| {
+                ReplayOracle::new(&dataset, prepared.grouping).expect("complete synthetic corpus")
+            })
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..2)
+            .map(|_| StdRng::seed_from_u64(settings.seed ^ 0xE004))
+            .collect();
+        let mut observed: Vec<Vec<RoundRecord>> = vec![Vec::new(); 2];
+        let finals = run_variant_corpus(
+            &prepared.panel,
+            &GreedySelector::new(),
+            variants,
+            &mut oracles,
+            &mut rngs,
+            |g: usize, _: &MultiBelief, record: &RoundRecord| {
+                observed[g].push(record.clone());
+            },
+        )
+        .expect("corpus run succeeds");
+
+        assert_eq!(finals.len(), 2);
+        for (g, ((beliefs, rounds, spent), (want_bits, want_rounds, want_spent))) in
+            finals.iter().zip(&direct).enumerate()
+        {
+            assert_eq!(
+                &posterior_bits(beliefs),
+                want_bits,
+                "variant {g}: posterior bits diverge from the direct run"
+            );
+            assert_eq!(spent, want_spent, "variant {g}: spend diverges");
+            let want = round_digest(want_rounds);
+            assert_eq!(
+                round_digest(rounds),
+                want,
+                "variant {g}: session round records diverge"
+            );
+            assert_eq!(
+                round_digest(&observed[g]),
+                want,
+                "variant {g}: observed round records diverge"
+            );
+        }
     }
 
     #[test]

@@ -28,10 +28,16 @@ pub mod table3;
 use crate::curve::Curve;
 use crate::settings::ExpSettings;
 use hc_baselines::Aggregator;
-use hc_core::telemetry::TelemetryEvent;
+use hc_core::belief::MultiBelief;
+use hc_core::corpus::{CorpusBudget, CorpusEnv, CorpusScheduler};
+use hc_core::hc::{AnswerOracle, CostModel, HcConfig, RoundRecord};
+use hc_core::selection::TaskSelector;
+use hc_core::session::HcSession;
+use hc_core::telemetry::{NullSink, TelemetryEvent};
+use hc_core::worker::ExpertPanel;
 use hc_data::{AnswerEntry, AnswerMatrix, CrowdDataset};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 
 /// Rendered result of one experiment.
@@ -148,6 +154,72 @@ pub fn augmented_matrix_targeted(dataset: &CrowdDataset, theta: f64, budget: u64
     });
     let order: Vec<usize> = scored.into_iter().map(|(_, item)| item).collect();
     augmented_matrix_in_order(dataset, theta, budget, &order)
+}
+
+/// One experiment variant destined for the corpus scheduler: its own
+/// starting beliefs, loop configuration, and cost model. The panel and
+/// selector are shared across variants (see [`run_variant_corpus`]).
+pub struct VariantRun<'a> {
+    /// Starting beliefs for this variant.
+    pub beliefs: MultiBelief,
+    /// Loop configuration (budget, k, repeat policy, …).
+    pub config: HcConfig,
+    /// Cost model charged per expert answer.
+    pub costs: &'a dyn CostModel,
+}
+
+/// Drives several independent experiment variants through one
+/// [`CorpusScheduler`] in [`CorpusBudget::PerGroup`] mode — the serial
+/// "run each variant to completion" loops the `ext-*` experiments used
+/// to hand-roll.
+///
+/// Per-group mode leaves every session's own budget untouched, so each
+/// variant's rounds, posteriors, and spend are bit-identical to a
+/// standalone [`hc_core::hc::run_hc_costed`] call with the same
+/// collaborators; only the *interleaving* changes (the scheduler
+/// advances whichever variant currently has the highest marginal
+/// entropy gain). `corpus_scheduler_reproduces_direct_runs_bit_for_bit`
+/// in [`ext`]'s tests locks that equivalence.
+///
+/// `oracles[g]` and `rngs[g]` serve variant `g`; the observer receives
+/// `(variant index, beliefs after the round, round record)`. Returns
+/// each variant's final beliefs, round records, and spend, in input
+/// order.
+pub fn run_variant_corpus<O, R, F>(
+    panel: &ExpertPanel,
+    selector: &dyn TaskSelector,
+    variants: Vec<VariantRun<'_>>,
+    oracles: &mut [O],
+    rngs: &mut [R],
+    mut observer: F,
+) -> hc_core::Result<Vec<(MultiBelief, Vec<RoundRecord>, u64)>>
+where
+    O: AnswerOracle,
+    R: RngCore,
+    F: FnMut(usize, &MultiBelief, &RoundRecord),
+{
+    let sessions = variants
+        .into_iter()
+        .map(|v| HcSession::start(v.beliefs, panel.clone(), v.config, selector, v.costs))
+        .collect::<hc_core::Result<Vec<_>>>()?;
+    let mut scheduler = CorpusScheduler::new(sessions, CorpusBudget::PerGroup);
+    let mut sink = NullSink;
+    let mut env = CorpusEnv {
+        oracles: oracles
+            .iter_mut()
+            .map(|o| o as &mut dyn AnswerOracle)
+            .collect(),
+        rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+        sink: &mut sink,
+        observer: &mut observer,
+    };
+    scheduler.run(&mut env)?;
+    drop(env);
+    Ok(scheduler
+        .into_sessions()
+        .into_iter()
+        .map(HcSession::into_parts)
+        .collect())
 }
 
 fn augmented_matrix_in_order(

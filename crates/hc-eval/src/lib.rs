@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod compare_cli;
+pub mod corpus_cli;
 pub mod curve;
 pub mod experiments;
 pub mod inspect;

@@ -7,6 +7,7 @@
 //! hc-eval inspect <run.jsonl> [--strict] [--json] [--prometheus FILE]
 //! hc-eval compare <a> <b> [--json] [--fail-on-regress PCT]
 //! hc-eval session <run|resume> --out DIR [--checkpoint-every N] …
+//! hc-eval corpus <run|resume> --out DIR [--checkpoint-every N] …
 //! ```
 //!
 //! Prints the paper-style tables to stdout (plus ASCII charts with
@@ -16,7 +17,9 @@
 //! subcommand diffs two traces or two stamped `BENCH_*.json` files and
 //! can gate on latency regressions; see [`hc_eval::compare_cli`]. The
 //! `session` subcommand runs a crash-safe checkpointed session and
-//! resumes it after a kill; see [`hc_eval::session_cli`].
+//! resumes it after a kill; see [`hc_eval::session_cli`]. The `corpus`
+//! subcommand does the same one level up, for a whole multi-group
+//! corpus under the cross-group scheduler; see [`hc_eval::corpus_cli`].
 
 use hc_eval::{
     run_experiment, write_json, ExpSettings, Scale, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
@@ -99,6 +102,9 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("session") {
         return hc_eval::session_cli::run_cli(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("corpus") {
+        return hc_eval::corpus_cli::run_cli(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -1,0 +1,478 @@
+//! Multi-group corpus fixtures: a deterministic sharded corpus for the
+//! cross-group scheduler's differential suites.
+//!
+//! Mirrors [`crate::crash::SessionFixture`] one level up: where that
+//! fixture locks a single session's crash/resume behaviour to the bit,
+//! [`CorpusFixture`] assembles several independent fact groups with
+//! per-group sampling oracles and drives
+//! [`hc_core::corpus::CorpusScheduler`] over them, producing
+//! [`CorpusArtifacts`] comparable for byte equality — the stitched
+//! corpus trace, the allocation schedule, every group's posterior bit
+//! patterns, and the final corpus checkpoint payload.
+//!
+//! The chaos driver [`CorpusFixture::crash_and_resume`] reuses the
+//! [`crate::crash`] machinery (embedded checkpoint frames,
+//! [`TornWrite`] tail corruption, durable-prefix recovery) with the
+//! corpus checkpoint kind: the process dies after a whole scheduler
+//! step — a *group boundary*, where every session stands at a round
+//! boundary or is finished — and a fresh process must reproduce the
+//! uninterrupted run exactly.
+
+use crate::crash::{durable_event_lines, posterior_bits, torn_prefix, CrashPlan, TornWrite};
+use crate::oracle::SamplingOracle;
+use hc_core::corpus::{CorpusBudget, CorpusEnv, CorpusScheduler};
+use hc_core::hc::{AnswerOracle, UnitCost};
+use hc_core::selection::GreedySelector;
+use hc_core::session::{HcSession, ResumableOracle};
+use hc_core::telemetry::checkpoint::latest_in_jsonl;
+use hc_core::telemetry::{RecordingSink, TelemetryEvent};
+use hc_core::{
+    Belief, ExpertPanel, HcConfig, HcError, MultiBelief, Parallelism, Result, RoundRecord,
+};
+use hc_data::markov_joint;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-group seeds: each group's oracle and loop RNG get their own
+/// stream so a cross-wired group index cannot be masked.
+const ORACLE_SEED: u64 = 0xC0_FA11;
+const LOOP_SEED: u64 = 0xC0_C0DE;
+
+/// Everything a finished corpus run leaves behind, in comparable
+/// (bit-exact) form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusArtifacts {
+    /// Event JSON lines in emission order (checkpoint lines excluded);
+    /// for a crashed run, the durable prefix stitched to the resumed
+    /// tail.
+    pub event_lines: Vec<String>,
+    /// The allocation order: the group index of every `GroupScheduled`
+    /// event.
+    pub schedule: Vec<usize>,
+    /// IEEE-754 bit patterns of every posterior cell, per group per
+    /// task.
+    pub posterior_bits: Vec<Vec<Vec<u64>>>,
+    /// The final corpus checkpoint payload (oracle cursors cleared).
+    pub final_payload: String,
+    /// Total scheduler steps of the corpus run.
+    pub steps: u64,
+    /// Total budget spent across all groups.
+    pub spent: u64,
+    /// Scheduler steps executed by *this* process (a resumed run counts
+    /// only its own).
+    pub process_steps: u64,
+}
+
+/// A deterministic four-group corpus: single- and multi-task groups of
+/// different sizes and correlations competing for one pooled budget
+/// through a two-expert panel. Small enough to sweep every group
+/// boundary, uneven enough that the allocation order is non-trivial.
+pub struct CorpusFixture {
+    truths: Vec<Vec<Vec<bool>>>,
+    groups: Vec<MultiBelief>,
+    panel: ExpertPanel,
+    config: HcConfig,
+    selector: GreedySelector,
+    budget: CorpusBudget,
+}
+
+impl CorpusFixture {
+    /// The standard fixture under the given thread policy. Corpus runs
+    /// are bit-identical across policies — exactly what
+    /// `tests/corpus_determinism.rs` asserts.
+    pub fn standard(parallelism: Parallelism) -> Self {
+        let groups = vec![
+            MultiBelief::new(vec![
+                Belief::from_probs(markov_joint(5, 0.6, 0.65)).expect("group 0 joint"),
+            ]),
+            MultiBelief::new(vec![
+                Belief::from_probs(markov_joint(4, 0.45, 0.8)).expect("group 1 joint"),
+            ]),
+            MultiBelief::new(vec![
+                Belief::from_probs(markov_joint(3, 0.5, 0.7)).expect("group 2 joint a"),
+                Belief::from_probs(markov_joint(3, 0.55, 0.6)).expect("group 2 joint b"),
+            ]),
+            MultiBelief::new(vec![
+                Belief::from_probs(markov_joint(6, 0.52, 0.75)).expect("group 3 joint"),
+            ]),
+        ];
+        let truths = vec![
+            vec![vec![true, false, true, true, false]],
+            vec![vec![false, true, false, true]],
+            vec![vec![true, true, false], vec![false, false, true]],
+            vec![vec![true, false, false, true, false, true]],
+        ];
+        let panel = ExpertPanel::from_accuracies(&[0.92, 0.88]).expect("fixture panel");
+        let mut config = HcConfig::new(2, 40);
+        config.parallelism = parallelism;
+        CorpusFixture {
+            truths,
+            groups,
+            panel,
+            config,
+            selector: GreedySelector::new(),
+            budget: CorpusBudget::Pooled(26),
+        }
+    }
+
+    /// Replaces the budget mode (the standard fixture pools 26 units).
+    pub fn with_budget(mut self, budget: CorpusBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the fixture holds no groups (never, for the standard
+    /// fixture).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// A fresh scheduler over freshly started sessions.
+    pub fn scheduler(&self) -> CorpusScheduler<'_> {
+        let sessions: Vec<HcSession<'_>> = self
+            .groups
+            .iter()
+            .map(|beliefs| {
+                HcSession::start(
+                    beliefs.clone(),
+                    self.panel.clone(),
+                    self.config.clone(),
+                    &self.selector,
+                    &UnitCost,
+                )
+                .expect("fixture session")
+            })
+            .collect();
+        CorpusScheduler::new(sessions, self.budget)
+    }
+
+    /// Freshly seeded per-group oracles. Restore saved cursors onto
+    /// them to continue a checkpointed corpus.
+    pub fn oracles(&self) -> Vec<SamplingOracle<'_, StdRng>> {
+        self.truths
+            .iter()
+            .enumerate()
+            .map(|(g, truths)| {
+                SamplingOracle::new(truths, StdRng::seed_from_u64(ORACLE_SEED ^ g as u64))
+            })
+            .collect()
+    }
+
+    /// Freshly seeded per-group loop RNGs — resumed sessions replay
+    /// their logged draws against these exact streams.
+    pub fn loop_rngs(&self) -> Vec<StdRng> {
+        (0..self.groups.len())
+            .map(|g| StdRng::seed_from_u64(LOOP_SEED ^ g as u64))
+            .collect()
+    }
+
+    /// Runs the corpus start to finish with no interference — the
+    /// ground truth every crashed-and-resumed run must match byte for
+    /// byte.
+    pub fn reference(&self) -> CorpusArtifacts {
+        let mut scheduler = self.scheduler();
+        let mut oracles = self.oracles();
+        let mut rngs = self.loop_rngs();
+        let mut sink = RecordingSink::new();
+        let mut steps = 0u64;
+        loop {
+            let mut obs = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+            let mut env = CorpusEnv {
+                oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+                rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+                sink: &mut sink,
+                observer: &mut obs,
+            };
+            match scheduler.step_once(&mut env).expect("reference step") {
+                Some(_) => steps += 1,
+                None => break,
+            }
+        }
+        let event_lines: Vec<String> = sink.events().iter().map(|e| e.to_json_line()).collect();
+        artifacts(scheduler, event_lines, steps)
+    }
+
+    /// Runs until the plan's kill point — `kill_after_steps` whole
+    /// scheduler steps, i.e. group boundaries — checkpointing the
+    /// *corpus* after every step, corrupts the trace tail per the plan,
+    /// then recovers exactly as a restarted process would: latest valid
+    /// embedded corpus frame, truncate the trace to it, rebuild oracles
+    /// and RNGs from seeds, restore every group's cursor, run to
+    /// completion. Artifacts carry the stitched event stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HcError`] surfaced by resume validation.
+    pub fn crash_and_resume(&self, plan: &CrashPlan) -> Result<CorpusArtifacts> {
+        // ---- Phase 1: the doomed process ----------------------------
+        let mut scheduler = self.scheduler();
+        let mut oracles = self.oracles();
+        let mut rngs = self.loop_rngs();
+        let mut sink = RecordingSink::new();
+        let mut trace = String::new();
+        let mut emitted = 0usize;
+        let mut complete = false;
+        for seq in 1..=plan.kill_after_steps {
+            if complete {
+                break;
+            }
+            complete = step_corpus(&mut scheduler, &mut oracles, &mut rngs, &mut sink)?.is_none();
+            for event in &sink.events()[emitted..] {
+                trace.push_str(&event.to_json_line());
+                trace.push('\n');
+            }
+            emitted = sink.events().len();
+            for (g, oracle) in oracles.iter().enumerate() {
+                scheduler.set_oracle_cursor(g, Some(oracle.save_cursor()));
+            }
+            trace.push_str(&scheduler.checkpoint_frame(seq as u64).to_json_line());
+            trace.push('\n');
+        }
+        self.corrupt_tail(
+            plan,
+            &mut trace,
+            &mut scheduler,
+            &mut oracles,
+            &mut rngs,
+            &mut sink,
+            emitted,
+        )?;
+
+        // ---- Phase 2: recovery in a fresh process -------------------
+        let frame = latest_in_jsonl(&trace);
+        let durable_events = durable_event_lines(&trace);
+        let mut scheduler = match &frame {
+            Some(frame) => CorpusScheduler::from_frame(frame, &self.selector, &UnitCost)?,
+            // Nothing durable: cold restart from scratch.
+            None => self.scheduler(),
+        };
+        let mut oracles = self.oracles();
+        for (g, oracle) in oracles.iter_mut().enumerate() {
+            if let Some(cursor) = scheduler.session(g).state().oracle_cursor.clone() {
+                oracle.restore_cursor(&cursor)?;
+            }
+        }
+        let mut rngs = self.loop_rngs();
+        let mut sink = RecordingSink::new();
+        let mut steps = 0u64;
+        while step_corpus(&mut scheduler, &mut oracles, &mut rngs, &mut sink)?.is_some() {
+            steps += 1;
+        }
+        let mut event_lines = durable_events;
+        event_lines.extend(sink.events().iter().map(|e| e.to_json_line()));
+        Ok(artifacts(scheduler, event_lines, steps))
+    }
+
+    /// Applies the plan's tail corruption, possibly running the doomed
+    /// scheduler one step further for realistic half-written bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn corrupt_tail(
+        &self,
+        plan: &CrashPlan,
+        trace: &mut String,
+        scheduler: &mut CorpusScheduler<'_>,
+        oracles: &mut [SamplingOracle<'_, StdRng>],
+        rngs: &mut [StdRng],
+        sink: &mut RecordingSink,
+        emitted: usize,
+    ) -> Result<()> {
+        match plan.torn {
+            TornWrite::None => {}
+            TornWrite::TornEventLine => {
+                let _ = step_corpus(scheduler, oracles, rngs, sink)?;
+                if let Some(event) = sink.events().get(emitted) {
+                    trace.push_str(&torn_prefix(&event.to_json_line(), plan.seed));
+                }
+            }
+            TornWrite::TornCheckpointLine => {
+                let _ = step_corpus(scheduler, oracles, rngs, sink)?;
+                for event in &sink.events()[emitted..] {
+                    trace.push_str(&event.to_json_line());
+                    trace.push('\n');
+                }
+                for (g, oracle) in oracles.iter().enumerate() {
+                    scheduler.set_oracle_cursor(g, Some(oracle.save_cursor()));
+                }
+                let frame = scheduler.checkpoint_frame(plan.kill_after_steps as u64 + 1);
+                trace.push_str(&torn_prefix(&frame.to_json_line(), plan.seed));
+            }
+            TornWrite::GarbageTail => {
+                trace.push_str("{\"type\":\"co\u{1}\u{2}%%%garbage");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One scheduler step with the fixture's per-group collaborators.
+fn step_corpus(
+    scheduler: &mut CorpusScheduler<'_>,
+    oracles: &mut [SamplingOracle<'_, StdRng>],
+    rngs: &mut [StdRng],
+    sink: &mut RecordingSink,
+) -> Result<Option<usize>> {
+    let mut obs = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+    let mut env = CorpusEnv {
+        oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+        rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+        sink,
+        observer: &mut obs,
+    };
+    scheduler.step_once(&mut env)
+}
+
+/// Packs a completed scheduler and its event lines into comparable
+/// artifacts.
+fn artifacts(
+    mut scheduler: CorpusScheduler<'_>,
+    event_lines: Vec<String>,
+    process_steps: u64,
+) -> CorpusArtifacts {
+    let schedule: Vec<usize> = event_lines
+        .iter()
+        .filter_map(|line| match TelemetryEvent::from_json_line(line) {
+            Ok(TelemetryEvent::GroupScheduled { group, .. }) => Some(group),
+            _ => None,
+        })
+        .collect();
+    for g in 0..scheduler.len() {
+        scheduler.set_oracle_cursor(g, None);
+    }
+    let posterior = (0..scheduler.len())
+        .map(|g| posterior_bits(&scheduler.session(g).state().beliefs))
+        .collect();
+    CorpusArtifacts {
+        schedule,
+        posterior_bits: posterior,
+        final_payload: scheduler.checkpoint_frame(0).payload,
+        steps: scheduler.steps(),
+        spent: scheduler.spent(),
+        process_steps,
+        event_lines,
+    }
+}
+
+/// Convenience: asserts (by returning the mismatch as an error) that a
+/// crashed-and-resumed corpus reproduced the reference bit-for-bit.
+pub fn diff_corpus_artifacts(
+    reference: &CorpusArtifacts,
+    resumed: &CorpusArtifacts,
+) -> Result<()> {
+    if resumed.event_lines != reference.event_lines {
+        let n = reference
+            .event_lines
+            .iter()
+            .zip(&resumed.event_lines)
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Err(HcError::InvalidCheckpoint {
+            reason: format!(
+                "stitched corpus trace diverges at line {n} \
+                 (reference {} lines, resumed {} lines)",
+                reference.event_lines.len(),
+                resumed.event_lines.len()
+            ),
+        });
+    }
+    if resumed.schedule != reference.schedule {
+        return Err(HcError::InvalidCheckpoint {
+            reason: format!(
+                "allocation schedules diverge: reference {:?}, resumed {:?}",
+                reference.schedule, resumed.schedule
+            ),
+        });
+    }
+    if resumed.posterior_bits != reference.posterior_bits {
+        return Err(HcError::InvalidCheckpoint {
+            reason: "posterior bit patterns diverge".to_string(),
+        });
+    }
+    if resumed.final_payload != reference.final_payload {
+        return Err(HcError::InvalidCheckpoint {
+            reason: "final corpus payloads diverge".to_string(),
+        });
+    }
+    if resumed.spent != reference.spent || resumed.steps != reference.steps {
+        return Err(HcError::InvalidCheckpoint {
+            reason: format!(
+                "totals diverge: reference {} steps / {} spent, resumed {} / {}",
+                reference.steps, reference.spent, resumed.steps, resumed.spent
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_corpus_is_reproducible_and_nontrivial() {
+        let fixture = CorpusFixture::standard(Parallelism::Serial);
+        let a = fixture.reference();
+        let b = fixture.reference();
+        assert_eq!(a, b, "two reference runs must be bit-identical");
+        assert!(a.steps > 8, "fixture should schedule many steps: {}", a.steps);
+        assert!(
+            a.schedule.iter().collect::<std::collections::BTreeSet<_>>().len() == 4,
+            "every group is scheduled at least once: {:?}",
+            a.schedule
+        );
+        assert!(a.spent <= 26, "pooled budget respected: {}", a.spent);
+    }
+
+    #[test]
+    fn reference_trace_passes_the_corpus_audit() {
+        let fixture = CorpusFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let events: Vec<TelemetryEvent> = reference
+            .event_lines
+            .iter()
+            .map(|l| TelemetryEvent::from_json_line(l).expect("fixture lines parse"))
+            .collect();
+        let report = hc_core::telemetry::audit(&events);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn clean_kill_at_a_group_boundary_resumes_byte_identically() {
+        let fixture = CorpusFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(3, TornWrite::None, 1))
+            .expect("resume");
+        diff_corpus_artifacts(&reference, &resumed).expect("byte-identical resume");
+        assert_eq!(
+            resumed.process_steps,
+            reference.steps - 3,
+            "no scheduler step is repeated"
+        );
+    }
+
+    #[test]
+    fn kill_before_anything_durable_is_a_cold_restart() {
+        let fixture = CorpusFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(0, TornWrite::GarbageTail, 2))
+            .expect("cold restart");
+        diff_corpus_artifacts(&reference, &resumed).expect("cold restart equals reference");
+    }
+
+    #[test]
+    fn torn_corpus_checkpoint_falls_back_and_reemits_the_lost_step() {
+        let fixture = CorpusFixture::standard(Parallelism::Serial);
+        let reference = fixture.reference();
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(2, TornWrite::TornCheckpointLine, 3))
+            .expect("resume");
+        diff_corpus_artifacts(&reference, &resumed).expect("re-emitted events are identical");
+        assert_eq!(resumed.process_steps, reference.steps - 2);
+    }
+}

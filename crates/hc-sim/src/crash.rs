@@ -395,7 +395,7 @@ pub fn durable_event_lines(trace: &str) -> Vec<String> {
 /// A strict prefix of `line` (never the whole line, never empty for
 /// multi-byte lines), cut at a seeded position — the shape an
 /// interrupted buffered write leaves on disk.
-fn torn_prefix(line: &str, seed: u64) -> String {
+pub(crate) fn torn_prefix(line: &str, seed: u64) -> String {
     if line.len() < 2 {
         return String::new();
     }

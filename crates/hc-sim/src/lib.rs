@@ -13,6 +13,7 @@
 
 pub mod budget;
 pub mod crash;
+pub mod corpus;
 mod cursor;
 pub mod estimation;
 pub mod faults;
@@ -23,6 +24,7 @@ pub mod pipeline;
 pub mod stopping;
 
 pub use budget::BudgetLedger;
+pub use corpus::{diff_corpus_artifacts, CorpusArtifacts, CorpusFixture};
 pub use crash::{CrashPlan, RunArtifacts, SessionFixture, TornWrite};
 pub use estimation::{
     estimate_accuracies, estimate_accuracies_with_intervals, sample_gold_items, wilson_interval,

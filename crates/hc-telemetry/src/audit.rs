@@ -226,6 +226,12 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
             events: 0,
         };
     }
+    // A corpus trace announces itself up front; its per-group
+    // sub-streams are each audited with the single-run grammar below
+    // after the envelope demux.
+    if matches!(events.first(), Some(TelemetryEvent::CorpusStarted { .. })) {
+        return corpus_audit_with(events, config);
+    }
     if !matches!(events.first(), Some(TelemetryEvent::RunStarted { .. })) {
         findings.push(err(
             "missing_run_started",
@@ -594,6 +600,20 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                     ));
                 }
             }
+            TelemetryEvent::CorpusStarted { .. }
+            | TelemetryEvent::GroupScheduled { .. }
+            | TelemetryEvent::GroupAdvanced { .. }
+            | TelemetryEvent::GroupFinished { .. }
+            | TelemetryEvent::CorpusFinished { .. } => {
+                // The corpus path is taken when the stream *starts* with
+                // corpus_started; an envelope event anywhere else means
+                // two stream kinds were mixed into one file.
+                findings.push(err(
+                    "corpus_event_in_run",
+                    None,
+                    format!("{} inside a single-run stream", event.kind()),
+                ));
+            }
         }
     }
     if let Some(open_key) = open {
@@ -683,6 +703,255 @@ pub fn audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditRepor
                     "worker {} agreed with the consensus on all {} comparable answers — statistically suspicious (copying the majority?)",
                     w.worker, w.comparable
                 ),
+            });
+        }
+    }
+
+    AuditReport {
+        findings,
+        events: events.len(),
+    }
+}
+
+/// Audits a corpus trace (`hc-core::corpus`): validates the envelope
+/// grammar — segments open with `group_scheduled` and close with a
+/// matching `group_advanced`/`group_finished`, scheduler steps are
+/// consecutive, every group terminates exactly once, and the
+/// `corpus_finished` totals reconcile with the per-group accounting —
+/// then demuxes each group's concatenated segments into its own
+/// single-run stream and audits it with the full single-run grammar,
+/// prefixing any findings with the group index.
+fn corpus_audit_with(events: &[TelemetryEvent], config: &AuditConfig) -> AuditReport {
+    let mut findings: Vec<Finding> = Vec::new();
+    let err = |code: &'static str, message: String| Finding {
+        severity: Severity::Error,
+        code,
+        round: None,
+        message,
+    };
+
+    let (declared_groups, declared_budget, pooled) = match events.first() {
+        Some(TelemetryEvent::CorpusStarted { groups, budget, pooled, .. }) => {
+            (*groups, *budget, *pooled)
+        }
+        _ => unreachable!("caller checked the first event"),
+    };
+    if !matches!(events.last(), Some(TelemetryEvent::CorpusFinished { .. })) {
+        findings.push(err(
+            "truncated_log",
+            "corpus stream does not end with corpus_finished".into(),
+        ));
+    }
+
+    let mut substreams: Vec<Vec<TelemetryEvent>> = vec![Vec::new(); declared_groups];
+    let mut group_spent: Vec<Option<u64>> = vec![None; declared_groups];
+    let mut group_deltas: Vec<u64> = vec![0; declared_groups];
+    let mut open_segment: Option<(usize, u64)> = None;
+    let mut next_step: u64 = 0;
+    let mut closer_totals: Option<(u64, u64, usize)> = None;
+
+    for (idx, event) in events.iter().enumerate() {
+        match event {
+            TelemetryEvent::CorpusStarted { .. } => {
+                if idx != 0 {
+                    findings.push(err(
+                        "duplicate_corpus_started",
+                        "corpus_started appears again mid-stream".into(),
+                    ));
+                }
+            }
+            TelemetryEvent::GroupScheduled { group, step, gain } => {
+                if let Some((g, s)) = open_segment {
+                    findings.push(err(
+                        "overlapping_segment",
+                        format!("group {group} scheduled while group {g}'s step-{s} segment is open"),
+                    ));
+                }
+                if *group >= declared_groups {
+                    findings.push(err(
+                        "unknown_group",
+                        format!("group {group} scheduled but the corpus declared {declared_groups}"),
+                    ));
+                }
+                if *step != next_step {
+                    findings.push(err(
+                        "step_order",
+                        format!("group {group} scheduled at step {step}, expected {next_step}"),
+                    ));
+                }
+                if !gain.is_finite() {
+                    findings.push(err(
+                        "nonfinite_value",
+                        format!("group_scheduled.gain is {gain}"),
+                    ));
+                }
+                next_step = step + 1;
+                open_segment = Some((*group, *step));
+            }
+            TelemetryEvent::GroupAdvanced {
+                group,
+                step,
+                spent_delta,
+                entropy,
+                ..
+            } => {
+                match open_segment.take() {
+                    Some((g, s)) if g == *group && s == *step => {}
+                    other => findings.push(err(
+                        "segment_mismatch",
+                        format!(
+                            "group_advanced (group {group}, step {step}) closes segment {other:?}"
+                        ),
+                    )),
+                }
+                if !entropy.is_finite() {
+                    findings.push(err(
+                        "nonfinite_value",
+                        format!("group_advanced.entropy is {entropy}"),
+                    ));
+                }
+                if let Some(d) = group_deltas.get_mut(*group) {
+                    *d += spent_delta;
+                }
+            }
+            TelemetryEvent::GroupFinished {
+                group,
+                step,
+                spent,
+                entropy,
+                ..
+            } => {
+                match open_segment.take() {
+                    Some((g, s)) if g == *group && s == *step => {}
+                    other => findings.push(err(
+                        "segment_mismatch",
+                        format!(
+                            "group_finished (group {group}, step {step}) closes segment {other:?}"
+                        ),
+                    )),
+                }
+                if !entropy.is_finite() {
+                    findings.push(err(
+                        "nonfinite_value",
+                        format!("group_finished.entropy is {entropy}"),
+                    ));
+                }
+                match group_spent.get_mut(*group) {
+                    Some(slot @ None) => *slot = Some(*spent),
+                    Some(Some(_)) => findings.push(err(
+                        "duplicate_group_finished",
+                        format!("group {group} finished twice"),
+                    )),
+                    None => {} // unknown_group already reported
+                }
+                if let Some(d) = group_deltas.get(*group) {
+                    if spent < d {
+                        findings.push(err(
+                            "corpus_spend_mismatch",
+                            format!(
+                                "group {group} finished with spent {spent} below its {d} of streamed round deltas"
+                            ),
+                        ));
+                    }
+                }
+            }
+            TelemetryEvent::CorpusFinished {
+                steps,
+                spent,
+                finished,
+                entropy,
+            } => {
+                if idx + 1 != events.len() {
+                    findings.push(err(
+                        "corpus_event_in_run",
+                        "corpus_finished appears before the end of the stream".into(),
+                    ));
+                }
+                if !entropy.is_finite() {
+                    findings.push(err(
+                        "nonfinite_value",
+                        format!("corpus_finished.entropy is {entropy}"),
+                    ));
+                }
+                closer_totals = Some((*steps, *spent, *finished));
+            }
+            other => match open_segment {
+                Some((g, _)) => {
+                    if let Some(sub) = substreams.get_mut(g) {
+                        sub.push(other.clone());
+                    }
+                }
+                None => findings.push(err(
+                    "event_outside_segment",
+                    format!("{} outside any group segment", other.kind()),
+                )),
+            },
+        }
+    }
+    if let Some((g, s)) = open_segment {
+        findings.push(err(
+            "unclosed_segment",
+            format!("stream ended with group {g}'s step-{s} segment open"),
+        ));
+    }
+
+    // ── Envelope accounting ────────────────────────────────────────
+    if let Some((steps, spent, finished)) = closer_totals {
+        if steps != next_step {
+            findings.push(err(
+                "corpus_accounting",
+                format!("corpus_finished says {steps} steps, the stream scheduled {next_step}"),
+            ));
+        }
+        let finished_seen = group_spent.iter().filter(|s| s.is_some()).count();
+        if finished != finished_seen {
+            findings.push(err(
+                "corpus_accounting",
+                format!(
+                    "corpus_finished says {finished} groups finished, the stream finished {finished_seen}"
+                ),
+            ));
+        }
+        let spent_seen: u64 = group_spent.iter().flatten().sum();
+        if spent != spent_seen {
+            findings.push(err(
+                "corpus_spend_mismatch",
+                format!(
+                    "corpus_finished says {spent} spent, the groups account for {spent_seen}"
+                ),
+            ));
+        }
+        if spent > declared_budget {
+            findings.push(err(
+                "budget_exceeded",
+                format!(
+                    "corpus spent {spent} of a {declared_budget} {} budget",
+                    if pooled { "pooled" } else { "summed per-group" }
+                ),
+            ));
+        }
+        for (g, s) in group_spent.iter().enumerate() {
+            if s.is_none() {
+                findings.push(err(
+                    "group_never_finished",
+                    format!("group {g} never reached group_finished"),
+                ));
+            }
+        }
+    }
+
+    // ── Per-group single-run audits ────────────────────────────────
+    for (g, sub) in substreams.iter().enumerate() {
+        if sub.is_empty() {
+            continue;
+        }
+        let report = audit_with(sub, config);
+        for f in report.findings {
+            findings.push(Finding {
+                severity: f.severity,
+                code: f.code,
+                round: f.round,
+                message: format!("group {g}: {}", f.message),
             });
         }
     }
@@ -1280,5 +1549,157 @@ mod tests {
                 answers_received: 1,
             },
         ]
+    }
+
+    /// Two clean single-group runs woven into a corpus envelope: each
+    /// group runs its delivering round in an early segment and its
+    /// finishing step in a later drain segment, so the per-group
+    /// substreams reassemble to exactly `clean_run()`.
+    fn clean_corpus() -> Vec<E> {
+        let runs = [clean_run(), clean_run()];
+        let mut events = vec![E::CorpusStarted { groups: 2, facts: 4, budget: 20, pooled: true }];
+        for (g, run) in runs.iter().enumerate() {
+            events.push(E::GroupScheduled { group: g, step: g as u64, gain: 0.6 });
+            events.extend(run[..run.len() - 1].iter().cloned());
+            events.push(E::GroupAdvanced {
+                group: g,
+                step: g as u64,
+                round: 1,
+                spent_delta: 2,
+                entropy: 0.8,
+            });
+        }
+        for (g, run) in runs.iter().enumerate() {
+            let step = (2 + g) as u64;
+            events.push(E::GroupScheduled { group: g, step, gain: 0.0 });
+            events.push(run[run.len() - 1].clone());
+            events.push(E::GroupFinished {
+                group: g,
+                step,
+                reason: StopReason::BudgetExhausted,
+                spent: 2,
+                entropy: 0.8,
+            });
+        }
+        events.push(E::CorpusFinished { steps: 4, spent: 4, finished: 2, entropy: 1.6 });
+        events
+    }
+
+    #[test]
+    fn clean_corpus_has_zero_findings() {
+        let report = audit(&clean_corpus());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn corpus_event_inside_single_run_is_flagged() {
+        let mut events = clean_run();
+        events.insert(2, E::GroupScheduled { group: 0, step: 0, gain: 0.5 });
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "corpus_event_in_run"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn corpus_step_gap_is_flagged() {
+        let mut events = clean_corpus();
+        for e in &mut events {
+            if let E::GroupScheduled { group: 1, step, .. } = e {
+                *step += 5;
+            }
+        }
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "step_order"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn corpus_spend_mismatch_is_flagged() {
+        let mut events = clean_corpus();
+        let last = events.len() - 1;
+        events[last] = E::CorpusFinished { steps: 4, spent: 5, finished: 2, entropy: 1.6 };
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "corpus_spend_mismatch"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn truncated_corpus_is_flagged() {
+        let mut events = clean_corpus();
+        events.pop();
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "truncated_log"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn unfinished_group_is_flagged() {
+        let events: Vec<E> = clean_corpus()
+            .into_iter()
+            .filter(|e| !matches!(e, E::GroupFinished { group: 1, .. }))
+            .collect();
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "unclosed_segment"),
+            "{}",
+            report.render()
+        );
+        assert!(
+            report.findings.iter().any(|f| f.code == "group_never_finished"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn group_findings_carry_the_group_prefix() {
+        let mut events = clean_corpus();
+        // Swap group 0's second dispatch ahead of its first answer so the
+        // inner single-run grammar sees an interleaved dispatch.
+        events.swap(4, 5);
+        let report = audit(&events);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.code == "unclosed_dispatch" && f.message.starts_with("group 0: ")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn stray_event_between_segments_is_flagged() {
+        let mut events = clean_corpus();
+        // Right after group 0's GroupAdvanced (index 9) no segment is open.
+        events.insert(
+            10,
+            E::BeliefUpdated {
+                round: 1,
+                entropy: 0.8,
+                quality: -0.8,
+                budget_spent: 2,
+                answers_requested: 2,
+                answers_received: 2,
+            },
+        );
+        let report = audit(&events);
+        assert!(
+            report.findings.iter().any(|f| f.code == "event_outside_segment"),
+            "{}",
+            report.render()
+        );
     }
 }

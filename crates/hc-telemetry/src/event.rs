@@ -391,6 +391,74 @@ pub enum TelemetryEvent {
         /// Why the loop stopped.
         reason: StopReason,
     },
+    /// A corpus run began (`hc-core::corpus`): the envelope opener of a
+    /// multi-group trace. Between a [`TelemetryEvent::GroupScheduled`]
+    /// and its closing [`TelemetryEvent::GroupAdvanced`] /
+    /// [`TelemetryEvent::GroupFinished`], every event belongs to that
+    /// group's sub-stream; the concatenated segments of one group form
+    /// a complete single-run trace.
+    CorpusStarted {
+        /// Fact groups in the corpus.
+        groups: usize,
+        /// Total facts across all groups.
+        facts: usize,
+        /// The shared checking budget (pooled mode) or the sum of the
+        /// per-group budgets (per-group mode).
+        budget: u64,
+        /// Whether the groups draw from one shared pool.
+        pooled: bool,
+    },
+    /// The cross-group scheduler picked a group — opens that group's
+    /// next trace segment.
+    GroupScheduled {
+        /// Group index within the corpus.
+        group: usize,
+        /// Global scheduler step, 0-based; one per executed segment.
+        step: u64,
+        /// The fresh predicted entropy gain the group won the pick
+        /// with (0 for a pick that only finishes the group).
+        gain: f64,
+    },
+    /// The scheduled group executed one full round and suspended —
+    /// closes the segment opened by the matching
+    /// [`TelemetryEvent::GroupScheduled`].
+    GroupAdvanced {
+        /// Group index within the corpus.
+        group: usize,
+        /// The scheduler step this segment ran under.
+        step: u64,
+        /// The group's own round counter after the executed round.
+        round: usize,
+        /// Budget the round consumed.
+        spent_delta: u64,
+        /// The group's total belief entropy after the round.
+        entropy: f64,
+    },
+    /// The scheduled group terminated — closes its final segment.
+    /// Exactly one per group in a complete corpus trace.
+    GroupFinished {
+        /// Group index within the corpus.
+        group: usize,
+        /// The scheduler step this segment ran under.
+        step: u64,
+        /// Why the group's loop stopped.
+        reason: StopReason,
+        /// The group's total spend over the whole corpus run.
+        spent: u64,
+        /// The group's final total belief entropy.
+        entropy: f64,
+    },
+    /// The corpus run ended: the envelope closer.
+    CorpusFinished {
+        /// Scheduler steps executed (= `GroupScheduled` count).
+        steps: u64,
+        /// Total budget spent across all groups.
+        spent: u64,
+        /// Groups that reached a terminal state.
+        finished: usize,
+        /// Final belief entropy summed across all groups.
+        entropy: f64,
+    },
 }
 
 impl TelemetryEvent {
@@ -412,6 +480,11 @@ impl TelemetryEvent {
             TelemetryEvent::NumericalHealth { .. } => "numerical_health",
             TelemetryEvent::ProfileReport { .. } => "profile_report",
             TelemetryEvent::RunFinished { .. } => "run_finished",
+            TelemetryEvent::CorpusStarted { .. } => "corpus_started",
+            TelemetryEvent::GroupScheduled { .. } => "group_scheduled",
+            TelemetryEvent::GroupAdvanced { .. } => "group_advanced",
+            TelemetryEvent::GroupFinished { .. } => "group_finished",
+            TelemetryEvent::CorpusFinished { .. } => "corpus_finished",
         }
     }
 
@@ -712,6 +785,57 @@ impl TelemetryEvent {
                 push_f64(&mut s, "quality", *quality);
                 let _ = write!(s, ",\"reason\":\"{}\"", reason.name());
             }
+            TelemetryEvent::CorpusStarted {
+                groups,
+                facts,
+                budget,
+                pooled,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"groups\":{groups},\"facts\":{facts},\"budget\":{budget},\"pooled\":{pooled}"
+                );
+            }
+            TelemetryEvent::GroupScheduled { group, step, gain } => {
+                let _ = write!(s, ",\"group\":{group},\"step\":{step}");
+                push_f64(&mut s, "gain", *gain);
+            }
+            TelemetryEvent::GroupAdvanced {
+                group,
+                step,
+                round,
+                spent_delta,
+                entropy,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"group\":{group},\"step\":{step},\"round\":{round},\"spent_delta\":{spent_delta}"
+                );
+                push_f64(&mut s, "entropy", *entropy);
+            }
+            TelemetryEvent::GroupFinished {
+                group,
+                step,
+                reason,
+                spent,
+                entropy,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"group\":{group},\"step\":{step},\"reason\":\"{}\",\"spent\":{spent}",
+                    reason.name()
+                );
+                push_f64(&mut s, "entropy", *entropy);
+            }
+            TelemetryEvent::CorpusFinished {
+                steps,
+                spent,
+                finished,
+                entropy,
+            } => {
+                let _ = write!(s, ",\"steps\":{steps},\"spent\":{spent},\"finished\":{finished}");
+                push_f64(&mut s, "entropy", *entropy);
+            }
         }
         s.push('}');
         s
@@ -920,6 +1044,44 @@ impl TelemetryEvent {
                     .and_then(StopReason::from_name)
                     .ok_or_else(|| bad("reason"))?,
             }),
+            "corpus_started" => Ok(TelemetryEvent::CorpusStarted {
+                groups: us("groups")?,
+                facts: us("facts")?,
+                budget: u64f("budget")?,
+                pooled: v
+                    .get("pooled")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("pooled"))?,
+            }),
+            "group_scheduled" => Ok(TelemetryEvent::GroupScheduled {
+                group: us("group")?,
+                step: u64f("step")?,
+                gain: f("gain")?,
+            }),
+            "group_advanced" => Ok(TelemetryEvent::GroupAdvanced {
+                group: us("group")?,
+                step: u64f("step")?,
+                round: us("round")?,
+                spent_delta: u64f("spent_delta")?,
+                entropy: f("entropy")?,
+            }),
+            "group_finished" => Ok(TelemetryEvent::GroupFinished {
+                group: us("group")?,
+                step: u64f("step")?,
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .and_then(StopReason::from_name)
+                    .ok_or_else(|| bad("reason"))?,
+                spent: u64f("spent")?,
+                entropy: f("entropy")?,
+            }),
+            "corpus_finished" => Ok(TelemetryEvent::CorpusFinished {
+                steps: u64f("steps")?,
+                spent: u64f("spent")?,
+                finished: us("finished")?,
+                entropy: f("entropy")?,
+            }),
             other => Err(json::ParseError {
                 message: format!("unknown event type `{other}`"),
                 offset: 0,
@@ -1024,6 +1186,37 @@ pub(crate) mod tests {
                 worker: 0,
                 query_id: 2,
             },
+            TelemetryEvent::CorpusStarted {
+                groups: 3,
+                facts: 15,
+                budget: 60,
+                pooled: true,
+            },
+            TelemetryEvent::GroupScheduled {
+                group: 1,
+                step: 0,
+                gain: 0.5,
+            },
+            TelemetryEvent::GroupAdvanced {
+                group: 1,
+                step: 0,
+                round: 1,
+                spent_delta: 2,
+                entropy: 2.75,
+            },
+            TelemetryEvent::GroupFinished {
+                group: 1,
+                step: 7,
+                reason: StopReason::BudgetExhausted,
+                spent: 20,
+                entropy: 0.25,
+            },
+            TelemetryEvent::CorpusFinished {
+                steps: 8,
+                spent: 60,
+                finished: 3,
+                entropy: 1.5,
+            },
             TelemetryEvent::BeliefUpdated {
                 round: 1,
                 entropy: 2.75,
@@ -1109,6 +1302,11 @@ pub(crate) mod tests {
                 "answer_delivered",
                 "answer_timed_out",
                 "answer_dropped",
+                "corpus_started",
+                "group_scheduled",
+                "group_advanced",
+                "group_finished",
+                "corpus_finished",
                 "belief_updated",
                 "numerical_health",
                 "profile_report",
@@ -1122,7 +1320,12 @@ pub(crate) mod tests {
         for event in sample_events() {
             match event.kind() {
                 "run_started" | "run_finished" | "retry_scheduled" | "fault_injected"
-                | "answer_latency" | "profile_report" => assert_eq!(event.round(), None),
+                | "answer_latency" | "profile_report" | "corpus_started" | "group_scheduled"
+                | "group_advanced" | "group_finished" | "corpus_finished" => {
+                    // Corpus envelope events carry group-local or
+                    // scheduler-level counters, never a run round.
+                    assert_eq!(event.round(), None);
+                }
                 _ => assert_eq!(event.round(), Some(1)),
             }
         }

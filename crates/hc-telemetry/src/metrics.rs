@@ -348,6 +348,21 @@ impl MetricsRegistry {
                     m.set_gauge("final_entropy", *entropy);
                     m.set_gauge("final_quality", *quality);
                 }
+                TelemetryEvent::CorpusStarted { .. } => {}
+                TelemetryEvent::GroupScheduled { .. } => {
+                    m.incr("corpus.steps", 1);
+                }
+                TelemetryEvent::GroupAdvanced { .. } => {}
+                TelemetryEvent::GroupFinished { spent, .. } => {
+                    m.incr("corpus.groups_finished", 1);
+                    m.observe("corpus.group_spent", *spent as f64);
+                }
+                TelemetryEvent::CorpusFinished {
+                    spent, entropy, ..
+                } => {
+                    m.set_gauge("budget_spent", *spent as f64);
+                    m.set_gauge("final_entropy", *entropy);
+                }
             }
         }
         m.set_gauge("dry_streak_max", dry_streak_max as f64);

@@ -458,6 +458,15 @@ impl ReplayedRun {
                     reason: *reason,
                 });
             }
+            // Corpus envelope events carry scheduler-level bookkeeping,
+            // not single-run state; the per-group sub-streams between
+            // them fold normally. `hc-eval inspect` summarises corpus
+            // traces through the audit's per-group demux instead.
+            TelemetryEvent::CorpusStarted { .. }
+            | TelemetryEvent::GroupScheduled { .. }
+            | TelemetryEvent::GroupAdvanced { .. }
+            | TelemetryEvent::GroupFinished { .. }
+            | TelemetryEvent::CorpusFinished { .. } => {}
         }
     }
 }

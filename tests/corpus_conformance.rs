@@ -1,0 +1,333 @@
+//! Differential conformance suite for the cross-group corpus
+//! allocator.
+//!
+//! [`CorpusScheduler`] picks the next group to advance with a CELF
+//! lazy heap whose stale entries are only re-scored on demand. This
+//! suite locks that machinery against two independent references on
+//! random small corpora (≤ 6 groups, ≤ 4 facts per group):
+//!
+//! 1. **The brute-force scheduler oracle** — before every scheduler
+//!    step, re-score *every* unfinished group fresh and take the
+//!    argmax (ties toward the lowest group index, exactly the heap's
+//!    ordering). The lazy heap must execute that group, with that
+//!    gain, at every single step of the run. This is the same float
+//!    pipeline, so agreement is exact — any divergence is a staleness
+//!    bug in the heap, not rounding.
+//! 2. **The Equation (34) query oracle** — at `k = 1` under
+//!    [`RepeatPolicy::Unrestricted`], a fresh group's previewed gain
+//!    is the best single-query entropy drop, so the allocator's first
+//!    pick must be the literal argmax of `conditional_entropy_naive`
+//!    over all (group, query) pairs. Validated conformance.rs-style
+//!    (winner matches naive, nothing naively beats the winner) so
+//!    near-ties cannot flake.
+
+use hc_core::belief::{Belief, MultiBelief};
+use hc_core::corpus::{CorpusBudget, CorpusEnv, CorpusScheduler};
+use hc_core::entropy::conditional_entropy_naive;
+use hc_core::hc::{AnswerOracle, HcConfig, RepeatPolicy, UnitCost};
+use hc_core::selection::{global_facts, GlobalFact, GreedySelector};
+use hc_core::session::{HcSession, SessionStatus};
+use hc_core::telemetry::{RecordingSink, TelemetryEvent};
+use hc_core::worker::{ExpertPanel, Worker};
+use hc_core::{Answer, AnswerOutcome, RoundRecord};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Tolerance for gains recomputed through a *different* float path
+/// (the naive Equation (34) reference); same-path comparisons are
+/// exact.
+const GAIN_TOL: f64 = 1e-7;
+
+/// A normalised belief over `n` facts with strictly positive cells.
+fn belief_strategy(n: usize) -> impl Strategy<Value = Belief> {
+    prop::collection::vec(0.01f64..1.0, 1 << n).prop_map(|mut probs| {
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Belief::from_probs(probs).expect("normalised")
+    })
+}
+
+/// One fact group: 1–2 tasks with 1–2 facts each (naive enumeration
+/// stays fast).
+fn group_strategy() -> impl Strategy<Value = MultiBelief> {
+    prop::collection::vec(1usize..=2, 1..=2).prop_flat_map(|sizes| {
+        sizes
+            .into_iter()
+            .map(belief_strategy)
+            .collect::<Vec<_>>()
+            .prop_map(MultiBelief::new)
+    })
+}
+
+/// A small corpus of independent groups.
+fn corpus_strategy() -> impl Strategy<Value = Vec<MultiBelief>> {
+    prop::collection::vec(group_strategy(), 1..=6)
+}
+
+fn panel_strategy() -> impl Strategy<Value = ExpertPanel> {
+    prop::collection::vec(0.55f64..=0.95, 1..=2)
+        .prop_map(|rates| ExpertPanel::from_accuracies(&rates).expect("valid rates"))
+}
+
+/// A deterministic always-yes expert crowd: the differential property
+/// holds for any answer stream, this one just keeps runs reproducible.
+struct Agreeable;
+impl AnswerOracle for Agreeable {
+    fn answer(&mut self, _worker: &Worker, _fact: GlobalFact) -> AnswerOutcome {
+        AnswerOutcome::Answered(Answer::Yes)
+    }
+}
+
+/// Best single-query gain of a fresh group by Equation (34) alone:
+/// `max_{(t,f)} H(O_t) − H(O_t | A_f)`.
+fn naive_single_query_max(beliefs: &MultiBelief, panel: &ExpertPanel) -> f64 {
+    global_facts(beliefs)
+        .into_iter()
+        .map(|gf| {
+            let belief = &beliefs.tasks()[gf.task];
+            let before = conditional_entropy_naive(belief, &[], panel).expect("naive before");
+            let after =
+                conditional_entropy_naive(belief, &[gf.fact], panel).expect("naive after");
+            before - after
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn start_sessions<'a>(
+    groups: &[MultiBelief],
+    panel: &ExpertPanel,
+    config: &HcConfig,
+    selector: &'a GreedySelector,
+    costs: &'a UnitCost,
+) -> Vec<HcSession<'a>> {
+    groups
+        .iter()
+        .map(|beliefs| {
+            HcSession::start(beliefs.clone(), panel.clone(), config.clone(), selector, costs)
+                .expect("start group")
+        })
+        .collect()
+}
+
+/// Drives a whole corpus run, checking the lazy allocator against the
+/// literal "re-score everything, take the argmax" oracle at every
+/// scheduler step.
+fn assert_allocator_matches_exhaustive_oracle(
+    groups: &[MultiBelief],
+    panel: &ExpertPanel,
+    config: &HcConfig,
+    budget: CorpusBudget,
+) -> Result<(), TestCaseError> {
+    let selector = GreedySelector::new();
+    let costs = UnitCost;
+    let sessions = start_sessions(groups, panel, config, &selector, &costs);
+    let n = sessions.len();
+    let mut scheduler = CorpusScheduler::new(sessions, budget);
+    let mut oracles: Vec<Agreeable> = (0..n).map(|_| Agreeable).collect();
+    let mut rngs: Vec<StdRng> = (0..n).map(|g| StdRng::seed_from_u64(g as u64)).collect();
+    let mut sink = RecordingSink::new();
+    let mut step = 0usize;
+    loop {
+        // The exhaustive oracle: a fresh preview of every unfinished
+        // group under the *current* budget view, argmax with ties
+        // toward the lowest index.
+        let mut expected: Option<(f64, usize)> = None;
+        for g in 0..scheduler.len() {
+            if matches!(scheduler.session(g).status(), SessionStatus::Finished(_)) {
+                continue;
+            }
+            let view = match budget {
+                CorpusBudget::Pooled(_) => scheduler.budget_remaining(),
+                CorpusBudget::PerGroup => scheduler.session(g).state().remaining,
+            };
+            let gain = scheduler
+                .session(g)
+                .preview_next_round(view)
+                .expect("oracle preview")
+                .map_or(0.0, |p| p.gain);
+            let better = match expected {
+                None => true,
+                Some((best, _)) => gain.total_cmp(&best) == std::cmp::Ordering::Greater,
+            };
+            if better {
+                expected = Some((gain, g));
+            }
+        }
+
+        let executed = {
+            let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+            let mut env = CorpusEnv {
+                oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+                rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+                sink: &mut sink,
+                observer: &mut observer,
+            };
+            scheduler.step_once(&mut env).expect("scheduler step")
+        };
+        let Some(executed) = executed else {
+            prop_assert!(
+                expected.is_none(),
+                "corpus closed while the oracle still sees pending work: {expected:?}"
+            );
+            break;
+        };
+        let (oracle_gain, oracle_group) =
+            expected.expect("scheduler advanced a group the oracle says is done");
+        prop_assert_eq!(
+            executed,
+            oracle_group,
+            "step {}: lazy heap advanced group {} but the fresh argmax is {} (gain {})",
+            step,
+            executed,
+            oracle_group,
+            oracle_gain
+        );
+        // The advertised gain is the same computation the oracle just
+        // ran, so it must agree exactly.
+        let scheduled: Vec<(usize, f64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::GroupScheduled { group, gain, .. } => Some((*group, *gain)),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(scheduled.len(), step + 1);
+        let (ev_group, ev_gain) = scheduled[step];
+        prop_assert_eq!(ev_group, executed);
+        prop_assert_eq!(
+            ev_gain.to_bits(),
+            oracle_gain.to_bits(),
+            "step {}: scheduled gain {} != oracle gain {}",
+            step,
+            ev_gain,
+            oracle_gain
+        );
+        step += 1;
+    }
+
+    prop_assert_eq!(scheduler.groups_finished(), n, "every group must drain");
+    if let CorpusBudget::Pooled(pool) = budget {
+        prop_assert!(
+            scheduler.spent() <= pool,
+            "pooled corpus overspent: {} > {}",
+            scheduler.spent(),
+            pool
+        );
+    }
+    let events = sink.into_events();
+    let audit = hc_core::telemetry::audit(&events);
+    prop_assert!(audit.is_clean(), "{}", audit.render());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pooled_allocator_follows_the_exhaustive_argmax(
+        groups in corpus_strategy(),
+        panel in panel_strategy(),
+        k in 1usize..=2,
+        pool in 2u64..=12,
+    ) {
+        let config = HcConfig::new(k, u64::MAX / 2);
+        assert_allocator_matches_exhaustive_oracle(
+            &groups,
+            &panel,
+            &config,
+            CorpusBudget::Pooled(pool),
+        )?;
+    }
+
+    #[test]
+    fn per_group_allocator_follows_the_exhaustive_argmax(
+        groups in corpus_strategy(),
+        panel in panel_strategy(),
+        k in 1usize..=2,
+        budget_each in 2u64..=6,
+    ) {
+        let config = HcConfig::new(k, budget_each);
+        assert_allocator_matches_exhaustive_oracle(
+            &groups,
+            &panel,
+            &config,
+            CorpusBudget::PerGroup,
+        )?;
+    }
+
+    #[test]
+    fn unrestricted_allocator_follows_the_exhaustive_argmax(
+        groups in corpus_strategy(),
+        panel in panel_strategy(),
+        pool in 2u64..=10,
+    ) {
+        // Unrestricted re-selection keeps every query eligible forever,
+        // so the gain landscape the heap must track never goes quiet.
+        let mut config = HcConfig::new(1, u64::MAX / 2);
+        config.repeat_policy = RepeatPolicy::Unrestricted;
+        assert_allocator_matches_exhaustive_oracle(
+            &groups,
+            &panel,
+            &config,
+            CorpusBudget::Pooled(pool),
+        )?;
+    }
+
+    #[test]
+    fn first_pick_is_the_naive_query_pair_argmax(
+        groups in corpus_strategy(),
+        panel in panel_strategy(),
+    ) {
+        // Fresh corpus, k = 1, Unrestricted: the first scheduled gain
+        // is the best single (group, query) pair by Equation (34).
+        let mut config = HcConfig::new(1, u64::MAX / 2);
+        config.repeat_policy = RepeatPolicy::Unrestricted;
+        let selector = GreedySelector::new();
+        let costs = UnitCost;
+        let sessions = start_sessions(&groups, &panel, &config, &selector, &costs);
+        let n = sessions.len();
+        // Enough pool that every group can afford its first round.
+        let mut scheduler = CorpusScheduler::new(sessions, CorpusBudget::Pooled(64));
+        let mut oracles: Vec<Agreeable> = (0..n).map(|_| Agreeable).collect();
+        let mut rngs: Vec<StdRng> =
+            (0..n).map(|g| StdRng::seed_from_u64(g as u64)).collect();
+        let mut sink = RecordingSink::new();
+        let executed = {
+            let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+            let mut env = CorpusEnv {
+                oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+                rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+                sink: &mut sink,
+                observer: &mut observer,
+            };
+            scheduler.step_once(&mut env).expect("first step")
+        };
+        let executed = executed.expect("non-empty corpus schedules a group");
+        let winner_gain = sink
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TelemetryEvent::GroupScheduled { gain, .. } => Some(*gain),
+                _ => None,
+            })
+            .expect("first step emits GroupScheduled");
+        // The winner's gain matches its own naive best pair …
+        let winner_naive = naive_single_query_max(&groups[executed], &panel);
+        prop_assert!(
+            (winner_gain - winner_naive).abs() < GAIN_TOL,
+            "group {executed}: scheduled gain {winner_gain} vs naive {winner_naive}"
+        );
+        // … and no (group, query) pair anywhere naively beats it.
+        for (g, beliefs) in groups.iter().enumerate() {
+            let naive = naive_single_query_max(beliefs, &panel);
+            prop_assert!(
+                naive <= winner_gain + GAIN_TOL,
+                "group {g} naively gains {naive} > scheduled winner {winner_gain}"
+            );
+        }
+    }
+}

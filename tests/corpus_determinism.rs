@@ -1,0 +1,143 @@
+//! Corpus-level determinism suite.
+//!
+//! The cross-group scheduler promises that a corpus run is a pure
+//! function of the corpus and the budget mode: the allocation
+//! schedule, every group's posterior bit patterns, the JSONL telemetry
+//! trace, and the final checkpoint payload must be byte-identical at
+//! `HC_THREADS = 1`, `2`, and `8` (i.e. `Parallelism::Serial`,
+//! `Threads(2)`, `Threads(8)` — the env var maps onto the same
+//! policies), and a process killed at *any* group boundary must resume
+//! into the exact uninterrupted run. Both halves reuse the
+//! `hc-sim::crash` chaos harness through [`CorpusFixture`].
+
+use hc_core::parallel::Parallelism;
+use hc_sim::{diff_corpus_artifacts, CorpusFixture, CrashPlan, TornWrite};
+
+/// The thread policies `HC_THREADS={1,2,8}` select.
+const POLICIES: [Parallelism; 3] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(8),
+];
+
+/// Checkpoint payloads honestly record each session's configured
+/// thread policy — the one field that *should* differ across
+/// policies. Blank it so the rest of the payload can be compared
+/// byte-for-byte.
+fn normalize_policy(payload: &str) -> String {
+    let mut out = payload.replace("\"parallelism\":\"serial\"", "\"parallelism\":null");
+    for n in [1, 2, 8] {
+        out = out.replace(
+            &format!("\"parallelism\":{n}.0"),
+            "\"parallelism\":null",
+        );
+    }
+    out
+}
+
+#[test]
+fn corpus_runs_are_byte_identical_at_any_thread_count() {
+    let baseline = CorpusFixture::standard(Parallelism::Serial).reference();
+    assert!(
+        baseline.steps > 8 && baseline.spent > 0,
+        "fixture must be non-trivial: {} steps, {} spent",
+        baseline.steps,
+        baseline.spent
+    );
+    for policy in POLICIES {
+        let run = CorpusFixture::standard(policy).reference();
+        assert_eq!(
+            run.schedule, baseline.schedule,
+            "allocation schedule differs under {policy:?}"
+        );
+        assert_eq!(
+            run.posterior_bits, baseline.posterior_bits,
+            "posterior bit patterns differ under {policy:?}"
+        );
+        assert_eq!(
+            run.event_lines, baseline.event_lines,
+            "JSONL trace differs under {policy:?}"
+        );
+        assert_eq!(
+            normalize_policy(&run.final_payload),
+            normalize_policy(&baseline.final_payload),
+            "final checkpoint payload differs under {policy:?}"
+        );
+        assert_eq!(
+            (run.steps, run.spent, run.process_steps),
+            (baseline.steps, baseline.spent, baseline.process_steps),
+            "totals differ under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn every_group_boundary_survives_a_clean_kill() {
+    let fixture = CorpusFixture::standard(Parallelism::Serial);
+    let reference = fixture.reference();
+    // Kill after 0 steps (nothing durable), after each real boundary,
+    // after the final drain, and one past the end (the doomed process
+    // actually completed).
+    for kill in 0..=(reference.steps as usize + 1) {
+        let resumed = fixture
+            .crash_and_resume(&CrashPlan::new(kill, TornWrite::None, kill as u64))
+            .unwrap_or_else(|e| panic!("kill after {kill} steps failed to resume: {e}"));
+        diff_corpus_artifacts(&reference, &resumed)
+            .unwrap_or_else(|e| panic!("kill after {kill} steps diverged: {e}"));
+        let expected_resumed = reference.steps.saturating_sub(kill as u64);
+        assert_eq!(
+            resumed.process_steps, expected_resumed,
+            "kill after {kill}: the resumed process repeats or skips steps"
+        );
+    }
+}
+
+#[test]
+fn torn_tails_at_a_group_boundary_recover_exactly() {
+    let fixture = CorpusFixture::standard(Parallelism::Serial);
+    let reference = fixture.reference();
+    let torn = [
+        TornWrite::TornEventLine,
+        TornWrite::TornCheckpointLine,
+        TornWrite::GarbageTail,
+    ];
+    for (i, torn) in torn.into_iter().enumerate() {
+        for kill in [1usize, 4, 9] {
+            let resumed = fixture
+                .crash_and_resume(&CrashPlan::new(kill, torn, 0xBAD + i as u64))
+                .unwrap_or_else(|e| panic!("{torn:?} after {kill} failed: {e}"));
+            diff_corpus_artifacts(&reference, &resumed)
+                .unwrap_or_else(|e| panic!("{torn:?} after {kill} diverged: {e}"));
+        }
+    }
+}
+
+#[test]
+fn crash_resume_is_thread_count_invariant_too() {
+    // A run killed under one policy and resumed under another must
+    // still land on the serial reference: checkpoints carry no
+    // thread-policy residue.
+    let reference = CorpusFixture::standard(Parallelism::Serial).reference();
+    for policy in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+        let resumed = CorpusFixture::standard(policy)
+            .crash_and_resume(&CrashPlan::new(3, TornWrite::None, 7))
+            .expect("threaded resume");
+        assert_eq!(
+            resumed.schedule, reference.schedule,
+            "{policy:?} crash/resume schedule diverged"
+        );
+        assert_eq!(
+            resumed.posterior_bits, reference.posterior_bits,
+            "{policy:?} crash/resume posteriors diverged"
+        );
+        assert_eq!(
+            resumed.event_lines, reference.event_lines,
+            "{policy:?} crash/resume trace diverged"
+        );
+        assert_eq!(
+            normalize_policy(&resumed.final_payload),
+            normalize_policy(&reference.final_payload),
+            "{policy:?} crash/resume payload diverged"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Golden-trace snapshot of a three-group corpus run.
+//!
+//! The corpus-level sibling of `tests/golden_trace.rs`: pins the full
+//! observable behaviour of the cross-group scheduler on three literal
+//! fact groups sharing a pooled budget of 10 under the θ = 0.9 panel
+//! `[0.95, 0.92]` with truthful expert answers — the allocation order
+//! step by step, every scheduled gain, the entropy after every
+//! advance, each group's terminal spend, and the final posteriors.
+//!
+//! Everything here is RNG-free (the greedy selector draws nothing and
+//! the oracle answers ground truth), so the literals cannot drift with
+//! the random number stack; they were produced by this exact pipeline
+//! and are compared at 1e-9 so a silent change to the allocation math
+//! fails loudly. Bit-exactness across thread counts is asserted
+//! separately at the bottom.
+//!
+//! The scenario is deliberately adversarial to the lazy heap's
+//! tie-break: group 0 (paper Table I) and group 1 both contain a fact
+//! with marginal exactly 0.5, and a single query's gain depends on the
+//! fact's marginal alone — so their first-round gains tie *bit for
+//! bit* and the schedule must break toward the lower group index.
+
+use hc::prelude::*;
+use hc_core::corpus::{CorpusBudget, CorpusEnv, CorpusReport, CorpusScheduler};
+use hc_core::hc::UnitCost;
+use hc_core::selection::GlobalFact;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+const TOL: f64 = 1e-9;
+
+/// Ground truth per group (all groups are single-task).
+const TRUTHS: [&[bool]; 3] = [
+    &[true, true, false],
+    &[false, true],
+    &[true, false, true],
+];
+
+/// A deterministic expert crowd answering ground truth for one group.
+struct TruthfulGroup {
+    truth: Vec<bool>,
+}
+impl AnswerOracle for TruthfulGroup {
+    fn answer(&mut self, _worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        AnswerOutcome::Answered(Answer::from_bool(self.truth[fact.fact.index()]))
+    }
+}
+
+/// Group 0 is the paper's Table I joint; groups 1 and 2 are literal
+/// joints of different sizes and sharpness.
+fn groups() -> Vec<MultiBelief> {
+    vec![
+        MultiBelief::new(vec![Belief::from_probs(vec![
+            0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18,
+        ])
+        .expect("Table I joint")]),
+        MultiBelief::new(vec![
+            Belief::from_probs(vec![0.30, 0.20, 0.25, 0.25]).expect("group 1 joint"),
+        ]),
+        MultiBelief::new(vec![Belief::from_probs(vec![
+            0.05, 0.10, 0.20, 0.05, 0.15, 0.10, 0.25, 0.10,
+        ])
+        .expect("group 2 joint")]),
+    ]
+}
+
+/// One full corpus run: the report, the recorded telemetry, and the
+/// final posterior bit patterns per group.
+fn run_corpus(parallelism: Parallelism) -> (CorpusReport, Vec<TelemetryEvent>, Vec<Vec<u64>>) {
+    let selector = GreedySelector::new();
+    let costs = UnitCost;
+    let panel = ExpertPanel::from_accuracies(&[0.95, 0.92]).expect("golden panel");
+    let mut config = HcConfig::new(1, u64::MAX / 2);
+    config.parallelism = parallelism;
+    let sessions: Vec<HcSession> = groups()
+        .into_iter()
+        .map(|b| {
+            HcSession::start(b, panel.clone(), config.clone(), &selector, &costs)
+                .expect("golden session")
+        })
+        .collect();
+    let mut scheduler = CorpusScheduler::new(sessions, CorpusBudget::Pooled(10));
+    let mut oracles: Vec<TruthfulGroup> = TRUTHS
+        .iter()
+        .map(|t| TruthfulGroup { truth: t.to_vec() })
+        .collect();
+    // Loop RNGs are plumbed but never drawn from: the run is RNG-free.
+    let mut rngs: Vec<StdRng> = (0..3).map(StdRng::seed_from_u64).collect();
+    let mut sink = RecordingSink::new();
+    let report = {
+        let mut observer = |_: usize, _: &MultiBelief, _: &RoundRecord| {};
+        let mut env = CorpusEnv {
+            oracles: oracles.iter_mut().map(|o| o as &mut dyn AnswerOracle).collect(),
+            rngs: rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+            sink: &mut sink,
+            observer: &mut observer,
+        };
+        scheduler.run(&mut env).expect("golden corpus run")
+    };
+    let posterior_bits = (0..3)
+        .map(|g| {
+            scheduler.session(g).state().beliefs.tasks()[0]
+                .probs()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect()
+        })
+        .collect();
+    (report, sink.into_events(), posterior_bits)
+}
+
+/// The scheduled (group, gain) of every `GroupScheduled` event.
+fn schedule(events: &[TelemetryEvent]) -> Vec<(usize, f64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::GroupScheduled { group, gain, .. } => Some((*group, *gain)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn three_group_corpus_matches_the_golden_allocation() {
+    let (report, events, _) = run_corpus(Parallelism::Serial);
+
+    // Five productive rounds (2 budget each out of the pool of 10),
+    // then the three drain steps that let every group emit its
+    // RunFinished.
+    assert_eq!(report.steps, 8);
+    assert_eq!(report.spent, 10);
+    assert_eq!(report.groups_finished, 3);
+    assert!(
+        (report.entropy - 2.166_836_627_072_096_46).abs() < TOL,
+        "final corpus entropy: got {}",
+        report.entropy
+    );
+
+    // The allocation order and every scheduled gain, pinned. Steps 0
+    // and 1 are the bit-exact tie (both groups own a marginal-0.5
+    // fact); the tie breaks toward group 0. Drain steps carry gain 0
+    // and run in ascending group order.
+    let sched = schedule(&events);
+    let expected: [(usize, f64); 8] = [
+        (0, 0.586_753_567_758_532_71),
+        (1, 0.586_753_567_758_532_71),
+        (1, 0.586_753_206_842_987_71),
+        (2, 0.569_249_840_210_400_04),
+        (2, 0.586_748_515_418_499_93),
+        (0, 0.0),
+        (1, 0.0),
+        (2, 0.0),
+    ];
+    assert_eq!(sched.len(), expected.len());
+    for (step, ((got_g, got_gain), (want_g, want_gain))) in
+        sched.iter().zip(&expected).enumerate()
+    {
+        assert_eq!(got_g, want_g, "allocation order diverges at step {step}");
+        assert!(
+            (got_gain - want_gain).abs() < TOL,
+            "step {step} gain: got {got_gain}, want {want_gain}"
+        );
+    }
+    // The cross-group tie really is exact, not merely within 1e-9.
+    assert_eq!(
+        sched[0].1.to_bits(),
+        sched[1].1.to_bits(),
+        "steps 0 and 1 must tie bit-for-bit"
+    );
+
+    // Entropy after every productive advance.
+    let advanced: Vec<(usize, u64, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::GroupAdvanced {
+                group,
+                spent_delta,
+                entropy,
+                ..
+            } => Some((*group, *spent_delta, *entropy)),
+            _ => None,
+        })
+        .collect();
+    let expected_adv: [(usize, u64, f64); 5] = [
+        (0, 2, 1.359_286_209_231_250_10),
+        (1, 2, 0.722_162_831_345_836_14),
+        (1, 2, 0.062_922_121_098_720_127),
+        (2, 2, 1.361_119_312_005_256_93),
+        (2, 2, 0.744_628_296_742_126_05),
+    ];
+    assert_eq!(advanced.len(), expected_adv.len());
+    for (i, ((g, d, h), (wg, wd, wh))) in advanced.iter().zip(&expected_adv).enumerate() {
+        assert_eq!((g, d), (wg, wd), "advance {i}");
+        assert!((h - wh).abs() < TOL, "advance {i} entropy: got {h}, want {wh}");
+    }
+
+    // Terminal accounting per group: what each spent out of the pool.
+    let finished: Vec<(usize, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::GroupFinished { group, spent, .. } => Some((*group, *spent)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(finished, vec![(0, 2), (1, 4), (2, 4)]);
+
+    // The envelope itself is sound.
+    let audit = hc_core::telemetry::audit(&events);
+    assert!(audit.is_clean(), "{}", audit.render());
+}
+
+#[test]
+fn golden_corpus_posteriors_recover_the_checked_facts() {
+    let (_, _, bits) = run_corpus(Parallelism::Serial);
+    let marginals: Vec<Vec<f64>> = bits
+        .iter()
+        .map(|cells| {
+            let probs: Vec<f64> = cells.iter().map(|&b| f64::from_bits(b)).collect();
+            let n = probs.len().trailing_zeros() as usize;
+            (0..n)
+                .map(|f| {
+                    probs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i & (1 << f) != 0)
+                        .map(|(_, p)| p)
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    let expected: [&[f64]; 3] = [
+        // One round only: f3 checked false, f1/f2 still uncertain.
+        &[0.619_635_535_307_517_1, 0.600_273_348_519_362_2, 0.004_555_808_656_036_448],
+        // Two rounds on two facts: both recovered.
+        &[0.004_547_551_776_873_430_5, 0.994_546_255_734_985_3],
+        // Two rounds: f1/f2 recovered, f3 never checked (~0.5).
+        &[0.995_413_165_720_816_2, 0.003_451_813_565_705_234, 0.501_705_128_371_621_8],
+    ];
+    for (g, (got, want)) in marginals.iter().zip(&expected).enumerate() {
+        assert_eq!(got.len(), want.len());
+        for (f, (m, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (m - w).abs() < TOL,
+                "group {g} fact {f} marginal: got {m}, want {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_is_thread_count_invariant() {
+    let baseline = run_corpus(Parallelism::Serial);
+    let base_sched: Vec<(usize, u64)> = schedule(&baseline.1)
+        .into_iter()
+        .map(|(g, gain)| (g, gain.to_bits()))
+        .collect();
+    for parallelism in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+        let run = run_corpus(parallelism);
+        let sched: Vec<(usize, u64)> = schedule(&run.1)
+            .into_iter()
+            .map(|(g, gain)| (g, gain.to_bits()))
+            .collect();
+        assert_eq!(sched, base_sched, "schedule differs under {parallelism:?}");
+        assert_eq!(
+            run.2, baseline.2,
+            "posterior bits differ under {parallelism:?}"
+        );
+        assert_eq!(run.0, baseline.0, "report differs under {parallelism:?}");
+    }
+}
