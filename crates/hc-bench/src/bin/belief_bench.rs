@@ -1,0 +1,129 @@
+//! Dense vs sparse vs factored belief kernels across group sizes.
+//!
+//! For each group size `n` in the sweep, builds the same
+//! product-form belief in every representation that supports `n`
+//! (dense only up to `MAX_FACTS`), then times the three kernels the HC
+//! loop spends its rounds in: `entropy()`, a 3-fact `project()`, and a
+//! 3-query Bayes update. This is the "2^n wall" picture: dense cost
+//! doubles per fact and stops at 26, sparse/factored stay flat.
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin belief_bench > BENCH_belief.json
+//! ```
+//!
+//! Stdout is one stamped envelope (see [`hc_bench::stamp`]) whose
+//! `"results"` payload is
+//! `{"points":[{"n":..,"repr":"dense","entropy_nanos":..,
+//! "project_nanos":..,"update_nanos":..},..]}`.
+
+use hc_core::answer::{Answer, AnswerSet, QuerySet};
+use hc_core::belief::{Belief, DEFAULT_SPARSE_SUPPORT, MAX_FACTS};
+use hc_core::fact::FactId;
+use hc_core::update::update_with_answer_set;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Group sizes: two dense-reachable points and two past the wall.
+const SIZES: [usize; 4] = [16, 26, 32, 40];
+/// Factored blocks hold at most this many facts (2^8 dense cells).
+const BLOCK: usize = 8;
+/// Timing repeats per kernel; the minimum is reported.
+const REPEATS: usize = 7;
+/// Target wall time per timing sample: long enough to amortise load
+/// spikes on shared runners, short enough to keep the sweep fast.
+const TARGET_SAMPLE_NANOS: u128 = 25_000_000;
+
+/// Deterministic, mildly varied per-fact marginals.
+fn marginals(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.55 + 0.04 * ((i % 10) as f64)).collect()
+}
+
+/// The three facts the project/update kernels query: the ends and the
+/// middle of the group.
+fn query_facts(n: usize) -> Vec<FactId> {
+    vec![FactId(0), FactId((n / 2) as u32), FactId((n - 1) as u32)]
+}
+
+fn build(n: usize, repr: &str) -> Belief {
+    let m = marginals(n);
+    match repr {
+        "dense" => Belief::from_marginals(&m).expect("dense bench belief"),
+        "sparse" => {
+            Belief::sparse_from_marginals(&m, DEFAULT_SPARSE_SUPPORT).expect("sparse bench belief")
+        }
+        "factored" => {
+            let blocks = m
+                .chunks(BLOCK)
+                .map(|c| Belief::from_marginals(c).expect("factored bench block"))
+                .collect();
+            Belief::factored(blocks).expect("factored bench belief")
+        }
+        other => unreachable!("unknown repr {other}"),
+    }
+}
+
+fn min_nanos(mut op: impl FnMut()) -> u64 {
+    // Warm-up doubles as calibration: batch fast kernels so every
+    // sample spans ~TARGET_SAMPLE_NANOS, keeping run-to-run noise well
+    // inside the CI regression gate.
+    let start = Instant::now();
+    op();
+    let once = start.elapsed().as_nanos().max(1);
+    let batch = u128::clamp(TARGET_SAMPLE_NANOS / once, 1, 100_000) as usize;
+    let mut best = u64::MAX;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        let nanos =
+            u64::try_from(start.elapsed().as_nanos() / batch as u128).unwrap_or(u64::MAX);
+        best = best.min(nanos);
+    }
+    best
+}
+
+fn main() {
+    let mut points = String::new();
+    let mut first = true;
+    eprintln!(
+        "{:>4} {:>8} {:>14} {:>14} {:>14}",
+        "n", "repr", "entropy_ns", "project_ns", "update_ns"
+    );
+    for &n in &SIZES {
+        for repr in ["dense", "sparse", "factored"] {
+            if repr == "dense" && n > MAX_FACTS {
+                continue;
+            }
+            let belief = build(n, repr);
+            let facts = query_facts(n);
+            let queries = QuerySet::new(facts.clone(), n).expect("bench query set");
+            let answers = AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]);
+            let entropy_nanos = min_nanos(|| {
+                std::hint::black_box(belief.entropy());
+            });
+            let project_nanos = min_nanos(|| {
+                std::hint::black_box(belief.project(&facts));
+            });
+            let update_nanos = min_nanos(|| {
+                let mut b = belief.clone();
+                update_with_answer_set(&mut b, &queries, 0.9, answers)
+                    .expect("bench update succeeds");
+                std::hint::black_box(&b);
+            });
+            eprintln!(
+                "{n:>4} {repr:>8} {entropy_nanos:>14} {project_nanos:>14} {update_nanos:>14}"
+            );
+            if !first {
+                points.push(',');
+            }
+            first = false;
+            let _ = write!(
+                points,
+                "{{\"n\":{n},\"repr\":\"{repr}\",\"entropy_nanos\":{entropy_nanos},\"project_nanos\":{project_nanos},\"update_nanos\":{update_nanos}}}"
+            );
+        }
+    }
+    let results = format!("{{\"points\":[{points}]}}");
+    println!("{}", hc_bench::stamp::stamped("belief", &results));
+}

@@ -543,6 +543,95 @@ pub fn partial_family_likelihood_given(
         .product()
 }
 
+/// Per-query likelihood factors for one worker's answer set:
+/// `factors[j][b] = P(answer_j | truth of query j is b)`, i.e. the
+/// worker's accuracy when answer `j` matches `b` and its complement
+/// otherwise.
+///
+/// Because queries are answered independently given the ground truth,
+/// `Π_j factors[j][bit j of o_proj]` equals
+/// [`answer_set_likelihood`] exactly — the factorisation the
+/// block-diagonal (factored) Bayes update exploits to update each block
+/// with only its own queries' factors.
+pub(crate) fn answer_set_query_factors(accuracy: f64, set: AnswerSet) -> Vec<[f64; 2]> {
+    (0..set.len())
+        .map(|j| {
+            let yes = set.answer(j).as_bool();
+            let agree = accuracy;
+            let disagree = 1.0 - accuracy;
+            if yes {
+                [disagree, agree]
+            } else {
+                [agree, disagree]
+            }
+        })
+        .collect()
+}
+
+/// Per-query likelihood factors for a *partial* answer set: unanswered
+/// queries contribute the identity factor `[1, 1]`
+/// (missing-at-random marginalisation, as in
+/// [`partial_answer_set_likelihood`]).
+pub(crate) fn partial_answer_set_query_factors(
+    accuracy: f64,
+    set: PartialAnswerSet,
+) -> Vec<[f64; 2]> {
+    (0..set.len())
+        .map(|j| match set.answer(j) {
+            None => [1.0, 1.0],
+            Some(a) => {
+                let agree = accuracy;
+                let disagree = 1.0 - accuracy;
+                if a.as_bool() {
+                    [disagree, agree]
+                } else {
+                    [agree, disagree]
+                }
+            }
+        })
+        .collect()
+}
+
+/// Per-query factors of a whole answer family: the per-worker factors
+/// multiplied position-wise (workers answer independently given the
+/// ground truth).
+pub(crate) fn family_query_factors(panel: &ExpertPanel, family: &AnswerFamily) -> Vec<[f64; 2]> {
+    debug_assert_eq!(panel.len(), family.len());
+    let k = family.sets().first().map_or(0, |s| s.len());
+    let mut factors = vec![[1.0, 1.0]; k];
+    for (w, &set) in panel.workers().iter().zip(family.sets()) {
+        for (slot, f) in factors
+            .iter_mut()
+            .zip(answer_set_query_factors(w.accuracy.rate(), set))
+        {
+            slot[0] *= f[0];
+            slot[1] *= f[1];
+        }
+    }
+    factors
+}
+
+/// Per-query factors of a partial answer family; absent answers keep
+/// their identity factor.
+pub(crate) fn partial_family_query_factors(
+    panel: &ExpertPanel,
+    family: &PartialAnswerFamily,
+) -> Vec<[f64; 2]> {
+    debug_assert_eq!(panel.len(), family.len());
+    let k = family.sets().first().map_or(0, |s| s.len());
+    let mut factors = vec![[1.0, 1.0]; k];
+    for (w, &set) in panel.workers().iter().zip(family.sets()) {
+        for (slot, f) in factors
+            .iter_mut()
+            .zip(partial_answer_set_query_factors(w.accuracy.rate(), set))
+        {
+            slot[0] *= f[0];
+            slot[1] *= f[1];
+        }
+    }
+    factors
+}
+
 /// `P(A_cr^T)` — the marginal probability of one worker's answer set under
 /// the current belief (Lemma 1, Equation (8)):
 /// `Σ_o P(o) · P(A_cr^T | o)`.
@@ -829,6 +918,56 @@ mod tests {
         // o ⊨ f: worker 0 consistent (0.9), worker 1 absent (1.0).
         let l = partial_family_likelihood_given(&panel, &family, 1);
         assert!((l - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_factors_factorise_the_likelihood() {
+        // Π_j factors[j][truth bit j] must reproduce the set likelihood
+        // for every projected truth assignment.
+        let acc = 0.85;
+        let set = AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]);
+        let factors = answer_set_query_factors(acc, set);
+        for proj in 0..8u32 {
+            let product: f64 = factors
+                .iter()
+                .enumerate()
+                .map(|(j, f)| f[((proj >> j) & 1) as usize])
+                .product();
+            let direct = answer_set_likelihood(acc, set, proj);
+            assert!((product - direct).abs() < 1e-15, "proj {proj}");
+        }
+        // Partial sets: the missing query contributes factor 1 always.
+        let partial = PartialAnswerSet::from_masks(0b01, 0b01, 2);
+        let pf = partial_answer_set_query_factors(acc, partial);
+        assert_eq!(pf[1], [1.0, 1.0]);
+        for proj in 0..4u32 {
+            let product: f64 = pf
+                .iter()
+                .enumerate()
+                .map(|(j, f)| f[((proj >> j) & 1) as usize])
+                .product();
+            let direct = partial_answer_set_likelihood(acc, partial, proj);
+            assert!((product - direct).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn family_query_factors_multiply_workers() {
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.7]).unwrap();
+        let fam = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::No]),
+            AnswerSet::new(&[Answer::No, Answer::No]),
+        ]);
+        let factors = family_query_factors(&panel, &fam);
+        for proj in 0..4u32 {
+            let product: f64 = factors
+                .iter()
+                .enumerate()
+                .map(|(j, f)| f[((proj >> j) & 1) as usize])
+                .product();
+            let direct = family_likelihood_given(&panel, &fam, proj);
+            assert!((product - direct).abs() < 1e-12, "proj {proj}");
+        }
     }
 
     #[test]

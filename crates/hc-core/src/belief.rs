@@ -7,10 +7,34 @@
 //! negative Shannon entropy of this distribution (Definition 2):
 //! `Q(F) = -H(O) = Σ_o P(o) ln P(o)` — higher is better, with 0 the
 //! maximum (a point mass).
+//!
+//! Three representations live behind the same [`Belief`] API:
+//!
+//! * **Dense** — a `Vec<f64>` of length `2^n`, the exact reference
+//!   engine and the differential oracle for the other two. Capped at
+//!   [`MAX_FACTS`] facts.
+//! * **Sparse** — a support set of `(pattern, prob)` pairs. Patterns
+//!   whose posterior falls below [`PROB_FLOOR`] are dropped after each
+//!   Bayes update; the lost mass is accumulated into a certified
+//!   truncation-error bound ([`Belief::truncation_bound`], a total
+//!   variation bound against the exact dense posterior). Capped at
+//!   [`SPARSE_MAX_FACTS`] facts.
+//! * **Factored** — a product of small dense joints over contiguous
+//!   fact blocks, exact when the blocks are probabilistically
+//!   independent (block-diagonal correlation structure).
+//!
+//! While a sparse belief's support is still the complete untouched
+//! `2^n` layout (nothing ever pruned), every kernel runs over the same
+//! values in the same `parallel::CHUNK` boundaries as the dense engine,
+//! so results are **bit-identical** to dense. Once cells have been
+//! pruned, posteriors agree with dense within the reported truncation
+//! bound (plus ULP-scale float noise from the changed summation
+//! layout).
 
 use crate::error::{HcError, Result};
 use crate::fact::FactId;
-use crate::observation::{Observation, ObservationSpace};
+use crate::observation::{project_pattern, Observation, ObservationSpace};
+use crate::parallel;
 use serde::{Deserialize, Serialize};
 
 /// Maximum number of facts per task for the dense belief representation.
@@ -18,8 +42,26 @@ use serde::{Deserialize, Serialize};
 /// A belief over `n` facts stores `2^n` probabilities; 26 facts is a
 /// 512 MiB vector and the practical ceiling. The paper's workloads use 5
 /// facts per task (§IV-A) and >20 facts for the efficiency study
-/// (Table III), both comfortably inside the limit.
+/// (Table III), both comfortably inside the limit. Sparse and factored
+/// beliefs go up to [`SPARSE_MAX_FACTS`]; this constant now only bounds
+/// the dense oracle.
 pub const MAX_FACTS: usize = 26;
+
+/// Maximum number of facts for the sparse and factored representations.
+///
+/// 64 so a whole observation pattern fits one `u64`. The binding
+/// constraint for sparse beliefs is the support cap, not the pattern
+/// width; for factored beliefs it is the per-block dense limit.
+pub const SPARSE_MAX_FACTS: usize = 64;
+
+/// Default support-set cap used when a sparse belief is built
+/// automatically (init paths for groups beyond [`MAX_FACTS`]).
+///
+/// `2^16` cells ≈ 1 MiB — large enough that product-form priors over 40
+/// facts keep ≥ 1 − 1e-3 of their mass for realistic vote fractions,
+/// small enough that every kernel is ~1000× cheaper than a 40-fact
+/// dense table would be.
+pub const DEFAULT_SPARSE_SUPPORT: usize = 1 << 16;
 
 /// Tolerance used when validating that probability vectors sum to one.
 pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
@@ -39,15 +81,141 @@ pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
 /// surfaced rather than silent: [`Belief::from_marginals_counted`]
 /// reports how many marginals were floored, and the update path reports
 /// flushed multiplier cells through `UpdateHealth` / the
-/// `NumericalHealth` telemetry event.
+/// `NumericalHealth` telemetry event. The sparse representation reuses
+/// the same constant as its post-update prune threshold.
 pub const PROB_FLOOR: f64 = 1e-9;
+
+/// A sparse support-set posterior: only the patterns carrying mass.
+///
+/// `patterns` is strictly increasing; `probs[i]` is the probability of
+/// `patterns[i]`. Parallel vectors (not pairs) so reductions run over a
+/// plain `&[f64]` with exactly the same chunking as the dense engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseBelief {
+    pub(crate) patterns: Vec<u64>,
+    pub(crate) probs: Vec<f64>,
+    /// Certified upper bound on the total-variation distance between
+    /// this belief and the exact (dense) posterior, accumulated across
+    /// construction truncation and per-update pruning. `0.0` until the
+    /// first cell is dropped.
+    pub(crate) truncation_bound: f64,
+}
+
+impl SparseBelief {
+    /// The support patterns, strictly increasing.
+    #[inline]
+    pub fn patterns(&self) -> &[u64] {
+        &self.patterns
+    }
+
+    /// Probabilities aligned with [`SparseBelief::patterns`].
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of support cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the support is empty (never true for a valid belief).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The certified truncation bound (TV distance vs the exact
+    /// posterior).
+    #[inline]
+    pub fn truncation_bound(&self) -> f64 {
+        self.truncation_bound
+    }
+
+    /// Probability of one pattern (binary search; 0 outside support).
+    pub fn prob_pattern(&self, pattern: u64) -> f64 {
+        match self.patterns.binary_search(&pattern) {
+            Ok(i) => self.probs[i],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// A product of small dense joints over contiguous fact blocks.
+///
+/// Block `i` covers facts `[offset_i, offset_i + n_i)` where
+/// `offset_i = Σ_{j<i} n_j`. Exact when the blocks are independent;
+/// every per-block table is a dense [`Belief`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactoredBelief {
+    pub(crate) blocks: Vec<Belief>,
+}
+
+impl FactoredBelief {
+    /// The per-block dense beliefs, lowest fact bits first.
+    #[inline]
+    pub fn blocks(&self) -> &[Belief] {
+        &self.blocks
+    }
+
+    /// Locates a global fact: `(block index, fact offset of that
+    /// block, fact id local to the block)`.
+    pub(crate) fn block_of(&self, fact: FactId) -> (usize, usize, FactId) {
+        let mut offset = 0usize;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let n = b.num_facts();
+            let f = fact.0 as usize;
+            if f < offset + n {
+                return (i, offset, FactId((f - offset) as u32));
+            }
+            offset += n;
+        }
+        panic!(
+            "fact {} out of range for a {}-fact factored belief",
+            fact.0, offset
+        );
+    }
+}
+
+/// The storage behind a [`Belief`] — see the module docs for the three
+/// representations and their contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BeliefRepr {
+    /// The exact `2^n` table; the differential oracle.
+    Dense(Vec<f64>),
+    /// Support-set posterior with a certified truncation bound.
+    Sparse(SparseBelief),
+    /// Product of independent dense blocks.
+    Factored(FactoredBelief),
+}
 
 /// A joint distribution `P(O)` over the observations of one task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Belief {
     num_facts: u8,
-    /// `probs[o]` is `P(gt(O) = o)`; always normalised.
-    probs: Vec<f64>,
+    repr: BeliefRepr,
+}
+
+/// Chunked ordered sum + element-independent scale: the shared
+/// renormalisation pass over any probability slice, bit-identical for
+/// any thread count (see `parallel` module docs).
+fn renormalize_slice(probs: &mut [f64]) -> Result<f64> {
+    let sum = parallel::sum_chunks(probs.len(), parallel::CHUNK, |r| {
+        probs[r].iter().sum::<f64>()
+    });
+    let inv = 1.0 / sum;
+    // A NaN sum yields a NaN (non-finite) inverse, so this also
+    // rejects NaN-poisoned mass.
+    if sum <= 0.0 || !inv.is_finite() {
+        return Err(HcError::BeliefCollapsed { mass: sum });
+    }
+    parallel::fill_slice(probs, parallel::CHUNK, |_, slice| {
+        for p in slice {
+            *p *= inv;
+        }
+    });
+    Ok(sum)
 }
 
 impl Belief {
@@ -58,7 +226,7 @@ impl Belief {
         let len = 1usize << num_facts;
         Ok(Belief {
             num_facts: num_facts as u8,
-            probs: vec![1.0 / len as f64; len],
+            repr: BeliefRepr::Dense(vec![1.0 / len as f64; len]),
         })
     }
 
@@ -95,7 +263,7 @@ impl Belief {
         }
         let mut belief = Belief {
             num_facts: num_facts as u8,
-            probs,
+            repr: BeliefRepr::Dense(probs),
         };
         belief.renormalize()?;
         Ok(belief)
@@ -122,6 +290,27 @@ impl Belief {
     /// should not have it happen silently.
     pub fn from_marginals_counted(marginals: &[f64]) -> Result<(Self, usize)> {
         Self::check_num_facts(marginals.len())?;
+        let (clamped, clamp_count) = Self::clamp_marginals(marginals)?;
+        let len = 1usize << marginals.len();
+        let mut probs = Vec::with_capacity(len);
+        for o in 0..len as u32 {
+            let mut p = 1.0;
+            for (i, &m) in clamped.iter().enumerate() {
+                p *= if (o >> i) & 1 == 1 { m } else { 1.0 - m };
+            }
+            probs.push(p);
+        }
+        let mut belief = Belief {
+            num_facts: marginals.len() as u8,
+            repr: BeliefRepr::Dense(probs),
+        };
+        belief.renormalize()?;
+        Ok((belief, clamp_count))
+    }
+
+    /// Validates marginals and clamps them into
+    /// `[PROB_FLOOR, 1 − PROB_FLOOR]`, reporting the clamp count.
+    fn clamp_marginals(marginals: &[f64]) -> Result<(Vec<f64>, usize)> {
         if marginals.is_empty() {
             return Err(HcError::EmptyFactSet);
         }
@@ -137,21 +326,204 @@ impl Belief {
             }
             clamped.push(c);
         }
-        let len = 1usize << marginals.len();
-        let mut probs = Vec::with_capacity(len);
-        for o in 0..len as u32 {
+        Ok((clamped, clamp_count))
+    }
+
+    /// A sparse product-form belief from per-fact marginals, keeping at
+    /// most `max_support` of the highest-probability patterns.
+    ///
+    /// Uses a best-first enumeration of the product distribution (each
+    /// heap pop yields the next most probable pattern), so the kept set
+    /// is exactly the top-`max_support` patterns, deterministically
+    /// (ties break toward the lower pattern). Probabilities are
+    /// recomputed from the pattern with the same factor order as
+    /// [`Belief::from_marginals`], and when the full `2^n` support fits
+    /// under the cap the result is **bit-identical** to the dense
+    /// construction (with truncation bound `0.0`). Otherwise the kept
+    /// mass is renormalised and `1 − kept_mass` becomes the initial
+    /// certified truncation bound.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::TooManyFacts`] above [`SPARSE_MAX_FACTS`];
+    /// [`HcError::EmptyFactSet`] / [`HcError::InvalidProbability`] as in
+    /// the dense constructor.
+    pub fn sparse_from_marginals(marginals: &[f64], max_support: usize) -> Result<Self> {
+        let n = marginals.len();
+        if n > SPARSE_MAX_FACTS {
+            return Err(HcError::TooManyFacts(n));
+        }
+        let (clamped, _) = Self::clamp_marginals(marginals)?;
+        let cap = max_support.max(1);
+        // Exact probability of a pattern, multiplying factors in the
+        // same (fact-index) order as the dense constructor so the
+        // full-support case reproduces its bits.
+        let prob_of = |pattern: u64| -> f64 {
             let mut p = 1.0;
             for (i, &m) in clamped.iter().enumerate() {
-                p *= if (o >> i) & 1 == 1 { m } else { 1.0 - m };
+                p *= if (pattern >> i) & 1 == 1 { m } else { 1.0 - m };
             }
-            probs.push(p);
-        }
-        let mut belief = Belief {
-            num_facts: marginals.len() as u8,
-            probs,
+            p
         };
-        belief.renormalize()?;
-        Ok((belief, clamp_count))
+
+        let complete = n < 64 && (1u64 << n) <= cap as u64;
+        let (patterns, mut probs) = if complete {
+            let len = 1u64 << n;
+            let patterns: Vec<u64> = (0..len).collect();
+            let probs: Vec<f64> = (0..len).map(prob_of).collect();
+            (patterns, probs)
+        } else {
+            Self::top_patterns_of_product(&clamped, &prob_of, cap)
+        };
+
+        let kept_sum = renormalize_slice(&mut probs)?;
+        let truncation_bound = if complete {
+            0.0
+        } else {
+            (1.0 - kept_sum).clamp(0.0, 1.0)
+        };
+        Ok(Belief {
+            num_facts: n as u8,
+            repr: BeliefRepr::Sparse(SparseBelief {
+                patterns,
+                probs,
+                truncation_bound,
+            }),
+        })
+    }
+
+    /// Best-first (Lawler-style two-children) enumeration of the top
+    /// `cap` patterns of a product distribution, returned sorted by
+    /// pattern ascending.
+    fn top_patterns_of_product(
+        clamped: &[f64],
+        prob_of: &dyn Fn(u64) -> f64,
+        cap: usize,
+    ) -> (Vec<u64>, Vec<f64>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+        let n = clamped.len();
+        // Facts sorted by descending flip cost ratio
+        // r_i = min(m, 1-m) / max(m, 1-m): flipping the fact with the
+        // highest ratio loses the least probability.
+        let mut order: Vec<usize> = (0..n).collect();
+        let ratio = |i: usize| {
+            let m = clamped[i];
+            m.min(1.0 - m) / m.max(1.0 - m)
+        };
+        order.sort_by(|&a, &b| ratio(b).total_cmp(&ratio(a)).then(a.cmp(&b)));
+        // The single most probable pattern: each fact at its likelier
+        // value.
+        let mut top = 0u64;
+        for (i, &m) in clamped.iter().enumerate() {
+            if m > 0.5 {
+                top |= 1u64 << i;
+            }
+        }
+
+        /// Heap entry: a pattern whose flipped set (relative to the top
+        /// pattern, in sorted-fact order) ends at sorted index `last`.
+        struct Cand {
+            prob: f64,
+            pattern: u64,
+            /// Highest flipped sorted index, or `usize::MAX` for the
+            /// unflipped top pattern.
+            last: usize,
+        }
+        impl PartialEq for Cand {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp_key(other) == Ordering::Equal
+            }
+        }
+        impl Eq for Cand {}
+        impl Cand {
+            fn cmp_key(&self, other: &Self) -> Ordering {
+                // Max-heap: higher probability first; ties toward the
+                // smaller pattern for determinism.
+                self.prob
+                    .total_cmp(&other.prob)
+                    .then(other.pattern.cmp(&self.pattern))
+            }
+        }
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp_key(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.cmp_key(other)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Cand {
+            prob: prob_of(top),
+            pattern: top,
+            last: usize::MAX,
+        });
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(cap);
+        while pairs.len() < cap {
+            let Some(c) = heap.pop() else { break };
+            pairs.push((c.pattern, c.prob));
+            // Two children keep the enumeration complete and
+            // duplicate-free: extend the flipped set with the next
+            // sorted index, or slide its last element one right.
+            let next = c.last.wrapping_add(1); // MAX wraps to 0
+            if next < n {
+                let extended = c.pattern ^ (1u64 << order[next]);
+                heap.push(Cand {
+                    prob: prob_of(extended),
+                    pattern: extended,
+                    last: next,
+                });
+                if c.last != usize::MAX {
+                    let slid = c.pattern ^ (1u64 << order[c.last]) ^ (1u64 << order[next]);
+                    heap.push(Cand {
+                        prob: prob_of(slid),
+                        pattern: slid,
+                        last: next,
+                    });
+                }
+            }
+        }
+        pairs.sort_by_key(|&(pattern, _)| pattern);
+        pairs.into_iter().unzip()
+    }
+
+    /// A factored belief: the product of independent `blocks`, block 0
+    /// covering the lowest fact indices. Exact when the blocks really
+    /// are independent.
+    ///
+    /// Sparse blocks are densified and nested factored blocks are
+    /// flattened, so every stored block is dense.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::EmptyFactSet`] with no blocks;
+    /// [`HcError::TooManyFacts`] when the total exceeds
+    /// [`SPARSE_MAX_FACTS`] (or a non-dense block exceeds the dense
+    /// per-block limit).
+    pub fn factored(blocks: Vec<Belief>) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(HcError::EmptyFactSet);
+        }
+        let mut flat = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            match b.repr {
+                BeliefRepr::Dense(_) => flat.push(b),
+                BeliefRepr::Sparse(_) => flat.push(b.to_dense()?),
+                BeliefRepr::Factored(f) => flat.extend(f.blocks),
+            }
+        }
+        let total: usize = flat.iter().map(|b| b.num_facts()).sum();
+        if total > SPARSE_MAX_FACTS {
+            return Err(HcError::TooManyFacts(total));
+        }
+        Ok(Belief {
+            num_facts: total as u8,
+            repr: BeliefRepr::Factored(FactoredBelief { blocks: flat }),
+        })
     }
 
     /// A point-mass belief on a single observation (useful in tests and
@@ -170,12 +542,13 @@ impl Belief {
         probs[idx] = 1.0;
         Ok(Belief {
             num_facts: num_facts as u8,
-            probs,
+            repr: BeliefRepr::Dense(probs),
         })
     }
 
-    /// Reconstructs a belief from checkpointed probabilities *without*
-    /// renormalising, so a save/restore round trip is bit-exact.
+    /// Reconstructs a dense belief from checkpointed probabilities
+    /// *without* renormalising, so a save/restore round trip is
+    /// bit-exact.
     ///
     /// [`Belief::from_probs`] divides by the validated sum, which is not
     /// idempotent at the ULP level (a vector whose sum is `1.0 - 1e-16`
@@ -208,7 +581,83 @@ impl Belief {
         }
         Ok(Belief {
             num_facts: num_facts as u8,
-            probs,
+            repr: BeliefRepr::Dense(probs),
+        })
+    }
+
+    /// Reconstructs a sparse belief from checkpointed support *without*
+    /// renormalising (bit-exact restore), validating every invariant the
+    /// update kernels rely on.
+    pub(crate) fn sparse_from_checkpoint(
+        num_facts: usize,
+        patterns: Vec<u64>,
+        probs: Vec<f64>,
+        truncation_bound: f64,
+    ) -> Result<Self> {
+        if num_facts == 0 || num_facts > SPARSE_MAX_FACTS {
+            return Err(HcError::TooManyFacts(num_facts));
+        }
+        if patterns.len() != probs.len() || patterns.is_empty() {
+            return Err(HcError::DimensionMismatch {
+                expected: patterns.len().max(1),
+                actual: probs.len(),
+            });
+        }
+        let mut sum = 0.0;
+        for (i, (&pat, &p)) in patterns.iter().zip(&probs).enumerate() {
+            if i > 0 && pat <= patterns[i - 1] {
+                return Err(HcError::InvalidCheckpoint {
+                    reason: format!("sparse support not strictly increasing at index {i}"),
+                });
+            }
+            if num_facts < 64 && pat >= (1u64 << num_facts) {
+                return Err(HcError::InvalidCheckpoint {
+                    reason: format!("pattern {pat} out of range for {num_facts} facts"),
+                });
+            }
+            if !p.is_finite() || p < 0.0 {
+                return Err(HcError::InvalidProbability(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(HcError::NotNormalized { sum });
+        }
+        if !truncation_bound.is_finite() || !(0.0..=1.0).contains(&truncation_bound) {
+            return Err(HcError::InvalidCheckpoint {
+                reason: format!("truncation bound {truncation_bound} outside [0, 1]"),
+            });
+        }
+        Ok(Belief {
+            num_facts: num_facts as u8,
+            repr: BeliefRepr::Sparse(SparseBelief {
+                patterns,
+                probs,
+                truncation_bound,
+            }),
+        })
+    }
+
+    /// Reconstructs a factored belief from checkpointed dense blocks
+    /// *without* renormalising.
+    pub(crate) fn factored_from_checkpoint(blocks: Vec<Belief>) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(HcError::EmptyFactSet);
+        }
+        for b in &blocks {
+            if !b.is_dense() {
+                return Err(HcError::InvalidCheckpoint {
+                    reason: "factored belief blocks must be dense".into(),
+                });
+            }
+        }
+        let total: usize = blocks.iter().map(|b| b.num_facts()).sum();
+        if total > SPARSE_MAX_FACTS {
+            return Err(HcError::TooManyFacts(total));
+        }
+        Ok(Belief {
+            num_facts: total as u8,
+            repr: BeliefRepr::Factored(FactoredBelief { blocks }),
         })
     }
 
@@ -225,33 +674,142 @@ impl Belief {
         self.num_facts as usize
     }
 
-    /// The observation space this belief ranges over.
+    /// The observation space this belief ranges over. Only meaningful
+    /// for fact counts within the dense limit.
     #[inline]
     pub fn space(&self) -> ObservationSpace {
         ObservationSpace::new(self.num_facts())
     }
 
+    /// The representation behind this belief.
+    #[inline]
+    pub fn repr(&self) -> &BeliefRepr {
+        &self.repr
+    }
+
+    /// Mutable representation access for update kernels in this crate.
+    #[inline]
+    pub(crate) fn repr_mut(&mut self) -> &mut BeliefRepr {
+        &mut self.repr
+    }
+
+    /// `"dense"`, `"sparse"` or `"factored"`.
+    pub fn repr_name(&self) -> &'static str {
+        match &self.repr {
+            BeliefRepr::Dense(_) => "dense",
+            BeliefRepr::Sparse(_) => "sparse",
+            BeliefRepr::Factored(_) => "factored",
+        }
+    }
+
+    /// Whether this belief is dense.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, BeliefRepr::Dense(_))
+    }
+
+    /// Whether this belief is sparse.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, BeliefRepr::Sparse(_))
+    }
+
+    /// Whether this belief is factored.
+    #[inline]
+    pub fn is_factored(&self) -> bool {
+        matches!(self.repr, BeliefRepr::Factored(_))
+    }
+
+    /// Number of stored probability cells (`2^n` dense, the support
+    /// size when sparse, the sum of block table sizes when factored).
+    pub fn support_len(&self) -> usize {
+        match &self.repr {
+            BeliefRepr::Dense(probs) => probs.len(),
+            BeliefRepr::Sparse(s) => s.len(),
+            BeliefRepr::Factored(f) => f.blocks.iter().map(|b| b.support_len()).sum(),
+        }
+    }
+
+    /// Certified truncation bound: an upper bound on the total-variation
+    /// distance to the exact posterior the dense engine would hold.
+    /// Always `0.0` for dense and factored beliefs (factored error is a
+    /// modelling assumption, not a truncation).
+    pub fn truncation_bound(&self) -> f64 {
+        match &self.repr {
+            BeliefRepr::Sparse(s) => s.truncation_bound,
+            _ => 0.0,
+        }
+    }
+
     /// `P(o)` for every observation, in index order.
+    ///
+    /// # Panics
+    ///
+    /// When the belief is not dense — sparse/factored beliefs have no
+    /// `2^n` table to borrow; use [`Belief::prob_pattern`],
+    /// [`Belief::to_dense`], or the repr accessors instead.
     #[inline]
     pub fn probs(&self) -> &[f64] {
-        &self.probs
+        match &self.repr {
+            BeliefRepr::Dense(probs) => probs,
+            _ => panic!(
+                "Belief::probs() requires the dense representation, got {}",
+                self.repr_name()
+            ),
+        }
     }
 
     /// `P(o)` of a single observation.
     #[inline]
     pub fn prob(&self, o: Observation) -> f64 {
-        self.probs[o.0 as usize]
+        self.prob_pattern(o.0 as u64)
+    }
+
+    /// Probability of one bit pattern under any representation.
+    pub fn prob_pattern(&self, pattern: u64) -> f64 {
+        match &self.repr {
+            BeliefRepr::Dense(probs) => probs[pattern as usize],
+            BeliefRepr::Sparse(s) => s.prob_pattern(pattern),
+            BeliefRepr::Factored(f) => {
+                let mut p = 1.0;
+                let mut offset = 0usize;
+                for b in &f.blocks {
+                    let k = b.num_facts();
+                    let local = (pattern >> offset) & ((1u64 << k) - 1);
+                    p *= b.prob_pattern(local);
+                    offset += k;
+                }
+                p
+            }
+        }
     }
 
     /// Marginal probability `P(f) = Σ_{o ⊨ f} P(o)` (Equation (2)).
     pub fn marginal(&self, fact: FactId) -> f64 {
-        let bit = 1usize << fact.0;
-        self.probs
-            .iter()
-            .enumerate()
-            .filter(|(o, _)| o & bit != 0)
-            .map(|(_, &p)| p)
-            .sum()
+        match &self.repr {
+            BeliefRepr::Dense(probs) => {
+                let bit = 1usize << fact.0;
+                probs
+                    .iter()
+                    .enumerate()
+                    .filter(|(o, _)| o & bit != 0)
+                    .map(|(_, &p)| p)
+                    .sum()
+            }
+            BeliefRepr::Sparse(s) => {
+                let bit = 1u64 << fact.0;
+                s.patterns
+                    .iter()
+                    .zip(&s.probs)
+                    .filter(|(&pat, _)| pat & bit != 0)
+                    .map(|(_, &p)| p)
+                    .sum()
+            }
+            BeliefRepr::Factored(f) => {
+                let (i, _, local) = f.block_of(fact);
+                f.blocks[i].marginal(local)
+            }
+        }
     }
 
     /// All per-fact marginals, in fact order.
@@ -264,9 +822,15 @@ impl Belief {
     /// Shannon entropy `H(O) = -Σ_o P(o) ln P(o)` in nats.
     ///
     /// Zero-probability observations contribute zero (the standard
-    /// `0 ln 0 = 0` convention).
+    /// `0 ln 0 = 0` convention). Sparse beliefs sum over the support
+    /// with the same chunking as dense; factored entropy is the exact
+    /// sum of block entropies (independence).
     pub fn entropy(&self) -> f64 {
-        crate::entropy::entropy_of(&self.probs)
+        match &self.repr {
+            BeliefRepr::Dense(probs) => crate::entropy::entropy_of(probs),
+            BeliefRepr::Sparse(s) => crate::entropy::entropy_of(&s.probs),
+            BeliefRepr::Factored(f) => f.blocks.iter().map(|b| b.entropy()).sum(),
+        }
     }
 
     /// Data quality `Q(F) = -H(O)` (Definition 2). Higher is better;
@@ -276,25 +840,73 @@ impl Belief {
         -self.entropy()
     }
 
+    /// The maximum-a-posteriori pattern `argmax_o P(o)` as a raw bit
+    /// pattern, for any representation and up to 64 facts.
+    ///
+    /// Ties break toward the lowest pattern, deterministically.
+    pub fn map_pattern(&self) -> u64 {
+        match &self.repr {
+            BeliefRepr::Dense(probs) => {
+                let mut best = 0usize;
+                let mut best_p = probs[0];
+                for (o, &p) in probs.iter().enumerate().skip(1) {
+                    if p > best_p {
+                        best = o;
+                        best_p = p;
+                    }
+                }
+                best as u64
+            }
+            BeliefRepr::Sparse(s) => {
+                // Patterns are sorted ascending, so the strict `>` scan
+                // ties toward the lowest pattern, like dense.
+                let mut best = s.patterns[0];
+                let mut best_p = s.probs[0];
+                for (&pat, &p) in s.patterns.iter().zip(&s.probs).skip(1) {
+                    if p > best_p {
+                        best = pat;
+                        best_p = p;
+                    }
+                }
+                best
+            }
+            BeliefRepr::Factored(f) => {
+                // Independent blocks: the joint argmax is the product of
+                // block argmaxes.
+                let mut pattern = 0u64;
+                let mut offset = 0usize;
+                for b in &f.blocks {
+                    pattern |= b.map_pattern() << offset;
+                    offset += b.num_facts();
+                }
+                pattern
+            }
+        }
+    }
+
     /// The maximum-a-posteriori observation `o* = argmax_o P(o)`.
     ///
     /// Ties break toward the lowest observation index, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// When the belief has more than 32 facts (the pattern no longer
+    /// fits an [`Observation`]); use [`Belief::map_pattern`] there.
     pub fn map_observation(&self) -> Observation {
-        let mut best = 0usize;
-        let mut best_p = self.probs[0];
-        for (o, &p) in self.probs.iter().enumerate().skip(1) {
-            if p > best_p {
-                best = o;
-                best_p = p;
-            }
-        }
-        Observation(best as u32)
+        let p = self.map_pattern();
+        assert!(
+            self.num_facts() <= 32,
+            "map_observation on a {}-fact belief: use map_pattern()",
+            self.num_facts()
+        );
+        Observation(p as u32)
     }
 
-    /// Discrete labels from the MAP observation (Equation (20)):
+    /// Discrete labels from the MAP pattern (Equation (20)):
     /// `label(f_i) = o* ⊨ f_i`.
     pub fn map_labels(&self) -> Vec<bool> {
-        self.map_observation().to_bools(self.num_facts())
+        let p = self.map_pattern();
+        (0..self.num_facts()).map(|i| (p >> i) & 1 == 1).collect()
     }
 
     /// Projects the belief onto an ordered list of facts: returns `q`
@@ -306,31 +918,41 @@ impl Belief {
     /// kernels operate on `q` instead of the full belief — the main
     /// performance lever of this implementation (see `DESIGN.md`).
     pub fn project(&self, facts: &[FactId]) -> Vec<f64> {
-        use crate::parallel;
+        match &self.repr {
+            BeliefRepr::Dense(probs) => Self::project_dense(probs, facts),
+            BeliefRepr::Sparse(s) => Self::project_sparse(s, facts),
+            BeliefRepr::Factored(f) => Self::project_factored(f, facts),
+        }
+    }
+
+    fn project_dense(probs: &[f64], facts: &[FactId]) -> Vec<f64> {
         let mut q = vec![0.0; 1 << facts.len()];
         if facts.len() == 1 {
             // Hot single-fact case (greedy candidate scans): avoid the
             // generic bit-gather. Chunked ordered sum, like every other
             // reduction over the 2^n table.
             let bit = 1usize << facts[0].0;
-            let p_true = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
+            let p_true = parallel::sum_chunks(probs.len(), parallel::CHUNK, |r| {
                 let mut acc = 0.0;
-                for (j, &p) in self.probs[r.clone()].iter().enumerate() {
+                for (j, &p) in probs[r.clone()].iter().enumerate() {
                     if (r.start + j) & bit != 0 {
                         acc += p;
                     }
                 }
                 acc
             });
-            q[1] = p_true;
-            q[0] = 1.0 - p_true;
+            // Chunked-sum roundoff can leave p_true a hair above 1.0;
+            // without the clamps the complement cell would go negative
+            // and poison the entropy kernels downstream.
+            q[1] = p_true.clamp(0.0, 1.0);
+            q[0] = (1.0 - p_true).clamp(0.0, 1.0);
             return q;
         }
         // General bit-gather: per-chunk partial histograms merged in
         // chunk order, so every cell's sum has a fixed association.
-        let partials = parallel::map_chunks(self.probs.len(), parallel::CHUNK, |r| {
+        let partials = parallel::map_chunks(probs.len(), parallel::CHUNK, |r| {
             let mut local = vec![0.0; q.len()];
-            for (j, &p) in self.probs[r.clone()].iter().enumerate() {
+            for (j, &p) in probs[r.clone()].iter().enumerate() {
                 let t = Observation((r.start + j) as u32).project(facts) as usize;
                 local[t] += p;
             }
@@ -344,92 +966,369 @@ impl Belief {
         q
     }
 
+    fn project_sparse(s: &SparseBelief, facts: &[FactId]) -> Vec<f64> {
+        let mut q = vec![0.0; 1 << facts.len()];
+        if facts.len() == 1 {
+            let bit = 1u64 << facts[0].0;
+            let p_true = parallel::sum_chunks(s.probs.len(), parallel::CHUNK, |r| {
+                let mut acc = 0.0;
+                for (j, &p) in s.probs[r.clone()].iter().enumerate() {
+                    if s.patterns[r.start + j] & bit != 0 {
+                        acc += p;
+                    }
+                }
+                acc
+            });
+            q[1] = p_true.clamp(0.0, 1.0);
+            q[0] = (1.0 - p_true).clamp(0.0, 1.0);
+            return q;
+        }
+        let partials = parallel::map_chunks(s.probs.len(), parallel::CHUNK, |r| {
+            let mut local = vec![0.0; q.len()];
+            for (j, &p) in s.probs[r.clone()].iter().enumerate() {
+                let t = project_pattern(s.patterns[r.start + j], facts) as usize;
+                local[t] += p;
+            }
+            local
+        });
+        for local in partials {
+            for (slot, v) in q.iter_mut().zip(local) {
+                *slot += v;
+            }
+        }
+        q
+    }
+
+    fn project_factored(f: &FactoredBelief, facts: &[FactId]) -> Vec<f64> {
+        // Independence: the joint projection is the product over blocks
+        // of each block's projection onto its own facts. Query sets are
+        // tiny (≤ k facts), so these loops stay serial.
+        let mut q = vec![1.0; 1 << facts.len()];
+        let mut offset = 0usize;
+        for b in &f.blocks {
+            let n = b.num_facts();
+            // Output-bit positions owned by this block, with the fact
+            // translated to block-local coordinates.
+            let positions: Vec<(usize, FactId)> = facts
+                .iter()
+                .enumerate()
+                .filter(|(_, fct)| {
+                    let g = fct.0 as usize;
+                    g >= offset && g < offset + n
+                })
+                .map(|(j, fct)| (j, FactId((fct.0 as usize - offset) as u32)))
+                .collect();
+            offset += n;
+            if positions.is_empty() {
+                continue;
+            }
+            let local_facts: Vec<FactId> = positions.iter().map(|&(_, lf)| lf).collect();
+            let block_q = b.project(&local_facts);
+            for (t, slot) in q.iter_mut().enumerate() {
+                let mut local_t = 0usize;
+                for (idx, &(j, _)) in positions.iter().enumerate() {
+                    local_t |= ((t >> j) & 1) << idx;
+                }
+                *slot *= block_q[local_t];
+            }
+        }
+        q
+    }
+
     /// The belief conditioned on a fact's truth value:
     /// `P(o | f = value)`. Useful for counterfactual analysis ("what
     /// would the labels be if f were settled?").
     ///
+    /// The conditioning mass is computed from the masked table itself
+    /// (the exact sum the renormalisation divides by), so near-zero
+    /// support is reported as [`HcError::InvalidProbability`] instead of
+    /// surfacing as a downstream renormalisation collapse.
+    ///
+    /// For sparse beliefs the truncation bound is re-certified as
+    /// `min(1, 2·L / mass)` — conditioning renormalises, which can
+    /// amplify the truncated mass by at most that factor.
+    ///
     /// # Errors
     ///
     /// [`HcError::InvalidProbability`] when the conditioning event has
-    /// zero probability.
+    /// (numerically) zero probability.
     pub fn condition_on_fact(&self, fact: FactId, value: bool) -> Result<Belief> {
-        let mass = if value {
-            self.marginal(fact)
-        } else {
-            1.0 - self.marginal(fact)
-        };
-        if mass <= 0.0 {
-            return Err(HcError::InvalidProbability(mass));
+        match &self.repr {
+            BeliefRepr::Dense(probs) => {
+                let bit = 1usize << fact.0;
+                let masked: Vec<f64> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(o, &p)| if (o & bit != 0) == value { p } else { 0.0 })
+                    .collect();
+                let mass = parallel::sum_chunks(masked.len(), parallel::CHUNK, |r| {
+                    masked[r].iter().sum::<f64>()
+                });
+                if !(mass > 0.0) || !(1.0 / mass).is_finite() {
+                    return Err(HcError::InvalidProbability(mass));
+                }
+                let mut out = Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Dense(masked),
+                };
+                // Recomputes the identical chunked sum, so it cannot
+                // fail after the gate above.
+                out.renormalize()?;
+                Ok(out)
+            }
+            BeliefRepr::Sparse(s) => {
+                let bit = 1u64 << fact.0;
+                let masked: Vec<f64> = s
+                    .patterns
+                    .iter()
+                    .zip(&s.probs)
+                    .map(|(&pat, &p)| if (pat & bit != 0) == value { p } else { 0.0 })
+                    .collect();
+                let mass = parallel::sum_chunks(masked.len(), parallel::CHUNK, |r| {
+                    masked[r].iter().sum::<f64>()
+                });
+                if !(mass > 0.0) || !(1.0 / mass).is_finite() {
+                    return Err(HcError::InvalidProbability(mass));
+                }
+                let mut patterns = Vec::new();
+                let mut probs = Vec::new();
+                for (&pat, &p) in s.patterns.iter().zip(&masked) {
+                    if (pat & bit != 0) == value {
+                        patterns.push(pat);
+                        probs.push(p / mass);
+                    }
+                }
+                let truncation_bound = (2.0 * s.truncation_bound / mass).min(1.0);
+                Ok(Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Sparse(SparseBelief {
+                        patterns,
+                        probs,
+                        truncation_bound,
+                    }),
+                })
+            }
+            BeliefRepr::Factored(f) => {
+                // Independence: conditioning touches only the owning
+                // block, exactly.
+                let (i, _, local) = f.block_of(fact);
+                let mut blocks = f.blocks.clone();
+                blocks[i] = blocks[i].condition_on_fact(local, value)?;
+                Ok(Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Factored(FactoredBelief { blocks }),
+                })
+            }
         }
-        let bit = 1usize << fact.0;
-        let probs = self
-            .probs
-            .iter()
-            .enumerate()
-            .map(|(o, &p)| if (o & bit != 0) == value { p } else { 0.0 })
-            .collect();
-        let mut out = Belief {
-            num_facts: self.num_facts,
-            probs,
-        };
-        out.renormalize()?;
-        Ok(out)
     }
 
     /// Kullback–Leibler divergence `D(self ‖ other)` in nats.
     ///
     /// Returns `f64::INFINITY` when `self` puts mass where `other` has
-    /// none (the standard convention). The sum runs over fixed chunk
-    /// boundaries with an ordered merge — like `entropy_of` and
+    /// none (the standard convention). Dense–dense sums run over fixed
+    /// chunk boundaries with an ordered merge — like `entropy_of` and
     /// [`Belief::total_variation`] — so the value honours the
-    /// thread-invariance contract of [`crate::parallel`].
+    /// thread-invariance contract of [`crate::parallel`]. Sparse–sparse
+    /// walks the merged supports serially; any other mix densifies (and
+    /// therefore requires `n ≤` [`MAX_FACTS`]).
     pub fn kl_divergence(&self, other: &Belief) -> Result<f64> {
-        use crate::parallel;
         if other.num_facts != self.num_facts {
             return Err(HcError::DimensionMismatch {
                 expected: self.num_facts(),
                 actual: other.num_facts(),
             });
         }
-        let kl = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
-            let mut acc = 0.0;
-            for (&p, &q) in self.probs[r.clone()].iter().zip(&other.probs[r]) {
-                if p == 0.0 {
-                    // 0 ln 0 = 0, and 0/0 must not poison the sum.
-                    continue;
-                }
-                // q == 0 with p > 0 yields +inf here, which propagates
-                // through the fold to the standard D = ∞ convention.
-                acc += p * (p / q).ln();
+        match (&self.repr, &other.repr) {
+            (BeliefRepr::Dense(a), BeliefRepr::Dense(b)) => {
+                let kl = parallel::sum_chunks(a.len(), parallel::CHUNK, |r| {
+                    let mut acc = 0.0;
+                    for (&p, &q) in a[r.clone()].iter().zip(&b[r]) {
+                        if p == 0.0 {
+                            // 0 ln 0 = 0, and 0/0 must not poison the sum.
+                            continue;
+                        }
+                        // q == 0 with p > 0 yields +inf here, which
+                        // propagates through the fold to the standard
+                        // D = ∞ convention.
+                        acc += p * (p / q).ln();
+                    }
+                    acc
+                });
+                Ok(kl.max(0.0))
             }
-            acc
-        });
-        Ok(kl.max(0.0))
+            (BeliefRepr::Sparse(a), BeliefRepr::Sparse(b)) => {
+                let mut acc = 0.0;
+                for (&pat, &p) in a.patterns.iter().zip(&a.probs) {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let q = b.prob_pattern(pat);
+                    acc += p * (p / q).ln();
+                }
+                Ok(acc.max(0.0))
+            }
+            _ => self.to_dense()?.kl_divergence(&other.to_dense()?),
+        }
     }
 
     /// Total variation distance `½ Σ_o |P(o) − Q(o)|` ∈ [0, 1].
     ///
-    /// Chunked ordered sum: bit-identical at any thread count.
+    /// Dense–dense: chunked ordered sum, bit-identical at any thread
+    /// count. Sparse–sparse: serial merged-support walk. Other mixes
+    /// densify (requires `n ≤` [`MAX_FACTS`]).
     pub fn total_variation(&self, other: &Belief) -> Result<f64> {
-        use crate::parallel;
         if other.num_facts != self.num_facts {
             return Err(HcError::DimensionMismatch {
                 expected: self.num_facts(),
                 actual: other.num_facts(),
             });
         }
-        let sum = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
-            self.probs[r.clone()]
-                .iter()
-                .zip(&other.probs[r])
-                .map(|(&p, &q)| (p - q).abs())
-                .sum::<f64>()
-        });
-        Ok(0.5 * sum)
+        match (&self.repr, &other.repr) {
+            (BeliefRepr::Dense(a), BeliefRepr::Dense(b)) => {
+                let sum = parallel::sum_chunks(a.len(), parallel::CHUNK, |r| {
+                    a[r.clone()]
+                        .iter()
+                        .zip(&b[r])
+                        .map(|(&p, &q)| (p - q).abs())
+                        .sum::<f64>()
+                });
+                Ok(0.5 * sum)
+            }
+            (BeliefRepr::Sparse(a), BeliefRepr::Sparse(b)) => {
+                // Two-pointer walk over the union of the sorted supports.
+                let mut i = 0usize;
+                let mut j = 0usize;
+                let mut sum = 0.0;
+                while i < a.patterns.len() || j < b.patterns.len() {
+                    let pa = a.patterns.get(i).copied();
+                    let pb = b.patterns.get(j).copied();
+                    match (pa, pb) {
+                        (Some(x), Some(y)) if x == y => {
+                            sum += (a.probs[i] - b.probs[j]).abs();
+                            i += 1;
+                            j += 1;
+                        }
+                        (Some(x), Some(y)) if x < y => {
+                            sum += a.probs[i];
+                            i += 1;
+                        }
+                        (Some(_), Some(_)) => {
+                            sum += b.probs[j];
+                            j += 1;
+                        }
+                        (Some(_), None) => {
+                            sum += a.probs[i];
+                            i += 1;
+                        }
+                        (None, Some(_)) => {
+                            sum += b.probs[j];
+                            j += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+                Ok(0.5 * sum)
+            }
+            _ => self.to_dense()?.total_variation(&other.to_dense()?),
+        }
+    }
+
+    /// Expands any representation into the dense table.
+    ///
+    /// Bit-preserving: stored probabilities are copied, never
+    /// renormalised.
+    ///
+    /// # Errors
+    ///
+    /// [`HcError::TooManyFacts`] when `n >` [`MAX_FACTS`].
+    pub fn to_dense(&self) -> Result<Belief> {
+        match &self.repr {
+            BeliefRepr::Dense(_) => Ok(self.clone()),
+            BeliefRepr::Sparse(s) => {
+                Self::check_num_facts(self.num_facts())?;
+                let mut probs = vec![0.0; 1usize << self.num_facts()];
+                for (&pat, &p) in s.patterns.iter().zip(&s.probs) {
+                    probs[pat as usize] = p;
+                }
+                Ok(Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Dense(probs),
+                })
+            }
+            BeliefRepr::Factored(f) => {
+                Self::check_num_facts(self.num_facts())?;
+                // Blockwise outer product, lowest bits first: after
+                // processing blocks of total width w, acc[i] is the
+                // probability of low-bit pattern i.
+                let mut acc = vec![1.0f64];
+                for b in &f.blocks {
+                    let q = b.probs();
+                    let mut next = Vec::with_capacity(acc.len() * q.len());
+                    for &hi in q {
+                        for &lo in &acc {
+                            next.push(lo * hi);
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Dense(acc),
+                })
+            }
+        }
+    }
+
+    /// Compresses into a sparse belief keeping at most `max_support`
+    /// cells.
+    ///
+    /// From dense: when the whole `2^n` table fits under the cap the
+    /// complete layout is kept verbatim (bound `0.0`, bit-preserving —
+    /// including zero cells, so reductions keep their exact chunk
+    /// boundaries); otherwise the top-`max_support` cells by
+    /// `(prob desc, pattern asc)` are kept, renormalised, with bound
+    /// `1 − kept_mass`. From sparse: a clone (existing support is kept
+    /// even above the cap — pruning happens in the update path). From
+    /// factored: via the dense expansion.
+    pub fn to_sparse(&self, max_support: usize) -> Result<Belief> {
+        let cap = max_support.max(1);
+        match &self.repr {
+            BeliefRepr::Dense(probs) => {
+                if probs.len() <= cap {
+                    let patterns: Vec<u64> = (0..probs.len() as u64).collect();
+                    return Ok(Belief {
+                        num_facts: self.num_facts,
+                        repr: BeliefRepr::Sparse(SparseBelief {
+                            patterns,
+                            probs: probs.clone(),
+                            truncation_bound: 0.0,
+                        }),
+                    });
+                }
+                let mut idx: Vec<usize> = (0..probs.len()).collect();
+                idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]).then(a.cmp(&b)));
+                idx.truncate(cap);
+                idx.sort_unstable();
+                let patterns: Vec<u64> = idx.iter().map(|&i| i as u64).collect();
+                let mut kept: Vec<f64> = idx.iter().map(|&i| probs[i]).collect();
+                let kept_sum = renormalize_slice(&mut kept)?;
+                Ok(Belief {
+                    num_facts: self.num_facts,
+                    repr: BeliefRepr::Sparse(SparseBelief {
+                        patterns,
+                        probs: kept,
+                        truncation_bound: (1.0 - kept_sum).clamp(0.0, 1.0),
+                    }),
+                })
+            }
+            BeliefRepr::Sparse(_) => Ok(self.clone()),
+            BeliefRepr::Factored(_) => self.to_dense()?.to_sparse(cap),
+        }
     }
 
     /// Rescales so probabilities sum to exactly one, returning the
-    /// pre-normalisation mass that was divided out.
+    /// pre-normalisation mass that was divided out (the product of
+    /// block masses when factored).
     ///
     /// # Errors
     ///
@@ -441,30 +1340,37 @@ impl Belief {
     /// in the optimised builds where long near-perfect-expert runs make
     /// underflow most likely.
     pub(crate) fn renormalize(&mut self) -> Result<f64> {
-        use crate::parallel;
-        // Chunked ordered sum + element-independent scale: the Bayes
-        // update's 2^n renormalisation pass, bit-identical for any
-        // thread count (see `parallel` module docs).
-        let sum = parallel::sum_chunks(self.probs.len(), parallel::CHUNK, |r| {
-            self.probs[r].iter().sum::<f64>()
-        });
-        let inv = 1.0 / sum;
-        // A NaN sum yields a NaN (non-finite) inverse, so this also
-        // rejects NaN-poisoned mass.
-        if sum <= 0.0 || !inv.is_finite() {
-            return Err(HcError::BeliefCollapsed { mass: sum });
-        }
-        parallel::fill_slice(&mut self.probs, parallel::CHUNK, |_, slice| {
-            for p in slice {
-                *p *= inv;
+        match &mut self.repr {
+            BeliefRepr::Dense(probs) => renormalize_slice(probs),
+            BeliefRepr::Sparse(s) => renormalize_slice(&mut s.probs),
+            BeliefRepr::Factored(f) => {
+                let mut total = 1.0;
+                for b in &mut f.blocks {
+                    total *= b.renormalize()?;
+                }
+                Ok(total)
             }
-        });
-        Ok(sum)
+        }
     }
 
     /// Mutable access for update kernels inside the crate.
+    ///
+    /// # Panics
+    ///
+    /// When the belief is not dense (the sparse/factored update kernels
+    /// go through [`Belief::repr_mut`]).
     pub(crate) fn probs_mut(&mut self) -> &mut [f64] {
-        &mut self.probs
+        match &mut self.repr {
+            BeliefRepr::Dense(probs) => probs,
+            repr => panic!(
+                "Belief::probs_mut() requires the dense representation, got {}",
+                match repr {
+                    BeliefRepr::Dense(_) => unreachable!(),
+                    BeliefRepr::Sparse(_) => "sparse",
+                    BeliefRepr::Factored(_) => "factored",
+                }
+            ),
+        }
     }
 }
 
@@ -532,11 +1438,35 @@ impl MultiBelief {
     pub fn map_labels(&self) -> Vec<Vec<bool>> {
         self.tasks.iter().map(|b| b.map_labels()).collect()
     }
+
+    /// The representation shared by every task: `"dense"`, `"sparse"`,
+    /// `"factored"`, or `"mixed"` when tasks differ (empty defaults to
+    /// `"dense"`). Surfaced in `RunStarted` telemetry.
+    pub fn repr_summary(&self) -> &'static str {
+        let mut iter = self.tasks.iter().map(|b| b.repr_name());
+        let Some(first) = iter.next() else {
+            return "dense";
+        };
+        if iter.all(|name| name == first) {
+            first
+        } else {
+            "mixed"
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Builds a dense belief from raw parts, bypassing validation (test
+    /// fixtures for deliberately-broken tables).
+    fn raw_dense(num_facts: u8, probs: Vec<f64>) -> Belief {
+        Belief {
+            num_facts,
+            repr: BeliefRepr::Dense(probs),
+        }
+    }
 
     /// The running example of Table I in the paper.
     pub(crate) fn table_i_belief() -> Belief {
@@ -638,6 +1568,24 @@ mod tests {
     }
 
     #[test]
+    fn single_fact_projection_clamps_oversum_mass() {
+        // A table whose mass sums to 1.0 + ε (legal: within
+        // NORMALIZATION_TOLERANCE, and from_checkpoint_probs trusts the
+        // bits). With all mass on f0-true cells, the unclamped fast path
+        // would return q[0] = 1.0 - (1.0 + ε) < 0 — a negative
+        // probability fed straight into the entropy kernels.
+        let eps = 1e-7;
+        let b = Belief::from_checkpoint_probs(vec![0.0, 0.5 + eps, 0.0, 0.5]).unwrap();
+        let q = b.project(&[FactId(0)]);
+        assert!(q[0] >= 0.0, "complement cell must be clamped, got {}", q[0]);
+        assert!(q[1] <= 1.0, "true cell must be clamped, got {}", q[1]);
+        // And the sparse path clamps identically.
+        let s = b.to_sparse(usize::MAX).unwrap();
+        let qs = s.project(&[FactId(0)]);
+        assert_eq!(q, qs);
+    }
+
+    #[test]
     fn empty_projection_is_total_mass() {
         let b = table_i_belief();
         let q = b.project(&[]);
@@ -667,6 +1615,10 @@ mod tests {
             Belief::uniform(MAX_FACTS + 1),
             Err(HcError::TooManyFacts(_))
         ));
+        assert!(matches!(
+            Belief::sparse_from_marginals(&vec![0.5; SPARSE_MAX_FACTS + 1], 16),
+            Err(HcError::TooManyFacts(_))
+        ));
     }
 
     #[test]
@@ -684,6 +1636,32 @@ mod tests {
         let b = Belief::point_mass(2, Observation(0b01)).unwrap();
         assert!(b.condition_on_fact(FactId(0), false).is_err());
         assert!(b.condition_on_fact(FactId(0), true).is_ok());
+    }
+
+    #[test]
+    fn conditioning_near_zero_support_reports_invalid_probability() {
+        // Masked mass is positive but so subnormal its reciprocal
+        // overflows: the documented contract is InvalidProbability, not
+        // a renormalisation collapse surfacing as BeliefCollapsed.
+        let b = raw_dense(2, vec![1e-320, 0.5, 0.0, 0.5]);
+        match b.condition_on_fact(FactId(0), false) {
+            Err(HcError::InvalidProbability(mass)) => {
+                assert!(mass > 0.0 && mass < 1e-300, "tiny mass, got {mass}");
+            }
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
+        // Exactly-zero support also maps to InvalidProbability.
+        let z = Belief::point_mass(2, Observation(0b01)).unwrap();
+        assert!(matches!(
+            z.condition_on_fact(FactId(0), false),
+            Err(HcError::InvalidProbability(_))
+        ));
+        // And the sparse path honours the same contract.
+        let zs = z.to_sparse(usize::MAX).unwrap();
+        assert!(matches!(
+            zs.condition_on_fact(FactId(0), false),
+            Err(HcError::InvalidProbability(_))
+        ));
     }
 
     #[test]
@@ -773,10 +1751,7 @@ mod tests {
     #[test]
     fn renormalize_reports_collapse_instead_of_dividing_by_zero() {
         // All-zero mass: the release-mode path must error, not divide.
-        let mut dead = Belief {
-            num_facts: 2,
-            probs: vec![0.0; 4],
-        };
+        let mut dead = raw_dense(2, vec![0.0; 4]);
         assert!(matches!(
             dead.renormalize(),
             Err(HcError::BeliefCollapsed { mass }) if mass == 0.0
@@ -784,21 +1759,212 @@ mod tests {
         assert!(dead.probs().iter().all(|&p| p == 0.0), "left untouched");
 
         // Subnormal mass whose reciprocal overflows: also a collapse.
-        let mut tiny = Belief {
-            num_facts: 2,
-            probs: vec![1e-320; 4],
-        };
+        let mut tiny = raw_dense(2, vec![1e-320; 4]);
         assert!(matches!(
             tiny.renormalize(),
             Err(HcError::BeliefCollapsed { .. })
         ));
 
         // A healthy table reports the divided-out mass.
-        let mut ok = Belief {
-            num_facts: 1,
-            probs: vec![1.0, 3.0],
-        };
+        let mut ok = raw_dense(1, vec![1.0, 3.0]);
         assert_eq!(ok.renormalize().unwrap(), 4.0);
         assert_eq!(ok.probs(), &[0.25, 0.75]);
+    }
+
+    // ---- sparse representation ----
+
+    #[test]
+    fn sparse_full_support_is_bit_identical_to_dense() {
+        let marginals = [0.62, 0.31, 0.87, 0.44, 0.5];
+        let dense = Belief::from_marginals(&marginals).unwrap();
+        let sparse = Belief::sparse_from_marginals(&marginals, 1 << 10).unwrap();
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.truncation_bound(), 0.0);
+        assert_eq!(sparse.support_len(), 32);
+        let BeliefRepr::Sparse(s) = sparse.repr() else {
+            unreachable!()
+        };
+        assert_eq!(s.patterns(), (0..32u64).collect::<Vec<_>>());
+        for (o, &p) in dense.probs().iter().enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                s.probs()[o].to_bits(),
+                "cell {o} must match dense bit-for-bit"
+            );
+        }
+        assert_eq!(dense.entropy().to_bits(), sparse.entropy().to_bits());
+        assert_eq!(dense.map_pattern(), sparse.map_pattern());
+    }
+
+    #[test]
+    fn sparse_truncation_keeps_top_patterns_and_certifies_bound() {
+        let marginals = [0.9, 0.8, 0.7, 0.6, 0.55];
+        let dense = Belief::from_marginals(&marginals).unwrap();
+        let cap = 8;
+        let sparse = Belief::sparse_from_marginals(&marginals, cap).unwrap();
+        assert_eq!(sparse.support_len(), cap);
+        let bound = sparse.truncation_bound();
+        assert!(bound > 0.0 && bound < 1.0, "bound {bound}");
+        // The kept set must be exactly the top-`cap` dense cells.
+        let BeliefRepr::Sparse(s) = sparse.repr() else {
+            unreachable!()
+        };
+        let mut by_prob: Vec<usize> = (0..dense.probs().len()).collect();
+        by_prob.sort_by(|&a, &b| {
+            dense.probs()[b]
+                .total_cmp(&dense.probs()[a])
+                .then(a.cmp(&b))
+        });
+        let mut expected: Vec<u64> = by_prob[..cap].iter().map(|&i| i as u64).collect();
+        expected.sort_unstable();
+        assert_eq!(s.patterns(), expected.as_slice());
+        // The realized TV distance to dense is within the bound (plus
+        // ULP noise).
+        let tv = dense.total_variation(&sparse.to_dense().unwrap()).unwrap();
+        assert!(tv <= bound + 1e-12, "tv {tv} > bound {bound}");
+    }
+
+    #[test]
+    fn sparse_supports_forty_facts() {
+        let marginals: Vec<f64> = (0..40).map(|i| 0.3 + 0.4 * (i as f64 / 39.0)).collect();
+        let b = Belief::sparse_from_marginals(&marginals, 1 << 12).unwrap();
+        assert_eq!(b.num_facts(), 40);
+        assert_eq!(b.support_len(), 1 << 12);
+        assert!(b.truncation_bound() < 1.0);
+        let ms = b.marginals();
+        assert_eq!(ms.len(), 40);
+        // Truncation biases marginals by at most the TV bound.
+        for (m, &orig) in ms.iter().zip(&marginals) {
+            assert!((m - orig).abs() <= b.truncation_bound() + 1e-9);
+        }
+        assert!(b.entropy() > 0.0);
+        assert_eq!(b.map_labels().len(), 40);
+    }
+
+    #[test]
+    fn sparse_round_trips_through_dense() {
+        let marginals = [0.9, 0.2, 0.7];
+        let sparse = Belief::sparse_from_marginals(&marginals, 4).unwrap();
+        let dense = sparse.to_dense().unwrap();
+        let back = dense.to_sparse(4).unwrap();
+        // to_sparse on an already-renormalised truncated table keeps
+        // the same support.
+        let BeliefRepr::Sparse(a) = sparse.repr() else {
+            unreachable!()
+        };
+        let BeliefRepr::Sparse(b) = back.repr() else {
+            unreachable!()
+        };
+        assert_eq!(a.patterns(), b.patterns());
+        assert_eq!(sparse.total_variation(&back).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sparse_checkpoint_restore_validates() {
+        let ok = Belief::sparse_from_checkpoint(3, vec![1, 5], vec![0.25, 0.75], 0.1).unwrap();
+        assert!(ok.is_sparse());
+        assert_eq!(ok.prob_pattern(5), 0.75);
+        // Not strictly increasing.
+        assert!(Belief::sparse_from_checkpoint(3, vec![5, 1], vec![0.25, 0.75], 0.0).is_err());
+        // Pattern out of range.
+        assert!(Belief::sparse_from_checkpoint(2, vec![4], vec![1.0], 0.0).is_err());
+        // Mass not normalised.
+        assert!(Belief::sparse_from_checkpoint(3, vec![1, 5], vec![0.25, 0.25], 0.0).is_err());
+        // Bad bound.
+        assert!(Belief::sparse_from_checkpoint(3, vec![1, 5], vec![0.25, 0.75], 1.5).is_err());
+    }
+
+    // ---- factored representation ----
+
+    #[test]
+    fn factored_matches_dense_product() {
+        let b0 = table_i_belief();
+        let b1 = Belief::from_marginals(&[0.7, 0.2]).unwrap();
+        let f = Belief::factored(vec![b0.clone(), b1.clone()]).unwrap();
+        assert!(f.is_factored());
+        assert_eq!(f.num_facts(), 5);
+        // Marginals: block 0 owns facts 0..3, block 1 owns 3..5.
+        assert_eq!(f.marginal(FactId(1)), b0.marginal(FactId(1)));
+        assert_eq!(f.marginal(FactId(3)), b1.marginal(FactId(0)));
+        // Entropy adds across independent blocks.
+        assert!((f.entropy() - (b0.entropy() + b1.entropy())).abs() < 1e-12);
+        // Dense expansion is the exact outer product.
+        let dense = f.to_dense().unwrap();
+        for o in 0..32u64 {
+            let expected = b0.prob_pattern(o & 0b111) * b1.prob_pattern(o >> 3);
+            assert_eq!(dense.prob_pattern(o).to_bits(), expected.to_bits());
+        }
+        // MAP decomposes across blocks.
+        assert_eq!(
+            f.map_pattern(),
+            b0.map_pattern() | (b1.map_pattern() << 3)
+        );
+        // Projection across block boundaries matches the dense oracle.
+        let facts = [FactId(4), FactId(0), FactId(3)];
+        let qf = f.project(&facts);
+        let qd = dense.project(&facts);
+        for (a, b) in qf.iter().zip(&qd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factored_conditioning_touches_one_block() {
+        let b0 = Belief::from_marginals(&[0.6, 0.9]).unwrap();
+        let b1 = table_i_belief();
+        let f = Belief::factored(vec![b0, b1]).unwrap();
+        let cond = f.condition_on_fact(FactId(3), true).unwrap();
+        assert!(cond.is_factored());
+        assert!((cond.marginal(FactId(3)) - 1.0).abs() < 1e-12);
+        // Other block untouched, bit-for-bit.
+        assert_eq!(cond.marginal(FactId(0)).to_bits(), f.marginal(FactId(0)).to_bits());
+        // Against the dense oracle.
+        let oracle = f.to_dense().unwrap().condition_on_fact(FactId(3), true).unwrap();
+        assert!(cond.to_dense().unwrap().total_variation(&oracle).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn factored_validates_and_flattens() {
+        assert!(matches!(
+            Belief::factored(vec![]),
+            Err(HcError::EmptyFactSet)
+        ));
+        let nested = Belief::factored(vec![
+            Belief::factored(vec![Belief::uniform(2).unwrap(), Belief::uniform(1).unwrap()])
+                .unwrap(),
+            Belief::uniform(3).unwrap(),
+        ])
+        .unwrap();
+        let BeliefRepr::Factored(f) = nested.repr() else {
+            unreachable!()
+        };
+        assert_eq!(f.blocks().len(), 3, "nested factored blocks flatten");
+        assert_eq!(nested.num_facts(), 6);
+        // Oversized totals are rejected.
+        let blocks: Vec<Belief> = (0..5)
+            .map(|_| Belief::uniform(13).unwrap())
+            .collect();
+        assert!(matches!(
+            Belief::factored(blocks),
+            Err(HcError::TooManyFacts(65))
+        ));
+    }
+
+    #[test]
+    fn non_dense_probs_access_panics_with_clear_message() {
+        let s = Belief::sparse_from_marginals(&[0.5, 0.5], 1).unwrap();
+        let err = std::panic::catch_unwind(|| s.probs()).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("sparse"), "panic message: {msg}");
+    }
+
+    #[test]
+    fn repr_summary_reports_mixture() {
+        let d = Belief::uniform(2).unwrap();
+        let s = Belief::sparse_from_marginals(&[0.5, 0.5], 8).unwrap();
+        assert_eq!(MultiBelief::new(vec![]).repr_summary(), "dense");
+        assert_eq!(MultiBelief::new(vec![d.clone()]).repr_summary(), "dense");
+        assert_eq!(MultiBelief::new(vec![s.clone(), s.clone()]).repr_summary(), "sparse");
+        assert_eq!(MultiBelief::new(vec![d, s]).repr_summary(), "mixed");
     }
 }

@@ -178,6 +178,12 @@ pub fn answer_family_entropy_given_obs(k: usize, panel: &ExpertPanel) -> f64 {
 /// `H(O | AS_CE^T)` — the selection objective (Theorem 2, Equation (34))
 /// — via the chain-rule + projection fast path.
 ///
+/// Representation-agnostic: the belief enters only through
+/// [`Belief::project`] and [`Belief::entropy`], both of which dispatch
+/// per-representation, so this works unchanged for dense, sparse, and
+/// factored beliefs (unlike [`conditional_entropy_naive`], the
+/// dense-only oracle).
+///
 /// Clamped at zero: the true value is non-negative, and the subtraction
 /// can produce `-1e-16`-scale noise for near-deterministic beliefs.
 pub fn conditional_entropy(belief: &Belief, queries: &[FactId], panel: &ExpertPanel) -> Result<f64> {
@@ -213,6 +219,11 @@ pub fn conditional_entropy_projected(
 /// Exponential in both `k·m` and `n`; retained as the independently-coded
 /// oracle for the fast path (tested to agree to 1e-9) and as the
 /// `ablation_chain_rule` bench baseline.
+///
+/// **Dense-only**: this oracle reads the full `2^n` vector via
+/// [`Belief::probs`] and panics on sparse or factored beliefs. Convert
+/// with [`Belief::to_dense`] first when cross-checking those
+/// representations.
 pub fn conditional_entropy_naive(
     belief: &Belief,
     queries: &[FactId],
@@ -411,6 +422,32 @@ mod tests {
                 "facts {facts:?} rates {rates:?}: fast {fast} vs naive {naive}"
             );
         }
+    }
+
+    #[test]
+    fn conditional_entropy_is_representation_agnostic() {
+        // Full-support sparse shares the dense chunk layout, so the
+        // projection-based fast path is bit-identical; factored differs
+        // only by float product order.
+        let dense = table_i_belief();
+        let sparse = dense.to_sparse(1 << 3).unwrap();
+        let factored = Belief::factored(vec![
+            Belief::from_probs(vec![0.3, 0.7]).unwrap(),
+            Belief::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
+        ])
+        .unwrap();
+        let factored_dense = factored.to_dense().unwrap();
+        let p = panel(&[0.9, 0.75]);
+        let queries = vec![FactId(0), FactId(2)];
+        let h_dense = conditional_entropy(&dense, &queries, &p).unwrap();
+        let h_sparse = conditional_entropy(&sparse, &queries, &p).unwrap();
+        assert_eq!(h_dense.to_bits(), h_sparse.to_bits());
+        let h_fact = conditional_entropy(&factored, &queries, &p).unwrap();
+        let h_fact_dense = conditional_entropy(&factored_dense, &queries, &p).unwrap();
+        assert!(
+            (h_fact - h_fact_dense).abs() < 1e-12,
+            "factored {h_fact} vs dense {h_fact_dense}"
+        );
     }
 
     #[test]

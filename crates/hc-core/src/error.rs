@@ -29,10 +29,14 @@ pub enum HcError {
         /// What the caller supplied.
         actual: usize,
     },
-    /// A fact set exceeded the dense-observation-space limit.
+    /// A fact set exceeded a belief-representation size limit.
     ///
-    /// Beliefs are dense vectors of length `2^n`; `n` is capped (see
-    /// [`crate::belief::MAX_FACTS`]) to keep that representation sane.
+    /// Dense beliefs are `2^n` vectors, capped at
+    /// [`crate::belief::MAX_FACTS`] facts; sparse support-set beliefs
+    /// lift the cap to [`crate::belief::SPARSE_MAX_FACTS`] (the `u64`
+    /// pattern width). Operations that must densify — the differential
+    /// oracle, factored blocks — still report this error past the dense
+    /// cap.
     TooManyFacts(usize),
     /// An operation that needs at least one fact received none.
     EmptyFactSet,

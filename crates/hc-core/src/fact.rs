@@ -46,12 +46,14 @@ impl FactSet {
     /// # Errors
     ///
     /// Returns [`HcError::EmptyFactSet`] for zero facts and
-    /// [`HcError::TooManyFacts`] beyond the dense-belief limit.
+    /// [`HcError::TooManyFacts`] beyond [`crate::belief::SPARSE_MAX_FACTS`]
+    /// (groups past the dense limit [`crate::belief::MAX_FACTS`] are
+    /// tracked with the sparse belief representation).
     pub fn new<S: Into<String>>(descriptions: Vec<S>) -> Result<Self> {
         if descriptions.is_empty() {
             return Err(HcError::EmptyFactSet);
         }
-        if descriptions.len() > crate::belief::MAX_FACTS {
+        if descriptions.len() > crate::belief::SPARSE_MAX_FACTS {
             return Err(HcError::TooManyFacts(descriptions.len()));
         }
         let facts = descriptions

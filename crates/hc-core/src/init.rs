@@ -6,8 +6,22 @@
 //! initialises with EBCC in §IV-A), or be uniform (the NO-HC ablation).
 
 use crate::answer::Answer;
-use crate::belief::Belief;
+use crate::belief::{Belief, DEFAULT_SPARSE_SUPPORT, MAX_FACTS};
 use crate::error::{HcError, Result};
+
+/// Builds a belief with the given per-fact marginals, choosing the
+/// representation by group size: dense up to [`MAX_FACTS`], sparse
+/// support-set (capped at [`DEFAULT_SPARSE_SUPPORT`] patterns, with the
+/// dropped product-form mass certified in the truncation bound) above
+/// it. All the initialisation entry points below route through this so
+/// large groups work out of the box.
+fn belief_from_marginals_auto(marginals: &[f64]) -> Result<Belief> {
+    if marginals.len() > MAX_FACTS {
+        Belief::sparse_from_marginals(marginals, DEFAULT_SPARSE_SUPPORT)
+    } else {
+        Belief::from_marginals(marginals)
+    }
+}
 
 /// Raw votes of preliminary workers for one task: `votes[f][w]` is worker
 /// `w`'s Yes/No answer to fact `f`. Workers may differ per fact (ragged).
@@ -57,14 +71,14 @@ impl VoteTable {
 /// Fractions of exactly 0 or 1 are softened by [`Belief::from_marginals`]
 /// so no observation starts with zero probability.
 pub fn init_from_votes(votes: &VoteTable) -> Result<Belief> {
-    Belief::from_marginals(&votes.yes_fractions())
+    belief_from_marginals_auto(&votes.yes_fractions())
 }
 
 /// Initialisation from arbitrary per-fact truth probabilities — the hook
 /// for probability-based aggregators (EBCC, DS, …): pass their posterior
 /// `P(f is true)` per fact.
 pub fn init_from_marginals(marginals: &[f64]) -> Result<Belief> {
-    Belief::from_marginals(marginals)
+    belief_from_marginals_auto(marginals)
 }
 
 /// Weighted majority initialisation: votes weighted by worker accuracy,
@@ -95,12 +109,21 @@ pub fn init_from_weighted_votes(votes: &[Vec<(Answer, f64)>]) -> Result<Belief> 
         }
         marginals.push(yes / total);
     }
-    Belief::from_marginals(&marginals)
+    belief_from_marginals_auto(&marginals)
 }
 
 /// The uniform initialisation used by the NO-HC baseline of §IV-C(5).
+///
+/// Past the dense cap this is a sparse belief over the
+/// [`DEFAULT_SPARSE_SUPPORT`] lowest patterns (all `2^n` are equally
+/// likely, so any support choice is as good as any other); the missing
+/// mass is certified in the truncation bound.
 pub fn init_uniform(num_facts: usize) -> Result<Belief> {
-    Belief::uniform(num_facts)
+    if num_facts > MAX_FACTS {
+        Belief::sparse_from_marginals(&vec![0.5; num_facts], DEFAULT_SPARSE_SUPPORT)
+    } else {
+        Belief::uniform(num_facts)
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +205,21 @@ mod tests {
     fn uniform_init_matches_belief_uniform() {
         let b = init_uniform(3).unwrap();
         assert_eq!(b, Belief::uniform(3).unwrap());
+    }
+
+    #[test]
+    fn large_groups_auto_select_the_sparse_representation() {
+        // 40 facts is far past the dense cap; every init path must
+        // come back sparse with the advertised marginals preserved on
+        // the kept support.
+        let marginals = vec![0.9; 40];
+        let b = init_from_marginals(&marginals).unwrap();
+        assert_eq!(b.repr_name(), "sparse");
+        assert_eq!(b.num_facts(), 40);
+        assert!(b.truncation_bound() < 1.0);
+        let u = init_uniform(40).unwrap();
+        assert_eq!(u.repr_name(), "sparse");
+        // Small groups keep the dense engine.
+        assert_eq!(init_from_marginals(&[0.9; 5]).unwrap().repr_name(), "dense");
     }
 }

@@ -63,6 +63,22 @@ impl Observation {
     }
 }
 
+/// Restriction of a wide (up to 64-bit) observation pattern to an
+/// ordered list of facts: bit `j` of the result is the truth value of
+/// `facts[j]`.
+///
+/// The `u64` twin of [`Observation::project`] for sparse beliefs, whose
+/// patterns can exceed the 32-bit dense observation encoding; the bit
+/// semantics are identical.
+#[inline]
+pub fn project_pattern(pattern: u64, facts: &[FactId]) -> u32 {
+    let mut out = 0u32;
+    for (j, f) in facts.iter().enumerate() {
+        out |= (((pattern >> f.0) & 1) as u32) << j;
+    }
+    out
+}
+
 /// The space of all `2^n` observations of an `n`-fact task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ObservationSpace {

@@ -53,7 +53,7 @@
 use std::collections::BTreeMap;
 
 use crate::answer::{Answer, AnswerOutcome, PartialAnswerFamily, PartialAnswerSet, QuerySet};
-use crate::belief::{Belief, MultiBelief};
+use crate::belief::{Belief, BeliefRepr, MultiBelief};
 use crate::error::{HcError, Result};
 use crate::fact::FactId;
 use crate::hc::{AnswerOracle, CostModel, HcConfig, KSchedule, RepeatPolicy, RoundDelivery, RoundRecord};
@@ -63,7 +63,7 @@ use crate::update::{update_with_partial_family, UpdateHealth};
 use crate::worker::{ExpertPanel, Worker};
 use hc_telemetry::json::{self, Json};
 use hc_telemetry::timing::{self, Phase};
-use hc_telemetry::{CheckpointFrame, StopReason, TelemetryEvent, TelemetrySink};
+use hc_telemetry::{BeliefReprSummary, CheckpointFrame, StopReason, TelemetryEvent, TelemetrySink};
 use rand::RngCore;
 
 /// Version tag of the [`SessionState`] payload encoding. Bumped on any
@@ -542,28 +542,95 @@ fn panel_from_json(v: &Json, key: &str) -> Result<ExpertPanel> {
 }
 
 fn beliefs_to_json(beliefs: &MultiBelief) -> Json {
-    Json::Arr(
-        beliefs
-            .tasks()
+    Json::Arr(beliefs.tasks().iter().map(belief_to_json).collect())
+}
+
+/// Serialises one belief. Dense stays the historical plain probability
+/// array (frames written before sparse/factored existed parse
+/// unchanged); the other representations are tagged objects so the
+/// decoder can dispatch without guessing.
+fn belief_to_json(b: &Belief) -> Json {
+    match b.repr() {
+        BeliefRepr::Dense(probs) => {
+            Json::Arr(probs.iter().map(|&p| Json::Num(p)).collect())
+        }
+        BeliefRepr::Sparse(s) => obj(vec![
+            ("repr", Json::Str("sparse".into())),
+            ("num_facts", num_usize(b.num_facts())),
+            (
+                // Patterns are u64 and can exceed the 2^53 range JSON
+                // numbers represent exactly, so they travel as decimal
+                // strings.
+                "patterns",
+                Json::Arr(
+                    s.patterns()
+                        .iter()
+                        .map(|p| Json::Str(p.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "probs",
+                Json::Arr(s.probs().iter().map(|&p| Json::Num(p)).collect()),
+            ),
+            ("bound", Json::Num(s.truncation_bound())),
+        ]),
+        BeliefRepr::Factored(f) => obj(vec![
+            ("repr", Json::Str("factored".into())),
+            (
+                "blocks",
+                Json::Arr(f.blocks().iter().map(belief_to_json).collect()),
+            ),
+        ]),
+    }
+}
+
+fn belief_from_json(t: &Json, key: &str) -> Result<Belief> {
+    // Back-compat: a bare array is a dense belief (the only format
+    // before SESSION_FORMAT_VERSION grew representation tags).
+    if let Some(arr) = t.as_arr() {
+        let probs = arr
             .iter()
-            .map(|b| Json::Arr(b.probs().iter().map(|&p| Json::Num(p)).collect()))
-            .collect(),
-    )
+            .map(|p| p.as_f64().ok_or_else(|| bad(key)))
+            .collect::<Result<Vec<f64>>>()?;
+        return Belief::from_checkpoint_probs(probs)
+            .map_err(|e| invalid(format!("belief restore: {e}")));
+    }
+    match get_str(t, "repr")? {
+        "sparse" => {
+            let num_facts = get_usize(t, "num_facts")?;
+            let patterns = get_arr(t, "patterns")?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| bad("patterns"))
+                })
+                .collect::<Result<Vec<u64>>>()?;
+            let probs = get_arr(t, "probs")?
+                .iter()
+                .map(|p| p.as_f64().ok_or_else(|| bad("probs")))
+                .collect::<Result<Vec<f64>>>()?;
+            let bound = get_f64(t, "bound")?;
+            Belief::sparse_from_checkpoint(num_facts, patterns, probs, bound)
+                .map_err(|e| invalid(format!("belief restore: {e}")))
+        }
+        "factored" => {
+            let blocks = get_arr(t, "blocks")?
+                .iter()
+                .map(|b| belief_from_json(b, "blocks"))
+                .collect::<Result<Vec<Belief>>>()?;
+            Belief::factored_from_checkpoint(blocks)
+                .map_err(|e| invalid(format!("belief restore: {e}")))
+        }
+        other => Err(invalid(format!("unknown belief repr `{other}`"))),
+    }
 }
 
 fn beliefs_from_json(v: &Json, key: &str) -> Result<MultiBelief> {
     let tasks = get_arr(v, key)?
         .iter()
-        .map(|t| {
-            let probs = t
-                .as_arr()
-                .ok_or_else(|| bad(key))?
-                .iter()
-                .map(|p| p.as_f64().ok_or_else(|| bad(key)))
-                .collect::<Result<Vec<f64>>>()?;
-            Belief::from_checkpoint_probs(probs)
-                .map_err(|e| invalid(format!("belief restore: {e}")))
-        })
+        .map(|t| belief_from_json(t, key))
         .collect::<Result<Vec<Belief>>>()?;
     Ok(MultiBelief::new(tasks))
 }
@@ -1587,6 +1654,8 @@ impl<'a> HcSession<'a> {
                     k: self.state.config.k,
                     entropy: self.state.beliefs.entropy(),
                     quality: self.state.beliefs.quality(),
+                    belief_repr: BeliefReprSummary::parse(self.state.beliefs.repr_summary())
+                        .unwrap_or_default(),
                 });
             }
             self.state.started = true;
@@ -2025,6 +2094,7 @@ pub fn resume_state_from_trace(
                 k,
                 entropy,
                 quality: _,
+                belief_repr,
             } => {
                 if started {
                     return Err(invalid("trace contains a second RunStarted".into()));
@@ -2037,6 +2107,14 @@ pub fn resume_state_from_trace(
                 {
                     return Err(invalid(
                         "RunStarted does not match the supplied run inputs".into(),
+                    ));
+                }
+                if *belief_repr
+                    != BeliefReprSummary::parse(beliefs.repr_summary()).unwrap_or_default()
+                {
+                    return Err(invalid(
+                        "RunStarted belief representation does not match the supplied beliefs"
+                            .into(),
                     ));
                 }
                 if entropy.to_bits() != beliefs.entropy().to_bits() {

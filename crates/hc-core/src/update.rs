@@ -12,11 +12,14 @@
 //! instead of `O(2^n · k·m)`.
 
 use crate::answer::{
-    answer_set_likelihood, answer_set_log_likelihood, partial_answer_set_likelihood,
-    partial_answer_set_log_likelihood, AnswerFamily, AnswerSet, PartialAnswerFamily, QuerySet,
+    answer_set_likelihood, answer_set_log_likelihood, answer_set_query_factors,
+    family_query_factors, partial_answer_set_likelihood, partial_answer_set_log_likelihood,
+    partial_family_query_factors, AnswerFamily, AnswerSet, PartialAnswerFamily, QuerySet,
 };
-use crate::belief::Belief;
+use crate::belief::{Belief, BeliefRepr, SparseBelief, PROB_FLOOR};
 use crate::error::{HcError, Result};
+use crate::fact::FactId;
+use crate::observation::project_pattern;
 use crate::worker::ExpertPanel;
 
 /// Numerical health report from one Bayes update — the raw material of
@@ -105,11 +108,17 @@ pub fn update_with_answer_set(
     for t in 0..cells as u32 {
         multiplier.push(answer_set_likelihood(accuracy, set, t));
     }
-    apply_multiplier(belief, queries, &multiplier, || {
-        (0..cells as u32)
-            .map(|t| answer_set_log_likelihood(accuracy, set, t))
-            .collect()
-    })
+    apply_multiplier(
+        belief,
+        queries,
+        &multiplier,
+        || {
+            (0..cells as u32)
+                .map(|t| answer_set_log_likelihood(accuracy, set, t))
+                .collect()
+        },
+        || answer_set_query_factors(accuracy, set),
+    )
 }
 
 /// Updates `belief` in place with a whole answer family from the expert
@@ -147,16 +156,22 @@ pub fn update_with_family(
             *m *= answer_set_likelihood(acc, set, t as u32);
         }
     }
-    apply_multiplier(belief, queries, &multiplier, || {
-        let mut log_mult = vec![0.0; cells];
-        for (worker, &set) in panel.workers().iter().zip(family.sets()) {
-            let acc = worker.accuracy.rate();
-            for (t, l) in log_mult.iter_mut().enumerate() {
-                *l += answer_set_log_likelihood(acc, set, t as u32);
+    apply_multiplier(
+        belief,
+        queries,
+        &multiplier,
+        || {
+            let mut log_mult = vec![0.0; cells];
+            for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+                let acc = worker.accuracy.rate();
+                for (t, l) in log_mult.iter_mut().enumerate() {
+                    *l += answer_set_log_likelihood(acc, set, t as u32);
+                }
             }
-        }
-        log_mult
-    })
+            log_mult
+        },
+        || family_query_factors(panel, family),
+    )
 }
 
 /// Updates `belief` in place with a *partial* answer family — the
@@ -210,19 +225,25 @@ pub fn update_with_partial_family(
             *m *= partial_answer_set_likelihood(acc, set, t as u32);
         }
     }
-    apply_multiplier(belief, queries, &multiplier, || {
-        let mut log_mult = vec![0.0; cells];
-        for (worker, &set) in panel.workers().iter().zip(family.sets()) {
-            if set.answered_count() == 0 {
-                continue;
+    apply_multiplier(
+        belief,
+        queries,
+        &multiplier,
+        || {
+            let mut log_mult = vec![0.0; cells];
+            for (worker, &set) in panel.workers().iter().zip(family.sets()) {
+                if set.answered_count() == 0 {
+                    continue;
+                }
+                let acc = worker.accuracy.rate();
+                for (t, l) in log_mult.iter_mut().enumerate() {
+                    *l += partial_answer_set_log_likelihood(acc, set, t as u32);
+                }
             }
-            let acc = worker.accuracy.rate();
-            for (t, l) in log_mult.iter_mut().enumerate() {
-                *l += partial_answer_set_log_likelihood(acc, set, t as u32);
-            }
-        }
-        log_mult
-    })
+            log_mult
+        },
+        || partial_family_query_factors(panel, family),
+    )
 }
 
 /// Multiplies each observation's probability by `multiplier[o|T]` and
@@ -258,9 +279,40 @@ fn apply_multiplier(
     queries: &QuerySet,
     multiplier: &[f64],
     log_multiplier: impl FnOnce() -> Vec<f64>,
+    query_factors: impl FnOnce() -> Vec<[f64; 2]>,
+) -> Result<UpdateHealth> {
+    let facts = queries.facts();
+    if facts.is_empty() {
+        // Total evidence mass under the *projected* belief (one cell when
+        // the query set is empty).
+        let q = belief.project(facts);
+        let mass: f64 = q.iter().zip(multiplier).map(|(&a, &b)| a * b).sum();
+        if !(mass > 0.0) {
+            // NaN-safe: NaN fails the comparison too.
+            return Err(HcError::InvalidProbability(mass));
+        }
+        // No queries: posterior equals prior, bit for bit. The report is
+        // the merge identity so an all-empty round aggregates to "no
+        // renormalisation happened".
+        return Ok(UpdateHealth::identity());
+    }
+    match belief.repr() {
+        BeliefRepr::Dense(_) => apply_multiplier_dense(belief, facts, multiplier, log_multiplier),
+        BeliefRepr::Sparse(_) => apply_multiplier_sparse(belief, facts, multiplier, log_multiplier),
+        BeliefRepr::Factored(_) => apply_multiplier_factored(belief, facts, query_factors()),
+    }
+}
+
+/// The dense kernel — the historical bit-exact multiply-then-renormalise
+/// path, and the differential oracle the sparse and factored kernels are
+/// locked against.
+fn apply_multiplier_dense(
+    belief: &mut Belief,
+    facts: &[FactId],
+    multiplier: &[f64],
+    log_multiplier: impl FnOnce() -> Vec<f64>,
 ) -> Result<UpdateHealth> {
     use crate::parallel;
-    let facts = queries.facts();
     // Total evidence mass under the *projected* belief. A non-positive
     // value is either genuinely impossible evidence (perfect experts
     // contradicting a zero-prior observation) or a linear underflow — the
@@ -269,15 +321,6 @@ fn apply_multiplier(
     let q = belief.project(facts);
     let mass: f64 = q.iter().zip(multiplier).map(|(&a, &b)| a * b).sum();
     let linear_mass_ok = mass > 0.0; // NaN-safe: NaN fails this too.
-    if facts.is_empty() {
-        if !linear_mass_ok {
-            return Err(HcError::InvalidProbability(mass));
-        }
-        // No queries: posterior equals prior, bit for bit. The report is
-        // the merge identity so an all-empty round aggregates to "no
-        // renormalisation happened".
-        return Ok(UpdateHealth::identity());
-    }
     let single_bit = (facts.len() == 1).then(|| 1usize << facts[0].0);
     let mult_of = |o: usize| -> f64 {
         match single_bit {
@@ -433,6 +476,325 @@ fn apply_multiplier(
         clamp_count,
         rescued: true,
     })
+}
+
+/// Drops support cells whose posterior fell below [`PROB_FLOOR`],
+/// returning the kept support, the dropped (post-normalisation) mass
+/// `δ`, and how many cells were pruned. Serial in pattern order, so the
+/// dropped mass is deterministic at any thread count.
+fn prune_support(patterns: &[u64], probs: &[f64]) -> (Vec<u64>, Vec<f64>, f64, usize) {
+    let mut kept_patterns = Vec::with_capacity(patterns.len());
+    let mut kept_probs = Vec::with_capacity(probs.len());
+    let mut dropped_mass = 0.0;
+    let mut dropped = 0usize;
+    for (&pat, &p) in patterns.iter().zip(probs) {
+        if p < PROB_FLOOR {
+            dropped_mass += p;
+            dropped += 1;
+        } else {
+            kept_patterns.push(pat);
+            kept_probs.push(p);
+        }
+    }
+    (kept_patterns, kept_probs, dropped_mass, dropped)
+}
+
+/// The sparse kernel: the dense passes transplanted onto the support
+/// vectors (same chunk boundaries, same merge order — a sparse belief
+/// whose support is the complete untouched `2^n` layout produces
+/// bit-identical posteriors), followed by a prune of sub-floor cells.
+///
+/// The certified truncation bound is advanced per update as
+/// `L ← min(1, 2·L·(M/Z) + δ)` where `M = sup_t m(t)` over the
+/// multiplier table (≤ 1: likelihoods are probabilities), `Z` the
+/// pre-normalisation evidence mass over the kept support, and `δ` the
+/// pruned post-normalisation mass. The first term bounds how
+/// renormalising over a truncated support amplifies the error already
+/// present; the second is the exact TV cost of this round's prune.
+/// When nothing is pruned the posterior write is the only mutation, so
+/// the untruncated path stays bit-exact against dense.
+///
+/// All work happens on cloned support vectors committed at the end, so
+/// the belief is unmodified on any error — the same atomicity contract
+/// as the dense kernel.
+fn apply_multiplier_sparse(
+    belief: &mut Belief,
+    facts: &[FactId],
+    multiplier: &[f64],
+    log_multiplier: impl FnOnce() -> Vec<f64>,
+) -> Result<UpdateHealth> {
+    use crate::parallel;
+    let q = belief.project(facts);
+    let mass: f64 = q.iter().zip(multiplier).map(|(&a, &b)| a * b).sum();
+    let linear_mass_ok = mass > 0.0; // NaN-safe.
+    let single_bit = (facts.len() == 1).then(|| 1u64 << facts[0].0);
+    let BeliefRepr::Sparse(sparse) = belief.repr() else {
+        unreachable!("apply_multiplier_sparse on a non-sparse belief")
+    };
+    let patterns = sparse.patterns().to_vec();
+    let mut probs = sparse.probs().to_vec();
+    let old_bound = sparse.truncation_bound();
+    let n = probs.len();
+    hc_telemetry::timing::add(hc_telemetry::timing::Counter::PatternsTouched, n as u64);
+    let mult_of = |pat: u64| -> f64 {
+        match single_bit {
+            Some(bit) => multiplier[usize::from(pat & bit != 0)],
+            None => multiplier[project_pattern(pat, facts) as usize],
+        }
+    };
+
+    // Commits the pruned posterior, re-certifying the truncation bound.
+    // `mult_ratio` is M/Z for this round's effective multiplier.
+    let mut commit = |kept_patterns: Vec<u64>,
+                      mut kept_probs: Vec<f64>,
+                      delta: f64,
+                      pruned: usize,
+                      mult_ratio: f64,
+                      mut health: UpdateHealth|
+     -> Result<UpdateHealth> {
+        if kept_probs.is_empty() {
+            return Err(HcError::BeliefCollapsed { mass: 0.0 });
+        }
+        if pruned > 0 {
+            let kept_sum = parallel::sum_chunks(kept_probs.len(), parallel::CHUNK, |r| {
+                kept_probs[r].iter().sum::<f64>()
+            });
+            let inv = 1.0 / kept_sum;
+            if kept_sum <= 0.0 || !inv.is_finite() {
+                return Err(HcError::BeliefCollapsed { mass: kept_sum });
+            }
+            parallel::fill_slice(&mut kept_probs, parallel::CHUNK, |_, slice| {
+                for p in slice {
+                    *p *= inv;
+                }
+            });
+            // Truncated mass is part of the evidence accounting: the
+            // kept evidence is `Z · kept_sum` of the exact evidence.
+            health.log_evidence += kept_sum.ln();
+            health.clamp_count += pruned;
+        }
+        let truncation_bound = (2.0 * old_bound * mult_ratio + delta).min(1.0);
+        *belief.repr_mut() = BeliefRepr::Sparse(SparseBelief {
+            patterns: kept_patterns,
+            probs: kept_probs,
+            truncation_bound,
+        });
+        Ok(health)
+    };
+
+    if linear_mass_ok {
+        let parts = parallel::map_chunks(n, parallel::CHUNK, |r| {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            for o in r {
+                let scaled = probs[o] * mult_of(patterns[o]);
+                sum += scaled;
+                if scaled < min {
+                    min = scaled;
+                }
+            }
+            (sum, min)
+        });
+        let mut sum = 0.0;
+        let mut min_scaled = f64::INFINITY;
+        for &(s, m) in &parts {
+            sum += s;
+            if m < min_scaled {
+                min_scaled = m;
+            }
+        }
+        let inv = 1.0 / sum;
+        if sum > 0.0 && inv.is_finite() {
+            parallel::fill_slice(&mut probs, parallel::CHUNK, |offset, slice| {
+                for (j, p) in slice.iter_mut().enumerate() {
+                    *p = (*p * mult_of(patterns[offset + j])) * inv;
+                }
+            });
+            let (kept_patterns, kept_probs, delta, pruned) = prune_support(&patterns, &probs);
+            let max_mult = multiplier.iter().fold(0.0f64, |a, &m| a.max(m));
+            return commit(
+                kept_patterns,
+                kept_probs,
+                delta,
+                pruned,
+                max_mult / sum,
+                UpdateHealth {
+                    min_mass: min_scaled * inv,
+                    renorm_scale: sum,
+                    log_evidence: sum.ln(),
+                    clamp_count: 0,
+                    rescued: false,
+                },
+            );
+        }
+    }
+
+    // Rescue: mirror of the dense log-domain path over the support.
+    let log_mult = log_multiplier();
+    debug_assert_eq!(log_mult.len(), multiplier.len());
+    let mut lmax = f64::NEG_INFINITY;
+    for (&qt, &l) in q.iter().zip(&log_mult) {
+        if qt > 0.0 && l > lmax {
+            lmax = l;
+        }
+    }
+    if !lmax.is_finite() {
+        return Err(HcError::InvalidProbability(mass));
+    }
+    let rescued_mult: Vec<f64> = log_mult
+        .iter()
+        .zip(&q)
+        .map(|(&l, &qt)| if qt > 0.0 { (l - lmax).exp() } else { 0.0 })
+        .collect();
+    let flushed: Vec<bool> = log_mult
+        .iter()
+        .zip(&rescued_mult)
+        .map(|(&l, &m)| l.is_finite() && m == 0.0)
+        .collect();
+    let rescued_of = |pat: u64| -> (f64, bool) {
+        let t = match single_bit {
+            Some(bit) => usize::from(pat & bit != 0),
+            None => project_pattern(pat, facts) as usize,
+        };
+        (rescued_mult[t], flushed[t])
+    };
+    let parts = parallel::map_chunks(n, parallel::CHUNK, |r| {
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut clamps = 0usize;
+        for o in r {
+            let p = probs[o];
+            let (m, pattern_flushed) = rescued_of(patterns[o]);
+            let scaled = p * m;
+            if p > 0.0 && (pattern_flushed || (m > 0.0 && scaled == 0.0)) {
+                clamps += 1;
+            }
+            sum += scaled;
+            if scaled < min {
+                min = scaled;
+            }
+        }
+        (sum, min, clamps)
+    });
+    let mut rsum = 0.0;
+    let mut rmin = f64::INFINITY;
+    let mut clamp_count = 0usize;
+    for &(s, m, c) in &parts {
+        rsum += s;
+        if m < rmin {
+            rmin = m;
+        }
+        clamp_count += c;
+    }
+    if rsum <= 0.0 || !rsum.is_finite() {
+        return Err(HcError::BeliefCollapsed { mass: rsum });
+    }
+    parallel::fill_slice(&mut probs, parallel::CHUNK, |offset, slice| {
+        for (j, p) in slice.iter_mut().enumerate() {
+            *p = (*p * rescued_of(patterns[offset + j]).0) / rsum;
+        }
+    });
+    let (kept_patterns, kept_probs, delta, pruned) = prune_support(&patterns, &probs);
+    // In the shifted log domain the effective multiplier is
+    // `exp(l − lmax)`, whose supremum over *all* patterns (the exact
+    // posterior may live outside the kept support) is
+    // `exp(max_finite_l − lmax)`.
+    let l_global_max = log_mult
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &l| if l.is_finite() { a.max(l) } else { a });
+    let max_mult = (l_global_max - lmax).exp();
+    commit(
+        kept_patterns,
+        kept_probs,
+        delta,
+        pruned,
+        max_mult / rsum,
+        UpdateHealth {
+            min_mass: rmin / rsum,
+            renorm_scale: rsum,
+            log_evidence: lmax + rsum.ln(),
+            clamp_count,
+            rescued: true,
+        },
+    )
+}
+
+/// The factored kernel: because workers answer each query independently
+/// given the ground truth, the joint multiplier factorises per query
+/// (`m(t) = Π_j factor_j(t_j)` — see
+/// [`crate::answer::answer_set_query_factors`]), so each block can be
+/// updated with only its own queries' factors through the dense kernel.
+/// Exact when the blocks are independent: the per-block evidences
+/// multiply to the joint evidence, which is why summing the per-block
+/// `log_evidence` via [`UpdateHealth::merge`] is the correct total.
+///
+/// Block updates run on clones and commit only when every touched block
+/// succeeds, preserving the kernels' belief-unmodified-on-error
+/// contract. Blocks with no queried fact are left bit-identical.
+fn apply_multiplier_factored(
+    belief: &mut Belief,
+    facts: &[FactId],
+    factors: Vec<[f64; 2]>,
+) -> Result<UpdateHealth> {
+    debug_assert_eq!(factors.len(), facts.len());
+    let BeliefRepr::Factored(f) = belief.repr() else {
+        unreachable!("apply_multiplier_factored on a non-factored belief")
+    };
+    let mut health = UpdateHealth::identity();
+    let mut updated: Vec<(usize, Belief)> = Vec::new();
+    let mut offset = 0usize;
+    for (i, block) in f.blocks().iter().enumerate() {
+        let nb = block.num_facts();
+        // This block's slice of the query set, in query order, with
+        // facts translated to block-local ids.
+        let local: Vec<(FactId, [f64; 2])> = facts
+            .iter()
+            .zip(&factors)
+            .filter(|(fct, _)| {
+                let g = fct.0 as usize;
+                g >= offset && g < offset + nb
+            })
+            .map(|(fct, &fac)| (FactId((fct.0 as usize - offset) as u32), fac))
+            .collect();
+        offset += nb;
+        if local.is_empty() {
+            continue;
+        }
+        let k = local.len();
+        let mut local_mult = Vec::with_capacity(1 << k);
+        for t in 0..1u32 << k {
+            let mut m = 1.0;
+            for (j, &(_, fac)) in local.iter().enumerate() {
+                m *= fac[((t >> j) & 1) as usize];
+            }
+            local_mult.push(m);
+        }
+        let local_facts: Vec<FactId> = local.iter().map(|&(lf, _)| lf).collect();
+        let mut block_post = block.clone();
+        let block_health = apply_multiplier_dense(&mut block_post, &local_facts, &local_mult, || {
+            (0..1u32 << k)
+                .map(|t| {
+                    let mut l = 0.0;
+                    for (j, &(_, fac)) in local.iter().enumerate() {
+                        let fval = fac[((t >> j) & 1) as usize];
+                        if fval != 1.0 {
+                            l += fval.ln();
+                        }
+                    }
+                    l
+                })
+                .collect()
+        })?;
+        health.merge(&block_health);
+        updated.push((i, block_post));
+    }
+    let BeliefRepr::Factored(f) = belief.repr_mut() else {
+        unreachable!()
+    };
+    for (i, post) in updated {
+        f.blocks[i] = post;
+    }
+    Ok(health)
 }
 
 /// The posterior belief given an answer family, without mutating the
@@ -794,6 +1156,174 @@ mod tests {
             update_with_partial_family(&mut b, &queries, &panel, &wrong_len),
             Err(HcError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn sparse_untruncated_update_is_bit_exact_vs_dense() {
+        // A full-support sparse belief runs the same values through the
+        // same chunk boundaries as dense, so the posterior (and the
+        // health report) must match bit for bit.
+        let queries = QuerySet::new(vec![FactId(0), FactId(2)], 3).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.75]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::No]),
+            AnswerSet::new(&[Answer::No, Answer::Yes]),
+        ]);
+        let mut dense = table_i_belief();
+        let mut sparse = dense.to_sparse(usize::MAX).unwrap();
+        let hd = update_with_family(&mut dense, &queries, &panel, &family).unwrap();
+        let hs = update_with_family(&mut sparse, &queries, &panel, &family).unwrap();
+        assert_eq!(hd, hs, "health reports must be identical");
+        assert_eq!(sparse.truncation_bound(), 0.0, "nothing was truncated");
+        assert_eq!(sparse.support_len(), 8, "support layout untouched");
+        for o in 0..8u64 {
+            assert_eq!(
+                dense.prob_pattern(o).to_bits(),
+                sparse.prob_pattern(o).to_bits(),
+                "cell {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_pruning_certifies_the_truncation_bound() {
+        // Hammer a 6-fact group with consistent high-accuracy answers:
+        // the posterior concentrates, tail cells fall below PROB_FLOOR,
+        // and the sparse path prunes them. The realized dense-vs-sparse
+        // TV distance must stay within the certified bound.
+        let marginals = [0.6, 0.4, 0.55, 0.45, 0.5, 0.52];
+        let mut dense = Belief::from_marginals(&marginals).unwrap();
+        let mut sparse = dense.to_sparse(usize::MAX).unwrap();
+        let queries = QuerySet::new((0..6).map(FactId).collect(), 6).unwrap();
+        let set = AnswerSet::new(&[Answer::Yes; 6]);
+        let mut pruned_ever = false;
+        for _ in 0..12 {
+            update_with_answer_set(&mut dense, &queries, 0.95, set).unwrap();
+            let h = update_with_answer_set(&mut sparse, &queries, 0.95, set).unwrap();
+            pruned_ever |= h.clamp_count > 0;
+            let bound = sparse.truncation_bound();
+            let tv = dense.total_variation(&sparse.to_dense().unwrap()).unwrap();
+            assert!(
+                tv <= bound + 1e-9,
+                "realized TV {tv} exceeds certified bound {bound}"
+            );
+        }
+        assert!(pruned_ever, "the scenario must actually exercise pruning");
+        assert!(sparse.support_len() < 64, "tail cells must be gone");
+        assert!(sparse.truncation_bound() > 0.0);
+        // Both engines agree on the conclusion.
+        assert_eq!(dense.map_labels(), sparse.map_labels());
+    }
+
+    #[test]
+    fn factored_update_matches_dense_oracle() {
+        // Independent blocks [2, 3] facts; queries span both blocks. The
+        // factored posterior must agree with the dense oracle (same
+        // update applied to the expanded joint) up to fp rounding, and
+        // the merged log evidence must match the joint evidence.
+        let b0 = Belief::from_marginals(&[0.6, 0.35]).unwrap();
+        let b1 = Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap();
+        let mut factored = Belief::factored(vec![b0, b1]).unwrap();
+        let mut dense = factored.to_dense().unwrap();
+        let queries = QuerySet::new(vec![FactId(1), FactId(3), FactId(0)], 5).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.7]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::Yes, Answer::No, Answer::Yes]),
+            AnswerSet::new(&[Answer::No, Answer::No, Answer::Yes]),
+        ]);
+        let hd = update_with_family(&mut dense, &queries, &panel, &family).unwrap();
+        let hf = update_with_family(&mut factored, &queries, &panel, &family).unwrap();
+        assert!(factored.is_factored(), "representation preserved");
+        for o in 0..32u64 {
+            let a = dense.prob_pattern(o);
+            let b = factored.prob_pattern(o);
+            assert!((a - b).abs() < 1e-12, "cell {o}: {a} vs {b}");
+        }
+        assert!(
+            (hd.log_evidence - hf.log_evidence).abs() < 1e-12,
+            "block evidences must multiply to the joint evidence: {} vs {}",
+            hd.log_evidence,
+            hf.log_evidence
+        );
+        // The block that owns no queried fact stays bit-identical.
+        let before = Belief::factored(vec![
+            Belief::from_marginals(&[0.6, 0.35]).unwrap(),
+            Belief::from_probs(vec![0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]).unwrap(),
+        ])
+        .unwrap();
+        let queries_b0 = QuerySet::new(vec![FactId(0)], 5).unwrap();
+        let mut touched = before.clone();
+        update_with_answer_set(&mut touched, &queries_b0, 0.8, AnswerSet::new(&[Answer::Yes]))
+            .unwrap();
+        let crate::belief::BeliefRepr::Factored(fa) = touched.repr() else {
+            unreachable!()
+        };
+        let crate::belief::BeliefRepr::Factored(fb) = before.repr() else {
+            unreachable!()
+        };
+        assert_eq!(fa.blocks()[1], fb.blocks()[1], "unqueried block untouched");
+        assert_ne!(fa.blocks()[0], fb.blocks()[0], "queried block updated");
+    }
+
+    #[test]
+    fn factored_partial_family_matches_dense_oracle() {
+        use crate::answer::{AnswerOutcome, PartialAnswerFamily, PartialAnswerSet};
+        let b0 = Belief::from_marginals(&[0.7, 0.4]).unwrap();
+        let b1 = Belief::from_marginals(&[0.3, 0.8]).unwrap();
+        let mut factored = Belief::factored(vec![b0, b1]).unwrap();
+        let mut dense = factored.to_dense().unwrap();
+        let queries = QuerySet::new(vec![FactId(0), FactId(3)], 4).unwrap();
+        let panel = ExpertPanel::from_accuracies(&[0.85, 0.9]).unwrap();
+        let family = PartialAnswerFamily::new(vec![
+            PartialAnswerSet::new(&[
+                AnswerOutcome::Answered(Answer::Yes),
+                AnswerOutcome::Dropped,
+            ]),
+            PartialAnswerSet::absent(2),
+        ]);
+        update_with_partial_family(&mut dense, &queries, &panel, &family).unwrap();
+        update_with_partial_family(&mut factored, &queries, &panel, &family).unwrap();
+        for o in 0..16u64 {
+            assert!((dense.prob_pattern(o) - factored.prob_pattern(o)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_impossible_evidence_is_rejected_without_mutation() {
+        // The sparse kernel must honour the same atomicity contract as
+        // dense: on error the belief (including its bound) is untouched.
+        let dense = Belief::from_probs(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        let mut sparse = dense.to_sparse(usize::MAX).unwrap();
+        let before = sparse.clone();
+        let queries = QuerySet::new(vec![FactId(0)], 2).unwrap();
+        let err = update_with_answer_set(&mut sparse, &queries, 1.0, AnswerSet::new(&[Answer::No]));
+        assert!(matches!(err, Err(HcError::InvalidProbability(_))));
+        assert_eq!(sparse, before);
+    }
+
+    #[test]
+    fn sparse_underflow_rescue_matches_dense() {
+        // The log-domain rescue transplanted to the support vectors:
+        // same scenario as the dense rescue test, full-support sparse.
+        let dense_prior = Belief::from_probs(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        let mut dense = dense_prior.clone();
+        let mut sparse = dense_prior.to_sparse(usize::MAX).unwrap();
+        let queries = QuerySet::new(vec![FactId(0), FactId(1)], 2).unwrap();
+        let acc = 1.0 - 1e-12;
+        let panel = ExpertPanel::from_accuracies(&vec![acc; 15]).unwrap();
+        let family = AnswerFamily::new(vec![
+            AnswerSet::new(&[Answer::No, Answer::Yes]);
+            15
+        ]);
+        let hd = update_with_family(&mut dense, &queries, &panel, &family).unwrap();
+        let hs = update_with_family(&mut sparse, &queries, &panel, &family).unwrap();
+        assert!(hs.rescued);
+        assert_eq!(hd.log_evidence.to_bits(), hs.log_evidence.to_bits());
+        assert!((sparse.prob_pattern(0b01) - 1.0).abs() < 1e-12);
+        // The rescue flushes the zero-prior cells to zero, which the
+        // sparse path then prunes — posterior values still agree.
+        let tv = dense.total_variation(&sparse.to_dense().unwrap()).unwrap();
+        assert!(tv <= sparse.truncation_bound() + 1e-12, "tv {tv}");
     }
 
     #[test]

@@ -31,9 +31,9 @@ impl TaskGrouping {
         if group_size == 0 {
             return Err(DataError::InvalidConfig("group_size must be >= 1".into()));
         }
-        if group_size > hc_core::belief::MAX_FACTS {
+        if group_size > hc_core::belief::SPARSE_MAX_FACTS {
             return Err(DataError::InvalidConfig(format!(
-                "group_size {group_size} exceeds the dense belief limit"
+                "group_size {group_size} exceeds the sparse belief limit"
             )));
         }
         Ok(TaskGrouping {

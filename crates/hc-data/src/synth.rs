@@ -187,9 +187,9 @@ impl SynthConfig {
                 "need at least one task and one fact per task".into(),
             ));
         }
-        if self.facts_per_task > hc_core::belief::MAX_FACTS {
+        if self.facts_per_task > hc_core::belief::SPARSE_MAX_FACTS {
             return Err(DataError::InvalidConfig(format!(
-                "facts_per_task {} exceeds the dense belief limit",
+                "facts_per_task {} exceeds the sparse belief limit",
                 self.facts_per_task
             )));
         }

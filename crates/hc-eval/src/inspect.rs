@@ -92,8 +92,13 @@ fn render_report(
         Some(s) => {
             let _ = writeln!(
                 out,
-                "tasks {} | facts {} | panel {} | budget {} | k {}",
-                s.tasks, s.facts, s.panel, s.budget, s.k
+                "tasks {} | facts {} | panel {} | budget {} | k {} | belief {}",
+                s.tasks,
+                s.facts,
+                s.panel,
+                s.budget,
+                s.k,
+                s.belief_repr.name()
             );
             let _ = writeln!(
                 out,
@@ -345,6 +350,7 @@ impl Inspection {
                 ("k", Json::Num(s.k as f64)),
                 ("entropy", Json::Num(s.entropy)),
                 ("quality", Json::Num(s.quality)),
+                ("belief_repr", Json::Str(s.belief_repr.name().to_string())),
             ])
         });
         let end = self.replay.end.map_or(Json::Null, |e| {
@@ -612,6 +618,7 @@ mod tests {
                 k: 1,
                 entropy: 2.0,
                 quality: -2.0,
+                belief_repr: Default::default(),
             },
             TelemetryEvent::RoundSelected {
                 round: 1,
@@ -879,7 +886,7 @@ mod tests {
         );
         assert_eq!(
             keys(parsed.get("shape").unwrap()),
-            ["budget", "entropy", "facts", "k", "panel", "quality", "tasks"]
+            ["belief_repr", "budget", "entropy", "facts", "k", "panel", "quality", "tasks"]
         );
         assert_eq!(
             keys(parsed.get("end").unwrap()),

@@ -127,8 +127,10 @@ pub fn prepare(
             MultiBelief::new(beliefs)
         }
         InitMethod::Uniform => {
+            // `init_uniform` (not `Belief::uniform`) so groups past the
+            // dense cap auto-select the sparse representation.
             let beliefs = (0..grouping.n_tasks())
-                .map(|t| Belief::uniform(grouping.task_len(t)))
+                .map(|t| init::init_uniform(grouping.task_len(t)))
                 .collect::<hc_core::Result<Vec<Belief>>>()?;
             MultiBelief::new(beliefs)
         }
@@ -142,7 +144,7 @@ pub fn prepare(
             let beliefs = (0..grouping.n_tasks())
                 .map(|t| {
                     let range = grouping.task_items(t);
-                    Belief::from_marginals(&marginals[range])
+                    init::init_from_marginals(&marginals[range])
                 })
                 .collect::<hc_core::Result<Vec<Belief>>>()?;
             MultiBelief::new(beliefs)

@@ -978,6 +978,7 @@ mod tests {
                 k: 2,
                 entropy: 1.4,
                 quality: -1.4,
+                belief_repr: Default::default(),
             },
             E::RoundSelected {
                 round: 1,
@@ -1389,6 +1390,7 @@ mod tests {
             k: 1,
             entropy: 2.0,
             quality: -2.0,
+            belief_repr: Default::default(),
         }];
         let mut qid = 0u64;
         let mut entropy = 2.0;
@@ -1524,6 +1526,7 @@ mod tests {
             k: 4,
             entropy: 2.0,
             quality: -2.0,
+            belief_repr: Default::default(),
         }
     }
 

@@ -531,6 +531,7 @@ mod tests {
             k: 1,
             entropy: 1.0,
             quality: -1.0,
+            belief_repr: Default::default(),
         }];
         let mut qid = 0u64;
         for round in 1..=rounds {
@@ -726,7 +727,7 @@ mod tests {
     fn old_traces_without_worker_events_fold_to_an_empty_ledger() {
         // A PR-2-era trace slice: no Answer*/latency events at all.
         let events = vec![
-            E::RunStarted { tasks: 1, facts: 1, panel: 1, budget: 1, k: 1, entropy: 1.0, quality: -1.0 },
+            E::RunStarted { tasks: 1, facts: 1, panel: 1, budget: 1, k: 1, entropy: 1.0, quality: -1.0, belief_repr: Default::default() },
             E::RunFinished { rounds: 0, budget_spent: 0, entropy: 1.0, quality: -1.0, reason: StopReason::MaxRounds },
         ];
         let ledger = CrowdLedger::from_events(&events);

@@ -149,6 +149,50 @@ pub struct PhaseProfile {
     pub p99_nanos: f64,
 }
 
+/// Which belief representation a run's posterior state uses, as
+/// summarised over all task beliefs at run start.
+///
+/// Telemetry-side mirror of the `hc-core` representation enum so trace
+/// consumers can tell a dense-oracle run from a sparse/factored one
+/// without depending on the core crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BeliefReprSummary {
+    /// Every task belief is the dense `2^n` vector (the only
+    /// representation before sparse/factored existed, hence the decode
+    /// default for old traces).
+    #[default]
+    Dense,
+    /// Every task belief is a sparse support-set belief.
+    Sparse,
+    /// Every task belief is a factored (block-product) belief.
+    Factored,
+    /// Task beliefs use different representations.
+    Mixed,
+}
+
+impl BeliefReprSummary {
+    /// The stable snake_case name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            BeliefReprSummary::Dense => "dense",
+            BeliefReprSummary::Sparse => "sparse",
+            BeliefReprSummary::Factored => "factored",
+            BeliefReprSummary::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a wire name back into the summary, `None` when unknown.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "dense" => Some(BeliefReprSummary::Dense),
+            "sparse" => Some(BeliefReprSummary::Sparse),
+            "factored" => Some(BeliefReprSummary::Factored),
+            "mixed" => Some(BeliefReprSummary::Mixed),
+            _ => None,
+        }
+    }
+}
+
 /// One structured event in an HC run's telemetry stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
@@ -168,6 +212,8 @@ pub enum TelemetryEvent {
         entropy: f64,
         /// Dataset quality `-Σ_t H(O_t)` before any checking.
         quality: f64,
+        /// Belief representation summary across tasks.
+        belief_repr: BeliefReprSummary,
     },
     /// The selector chose this round's query set.
     RoundSelected {
@@ -562,6 +608,7 @@ impl TelemetryEvent {
                 k,
                 entropy,
                 quality,
+                belief_repr,
             } => {
                 let _ = write!(
                     s,
@@ -569,6 +616,7 @@ impl TelemetryEvent {
                 );
                 push_f64(&mut s, "entropy", *entropy);
                 push_f64(&mut s, "quality", *quality);
+                let _ = write!(s, ",\"belief_repr\":\"{}\"", belief_repr.name());
             }
             TelemetryEvent::RoundSelected {
                 round,
@@ -868,6 +916,15 @@ impl TelemetryEvent {
                 k: us("k")?,
                 entropy: f("entropy")?,
                 quality: f("quality")?,
+                // Absent in traces recorded before sparse/factored
+                // beliefs existed — those runs were all dense.
+                belief_repr: match v.get("belief_repr") {
+                    None => BeliefReprSummary::Dense,
+                    Some(x) => x
+                        .as_str()
+                        .and_then(BeliefReprSummary::parse)
+                        .ok_or_else(|| bad("belief_repr"))?,
+                },
             }),
             "round_selected" => {
                 let queries = v
@@ -1111,6 +1168,7 @@ pub(crate) mod tests {
                 k: 1,
                 entropy: 3.25,
                 quality: -3.25,
+                belief_repr: BeliefReprSummary::Dense,
             },
             TelemetryEvent::RoundSelected {
                 round: 1,

@@ -87,7 +87,7 @@ pub use crowd::{
     WorkerLedger,
 };
 pub use compare::{compare_str, CompareReport, CounterDelta, MetricDelta, TrajectoryDiff};
-pub use event::{FaultKind, PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
+pub use event::{BeliefReprSummary, FaultKind, PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use replay::{ReplayedRun, RoundHealth, RoundState, RunEnd, RunProfile, RunShape, SkippedLine};
 pub use sink::{FileSink, NullSink, RecordingSink, SharedRecorder, TelemetrySink};

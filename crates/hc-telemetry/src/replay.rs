@@ -14,7 +14,7 @@
 //! trace unreadable. Strict validation is the [`crate::audit`]
 //! module's job.
 
-use crate::event::{PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
+use crate::event::{BeliefReprSummary, PhaseProfile, ProfileSpan, StopReason, TelemetryEvent};
 
 /// The run-level facts recorded by `RunStarted`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +33,8 @@ pub struct RunShape {
     pub entropy: f64,
     /// Dataset quality before any checking.
     pub quality: f64,
+    /// Belief representation summary across tasks.
+    pub belief_repr: BeliefReprSummary,
 }
 
 /// The run-level facts recorded by `RunFinished`.
@@ -270,6 +272,7 @@ impl ReplayedRun {
                 k,
                 entropy,
                 quality,
+                belief_repr,
             } => {
                 self.shape = Some(RunShape {
                     tasks: *tasks,
@@ -279,6 +282,7 @@ impl ReplayedRun {
                     k: *k,
                     entropy: *entropy,
                     quality: *quality,
+                    belief_repr: *belief_repr,
                 });
             }
             TelemetryEvent::RoundSelected {

@@ -1,0 +1,355 @@
+//! Differential suite for the sparse and factored belief
+//! representations, locked against the dense engine the same way the
+//! fast selection paths are locked against Equation (34) in
+//! `tests/conformance.rs`.
+//!
+//! The contract under test (see `hc_core::belief`):
+//!
+//! - A **full-support sparse** belief (no pattern ever pruned) shares
+//!   the dense chunk layout, so posteriors, entropies, projections, and
+//!   greedy picks are **bit-identical** to the dense oracle.
+//! - A **truncating sparse** belief may drop low-mass patterns, but the
+//!   realized dense-vs-sparse total-variation distance never exceeds
+//!   its self-reported certified truncation bound.
+//! - A **factored** belief over independent blocks agrees with the
+//!   dense oracle to float-product-reordering noise (~1e-12).
+//! - A 40-fact group — far past the dense `MAX_FACTS = 26` wall — runs
+//!   end-to-end through `HcSession`, including a checkpoint/resume
+//!   round trip through the serialized frame.
+
+use hc_core::answer::{Answer, AnswerOutcome, AnswerSet, QuerySet};
+use hc_core::belief::{Belief, MultiBelief, MAX_FACTS};
+use hc_core::fact::FactId;
+use hc_core::hc::{AnswerOracle, HcConfig, RoundRecord, UnitCost};
+use hc_core::selection::{global_facts, GlobalFact, GreedySelector, TaskSelector};
+use hc_core::session::{HcSession, SessionEnv, SessionStatus};
+use hc_core::update::update_with_answer_set;
+use hc_core::worker::{ExpertPanel, Worker};
+use hc_telemetry::{CheckpointFrame, RecordingSink};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Slack over the certified truncation bound: the bound is exact in
+/// real arithmetic; renormalisation roundoff adds ulp-scale noise.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// Factored-vs-dense tolerance: identical math, different float
+/// product order.
+const FACTORED_TOL: f64 = 1e-12;
+
+/// A normalised belief over `n` facts with strictly positive cells.
+fn belief_strategy(n: usize) -> impl Strategy<Value = Belief> {
+    prop::collection::vec(0.01f64..1.0, 1 << n).prop_map(|mut probs| {
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Belief::from_probs(probs).expect("normalised")
+    })
+}
+
+/// `k` distinct fact ids out of `n`.
+fn pick_facts(rng: &mut StdRng, n: usize, k: usize) -> Vec<FactId> {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().map(FactId).collect()
+}
+
+fn random_round(rng: &mut StdRng, n: usize) -> (QuerySet, AnswerSet, f64) {
+    let k = rng.gen_range(1..=3.min(n));
+    let queries = QuerySet::new(pick_facts(rng, n, k), n).expect("valid query set");
+    let bits = rng.gen_range(0..(1u32 << k));
+    let set = AnswerSet::from_bits(bits, k);
+    let acc = rng.gen_range(0.55..0.95);
+    (queries, set, acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Full-support sparse is bit-exact against dense for as long as
+    /// nothing has been pruned (the documented contract): every
+    /// posterior cell, the entropy, a projection, and the per-update
+    /// log evidence. A long adversarial run can legitimately push a
+    /// cell below `PROB_FLOOR` — from the first prune on, the sparse
+    /// posterior diverges by design and the certified TV bound takes
+    /// over as the contract.
+    #[test]
+    fn untruncated_sparse_is_bit_exact_vs_dense(
+        dense in (2usize..=6).prop_flat_map(belief_strategy),
+        seed in any::<u64>(),
+    ) {
+        let n = dense.num_facts();
+        let mut dense = dense;
+        // Full support: every cell kept, including the chunk layout.
+        let mut sparse = dense.to_sparse(1 << n).unwrap();
+        prop_assert_eq!(sparse.repr_name(), "sparse");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..8 {
+            let (queries, set, acc) = random_round(&mut rng, n);
+            let hd = update_with_answer_set(&mut dense, &queries, acc, set).unwrap();
+            let hs = update_with_answer_set(&mut sparse, &queries, acc, set).unwrap();
+            if sparse.truncation_bound() > 0.0 {
+                // A cell crossed PROB_FLOOR and was pruned; bit-exact
+                // equality no longer applies. The bound contract must.
+                let tv = dense.total_variation(&sparse).unwrap();
+                let bound = sparse.truncation_bound();
+                prop_assert!(
+                    tv <= bound + BOUND_SLACK,
+                    "round {}: TV {} exceeds bound {}", round, tv, bound
+                );
+                break;
+            }
+            prop_assert_eq!(
+                hd.log_evidence.to_bits(), hs.log_evidence.to_bits(),
+                "round {}: log evidence", round
+            );
+            for (pat, &p) in dense.probs().iter().enumerate() {
+                prop_assert_eq!(
+                    p.to_bits(), sparse.prob_pattern(pat as u64).to_bits(),
+                    "round {}: cell {}", round, pat
+                );
+            }
+            prop_assert_eq!(
+                dense.entropy().to_bits(), sparse.entropy().to_bits(),
+                "round {}: entropy", round
+            );
+            let facts = pick_facts(&mut rng, n, 2.min(n));
+            let qd = dense.project(&facts);
+            let qs = sparse.project(&facts);
+            for (j, (a, b)) in qd.iter().zip(&qs).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "round {}: projection {}", round, j);
+            }
+        }
+    }
+
+    /// Truncating sparse: the realized dense-vs-sparse TV distance is
+    /// certified by the self-reported truncation bound after every
+    /// round, and the bound stays in [0, 1].
+    #[test]
+    fn truncation_bound_certifies_realized_tv_distance(
+        dense in (5usize..=7).prop_flat_map(belief_strategy),
+        seed in any::<u64>(),
+    ) {
+        let n = dense.num_facts();
+        let mut dense = dense;
+        // A support cap well under 2^n forces pruning immediately.
+        let mut sparse = dense.to_sparse(1 << (n - 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..12 {
+            let (queries, set, acc) = random_round(&mut rng, n);
+            update_with_answer_set(&mut dense, &queries, acc, set).unwrap();
+            update_with_answer_set(&mut sparse, &queries, acc, set).unwrap();
+            let bound = sparse.truncation_bound();
+            prop_assert!((0.0..=1.0).contains(&bound), "round {round}: bound {bound}");
+            let tv = dense.total_variation(&sparse).unwrap();
+            prop_assert!(
+                tv <= bound + BOUND_SLACK,
+                "round {round}: realized TV {tv} exceeds certified bound {bound}"
+            );
+        }
+    }
+
+    /// Factored beliefs over independent blocks track the dense oracle
+    /// to float-reordering noise through updates, entropies, and
+    /// projections.
+    #[test]
+    fn factored_tracks_dense_within_reordering_noise(
+        lo in belief_strategy(2),
+        hi in belief_strategy(3),
+        seed in any::<u64>(),
+    ) {
+        let mut factored = Belief::factored(vec![lo, hi]).unwrap();
+        let mut dense = factored.to_dense().unwrap();
+        let n = dense.num_facts();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..8 {
+            let (queries, set, acc) = random_round(&mut rng, n);
+            let hd = update_with_answer_set(&mut dense, &queries, acc, set).unwrap();
+            let hf = update_with_answer_set(&mut factored, &queries, acc, set).unwrap();
+            prop_assert!(
+                (hd.log_evidence - hf.log_evidence).abs() < FACTORED_TOL,
+                "round {round}: log evidence {} vs {}", hd.log_evidence, hf.log_evidence
+            );
+            for (pat, &p) in dense.probs().iter().enumerate() {
+                let f = factored.prob_pattern(pat as u64);
+                prop_assert!(
+                    (p - f).abs() < FACTORED_TOL,
+                    "round {round}: cell {pat}: dense {p} vs factored {f}"
+                );
+            }
+            prop_assert!(
+                (dense.entropy() - factored.entropy()).abs() < FACTORED_TOL,
+                "round {round}: entropy"
+            );
+            let facts = pick_facts(&mut rng, n, 2);
+            for (j, (a, b)) in dense.project(&facts).iter().zip(&factored.project(&facts)).enumerate() {
+                prop_assert!((a - b).abs() < FACTORED_TOL, "round {round}: projection {j}");
+            }
+        }
+    }
+
+    /// Greedy picks on a full-support sparse belief are identical to
+    /// the dense oracle's: the selector sees bit-identical projections
+    /// and entropies, so it must walk the same path.
+    #[test]
+    fn greedy_picks_are_identical_on_full_support_sparse(
+        dense in (3usize..=5).prop_flat_map(belief_strategy),
+        seed in any::<u64>(),
+    ) {
+        let n = dense.num_facts();
+        let sparse = dense.to_sparse(1 << n).unwrap();
+        let dense_mb = MultiBelief::new(vec![dense]);
+        let sparse_mb = MultiBelief::new(vec![sparse]);
+        let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+        let selector = GreedySelector::new();
+        let k = 2.min(n);
+        let pick = |beliefs: &MultiBelief| -> Vec<GlobalFact> {
+            let candidates = global_facts(beliefs);
+            let mut rng = StdRng::seed_from_u64(seed);
+            selector
+                .select(beliefs, &panel, k, &candidates, &mut rng)
+                .expect("greedy select")
+        };
+        prop_assert_eq!(pick(&dense_mb), pick(&sparse_mb));
+    }
+}
+
+/// Deterministic selector for the session test: first `k` candidates.
+struct FirstK;
+
+impl TaskSelector for FirstK {
+    fn name(&self) -> &'static str {
+        "first-k"
+    }
+
+    fn select(
+        &self,
+        _beliefs: &MultiBelief,
+        _panel: &ExpertPanel,
+        k: usize,
+        candidates: &[GlobalFact],
+        _rng: &mut dyn RngCore,
+    ) -> hc_core::Result<Vec<GlobalFact>> {
+        Ok(candidates.iter().take(k).copied().collect())
+    }
+}
+
+/// Deterministic oracle: answers follow a fixed parity rule.
+struct ParityOracle;
+
+impl AnswerOracle for ParityOracle {
+    fn answer(&mut self, worker: &Worker, fact: GlobalFact) -> AnswerOutcome {
+        AnswerOutcome::Answered(Answer::from_bool(
+            (u64::from(fact.fact.0) + u64::from(worker.id.0)) % 2 == 0,
+        ))
+    }
+}
+
+/// Tiny deterministic RNG independent of any rand backend.
+struct Lcg(u64);
+
+impl RngCore for Lcg {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for b in dest.iter_mut() {
+            *b = self.next_u64() as u8;
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A 40-fact group — far past `MAX_FACTS` — runs end-to-end through
+/// `HcSession` on the sparse representation, survives a mid-run
+/// checkpoint/resume through the serialized frame, and finishes with
+/// the same posterior as the uninterrupted run.
+#[test]
+fn forty_fact_group_end_to_end_with_checkpoint_resume() {
+    assert!(40 > MAX_FACTS, "the point of the test");
+    let make_beliefs = || {
+        let marginals: Vec<f64> = (0..40).map(|i| 0.5 + 0.01 * ((i % 30) as f64)).collect();
+        MultiBelief::new(vec![
+            hc_core::init::init_from_marginals(&marginals).expect("sparse init"),
+        ])
+    };
+    let beliefs = make_beliefs();
+    assert_eq!(beliefs.tasks()[0].repr_name(), "sparse");
+    assert_eq!(beliefs.repr_summary(), "sparse");
+    let panel = ExpertPanel::from_accuracies(&[0.9, 0.8]).unwrap();
+    let config = HcConfig::new(3, 30);
+
+    let run = |crash_after: Option<usize>| -> (MultiBelief, String) {
+        let mut session =
+            HcSession::start(make_beliefs(), panel.clone(), config.clone(), &FirstK, &UnitCost)
+                .unwrap();
+        let mut oracle = ParityOracle;
+        let mut rng = Lcg(9);
+        let mut sink = RecordingSink::new();
+        let mut obs = |_: &MultiBelief, _: &RoundRecord| {};
+        let mut steps = 0usize;
+        loop {
+            if crash_after == Some(steps) {
+                // Serialize a checkpoint frame, round-trip it through
+                // its JSONL line (the sparse payload codec), and
+                // resume into a fresh session. The loop RNG restarts
+                // from its seed: the frame's draw log replays the
+                // consumed prefix, exactly as crash recovery would.
+                let frame = session.checkpoint_frame(steps as u64);
+                let frame = CheckpointFrame::from_json_line(&frame.to_json_line()).unwrap();
+                session = HcSession::from_frame(&frame, &FirstK, &UnitCost).unwrap();
+                assert_eq!(session.state().beliefs.repr_summary(), "sparse");
+                rng = Lcg(9);
+            }
+            let status = {
+                let mut env = SessionEnv {
+                    oracle: &mut oracle,
+                    rng: &mut rng,
+                    sink: &mut sink,
+                    observer: &mut obs,
+                };
+                session.step(&mut env).unwrap()
+            };
+            steps += 1;
+            if matches!(status, SessionStatus::Finished(_)) {
+                break;
+            }
+        }
+        let payload = session.state().to_payload();
+        (session.state().beliefs.clone(), payload)
+    };
+
+    let (base_beliefs, base_payload) = run(None);
+    let belief = &base_beliefs.tasks()[0];
+    assert_eq!(belief.repr_name(), "sparse");
+    assert_eq!(belief.num_facts(), 40);
+    let h = belief.entropy();
+    assert!(h.is_finite() && h >= 0.0, "entropy {h}");
+    assert!(
+        (0.0..=1.0).contains(&belief.truncation_bound()),
+        "bound {}",
+        belief.truncation_bound()
+    );
+    assert_eq!(belief.map_labels().len(), 40);
+
+    // Mid-run frame round trip reaches the identical final state.
+    let (resumed_beliefs, resumed_payload) = run(Some(4));
+    assert_eq!(resumed_payload, base_payload, "resumed payload");
+    assert_eq!(resumed_beliefs, base_beliefs, "resumed posterior");
+}

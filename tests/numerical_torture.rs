@@ -190,6 +190,114 @@ proptest! {
     }
 }
 
+/// Dense-vs-sparse torture twin: the same noisy rounds applied to the
+/// dense oracle and to a *truncating* sparse belief (support capped at
+/// a quarter of the full layout, so pruning engages immediately).
+/// Moderate accuracies keep every multiplier strictly positive, so the
+/// sparse run can never legitimately collapse; what must hold instead
+/// is the certified-bound contract: realized TV ≤ reported bound.
+fn sparse_torture_run(
+    n: usize,
+    acc: f64,
+    rounds: usize,
+    seed: u64,
+) -> (Belief, Belief) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let marginals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.02..0.98)).collect();
+    let mut dense = Belief::from_marginals(&marginals).expect("valid marginals");
+    let mut sparse = dense.to_sparse(1 << (n - 2)).expect("truncated copy");
+    let truth = Observation(rng.gen_range(0..(1u64 << n)) as u32);
+    for round in 0..rounds {
+        let k = rng.gen_range(1..=3.min(n));
+        let queries = QuerySet::new(pick_facts(&mut rng, n, k), n).expect("valid query set");
+        let set = noisy_answers(&mut rng, &queries, truth, acc);
+        update_with_answer_set(&mut dense, &queries, acc, set)
+            .unwrap_or_else(|e| panic!("dense round {round}: {e}"));
+        update_with_answer_set(&mut sparse, &queries, acc, set)
+            .unwrap_or_else(|e| panic!("sparse round {round}: {e}"));
+        let bound = sparse.truncation_bound();
+        assert!(
+            (0.0..=1.0).contains(&bound),
+            "round {round}: bound {bound}"
+        );
+        let tv = dense
+            .total_variation(&sparse)
+            .expect("comparable beliefs");
+        assert!(
+            tv <= bound + 1e-9,
+            "round {round}: realized TV {tv} exceeds certified bound {bound}"
+        );
+    }
+    (dense, sparse)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: scale::CASES,
+        ..ProptestConfig::default()
+    })]
+
+    /// The hardened-vs-naive differential, run against the sparse
+    /// representation: at every round the truncating sparse posterior
+    /// stays within its self-certified TV bound of the dense oracle.
+    #[test]
+    fn sparse_truncation_bound_is_honest_under_torture(
+        n in 5usize..=10,
+        acc in 0.55f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let (_, sparse) = sparse_torture_run(n, acc, 30, seed);
+        let h = sparse.entropy();
+        prop_assert!(h.is_finite() && h >= 0.0, "entropy {h}");
+    }
+}
+
+/// Byte-equality of sparse and factored posteriors at 1, 2, and 8
+/// threads — the determinism contract extended to the new
+/// representations (fixed-chunk ordered merges over the support / the
+/// blocks, exactly like the dense engine).
+#[test]
+fn sparse_and_factored_posteriors_bit_identical_across_thread_counts() {
+    let n = 10;
+    let rounds = 60;
+    let drive = |belief: &mut Belief| {
+        let mut rng = StdRng::seed_from_u64(0xB17_1DEA);
+        let truth = Observation(rng.gen_range(0..(1u64 << n)) as u32);
+        for _ in 0..rounds {
+            let k = rng.gen_range(1..=3);
+            let queries = QuerySet::new(pick_facts(&mut rng, n, k), n).unwrap();
+            let set = noisy_answers(&mut rng, &queries, truth, 0.9);
+            update_with_answer_set(belief, &queries, 0.9, set).unwrap();
+        }
+    };
+    let sparse_run = |threads: usize| {
+        let _guard = hc_core::parallel::scoped(Parallelism::Threads(threads));
+        let marginals: Vec<f64> = (0..n).map(|i| 0.1 + 0.08 * (i as f64)).collect();
+        let mut b = Belief::sparse_from_marginals(&marginals, 1 << (n - 2)).unwrap();
+        drive(&mut b);
+        let d = b.to_dense().unwrap();
+        let bits: Vec<u64> = d.probs().iter().map(|p| p.to_bits()).collect();
+        (bits, b.truncation_bound().to_bits())
+    };
+    let factored_run = |threads: usize| {
+        let _guard = hc_core::parallel::scoped(Parallelism::Threads(threads));
+        let blocks = vec![
+            Belief::from_marginals(&[0.3, 0.6, 0.8, 0.45, 0.2]).unwrap(),
+            Belief::from_marginals(&[0.7, 0.35, 0.55, 0.9, 0.15]).unwrap(),
+        ];
+        let mut b = Belief::factored(blocks).unwrap();
+        drive(&mut b);
+        let d = b.to_dense().unwrap();
+        d.probs().iter().map(|p| p.to_bits()).collect::<Vec<u64>>()
+    };
+    let s1 = sparse_run(1);
+    assert_eq!(s1, sparse_run(2), "sparse: 1 vs 2 threads");
+    assert_eq!(s1, sparse_run(8), "sparse: 1 vs 8 threads");
+    let f1 = factored_run(1);
+    assert_eq!(f1, factored_run(2), "factored: 1 vs 2 threads");
+    assert_eq!(f1, factored_run(8), "factored: 1 vs 8 threads");
+}
+
 /// A posterior that is *already* a point mass, contradicted each round
 /// by a large panel of near-perfect workers, underflows the linear
 /// domain every single update (30 factors of `1e-12` per round). The
